@@ -1,0 +1,29 @@
+"""Reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["report"]
+
+
+def report(title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a small ``metric | paper | measured`` comparison table.
+
+    Run the benchmarks with ``-s`` to see these tables; they are the measured
+    side of EXPERIMENTS.md.
+    """
+    width = max((len(name) for name, *_ in rows), default=10)
+    print(f"\n=== {title} ===")
+    print(f"{'metric'.ljust(width)} | {'paper':>22} | {'measured':>22}")
+    print("-" * (width + 50))
+    for name, paper_value, measured_value in rows:
+        print(f"{name.ljust(width)} | {_fmt(paper_value):>22} | {_fmt(measured_value):>22}")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return "[" + ", ".join(_fmt(item) for item in value) + "]"
+    return str(value)

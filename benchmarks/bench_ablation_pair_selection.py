@@ -1,0 +1,131 @@
+"""Experiment ABL1 — ablation over the security factors of Section 5.2.
+
+The paper lists four factors that determine RBT's computational security:
+the selection of attribute pairs, the order of attributes within a pair, the
+pairwise-security thresholds, and the random choice of θ.  This ablation
+quantifies each factor on the same workload:
+
+* pair-selection strategy → achieved Var(X − X') per attribute,
+* attribute order inside a pair → different released values (same security),
+* threshold size → width of the security range (the attacker's search space),
+* θ resampling → spread of released values across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBT, solve_security_range
+from repro.data.datasets import make_patient_cohorts
+from repro.metrics import dissimilarity_matrix, perturbation_variance
+from repro.preprocessing import ZScoreNormalizer
+
+from _bench_utils import report
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    matrix, _ = make_patient_cohorts(n_patients=200, random_state=71)
+    return ZScoreNormalizer().fit_transform(matrix)
+
+
+@pytest.mark.parametrize("strategy", ["sequential", "interleaved", "random", "max_variance"])
+def bench_ablation_pair_strategy(benchmark, ablation_data, strategy):
+    """Achieved per-attribute security under each pair-selection strategy."""
+    transformer = RBT(thresholds=0.3, strategy=strategy, random_state=71)
+
+    result = benchmark(lambda: transformer.transform(ablation_data))
+
+    securities = [
+        perturbation_variance(ablation_data.column(name), result.matrix.column(name))
+        for name in ablation_data.columns
+    ]
+    report(
+        f"ABL1: pair-selection strategy = {strategy}",
+        [
+            ("pairs used", "administrator's choice", [list(pair) for pair in result.pairs]),
+            ("min Var(X - X')", ">= 0.3", round(float(np.min(securities)), 4)),
+            ("mean Var(X - X')", "-", round(float(np.mean(securities)), 4)),
+        ],
+    )
+    assert float(np.min(securities)) >= 0.3 - 1e-9
+
+
+def bench_ablation_pair_order(benchmark, ablation_data):
+    """Swapping the order inside each pair changes the release, not the security."""
+    columns = list(ablation_data.columns)
+    forward_pairs = [(columns[0], columns[1]), (columns[2], columns[3]), (columns[4], columns[5])]
+    reversed_pairs = [(b, a) for a, b in forward_pairs]
+
+    def run_both():
+        forward = RBT(thresholds=0.3, pairs=forward_pairs, random_state=71).transform(ablation_data)
+        backward = RBT(thresholds=0.3, pairs=reversed_pairs, random_state=71).transform(ablation_data)
+        return forward, backward
+
+    forward, backward = benchmark(run_both)
+
+    value_difference = float(np.max(np.abs(forward.matrix.values - backward.matrix.values)))
+    distance_difference = float(
+        np.max(
+            np.abs(
+                dissimilarity_matrix(forward.matrix.values)
+                - dissimilarity_matrix(backward.matrix.values)
+            )
+        )
+    )
+    report(
+        "ABL1: attribute order inside a pair",
+        [
+            ("max |release(A,B) - release(B,A)|", "> 0 (different rotations)", round(value_difference, 4)),
+            ("max |Δ dissimilarity|", 0.0, distance_difference),
+        ],
+    )
+    assert value_difference > 1e-3
+    assert distance_difference < 1e-9
+
+
+@pytest.mark.parametrize("rho", [0.1, 0.5, 1.0, 2.0])
+def bench_ablation_threshold_vs_range(benchmark, ablation_data, rho):
+    """Lower thresholds widen the security range (the attacker's search space)."""
+    first, second = ablation_data.columns[0], ablation_data.columns[1]
+    column_a = ablation_data.column(first)
+    column_b = ablation_data.column(second)
+
+    security_range = benchmark(lambda: solve_security_range(column_a, column_b, (rho, rho)))
+
+    report(
+        f"ABL1: threshold rho = {rho}",
+        [
+            ("security-range width (deg)", "shrinks as rho grows", round(security_range.total_measure, 2)),
+            ("lower bound (deg)", "-", round(security_range.lower_bound, 2)),
+            ("upper bound (deg)", "-", round(security_range.upper_bound, 2)),
+        ],
+    )
+    assert security_range.total_measure > 0.0
+
+
+def bench_ablation_theta_randomness(benchmark, ablation_data):
+    """Resampling θ yields different releases with the same guarantees (Step 2c)."""
+    def run_five():
+        releases = [
+            RBT(thresholds=0.3, random_state=seed).transform(ablation_data).matrix.values
+            for seed in range(5)
+        ]
+        return releases
+
+    releases = benchmark.pedantic(run_five, rounds=1, iterations=1)
+
+    spreads = [
+        float(np.max(np.abs(releases[i] - releases[j])))
+        for i in range(len(releases))
+        for j in range(i + 1, len(releases))
+    ]
+    report(
+        "ABL1: random θ per run",
+        [
+            ("min pairwise max-difference across runs", "> 0 (releases differ)", round(min(spreads), 4)),
+            ("runs compared", 5, len(releases)),
+        ],
+    )
+    assert min(spreads) > 1e-3

@@ -1,0 +1,70 @@
+"""Experiment C1 — Corollary 1: identical clusters for any distance-based algorithm.
+
+Clusters the normalized and the RBT-released data with every clustering
+algorithm in the library and reports the misclassification error and adjusted
+Rand index between the two partitions: both must indicate identical clusters
+(0.0 and 1.0 respectively), for every algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering import DBSCAN, AgglomerativeClustering, KMeans, KMedoids
+from repro.core import RBT
+from repro.data.datasets import make_patient_cohorts
+from repro.metrics import adjusted_rand_index, matched_accuracy, misclassification_error
+from repro.preprocessing import ZScoreNormalizer
+
+from _bench_utils import report
+
+ALGORITHMS = {
+    "kmeans": lambda: KMeans(3, random_state=0),
+    "kmedoids": lambda: KMedoids(3, random_state=0),
+    "hierarchical-average": lambda: AgglomerativeClustering(3, linkage="average"),
+    "hierarchical-ward": lambda: AgglomerativeClustering(3, linkage="ward"),
+    "dbscan": lambda: DBSCAN(eps=1.5, min_samples=4),
+}
+
+
+@pytest.fixture(scope="module")
+def corollary_data():
+    matrix, labels = make_patient_cohorts(n_patients=300, n_cohorts=3, random_state=13)
+    normalized = ZScoreNormalizer().fit_transform(matrix)
+    released = RBT(thresholds=0.4, random_state=13).transform(normalized).matrix
+    return normalized, released, labels
+
+
+@pytest.mark.parametrize("algorithm_name", list(ALGORITHMS))
+def bench_corollary1_agreement(benchmark, corollary_data, algorithm_name):
+    """Cluster original and released data with one algorithm and compare partitions."""
+    normalized, released, truth = corollary_data
+    factory = ALGORITHMS[algorithm_name]
+
+    def cluster_both():
+        labels_original = factory().fit_predict(normalized)
+        labels_released = factory().fit_predict(released)
+        return labels_original, labels_released
+
+    labels_original, labels_released = benchmark(cluster_both)
+
+    error = misclassification_error(labels_original, labels_released)
+    ari = adjusted_rand_index(labels_original, labels_released)
+    rows = [
+        ("misclassification (original vs released)", 0.0, error),
+        ("adjusted Rand index", 1.0, ari),
+        (
+            "accuracy vs ground truth (original)",
+            "unchanged by RBT",
+            round(matched_accuracy(truth, labels_original), 4),
+        ),
+        (
+            "accuracy vs ground truth (released)",
+            "unchanged by RBT",
+            round(matched_accuracy(truth, labels_released), 4),
+        ),
+    ]
+    report(f"Corollary 1: {algorithm_name} on original vs RBT-released data", rows)
+
+    assert error == 0.0
+    assert ari == pytest.approx(1.0)

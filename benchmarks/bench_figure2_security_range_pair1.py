@@ -1,0 +1,52 @@
+"""Experiment F2 — Figure 2: the security range of the pair (age, heart_rate).
+
+Regenerates the variance-vs-θ curves for the first attribute pair under
+PST₁ = (0.30, 0.55) and solves the security range.  The paper prints
+[48.03°, 314.97°]; the upper bound reproduces exactly, the lower bound does
+not (measured 82.69°, the angle at which Var(heart_rate − heart_rate')
+reaches ρ₂ = 0.55) — the discrepancy is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.core import compute_variance_curves, solve_security_range
+from repro.data.datasets import (
+    MEASURED_SECURITY_RANGE1_DEGREES,
+    PAPER_PST1,
+    PAPER_SECURITY_RANGE1_DEGREES,
+    PAPER_THETA1_DEGREES,
+    PAPER_VARIANCES_PAIR1,
+)
+from repro.core.security_range import variance_difference_curves
+
+from _bench_utils import report
+
+
+def bench_figure2_security_range(benchmark, cardiac_normalized_exact):
+    """Solve the security range for (age, heart_rate) under PST1 = (0.30, 0.55)."""
+    age = cardiac_normalized_exact.column("age")
+    heart_rate = cardiac_normalized_exact.column("heart_rate")
+
+    security_range = benchmark(lambda: solve_security_range(age, heart_rate, PAPER_PST1))
+
+    # The series a re-plot of Figure 2 would show (sampled at 1° steps).
+    curves = compute_variance_curves(age, heart_rate, resolution=360)
+    var_at_theta1 = variance_difference_curves(age, heart_rate, PAPER_THETA1_DEGREES)
+
+    report(
+        "Figure 2: security range for (age, heart_rate), PST1=(0.30, 0.55)",
+        [
+            ("lower bound (deg)", PAPER_SECURITY_RANGE1_DEGREES[0], security_range.lower_bound),
+            ("upper bound (deg)", PAPER_SECURITY_RANGE1_DEGREES[1], security_range.upper_bound),
+            ("expected lower (this repro)", MEASURED_SECURITY_RANGE1_DEGREES[0], security_range.lower_bound),
+            ("Var(age-age') at θ=312.47°", PAPER_VARIANCES_PAIR1[0], float(var_at_theta1[0])),
+            ("Var(hr-hr') at θ=312.47°", PAPER_VARIANCES_PAIR1[1], float(var_at_theta1[1])),
+            ("θ grid points plotted", 360, len(curves.as_rows())),
+        ],
+    )
+
+    assert security_range.upper_bound == round(PAPER_SECURITY_RANGE1_DEGREES[1], 2) or abs(
+        security_range.upper_bound - PAPER_SECURITY_RANGE1_DEGREES[1]
+    ) < 0.05
+    assert abs(security_range.lower_bound - MEASURED_SECURITY_RANGE1_DEGREES[0]) < 0.05
+    assert security_range.contains(PAPER_THETA1_DEGREES)

@@ -1,0 +1,50 @@
+"""Experiment F3 — Figure 3: the security range of the pair (weight, age').
+
+The second rotation operates on ``weight`` and the *already distorted*
+``age'`` column under PST₂ = (2.30, 2.30).  The paper reports the range
+[118.74°, 258.70°] and the variances (2.9714, 6.9274) at θ₂ = 147.29°; both
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core import solve_security_range
+from repro.core.rotation import rotate_pair
+from repro.core.security_range import variance_difference_curves
+from repro.data.datasets import (
+    PAPER_PST2,
+    PAPER_SECURITY_RANGE2_DEGREES,
+    PAPER_THETA1_DEGREES,
+    PAPER_THETA2_DEGREES,
+    PAPER_VARIANCES_PAIR2,
+)
+
+from _bench_utils import report
+
+
+def bench_figure3_security_range(benchmark, cardiac_normalized_exact):
+    """Solve the security range for (weight, age') under PST2 = (2.30, 2.30)."""
+    age = cardiac_normalized_exact.column("age")
+    heart_rate = cardiac_normalized_exact.column("heart_rate")
+    weight = cardiac_normalized_exact.column("weight")
+    # Recreate the state after the first rotation: age' is the rotated age.
+    age_distorted, _ = rotate_pair(age, heart_rate, PAPER_THETA1_DEGREES)
+
+    security_range = benchmark(lambda: solve_security_range(weight, age_distorted, PAPER_PST2))
+
+    variances = variance_difference_curves(weight, age_distorted, PAPER_THETA2_DEGREES)
+    report(
+        "Figure 3: security range for (weight, age'), PST2=(2.30, 2.30)",
+        [
+            ("lower bound (deg)", PAPER_SECURITY_RANGE2_DEGREES[0], security_range.lower_bound),
+            ("upper bound (deg)", PAPER_SECURITY_RANGE2_DEGREES[1], security_range.upper_bound),
+            ("Var(weight-weight') at θ=147.29°", PAPER_VARIANCES_PAIR2[0], float(variances[0])),
+            ("Var(age-age') at θ=147.29°", PAPER_VARIANCES_PAIR2[1], float(variances[1])),
+        ],
+    )
+
+    assert abs(security_range.lower_bound - PAPER_SECURITY_RANGE2_DEGREES[0]) < 0.05
+    assert abs(security_range.upper_bound - PAPER_SECURITY_RANGE2_DEGREES[1]) < 0.05
+    assert abs(float(variances[0]) - PAPER_VARIANCES_PAIR2[0]) < 1e-3
+    assert abs(float(variances[1]) - PAPER_VARIANCES_PAIR2[1]) < 1e-3
+    assert security_range.contains(PAPER_THETA2_DEGREES)

@@ -1,0 +1,53 @@
+"""Experiment F1 — Figure 1: the end-to-end owner workflow.
+
+Times the complete pipeline (suppress identifiers → normalize → RBT →
+privacy report → Corollary 1 verification) on the two motivating scenarios
+and reports the release summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering import KMeans
+from repro.core import RBT
+from repro.data.datasets import make_customer_segments, make_patient_cohorts
+from repro.pipeline import PPCPipeline
+
+from _bench_utils import report
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    ["hospital", "marketing"],
+)
+def bench_pipeline_end_to_end(benchmark, scenario):
+    """Run the full Figure 1 workflow on one motivating scenario."""
+    if scenario == "hospital":
+        matrix, _ = make_patient_cohorts(n_patients=400, n_cohorts=3, random_state=81)
+        n_clusters = 3
+    else:
+        matrix, _ = make_customer_segments(n_customers=400, random_state=81)
+        n_clusters = 4
+    pipeline = PPCPipeline(RBT(thresholds=0.4, random_state=81))
+
+    bundle = benchmark(
+        lambda: pipeline.run(
+            matrix,
+            algorithms=[KMeans(n_clusters, random_state=2)],
+        )
+    )
+
+    summary = bundle.summary()
+    report(
+        f"Figure 1 workflow: {scenario} scenario ({matrix.n_objects} objects)",
+        [
+            ("distances preserved (Theorem 2)", True, summary["distances_preserved"]),
+            ("min Var(X - X') (security)", ">= 0.4", round(summary["min_variance_difference"], 4)),
+            ("clusters identical (Corollary 1)", True, summary["equivalence"][0]["identical"]),
+            ("rotation pairs", "ceil(n/2)", len(summary["pairs"])),
+        ],
+    )
+    assert summary["distances_preserved"]
+    assert summary["equivalence"][0]["identical"]
+    assert summary["min_variance_difference"] >= 0.4 - 1e-9

@@ -1,0 +1,51 @@
+"""Experiment T5 — Table 5: the re-normalization attack changes the distances.
+
+An attacker who re-normalizes the released data hoping to undo the rotation
+obtains the dissimilarity matrix of Table 5, which no longer matches Table 4;
+the reconstruction is useless both as an estimate of the original values and
+for clustering.  This benchmark regenerates Table 5 and reports the attack's
+reconstruction error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import RenormalizationAttack
+from repro.data.datasets import (
+    PAPER_DISSIMILARITY_RENORMALIZED,
+    PAPER_DISSIMILARITY_TRANSFORMED,
+)
+from repro.metrics import condensed_dissimilarity
+
+from _bench_utils import report
+
+
+def bench_table5_renormalization_attack(benchmark, paper_release, cardiac_normalized_exact):
+    """Run the re-normalization attack on the worked example's release."""
+    attack = RenormalizationAttack()
+
+    result = benchmark(lambda: attack.run(paper_release.matrix, cardiac_normalized_exact))
+
+    measured_rows = condensed_dissimilarity(result.reconstruction.values, decimals=4)
+    rows = []
+    for index, (expected, measured) in enumerate(
+        zip(PAPER_DISSIMILARITY_RENORMALIZED, measured_rows)
+    ):
+        if index == 0:
+            continue
+        rows.append((f"d({index}, ·) after attack", list(expected), list(measured)))
+    rows.append(("attack reconstruction RMSE", "high (attack fails)", result.error))
+    rows.append(("distances preserved by attack", False, result.details["distances_preserved"]))
+    rows.append(("attack succeeded", False, result.succeeded))
+    report("Table 5: dissimilarity matrix after the re-normalization attack", rows)
+
+    for expected, measured in zip(PAPER_DISSIMILARITY_RENORMALIZED, measured_rows):
+        assert np.allclose(measured, expected, atol=2.5e-3)
+    # Table 5 must differ from Table 4 (the attack frustrates itself).
+    table4 = [list(row) for row in PAPER_DISSIMILARITY_TRANSFORMED]
+    assert any(
+        not np.allclose(measured, expected, atol=1e-3)
+        for measured, expected in zip(measured_rows[1:], table4[1:])
+    )
+    assert not result.succeeded

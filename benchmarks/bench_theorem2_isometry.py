@@ -1,0 +1,53 @@
+"""Experiment TH2 — Theorem 2: RBT is an isometric transformation.
+
+Measures the maximum absolute change of any pairwise distance caused by RBT
+on datasets of increasing size and dimensionality: it stays at floating-point
+noise regardless of the data, which is the executable form of Theorem 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBT
+from repro.data.datasets import make_patient_cohorts, make_synthetic_arrhythmia
+from repro.metrics import dissimilarity_matrix
+from repro.preprocessing import ZScoreNormalizer
+
+from _bench_utils import report
+
+
+@pytest.mark.parametrize(
+    "n_objects,n_attributes",
+    [(100, 6), (500, 6), (1_000, 12)],
+    ids=["100x6", "500x6", "1000x12"],
+)
+def bench_theorem2_isometry(benchmark, n_objects, n_attributes):
+    """Transform a dataset and measure the worst-case pairwise-distance change."""
+    if n_attributes <= 6:
+        matrix, _ = make_patient_cohorts(n_patients=n_objects, random_state=1)
+        matrix = matrix.select(list(matrix.columns[:n_attributes]))
+    else:
+        matrix = make_synthetic_arrhythmia(
+            n_objects, n_extra_attributes=n_attributes - 3, random_state=1
+        )
+    normalized = ZScoreNormalizer().fit_transform(matrix)
+    transformer = RBT(thresholds=0.3, random_state=1)
+    original_distances = dissimilarity_matrix(normalized.values)
+
+    def transform_and_measure() -> float:
+        released = transformer.transform(normalized).matrix
+        released_distances = dissimilarity_matrix(released.values)
+        return float(np.max(np.abs(original_distances - released_distances)))
+
+    max_change = benchmark(transform_and_measure)
+
+    report(
+        f"Theorem 2: isometry on a {n_objects}x{n_attributes} dataset",
+        [
+            ("max |Δ pairwise distance|", 0.0, max_change),
+            ("distances preserved", True, bool(max_change < 1e-8)),
+        ],
+    )
+    assert max_change < 1e-8

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module reproduces one artifact of the paper (a table, a
+figure, a theorem or a claim) and does two things:
+
+1. **regenerates the artifact** and prints a ``paper vs measured`` comparison
+   through :func:`_bench_utils.report`, so
+   ``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction log
+   behind EXPERIMENTS.md, and
+2. **times the underlying operation** with pytest-benchmark, so the
+   performance claims (Theorem 1's O(m·n) in particular) are measured rather
+   than asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RBT
+from repro.data.datasets import (
+    PAPER_PAIR1,
+    PAPER_PAIR2,
+    PAPER_PST1,
+    PAPER_PST2,
+    PAPER_THETA1_DEGREES,
+    PAPER_THETA2_DEGREES,
+    load_cardiac_sample,
+)
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture(scope="session")
+def cardiac_normalized_exact():
+    """The Table 1 sample, z-score normalized at full precision."""
+    return ZScoreNormalizer().fit_transform(load_cardiac_sample())
+
+
+@pytest.fixture(scope="session")
+def paper_rbt() -> RBT:
+    """RBT configured exactly as in the paper's worked example."""
+    return RBT(
+        thresholds=[PAPER_PST1, PAPER_PST2],
+        pairs=[PAPER_PAIR1, PAPER_PAIR2],
+        angles=[PAPER_THETA1_DEGREES, PAPER_THETA2_DEGREES],
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_release(paper_rbt, cardiac_normalized_exact):
+    """The released matrix of the worked example."""
+    return paper_rbt.transform(cardiac_normalized_exact)

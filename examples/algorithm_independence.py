@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Corollary 1 in action: RBT is independent of the clustering algorithm.
+
+Clusters the same dataset before and after the RBT transformation with every
+algorithm in the library (k-means, k-medoids, four hierarchical linkages,
+DBSCAN) and with both distance metrics the paper defines, and shows that the
+partitions are identical in every case — while an additive-noise baseline at
+a comparable security level moves points between clusters.
+
+Run with:  python examples/algorithm_independence.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RBT
+from repro.baselines import AdditiveNoisePerturbation
+from repro.clustering import DBSCAN, AgglomerativeClustering, KMeans, KMedoids
+from repro.data.datasets import make_patient_cohorts
+from repro.metrics import (
+    adjusted_rand_index,
+    misclassification_error,
+    perturbation_variance,
+)
+from repro.preprocessing import ZScoreNormalizer
+
+
+def algorithm_suite() -> dict:
+    """Every distance-based clustering configuration exercised by the demo."""
+    return {
+        "k-means (euclidean)": KMeans(3, random_state=0),
+        "k-medoids (euclidean)": KMedoids(3, metric="euclidean", random_state=0),
+        "k-medoids (manhattan)": KMedoids(3, metric="manhattan", random_state=0),
+        "hierarchical single": AgglomerativeClustering(3, linkage="single"),
+        "hierarchical complete": AgglomerativeClustering(3, linkage="complete"),
+        "hierarchical average": AgglomerativeClustering(3, linkage="average"),
+        "hierarchical ward": AgglomerativeClustering(3, linkage="ward"),
+        "dbscan": DBSCAN(eps=1.5, min_samples=4),
+    }
+
+
+def main() -> None:
+    patients, _ = make_patient_cohorts(n_patients=250, n_cohorts=3, random_state=7)
+    normalized = ZScoreNormalizer().fit_transform(patients)
+
+    released = RBT(thresholds=0.5, random_state=7).transform(normalized).matrix
+    rbt_security = float(
+        np.mean(
+            [
+                perturbation_variance(normalized.column(name), released.column(name))
+                for name in normalized.columns
+            ]
+        )
+    )
+    noisy = AdditiveNoisePerturbation(np.sqrt(rbt_security), random_state=7).perturb(normalized)
+    noise_security = float(
+        np.mean(
+            [
+                perturbation_variance(normalized.column(name), noisy.column(name))
+                for name in normalized.columns
+            ]
+        )
+    )
+    print(
+        f"Mean Var(X - X'): RBT = {rbt_security:.3f}, additive noise = {noise_security:.3f} "
+        "(comparable security levels)\n"
+    )
+
+    header = f"{'algorithm':>24} | {'RBT miscls.':>12} | {'RBT ARI':>8} | {'noise miscls.':>14} | {'noise ARI':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, algorithm in algorithm_suite().items():
+        labels_original = algorithm.fit_predict(normalized)
+        labels_rbt = algorithm.fit_predict(released)
+        labels_noise = algorithm.fit_predict(noisy)
+        print(
+            f"{name:>24} | "
+            f"{misclassification_error(labels_original, labels_rbt):>12.4f} | "
+            f"{adjusted_rand_index(labels_original, labels_rbt):>8.4f} | "
+            f"{misclassification_error(labels_original, labels_noise):>14.4f} | "
+            f"{adjusted_rand_index(labels_original, labels_noise):>9.4f}"
+        )
+
+    print(
+        "\nEvery Euclidean-distance algorithm produces exactly the same partition\n"
+        "on the RBT release (misclassification 0, ARI 1) because the Euclidean\n"
+        "dissimilarity matrix is untouched.  The Manhattan-metric run is the\n"
+        "interesting caveat: rotations preserve Euclidean but not L1 distances,\n"
+        "so a Manhattan-based clustering can shift slightly - Corollary 1 is a\n"
+        "statement about Euclidean-distance algorithms.  Additive noise at the\n"
+        "same Var(X - X') level, by contrast, moves a large fraction of points\n"
+        "for every algorithm - the misclassification problem that motivated the\n"
+        "paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

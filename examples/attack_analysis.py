@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Security analysis of an RBT release (Section 5.2, and beyond).
+
+Plays the adversary against a released dataset under increasingly strong
+assumptions:
+
+1. release only                → re-normalization attack (the paper's Table 5),
+2. release + public statistics → variance-fingerprint and brute-force attacks,
+3. release + a few known records → known-sample regression attack.
+
+The first two fail (the paper's computational-security argument); the third
+succeeds, which is the scheme's documented weakness and the reason later work
+moved to stronger privacy models.
+
+Run with:  python examples/attack_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RBT
+from repro.attacks import (
+    BruteForceAngleAttack,
+    KnownSampleAttack,
+    RenormalizationAttack,
+    VarianceFingerprintAttack,
+)
+from repro.data.datasets import make_patient_cohorts
+from repro.preprocessing import ZScoreNormalizer
+
+
+def main() -> None:
+    # The defender's side: build and release the data.
+    patients, _ = make_patient_cohorts(n_patients=150, n_cohorts=3, random_state=99)
+    normalized = ZScoreNormalizer().fit_transform(patients)
+    release = RBT(thresholds=0.5, random_state=99).transform(normalized)
+    released = release.matrix
+    print(
+        f"Released dataset: {released.n_objects} x {released.n_attributes}, "
+        f"rotation pairs {list(release.pairs)} (secret)"
+    )
+    baseline_rmse = float(np.sqrt(np.mean(normalized.values**2)))
+    print(f"For scale: guessing all zeros would give RMSE ≈ {baseline_rmse:.3f}\n")
+
+    # Adversary level 1: only the released table.
+    renorm = RenormalizationAttack().run(released, normalized)
+    print("[1] Re-normalization attack (paper, Table 5)")
+    print(f"    reconstruction RMSE = {renorm.error:.3f}  -> succeeded: {renorm.succeeded}")
+    print(f"    pairwise distances preserved by the attack: {renorm.details['distances_preserved']}")
+
+    # Adversary level 2a: knows the original data was normalized (unit variances).
+    fingerprint = VarianceFingerprintAttack(angle_resolution=90).run(released, normalized)
+    print("\n[2a] Variance-fingerprint attack (knows original variances)")
+    print(
+        f"    hypotheses scored = {fingerprint.work}, "
+        f"final variance-profile error = {fingerprint.details['final_profile_error']:.4f}"
+    )
+    print(f"    reconstruction RMSE = {fingerprint.error:.3f}  -> succeeded: {fingerprint.succeeded}")
+
+    # Adversary level 2b: brute force over pairings and angle grids.
+    brute = BruteForceAngleAttack(angle_resolution=24, max_pairings=8).run(released, normalized)
+    print("\n[2b] Brute-force pairing/angle attack")
+    print(f"    hypotheses scored = {brute.work}")
+    print(f"    best hypothesis: pairing {brute.details['pairing']}")
+    print(f"    reconstruction RMSE = {brute.error:.3f}  -> succeeded: {brute.succeeded}")
+
+    # Adversary level 3: an insider knows a handful of original records.
+    known = KnownSampleAttack(known_indices=range(released.n_attributes + 2)).run(
+        released, normalized
+    )
+    print("\n[3] Known-sample regression attack (beyond the paper)")
+    print(f"    known records used = {known.work}")
+    print(f"    reconstruction RMSE = {known.error:.2e}  -> succeeded: {known.succeeded}")
+
+    print(
+        "\nConclusion: with the release alone (or even public statistics) the\n"
+        "transformation resists inversion — the paper's computational-security\n"
+        "argument.  But a linear, data-independent isometry is fully determined\n"
+        "by a few known records, so RBT does not withstand a known-sample\n"
+        "adversary; treat it as obfuscation, not as strong privacy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""Shared argument-validation helpers used across the library.
+
+These helpers centralize the conversion of user-supplied values into the
+canonical representations the library works with (2-D float arrays, label
+vectors, random generators) and raise :class:`~repro.exceptions.ValidationError`
+with actionable messages when the input is unusable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "as_float_matrix",
+    "as_float_vector",
+    "as_label_vector",
+    "check_square_matrix",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_integer_in_range",
+    "check_columns_exist",
+    "ensure_rng",
+]
+
+
+def as_float_matrix(data, *, name: str = "data", min_rows: int = 1, min_cols: int = 1) -> np.ndarray:
+    """Return ``data`` as a 2-D ``float64`` array, validating shape and finiteness.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a 2-D numeric array (nested sequences,
+        ``numpy`` arrays, :class:`~repro.data.DataMatrix` instances exposing
+        ``values``).
+    name:
+        Argument name used in error messages.
+    min_rows, min_cols:
+        Minimum acceptable dimensions.
+
+    Raises
+    ------
+    ValidationError
+        If the input is not 2-D numeric, contains NaN/inf, or is too small.
+    """
+    if hasattr(data, "values") and not isinstance(data, np.ndarray):
+        data = data.values
+    try:
+        matrix = np.asarray(data, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be convertible to a float array: {exc}") from exc
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    if matrix.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    if rows < min_rows:
+        raise ValidationError(f"{name} must have at least {min_rows} row(s), got {rows}")
+    if cols < min_cols:
+        raise ValidationError(f"{name} must have at least {min_cols} column(s), got {cols}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValidationError(f"{name} must not contain NaN or infinite values")
+    return matrix
+
+
+def as_float_vector(data, *, name: str = "vector", min_size: int = 1) -> np.ndarray:
+    """Return ``data`` as a 1-D ``float64`` array, validating size and finiteness."""
+    try:
+        vector = np.asarray(data, dtype=float).ravel()
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be convertible to a float vector: {exc}") from exc
+    if vector.size < min_size:
+        raise ValidationError(f"{name} must contain at least {min_size} value(s), got {vector.size}")
+    if not np.all(np.isfinite(vector)):
+        raise ValidationError(f"{name} must not contain NaN or infinite values")
+    return vector
+
+
+def as_label_vector(labels, *, name: str = "labels", n_expected: int | None = None) -> np.ndarray:
+    """Return ``labels`` as a 1-D integer array, optionally checking its length."""
+    array = np.asarray(labels)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got ndim={array.ndim}")
+    if array.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if not np.issubdtype(array.dtype, np.integer):
+        if np.issubdtype(array.dtype, np.floating) and np.all(array == np.round(array)):
+            array = array.astype(int)
+        else:
+            raise ValidationError(f"{name} must contain integer cluster labels")
+    if n_expected is not None and array.size != n_expected:
+        raise ValidationError(f"{name} must have length {n_expected}, got {array.size}")
+    return array.astype(int, copy=False)
+
+
+def check_square_matrix(matrix, *, name: str = "matrix") -> np.ndarray:
+    """Return ``matrix`` as a square 2-D float array."""
+    array = as_float_matrix(matrix, name=name)
+    if array.shape[0] != array.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {array.shape}")
+    return array
+
+
+def check_probability(value: float, *, name: str = "probability") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value: float, *, name: str = "value") -> float:
+    """Validate that ``value`` is strictly positive and finite."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(value: float, *, name: str = "value") -> float:
+    """Validate that ``value`` is non-negative and finite."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValidationError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_integer_in_range(
+    value: int,
+    *,
+    name: str = "value",
+    minimum: int | None = None,
+    maximum: int | None = None,
+) -> int:
+    """Validate that ``value`` is an integer inside ``[minimum, maximum]``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValidationError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def check_columns_exist(columns: Iterable[str], available: Sequence[str], *, name: str = "columns") -> list[str]:
+    """Validate that every entry of ``columns`` appears in ``available``."""
+    requested = list(columns)
+    available_set = set(available)
+    missing = [column for column in requested if column not in available_set]
+    if missing:
+        raise ValidationError(
+            f"{name} refers to unknown column(s) {missing}; available columns are {list(available)}"
+        )
+    return requested
+
+
+def ensure_rng(random_state) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from flexible ``random_state`` input.
+
+    Accepts ``None`` (fresh non-deterministic generator), an integer seed, an
+    existing :class:`numpy.random.Generator`, or a legacy
+    :class:`numpy.random.RandomState`.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.RandomState):
+        return np.random.default_rng(random_state.randint(0, 2**31 - 1))
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise ValidationError(
+        "random_state must be None, an int seed, a numpy Generator or RandomState, "
+        f"got {type(random_state).__name__}"
+    )

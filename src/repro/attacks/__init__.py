@@ -1,0 +1,41 @@
+"""Attack simulations for the computational-security analysis of Section 5.2.
+
+The paper argues that RBT's security rests on the computational work needed
+to reverse the transformation: the attacker does not know the attribute
+pairing, the order inside each pair, the thresholds, or the (real-valued)
+angles.  This package makes that argument executable:
+
+* :class:`RenormalizationAttack` — the attack the paper itself analyses
+  (Table 5): re-normalize the released data hoping to undo the rotation; the
+  result's dissimilarity matrix no longer matches the original, so the
+  attempt fails.
+* :class:`BruteForceAngleAttack` — grid search over pairings and angles,
+  scoring candidate inversions against reference statistics the attacker may
+  know; quantifies the "amount of computational work" argument.
+* :class:`VarianceFingerprintAttack` — uses the fact that the attacker may
+  know the original (normalized) per-attribute variances; tries to find a
+  rotation that restores them.
+* :class:`KnownSampleAttack` — a stronger adversary that knows a subset of
+  original records and regresses the rotation matrix from them (the style of
+  attack later shown, in follow-up literature, to break rotation
+  perturbation; included to make the library honest about RBT's limits).
+
+All attacks return an :class:`AttackResult` with the reconstruction and
+error measures, so benchmarks can compare attacker effort vs. success.
+"""
+
+from .base import AttackResult, reconstruction_error, per_attribute_reconstruction_error
+from .renormalization import RenormalizationAttack
+from .brute_force import BruteForceAngleAttack
+from .variance_fingerprint import VarianceFingerprintAttack
+from .known_sample import KnownSampleAttack
+
+__all__ = [
+    "AttackResult",
+    "reconstruction_error",
+    "per_attribute_reconstruction_error",
+    "RenormalizationAttack",
+    "BruteForceAngleAttack",
+    "VarianceFingerprintAttack",
+    "KnownSampleAttack",
+]

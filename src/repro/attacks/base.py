@@ -1,0 +1,65 @@
+"""Shared attack-result container and reconstruction-error measures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_float_matrix
+from ..data import DataMatrix
+from ..exceptions import ValidationError
+
+__all__ = ["AttackResult", "reconstruction_error", "per_attribute_reconstruction_error"]
+
+
+def reconstruction_error(original, reconstructed) -> float:
+    """Root-mean-square error between the true data and an attacker's reconstruction."""
+    original = as_float_matrix(original, name="original")
+    reconstructed = as_float_matrix(reconstructed, name="reconstructed")
+    if original.shape != reconstructed.shape:
+        raise ValidationError(
+            f"original and reconstructed must have the same shape, got {original.shape} and {reconstructed.shape}"
+        )
+    return float(np.sqrt(np.mean((original - reconstructed) ** 2)))
+
+
+def per_attribute_reconstruction_error(original, reconstructed) -> np.ndarray:
+    """Per-attribute RMSE between the true data and a reconstruction."""
+    original = as_float_matrix(original, name="original")
+    reconstructed = as_float_matrix(reconstructed, name="reconstructed")
+    if original.shape != reconstructed.shape:
+        raise ValidationError(
+            f"original and reconstructed must have the same shape, got {original.shape} and {reconstructed.shape}"
+        )
+    return np.sqrt(np.mean((original - reconstructed) ** 2, axis=0))
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of an attack simulation.
+
+    Attributes
+    ----------
+    name:
+        Attack name.
+    reconstruction:
+        The attacker's best reconstruction of the original (normalized) data.
+    error:
+        RMSE between the reconstruction and the true original data (only
+        computable in simulation, where the evaluator holds the truth).
+    succeeded:
+        Whether the attack is judged successful under its own criterion
+        (e.g. error below a tolerance).
+    work:
+        A measure of attacker effort (number of candidate hypotheses scored).
+    details:
+        Attack-specific extras (best angle, best pairing, per-attribute error).
+    """
+
+    name: str
+    reconstruction: DataMatrix
+    error: float
+    succeeded: bool
+    work: int = 0
+    details: dict = field(default_factory=dict)

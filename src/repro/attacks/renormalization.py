@@ -1,0 +1,77 @@
+"""The re-normalization attack analysed in Section 5.2 (Table 5).
+
+The attacker knows that the released data was produced by normalizing and
+then rotating the original attributes, and also knows that normalized data
+has unit variance per attribute.  A naive inversion attempt is therefore to
+z-score-normalize the released data, hoping to land back on the original
+normalized values.  The paper shows this fails: normalization is not the
+inverse of a rotation, the resulting dissimilarity matrix (Table 5) differs
+from the true one (Table 4), and the re-normalized data is useless both as a
+reconstruction and for clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import DataMatrix
+from ..exceptions import AttackError
+from ..metrics.distance import dissimilarity_matrix
+from ..preprocessing import ZScoreNormalizer
+from .base import AttackResult, reconstruction_error
+
+__all__ = ["RenormalizationAttack"]
+
+
+class RenormalizationAttack:
+    """Re-normalize the released data and treat the result as the reconstruction.
+
+    Parameters
+    ----------
+    ddof:
+        Estimator used by the attacker's normalization (1 matches the paper).
+    success_tolerance:
+        RMSE below which the reconstruction would be considered a successful
+        privacy breach.
+    """
+
+    name = "renormalization"
+
+    def __init__(self, *, ddof: int = 1, success_tolerance: float = 0.1) -> None:
+        self.ddof = ddof
+        self.success_tolerance = float(success_tolerance)
+
+    def run(self, released: DataMatrix, original: DataMatrix | None = None) -> AttackResult:
+        """Execute the attack on ``released``.
+
+        ``original`` (the true normalized data) is only used to *score* the
+        attack; the attacker never sees it.  When omitted, the error is
+        reported as ``nan`` and success as ``False``.
+        """
+        if not isinstance(released, DataMatrix):
+            raise AttackError("RenormalizationAttack expects the released DataMatrix")
+        reconstruction = ZScoreNormalizer(ddof=self.ddof).fit_transform(released)
+        error = float("nan")
+        succeeded = False
+        details: dict = {}
+        if original is not None:
+            error = reconstruction_error(original.values, reconstruction.values)
+            succeeded = error <= self.success_tolerance
+            # The paper's diagnostic: the dissimilarity matrix changes, so the
+            # re-normalized data is not even useful for clustering.
+            original_distances = dissimilarity_matrix(original.values)
+            attacked_distances = dissimilarity_matrix(reconstruction.values)
+            details["max_distance_change"] = float(
+                np.max(np.abs(original_distances - attacked_distances))
+            )
+            details["distances_preserved"] = bool(
+                np.allclose(original_distances, attacked_distances, atol=1e-6)
+            )
+        return AttackResult(
+            name=self.name,
+            reconstruction=reconstruction,
+            error=error,
+            succeeded=succeeded,
+            work=1,
+            details=details,
+        )

@@ -1,0 +1,42 @@
+"""Baseline perturbation methods from the prior work the paper compares against.
+
+The paper motivates RBT by arguing that the classical data-distortion
+techniques either destroy the clustering structure (misclassification) or
+provide no privacy.  This package implements those comparators so the
+benchmarks can reproduce the comparison:
+
+* :class:`AdditiveNoisePerturbation` — the additive-noise family of
+  statistical-database security ([1, 9] in the paper; also the method whose
+  misclassification problem was the key finding of the authors' earlier
+  work [10]).
+* :class:`MultiplicativeNoisePerturbation` — multiplicative noise variant.
+* :class:`TranslationPerturbation`, :class:`ScalingPerturbation`,
+  :class:`SimpleRotationPerturbation` — the geometric transformation family
+  studied in [10] (translation / scaling / a single global rotation applied
+  to *un-normalized* data, which changes similarity between points unless the
+  data is normalized first).
+* :class:`ValueSwappingPerturbation` — classical data swapping.
+
+Every baseline implements the same ``perturb(matrix) -> DataMatrix``
+interface and accepts a ``random_state`` for reproducibility.
+"""
+
+from .base import PerturbationMethod
+from .additive import AdditiveNoisePerturbation
+from .multiplicative import MultiplicativeNoisePerturbation
+from .geometric import (
+    TranslationPerturbation,
+    ScalingPerturbation,
+    SimpleRotationPerturbation,
+)
+from .swapping import ValueSwappingPerturbation
+
+__all__ = [
+    "PerturbationMethod",
+    "AdditiveNoisePerturbation",
+    "MultiplicativeNoisePerturbation",
+    "TranslationPerturbation",
+    "ScalingPerturbation",
+    "SimpleRotationPerturbation",
+    "ValueSwappingPerturbation",
+]

@@ -1,0 +1,44 @@
+"""Common interface for baseline perturbation methods."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._validation import as_float_matrix
+from ..data import DataMatrix
+
+__all__ = ["PerturbationMethod"]
+
+
+class PerturbationMethod(ABC):
+    """Base class for data-perturbation baselines.
+
+    Subclasses implement :meth:`_perturb_array` on a raw ``(m, n)`` array;
+    the base class handles :class:`DataMatrix` wrapping so every baseline and
+    RBT can be driven through the same benchmark harness.
+    """
+
+    #: Human-readable method name used in benchmark output.
+    name: str = "perturbation"
+
+    def perturb(self, data):
+        """Perturb ``data`` and return the released version.
+
+        Returns a :class:`DataMatrix` when given one (same columns and ids),
+        otherwise a plain array.
+        """
+        if isinstance(data, DataMatrix):
+            return data.with_values(self._perturb_array(data.values.copy()))
+        array = as_float_matrix(data, name="data")
+        return self._perturb_array(array.copy())
+
+    # Alias so baselines can be swapped where an RBT-style transform is expected.
+    def transform(self, data):
+        """Alias for :meth:`perturb`."""
+        return self.perturb(data)
+
+    @abstractmethod
+    def _perturb_array(self, array: np.ndarray) -> np.ndarray:
+        """Return the perturbed version of ``array``."""

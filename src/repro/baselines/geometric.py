@@ -1,0 +1,152 @@
+"""Geometric data-transformation baselines from the authors' earlier work [10].
+
+The paper's predecessor ("Privacy Preserving Clustering By Data
+Transformation", SBBD 2003) distorted data with a family of geometric
+transformations — translations, scalings and a single rotation — applied to
+the raw (un-normalized) attributes.  Its key finding, restated in Section 2,
+is that these transformations "are unfeasible for privacy-preserving
+clustering if we do not consider the normalization of the data before
+transformation": per-attribute translations and scalings change the relative
+weights of the attributes and therefore the similarity between points.
+
+These baselines exist so the benchmarks can demonstrate that finding:
+
+* :class:`TranslationPerturbation` — adds a per-attribute constant.
+* :class:`ScalingPerturbation` — multiplies each attribute by a constant.
+* :class:`SimpleRotationPerturbation` — one fixed-angle rotation of every
+  consecutive attribute pair (no security range, no per-pair thresholds); on
+  normalized data this is distance-preserving but offers *no quantified
+  security guarantee*, which is precisely the gap RBT's pairwise-security
+  threshold fills.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive, ensure_rng
+from ..core.rotation import rotate_pair
+from ..exceptions import ValidationError
+from .base import PerturbationMethod
+
+__all__ = [
+    "TranslationPerturbation",
+    "ScalingPerturbation",
+    "SimpleRotationPerturbation",
+]
+
+
+class TranslationPerturbation(PerturbationMethod):
+    """Shift every attribute by a (random or given) constant.
+
+    Parameters
+    ----------
+    offsets:
+        Per-attribute offsets.  When ``None`` they are drawn uniformly from
+        ``[-max_offset, max_offset]`` per attribute.
+    max_offset:
+        Half-width of the random offset range.
+    random_state:
+        Seed / generator for reproducibility.
+    """
+
+    name = "translation"
+
+    def __init__(self, offsets=None, *, max_offset: float = 10.0, random_state=None) -> None:
+        self.offsets = None if offsets is None else np.asarray(offsets, dtype=float).ravel()
+        self.max_offset = check_positive(max_offset, name="max_offset")
+        self.random_state = random_state
+
+    def _perturb_array(self, array: np.ndarray) -> np.ndarray:
+        offsets = self.offsets
+        if offsets is None:
+            rng = ensure_rng(self.random_state)
+            offsets = rng.uniform(-self.max_offset, self.max_offset, size=array.shape[1])
+        elif offsets.size != array.shape[1]:
+            raise ValidationError(
+                f"expected {array.shape[1]} offset(s), got {offsets.size}"
+            )
+        return array + offsets
+
+
+class ScalingPerturbation(PerturbationMethod):
+    """Multiply every attribute by a (random or given) positive constant.
+
+    Parameters
+    ----------
+    factors:
+        Per-attribute scale factors.  When ``None`` they are drawn uniformly
+        from ``[min_factor, max_factor]``.
+    min_factor, max_factor:
+        Range for random factors.
+    random_state:
+        Seed / generator for reproducibility.
+    """
+
+    name = "scaling"
+
+    def __init__(
+        self,
+        factors=None,
+        *,
+        min_factor: float = 0.5,
+        max_factor: float = 3.0,
+        random_state=None,
+    ) -> None:
+        self.factors = None if factors is None else np.asarray(factors, dtype=float).ravel()
+        self.min_factor = check_positive(min_factor, name="min_factor")
+        self.max_factor = check_positive(max_factor, name="max_factor")
+        if self.min_factor >= self.max_factor:
+            raise ValidationError(
+                f"min_factor must be smaller than max_factor, got {min_factor} >= {max_factor}"
+            )
+        if self.factors is not None and np.any(self.factors <= 0):
+            raise ValidationError("scaling factors must be strictly positive")
+        self.random_state = random_state
+
+    def _perturb_array(self, array: np.ndarray) -> np.ndarray:
+        factors = self.factors
+        if factors is None:
+            rng = ensure_rng(self.random_state)
+            factors = rng.uniform(self.min_factor, self.max_factor, size=array.shape[1])
+        elif factors.size != array.shape[1]:
+            raise ValidationError(f"expected {array.shape[1]} factor(s), got {factors.size}")
+        return array * factors
+
+
+class SimpleRotationPerturbation(PerturbationMethod):
+    """Rotate every consecutive attribute pair by one fixed angle.
+
+    This is the "simple rotation" of the prior work: a single angle, no
+    per-pair security range, applied to consecutive pairs ``(0,1), (2,3),
+    ...`` (a trailing odd attribute is left unchanged).  It preserves
+    distances just like RBT but provides no mechanism to guarantee a privacy
+    level — the achieved ``Var(X − X')`` is whatever the fixed angle happens
+    to give.
+
+    Parameters
+    ----------
+    theta_degrees:
+        Rotation angle; when ``None`` one angle is drawn uniformly from
+        (0°, 360°).
+    random_state:
+        Seed / generator for the random-angle case.
+    """
+
+    name = "simple_rotation"
+
+    def __init__(self, theta_degrees: float | None = 45.0, *, random_state=None) -> None:
+        self.theta_degrees = None if theta_degrees is None else float(theta_degrees)
+        self.random_state = random_state
+
+    def _perturb_array(self, array: np.ndarray) -> np.ndarray:
+        theta = self.theta_degrees
+        if theta is None:
+            rng = ensure_rng(self.random_state)
+            theta = float(rng.uniform(0.0, 360.0))
+        result = array.copy()
+        for first in range(0, array.shape[1] - 1, 2):
+            rotated_i, rotated_j = rotate_pair(array[:, first], array[:, first + 1], theta)
+            result[:, first] = rotated_i
+            result[:, first + 1] = rotated_j
+        return result

@@ -1,0 +1,41 @@
+"""Multiplicative-noise data perturbation.
+
+A classical alternative to additive noise: each value is multiplied by an
+independent random factor close to 1 (``Y = X * (1 + e)``).  Like additive
+noise it is not distance-preserving, and — because the distortion scales with
+the magnitude of the value — it disproportionately moves the points far from
+the origin, making the misclassification problem worse for spread-out
+clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive, ensure_rng
+from .base import PerturbationMethod
+
+__all__ = ["MultiplicativeNoisePerturbation"]
+
+
+class MultiplicativeNoisePerturbation(PerturbationMethod):
+    """Release ``Y = X * (1 + e)`` with i.i.d. zero-mean Gaussian ``e``.
+
+    Parameters
+    ----------
+    noise_scale:
+        Standard deviation of the multiplicative factor ``e``.
+    random_state:
+        Seed / generator for reproducibility.
+    """
+
+    name = "multiplicative_noise"
+
+    def __init__(self, noise_scale: float = 0.1, *, random_state=None) -> None:
+        self.noise_scale = check_positive(noise_scale, name="noise_scale")
+        self.random_state = random_state
+
+    def _perturb_array(self, array: np.ndarray) -> np.ndarray:
+        rng = ensure_rng(self.random_state)
+        factors = 1.0 + rng.normal(scale=self.noise_scale, size=array.shape)
+        return array * factors

@@ -1,0 +1,265 @@
+"""Command-line interface for the RBT release workflow.
+
+The CLI wraps the library for the data-owner and data-receiver roles so the
+full Figure 1 workflow can be driven from a shell without writing Python:
+
+``transform``
+    Read a CSV of confidential numeric attributes, normalize it, apply RBT
+    and write the released CSV plus (optionally) the rotation secret and a
+    JSON privacy report.
+
+``invert``
+    Owner-side: undo a release using a saved secret.
+
+``evaluate``
+    Compare an original (normalized) CSV with a released CSV: distance
+    preservation, per-attribute Var(X − X'), and cluster agreement under
+    k-means.
+
+``cluster``
+    Receiver-side: cluster a released CSV with one of the library's
+    algorithms and write the labels.
+
+Examples
+--------
+::
+
+    python -m repro transform vitals.csv released.csv --threshold 0.4 \
+        --secret secret.json --report privacy.json --id-column mrn
+    python -m repro cluster released.csv labels.csv --algorithm kmeans --k 3
+    python -m repro evaluate normalized.csv released.csv --k 3
+    python -m repro invert released.csv restored.csv --secret secret.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .clustering import DBSCAN, AgglomerativeClustering, KMeans, KMedoids
+from .core import RBT, RBTSecret
+from .data import DataMatrix
+from .data.io import matrix_from_csv, matrix_to_csv
+from .exceptions import ReproError
+from .metrics import (
+    adjusted_rand_index,
+    dissimilarity_matrix,
+    misclassification_error,
+    privacy_report,
+)
+from .preprocessing import MinMaxNormalizer, ZScoreNormalizer
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rotation-Based Transformation (RBT) for privacy-preserving clustering.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    transform = subparsers.add_parser(
+        "transform", help="normalize a CSV and release an RBT-transformed copy"
+    )
+    transform.add_argument("input", type=Path, help="CSV with one row per object")
+    transform.add_argument("output", type=Path, help="where to write the released CSV")
+    transform.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="pairwise-security threshold rho applied to every pair (default 0.25)",
+    )
+    transform.add_argument(
+        "--normalizer",
+        choices=["zscore", "minmax"],
+        default="zscore",
+        help="normalization applied before the rotation (default zscore)",
+    )
+    transform.add_argument(
+        "--strategy",
+        choices=["interleaved", "sequential", "random", "max_variance"],
+        default="interleaved",
+        help="attribute pair-selection strategy (default interleaved)",
+    )
+    transform.add_argument("--seed", type=int, default=None, help="random seed")
+    transform.add_argument(
+        "--id-column",
+        default="id",
+        help=(
+            "name of the identifier column to carry as object ids "
+            "(default 'id'; ignored when the CSV has no such leading column)"
+        ),
+    )
+    transform.add_argument(
+        "--secret", type=Path, default=None, help="write the rotation secret (JSON) here"
+    )
+    transform.add_argument(
+        "--report", type=Path, default=None, help="write a JSON privacy report here"
+    )
+
+    invert = subparsers.add_parser("invert", help="undo a release using a saved secret")
+    invert.add_argument("input", type=Path, help="released CSV")
+    invert.add_argument("output", type=Path, help="where to write the restored (normalized) CSV")
+    invert.add_argument("--secret", type=Path, required=True, help="rotation secret JSON")
+    invert.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="compare an original (normalized) CSV with a released CSV"
+    )
+    evaluate.add_argument("original", type=Path, help="normalized original CSV")
+    evaluate.add_argument("released", type=Path, help="released CSV")
+    evaluate.add_argument("--k", type=int, default=3, help="clusters for the k-means agreement check")
+    evaluate.add_argument("--seed", type=int, default=0, help="k-means seed")
+    evaluate.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
+
+    cluster = subparsers.add_parser("cluster", help="cluster a released CSV")
+    cluster.add_argument("input", type=Path, help="released CSV")
+    cluster.add_argument("output", type=Path, help="where to write the labels CSV")
+    cluster.add_argument(
+        "--algorithm",
+        choices=["kmeans", "kmedoids", "hierarchical", "dbscan"],
+        default="kmeans",
+        help="clustering algorithm (default kmeans)",
+    )
+    cluster.add_argument("--k", type=int, default=3, help="number of clusters (ignored by dbscan)")
+    cluster.add_argument("--eps", type=float, default=0.5, help="dbscan neighbourhood radius")
+    cluster.add_argument("--min-samples", type=int, default=5, help="dbscan core-point threshold")
+    cluster.add_argument("--seed", type=int, default=0, help="random seed")
+    cluster.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------------- #
+def _command_transform(args: argparse.Namespace) -> int:
+    matrix = matrix_from_csv(args.input, id_column=args.id_column)
+    normalizer = ZScoreNormalizer() if args.normalizer == "zscore" else MinMaxNormalizer()
+    normalized = normalizer.fit(matrix).transform(matrix)
+
+    transformer = RBT(thresholds=args.threshold, strategy=args.strategy, random_state=args.seed)
+    result = transformer.transform(normalized)
+    matrix_to_csv(result.matrix, args.output, float_format="%.12f")
+    print(f"released {result.matrix.n_objects} objects x {result.matrix.n_attributes} attributes -> {args.output}")
+
+    if args.secret is not None:
+        RBTSecret.from_result(result).save(args.secret)
+        print(f"rotation secret written to {args.secret} (keep it private)")
+    if args.report is not None:
+        report = privacy_report(normalized, result.matrix)
+        payload = {
+            "threshold": args.threshold,
+            "pairs": [list(pair) for pair in result.pairs],
+            "min_variance_difference": report.minimum_variance_difference,
+            "attributes": report.as_dict(),
+        }
+        args.report.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"privacy report written to {args.report}")
+    for record in result.records:
+        print(
+            f"  pair {record.pair}: theta drawn from "
+            f"[{record.security_range.lower_bound:.2f}, {record.security_range.upper_bound:.2f}] deg, "
+            f"Var(X - X') = ({record.achieved_variances[0]:.4f}, {record.achieved_variances[1]:.4f})"
+        )
+    return 0
+
+
+def _command_invert(args: argparse.Namespace) -> int:
+    released = matrix_from_csv(args.input, id_column=args.id_column)
+    secret = RBTSecret.load(args.secret)
+    restored = secret.invert(released)
+    matrix_to_csv(restored, args.output, float_format="%.12f")
+    print(f"restored matrix written to {args.output}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    original = matrix_from_csv(args.original, id_column=args.id_column)
+    released = matrix_from_csv(args.released, id_column=args.id_column)
+    if original.shape != released.shape:
+        print(
+            f"error: shape mismatch {original.shape} vs {released.shape}",
+            file=sys.stderr,
+        )
+        return 2
+
+    max_distortion = float(
+        np.max(np.abs(dissimilarity_matrix(original.values) - dissimilarity_matrix(released.values)))
+    )
+    report = privacy_report(original, released)
+    labels_original = KMeans(args.k, random_state=args.seed).fit_predict(original)
+    labels_released = KMeans(args.k, random_state=args.seed).fit_predict(released)
+    error = misclassification_error(labels_original, labels_released)
+    ari = adjusted_rand_index(labels_original, labels_released)
+
+    print(f"max |delta pairwise distance| : {max_distortion:.3e}")
+    print(f"distances preserved           : {max_distortion < 1e-8}")
+    print(f"min Var(X - X')               : {report.minimum_variance_difference:.4f}")
+    print(f"mean Var(X - X')              : {report.mean_variance_difference:.4f}")
+    print(f"k-means misclassification     : {error:.4f}")
+    print(f"k-means adjusted Rand index   : {ari:.4f}")
+    return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    matrix = matrix_from_csv(args.input, id_column=args.id_column)
+    if args.algorithm == "kmeans":
+        algorithm = KMeans(args.k, random_state=args.seed)
+    elif args.algorithm == "kmedoids":
+        algorithm = KMedoids(args.k, random_state=args.seed)
+    elif args.algorithm == "hierarchical":
+        algorithm = AgglomerativeClustering(args.k)
+    else:
+        algorithm = DBSCAN(eps=args.eps, min_samples=args.min_samples)
+    result = algorithm.fit(matrix)
+
+    _write_labels(args.output, matrix, result.labels)
+    sizes = np.bincount(result.labels[result.labels >= 0]) if result.n_clusters else np.array([])
+    print(f"found {result.n_clusters} cluster(s); sizes: {sizes.tolist()}")
+    print(f"labels written to {args.output}")
+    return 0
+
+
+def _write_labels(path: Path, matrix: DataMatrix, labels: np.ndarray) -> None:
+    """Write an ``id,label`` CSV (positional ids when the matrix has none)."""
+    ids = matrix.ids if matrix.ids is not None else tuple(range(matrix.n_objects))
+    lines = ["id,label"]
+    lines.extend(f"{object_id},{int(label)}" for object_id, label in zip(ids, labels))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+_COMMANDS = {
+    "transform": _command_transform,
+    "invert": _command_invert,
+    "evaluate": _command_evaluate,
+    "cluster": _command_cluster,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

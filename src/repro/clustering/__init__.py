@@ -1,0 +1,31 @@
+"""Distance-based clustering algorithms implemented from scratch.
+
+Corollary 1 of the paper states that RBT is *independent of the clustering
+algorithm*: any distance-based algorithm produces identical clusters on the
+original and on the transformed data.  To exercise that claim this package
+provides four classic algorithms, all built on the same distance substrate
+(:mod:`repro.metrics.distance`) and all exposing the same
+``fit`` / ``fit_predict`` interface:
+
+* :class:`KMeans` — Lloyd's algorithm with random or k-means++ initialization.
+* :class:`KMedoids` — PAM-style alternation working purely on the
+  dissimilarity matrix.
+* :class:`AgglomerativeClustering` — bottom-up hierarchical clustering with
+  single / complete / average / Ward linkage.
+* :class:`DBSCAN` — density-based clustering (labels noise as ``-1``).
+"""
+
+from .base import ClusteringAlgorithm, ClusteringResult
+from .kmeans import KMeans
+from .kmedoids import KMedoids
+from .hierarchical import AgglomerativeClustering
+from .dbscan import DBSCAN
+
+__all__ = [
+    "ClusteringAlgorithm",
+    "ClusteringResult",
+    "KMeans",
+    "KMedoids",
+    "AgglomerativeClustering",
+    "DBSCAN",
+]

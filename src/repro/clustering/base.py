@@ -1,0 +1,73 @@
+"""Common interface for the clustering algorithms.
+
+Every algorithm consumes an ``(m, n)`` data matrix (raw array or
+:class:`~repro.data.DataMatrix`), produces integer labels, and records its
+run in a :class:`ClusteringResult`.  Keeping a single entry point makes the
+Corollary 1 experiments a simple loop over algorithm instances.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_float_matrix
+from ..data import DataMatrix
+
+__all__ = ["ClusteringAlgorithm", "ClusteringResult"]
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of a clustering run.
+
+    Attributes
+    ----------
+    labels:
+        Integer cluster label per object.  DBSCAN uses ``-1`` for noise.
+    n_clusters:
+        Number of distinct (non-noise) clusters found.
+    n_iterations:
+        Iterations performed by iterative algorithms (0 otherwise).
+    inertia:
+        Within-cluster sum of squared distances where meaningful, else ``nan``.
+    converged:
+        Whether the algorithm reached its convergence criterion (always
+        ``True`` for non-iterative algorithms).
+    metadata:
+        Algorithm-specific extras (centroids, medoid indices, merge history).
+    """
+
+    labels: np.ndarray
+    n_clusters: int
+    n_iterations: int = 0
+    inertia: float = float("nan")
+    converged: bool = True
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "labels", np.asarray(self.labels, dtype=int))
+
+
+class ClusteringAlgorithm(ABC):
+    """Abstract base class for the distance-based clustering algorithms."""
+
+    #: Human-readable algorithm name used in reports and benchmark output.
+    name: str = "clustering"
+
+    @abstractmethod
+    def fit(self, data) -> ClusteringResult:
+        """Cluster ``data`` and return a :class:`ClusteringResult`."""
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Cluster ``data`` and return only the label vector."""
+        return self.fit(data).labels
+
+    @staticmethod
+    def _as_array(data) -> np.ndarray:
+        """Convert supported inputs to a validated float array."""
+        if isinstance(data, DataMatrix):
+            return data.values.copy()
+        return as_float_matrix(data, name="data")

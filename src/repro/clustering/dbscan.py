@@ -1,0 +1,100 @@
+"""DBSCAN density-based clustering.
+
+DBSCAN's core/border/noise decisions depend only on which pairwise distances
+fall below ``eps`` — another purely distance-based criterion, so an isometric
+transformation such as RBT leaves the clustering unchanged (core points stay
+core points, noise stays noise).  Included to demonstrate Corollary 1 beyond
+centroid-based algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_positive
+from ..exceptions import ClusteringError
+from ..metrics.distance import pairwise_distances
+from .base import ClusteringAlgorithm, ClusteringResult
+
+__all__ = ["DBSCAN"]
+
+#: Label assigned to noise points.
+NOISE_LABEL = -1
+
+
+class DBSCAN(ClusteringAlgorithm):
+    """Density-Based Spatial Clustering of Applications with Noise.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Minimum number of neighbours (including the point itself) for a point
+        to be a core point.
+    metric:
+        Distance metric for the neighbourhood computation.
+    precomputed:
+        When ``True`` the input to :meth:`fit` is a precomputed dissimilarity
+        matrix.
+    """
+
+    name = "dbscan"
+
+    def __init__(
+        self,
+        eps: float = 0.5,
+        min_samples: int = 5,
+        *,
+        metric: str = "euclidean",
+        precomputed: bool = False,
+    ) -> None:
+        self.eps = check_positive(eps, name="eps")
+        self.min_samples = check_integer_in_range(min_samples, name="min_samples", minimum=1)
+        self.metric = metric
+        self.precomputed = bool(precomputed)
+
+    def fit(self, data) -> ClusteringResult:
+        """Cluster ``data``; noise points receive the label ``-1``."""
+        if self.precomputed:
+            distances = self._as_array(data)
+            if distances.shape[0] != distances.shape[1]:
+                raise ClusteringError(
+                    f"a precomputed dissimilarity matrix must be square, got {distances.shape}"
+                )
+        else:
+            distances = pairwise_distances(self._as_array(data), metric=self.metric)
+        n_objects = distances.shape[0]
+        neighbourhoods = [np.flatnonzero(distances[index] <= self.eps) for index in range(n_objects)]
+        is_core = np.array([neighbours.size >= self.min_samples for neighbours in neighbourhoods])
+
+        labels = np.full(n_objects, NOISE_LABEL, dtype=int)
+        cluster_id = 0
+        for index in range(n_objects):
+            if labels[index] != NOISE_LABEL or not is_core[index]:
+                continue
+            # Breadth-first expansion of a new cluster from this core point.
+            labels[index] = cluster_id
+            queue = deque(neighbourhoods[index].tolist())
+            while queue:
+                neighbour = queue.popleft()
+                if labels[neighbour] == NOISE_LABEL:
+                    labels[neighbour] = cluster_id
+                    if is_core[neighbour]:
+                        queue.extend(neighbourhoods[neighbour].tolist())
+            cluster_id += 1
+
+        n_clusters = int(cluster_id)
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=n_clusters,
+            n_iterations=0,
+            inertia=float("nan"),
+            converged=True,
+            metadata={
+                "n_noise": int(np.sum(labels == NOISE_LABEL)),
+                "core_mask": is_core,
+            },
+        )

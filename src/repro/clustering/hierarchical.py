@@ -1,0 +1,157 @@
+"""Agglomerative hierarchical clustering (single / complete / average / Ward).
+
+Hierarchical clustering consumes only pairwise distances, so — like
+k-medoids — it exercises Corollary 1 directly: an identical dissimilarity
+matrix forces an identical dendrogram and therefore identical flat clusters
+at any cut.  The implementation is a straightforward Lance–Williams update
+over the dissimilarity matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_integer_in_range
+from ..exceptions import ClusteringError
+from ..metrics.distance import pairwise_distances
+from .base import ClusteringAlgorithm, ClusteringResult
+
+__all__ = ["AgglomerativeClustering"]
+
+_LINKAGES = ("single", "complete", "average", "ward")
+
+
+class AgglomerativeClustering(ClusteringAlgorithm):
+    """Bottom-up hierarchical clustering cut at ``n_clusters``.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of flat clusters to return (the dendrogram is cut when this
+        many clusters remain).
+    linkage:
+        ``single``, ``complete``, ``average`` or ``ward``.
+    metric:
+        Distance metric for the initial dissimilarity matrix.  Ward linkage
+        requires ``euclidean``.
+    precomputed:
+        When ``True`` the input to :meth:`fit` is a precomputed dissimilarity
+        matrix.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        n_clusters: int = 2,
+        *,
+        linkage: str = "average",
+        metric: str = "euclidean",
+        precomputed: bool = False,
+    ) -> None:
+        self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
+        if linkage not in _LINKAGES:
+            raise ClusteringError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
+        if linkage == "ward" and metric != "euclidean":
+            raise ClusteringError("ward linkage requires the euclidean metric")
+        self.linkage = linkage
+        self.metric = metric
+        self.precomputed = bool(precomputed)
+
+    def fit(self, data) -> ClusteringResult:
+        """Agglomerate ``data`` until ``n_clusters`` clusters remain."""
+        if self.precomputed:
+            distances = self._as_array(data).copy()
+            if distances.shape[0] != distances.shape[1]:
+                raise ClusteringError(
+                    f"a precomputed dissimilarity matrix must be square, got {distances.shape}"
+                )
+        else:
+            distances = pairwise_distances(self._as_array(data), metric=self.metric)
+        n_objects = distances.shape[0]
+        if n_objects < self.n_clusters:
+            raise ClusteringError(
+                f"cannot form {self.n_clusters} cluster(s) from {n_objects} object(s)"
+            )
+
+        # Active cluster bookkeeping: each active cluster keeps its member list and size.
+        members: dict[int, list[int]] = {index: [index] for index in range(n_objects)}
+        sizes: dict[int, int] = {index: 1 for index in range(n_objects)}
+        working = distances.astype(float).copy()
+        np.fill_diagonal(working, np.inf)
+        active = set(range(n_objects))
+        merges: list[tuple[int, int, float]] = []
+
+        while len(active) > self.n_clusters:
+            pair = self._closest_pair(working, active)
+            if pair is None:
+                break
+            cluster_a, cluster_b, merge_distance = pair
+            merges.append((cluster_a, cluster_b, merge_distance))
+            self._merge(working, members, sizes, active, cluster_a, cluster_b)
+
+        labels = np.empty(n_objects, dtype=int)
+        for label, cluster in enumerate(sorted(active)):
+            labels[members[cluster]] = label
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=len(active),
+            n_iterations=len(merges),
+            inertia=float("nan"),
+            converged=True,
+            metadata={"merge_history": merges, "linkage": self.linkage},
+        )
+
+    @staticmethod
+    def _closest_pair(working: np.ndarray, active: set[int]) -> tuple[int, int, float] | None:
+        active_list = sorted(active)
+        sub = working[np.ix_(active_list, active_list)]
+        flat_index = int(np.argmin(sub))
+        row, col = divmod(flat_index, sub.shape[1])
+        distance = float(sub[row, col])
+        if not np.isfinite(distance):
+            return None
+        cluster_a, cluster_b = active_list[row], active_list[col]
+        if cluster_a > cluster_b:
+            cluster_a, cluster_b = cluster_b, cluster_a
+        return cluster_a, cluster_b, distance
+
+    def _merge(
+        self,
+        working: np.ndarray,
+        members: dict[int, list[int]],
+        sizes: dict[int, int],
+        active: set[int],
+        cluster_a: int,
+        cluster_b: int,
+    ) -> None:
+        """Merge ``cluster_b`` into ``cluster_a`` using the Lance–Williams update."""
+        size_a, size_b = sizes[cluster_a], sizes[cluster_b]
+        for other in list(active):
+            if other in (cluster_a, cluster_b):
+                continue
+            d_a = working[cluster_a, other]
+            d_b = working[cluster_b, other]
+            if self.linkage == "single":
+                updated = min(d_a, d_b)
+            elif self.linkage == "complete":
+                updated = max(d_a, d_b)
+            elif self.linkage == "average":
+                updated = (size_a * d_a + size_b * d_b) / (size_a + size_b)
+            else:  # ward
+                size_o = sizes[other]
+                total = size_a + size_b + size_o
+                updated = np.sqrt(
+                    ((size_a + size_o) * d_a**2 + (size_b + size_o) * d_b**2 - size_o * working[cluster_a, cluster_b] ** 2)
+                    / total
+                )
+            working[cluster_a, other] = updated
+            working[other, cluster_a] = updated
+        members[cluster_a] = members[cluster_a] + members[cluster_b]
+        sizes[cluster_a] = size_a + size_b
+        del members[cluster_b]
+        del sizes[cluster_b]
+        active.discard(cluster_b)
+        working[cluster_b, :] = np.inf
+        working[:, cluster_b] = np.inf
+        working[cluster_a, cluster_a] = np.inf

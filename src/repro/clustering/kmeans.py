@@ -1,0 +1,178 @@
+"""K-means clustering (Lloyd's algorithm) with k-means++ initialization.
+
+K-means is the canonical distance-based clustering algorithm and the one the
+related work ([13]) privacy-preserves directly, so it is the primary
+algorithm used by the Corollary 1 experiments.  The implementation is
+deterministic given a ``random_state`` and supports multiple restarts
+(``n_init``) keeping the lowest-inertia solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_positive, ensure_rng
+from ..exceptions import ClusteringError, ConvergenceError
+from .base import ClusteringAlgorithm, ClusteringResult
+
+__all__ = ["KMeans"]
+
+
+class KMeans(ClusteringAlgorithm):
+    """Lloyd's k-means.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    init:
+        ``"k-means++"`` (default) or ``"random"`` centroid initialization.
+    n_init:
+        Number of independent restarts; the run with the lowest inertia wins.
+    max_iterations:
+        Iteration cap per restart.
+    tolerance:
+        Convergence threshold on the total centroid movement between
+        iterations.
+    random_state:
+        Seed / generator for reproducible initialization.
+    raise_on_no_convergence:
+        When ``True`` a :class:`~repro.exceptions.ConvergenceError` is raised
+        if no restart converges within ``max_iterations``; when ``False``
+        (default) the best non-converged solution is returned with
+        ``converged=False``.
+
+    Examples
+    --------
+    >>> from repro.data.datasets import make_blobs
+    >>> data, _ = make_blobs(n_objects=90, n_clusters=3, random_state=0)
+    >>> result = KMeans(n_clusters=3, random_state=0).fit(data)
+    >>> result.n_clusters
+    3
+    """
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        init: str = "k-means++",
+        n_init: int = 10,
+        max_iterations: int = 300,
+        tolerance: float = 1e-6,
+        random_state=None,
+        raise_on_no_convergence: bool = False,
+    ) -> None:
+        self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
+        if init not in ("k-means++", "random"):
+            raise ClusteringError(f"init must be 'k-means++' or 'random', got {init!r}")
+        self.init = init
+        self.n_init = check_integer_in_range(n_init, name="n_init", minimum=1)
+        self.max_iterations = check_integer_in_range(max_iterations, name="max_iterations", minimum=1)
+        self.tolerance = check_positive(tolerance, name="tolerance")
+        self.random_state = random_state
+        self.raise_on_no_convergence = bool(raise_on_no_convergence)
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, data) -> ClusteringResult:
+        """Run k-means on ``data`` and return the best restart."""
+        array = self._as_array(data)
+        if array.shape[0] < self.n_clusters:
+            raise ClusteringError(
+                f"cannot find {self.n_clusters} cluster(s) among {array.shape[0]} object(s)"
+            )
+        rng = ensure_rng(self.random_state)
+
+        best: ClusteringResult | None = None
+        for _ in range(self.n_init):
+            result = self._single_run(array, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        if self.raise_on_no_convergence and not best.converged:
+            raise ConvergenceError(
+                f"k-means did not converge within {self.max_iterations} iteration(s)"
+            )
+        return best
+
+    def _single_run(self, array: np.ndarray, rng: np.random.Generator) -> ClusteringResult:
+        centroids = self._initialize(array, rng)
+        labels = np.zeros(array.shape[0], dtype=int)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            labels = self._assign(array, centroids)
+            new_centroids = self._update(array, labels, centroids, rng)
+            movement = float(np.sqrt(((new_centroids - centroids) ** 2).sum()))
+            centroids = new_centroids
+            if movement <= self.tolerance:
+                converged = True
+                break
+        labels = self._assign(array, centroids)
+        inertia = self._inertia(array, labels, centroids)
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=int(np.unique(labels).size),
+            n_iterations=iteration,
+            inertia=inertia,
+            converged=converged,
+            metadata={"centroids": centroids},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _initialize(self, array: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.init == "random":
+            indices = rng.choice(array.shape[0], size=self.n_clusters, replace=False)
+            return array[indices].copy()
+        return self._kmeans_plus_plus(array, rng)
+
+    def _kmeans_plus_plus(self, array: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n_objects = array.shape[0]
+        centroids = np.empty((self.n_clusters, array.shape[1]), dtype=float)
+        first = int(rng.integers(n_objects))
+        centroids[0] = array[first]
+        closest_sq = ((array - centroids[0]) ** 2).sum(axis=1)
+        for index in range(1, self.n_clusters):
+            total = float(closest_sq.sum())
+            if total <= 0:
+                # All remaining points coincide with an existing centroid; fall back to uniform.
+                choice = int(rng.integers(n_objects))
+            else:
+                probabilities = closest_sq / total
+                choice = int(rng.choice(n_objects, p=probabilities))
+            centroids[index] = array[choice]
+            distance_sq = ((array - centroids[index]) ** 2).sum(axis=1)
+            closest_sq = np.minimum(closest_sq, distance_sq)
+        return centroids
+
+    @staticmethod
+    def _assign(array: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        distances = ((array[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def _update(
+        self,
+        array: np.ndarray,
+        labels: np.ndarray,
+        centroids: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        new_centroids = centroids.copy()
+        for cluster in range(self.n_clusters):
+            members = array[labels == cluster]
+            if members.shape[0] == 0:
+                # Re-seed an empty cluster at the point farthest from its centroid assignment.
+                distances = ((array - centroids[labels]) ** 2).sum(axis=1)
+                new_centroids[cluster] = array[int(distances.argmax())]
+            else:
+                new_centroids[cluster] = members.mean(axis=0)
+        return new_centroids
+
+    @staticmethod
+    def _inertia(array: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+        return float(((array - centroids[labels]) ** 2).sum())

@@ -1,0 +1,118 @@
+"""K-medoids clustering (PAM-style alternation on the dissimilarity matrix).
+
+Unlike k-means, k-medoids works purely from the dissimilarity matrix
+(Equation 5) — it never averages raw coordinates — which makes it the
+sharpest possible test of Corollary 1: if the dissimilarity matrices of the
+original and the transformed data are identical, k-medoids *must* produce the
+same clusters, including the same medoid objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_integer_in_range, ensure_rng
+from ..exceptions import ClusteringError
+from ..metrics.distance import pairwise_distances
+from .base import ClusteringAlgorithm, ClusteringResult
+
+__all__ = ["KMedoids"]
+
+
+class KMedoids(ClusteringAlgorithm):
+    """Partitioning Around Medoids (alternating assignment / medoid update).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    metric:
+        Distance used to build the dissimilarity matrix (``euclidean`` or
+        ``manhattan``, Section 3.3).
+    max_iterations:
+        Cap on assignment/update alternations.
+    n_init:
+        Number of random restarts; the lowest-cost run wins.
+    random_state:
+        Seed / generator for reproducible medoid initialization.
+    precomputed:
+        When ``True`` the input to :meth:`fit` is interpreted as a
+        precomputed dissimilarity matrix rather than raw coordinates.
+    """
+
+    name = "kmedoids"
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        metric: str = "euclidean",
+        max_iterations: int = 300,
+        n_init: int = 5,
+        random_state=None,
+        precomputed: bool = False,
+    ) -> None:
+        self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
+        self.metric = metric
+        self.max_iterations = check_integer_in_range(max_iterations, name="max_iterations", minimum=1)
+        self.n_init = check_integer_in_range(n_init, name="n_init", minimum=1)
+        self.random_state = random_state
+        self.precomputed = bool(precomputed)
+
+    def fit(self, data) -> ClusteringResult:
+        """Run PAM on ``data`` (coordinates or a precomputed dissimilarity matrix)."""
+        if self.precomputed:
+            distances = self._as_array(data)
+            if distances.shape[0] != distances.shape[1]:
+                raise ClusteringError(
+                    f"a precomputed dissimilarity matrix must be square, got {distances.shape}"
+                )
+        else:
+            array = self._as_array(data)
+            distances = pairwise_distances(array, metric=self.metric)
+        n_objects = distances.shape[0]
+        if n_objects < self.n_clusters:
+            raise ClusteringError(
+                f"cannot find {self.n_clusters} cluster(s) among {n_objects} object(s)"
+            )
+        rng = ensure_rng(self.random_state)
+
+        best: ClusteringResult | None = None
+        for _ in range(self.n_init):
+            result = self._single_run(distances, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    def _single_run(self, distances: np.ndarray, rng: np.random.Generator) -> ClusteringResult:
+        n_objects = distances.shape[0]
+        medoids = np.sort(rng.choice(n_objects, size=self.n_clusters, replace=False))
+        labels = distances[:, medoids].argmin(axis=1)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            new_medoids = medoids.copy()
+            for cluster in range(self.n_clusters):
+                members = np.flatnonzero(labels == cluster)
+                if members.size == 0:
+                    # Re-seed an empty cluster at the object farthest from its current medoid.
+                    costs_to_medoid = distances[np.arange(n_objects), medoids[labels]]
+                    new_medoids[cluster] = int(costs_to_medoid.argmax())
+                    continue
+                within = distances[np.ix_(members, members)]
+                new_medoids[cluster] = members[int(within.sum(axis=1).argmin())]
+            new_labels = distances[:, new_medoids].argmin(axis=1)
+            if np.array_equal(new_medoids, medoids) and np.array_equal(new_labels, labels):
+                converged = True
+                break
+            medoids, labels = new_medoids, new_labels
+        cost = float(distances[np.arange(n_objects), medoids[labels]].sum())
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=int(np.unique(labels).size),
+            n_iterations=iteration,
+            inertia=cost,
+            converged=converged,
+            metadata={"medoid_indices": medoids.copy()},
+        )

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: the Rotation-Based Transformation (RBT).
+
+* :mod:`repro.core.rotation` — 2-D rotation matrices (Equation 1) and
+  attribute-pair rotation.
+* :mod:`repro.core.thresholds` — the pairwise-security threshold
+  PST(ρ1, ρ2) of Definition 2.
+* :mod:`repro.core.security_range` — the variance-vs-θ curves of Figures 2
+  and 3 and the *security range* solver (analytic closed form plus numeric
+  cross-check).
+* :mod:`repro.core.pair_selection` — strategies for grouping attributes
+  into pairs (Step 1 of the algorithm in Section 4.3).
+* :mod:`repro.core.rbt` — the RBT algorithm (Definition 3, Section 4.3):
+  :class:`RBT`, its per-pair :class:`RotationRecord` bookkeeping and the
+  :class:`RBTResult` release object.
+"""
+
+from .rotation import (
+    rotation_matrix,
+    rotate_pair,
+    is_rotation_matrix,
+)
+from .thresholds import PairwiseSecurityThreshold
+from .security_range import (
+    VarianceCurves,
+    SecurityRange,
+    variance_difference_curves,
+    compute_variance_curves,
+    solve_security_range,
+)
+from .pair_selection import (
+    PairSelectionStrategy,
+    select_pairs,
+)
+from .rbt import RBT, RotationRecord, RBTResult, rbt_transform
+from .secrets import RBTSecret, RotationStep
+
+__all__ = [
+    "rotation_matrix",
+    "rotate_pair",
+    "is_rotation_matrix",
+    "PairwiseSecurityThreshold",
+    "VarianceCurves",
+    "SecurityRange",
+    "variance_difference_curves",
+    "compute_variance_curves",
+    "solve_security_range",
+    "PairSelectionStrategy",
+    "select_pairs",
+    "RBT",
+    "RotationRecord",
+    "RBTResult",
+    "rbt_transform",
+    "RBTSecret",
+    "RotationStep",
+]

@@ -1,0 +1,193 @@
+"""Attribute-pair selection strategies (Step 1 of the RBT algorithm).
+
+The algorithm distorts ``k = ceil(n / 2)`` attribute pairs.  The paper leaves
+the pairing to the security administrator ("the pairs are not selected
+sequentially — a security administrator could select the pairs of attributes
+in any order of his choice") and notes that when ``n`` is odd the last
+attribute is paired with an attribute that has already been distorted.
+
+Strategies provided:
+
+* ``EXPLICIT`` — the caller supplies the pairs (how the paper's worked
+  example chooses ``[age, heart_rate]`` then ``[weight, age]``).
+* ``INTERLEAVED`` — deterministic non-sequential pairing (first with middle,
+  second with middle+1, ...), the library default.
+* ``SEQUENTIAL`` — adjacent columns paired in order (provided mostly as a
+  baseline for the ablation benchmark).
+* ``RANDOM`` — random pairing drawn from ``random_state``.
+* ``MAX_VARIANCE`` — greedy pairing that maximizes a proxy for the achievable
+  ``Var(A − A')`` (pairs the most- with the least-correlated columns); the
+  paper mentions "we could try all the possible combinations of attribute
+  pairs to maximize the variance" — this strategy is the tractable greedy
+  version of that idea.
+
+Every strategy returns a list of ``(first, second)`` column-name tuples whose
+*first* elements are all distinct and cover all columns; for odd ``n`` the
+final pair reuses an already-distorted column as its second element.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import ensure_rng
+from ..exceptions import PairSelectionError
+
+__all__ = ["PairSelectionStrategy", "select_pairs"]
+
+
+class PairSelectionStrategy(str, Enum):
+    """Available pairing strategies for Step 1 of the RBT algorithm."""
+
+    EXPLICIT = "explicit"
+    INTERLEAVED = "interleaved"
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+    MAX_VARIANCE = "max_variance"
+
+
+def select_pairs(
+    columns: Sequence[str],
+    *,
+    strategy: PairSelectionStrategy | str = PairSelectionStrategy.INTERLEAVED,
+    explicit_pairs: Sequence[tuple[str, str]] | None = None,
+    values: np.ndarray | None = None,
+    random_state=None,
+) -> list[tuple[str, str]]:
+    """Group ``columns`` into rotation pairs according to ``strategy``.
+
+    Parameters
+    ----------
+    columns:
+        The attribute names to distort (at least two).
+    strategy:
+        A :class:`PairSelectionStrategy` or its string value.
+    explicit_pairs:
+        Required when ``strategy`` is ``EXPLICIT``; validated so that every
+        column is distorted at least once, no column is paired with itself,
+        and the second element of a trailing odd pair has already been
+        distorted by an earlier pair.
+    values:
+        Column-value matrix aligned with ``columns``; required by
+        ``MAX_VARIANCE`` (used to compute the correlation structure).
+    random_state:
+        Seed / generator for the ``RANDOM`` strategy.
+
+    Returns
+    -------
+    list of (str, str)
+        One tuple per rotation, in the order they will be applied.
+    """
+    columns = [str(name) for name in columns]
+    if len(columns) < 2:
+        raise PairSelectionError(
+            f"pair selection needs at least two attributes, got {len(columns)}"
+        )
+    if len(set(columns)) != len(columns):
+        raise PairSelectionError(f"attribute names must be unique, got {columns}")
+    strategy = PairSelectionStrategy(strategy)
+
+    if strategy is PairSelectionStrategy.EXPLICIT:
+        if not explicit_pairs:
+            raise PairSelectionError("explicit strategy requires explicit_pairs")
+        return _validate_explicit(columns, explicit_pairs)
+    if strategy is PairSelectionStrategy.SEQUENTIAL:
+        ordered = list(columns)
+    elif strategy is PairSelectionStrategy.INTERLEAVED:
+        ordered = _interleave(columns)
+    elif strategy is PairSelectionStrategy.RANDOM:
+        rng = ensure_rng(random_state)
+        ordered = [columns[index] for index in rng.permutation(len(columns))]
+    elif strategy is PairSelectionStrategy.MAX_VARIANCE:
+        ordered = _max_variance_order(columns, values)
+    else:  # pragma: no cover - exhaustive enum
+        raise PairSelectionError(f"unsupported strategy {strategy}")
+    return _pair_up(ordered)
+
+
+def _interleave(columns: Sequence[str]) -> list[str]:
+    """Order columns so consecutive pairs are (first, middle), (second, middle+1), ..."""
+    half = (len(columns) + 1) // 2
+    first_half, second_half = list(columns[:half]), list(columns[half:])
+    ordered: list[str] = []
+    for index in range(half):
+        ordered.append(first_half[index])
+        if index < len(second_half):
+            ordered.append(second_half[index])
+    return ordered
+
+
+def _max_variance_order(columns: Sequence[str], values: np.ndarray | None) -> list[str]:
+    """Greedy pairing: repeatedly pair the two remaining least-correlated columns.
+
+    Lower |correlation| leaves more of the rotation's energy in the difference
+    ``A − A'``, so the achievable ``Var(A − A')`` is larger; this implements
+    the paper's "maximize the variance between the original and the distorted
+    attributes" remark as a greedy heuristic.
+    """
+    if values is None:
+        raise PairSelectionError("max_variance strategy requires the column values")
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or values.shape[1] != len(columns):
+        raise PairSelectionError(
+            f"values must be a 2-D array with {len(columns)} column(s), got shape {values.shape}"
+        )
+    with np.errstate(invalid="ignore"):
+        correlation = np.corrcoef(values, rowvar=False)
+    correlation = np.nan_to_num(correlation, nan=0.0)
+    remaining = list(range(len(columns)))
+    ordered_indices: list[int] = []
+    while len(remaining) >= 2:
+        best_pair = None
+        best_score = np.inf
+        for position_a, index_a in enumerate(remaining):
+            for index_b in remaining[position_a + 1 :]:
+                score = abs(float(correlation[index_a, index_b]))
+                if score < best_score:
+                    best_score = score
+                    best_pair = (index_a, index_b)
+        assert best_pair is not None
+        ordered_indices.extend(best_pair)
+        remaining = [index for index in remaining if index not in best_pair]
+    ordered_indices.extend(remaining)
+    return [columns[index] for index in ordered_indices]
+
+
+def _pair_up(ordered: list[str]) -> list[tuple[str, str]]:
+    """Turn an ordered column list into pairs, reusing the first column for an odd tail."""
+    pairs = [(ordered[index], ordered[index + 1]) for index in range(0, len(ordered) - 1, 2)]
+    if len(ordered) % 2 == 1:
+        # The last attribute is distorted along with an attribute that has
+        # already been distorted (the paper's rule for odd n).
+        pairs.append((ordered[-1], ordered[0]))
+    return pairs
+
+
+def _validate_explicit(
+    columns: Sequence[str],
+    explicit_pairs: Sequence[tuple[str, str]],
+) -> list[tuple[str, str]]:
+    pairs = [(str(first), str(second)) for first, second in explicit_pairs]
+    known = set(columns)
+    distorted: set[str] = set()
+    for first, second in pairs:
+        if first == second:
+            raise PairSelectionError(f"an attribute cannot be paired with itself: {first!r}")
+        for name in (first, second):
+            if name not in known:
+                raise PairSelectionError(f"pair refers to unknown attribute {name!r}")
+        distorted.update((first, second))
+    missing = known - distorted
+    if missing:
+        raise PairSelectionError(
+            f"every attribute must be distorted at least once; missing: {sorted(missing)}"
+        )
+    expected = (len(columns) + 1) // 2
+    if len(pairs) < expected:
+        raise PairSelectionError(
+            f"{len(columns)} attribute(s) need at least {expected} pair(s), got {len(pairs)}"
+        )
+    return pairs

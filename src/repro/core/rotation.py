@@ -1,0 +1,78 @@
+"""Rotation primitives (Section 3.1, Equation 1).
+
+The paper rotates a pair of attributes by the clockwise rotation matrix
+
+.. math::
+
+    R(\\theta) = \\begin{pmatrix} \\cos\\theta & \\sin\\theta \\\\
+                                 -\\sin\\theta & \\cos\\theta \\end{pmatrix}
+
+applied to the 2-row matrix ``V`` whose first row is attribute ``A_i`` and
+whose second row is attribute ``A_j`` (``V' = R V``).  Angles are expressed
+in **degrees** at the API surface because the paper quotes degrees
+(θ₁ = 312.47°, θ₂ = 147.29°, security ranges in degrees); conversion to
+radians happens internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_vector
+from ..exceptions import ValidationError
+
+__all__ = ["rotation_matrix", "rotate_pair", "is_rotation_matrix"]
+
+
+def rotation_matrix(theta_degrees: float) -> np.ndarray:
+    """Return the 2x2 clockwise rotation matrix of Equation (1) for ``theta_degrees``."""
+    theta = np.deg2rad(float(theta_degrees))
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    return np.array([[cos_t, sin_t], [-sin_t, cos_t]], dtype=float)
+
+
+def rotate_pair(
+    attribute_i,
+    attribute_j,
+    theta_degrees: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rotate the attribute pair ``(A_i, A_j)`` by ``theta_degrees``.
+
+    Implements ``V' = R x V`` with ``V = [A_i; A_j]`` stacked as rows, i.e.::
+
+        A_i' =  cos(θ) A_i + sin(θ) A_j
+        A_j' = -sin(θ) A_i + cos(θ) A_j
+
+    Parameters
+    ----------
+    attribute_i, attribute_j:
+        1-D arrays of equal length holding the two attribute columns.
+    theta_degrees:
+        Rotation angle in degrees (the paper measures θ clockwise).
+
+    Returns
+    -------
+    (ndarray, ndarray)
+        The rotated columns ``(A_i', A_j')``.
+    """
+    attribute_i = as_float_vector(attribute_i, name="attribute_i")
+    attribute_j = as_float_vector(attribute_j, name="attribute_j")
+    if attribute_i.shape != attribute_j.shape:
+        raise ValidationError(
+            "attribute_i and attribute_j must have the same length, "
+            f"got {attribute_i.size} and {attribute_j.size}"
+        )
+    matrix = rotation_matrix(theta_degrees)
+    stacked = np.vstack([attribute_i, attribute_j])
+    rotated = matrix @ stacked
+    return rotated[0], rotated[1]
+
+
+def is_rotation_matrix(matrix, *, atol: float = 1e-10) -> bool:
+    """Whether ``matrix`` is a proper 2-D rotation (orthogonal, determinant +1)."""
+    array = np.asarray(matrix, dtype=float)
+    if array.shape != (2, 2):
+        return False
+    identity_check = np.allclose(array @ array.T, np.eye(2), atol=atol)
+    determinant_check = np.isclose(np.linalg.det(array), 1.0, atol=atol)
+    return bool(identity_check and determinant_check)

@@ -1,0 +1,213 @@
+"""Persistence of the data owner's rotation secrets.
+
+The output of an RBT run has two parts: the released matrix (shared) and the
+rotation bookkeeping — which attribute pairs were rotated, in which order, by
+which angles (kept by the owner).  With the bookkeeping the transformation is
+exactly invertible; without it an attacker faces the computational-work
+argument of Section 5.2.
+
+:class:`RBTSecret` is the owner-side artifact: a compact, JSON-serializable
+record of the pairings and angles (plus the thresholds they satisfied) that
+can be stored in a key vault and applied later to invert a release or to
+re-apply the identical transformation to a new batch of records drawn from
+the same normalized space.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..data import DataMatrix
+from ..exceptions import SerializationError, ValidationError
+from .rbt import RBTResult
+from .rotation import rotation_matrix
+from .thresholds import PairwiseSecurityThreshold
+
+__all__ = ["RotationStep", "RBTSecret"]
+
+#: Format marker written into serialized secrets so future revisions can evolve.
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RotationStep:
+    """One pairwise rotation: the pair of attribute names and the angle used."""
+
+    pair: tuple[str, str]
+    theta_degrees: float
+    threshold: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if len(self.pair) != 2 or self.pair[0] == self.pair[1]:
+            raise ValidationError(f"a rotation step needs two distinct attributes, got {self.pair}")
+        object.__setattr__(self, "pair", (str(self.pair[0]), str(self.pair[1])))
+        object.__setattr__(self, "theta_degrees", float(self.theta_degrees))
+        object.__setattr__(
+            self, "threshold", (float(self.threshold[0]), float(self.threshold[1]))
+        )
+
+
+@dataclass(frozen=True)
+class RBTSecret:
+    """The owner's record of an RBT transformation (pairs, order and angles).
+
+    Examples
+    --------
+    >>> from repro.core import RBT
+    >>> from repro.data.datasets import load_cardiac_normalized
+    >>> result = RBT(thresholds=0.25, random_state=0).transform(load_cardiac_normalized())
+    >>> secret = RBTSecret.from_result(result)
+    >>> restored = secret.invert(result.matrix)
+    >>> bool(abs(restored.values - load_cardiac_normalized().values).max() < 1e-9)
+    True
+    """
+
+    steps: tuple[RotationStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValidationError("an RBT secret must contain at least one rotation step")
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_result(cls, result: RBTResult) -> "RBTSecret":
+        """Extract the secret from an :class:`~repro.core.RBTResult`."""
+        steps = tuple(
+            RotationStep(
+                pair=record.pair,
+                theta_degrees=record.theta_degrees,
+                threshold=record.threshold.as_tuple(),
+            )
+            for record in result.records
+        )
+        return cls(steps)
+
+    @classmethod
+    def from_steps(cls, steps: Sequence[tuple[tuple[str, str], float]]) -> "RBTSecret":
+        """Build a secret from bare ``((name_i, name_j), theta_degrees)`` tuples."""
+        return cls(tuple(RotationStep(pair=pair, theta_degrees=theta) for pair, theta in steps))
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+    def apply(self, matrix: DataMatrix) -> DataMatrix:
+        """Re-apply the recorded rotations (in order) to ``matrix``.
+
+        Useful when new records arrive that were normalized with the same
+        statistics: applying the same secret keeps the new release consistent
+        with the previous one.
+        """
+        return self._run(matrix, inverse=False)
+
+    def invert(self, released: DataMatrix) -> DataMatrix:
+        """Undo the recorded rotations (in reverse order) on a released matrix."""
+        return self._run(released, inverse=True)
+
+    def _run(self, matrix: DataMatrix, *, inverse: bool) -> DataMatrix:
+        if not isinstance(matrix, DataMatrix):
+            raise ValidationError("RBTSecret operates on DataMatrix instances")
+        columns = list(matrix.columns)
+        for step in self.steps:
+            for name in step.pair:
+                if name not in columns:
+                    raise ValidationError(
+                        f"secret refers to attribute {name!r} which is not in the matrix "
+                        f"(columns: {columns})"
+                    )
+        values = matrix.values.copy()
+        ordered = reversed(self.steps) if inverse else self.steps
+        for step in ordered:
+            index_i = columns.index(step.pair[0])
+            index_j = columns.index(step.pair[1])
+            transform = rotation_matrix(step.theta_degrees)
+            if inverse:
+                transform = transform.T
+            stacked = np.vstack([values[:, index_i], values[:, index_j]])
+            rotated = transform @ stacked
+            values[:, index_i] = rotated[0]
+            values[:, index_j] = rotated[1]
+        return matrix.with_values(values)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Return a JSON-serializable representation of the secret."""
+        return {
+            "format": "repro.rbt-secret",
+            "version": _FORMAT_VERSION,
+            "steps": [
+                {
+                    "pair": list(step.pair),
+                    "theta_degrees": step.theta_degrees,
+                    "threshold": list(step.threshold),
+                }
+                for step in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RBTSecret":
+        """Rebuild a secret from :meth:`to_dict` output."""
+        try:
+            if payload.get("format") != "repro.rbt-secret":
+                raise SerializationError("payload is not an RBT secret (missing format marker)")
+            steps = tuple(
+                RotationStep(
+                    pair=tuple(entry["pair"]),
+                    theta_degrees=entry["theta_degrees"],
+                    threshold=tuple(entry.get("threshold", (0.0, 0.0)) or (0.0, 0.0)),
+                )
+                for entry in payload["steps"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed RBT secret payload: {exc}") from exc
+        return cls(steps)
+
+    def save(self, path: str | Path) -> None:
+        """Write the secret to ``path`` as JSON.
+
+        The file grants full inversion capability; store it like a key.
+        """
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RBTSecret":
+        """Read a secret previously written by :meth:`save`."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"cannot read RBT secret from {path}: {exc}") from exc
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        """The rotated attribute pairs, in application order."""
+        return tuple(step.pair for step in self.steps)
+
+    @property
+    def angles_degrees(self) -> tuple[float, ...]:
+        """The rotation angles, in application order."""
+        return tuple(step.theta_degrees for step in self.steps)
+
+    def thresholds(self) -> tuple[PairwiseSecurityThreshold | None, ...]:
+        """The recorded thresholds (``None`` for steps stored without one)."""
+        result: list[PairwiseSecurityThreshold | None] = []
+        for step in self.steps:
+            if step.threshold[0] > 0 and step.threshold[1] > 0:
+                result.append(PairwiseSecurityThreshold(*step.threshold))
+            else:
+                result.append(None)
+        return tuple(result)

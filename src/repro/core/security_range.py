@@ -1,0 +1,303 @@
+"""Variance-vs-θ curves and the *security range* solver (Figures 2 and 3).
+
+For a pair of attribute columns ``A_i``, ``A_j`` rotated by θ the distorted
+columns are ``A_i' = cosθ·A_i + sinθ·A_j`` and ``A_j' = −sinθ·A_i + cosθ·A_j``
+(Equation 1), so the differences are
+
+.. math::
+
+    A_i - A_i' &= (1-\\cos\\theta)\\,A_i - \\sin\\theta\\,A_j \\\\
+    A_j - A_j' &= \\sin\\theta\\,A_i + (1-\\cos\\theta)\\,A_j
+
+and, writing ``σ_i² = Var(A_i)``, ``σ_j² = Var(A_j)`` and
+``σ_ij = Cov(A_i, A_j)`` (sample estimators by default; see ``ddof``),
+
+.. math::
+
+    Var(A_i - A_i') &= (1-\\cos\\theta)^2 σ_i^2 + \\sin^2\\theta\\, σ_j^2
+                      - 2(1-\\cos\\theta)\\sin\\theta\\, σ_{ij} \\\\
+    Var(A_j - A_j') &= \\sin^2\\theta\\, σ_i^2 + (1-\\cos\\theta)^2 σ_j^2
+                      + 2(1-\\cos\\theta)\\sin\\theta\\, σ_{ij}
+
+These closed forms are what :func:`variance_difference_curves` evaluates.
+The **security range** of a pair under a threshold PST(ρ1, ρ2) is the set of
+angles for which both variances clear their thresholds; it is computed on a
+dense θ grid and the interval end points are then sharpened by bisection.
+For the paper's worked example this reproduces the second pair's range
+(118.74°–258.70°) exactly and the first pair's *upper* bound (314.97°)
+exactly; the first pair's printed lower bound (48.03°) is not reproducible
+under any estimator convention we tried — the solver obtains 82.69°, the
+angle at which Var(heart_rate − heart_rate') reaches ρ2 = 0.55 (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_vector, check_integer_in_range, ensure_rng
+from ..exceptions import SecurityRangeError, ValidationError
+from .thresholds import PairwiseSecurityThreshold
+
+__all__ = [
+    "VarianceCurves",
+    "SecurityRange",
+    "variance_difference_curves",
+    "compute_variance_curves",
+    "solve_security_range",
+]
+
+
+def variance_difference_curves(
+    attribute_i,
+    attribute_j,
+    theta_degrees,
+    *,
+    ddof: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``Var(A_i − A_i')`` and ``Var(A_j − A_j')`` at the given angles.
+
+    Parameters
+    ----------
+    attribute_i, attribute_j:
+        The attribute columns (typically already normalized).
+    theta_degrees:
+        Scalar or array of rotation angles in degrees.
+    ddof:
+        Degrees of freedom of the variance estimator (1 = sample, the paper's
+        effective choice; 0 = the population form of Eq. 8).
+
+    Returns
+    -------
+    (ndarray, ndarray)
+        The two variance curves, with the same shape as ``theta_degrees``.
+    """
+    attribute_i = as_float_vector(attribute_i, name="attribute_i")
+    attribute_j = as_float_vector(attribute_j, name="attribute_j")
+    if attribute_i.shape != attribute_j.shape:
+        raise ValidationError(
+            "attribute_i and attribute_j must have the same length, "
+            f"got {attribute_i.size} and {attribute_j.size}"
+        )
+    theta = np.deg2rad(np.asarray(theta_degrees, dtype=float))
+    var_i = float(np.var(attribute_i, ddof=ddof))
+    var_j = float(np.var(attribute_j, ddof=ddof))
+    n = attribute_i.size
+    denominator = n - ddof
+    if denominator <= 0:
+        raise ValidationError("not enough observations for the requested ddof")
+    covariance = float(
+        np.sum((attribute_i - attribute_i.mean()) * (attribute_j - attribute_j.mean())) / denominator
+    )
+
+    one_minus_cos = 1.0 - np.cos(theta)
+    sin_theta = np.sin(theta)
+    curve_i = (
+        one_minus_cos**2 * var_i
+        + sin_theta**2 * var_j
+        - 2.0 * one_minus_cos * sin_theta * covariance
+    )
+    curve_j = (
+        sin_theta**2 * var_i
+        + one_minus_cos**2 * var_j
+        + 2.0 * one_minus_cos * sin_theta * covariance
+    )
+    return curve_i, curve_j
+
+
+@dataclass(frozen=True)
+class VarianceCurves:
+    """The sampled variance-vs-θ curves of a pair (the data behind Figures 2/3)."""
+
+    #: Sampled angles, in degrees.
+    theta_degrees: np.ndarray
+    #: ``Var(A_i − A_i')`` at each sampled angle.
+    variance_i: np.ndarray
+    #: ``Var(A_j − A_j')`` at each sampled angle.
+    variance_j: np.ndarray
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """Return ``(θ, Var_i, Var_j)`` rows — the series a plot of Figure 2/3 would show."""
+        return [
+            (float(theta), float(var_i), float(var_j))
+            for theta, var_i, var_j in zip(self.theta_degrees, self.variance_i, self.variance_j)
+        ]
+
+
+def compute_variance_curves(
+    attribute_i,
+    attribute_j,
+    *,
+    resolution: int = 3600,
+    ddof: int = 1,
+) -> VarianceCurves:
+    """Sample both variance curves on a uniform θ grid over [0°, 360°)."""
+    resolution = check_integer_in_range(resolution, name="resolution", minimum=8)
+    theta = np.linspace(0.0, 360.0, resolution, endpoint=False)
+    curve_i, curve_j = variance_difference_curves(attribute_i, attribute_j, theta, ddof=ddof)
+    return VarianceCurves(theta_degrees=theta, variance_i=curve_i, variance_j=curve_j)
+
+
+@dataclass(frozen=True)
+class SecurityRange:
+    """The set of angles satisfying a pairwise-security threshold.
+
+    The range is stored as a tuple of disjoint ``(start, end)`` intervals in
+    degrees, each inclusive.  For the paper's examples the range is a single
+    interval, but with strongly correlated attributes it can split into
+    several.
+    """
+
+    intervals: tuple[tuple[float, float], ...]
+    threshold: PairwiseSecurityThreshold
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise SecurityRangeError(
+                "the security range is empty: no rotation angle satisfies "
+                f"PST({self.threshold.rho1}, {self.threshold.rho2})"
+            )
+        for start, end in self.intervals:
+            if not (0.0 <= start <= end <= 360.0):
+                raise ValidationError(f"invalid security-range interval ({start}, {end})")
+
+    @property
+    def lower_bound(self) -> float:
+        """Smallest admissible angle (degrees)."""
+        return self.intervals[0][0]
+
+    @property
+    def upper_bound(self) -> float:
+        """Largest admissible angle (degrees)."""
+        return self.intervals[-1][1]
+
+    @property
+    def total_measure(self) -> float:
+        """Total length of the security range in degrees (how much freedom θ has)."""
+        return float(sum(end - start for start, end in self.intervals))
+
+    def contains(self, theta_degrees: float, *, tolerance: float = 1e-9) -> bool:
+        """Whether ``theta_degrees`` (taken modulo 360) lies inside the range."""
+        theta = float(theta_degrees) % 360.0
+        return any(start - tolerance <= theta <= end + tolerance for start, end in self.intervals)
+
+    def sample(self, random_state=None) -> float:
+        """Draw an angle uniformly at random from the security range (Step 2c)."""
+        rng = ensure_rng(random_state)
+        lengths = np.array([end - start for start, end in self.intervals], dtype=float)
+        if np.all(lengths == 0.0):
+            # Degenerate range: every interval is a single angle.
+            index = int(rng.integers(len(self.intervals)))
+            return float(self.intervals[index][0])
+        probabilities = lengths / lengths.sum()
+        index = int(rng.choice(len(self.intervals), p=probabilities))
+        start, end = self.intervals[index]
+        return float(rng.uniform(start, end))
+
+
+def solve_security_range(
+    attribute_i,
+    attribute_j,
+    threshold,
+    *,
+    resolution: int = 7200,
+    refine_iterations: int = 40,
+    ddof: int = 1,
+) -> SecurityRange:
+    """Compute the security range of a pair under ``threshold`` (Step 2b/2c).
+
+    The admissible set ``{θ : Var(A_i−A_i') ≥ ρ1 and Var(A_j−A_j') ≥ ρ2}`` is
+    located on a dense grid of ``resolution`` angles and every interval end
+    point is then refined by bisection (``refine_iterations`` halvings) so the
+    reported bounds are accurate to far below a hundredth of a degree.
+
+    Raises
+    ------
+    SecurityRangeError
+        If no angle satisfies both constraints (the thresholds are too large
+        for this pair).
+    """
+    threshold = PairwiseSecurityThreshold.coerce(threshold)
+    resolution = check_integer_in_range(resolution, name="resolution", minimum=16)
+    refine_iterations = check_integer_in_range(refine_iterations, name="refine_iterations", minimum=0)
+    attribute_i = as_float_vector(attribute_i, name="attribute_i")
+    attribute_j = as_float_vector(attribute_j, name="attribute_j")
+
+    def satisfied(theta_degrees: np.ndarray) -> np.ndarray:
+        curve_i, curve_j = variance_difference_curves(
+            attribute_i, attribute_j, theta_degrees, ddof=ddof
+        )
+        return (curve_i >= threshold.rho1) & (curve_j >= threshold.rho2)
+
+    grid = np.linspace(0.0, 360.0, resolution, endpoint=False)
+    mask = satisfied(grid)
+    if not mask.any():
+        raise SecurityRangeError(
+            "the security range is empty: no rotation angle satisfies "
+            f"PST({threshold.rho1}, {threshold.rho2}) for this attribute pair"
+        )
+
+    intervals = _mask_to_intervals(grid, mask)
+    refined = [
+        _refine_interval(interval, satisfied, step=360.0 / resolution, iterations=refine_iterations)
+        for interval in intervals
+    ]
+    return SecurityRange(intervals=tuple(refined), threshold=threshold)
+
+
+def _mask_to_intervals(grid: np.ndarray, mask: np.ndarray) -> list[tuple[float, float]]:
+    """Convert a boolean mask over the θ grid into contiguous [start, end] intervals."""
+    intervals: list[tuple[float, float]] = []
+    in_run = False
+    run_start = 0.0
+    for theta, ok in zip(grid, mask):
+        if ok and not in_run:
+            in_run = True
+            run_start = float(theta)
+        elif not ok and in_run:
+            in_run = False
+            intervals.append((run_start, float(previous)))
+        previous = theta
+    if in_run:
+        intervals.append((run_start, float(grid[-1])))
+    return intervals
+
+
+def _refine_interval(
+    interval: tuple[float, float],
+    satisfied,
+    *,
+    step: float,
+    iterations: int,
+) -> tuple[float, float]:
+    """Sharpen interval end points by bisection against the ``satisfied`` predicate."""
+    start, end = interval
+
+    def check(theta: float) -> bool:
+        return bool(satisfied(np.array([theta]))[0])
+
+    # Refine the lower bound: search in [start - step, start] for the true boundary.
+    low_outside = start - step
+    if low_outside >= 0.0 and not check(low_outside):
+        lo, hi = low_outside, start
+        for _ in range(iterations):
+            mid = (lo + hi) / 2.0
+            if check(mid):
+                hi = mid
+            else:
+                lo = mid
+        start = hi
+    # Refine the upper bound: search in [end, end + step].
+    high_outside = end + step
+    if high_outside <= 360.0 and not check(high_outside):
+        lo, hi = end, high_outside
+        for _ in range(iterations):
+            mid = (lo + hi) / 2.0
+            if check(mid):
+                lo = mid
+            else:
+                hi = mid
+        end = lo
+    return (float(start), float(end))

@@ -1,0 +1,98 @@
+"""The pairwise-security threshold PST(ρ1, ρ2) of Definition 2.
+
+The security of RBT is quantified per attribute pair: after rotating the
+pair ``(A_i, A_j)`` into ``(A_i', A_j')`` the constraints
+
+.. math::
+
+    Var(A_i - A_i') \\ge \\rho_1  \\quad\\text{and}\\quad  Var(A_j - A_j') \\ge \\rho_2
+
+must hold, with ``ρ1, ρ2 > 0``.  :class:`PairwiseSecurityThreshold` is the
+value object carrying ``(ρ1, ρ2)`` plus the broadcasting helpers the RBT
+algorithm needs (one threshold per pair, or a single threshold reused for
+every pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..exceptions import ThresholdError
+
+__all__ = ["PairwiseSecurityThreshold"]
+
+
+@dataclass(frozen=True)
+class PairwiseSecurityThreshold:
+    """A pairwise-security threshold ``PST(ρ1, ρ2)`` with ``ρ1, ρ2 > 0``.
+
+    Examples
+    --------
+    >>> PairwiseSecurityThreshold(0.30, 0.55)
+    PairwiseSecurityThreshold(rho1=0.3, rho2=0.55)
+    >>> PairwiseSecurityThreshold.coerce((2.30, 2.30))
+    PairwiseSecurityThreshold(rho1=2.3, rho2=2.3)
+    """
+
+    rho1: float
+    rho2: float
+
+    def __post_init__(self) -> None:
+        rho1, rho2 = float(self.rho1), float(self.rho2)
+        if not (rho1 > 0 and rho2 > 0):
+            raise ThresholdError(
+                f"pairwise-security thresholds must be strictly positive, got ({rho1}, {rho2})"
+            )
+        object.__setattr__(self, "rho1", rho1)
+        object.__setattr__(self, "rho2", rho2)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(ρ1, ρ2)``."""
+        return (self.rho1, self.rho2)
+
+    @classmethod
+    def coerce(cls, value) -> "PairwiseSecurityThreshold":
+        """Accept an existing threshold, a (ρ1, ρ2) pair, or a single scalar ρ."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, (int, float)):
+            return cls(float(value), float(value))
+        try:
+            rho1, rho2 = value
+        except (TypeError, ValueError) as exc:
+            raise ThresholdError(
+                "a pairwise-security threshold must be a scalar, a (rho1, rho2) pair "
+                f"or a PairwiseSecurityThreshold, got {value!r}"
+            ) from exc
+        return cls(float(rho1), float(rho2))
+
+    @classmethod
+    def broadcast(
+        cls,
+        thresholds,
+        n_pairs: int,
+    ) -> list["PairwiseSecurityThreshold"]:
+        """Expand ``thresholds`` to exactly ``n_pairs`` threshold objects.
+
+        ``thresholds`` may be a single threshold (scalar, pair or instance) —
+        reused for every pair — or a sequence with one entry per pair.
+        """
+        if n_pairs <= 0:
+            raise ThresholdError(f"n_pairs must be positive, got {n_pairs}")
+        if isinstance(thresholds, (cls, int, float)):
+            single = cls.coerce(thresholds)
+            return [single] * n_pairs
+        thresholds = list(thresholds) if isinstance(thresholds, Iterable) else [thresholds]
+        if len(thresholds) == 2 and all(isinstance(value, (int, float)) for value in thresholds):
+            # A bare (rho1, rho2) pair counts as a single threshold.
+            single = cls.coerce(tuple(thresholds))
+            return [single] * n_pairs
+        coerced = [cls.coerce(value) for value in thresholds]
+        if len(coerced) == 1:
+            return coerced * n_pairs
+        if len(coerced) != n_pairs:
+            raise ThresholdError(
+                f"expected 1 or {n_pairs} pairwise-security threshold(s), got {len(coerced)}"
+            )
+        return coerced

@@ -1,0 +1,42 @@
+"""Data substrate: schemas, data matrices, relational tables, IO and datasets.
+
+The paper operates on *data matrices* (Section 3.2): ``m`` objects described
+by ``n`` numerical attributes, typically extracted from a relational table
+after suppressing identifiers.  This package provides that substrate:
+
+* :class:`Schema` / :class:`ColumnSpec` — typed column declarations.
+* :class:`DataMatrix` — an immutable, named-column numerical matrix.
+* :class:`Table` — a light in-memory relational table (mixed column types,
+  selection, projection, conversion to :class:`DataMatrix`).
+* :mod:`repro.data.io` — CSV / JSON persistence.
+* :mod:`repro.data.datasets` — the paper's cardiac-arrhythmia sample and
+  synthetic dataset generators used by the benchmarks.
+"""
+
+from .schema import ColumnRole, ColumnSpec, Schema
+from .matrix import DataMatrix
+from .table import Table
+from .io import (
+    read_csv,
+    write_csv,
+    read_json,
+    write_json,
+    matrix_from_csv,
+    matrix_to_csv,
+)
+from . import datasets
+
+__all__ = [
+    "ColumnRole",
+    "ColumnSpec",
+    "Schema",
+    "DataMatrix",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "read_json",
+    "write_json",
+    "matrix_from_csv",
+    "matrix_to_csv",
+    "datasets",
+]

@@ -1,0 +1,80 @@
+"""Datasets used by the paper's worked example and by the benchmarks.
+
+* :mod:`repro.data.datasets.cardiac` — the exact 5-record cardiac-arrhythmia
+  sample of Table 1 plus a synthetic arrhythmia-like generator for scale runs.
+* :mod:`repro.data.datasets.synthetic` — synthetic cluster generators
+  (isotropic Gaussian blobs, anisotropic mixtures, concentric rings,
+  uniform noise) used to evaluate clustering quality.
+* :mod:`repro.data.datasets.partitioned` — helpers to split a dataset
+  vertically or horizontally across simulated parties, matching the
+  distributed-PPC comparators.
+"""
+
+from .cardiac import (
+    CARDIAC_SAMPLE_IDS,
+    CARDIAC_SAMPLE_COLUMNS,
+    CARDIAC_SAMPLE_VALUES,
+    CARDIAC_NORMALIZED_VALUES,
+    PAPER_PAIR1,
+    PAPER_PAIR2,
+    PAPER_PST1,
+    PAPER_PST2,
+    PAPER_THETA1_DEGREES,
+    PAPER_THETA2_DEGREES,
+    PAPER_SECURITY_RANGE1_DEGREES,
+    MEASURED_SECURITY_RANGE1_DEGREES,
+    PAPER_SECURITY_RANGE2_DEGREES,
+    PAPER_VARIANCES_PAIR1,
+    PAPER_VARIANCES_PAIR2,
+    PAPER_TRANSFORMED_VALUES,
+    PAPER_TRANSFORMED_COLUMN_VARIANCES,
+    PAPER_DISSIMILARITY_TRANSFORMED,
+    PAPER_DISSIMILARITY_RENORMALIZED,
+    load_cardiac_sample,
+    load_cardiac_sample_table,
+    load_cardiac_normalized,
+    make_synthetic_arrhythmia,
+)
+from .synthetic import (
+    make_blobs,
+    make_anisotropic_blobs,
+    make_rings,
+    make_uniform_noise,
+    make_customer_segments,
+    make_patient_cohorts,
+)
+from .partitioned import split_vertically, split_horizontally
+
+__all__ = [
+    "CARDIAC_SAMPLE_IDS",
+    "CARDIAC_SAMPLE_COLUMNS",
+    "CARDIAC_SAMPLE_VALUES",
+    "CARDIAC_NORMALIZED_VALUES",
+    "PAPER_PAIR1",
+    "PAPER_PAIR2",
+    "PAPER_PST1",
+    "PAPER_PST2",
+    "PAPER_THETA1_DEGREES",
+    "PAPER_THETA2_DEGREES",
+    "PAPER_SECURITY_RANGE1_DEGREES",
+    "MEASURED_SECURITY_RANGE1_DEGREES",
+    "PAPER_SECURITY_RANGE2_DEGREES",
+    "PAPER_VARIANCES_PAIR1",
+    "PAPER_VARIANCES_PAIR2",
+    "PAPER_TRANSFORMED_VALUES",
+    "PAPER_TRANSFORMED_COLUMN_VARIANCES",
+    "PAPER_DISSIMILARITY_TRANSFORMED",
+    "PAPER_DISSIMILARITY_RENORMALIZED",
+    "load_cardiac_sample",
+    "load_cardiac_sample_table",
+    "load_cardiac_normalized",
+    "make_synthetic_arrhythmia",
+    "make_blobs",
+    "make_anisotropic_blobs",
+    "make_rings",
+    "make_uniform_noise",
+    "make_customer_segments",
+    "make_patient_cohorts",
+    "split_vertically",
+    "split_horizontally",
+]

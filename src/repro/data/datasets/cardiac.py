@@ -1,0 +1,262 @@
+"""The cardiac-arrhythmia sample used by the paper's worked example.
+
+The paper draws a 5-record, 3-attribute excerpt from the UCI Cardiac
+Arrhythmia database (Table 1) and walks it through every step of the RBT
+method: z-score normalization (Table 2), rotation with the angles
+θ₁ = 312.47° and θ₂ = 147.29° (Table 3), the resulting dissimilarity matrix
+(Tables 4/6), and the dissimilarity matrix the attacker obtains after
+re-normalizing the released data (Table 5).
+
+Every constant printed in the paper is embedded here verbatim so the
+benchmark harness can compare *paper value vs. measured value* row by row.
+The full 452-record UCI database is not redistributable offline;
+:func:`make_synthetic_arrhythmia` generates an arrhythmia-like dataset with
+the same attribute names and realistic ranges for the scale benchmarks
+(substitution documented in DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_integer_in_range, ensure_rng
+from ..matrix import DataMatrix
+from ..schema import ColumnRole, Schema
+from ..table import Table
+
+__all__ = [
+    "CARDIAC_SAMPLE_IDS",
+    "CARDIAC_SAMPLE_COLUMNS",
+    "CARDIAC_SAMPLE_VALUES",
+    "CARDIAC_NORMALIZED_VALUES",
+    "PAPER_PAIR1",
+    "PAPER_PAIR2",
+    "PAPER_PST1",
+    "PAPER_PST2",
+    "PAPER_THETA1_DEGREES",
+    "PAPER_THETA2_DEGREES",
+    "PAPER_SECURITY_RANGE1_DEGREES",
+    "MEASURED_SECURITY_RANGE1_DEGREES",
+    "PAPER_SECURITY_RANGE2_DEGREES",
+    "PAPER_VARIANCES_PAIR1",
+    "PAPER_VARIANCES_PAIR2",
+    "PAPER_TRANSFORMED_VALUES",
+    "PAPER_TRANSFORMED_COLUMN_VARIANCES",
+    "PAPER_DISSIMILARITY_TRANSFORMED",
+    "PAPER_DISSIMILARITY_RENORMALIZED",
+    "load_cardiac_sample",
+    "load_cardiac_sample_table",
+    "load_cardiac_normalized",
+    "make_synthetic_arrhythmia",
+]
+
+#: Object identifiers of Table 1.
+CARDIAC_SAMPLE_IDS: tuple[int, ...] = (1237, 3420, 2543, 4461, 2863)
+
+#: Attribute names of Table 1 (in paper order).
+CARDIAC_SAMPLE_COLUMNS: tuple[str, ...] = ("age", "weight", "heart_rate")
+
+#: Raw attribute values of Table 1 (age, weight, heart rate).
+CARDIAC_SAMPLE_VALUES: tuple[tuple[float, float, float], ...] = (
+    (75.0, 80.0, 63.0),
+    (56.0, 64.0, 53.0),
+    (40.0, 52.0, 70.0),
+    (28.0, 58.0, 76.0),
+    (44.0, 90.0, 68.0),
+)
+
+#: Z-score-normalized values as printed in Table 2 (sample standard deviation).
+CARDIAC_NORMALIZED_VALUES: tuple[tuple[float, float, float], ...] = (
+    (1.4809, 0.7095, -0.3476),
+    (0.4151, -0.3041, -1.5061),
+    (-0.4824, -1.0642, 0.4634),
+    (-1.1556, -0.6841, 1.1586),
+    (-0.2580, 1.3430, 0.2317),
+)
+
+#: First attribute pair rotated in the worked example: (age, heart_rate).
+PAPER_PAIR1: tuple[str, str] = ("age", "heart_rate")
+
+#: Second attribute pair rotated in the worked example: (weight, age'), where
+#: age' is the already-distorted age column.
+PAPER_PAIR2: tuple[str, str] = ("weight", "age")
+
+#: Pairwise-security threshold for the first pair, PST1 = (0.30, 0.55).
+PAPER_PST1: tuple[float, float] = (0.30, 0.55)
+
+#: Pairwise-security threshold for the second pair, PST2 = (2.30, 2.30).
+PAPER_PST2: tuple[float, float] = (2.30, 2.30)
+
+#: Rotation angle chosen for the first pair in the worked example (degrees).
+PAPER_THETA1_DEGREES: float = 312.47
+
+#: Rotation angle chosen for the second pair in the worked example (degrees).
+PAPER_THETA2_DEGREES: float = 147.29
+
+#: Security range reported for the first pair, in degrees (Figure 2).  The
+#: upper bound reproduces exactly; the printed lower bound does not (the
+#: solver obtains 82.69° — see EXPERIMENTS.md for the discrepancy analysis).
+PAPER_SECURITY_RANGE1_DEGREES: tuple[float, float] = (48.03, 314.97)
+
+#: Security range for the first pair as measured by this reproduction.
+MEASURED_SECURITY_RANGE1_DEGREES: tuple[float, float] = (82.69, 314.97)
+
+#: Security range reported for the second pair, in degrees (Figure 3).
+PAPER_SECURITY_RANGE2_DEGREES: tuple[float, float] = (118.74, 258.70)
+
+#: Variances reported for the first pair at θ₁ = 312.47°:
+#: Var(age − age') = 0.318 and Var(heart_rate − heart_rate') = 0.9805.
+PAPER_VARIANCES_PAIR1: tuple[float, float] = (0.318, 0.9805)
+
+#: Variances reported for the second pair at θ₂ = 147.29°:
+#: Var(weight − weight') = 2.9714 and Var(age − age') = 6.9274.
+PAPER_VARIANCES_PAIR2: tuple[float, float] = (2.9714, 6.9274)
+
+#: The transformed database printed in Table 3 (age', weight', heart_rate').
+PAPER_TRANSFORMED_VALUES: tuple[tuple[float, float, float], ...] = (
+    (-1.4405, 0.0819, 0.8577),
+    (-1.0063, 1.0077, -0.7108),
+    (1.1368, 0.5347, -0.0429),
+    (1.7453, -0.3078, -0.0701),
+    (-0.4353, -1.3165, -0.0339),
+)
+
+#: Column variances of the released data reported in Section 5.2:
+#: [1.9039, 0.7840, 0.3122] for (age', weight', heart_rate').
+PAPER_TRANSFORMED_COLUMN_VARIANCES: tuple[float, float, float] = (1.9039, 0.7840, 0.3122)
+
+#: Lower triangle of the dissimilarity matrix of Table 4 / Table 6 (Euclidean
+#: distances between the transformed objects; identical to the dissimilarity
+#: matrix of the normalized data by Theorem 2).
+PAPER_DISSIMILARITY_TRANSFORMED: tuple[tuple[float, ...], ...] = (
+    (),
+    (1.8723,),
+    (2.7674, 2.2940),
+    (3.3409, 3.1164, 1.0396),
+    (1.9393, 2.4872, 2.4287, 2.4029),
+)
+
+#: Lower triangle of the dissimilarity matrix of Table 5 — the distances the
+#: attacker obtains after z-score re-normalizing the released data.  They no
+#: longer match Table 4, which is what frustrates the inversion attempt.
+PAPER_DISSIMILARITY_RENORMALIZED: tuple[tuple[float, ...], ...] = (
+    (),
+    (3.0121,),
+    (2.5196, 2.0314),
+    (2.8778, 2.7384, 1.0499),
+    (2.3604, 2.9205, 2.3811, 1.9492),
+)
+
+
+def load_cardiac_sample() -> DataMatrix:
+    """Return the raw 5-record sample of Table 1 as a :class:`DataMatrix`."""
+    return DataMatrix(
+        np.asarray(CARDIAC_SAMPLE_VALUES, dtype=float),
+        columns=list(CARDIAC_SAMPLE_COLUMNS),
+        ids=CARDIAC_SAMPLE_IDS,
+    )
+
+
+def load_cardiac_sample_table() -> Table:
+    """Return the Table 1 sample as a relational :class:`Table` with an ID column."""
+    schema = Schema.from_names(
+        ["id", *CARDIAC_SAMPLE_COLUMNS],
+        roles={"id": ColumnRole.IDENTIFIER},
+        default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+    )
+    values = np.asarray(CARDIAC_SAMPLE_VALUES, dtype=float)
+    columns = {
+        "id": list(CARDIAC_SAMPLE_IDS),
+        "age": values[:, 0],
+        "weight": values[:, 1],
+        "heart_rate": values[:, 2],
+    }
+    return Table(schema, columns)
+
+
+def load_cardiac_normalized() -> DataMatrix:
+    """Return the z-score-normalized sample exactly as printed in Table 2.
+
+    The values are the paper's printed 4-decimal figures.  Recomputing the
+    normalization from Table 1 with sample statistics (``ddof=1``) reproduces
+    them to the printed precision (verified in the test suite).
+    """
+    return DataMatrix(
+        np.asarray(CARDIAC_NORMALIZED_VALUES, dtype=float),
+        columns=list(CARDIAC_SAMPLE_COLUMNS),
+        ids=CARDIAC_SAMPLE_IDS,
+    )
+
+
+def make_synthetic_arrhythmia(
+    n_patients: int = 452,
+    *,
+    n_extra_attributes: int = 0,
+    random_state=None,
+) -> DataMatrix:
+    """Generate an arrhythmia-like dataset with realistic attribute ranges.
+
+    The UCI Cardiac Arrhythmia database is not redistributable offline, so
+    scale benchmarks use this synthetic stand-in.  Patients are drawn from
+    three latent cohorts (healthy, tachycardic, bradycardic) whose ``age``,
+    ``weight`` and ``heart_rate`` marginals bracket the values of Table 1;
+    ``n_extra_attributes`` appends additional correlated vitals so the
+    attribute-count axis of the Theorem 1 scaling bench can be exercised.
+
+    Parameters
+    ----------
+    n_patients:
+        Number of synthetic records (default matches the UCI row count).
+    n_extra_attributes:
+        Number of extra numeric attributes beyond the three of Table 1.
+    random_state:
+        Seed / generator for reproducibility.
+
+    Returns
+    -------
+    DataMatrix
+        Matrix with columns ``age, weight, heart_rate[, v0, v1, ...]`` and
+        integer patient identifiers.
+    """
+    n_patients = check_integer_in_range(n_patients, name="n_patients", minimum=2)
+    n_extra_attributes = check_integer_in_range(
+        n_extra_attributes, name="n_extra_attributes", minimum=0
+    )
+    rng = ensure_rng(random_state)
+
+    cohort_specs = [
+        # (weight of cohort, mean [age, weight, heart_rate], std [age, weight, heart_rate])
+        (0.5, np.array([45.0, 70.0, 72.0]), np.array([12.0, 12.0, 8.0])),
+        (0.3, np.array([60.0, 82.0, 95.0]), np.array([10.0, 14.0, 10.0])),
+        (0.2, np.array([35.0, 62.0, 52.0]), np.array([9.0, 10.0, 6.0])),
+    ]
+    weights = np.array([spec[0] for spec in cohort_specs])
+    cohorts = rng.choice(len(cohort_specs), size=n_patients, p=weights / weights.sum())
+
+    base = np.empty((n_patients, 3), dtype=float)
+    for cohort_index, (_, mean, std) in enumerate(cohort_specs):
+        mask = cohorts == cohort_index
+        count = int(mask.sum())
+        if count:
+            base[mask] = rng.normal(loc=mean, scale=std, size=(count, 3))
+    # Clip to physiologically plausible ranges.
+    base[:, 0] = np.clip(base[:, 0], 1.0, 100.0)
+    base[:, 1] = np.clip(base[:, 1], 30.0, 160.0)
+    base[:, 2] = np.clip(base[:, 2], 35.0, 180.0)
+
+    columns = ["age", "weight", "heart_rate"]
+    if n_extra_attributes:
+        extra = np.empty((n_patients, n_extra_attributes), dtype=float)
+        for attribute_index in range(n_extra_attributes):
+            # Each extra vital is a noisy linear mix of the base vitals so the
+            # synthetic data keeps correlated structure rather than pure noise.
+            mix = rng.normal(size=3)
+            noise = rng.normal(scale=5.0, size=n_patients)
+            extra[:, attribute_index] = base @ mix + noise
+            columns.append(f"v{attribute_index}")
+        values = np.hstack([base, extra])
+    else:
+        values = base
+
+    ids = tuple(1000 + index for index in range(n_patients))
+    return DataMatrix(values, columns=columns, ids=ids)

@@ -1,0 +1,84 @@
+"""Helpers that split a dataset across simulated parties.
+
+The related work the paper positions against operates on *partitioned* data:
+vertically partitioned (different attributes of the same objects at different
+sites, Vaidya & Clifton) and horizontally partitioned (different objects with
+the same schema at different sites, Meregu & Ghosh).  These helpers produce
+such partitions from a single :class:`~repro.data.DataMatrix` so the
+distributed comparators in :mod:`repro.distributed` can be driven from the
+same synthetic workloads as the RBT experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_integer_in_range, ensure_rng
+from ...exceptions import DatasetError
+from ..matrix import DataMatrix
+
+__all__ = ["split_vertically", "split_horizontally"]
+
+
+def split_vertically(
+    matrix: DataMatrix,
+    n_parties: int,
+    *,
+    random_state=None,
+) -> list[DataMatrix]:
+    """Split the attributes of ``matrix`` across ``n_parties`` sites.
+
+    Every party receives the same objects (in the same order, so they can be
+    joined on position or on the shared ids) but a disjoint, non-empty subset
+    of the attributes.  The attribute-to-party assignment is round-robin over
+    a random permutation when ``random_state`` is given, or over the original
+    column order otherwise.
+    """
+    n_parties = check_integer_in_range(n_parties, name="n_parties", minimum=1)
+    if n_parties > matrix.n_attributes:
+        raise DatasetError(
+            f"cannot split {matrix.n_attributes} attribute(s) across {n_parties} parties; "
+            "every party needs at least one attribute"
+        )
+    columns = list(matrix.columns)
+    if random_state is not None:
+        rng = ensure_rng(random_state)
+        columns = [columns[index] for index in rng.permutation(len(columns))]
+    partitions: list[list[str]] = [[] for _ in range(n_parties)]
+    for position, column in enumerate(columns):
+        partitions[position % n_parties].append(column)
+    return [matrix.select(party_columns) for party_columns in partitions]
+
+
+def split_horizontally(
+    matrix: DataMatrix,
+    n_parties: int,
+    *,
+    labels: np.ndarray | None = None,
+    random_state=None,
+) -> list[DataMatrix] | tuple[list[DataMatrix], list[np.ndarray]]:
+    """Split the objects of ``matrix`` across ``n_parties`` sites.
+
+    Every party receives the full schema but a disjoint subset of objects.
+    When ground-truth ``labels`` are supplied they are split consistently and
+    returned alongside the per-party matrices.
+    """
+    n_parties = check_integer_in_range(n_parties, name="n_parties", minimum=1)
+    if n_parties > matrix.n_objects:
+        raise DatasetError(
+            f"cannot split {matrix.n_objects} object(s) across {n_parties} parties; "
+            "every party needs at least one object"
+        )
+    rng = ensure_rng(random_state)
+    order = rng.permutation(matrix.n_objects)
+    chunks = np.array_split(order, n_parties)
+    parts = [matrix.rows(chunk.tolist()) for chunk in chunks]
+    if labels is None:
+        return parts
+    labels = np.asarray(labels)
+    if labels.shape[0] != matrix.n_objects:
+        raise DatasetError(
+            f"labels must have one entry per object ({matrix.n_objects}), got {labels.shape[0]}"
+        )
+    label_parts = [labels[chunk] for chunk in chunks]
+    return parts, label_parts

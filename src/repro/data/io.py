@@ -1,0 +1,219 @@
+"""CSV / JSON persistence for tables and data matrices.
+
+The data owner in the paper's scenarios *releases* a transformed database to
+a third party.  These helpers provide the serialization layer for that
+release: plain CSV and JSON, with the schema stored alongside the values so a
+:class:`~repro.data.Table` round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from .matrix import DataMatrix
+from .schema import ColumnRole, Schema
+from .table import Table
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "write_json",
+    "read_json",
+    "matrix_to_csv",
+    "matrix_from_csv",
+]
+
+
+def write_csv(table: Table, path: str | Path, *, include_header: bool = True) -> None:
+    """Write ``table`` to ``path`` as CSV (schema roles are not persisted)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        if include_header:
+            writer.writerow(table.column_names)
+        for record in table.iter_rows():
+            writer.writerow([record[name] for name in table.column_names])
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    schema: Schema | None = None,
+    numeric_columns: Sequence[str] | None = None,
+    identifier_columns: Sequence[str] | None = None,
+) -> Table:
+    """Read a CSV file into a :class:`Table`.
+
+    When no explicit ``schema`` is supplied, column roles are inferred:
+    columns listed in ``identifier_columns`` become identifiers, columns in
+    ``numeric_columns`` (or columns whose every value parses as a float)
+    become confidential numerics, and everything else becomes categorical.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise SerializationError(f"CSV file {path} is empty")
+    header, *data_rows = rows
+    if not data_rows:
+        raise SerializationError(f"CSV file {path} has a header but no data rows")
+
+    columns: dict[str, list[str]] = {name: [] for name in header}
+    for row in data_rows:
+        if len(row) != len(header):
+            raise SerializationError(
+                f"CSV row has {len(row)} field(s) but the header declares {len(header)}"
+            )
+        for name, value in zip(header, row):
+            columns[name].append(value)
+
+    if schema is None:
+        identifier_columns = set(identifier_columns or [])
+        numeric_columns_set = set(numeric_columns) if numeric_columns is not None else None
+        roles: dict[str, ColumnRole] = {}
+        for name in header:
+            if name in identifier_columns:
+                roles[name] = ColumnRole.IDENTIFIER
+            elif numeric_columns_set is not None:
+                roles[name] = (
+                    ColumnRole.CONFIDENTIAL_NUMERIC
+                    if name in numeric_columns_set
+                    else ColumnRole.CATEGORICAL
+                )
+            else:
+                roles[name] = (
+                    ColumnRole.CONFIDENTIAL_NUMERIC
+                    if _all_parse_as_float(columns[name])
+                    else ColumnRole.CATEGORICAL
+                )
+        schema = Schema.from_names(header, roles=roles)
+
+    typed: dict[str, list] = {}
+    for spec in schema:
+        raw = columns.get(spec.name)
+        if raw is None:
+            raise SerializationError(f"schema column {spec.name!r} not present in CSV header")
+        if spec.role.is_numeric:
+            try:
+                typed[spec.name] = [float(value) for value in raw]
+            except ValueError as exc:
+                raise SerializationError(
+                    f"column {spec.name!r} is declared numeric but contains {exc}"
+                ) from exc
+        else:
+            typed[spec.name] = list(raw)
+    return Table(schema, typed)
+
+
+def _all_parse_as_float(values: Sequence[str]) -> bool:
+    """Whether every string in ``values`` parses as a finite float."""
+    for value in values:
+        try:
+            parsed = float(value)
+        except ValueError:
+            return False
+        if not np.isfinite(parsed):
+            return False
+    return True
+
+
+def write_json(table: Table, path: str | Path) -> None:
+    """Write ``table`` (values and schema roles) to ``path`` as JSON."""
+    path = Path(path)
+    payload = {
+        "schema": [
+            {"name": spec.name, "role": spec.role.value, "description": spec.description}
+            for spec in table.schema
+        ],
+        "records": [
+            {name: _to_jsonable(value) for name, value in record.items()}
+            for record in table.iter_rows()
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def read_json(path: str | Path) -> Table:
+    """Read a table previously written by :func:`write_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"file {path} is not valid JSON: {exc}") from exc
+    if "schema" not in payload or "records" not in payload:
+        raise SerializationError(f"file {path} is missing the 'schema' or 'records' key")
+    try:
+        schema = Schema(
+            tuple(
+                _spec_from_payload(entry)
+                for entry in payload["schema"]
+            )
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid schema payload in {path}: {exc}") from exc
+    return Table.from_records(payload["records"], schema=schema)
+
+
+def _spec_from_payload(entry: dict):
+    from .schema import ColumnSpec
+
+    return ColumnSpec(entry["name"], ColumnRole(entry["role"]), entry.get("description", ""))
+
+
+def _to_jsonable(value):
+    """Convert numpy scalars to plain Python scalars for JSON output."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def matrix_to_csv(matrix: DataMatrix, path: str | Path, *, float_format: str = "%.6f") -> None:
+    """Write a :class:`DataMatrix` to CSV (ids first when present)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        header = (["id"] if matrix.ids is not None else []) + list(matrix.columns)
+        writer.writerow(header)
+        for row_index in range(matrix.n_objects):
+            row = []
+            if matrix.ids is not None:
+                row.append(matrix.ids[row_index])
+            row.extend(float_format % value for value in matrix.values[row_index])
+            writer.writerow(row)
+
+
+def matrix_from_csv(path: str | Path, *, id_column: str | None = "id") -> DataMatrix:
+    """Read a :class:`DataMatrix` written by :func:`matrix_to_csv`."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if len(rows) < 2:
+        raise SerializationError(f"CSV file {path} does not contain a header and data rows")
+    header, *data_rows = rows
+    has_ids = id_column is not None and header and header[0] == id_column
+    value_columns = header[1:] if has_ids else header
+    ids: list[str] | None = [] if has_ids else None
+    values: list[list[float]] = []
+    for row in data_rows:
+        if len(row) != len(header):
+            raise SerializationError(
+                f"CSV row has {len(row)} field(s) but the header declares {len(header)}"
+            )
+        if has_ids:
+            ids.append(row[0])  # type: ignore[union-attr]
+            payload = row[1:]
+        else:
+            payload = row
+        try:
+            values.append([float(value) for value in payload])
+        except ValueError as exc:
+            raise SerializationError(f"non-numeric value in matrix CSV {path}: {exc}") from exc
+    return DataMatrix(values, columns=value_columns, ids=ids)

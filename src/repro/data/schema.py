@@ -1,0 +1,184 @@
+"""Column schemas for relational tables and data matrices.
+
+The paper distinguishes three kinds of attributes in a record (Section 4.1):
+
+* *identifiers* (name, address, phone, ID) — suppressed before release;
+* *confidential numerical attributes* — normalized and distorted by RBT;
+* other attributes that are simply not subjected to clustering.
+
+:class:`ColumnRole` captures that distinction, and :class:`Schema` groups a
+set of :class:`ColumnSpec` declarations so pre-processing steps can decide
+what to suppress, normalize and rotate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Sequence
+
+from ..exceptions import SchemaError
+
+__all__ = ["ColumnRole", "ColumnSpec", "Schema"]
+
+
+class ColumnRole(str, Enum):
+    """Semantic role of a column with respect to privacy-preserving clustering."""
+
+    #: Direct or quasi identifier (name, address, record ID, ...); suppressed on release.
+    IDENTIFIER = "identifier"
+    #: Confidential numerical attribute that participates in clustering and must be distorted.
+    CONFIDENTIAL_NUMERIC = "confidential_numeric"
+    #: Numerical attribute used for clustering but not considered sensitive.
+    NUMERIC = "numeric"
+    #: Categorical attribute kept for bookkeeping; never clustered by the paper's method.
+    CATEGORICAL = "categorical"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this role are treated as real numbers."""
+        return self in (ColumnRole.CONFIDENTIAL_NUMERIC, ColumnRole.NUMERIC)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Declaration of a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within a :class:`Schema`.
+    role:
+        Semantic :class:`ColumnRole`.
+    description:
+        Optional free-text description (unit, provenance).
+    """
+
+    name: str
+    role: ColumnRole = ColumnRole.NUMERIC
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("column name must be a non-empty string")
+        if not isinstance(self.role, ColumnRole):
+            object.__setattr__(self, "role", ColumnRole(self.role))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`ColumnSpec` declarations.
+
+    Examples
+    --------
+    >>> schema = Schema.from_names(
+    ...     ["id", "age", "weight"],
+    ...     roles={"id": ColumnRole.IDENTIFIER},
+    ...     default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+    ... )
+    >>> schema.identifier_names()
+    ['id']
+    >>> schema.confidential_names()
+    ['age', 'weight']
+    """
+
+    columns: tuple[ColumnSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column name(s) in schema: {sorted(duplicates)}")
+        object.__setattr__(self, "columns", tuple(self.columns))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str],
+        *,
+        roles: dict[str, ColumnRole] | None = None,
+        default_role: ColumnRole = ColumnRole.NUMERIC,
+    ) -> "Schema":
+        """Build a schema from column names with an optional per-name role override."""
+        roles = roles or {}
+        unknown = set(roles) - set(names)
+        if unknown:
+            raise SchemaError(f"role overrides refer to unknown column(s): {sorted(unknown)}")
+        specs = [ColumnSpec(name, roles.get(name, default_role)) for name in names]
+        return cls(tuple(specs))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> list[str]:
+        """All column names, in declaration order."""
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(name)
+
+    def role_of(self, name: str) -> ColumnRole:
+        """Return the role declared for column ``name``."""
+        return self[name].role
+
+    def names_with_role(self, role: ColumnRole) -> list[str]:
+        """Return the names of every column declared with ``role``."""
+        return [column.name for column in self.columns if column.role == role]
+
+    def identifier_names(self) -> list[str]:
+        """Names of identifier columns (to be suppressed before release)."""
+        return self.names_with_role(ColumnRole.IDENTIFIER)
+
+    def confidential_names(self) -> list[str]:
+        """Names of confidential numerical columns (to be distorted by RBT)."""
+        return self.names_with_role(ColumnRole.CONFIDENTIAL_NUMERIC)
+
+    def numeric_names(self) -> list[str]:
+        """Names of every numeric column (confidential or not)."""
+        return [column.name for column in self.columns if column.role.is_numeric]
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def select(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (kept in the given order)."""
+        specs = []
+        for name in names:
+            if name not in self:
+                raise SchemaError(f"cannot select unknown column {name!r}")
+            specs.append(self[name])
+        return Schema(tuple(specs))
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema without the columns in ``names``."""
+        to_drop = set(names)
+        unknown = to_drop - set(self.names)
+        if unknown:
+            raise SchemaError(f"cannot drop unknown column(s): {sorted(unknown)}")
+        return Schema(tuple(column for column in self.columns if column.name not in to_drop))
+
+    def with_role(self, name: str, role: ColumnRole) -> "Schema":
+        """Return a new schema where column ``name`` has role ``role``."""
+        if name not in self:
+            raise SchemaError(f"cannot re-role unknown column {name!r}")
+        specs = [
+            ColumnSpec(column.name, role, column.description) if column.name == name else column
+            for column in self.columns
+        ]
+        return Schema(tuple(specs))

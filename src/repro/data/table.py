@@ -1,0 +1,247 @@
+"""A light in-memory relational table with mixed column types.
+
+The paper's motivating scenarios start from relational records (patient
+records, customer records) containing identifiers, categorical fields and
+confidential numerical attributes.  :class:`Table` models that starting
+point: it stores heterogeneous columns under a :class:`~repro.data.Schema`,
+supports selection / projection / filtering, and can be lowered to the purely
+numerical :class:`~repro.data.DataMatrix` that the RBT method operates on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import SchemaError, ValidationError
+from .matrix import DataMatrix
+from .schema import ColumnRole, Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An in-memory relational table with a typed :class:`Schema`.
+
+    Parameters
+    ----------
+    schema:
+        Column declarations.  Numeric roles are stored as float arrays,
+        identifier / categorical roles as object arrays.
+    columns:
+        Mapping from column name to a sequence of values.  Every column must
+        appear in the schema and have the same length.
+
+    Examples
+    --------
+    >>> schema = Schema.from_names(
+    ...     ["id", "age"],
+    ...     roles={"id": ColumnRole.IDENTIFIER},
+    ...     default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+    ... )
+    >>> table = Table(schema, {"id": [1, 2], "age": [30.0, 40.0]})
+    >>> table.n_rows
+    2
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence]) -> None:
+        if set(columns.keys()) != set(schema.names):
+            raise SchemaError(
+                "table columns must match the schema exactly; "
+                f"schema={sorted(schema.names)}, provided={sorted(columns.keys())}"
+            )
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"all columns must have the same length, got {lengths}")
+        self._schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        for spec in schema:
+            raw = columns[spec.name]
+            if spec.role.is_numeric:
+                try:
+                    array = np.asarray(raw, dtype=float)
+                except (TypeError, ValueError) as exc:
+                    raise SchemaError(
+                        f"column {spec.name!r} is declared numeric but holds non-numeric values"
+                    ) from exc
+                if array.size and not np.all(np.isfinite(array)):
+                    raise SchemaError(f"numeric column {spec.name!r} contains NaN or inf")
+            else:
+                array = np.asarray(raw, dtype=object)
+            self._columns[spec.name] = array
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        """The table's column declarations."""
+        return self._schema
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in schema order."""
+        return self._schema.names
+
+    @property
+    def n_rows(self) -> int:
+        """Number of records in the table."""
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns in the table."""
+        return len(self._schema)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - repr is cosmetic
+        return f"Table(n_rows={self.n_rows}, columns={self.column_names})"
+
+    def column(self, name: str) -> np.ndarray:
+        """Return a copy of column ``name``."""
+        if name not in self._columns:
+            raise KeyError(f"unknown column {name!r}; available: {self.column_names}")
+        return self._columns[name].copy()
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return record ``index`` as a dictionary."""
+        if not 0 <= index < self.n_rows:
+            raise ValidationError(f"row index {index} out of range for table of {self.n_rows} rows")
+        return {name: self._columns[name][index] for name in self.column_names}
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        """Iterate over records as dictionaries."""
+        for index in range(self.n_rows):
+            yield self.row(index)
+
+    # ------------------------------------------------------------------ #
+    # Relational operations
+    # ------------------------------------------------------------------ #
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        """Projection: keep only the columns in ``names``."""
+        schema = self._schema.select(names)
+        return Table(schema, {name: self._columns[name] for name in names})
+
+    def drop_columns(self, names: Iterable[str]) -> "Table":
+        """Projection: drop the columns in ``names``."""
+        schema = self._schema.drop(names)
+        return Table(schema, {name: self._columns[name] for name in schema.names})
+
+    def filter_rows(self, predicate: Callable[[dict[str, object]], bool]) -> "Table":
+        """Selection: keep only rows for which ``predicate(record)`` is true."""
+        keep = [index for index, record in enumerate(self.iter_rows()) if predicate(record)]
+        return self.take_rows(keep)
+
+    def take_rows(self, indices: Sequence[int]) -> "Table":
+        """Return a table with the rows at ``indices`` in the given order."""
+        indices = list(indices)
+        for index in indices:
+            if not 0 <= index < self.n_rows:
+                raise ValidationError(f"row index {index} out of range")
+        columns = {name: self._columns[name][indices] for name in self.column_names}
+        return Table(self._schema, columns)
+
+    def head(self, count: int = 5) -> "Table":
+        """Return the first ``count`` rows."""
+        return self.take_rows(range(min(count, self.n_rows)))
+
+    def suppress_identifiers(self) -> "Table":
+        """Drop every column whose role is :attr:`ColumnRole.IDENTIFIER`.
+
+        This is the "Suppressing Identifiers" pre-processing step of
+        Section 4.1 and the "Data Anonymization" step of Section 5.3.
+        """
+        identifiers = self._schema.identifier_names()
+        if not identifiers:
+            return self
+        return self.drop_columns(identifiers)
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def to_matrix(
+        self,
+        columns: Sequence[str] | None = None,
+        *,
+        id_column: str | None = None,
+    ) -> DataMatrix:
+        """Lower the table to a numerical :class:`DataMatrix`.
+
+        Parameters
+        ----------
+        columns:
+            Numeric columns to include.  Defaults to every numeric column in
+            the schema (confidential first, in schema order).
+        id_column:
+            Optional identifier column whose values become the matrix ``ids``.
+        """
+        if columns is None:
+            columns = self._schema.numeric_names()
+        if not columns:
+            raise SchemaError("table has no numeric columns to convert to a DataMatrix")
+        for name in columns:
+            if name not in self._schema:
+                raise SchemaError(f"unknown column {name!r}")
+            if not self._schema.role_of(name).is_numeric:
+                raise SchemaError(f"column {name!r} is not numeric and cannot enter a DataMatrix")
+        values = np.column_stack([self._columns[name].astype(float) for name in columns])
+        ids = None
+        if id_column is not None:
+            if id_column not in self._schema:
+                raise SchemaError(f"unknown id column {id_column!r}")
+            ids = list(self._columns[id_column])
+        return DataMatrix(values, columns=list(columns), ids=ids)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Return the table as a list of dictionaries."""
+        return list(self.iter_rows())
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Mapping[str, object]],
+        schema: Schema | None = None,
+        *,
+        default_role: ColumnRole = ColumnRole.NUMERIC,
+        roles: Mapping[str, ColumnRole] | None = None,
+    ) -> "Table":
+        """Build a table from a sequence of record dictionaries.
+
+        When no ``schema`` is given, one is inferred from the first record:
+        every key becomes a column with ``default_role`` unless overridden in
+        ``roles``.
+        """
+        if not records:
+            raise ValidationError("records must not be empty")
+        names = list(records[0].keys())
+        if schema is None:
+            schema = Schema.from_names(names, roles=dict(roles or {}), default_role=default_role)
+        columns: dict[str, list] = {name: [] for name in schema.names}
+        for record in records:
+            for name in schema.names:
+                if name not in record:
+                    raise ValidationError(f"record is missing column {name!r}")
+                columns[name].append(record[name])
+        return cls(schema, columns)
+
+    def with_matrix_values(self, matrix: DataMatrix) -> "Table":
+        """Return a table where the columns named in ``matrix`` are replaced by its values.
+
+        Used to fold a transformed (e.g. RBT-rotated) matrix back into the
+        original relational context for release.
+        """
+        if matrix.n_objects != self.n_rows:
+            raise ValidationError(
+                f"matrix has {matrix.n_objects} object(s) but the table has {self.n_rows} row(s)"
+            )
+        columns = {name: self._columns[name].copy() for name in self.column_names}
+        for name in matrix.columns:
+            if name not in self._schema:
+                raise SchemaError(f"matrix column {name!r} does not exist in the table")
+            columns[name] = matrix.column(name)
+        return Table(self._schema, columns)

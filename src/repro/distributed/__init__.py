@@ -1,0 +1,36 @@
+"""Distributed privacy-preserving clustering comparators (related work).
+
+The paper positions RBT against two distributed approaches:
+
+* **Vertically partitioned k-means** (Vaidya & Clifton [13]): different
+  sites hold different attributes of the same objects; a secure protocol
+  lets them run k-means such that each site learns only the cluster of each
+  entity, nothing about the other sites' attributes.
+  :class:`VerticallyPartitionedKMeans` simulates that protocol over
+  in-process :class:`Party` objects with a secure-sum primitive and records
+  the number of messages exchanged (the communication cost the paper
+  mentions).
+* **Generative-model distributed clustering** (Meregu & Ghosh [7]): each
+  site fits a local generative model (here, a Gaussian mixture via EM) and
+  transmits only the model parameters; the central site samples artificial
+  data from the combined model and clusters it.
+  :class:`GenerativeModelClustering` implements that flow.
+
+Neither system is RBT — they solve the *partitioned-data* PPC problem while
+RBT solves the *centralized-data* one — but having them executable lets the
+benchmark ``bench_distributed_comparators`` reproduce the qualitative
+comparison (clustering quality, what each party learns, communication cost).
+"""
+
+from .parties import Party, SecureSumProtocol, MessageLog
+from .vertical_kmeans import VerticallyPartitionedKMeans
+from .generative import GaussianMixtureModel, GenerativeModelClustering
+
+__all__ = [
+    "Party",
+    "SecureSumProtocol",
+    "MessageLog",
+    "VerticallyPartitionedKMeans",
+    "GaussianMixtureModel",
+    "GenerativeModelClustering",
+]

@@ -1,0 +1,261 @@
+"""Generative-model distributed clustering ([7], simplified).
+
+Meregu & Ghosh's approach to privacy-preserving *distributed* clustering
+shares no data at all: every site fits a generative model to its local
+(horizontal) partition and transmits only the model parameters; the central
+site combines the models, draws artificial samples from the combined model,
+clusters the artificial data, and the resulting "mean model" represents all
+sites.  Privacy loss is controlled by the expressiveness of the local models;
+communication cost is the size of the parameters.
+
+This module provides:
+
+* :class:`GaussianMixtureModel` — a small diagonal-covariance Gaussian
+  mixture fitted by EM (the local generative model).
+* :class:`GenerativeModelClustering` — the end-to-end protocol: fit local
+  mixtures, ship parameters, sample artificial data centrally (the
+  MCMC-sampling step of the paper is replaced by direct ancestral sampling
+  from the fitted mixtures, which exercises the same information flow),
+  cluster the artificial sample with k-means, and classify every real object
+  at its own site using the central centroids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_integer_in_range, check_positive, ensure_rng
+from ..clustering import KMeans
+from ..clustering.base import ClusteringResult
+from ..data import DataMatrix
+from ..exceptions import ConvergenceError, ProtocolError
+from .parties import MessageLog
+
+__all__ = ["GaussianMixtureModel", "GenerativeModelClustering"]
+
+
+@dataclass
+class GaussianMixtureModel:
+    """A diagonal-covariance Gaussian mixture fitted with EM.
+
+    Parameters
+    ----------
+    n_components:
+        Number of mixture components.
+    max_iterations:
+        EM iteration cap.
+    tolerance:
+        Convergence threshold on the average log-likelihood improvement.
+    regularization:
+        Value added to variances to keep them positive.
+    random_state:
+        Seed / generator for initialization and sampling.
+    """
+
+    n_components: int = 3
+    max_iterations: int = 200
+    tolerance: float = 1e-6
+    regularization: float = 1e-6
+    random_state: object = None
+
+    def __post_init__(self) -> None:
+        self.n_components = check_integer_in_range(self.n_components, name="n_components", minimum=1)
+        self.max_iterations = check_integer_in_range(self.max_iterations, name="max_iterations", minimum=1)
+        self.tolerance = check_positive(self.tolerance, name="tolerance")
+        self.regularization = check_positive(self.regularization, name="regularization")
+        self.weights_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting (EM)
+    # ------------------------------------------------------------------ #
+    def fit(self, values: np.ndarray) -> "GaussianMixtureModel":
+        """Fit the mixture to ``values`` (an ``(m, n)`` array) and return ``self``."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[0] < self.n_components:
+            raise ProtocolError(
+                f"need at least {self.n_components} rows to fit a {self.n_components}-component mixture"
+            )
+        rng = ensure_rng(self.random_state)
+        n_objects, n_attributes = values.shape
+
+        # Initialize means on random distinct points, variances on the global variance.
+        indices = rng.choice(n_objects, size=self.n_components, replace=False)
+        means = values[indices].copy()
+        variances = np.tile(values.var(axis=0) + self.regularization, (self.n_components, 1))
+        weights = np.full(self.n_components, 1.0 / self.n_components)
+
+        previous_log_likelihood = -np.inf
+        for _ in range(self.max_iterations):
+            # E-step: responsibilities.
+            log_probabilities = self._log_component_densities(values, means, variances, weights)
+            log_norm = _logsumexp(log_probabilities, axis=1)
+            responsibilities = np.exp(log_probabilities - log_norm[:, None])
+            log_likelihood = float(log_norm.mean())
+
+            # M-step.
+            component_mass = responsibilities.sum(axis=0) + 1e-12
+            weights = component_mass / n_objects
+            means = (responsibilities.T @ values) / component_mass[:, None]
+            variances = (
+                responsibilities.T @ (values**2)
+            ) / component_mass[:, None] - means**2
+            variances = np.maximum(variances, self.regularization)
+
+            if abs(log_likelihood - previous_log_likelihood) < self.tolerance:
+                break
+            previous_log_likelihood = log_likelihood
+
+        self.weights_ = weights
+        self.means_ = means
+        self.variances_ = variances
+        return self
+
+    @staticmethod
+    def _log_component_densities(values, means, variances, weights) -> np.ndarray:
+        n_attributes = values.shape[1]
+        log_probabilities = np.empty((values.shape[0], means.shape[0]))
+        for component in range(means.shape[0]):
+            diff = values - means[component]
+            log_det = float(np.sum(np.log(variances[component])))
+            mahalanobis = np.sum(diff**2 / variances[component], axis=1)
+            log_probabilities[:, component] = (
+                np.log(weights[component] + 1e-300)
+                - 0.5 * (n_attributes * np.log(2.0 * np.pi) + log_det + mahalanobis)
+            )
+        return log_probabilities
+
+    # ------------------------------------------------------------------ #
+    # Parameters and sampling
+    # ------------------------------------------------------------------ #
+    @property
+    def n_parameters(self) -> int:
+        """Number of scalars needed to transmit the fitted model."""
+        self._check_fitted()
+        return int(self.weights_.size + self.means_.size + self.variances_.size)
+
+    def sample(self, n_samples: int, *, random_state=None) -> np.ndarray:
+        """Draw ``n_samples`` artificial records from the fitted mixture."""
+        self._check_fitted()
+        n_samples = check_integer_in_range(n_samples, name="n_samples", minimum=1)
+        rng = ensure_rng(random_state)
+        components = rng.choice(self.n_components, size=n_samples, p=self.weights_ / self.weights_.sum())
+        samples = np.empty((n_samples, self.means_.shape[1]))
+        for component in range(self.n_components):
+            mask = components == component
+            count = int(mask.sum())
+            if count:
+                samples[mask] = rng.normal(
+                    loc=self.means_[component],
+                    scale=np.sqrt(self.variances_[component]),
+                    size=(count, self.means_.shape[1]),
+                )
+        return samples
+
+    def _check_fitted(self) -> None:
+        if self.weights_ is None:
+            raise ConvergenceError("GaussianMixtureModel must be fitted before use")
+
+
+class GenerativeModelClustering:
+    """End-to-end generative-model distributed clustering over horizontal partitions.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters the central site extracts.
+    n_components_per_site:
+        Mixture components fitted locally at each site.
+    n_artificial_samples:
+        Artificial records the central site draws from the combined model.
+    random_state:
+        Seed / generator for local fits, sampling and central k-means.
+    """
+
+    name = "generative_model"
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        n_components_per_site: int = 3,
+        n_artificial_samples: int = 500,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
+        self.n_components_per_site = check_integer_in_range(
+            n_components_per_site, name="n_components_per_site", minimum=1
+        )
+        self.n_artificial_samples = check_integer_in_range(
+            n_artificial_samples, name="n_artificial_samples", minimum=self.n_clusters
+        )
+        self.random_state = random_state
+
+    def fit(self, partitions: list[DataMatrix]) -> tuple[ClusteringResult, MessageLog]:
+        """Run the protocol over horizontal partitions (one :class:`DataMatrix` per site).
+
+        Returns the clustering of *all* objects (concatenated in partition
+        order) plus the message log, whose value count is the total number of
+        model parameters transmitted — the protocol's communication cost.
+        """
+        if len(partitions) < 2:
+            raise ProtocolError("generative-model clustering needs at least two sites")
+        n_attributes = partitions[0].n_attributes
+        for partition in partitions:
+            if partition.n_attributes != n_attributes:
+                raise ProtocolError("all sites must share the same schema (same attribute count)")
+
+        rng = ensure_rng(self.random_state)
+        log = MessageLog()
+
+        # Each site fits a local mixture and ships only its parameters.
+        local_models: list[GaussianMixtureModel] = []
+        site_sizes: list[int] = []
+        for site_index, partition in enumerate(partitions):
+            model = GaussianMixtureModel(
+                n_components=min(self.n_components_per_site, partition.n_objects),
+                random_state=rng,
+            ).fit(partition.values)
+            local_models.append(model)
+            site_sizes.append(partition.n_objects)
+            log.record(f"site{site_index}", "coordinator", model.n_parameters, label="model parameters")
+
+        # Central site: sample artificial data from the size-weighted combination
+        # of the local models, then cluster the artificial sample.
+        total_objects = sum(site_sizes)
+        artificial_blocks = []
+        for model, size in zip(local_models, site_sizes):
+            n_samples = max(1, int(round(self.n_artificial_samples * size / total_objects)))
+            artificial_blocks.append(model.sample(n_samples, random_state=rng))
+        artificial = np.vstack(artificial_blocks)
+        central_kmeans = KMeans(n_clusters=self.n_clusters, random_state=rng)
+        central_result = central_kmeans.fit(artificial)
+        centroids = central_result.metadata["centroids"]
+
+        # The centroids (the "mean model") are broadcast back; every site labels
+        # its own objects locally, so no raw record ever leaves a site.
+        labels_blocks = []
+        for site_index, partition in enumerate(partitions):
+            log.record("coordinator", f"site{site_index}", centroids.size, label="mean model")
+            distances = ((partition.values[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            labels_blocks.append(distances.argmin(axis=1))
+        labels = np.concatenate(labels_blocks)
+
+        result = ClusteringResult(
+            labels=labels,
+            n_clusters=int(np.unique(labels).size),
+            n_iterations=central_result.n_iterations,
+            inertia=float("nan"),
+            converged=central_result.converged,
+            metadata={"centroids": centroids, "n_sites": len(partitions)},
+        )
+        return result, log
+
+
+def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    """Numerically stable log-sum-exp along ``axis``."""
+    maximum = values.max(axis=axis, keepdims=True)
+    return (maximum + np.log(np.exp(values - maximum).sum(axis=axis, keepdims=True))).squeeze(axis)

@@ -1,0 +1,150 @@
+"""Simulated parties and a secure-sum primitive for the distributed comparators.
+
+Real secure multi-party computation is out of scope (and unnecessary for the
+comparison the paper makes); what matters is *who learns what* and *how many
+messages are exchanged*.  :class:`Party` holds a private data partition,
+:class:`MessageLog` counts every value that crosses a party boundary, and
+:class:`SecureSumProtocol` implements the classic random-mask ring protocol:
+each party adds its private value plus a random mask, masks cancel at the
+initiator, and no individual contribution is revealed to any other party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import ensure_rng
+from ..data import DataMatrix
+from ..exceptions import ProtocolError
+
+__all__ = ["Party", "MessageLog", "SecureSumProtocol"]
+
+
+@dataclass
+class MessageLog:
+    """Counts the messages and scalar values exchanged between parties."""
+
+    n_messages: int = 0
+    n_values: int = 0
+    rounds: int = 0
+    trace: list[str] = field(default_factory=list)
+
+    def record(self, sender: str, receiver: str, n_values: int, *, label: str = "") -> None:
+        """Record one message of ``n_values`` scalars from ``sender`` to ``receiver``."""
+        self.n_messages += 1
+        self.n_values += int(n_values)
+        if label:
+            self.trace.append(f"{sender} -> {receiver}: {label} ({n_values} values)")
+
+    def new_round(self) -> None:
+        """Mark the start of a new protocol round."""
+        self.rounds += 1
+
+
+class Party:
+    """A site holding a private vertical (or horizontal) slice of the data.
+
+    Parameters
+    ----------
+    name:
+        Party identifier used in the message log.
+    data:
+        The private partition (a :class:`DataMatrix`).
+    """
+
+    def __init__(self, name: str, data: DataMatrix) -> None:
+        if not isinstance(data, DataMatrix):
+            raise ProtocolError(f"party {name!r} must hold a DataMatrix")
+        self.name = str(name)
+        self._data = data
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects in this party's partition."""
+        return self._data.n_objects
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Attribute names held by this party (never shared)."""
+        return self._data.columns
+
+    def local_values(self) -> np.ndarray:
+        """The party's private values — accessible only to the party itself."""
+        return self._data.values
+
+    def local_distances_to(self, centroid_fragment: np.ndarray) -> np.ndarray:
+        """Squared distances from every local object to a centroid's local fragment.
+
+        This is the per-site quantity the vertically-partitioned k-means
+        protocol aggregates: each site computes the contribution of *its*
+        attributes to the full squared Euclidean distance.
+        """
+        fragment = np.asarray(centroid_fragment, dtype=float).ravel()
+        if fragment.size != self._data.n_attributes:
+            raise ProtocolError(
+                f"centroid fragment for party {self.name!r} must have "
+                f"{self._data.n_attributes} value(s), got {fragment.size}"
+            )
+        return ((self._data.values - fragment) ** 2).sum(axis=1)
+
+    def local_cluster_sums(self, labels: np.ndarray, n_clusters: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cluster sums and counts of the party's local attributes."""
+        labels = np.asarray(labels, dtype=int)
+        if labels.size != self.n_objects:
+            raise ProtocolError(
+                f"labels must have {self.n_objects} entries for party {self.name!r}, got {labels.size}"
+            )
+        sums = np.zeros((n_clusters, self._data.n_attributes))
+        counts = np.zeros(n_clusters, dtype=int)
+        for cluster in range(n_clusters):
+            mask = labels == cluster
+            counts[cluster] = int(mask.sum())
+            if counts[cluster]:
+                sums[cluster] = self._data.values[mask].sum(axis=0)
+        return sums, counts
+
+
+class SecureSumProtocol:
+    """Random-mask ring secure sum across a list of parties.
+
+    The initiator adds a random mask ``r`` to its private vector and passes it
+    on; every party adds its own private vector; the initiator finally
+    subtracts ``r``.  No party other than the initiator learns anything beyond
+    partial masked sums, and the initiator learns only the total.
+    """
+
+    def __init__(self, *, random_state=None, log: MessageLog | None = None) -> None:
+        self._rng = ensure_rng(random_state)
+        self.log = log if log is not None else MessageLog()
+
+    def sum_vectors(self, party_names: list[str], vectors: list[np.ndarray], *, label: str = "secure-sum") -> np.ndarray:
+        """Securely sum one private vector per party and return the total.
+
+        ``vectors[i]`` is the private contribution of ``party_names[i]``; the
+        protocol is simulated in-process but every hop is counted in the
+        message log.
+        """
+        if len(party_names) != len(vectors):
+            raise ProtocolError("one private vector per party is required")
+        if not vectors:
+            raise ProtocolError("secure sum needs at least one party")
+        vectors = [np.asarray(vector, dtype=float) for vector in vectors]
+        shape = vectors[0].shape
+        for vector in vectors:
+            if vector.shape != shape:
+                raise ProtocolError("all private vectors must have the same shape")
+
+        self.log.new_round()
+        mask = self._rng.uniform(-1e6, 1e6, size=shape)
+        running = vectors[0] + mask
+        # Pass the masked partial sum around the ring.
+        for index in range(1, len(vectors)):
+            self.log.record(
+                party_names[index - 1], party_names[index], int(np.prod(shape)), label=label
+            )
+            running = running + vectors[index]
+        # Final hop back to the initiator, which removes its mask.
+        self.log.record(party_names[-1], party_names[0], int(np.prod(shape)), label=label)
+        return running - mask

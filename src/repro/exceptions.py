@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "SchemaError",
+    "NormalizationError",
+    "SecurityRangeError",
+    "ThresholdError",
+    "PairSelectionError",
+    "ClusteringError",
+    "ConvergenceError",
+    "AttackError",
+    "ProtocolError",
+    "DatasetError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, dtype, range or type)."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A table or data matrix violates its declared schema."""
+
+
+class NormalizationError(ReproError, ValueError):
+    """A normalizer could not be fitted or applied.
+
+    Typical causes are constant columns for z-score normalization or a
+    degenerate ``min == max`` range for min-max normalization.
+    """
+
+
+class SecurityRangeError(ReproError, ValueError):
+    """No rotation angle satisfies the requested pairwise-security threshold.
+
+    Raised by the security-range solver when the variance curves never reach
+    the requested thresholds, i.e. the security range is empty.
+    """
+
+
+class ThresholdError(ReproError, ValueError):
+    """A pairwise-security threshold is malformed (non-positive or wrong arity)."""
+
+
+class PairSelectionError(ReproError, ValueError):
+    """An attribute-pair selection is invalid (unknown column, self-pair, ...)."""
+
+
+class ClusteringError(ReproError, ValueError):
+    """A clustering algorithm received invalid input or an invalid configuration."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its iteration budget."""
+
+
+class AttackError(ReproError, RuntimeError):
+    """An attack simulation could not be carried out on the supplied data."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A distributed-clustering protocol was driven in an invalid order."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset generator or loader received inconsistent parameters."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A table or matrix could not be serialized or deserialized."""

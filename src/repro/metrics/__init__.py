@@ -1,0 +1,76 @@
+"""Metrics: distances and dissimilarity matrices, clustering quality, privacy.
+
+* :mod:`repro.metrics.distance` — the distance functions of Section 3.3
+  (Euclidean, Manhattan) plus Minkowski and Chebyshev, pairwise-distance and
+  dissimilarity-matrix computation, and metric-axiom checks.
+* :mod:`repro.metrics.quality` — clustering agreement and quality measures
+  (misclassification error with optimal label matching, Rand / Adjusted Rand
+  index, F-measure, purity, silhouette).
+* :mod:`repro.metrics.privacy` — the variance-based security measures of
+  Sections 4.2 and 5.2 (Var(X−X′), scale-invariant security, pairwise
+  threshold checks, privacy reports).
+"""
+
+from .distance import (
+    euclidean_distance,
+    manhattan_distance,
+    minkowski_distance,
+    chebyshev_distance,
+    pairwise_distances,
+    dissimilarity_matrix,
+    condensed_dissimilarity,
+    check_metric_axioms,
+    DISTANCE_FUNCTIONS,
+)
+from .quality import (
+    contingency_matrix,
+    misclassification_error,
+    matched_accuracy,
+    rand_index,
+    adjusted_rand_index,
+    f_measure,
+    purity,
+    silhouette_score,
+    davies_bouldin_index,
+    normalized_mutual_information,
+    clusters_identical,
+)
+from .privacy import (
+    perturbation_variance,
+    scale_invariant_security,
+    pairwise_security,
+    satisfies_threshold,
+    privacy_report,
+    PrivacyReport,
+    AttributePrivacy,
+)
+
+__all__ = [
+    "euclidean_distance",
+    "manhattan_distance",
+    "minkowski_distance",
+    "chebyshev_distance",
+    "pairwise_distances",
+    "dissimilarity_matrix",
+    "condensed_dissimilarity",
+    "check_metric_axioms",
+    "DISTANCE_FUNCTIONS",
+    "contingency_matrix",
+    "misclassification_error",
+    "matched_accuracy",
+    "rand_index",
+    "adjusted_rand_index",
+    "f_measure",
+    "purity",
+    "silhouette_score",
+    "davies_bouldin_index",
+    "normalized_mutual_information",
+    "clusters_identical",
+    "perturbation_variance",
+    "scale_invariant_security",
+    "pairwise_security",
+    "satisfies_threshold",
+    "privacy_report",
+    "PrivacyReport",
+    "AttributePrivacy",
+]

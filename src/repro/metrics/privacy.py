@@ -1,0 +1,197 @@
+"""Privacy / security measures (Sections 4.2 and 5.2).
+
+The paper measures the security of a perturbation method "as the variance
+between the actual and the perturbed values":
+
+* ``Var(X − Y)`` for an original attribute ``X`` and its distorted version
+  ``Y`` (:func:`perturbation_variance`), using the sample variance by default
+  (the estimator that reproduces the paper's printed numbers; Equation 8 as
+  written is the population form, available via ``ddof=0``);
+* the scale-invariant form ``Sec = Var(X − Y) / Var(X)``
+  (:func:`scale_invariant_security`);
+* the *pairwise-security threshold* ``PST(ρ1, ρ2)`` of Definition 2, which
+  requires both attributes of a rotated pair to clear their respective
+  variance thresholds (:func:`satisfies_threshold`, :func:`pairwise_security`).
+
+:func:`privacy_report` rolls these up into a per-attribute
+:class:`PrivacyReport` for the pipeline and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .._validation import as_float_vector
+from ..data import DataMatrix
+from ..exceptions import ThresholdError, ValidationError
+
+__all__ = [
+    "perturbation_variance",
+    "scale_invariant_security",
+    "pairwise_security",
+    "satisfies_threshold",
+    "privacy_report",
+    "AttributePrivacy",
+    "PrivacyReport",
+]
+
+
+def perturbation_variance(original, perturbed, *, ddof: int = 1) -> float:
+    """``Var(X − Y)`` between an original and a perturbed attribute (Eq. 8).
+
+    The paper's Equation (8) states the population variance, but its worked
+    example reproduces with the sample estimator, so ``ddof=1`` is the
+    default; pass ``ddof=0`` for the population form.
+    """
+    original = as_float_vector(original, name="original")
+    perturbed = as_float_vector(perturbed, name="perturbed")
+    if original.shape != perturbed.shape:
+        raise ValidationError(
+            f"original and perturbed must have the same length, got {original.size} and {perturbed.size}"
+        )
+    return float(np.var(original - perturbed, ddof=ddof))
+
+
+def scale_invariant_security(original, perturbed, *, ddof: int = 1) -> float:
+    """``Sec = Var(X − Y) / Var(X)`` — the scale-invariant security of Section 4.2."""
+    original = as_float_vector(original, name="original")
+    base_variance = float(np.var(original, ddof=ddof))
+    if np.isclose(base_variance, 0.0):
+        raise ValidationError("scale-invariant security is undefined for a constant attribute")
+    return perturbation_variance(original, perturbed, ddof=ddof) / base_variance
+
+
+def pairwise_security(
+    original_pair: tuple[np.ndarray, np.ndarray] | Sequence,
+    perturbed_pair: tuple[np.ndarray, np.ndarray] | Sequence,
+    *,
+    ddof: int = 1,
+) -> tuple[float, float]:
+    """Return ``(Var(A_i − A_i'), Var(A_j − A_j'))`` for a rotated attribute pair."""
+    if len(original_pair) != 2 or len(perturbed_pair) != 2:
+        raise ValidationError("pairwise_security expects exactly two attributes per argument")
+    return (
+        perturbation_variance(original_pair[0], perturbed_pair[0], ddof=ddof),
+        perturbation_variance(original_pair[1], perturbed_pair[1], ddof=ddof),
+    )
+
+
+def satisfies_threshold(
+    original_pair,
+    perturbed_pair,
+    threshold: tuple[float, float],
+    *,
+    ddof: int = 1,
+) -> bool:
+    """Whether a rotated pair meets its pairwise-security threshold PST(ρ1, ρ2)."""
+    rho1, rho2 = _validate_threshold(threshold)
+    var1, var2 = pairwise_security(original_pair, perturbed_pair, ddof=ddof)
+    return var1 >= rho1 and var2 >= rho2
+
+
+def _validate_threshold(threshold: tuple[float, float]) -> tuple[float, float]:
+    if len(threshold) != 2:
+        raise ThresholdError(f"a pairwise-security threshold needs exactly two values, got {threshold}")
+    rho1, rho2 = float(threshold[0]), float(threshold[1])
+    if rho1 <= 0 or rho2 <= 0:
+        raise ThresholdError(f"threshold values must be strictly positive (ρ1, ρ2 > 0), got {threshold}")
+    return rho1, rho2
+
+
+@dataclass(frozen=True)
+class AttributePrivacy:
+    """Privacy measurements for a single attribute after perturbation."""
+
+    #: Attribute name.
+    name: str
+    #: ``Var(X − X')`` — the paper's primary security measure.
+    variance_difference: float
+    #: ``Var(X − X') / Var(X)`` — scale-invariant security.
+    scale_invariant: float
+    #: Variance of the original (normalized) attribute.
+    original_variance: float
+    #: Variance of the released attribute.
+    released_variance: float
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    """Per-attribute privacy measurements plus aggregate summaries."""
+
+    attributes: tuple[AttributePrivacy, ...]
+
+    @property
+    def minimum_variance_difference(self) -> float:
+        """The weakest per-attribute ``Var(X − X')`` — the binding security level."""
+        return min(item.variance_difference for item in self.attributes)
+
+    @property
+    def mean_variance_difference(self) -> float:
+        """Average ``Var(X − X')`` across attributes."""
+        return float(np.mean([item.variance_difference for item in self.attributes]))
+
+    @property
+    def mean_scale_invariant(self) -> float:
+        """Average scale-invariant security across attributes."""
+        return float(np.mean([item.scale_invariant for item in self.attributes]))
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Return the report as a nested plain dictionary (JSON-friendly)."""
+        return {
+            item.name: {
+                "variance_difference": item.variance_difference,
+                "scale_invariant": item.scale_invariant,
+                "original_variance": item.original_variance,
+                "released_variance": item.released_variance,
+            }
+            for item in self.attributes
+        }
+
+    def satisfies(self, thresholds: Mapping[str, float]) -> bool:
+        """Whether every named attribute clears its variance threshold."""
+        by_name = {item.name: item for item in self.attributes}
+        for name, threshold in thresholds.items():
+            if name not in by_name:
+                raise ValidationError(f"unknown attribute {name!r} in thresholds")
+            if by_name[name].variance_difference < float(threshold):
+                return False
+        return True
+
+
+def privacy_report(original: DataMatrix, released: DataMatrix, *, ddof: int = 1) -> PrivacyReport:
+    """Build a :class:`PrivacyReport` comparing an original matrix and its release.
+
+    Both matrices must have the same columns (order-insensitive) and the same
+    number of objects.
+    """
+    if set(original.columns) != set(released.columns):
+        raise ValidationError(
+            "original and released matrices must have the same columns, "
+            f"got {original.columns} and {released.columns}"
+        )
+    if original.n_objects != released.n_objects:
+        raise ValidationError(
+            f"original has {original.n_objects} object(s) but released has {released.n_objects}"
+        )
+    measurements = []
+    for name in original.columns:
+        original_column = original.column(name)
+        released_column = released.column(name)
+        original_variance = float(np.var(original_column, ddof=ddof))
+        measurements.append(
+            AttributePrivacy(
+                name=name,
+                variance_difference=perturbation_variance(original_column, released_column, ddof=ddof),
+                scale_invariant=(
+                    perturbation_variance(original_column, released_column, ddof=ddof) / original_variance
+                    if not np.isclose(original_variance, 0.0)
+                    else float("nan")
+                ),
+                original_variance=original_variance,
+                released_variance=float(np.var(released_column, ddof=ddof)),
+            )
+        )
+    return PrivacyReport(tuple(measurements))

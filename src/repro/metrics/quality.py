@@ -1,0 +1,254 @@
+"""Clustering agreement and quality measures.
+
+Corollary 1 claims that the clusters mined from the original and the
+RBT-transformed data are *exactly the same*; the prior-work baselines the
+paper criticizes instead cause *misclassification* — points moving between
+clusters.  This module quantifies both notions:
+
+* :func:`misclassification_error` / :func:`matched_accuracy` — fraction of
+  objects assigned to a different cluster, after optimally matching cluster
+  labels with the Hungarian algorithm (labels are arbitrary, so a raw
+  element-wise comparison would over-count).
+* :func:`rand_index`, :func:`adjusted_rand_index`, :func:`f_measure`,
+  :func:`purity` — standard external agreement indices.
+* :func:`silhouette_score` — internal quality, used to show that the
+  transformed data supports the same structure.
+* :func:`clusters_identical` — the strict predicate behind Corollary 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from .._validation import as_label_vector
+from ..exceptions import ValidationError
+from .distance import pairwise_distances
+
+__all__ = [
+    "contingency_matrix",
+    "misclassification_error",
+    "matched_accuracy",
+    "rand_index",
+    "adjusted_rand_index",
+    "f_measure",
+    "purity",
+    "silhouette_score",
+    "davies_bouldin_index",
+    "normalized_mutual_information",
+    "clusters_identical",
+]
+
+
+def contingency_matrix(labels_true, labels_pred) -> np.ndarray:
+    """Return the ``(n_true_clusters, n_pred_clusters)`` co-occurrence matrix."""
+    labels_true = as_label_vector(labels_true, name="labels_true")
+    labels_pred = as_label_vector(labels_pred, name="labels_pred", n_expected=labels_true.size)
+    true_classes, true_indices = np.unique(labels_true, return_inverse=True)
+    pred_classes, pred_indices = np.unique(labels_pred, return_inverse=True)
+    matrix = np.zeros((true_classes.size, pred_classes.size), dtype=np.int64)
+    np.add.at(matrix, (true_indices, pred_indices), 1)
+    return matrix
+
+
+def matched_accuracy(labels_true, labels_pred) -> float:
+    """Fraction of objects on the optimal one-to-one cluster-label matching.
+
+    Cluster labels are arbitrary identifiers, so the two labelings are first
+    aligned with the Hungarian algorithm (maximum-weight matching on the
+    contingency matrix); the returned accuracy is the fraction of objects
+    that agree under that alignment.
+    """
+    matrix = contingency_matrix(labels_true, labels_pred)
+    n_objects = int(matrix.sum())
+    row_indices, col_indices = linear_sum_assignment(-matrix)
+    matched = int(matrix[row_indices, col_indices].sum())
+    return matched / n_objects
+
+
+def misclassification_error(labels_true, labels_pred) -> float:
+    """Fraction of objects that change cluster (1 − :func:`matched_accuracy`).
+
+    This is the notion of *misclassification* the paper uses when arguing
+    that additive-noise distortion "moves data points from one cluster to
+    another" while RBT does not.
+    """
+    return 1.0 - matched_accuracy(labels_true, labels_pred)
+
+
+def rand_index(labels_true, labels_pred) -> float:
+    """Rand index: fraction of object pairs on which the two labelings agree."""
+    matrix = contingency_matrix(labels_true, labels_pred)
+    n_objects = int(matrix.sum())
+    if n_objects < 2:
+        raise ValidationError("rand_index requires at least two objects")
+    sum_squares = float((matrix.astype(float) ** 2).sum())
+    row_sums = matrix.sum(axis=1).astype(float)
+    col_sums = matrix.sum(axis=0).astype(float)
+    total_pairs = n_objects * (n_objects - 1) / 2.0
+    same_same = (sum_squares - n_objects) / 2.0
+    same_true = float((row_sums * (row_sums - 1)).sum()) / 2.0
+    same_pred = float((col_sums * (col_sums - 1)).sum()) / 2.0
+    disagreements = (same_true - same_same) + (same_pred - same_same)
+    return (total_pairs - disagreements) / total_pairs
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand index (chance-corrected pair-counting agreement)."""
+    matrix = contingency_matrix(labels_true, labels_pred).astype(float)
+    n_objects = matrix.sum()
+    if n_objects < 2:
+        raise ValidationError("adjusted_rand_index requires at least two objects")
+    sum_comb_cells = (matrix * (matrix - 1) / 2.0).sum()
+    row_sums = matrix.sum(axis=1)
+    col_sums = matrix.sum(axis=0)
+    sum_comb_rows = (row_sums * (row_sums - 1) / 2.0).sum()
+    sum_comb_cols = (col_sums * (col_sums - 1) / 2.0).sum()
+    total_pairs = n_objects * (n_objects - 1) / 2.0
+    expected = sum_comb_rows * sum_comb_cols / total_pairs
+    maximum = (sum_comb_rows + sum_comb_cols) / 2.0
+    if np.isclose(maximum, expected):
+        # Both labelings are single-cluster (or otherwise degenerate): agreement is perfect
+        # if the labelings are identical partitions, which the formula cannot distinguish.
+        return 1.0
+    return float((sum_comb_cells - expected) / (maximum - expected))
+
+
+def f_measure(labels_true, labels_pred, *, beta: float = 1.0) -> float:
+    """Pairwise F-measure between two labelings.
+
+    Precision / recall are computed over object pairs: a true positive is a
+    pair placed together by both labelings.
+    """
+    if beta <= 0:
+        raise ValidationError(f"beta must be positive, got {beta}")
+    matrix = contingency_matrix(labels_true, labels_pred).astype(float)
+    pairs_together_both = (matrix * (matrix - 1) / 2.0).sum()
+    row_sums = matrix.sum(axis=1)
+    col_sums = matrix.sum(axis=0)
+    pairs_together_true = (row_sums * (row_sums - 1) / 2.0).sum()
+    pairs_together_pred = (col_sums * (col_sums - 1) / 2.0).sum()
+    if pairs_together_pred == 0 or pairs_together_true == 0:
+        return 1.0 if pairs_together_pred == pairs_together_true else 0.0
+    precision = pairs_together_both / pairs_together_pred
+    recall = pairs_together_both / pairs_together_true
+    if precision + recall == 0:
+        return 0.0
+    beta_sq = beta * beta
+    return float((1 + beta_sq) * precision * recall / (beta_sq * precision + recall))
+
+
+def purity(labels_true, labels_pred) -> float:
+    """Purity: each predicted cluster is credited with its dominant true class."""
+    matrix = contingency_matrix(labels_true, labels_pred)
+    return float(matrix.max(axis=0).sum() / matrix.sum())
+
+
+def silhouette_score(data, labels, *, metric: str = "euclidean") -> float:
+    """Mean silhouette coefficient of a labeling over ``data``.
+
+    For each object, ``a`` is its mean distance to the other members of its
+    cluster and ``b`` the smallest mean distance to another cluster; the
+    silhouette is ``(b - a) / max(a, b)``.  Objects in singleton clusters get
+    a silhouette of 0, following the usual convention.
+    """
+    labels = as_label_vector(labels, name="labels")
+    distances = pairwise_distances(data, metric=metric)
+    if distances.shape[0] != labels.size:
+        raise ValidationError(
+            f"labels must have one entry per object ({distances.shape[0]}), got {labels.size}"
+        )
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValidationError("silhouette_score requires at least two clusters")
+    scores = np.zeros(labels.size)
+    for index in range(labels.size):
+        own_mask = labels == labels[index]
+        own_size = int(own_mask.sum())
+        if own_size == 1:
+            scores[index] = 0.0
+            continue
+        a = distances[index, own_mask].sum() / (own_size - 1)
+        b = np.inf
+        for cluster in unique:
+            if cluster == labels[index]:
+                continue
+            other_mask = labels == cluster
+            b = min(b, float(distances[index, other_mask].mean()))
+        denominator = max(a, b)
+        scores[index] = 0.0 if denominator == 0 else (b - a) / denominator
+    return float(scores.mean())
+
+
+def davies_bouldin_index(data, labels) -> float:
+    """Davies–Bouldin index: lower values indicate better-separated clusters.
+
+    For each cluster the within-cluster scatter is its mean distance to the
+    centroid; the index averages, over clusters, the worst ratio of summed
+    scatters to centroid separation.  Like the silhouette it is an *internal*
+    measure: RBT leaves it unchanged because it depends only on Euclidean
+    geometry.
+    """
+    from .._validation import as_float_matrix
+
+    labels = as_label_vector(labels, name="labels")
+    matrix = as_float_matrix(data, name="data")
+    if matrix.shape[0] != labels.size:
+        raise ValidationError(
+            f"labels must have one entry per object ({matrix.shape[0]}), got {labels.size}"
+        )
+    clusters = np.unique(labels[labels >= 0])
+    if clusters.size < 2:
+        raise ValidationError("davies_bouldin_index requires at least two clusters")
+    centroids = np.vstack([matrix[labels == cluster].mean(axis=0) for cluster in clusters])
+    scatters = np.array(
+        [
+            float(np.mean(np.linalg.norm(matrix[labels == cluster] - centroids[index], axis=1)))
+            for index, cluster in enumerate(clusters)
+        ]
+    )
+    separations = np.linalg.norm(centroids[:, None, :] - centroids[None, :, :], axis=2)
+    index_sum = 0.0
+    for i in range(clusters.size):
+        ratios = [
+            (scatters[i] + scatters[j]) / separations[i, j]
+            for j in range(clusters.size)
+            if j != i and separations[i, j] > 0
+        ]
+        index_sum += max(ratios) if ratios else 0.0
+    return float(index_sum / clusters.size)
+
+
+def normalized_mutual_information(labels_true, labels_pred) -> float:
+    """Normalized mutual information (arithmetic normalization) between two labelings.
+
+    Returns 1.0 for identical partitions (up to label renaming) and values
+    near 0 for independent labelings.
+    """
+    matrix = contingency_matrix(labels_true, labels_pred).astype(float)
+    n_objects = matrix.sum()
+    joint = matrix / n_objects
+    marginal_true = joint.sum(axis=1)
+    marginal_pred = joint.sum(axis=0)
+    nonzero = joint > 0
+    outer = np.outer(marginal_true, marginal_pred)
+    mutual_information = float(np.sum(joint[nonzero] * np.log(joint[nonzero] / outer[nonzero])))
+    entropy_true = float(-np.sum(marginal_true[marginal_true > 0] * np.log(marginal_true[marginal_true > 0])))
+    entropy_pred = float(-np.sum(marginal_pred[marginal_pred > 0] * np.log(marginal_pred[marginal_pred > 0])))
+    if entropy_true == 0.0 and entropy_pred == 0.0:
+        # Both labelings are single-cluster: trivially identical partitions.
+        return 1.0
+    normalizer = (entropy_true + entropy_pred) / 2.0
+    if normalizer == 0.0:
+        return 0.0
+    return float(mutual_information / normalizer)
+
+
+def clusters_identical(labels_a, labels_b) -> bool:
+    """Whether two labelings induce exactly the same partition (Corollary 1).
+
+    Labels themselves may differ (cluster 0 in one run may be cluster 2 in
+    another); the partitions are identical when the misclassification error
+    under optimal matching is zero.
+    """
+    return misclassification_error(labels_a, labels_b) == 0.0

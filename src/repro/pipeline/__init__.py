@@ -1,0 +1,11 @@
+"""End-to-end privacy-preserving clustering pipeline (Figure 1).
+
+:class:`PPCPipeline` chains the steps the paper prescribes — suppress
+identifiers, normalize, distort with RBT — and produces a
+:class:`ReleaseBundle` containing the released matrix, the privacy report and
+(optionally) the clustering-equivalence evidence for Corollary 1.
+"""
+
+from .ppc import PPCPipeline, ReleaseBundle, EquivalenceReport
+
+__all__ = ["PPCPipeline", "ReleaseBundle", "EquivalenceReport"]

@@ -1,0 +1,33 @@
+"""Pre-processing steps applied before the RBT distortion (Section 4.1).
+
+* Identifier suppression (:func:`suppress_identifiers`,
+  :class:`IdentifierSuppressor`).
+* Attribute normalization: min-max (Equation 3), z-score (Equation 4) and
+  decimal-scaling normalizers, all following a ``fit`` / ``transform`` /
+  ``inverse_transform`` protocol.
+* :class:`PreprocessingPipeline` to chain the steps the paper prescribes
+  (suppress identifiers, then normalize the confidential attributes).
+"""
+
+from .normalization import (
+    Normalizer,
+    MinMaxNormalizer,
+    ZScoreNormalizer,
+    DecimalScalingNormalizer,
+    normalize_min_max,
+    normalize_z_score,
+)
+from .suppression import IdentifierSuppressor, suppress_identifiers
+from .pipeline import PreprocessingPipeline
+
+__all__ = [
+    "Normalizer",
+    "MinMaxNormalizer",
+    "ZScoreNormalizer",
+    "DecimalScalingNormalizer",
+    "normalize_min_max",
+    "normalize_z_score",
+    "IdentifierSuppressor",
+    "suppress_identifiers",
+    "PreprocessingPipeline",
+]

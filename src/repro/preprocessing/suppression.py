@@ -1,0 +1,74 @@
+"""Identifier suppression (Section 4.1, "Suppressing Identifiers").
+
+Attributes that are not subjected to clustering — names, addresses, phone
+numbers, record IDs — are removed from the released data.  Depending on the
+application the object identifier may either be retained (the hospital
+scenario, where the researcher must report which patients fall in which
+group) or suppressed entirely (public releases such as census data), so the
+suppressor can be configured either way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..data import DataMatrix, Table
+from ..exceptions import ValidationError
+
+__all__ = ["IdentifierSuppressor", "suppress_identifiers"]
+
+
+class IdentifierSuppressor:
+    """Removes identifier columns (and optionally the object ids) before release.
+
+    Parameters
+    ----------
+    extra_columns:
+        Additional column names to suppress on top of the columns whose
+        schema role is :attr:`~repro.data.ColumnRole.IDENTIFIER` (for
+        :class:`Table` inputs) — useful when no schema is available.
+    drop_object_ids:
+        Whether to also strip the :class:`DataMatrix` per-object ``ids``.
+        ``True`` matches the "could be suppressed when data is made public"
+        branch of the paper's assumption.
+    """
+
+    def __init__(
+        self,
+        extra_columns: Sequence[str] | None = None,
+        *,
+        drop_object_ids: bool = False,
+    ) -> None:
+        self.extra_columns = list(extra_columns or [])
+        self.drop_object_ids = bool(drop_object_ids)
+
+    def transform_table(self, table: Table) -> Table:
+        """Return ``table`` without identifier-role columns and ``extra_columns``."""
+        result = table.suppress_identifiers()
+        to_drop = [name for name in self.extra_columns if name in result.schema]
+        if to_drop:
+            result = result.drop_columns(to_drop)
+        return result
+
+    def transform_matrix(self, matrix: DataMatrix) -> DataMatrix:
+        """Return ``matrix`` without ``extra_columns`` and, optionally, without ids."""
+        to_drop = [name for name in self.extra_columns if name in matrix.columns]
+        result = matrix.drop(to_drop) if to_drop else matrix
+        if self.drop_object_ids:
+            result = result.without_ids()
+        return result
+
+    def transform(self, data):
+        """Dispatch to :meth:`transform_table` or :meth:`transform_matrix`."""
+        if isinstance(data, Table):
+            return self.transform_table(data)
+        if isinstance(data, DataMatrix):
+            return self.transform_matrix(data)
+        raise ValidationError(
+            f"IdentifierSuppressor expects a Table or DataMatrix, got {type(data).__name__}"
+        )
+
+
+def suppress_identifiers(data, columns: Iterable[str] | None = None, *, drop_object_ids: bool = False):
+    """One-shot identifier suppression on a :class:`Table` or :class:`DataMatrix`."""
+    return IdentifierSuppressor(list(columns or []), drop_object_ids=drop_object_ids).transform(data)

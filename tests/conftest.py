@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBT
+from repro.data import DataMatrix
+from repro.data.datasets import (
+    PAPER_PAIR1,
+    PAPER_PAIR2,
+    PAPER_PST1,
+    PAPER_PST2,
+    PAPER_THETA1_DEGREES,
+    PAPER_THETA2_DEGREES,
+    load_cardiac_normalized,
+    load_cardiac_sample,
+    load_cardiac_sample_table,
+    make_blobs,
+    make_patient_cohorts,
+)
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture
+def cardiac_raw() -> DataMatrix:
+    """The raw Table 1 sample."""
+    return load_cardiac_sample()
+
+
+@pytest.fixture
+def cardiac_table():
+    """The Table 1 sample as a relational table with an ID column."""
+    return load_cardiac_sample_table()
+
+
+@pytest.fixture
+def cardiac_normalized() -> DataMatrix:
+    """The Table 2 values as printed in the paper."""
+    return load_cardiac_normalized()
+
+
+@pytest.fixture
+def cardiac_normalized_exact(cardiac_raw) -> DataMatrix:
+    """The Table 1 sample z-score normalized at full precision (not rounded)."""
+    return ZScoreNormalizer().fit_transform(cardiac_raw)
+
+
+@pytest.fixture
+def paper_rbt() -> RBT:
+    """An RBT transformer configured exactly like the paper's worked example."""
+    return RBT(
+        thresholds=[PAPER_PST1, PAPER_PST2],
+        pairs=[PAPER_PAIR1, PAPER_PAIR2],
+        angles=[PAPER_THETA1_DEGREES, PAPER_THETA2_DEGREES],
+    )
+
+
+@pytest.fixture
+def paper_release(paper_rbt, cardiac_normalized_exact):
+    """The released matrix of the worked example (full-precision input)."""
+    return paper_rbt.transform(cardiac_normalized_exact)
+
+
+@pytest.fixture
+def blob_data():
+    """Well-separated Gaussian blobs with ground-truth labels."""
+    matrix, labels = make_blobs(
+        n_objects=120, n_attributes=4, n_clusters=3, cluster_std=0.6, random_state=7
+    )
+    return matrix, labels
+
+
+@pytest.fixture
+def patient_data():
+    """Patient-cohort data (6 attributes, 3 cohorts) with ground-truth labels."""
+    matrix, labels = make_patient_cohorts(n_patients=120, n_cohorts=3, random_state=11)
+    return matrix, labels
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for ad-hoc test data."""
+    return np.random.default_rng(1234)

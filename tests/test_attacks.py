@@ -1,0 +1,193 @@
+"""Unit tests for the attack simulations (Section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BruteForceAngleAttack,
+    KnownSampleAttack,
+    RenormalizationAttack,
+    VarianceFingerprintAttack,
+    per_attribute_reconstruction_error,
+    reconstruction_error,
+)
+from repro.core import RBT
+from repro.data import DataMatrix
+from repro.data.datasets import make_patient_cohorts
+from repro.exceptions import AttackError, ValidationError
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture
+def release():
+    matrix, _ = make_patient_cohorts(n_patients=60, random_state=9)
+    normalized = ZScoreNormalizer().fit_transform(matrix)
+    result = RBT(thresholds=0.4, random_state=9).transform(normalized)
+    return normalized, result.matrix
+
+
+class TestReconstructionError:
+    def test_zero_for_identical(self, rng):
+        data = rng.normal(size=(10, 3))
+        assert reconstruction_error(data, data) == 0.0
+
+    def test_rmse_formula(self):
+        original = np.zeros((2, 2))
+        reconstructed = np.ones((2, 2)) * 2.0
+        assert reconstruction_error(original, reconstructed) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            reconstruction_error(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_per_attribute(self):
+        original = np.zeros((4, 2))
+        reconstructed = np.column_stack([np.ones(4), np.zeros(4)])
+        errors = per_attribute_reconstruction_error(original, reconstructed)
+        assert errors[0] == pytest.approx(1.0)
+        assert errors[1] == pytest.approx(0.0)
+
+
+class TestRenormalizationAttack:
+    def test_attack_fails_on_rbt_release(self, release):
+        normalized, released = release
+        result = RenormalizationAttack().run(released, normalized)
+        assert not result.succeeded
+        assert result.error > 0.5
+        assert not result.details["distances_preserved"]
+        assert result.details["max_distance_change"] > 0.01
+
+    def test_paper_worked_example(self, paper_release, cardiac_normalized_exact):
+        result = RenormalizationAttack().run(paper_release.matrix, cardiac_normalized_exact)
+        assert not result.succeeded
+
+    def test_without_ground_truth(self, release):
+        _, released = release
+        result = RenormalizationAttack().run(released)
+        assert np.isnan(result.error)
+        assert not result.succeeded
+
+    def test_requires_data_matrix(self):
+        with pytest.raises(AttackError):
+            RenormalizationAttack().run(np.zeros((3, 3)))
+
+
+class TestBruteForceAngleAttack:
+    def test_work_grows_with_resolution(self, release):
+        normalized, released = release
+        cheap = BruteForceAngleAttack(angle_resolution=8, max_pairings=2).run(released, normalized)
+        expensive = BruteForceAngleAttack(angle_resolution=24, max_pairings=2).run(released, normalized)
+        assert expensive.work > cheap.work
+
+    def test_reports_hypothesis(self, release):
+        normalized, released = release
+        result = BruteForceAngleAttack(angle_resolution=12, max_pairings=3).run(released, normalized)
+        assert "pairing" in result.details
+        assert "angles_degrees" in result.details
+        assert result.error > 0.0
+
+    def test_coarse_attack_does_not_breach(self, release):
+        normalized, released = release
+        result = BruteForceAngleAttack(angle_resolution=12, max_pairings=4).run(released, normalized)
+        assert not result.succeeded
+
+    def test_two_attribute_case_matches_statistics_but_not_values(self, rng):
+        # With only two attributes and a fine angle grid, the attacker always
+        # finds a candidate whose variances / correlation match the public
+        # statistics almost perfectly — but several rotations share that
+        # statistical fingerprint, so matching statistics does not pin down the
+        # actual values.  This is exactly the ambiguity the paper's
+        # computational-security argument relies on.
+        data = DataMatrix(rng.normal(size=(80, 2)) @ np.array([[1.0, 0.6], [0.0, 1.0]]))
+        normalized = ZScoreNormalizer().fit_transform(data)
+        released = RBT(thresholds=0.3, random_state=1).transform(normalized).matrix
+        with np.errstate(invalid="ignore"):
+            correlation = np.corrcoef(normalized.values, rowvar=False)
+        attack = BruteForceAngleAttack(
+            angle_resolution=720, max_pairings=2, known_correlation=correlation
+        )
+        result = attack.run(released, normalized)
+        assert result.details["score"] < 1e-3  # statistics reproduced
+        assert result.error > 0.0  # values not necessarily recovered
+
+    def test_rejects_single_attribute(self):
+        with pytest.raises(AttackError):
+            BruteForceAngleAttack().run(DataMatrix([[1.0], [2.0]]))
+
+    def test_requires_data_matrix(self):
+        with pytest.raises(AttackError):
+            BruteForceAngleAttack().run(np.zeros((3, 3)))
+
+
+class TestVarianceFingerprintAttack:
+    def test_reduces_variance_profile_error(self, release):
+        normalized, released = release
+        attack = VarianceFingerprintAttack(angle_resolution=90)
+        result = attack.run(released, normalized)
+        initial_error = float(np.sum((released.values.var(axis=0, ddof=1) - 1.0) ** 2))
+        assert result.details["final_profile_error"] <= initial_error + 1e-9
+
+    def test_value_reconstruction_still_fails(self, release):
+        normalized, released = release
+        result = VarianceFingerprintAttack(angle_resolution=60).run(released, normalized)
+        assert not result.succeeded
+
+    def test_known_variances_length_checked(self, release):
+        _, released = release
+        with pytest.raises(AttackError, match="entries"):
+            VarianceFingerprintAttack(known_variances=[1.0]).run(released)
+
+    def test_requires_data_matrix(self):
+        with pytest.raises(AttackError):
+            VarianceFingerprintAttack().run(np.zeros((3, 3)))
+
+
+class TestKnownSampleAttack:
+    def test_breaches_with_enough_known_records(self, release):
+        normalized, released = release
+        attack = KnownSampleAttack(known_indices=range(normalized.n_attributes + 2))
+        result = attack.run(released, normalized)
+        assert result.succeeded
+        assert result.error < 1e-6
+
+    def test_fewer_known_records_than_attributes(self, release):
+        normalized, released = release
+        attack = KnownSampleAttack(known_indices=[0], project_to_orthogonal=False)
+        result = attack.run(released, normalized)
+        # One known record under-determines the map; the attack should not be exact.
+        assert result.error > 1e-3
+
+    def test_orthogonal_projection_yields_an_isometry(self, release):
+        normalized, released = release
+        projected = KnownSampleAttack(known_indices=range(3), project_to_orthogonal=True).run(
+            released, normalized
+        )
+        estimate = projected.details["estimated_map"]
+        assert np.allclose(estimate @ estimate.T, np.eye(estimate.shape[0]), atol=1e-8)
+
+    def test_more_known_records_reduce_error(self, release):
+        normalized, released = release
+        few = KnownSampleAttack(known_indices=range(2)).run(released, normalized)
+        many = KnownSampleAttack(known_indices=range(normalized.n_attributes + 2)).run(
+            released, normalized
+        )
+        assert many.error < few.error
+
+    def test_requires_known_records(self):
+        with pytest.raises(AttackError):
+            KnownSampleAttack(known_indices=[])
+
+    def test_index_out_of_range(self, release):
+        normalized, released = release
+        with pytest.raises(AttackError, match="out of range"):
+            KnownSampleAttack(known_indices=[9999]).run(released, normalized)
+
+    def test_shape_mismatch(self, release):
+        normalized, released = release
+        truncated = DataMatrix(
+            normalized.values[:10], columns=normalized.columns
+        )
+        with pytest.raises(AttackError, match="same shape"):
+            KnownSampleAttack(known_indices=[0]).run(released, truncated)

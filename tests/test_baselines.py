@@ -1,0 +1,195 @@
+"""Unit tests for the baseline perturbation methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdditiveNoisePerturbation,
+    MultiplicativeNoisePerturbation,
+    ScalingPerturbation,
+    SimpleRotationPerturbation,
+    TranslationPerturbation,
+    ValueSwappingPerturbation,
+)
+from repro.data import DataMatrix
+from repro.exceptions import ValidationError
+from repro.metrics import dissimilarity_matrix, perturbation_variance
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture
+def normalized(blob_data) -> DataMatrix:
+    matrix, _ = blob_data
+    return ZScoreNormalizer().fit_transform(matrix)
+
+
+class TestAdditiveNoise:
+    def test_changes_values_and_preserves_shape(self, normalized):
+        released = AdditiveNoisePerturbation(0.5, random_state=0).perturb(normalized)
+        assert released.shape == normalized.shape
+        assert not np.allclose(released.values, normalized.values)
+
+    def test_variance_matches_noise_scale(self, rng):
+        data = DataMatrix(rng.normal(size=(5000, 1)))
+        released = AdditiveNoisePerturbation(0.8, random_state=1).perturb(data)
+        measured = perturbation_variance(data.column("x0"), released.column("x0"))
+        assert measured == pytest.approx(0.64, rel=0.1)
+
+    def test_uniform_distribution_matches_variance(self, rng):
+        data = DataMatrix(rng.normal(size=(5000, 1)))
+        released = AdditiveNoisePerturbation(
+            0.8, distribution="uniform", random_state=1
+        ).perturb(data)
+        measured = perturbation_variance(data.column("x0"), released.column("x0"))
+        assert measured == pytest.approx(0.64, rel=0.1)
+
+    def test_does_not_preserve_distances(self, normalized):
+        released = AdditiveNoisePerturbation(1.0, random_state=0).perturb(normalized)
+        assert not np.allclose(
+            dissimilarity_matrix(normalized.values),
+            dissimilarity_matrix(released.values),
+            atol=1e-3,
+        )
+
+    def test_deterministic_with_seed(self, normalized):
+        first = AdditiveNoisePerturbation(0.3, random_state=5).perturb(normalized)
+        second = AdditiveNoisePerturbation(0.3, random_state=5).perturb(normalized)
+        assert np.allclose(first.values, second.values)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            AdditiveNoisePerturbation(0.0)
+        with pytest.raises(ValidationError):
+            AdditiveNoisePerturbation(0.5, distribution="poisson")
+
+    def test_array_input(self, rng):
+        array = rng.normal(size=(10, 2))
+        released = AdditiveNoisePerturbation(0.1, random_state=0).perturb(array)
+        assert isinstance(released, np.ndarray)
+
+    def test_transform_alias(self, normalized):
+        method = AdditiveNoisePerturbation(0.3, random_state=2)
+        assert np.allclose(
+            method.transform(normalized).values,
+            AdditiveNoisePerturbation(0.3, random_state=2).perturb(normalized).values,
+        )
+
+
+class TestMultiplicativeNoise:
+    def test_scales_with_magnitude(self, rng):
+        data = DataMatrix(np.column_stack([np.full(2000, 0.1), np.full(2000, 10.0)]))
+        released = MultiplicativeNoisePerturbation(0.1, random_state=0).perturb(data)
+        small = perturbation_variance(data.column("x0"), released.column("x0"))
+        large = perturbation_variance(data.column("x1"), released.column("x1"))
+        assert large > small * 100
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValidationError):
+            MultiplicativeNoisePerturbation(-1.0)
+
+
+class TestTranslation:
+    def test_explicit_offsets(self):
+        data = DataMatrix([[1.0, 2.0], [3.0, 4.0]])
+        released = TranslationPerturbation(offsets=[10.0, -1.0]).perturb(data)
+        assert np.allclose(released.values, [[11.0, 1.0], [13.0, 3.0]])
+
+    def test_preserves_distances(self, normalized):
+        released = TranslationPerturbation(random_state=0).perturb(normalized)
+        assert np.allclose(
+            dissimilarity_matrix(normalized.values),
+            dissimilarity_matrix(released.values),
+            atol=1e-9,
+        )
+
+    def test_constant_shift_gives_zero_variance_security(self, normalized):
+        # The paper's point: translation provides no security under the
+        # Var(X − X') measure, because the difference is a constant.
+        released = TranslationPerturbation(random_state=0).perturb(normalized)
+        for name in normalized.columns:
+            assert perturbation_variance(normalized.column(name), released.column(name)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_offset_count_checked(self):
+        data = DataMatrix([[1.0, 2.0]])
+        with pytest.raises(ValidationError, match="offset"):
+            TranslationPerturbation(offsets=[1.0]).perturb(data)
+
+
+class TestScaling:
+    def test_explicit_factors(self):
+        data = DataMatrix([[1.0, 2.0], [3.0, 4.0]])
+        released = ScalingPerturbation(factors=[2.0, 0.5]).perturb(data)
+        assert np.allclose(released.values, [[2.0, 1.0], [6.0, 2.0]])
+
+    def test_distorts_distances_anisotropically(self, normalized):
+        released = ScalingPerturbation(factors=[5.0] + [1.0] * (normalized.n_attributes - 1)).perturb(normalized)
+        assert not np.allclose(
+            dissimilarity_matrix(normalized.values),
+            dissimilarity_matrix(released.values),
+            atol=1e-3,
+        )
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValidationError):
+            ScalingPerturbation(factors=[0.0, 1.0])
+        with pytest.raises(ValidationError):
+            ScalingPerturbation(min_factor=2.0, max_factor=1.0)
+
+    def test_factor_count_checked(self):
+        with pytest.raises(ValidationError, match="factor"):
+            ScalingPerturbation(factors=[2.0]).perturb(DataMatrix([[1.0, 2.0]]))
+
+
+class TestSimpleRotation:
+    def test_preserves_distances(self, normalized):
+        released = SimpleRotationPerturbation(theta_degrees=73.0).perturb(normalized)
+        assert np.allclose(
+            dissimilarity_matrix(normalized.values),
+            dissimilarity_matrix(released.values),
+            atol=1e-9,
+        )
+
+    def test_odd_attribute_left_unchanged(self):
+        data = DataMatrix(np.arange(9.0).reshape(3, 3))
+        released = SimpleRotationPerturbation(theta_degrees=90.0).perturb(data)
+        assert np.allclose(released.values[:, 2], data.values[:, 2])
+
+    def test_no_security_guarantee(self, normalized):
+        # A tiny fixed angle leaves the data almost unchanged: no security floor.
+        released = SimpleRotationPerturbation(theta_degrees=0.5).perturb(normalized)
+        variance = perturbation_variance(
+            normalized.column(normalized.columns[0]), released.column(normalized.columns[0])
+        )
+        assert variance < 1e-3
+
+    def test_random_angle_is_seeded(self, normalized):
+        first = SimpleRotationPerturbation(theta_degrees=None, random_state=2).perturb(normalized)
+        second = SimpleRotationPerturbation(theta_degrees=None, random_state=2).perturb(normalized)
+        assert np.allclose(first.values, second.values)
+
+
+class TestValueSwapping:
+    def test_marginals_preserved_exactly(self, normalized):
+        released = ValueSwappingPerturbation(0.5, random_state=0).perturb(normalized)
+        for name in normalized.columns:
+            assert np.allclose(
+                np.sort(released.column(name)), np.sort(normalized.column(name))
+            )
+
+    def test_zero_fraction_is_identity(self, normalized):
+        released = ValueSwappingPerturbation(0.0, random_state=0).perturb(normalized)
+        assert np.allclose(released.values, normalized.values)
+
+    def test_full_swap_changes_joint_structure(self, normalized):
+        released = ValueSwappingPerturbation(1.0, random_state=0).perturb(normalized)
+        assert not np.allclose(
+            dissimilarity_matrix(normalized.values),
+            dissimilarity_matrix(released.values),
+            atol=1e-3,
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            ValueSwappingPerturbation(1.5)

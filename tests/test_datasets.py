@@ -1,0 +1,181 @@
+"""Unit tests for the dataset loaders and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataMatrix
+from repro.data.datasets import (
+    CARDIAC_SAMPLE_COLUMNS,
+    CARDIAC_SAMPLE_IDS,
+    load_cardiac_normalized,
+    load_cardiac_sample,
+    load_cardiac_sample_table,
+    make_anisotropic_blobs,
+    make_blobs,
+    make_customer_segments,
+    make_patient_cohorts,
+    make_rings,
+    make_synthetic_arrhythmia,
+    make_uniform_noise,
+    split_horizontally,
+    split_vertically,
+)
+from repro.exceptions import DatasetError
+
+
+class TestCardiacSample:
+    def test_raw_sample_matches_table1(self):
+        matrix = load_cardiac_sample()
+        assert matrix.columns == CARDIAC_SAMPLE_COLUMNS
+        assert matrix.ids == CARDIAC_SAMPLE_IDS
+        assert matrix.values[0].tolist() == [75.0, 80.0, 63.0]
+        assert matrix.values[-1].tolist() == [44.0, 90.0, 68.0]
+
+    def test_normalized_sample_matches_table2(self):
+        matrix = load_cardiac_normalized()
+        assert matrix.shape == (5, 3)
+        assert matrix.values[0, 0] == pytest.approx(1.4809)
+        assert matrix.values[1, 2] == pytest.approx(-1.5061)
+
+    def test_sample_table_roles(self):
+        table = load_cardiac_sample_table()
+        assert table.schema.identifier_names() == ["id"]
+        assert table.schema.confidential_names() == ["age", "weight", "heart_rate"]
+        assert table.n_rows == 5
+
+    def test_table_and_matrix_agree(self):
+        table = load_cardiac_sample_table()
+        matrix = load_cardiac_sample()
+        assert np.allclose(table.to_matrix().values, matrix.values)
+
+
+class TestSyntheticArrhythmia:
+    def test_default_size_matches_uci(self):
+        matrix = make_synthetic_arrhythmia(random_state=0)
+        assert matrix.shape == (452, 3)
+        assert matrix.columns == ("age", "weight", "heart_rate")
+        assert matrix.ids is not None
+
+    def test_extra_attributes(self):
+        matrix = make_synthetic_arrhythmia(50, n_extra_attributes=4, random_state=0)
+        assert matrix.shape == (50, 7)
+        assert matrix.columns[-1] == "v3"
+
+    def test_physiological_ranges(self):
+        matrix = make_synthetic_arrhythmia(500, random_state=1)
+        ages = matrix.column("age")
+        rates = matrix.column("heart_rate")
+        assert ages.min() >= 1.0 and ages.max() <= 100.0
+        assert rates.min() >= 35.0 and rates.max() <= 180.0
+
+    def test_deterministic_with_seed(self):
+        first = make_synthetic_arrhythmia(40, random_state=7)
+        second = make_synthetic_arrhythmia(40, random_state=7)
+        assert np.allclose(first.values, second.values)
+
+
+class TestBlobGenerators:
+    def test_make_blobs_shapes_and_labels(self):
+        matrix, labels = make_blobs(n_objects=90, n_attributes=3, n_clusters=4, random_state=0)
+        assert matrix.shape == (90, 3)
+        assert labels.shape == (90,)
+        assert set(np.unique(labels)) == {0, 1, 2, 3}
+
+    def test_make_blobs_balanced_labels(self):
+        _, labels = make_blobs(n_objects=90, n_clusters=3, random_state=0)
+        counts = np.bincount(labels)
+        assert counts.max() - counts.min() <= 1
+
+    def test_make_blobs_deterministic(self):
+        first, _ = make_blobs(random_state=3)
+        second, _ = make_blobs(random_state=3)
+        assert np.allclose(first.values, second.values)
+
+    def test_make_blobs_invalid_center_box(self):
+        with pytest.raises(DatasetError):
+            make_blobs(center_box=(1.0, -1.0))
+
+    def test_anisotropic_blobs(self):
+        matrix, labels = make_anisotropic_blobs(n_objects=60, n_clusters=2, random_state=0)
+        assert matrix.shape == (60, 2)
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_make_rings(self):
+        matrix, labels = make_rings(n_objects=100, n_rings=2, random_state=0)
+        radii = np.sqrt((matrix.values**2).sum(axis=1))
+        # Outer-ring points should be farther from the origin on average.
+        assert radii[labels == 1].mean() > radii[labels == 0].mean()
+
+    def test_make_uniform_noise(self):
+        matrix = make_uniform_noise(50, 3, low=-1.0, high=1.0, random_state=0)
+        assert matrix.shape == (50, 3)
+        assert matrix.values.min() >= -1.0
+        assert matrix.values.max() <= 1.0
+        with pytest.raises(DatasetError):
+            make_uniform_noise(low=2.0, high=1.0)
+
+
+class TestScenarioGenerators:
+    def test_customer_segments(self):
+        matrix, labels = make_customer_segments(200, random_state=0)
+        assert matrix.shape == (200, 5)
+        assert matrix.columns[0] == "annual_spend"
+        assert set(np.unique(labels)) == {0, 1, 2, 3}
+        assert np.all(matrix.values >= 0.0)
+
+    def test_patient_cohorts(self):
+        matrix, labels = make_patient_cohorts(150, n_cohorts=3, random_state=0)
+        assert matrix.shape == (150, 6)
+        assert len(np.unique(labels)) == 3
+        assert matrix.ids is not None
+
+    def test_patient_cohorts_max_cohorts(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            make_patient_cohorts(100, n_cohorts=9)
+
+
+class TestPartitioning:
+    def test_split_vertically_covers_all_columns(self):
+        matrix, _ = make_customer_segments(30, random_state=0)
+        parts = split_vertically(matrix, 2)
+        all_columns = [name for part in parts for name in part.columns]
+        assert sorted(all_columns) == sorted(matrix.columns)
+        assert all(part.n_objects == 30 for part in parts)
+
+    def test_split_vertically_too_many_parties(self):
+        matrix, _ = make_blobs(n_objects=10, n_attributes=2, random_state=0)
+        with pytest.raises(DatasetError):
+            split_vertically(matrix, 3)
+
+    def test_split_vertically_random_assignment(self):
+        matrix, _ = make_customer_segments(10, random_state=0)
+        default = split_vertically(matrix, 2)
+        shuffled = split_vertically(matrix, 2, random_state=5)
+        assert {c for p in shuffled for c in p.columns} == set(matrix.columns)
+        # With a seed, the assignment may differ from the round-robin default.
+        assert isinstance(default[0], DataMatrix)
+
+    def test_split_horizontally_covers_all_objects(self):
+        matrix, labels = make_blobs(n_objects=31, n_clusters=3, random_state=0)
+        parts, label_parts = split_horizontally(matrix, 3, labels=labels, random_state=0)
+        assert sum(part.n_objects for part in parts) == 31
+        assert sum(chunk.size for chunk in label_parts) == 31
+
+    def test_split_horizontally_without_labels(self):
+        matrix, _ = make_blobs(n_objects=12, random_state=0)
+        parts = split_horizontally(matrix, 4, random_state=0)
+        assert len(parts) == 4
+
+    def test_split_horizontally_label_mismatch(self):
+        matrix, _ = make_blobs(n_objects=12, random_state=0)
+        with pytest.raises(DatasetError):
+            split_horizontally(matrix, 2, labels=np.zeros(5, dtype=int))
+
+    def test_split_horizontally_too_many_parties(self):
+        matrix, _ = make_blobs(n_objects=3, n_clusters=2, random_state=0)
+        with pytest.raises(DatasetError):
+            split_horizontally(matrix, 10)

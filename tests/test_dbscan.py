@@ -1,0 +1,83 @@
+"""Unit tests for DBSCAN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN
+from repro.data.datasets import make_blobs, make_rings
+from repro.exceptions import ClusteringError, ValidationError
+from repro.metrics import matched_accuracy, pairwise_distances
+
+
+class TestClusteringBehaviour:
+    def test_recovers_dense_blobs(self):
+        matrix, labels = make_blobs(
+            n_objects=150, n_clusters=3, cluster_std=0.3, random_state=3
+        )
+        result = DBSCAN(eps=1.0, min_samples=4).fit(matrix)
+        mask = result.labels >= 0
+        assert result.n_clusters == 3
+        assert matched_accuracy(labels[mask], result.labels[mask]) > 0.95
+
+    def test_separates_rings_where_kmeans_cannot(self):
+        matrix, labels = make_rings(n_objects=400, n_rings=2, noise=0.02, random_state=1)
+        result = DBSCAN(eps=0.45, min_samples=4).fit(matrix)
+        mask = result.labels >= 0
+        assert result.n_clusters == 2
+        assert matched_accuracy(labels[mask], result.labels[mask]) > 0.95
+
+    def test_isolated_points_are_noise(self):
+        cluster = np.random.default_rng(0).normal(size=(30, 2)) * 0.1
+        outlier = np.array([[100.0, 100.0]])
+        result = DBSCAN(eps=0.5, min_samples=3).fit(np.vstack([cluster, outlier]))
+        assert result.labels[-1] == -1
+        assert result.metadata["n_noise"] >= 1
+
+    def test_everything_noise_when_eps_tiny(self, blob_data):
+        matrix, _ = blob_data
+        result = DBSCAN(eps=1e-9, min_samples=3).fit(matrix)
+        assert result.n_clusters == 0
+        assert np.all(result.labels == -1)
+
+    def test_single_cluster_when_eps_huge(self, blob_data):
+        matrix, _ = blob_data
+        result = DBSCAN(eps=1e6, min_samples=3).fit(matrix)
+        assert result.n_clusters == 1
+
+    def test_core_mask_shape(self, blob_data):
+        matrix, _ = blob_data
+        result = DBSCAN(eps=1.0, min_samples=4).fit(matrix)
+        assert result.metadata["core_mask"].shape == (matrix.n_objects,)
+
+
+class TestPrecomputedMode:
+    def test_same_result_as_raw_coordinates(self, blob_data):
+        matrix, _ = blob_data
+        direct = DBSCAN(eps=1.2, min_samples=4).fit_predict(matrix)
+        precomputed = DBSCAN(eps=1.2, min_samples=4, precomputed=True).fit_predict(
+            pairwise_distances(matrix.values)
+        )
+        assert np.array_equal(direct, precomputed)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ClusteringError, match="square"):
+            DBSCAN(eps=1.0, precomputed=True).fit(np.zeros((3, 2)))
+
+
+class TestConfiguration:
+    def test_invalid_eps(self):
+        with pytest.raises(ValidationError):
+            DBSCAN(eps=0.0)
+
+    def test_invalid_min_samples(self):
+        with pytest.raises(ValidationError):
+            DBSCAN(eps=1.0, min_samples=0)
+
+    def test_deterministic(self, blob_data):
+        matrix, _ = blob_data
+        assert np.array_equal(
+            DBSCAN(eps=1.0, min_samples=4).fit_predict(matrix),
+            DBSCAN(eps=1.0, min_samples=4).fit_predict(matrix),
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for distance functions and dissimilarity matrices (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    chebyshev_distance,
+    check_metric_axioms,
+    condensed_dissimilarity,
+    dissimilarity_matrix,
+    euclidean_distance,
+    manhattan_distance,
+    minkowski_distance,
+    pairwise_distances,
+)
+
+
+class TestPointDistances:
+    def test_euclidean_matches_equation6(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_manhattan_matches_equation7(self):
+        assert manhattan_distance([1.0, 2.0], [4.0, -2.0]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert chebyshev_distance([0.0, 0.0], [3.0, -4.0]) == pytest.approx(4.0)
+
+    def test_minkowski_special_cases(self):
+        a, b = [1.0, 2.0, 3.0], [4.0, 6.0, 3.0]
+        assert minkowski_distance(a, b, p=1) == pytest.approx(manhattan_distance(a, b))
+        assert minkowski_distance(a, b, p=2) == pytest.approx(euclidean_distance(a, b))
+
+    def test_minkowski_requires_positive_p(self):
+        with pytest.raises(ValidationError):
+            minkowski_distance([0.0], [1.0], p=0.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError, match="dimensionality"):
+            euclidean_distance([1.0, 2.0], [1.0])
+
+    def test_distance_to_self_is_zero(self):
+        assert euclidean_distance([1.5, -2.5], [1.5, -2.5]) == 0.0
+
+
+class TestPairwiseDistances:
+    @pytest.fixture
+    def points(self) -> np.ndarray:
+        return np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+
+    def test_euclidean_matrix(self, points):
+        distances = pairwise_distances(points)
+        assert distances[0, 1] == pytest.approx(5.0)
+        assert distances[0, 2] == pytest.approx(10.0)
+        assert distances[1, 2] == pytest.approx(5.0)
+
+    def test_matches_naive_loop(self, rng):
+        data = rng.normal(size=(20, 5))
+        fast = pairwise_distances(data)
+        for i in range(20):
+            for j in range(20):
+                assert fast[i, j] == pytest.approx(euclidean_distance(data[i], data[j]), abs=1e-9)
+
+    def test_manhattan_and_chebyshev_modes(self, points):
+        manhattan = pairwise_distances(points, metric="manhattan")
+        chebyshev = pairwise_distances(points, metric="chebyshev")
+        assert manhattan[0, 1] == pytest.approx(7.0)
+        assert chebyshev[0, 1] == pytest.approx(4.0)
+
+    def test_minkowski_mode(self, points):
+        p3 = pairwise_distances(points, metric="minkowski", p=3)
+        assert p3[0, 1] == pytest.approx((3**3 + 4**3) ** (1 / 3))
+
+    def test_unknown_metric(self, points):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            pairwise_distances(points, metric="cosine")
+
+    def test_symmetry_and_zero_diagonal(self, rng):
+        data = rng.normal(size=(15, 3))
+        distances = pairwise_distances(data)
+        assert np.allclose(distances, distances.T)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_accepts_data_matrix(self, cardiac_normalized):
+        distances = pairwise_distances(cardiac_normalized)
+        assert distances.shape == (5, 5)
+
+
+class TestDissimilarityMatrix:
+    def test_equals_pairwise(self, rng):
+        data = rng.normal(size=(10, 4))
+        assert np.allclose(dissimilarity_matrix(data), pairwise_distances(data))
+
+    def test_condensed_layout_matches_paper_tables(self, cardiac_normalized):
+        rows = condensed_dissimilarity(cardiac_normalized, decimals=4)
+        assert rows[0] == []
+        assert len(rows[1]) == 1
+        assert len(rows[4]) == 4
+        # Spot value from Table 4/6 (distances of the normalized data, Theorem 2).
+        assert rows[1][0] == pytest.approx(1.8723, abs=2e-3)
+
+    def test_condensed_without_rounding(self, rng):
+        data = rng.normal(size=(4, 2))
+        rows = condensed_dissimilarity(data)
+        full = dissimilarity_matrix(data)
+        assert rows[3][1] == pytest.approx(full[3, 1])
+
+
+class TestMetricAxioms:
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+    def test_axioms_hold_for_random_data(self, rng, metric):
+        data = rng.normal(size=(25, 4))
+        axioms = check_metric_axioms(data, metric=metric)
+        assert all(axioms.values()), axioms
+
+    def test_axiom_keys(self, rng):
+        axioms = check_metric_axioms(rng.normal(size=(5, 2)))
+        assert set(axioms) == {"non_negative", "identity", "symmetric", "triangle_inequality"}

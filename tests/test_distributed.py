@@ -1,0 +1,203 @@
+"""Unit tests for the distributed-PPC comparators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.data import DataMatrix
+from repro.data.datasets import make_blobs, split_horizontally, split_vertically
+from repro.distributed import (
+    GaussianMixtureModel,
+    GenerativeModelClustering,
+    MessageLog,
+    Party,
+    SecureSumProtocol,
+    VerticallyPartitionedKMeans,
+)
+from repro.exceptions import ConvergenceError, ProtocolError
+from repro.metrics import matched_accuracy
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture
+def partitioned_blobs():
+    matrix, labels = make_blobs(
+        n_objects=150, n_attributes=4, n_clusters=3, cluster_std=0.5, random_state=21
+    )
+    normalized = ZScoreNormalizer().fit_transform(matrix)
+    return normalized, labels
+
+
+class TestMessageLog:
+    def test_record_and_counters(self):
+        log = MessageLog()
+        log.record("a", "b", 10, label="hello")
+        log.record("b", "a", 5)
+        log.new_round()
+        assert log.n_messages == 2
+        assert log.n_values == 15
+        assert log.rounds == 1
+        assert log.trace == ["a -> b: hello (10 values)"]
+
+
+class TestParty:
+    def test_requires_data_matrix(self):
+        with pytest.raises(ProtocolError):
+            Party("p", np.zeros((2, 2)))
+
+    def test_local_distances_fragment_size_checked(self):
+        party = Party("p", DataMatrix([[1.0, 2.0], [3.0, 4.0]]))
+        with pytest.raises(ProtocolError, match="fragment"):
+            party.local_distances_to(np.zeros(3))
+
+    def test_local_cluster_sums(self):
+        party = Party("p", DataMatrix([[1.0], [2.0], [10.0]]))
+        sums, counts = party.local_cluster_sums(np.array([0, 0, 1]), 2)
+        assert sums[0, 0] == pytest.approx(3.0)
+        assert sums[1, 0] == pytest.approx(10.0)
+        assert counts.tolist() == [2, 1]
+
+    def test_local_cluster_sums_label_length_checked(self):
+        party = Party("p", DataMatrix([[1.0], [2.0]]))
+        with pytest.raises(ProtocolError, match="labels"):
+            party.local_cluster_sums(np.array([0]), 1)
+
+
+class TestSecureSum:
+    def test_sum_is_exact(self, rng):
+        protocol = SecureSumProtocol(random_state=0)
+        vectors = [rng.normal(size=7) for _ in range(4)]
+        total = protocol.sum_vectors(["a", "b", "c", "d"], vectors)
+        assert np.allclose(total, np.sum(vectors, axis=0), atol=1e-8)
+
+    def test_messages_counted(self, rng):
+        protocol = SecureSumProtocol(random_state=0)
+        protocol.sum_vectors(["a", "b", "c"], [rng.normal(size=3) for _ in range(3)])
+        # Ring of 3 parties: 2 forwarding hops + 1 return hop.
+        assert protocol.log.n_messages == 3
+        assert protocol.log.rounds == 1
+
+    def test_shape_mismatch(self, rng):
+        protocol = SecureSumProtocol(random_state=0)
+        with pytest.raises(ProtocolError, match="shape"):
+            protocol.sum_vectors(["a", "b"], [np.zeros(2), np.zeros(3)])
+
+    def test_party_vector_count_mismatch(self):
+        protocol = SecureSumProtocol(random_state=0)
+        with pytest.raises(ProtocolError):
+            protocol.sum_vectors(["a", "b"], [np.zeros(2)])
+
+
+class TestVerticallyPartitionedKMeans:
+    def test_matches_centralized_clusters(self, partitioned_blobs):
+        normalized, labels = partitioned_blobs
+        parts = split_vertically(normalized, 2)
+        result, _ = VerticallyPartitionedKMeans(n_clusters=3, random_state=4).fit(parts)
+        assert matched_accuracy(labels, result.labels) > 0.9
+
+    def test_quality_close_to_plain_kmeans(self, partitioned_blobs):
+        normalized, labels = partitioned_blobs
+        parts = split_vertically(normalized, 2)
+        distributed, _ = VerticallyPartitionedKMeans(n_clusters=3, random_state=4).fit(parts)
+        centralized = KMeans(3, random_state=4).fit_predict(normalized)
+        assert matched_accuracy(centralized, distributed.labels) > 0.9
+
+    def test_message_log_populated(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        parts = split_vertically(normalized, 3)
+        _, log = VerticallyPartitionedKMeans(n_clusters=3, random_state=0).fit(parts)
+        assert log.n_messages > 0
+        assert log.n_values > 0
+
+    def test_communication_grows_with_parties(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        _, log2 = VerticallyPartitionedKMeans(n_clusters=3, random_state=0).fit(
+            split_vertically(normalized, 2)
+        )
+        _, log4 = VerticallyPartitionedKMeans(n_clusters=3, random_state=0).fit(
+            split_vertically(normalized, 4)
+        )
+        assert log4.n_messages > log2.n_messages
+
+    def test_needs_two_parties(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        with pytest.raises(ProtocolError, match="two parties"):
+            VerticallyPartitionedKMeans(3).fit([normalized])
+
+    def test_row_count_mismatch(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        parts = split_vertically(normalized, 2)
+        truncated = parts[1].rows(range(10))
+        with pytest.raises(ProtocolError, match="same objects"):
+            VerticallyPartitionedKMeans(3).fit([parts[0], truncated])
+
+    def test_too_many_clusters(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        parts = split_vertically(normalized.rows(range(2)), 2)
+        with pytest.raises(ProtocolError, match="cannot find"):
+            VerticallyPartitionedKMeans(5).fit(parts)
+
+
+class TestGaussianMixtureModel:
+    def test_fits_two_component_mixture(self, rng):
+        data = np.vstack(
+            [rng.normal(loc=0.0, scale=0.5, size=(200, 2)), rng.normal(loc=8.0, scale=0.5, size=(200, 2))]
+        )
+        model = GaussianMixtureModel(n_components=2, random_state=0).fit(data)
+        means = np.sort(model.means_[:, 0])
+        assert means[0] == pytest.approx(0.0, abs=0.5)
+        assert means[1] == pytest.approx(8.0, abs=0.5)
+        assert np.allclose(model.weights_.sum(), 1.0)
+
+    def test_sampling_matches_fitted_moments(self, rng):
+        data = rng.normal(loc=3.0, scale=2.0, size=(500, 1))
+        model = GaussianMixtureModel(n_components=1, random_state=0).fit(data)
+        samples = model.sample(4000, random_state=1)
+        assert samples.mean() == pytest.approx(3.0, abs=0.3)
+        assert samples.std() == pytest.approx(2.0, abs=0.3)
+
+    def test_n_parameters(self, rng):
+        model = GaussianMixtureModel(n_components=3, random_state=0).fit(rng.normal(size=(50, 4)))
+        # weights (3) + means (3*4) + variances (3*4)
+        assert model.n_parameters == 3 + 12 + 12
+
+    def test_unfitted_usage_rejected(self):
+        with pytest.raises(ConvergenceError):
+            GaussianMixtureModel().sample(10)
+
+    def test_too_few_rows(self):
+        with pytest.raises(ProtocolError):
+            GaussianMixtureModel(n_components=5).fit(np.zeros((3, 2)))
+
+
+class TestGenerativeModelClustering:
+    def test_recovers_clusters_from_horizontal_partitions(self, partitioned_blobs):
+        normalized, labels = partitioned_blobs
+        parts, label_parts = split_horizontally(normalized, 3, labels=labels, random_state=0)
+        protocol = GenerativeModelClustering(
+            n_clusters=3, n_components_per_site=3, n_artificial_samples=600, random_state=0
+        )
+        result, log = protocol.fit(parts)
+        true_concatenated = np.concatenate(label_parts)
+        assert matched_accuracy(true_concatenated, result.labels) > 0.85
+        assert log.n_values > 0
+
+    def test_communication_is_parameters_not_records(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        parts = split_horizontally(normalized, 2, random_state=0)
+        _, log = GenerativeModelClustering(n_clusters=3, random_state=0).fit(parts)
+        raw_values = normalized.n_objects * normalized.n_attributes
+        assert log.n_values < raw_values
+
+    def test_needs_two_sites(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        with pytest.raises(ProtocolError, match="two sites"):
+            GenerativeModelClustering().fit([normalized])
+
+    def test_schema_mismatch(self, partitioned_blobs):
+        normalized, _ = partitioned_blobs
+        half = normalized.select(list(normalized.columns[:2]))
+        with pytest.raises(ProtocolError, match="schema"):
+            GenerativeModelClustering().fit([normalized, half])

@@ -1,0 +1,89 @@
+"""Unit tests for agglomerative hierarchical clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import AgglomerativeClustering
+from repro.exceptions import ClusteringError
+from repro.metrics import matched_accuracy, pairwise_distances
+
+
+class TestLinkages:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_recovers_well_separated_blobs(self, blob_data, linkage):
+        matrix, labels = blob_data
+        predicted = AgglomerativeClustering(3, linkage=linkage).fit_predict(matrix)
+        assert matched_accuracy(labels, predicted) > 0.9
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ClusteringError, match="linkage"):
+            AgglomerativeClustering(2, linkage="median")
+
+    def test_ward_requires_euclidean(self):
+        with pytest.raises(ClusteringError, match="euclidean"):
+            AgglomerativeClustering(2, linkage="ward", metric="manhattan")
+
+    def test_single_linkage_chains_rings(self):
+        from repro.data.datasets import make_rings
+
+        matrix, labels = make_rings(n_objects=200, n_rings=2, noise=0.02, random_state=0)
+        predicted = AgglomerativeClustering(2, linkage="single").fit_predict(matrix)
+        assert matched_accuracy(labels, predicted) > 0.95
+
+
+class TestStructure:
+    def test_n_clusters_equals_requested(self, blob_data):
+        matrix, _ = blob_data
+        for k in (1, 2, 5):
+            result = AgglomerativeClustering(k).fit(matrix)
+            assert result.n_clusters == k
+            assert len(np.unique(result.labels)) == k
+
+    def test_merge_history_length(self, blob_data):
+        matrix, _ = blob_data
+        result = AgglomerativeClustering(4).fit(matrix)
+        assert len(result.metadata["merge_history"]) == matrix.n_objects - 4
+
+    def test_merge_distances_monotone_for_complete_linkage(self, blob_data):
+        matrix, _ = blob_data
+        result = AgglomerativeClustering(1, linkage="complete").fit(matrix)
+        distances = [distance for *_names, distance in result.metadata["merge_history"]]
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(distances, distances[1:]))
+
+    def test_labels_cover_every_object(self, blob_data):
+        matrix, _ = blob_data
+        result = AgglomerativeClustering(3).fit(matrix)
+        assert result.labels.shape == (matrix.n_objects,)
+        assert result.labels.min() >= 0
+
+
+class TestPrecomputedMode:
+    def test_same_result_as_raw_coordinates(self, blob_data):
+        matrix, _ = blob_data
+        direct = AgglomerativeClustering(3, linkage="average").fit_predict(matrix)
+        precomputed = AgglomerativeClustering(3, linkage="average", precomputed=True).fit_predict(
+            pairwise_distances(matrix.values)
+        )
+        assert matched_accuracy(direct, precomputed) == 1.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ClusteringError, match="square"):
+            AgglomerativeClustering(2, precomputed=True).fit(np.zeros((3, 2)))
+
+
+class TestEdgeCases:
+    def test_more_clusters_than_objects(self):
+        with pytest.raises(ClusteringError, match="cannot form"):
+            AgglomerativeClustering(5).fit(np.zeros((3, 2)))
+
+    def test_two_identical_points(self):
+        result = AgglomerativeClustering(1).fit(np.zeros((2, 2)))
+        assert result.n_clusters == 1
+
+    def test_deterministic(self, blob_data):
+        matrix, _ = blob_data
+        first = AgglomerativeClustering(3).fit_predict(matrix)
+        second = AgglomerativeClustering(3).fit_predict(matrix)
+        assert np.array_equal(first, second)

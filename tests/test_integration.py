@@ -1,0 +1,177 @@
+"""Integration tests crossing module boundaries.
+
+These tests follow the paper's two motivating scenarios end to end and check
+the interactions the unit tests cannot see: table → pipeline → release →
+third-party clustering → attack surface, plus the CSV release hand-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import KnownSampleAttack, RenormalizationAttack
+from repro.baselines import AdditiveNoisePerturbation
+from repro.clustering import DBSCAN, AgglomerativeClustering, KMeans, KMedoids
+from repro.core import RBT
+from repro.data import ColumnRole, DataMatrix, Schema, Table
+from repro.data.datasets import (
+    make_customer_segments,
+    make_patient_cohorts,
+    split_vertically,
+)
+from repro.data.io import matrix_from_csv, matrix_to_csv
+from repro.distributed import VerticallyPartitionedKMeans
+from repro.metrics import (
+    adjusted_rand_index,
+    clusters_identical,
+    matched_accuracy,
+    misclassification_error,
+    silhouette_score,
+)
+from repro.pipeline import PPCPipeline
+from repro.preprocessing import ZScoreNormalizer
+
+
+class TestHospitalScenario:
+    """Scenario 1: a hospital shares patient data for research clustering."""
+
+    @pytest.fixture
+    def hospital_table(self) -> tuple[Table, np.ndarray]:
+        matrix, labels = make_patient_cohorts(n_patients=180, n_cohorts=3, random_state=17)
+        records = []
+        for index in range(matrix.n_objects):
+            record = {"patient_id": f"MRN{index:05d}", "phone": f"555-{index:04d}"}
+            for name in matrix.columns:
+                record[name] = float(matrix.values[index, matrix.column_index(name)])
+            records.append(record)
+        schema = Schema.from_names(
+            ["patient_id", "phone", *matrix.columns],
+            roles={"patient_id": ColumnRole.IDENTIFIER, "phone": ColumnRole.IDENTIFIER},
+            default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+        )
+        return Table.from_records(records, schema=schema), labels
+
+    def test_full_release_and_research_workflow(self, hospital_table, tmp_path):
+        table, labels = hospital_table
+
+        # Data owner: suppress identifiers, normalize, rotate, release to CSV.
+        pipeline = PPCPipeline(RBT(thresholds=0.4, random_state=17))
+        bundle = pipeline.run(table, id_column="patient_id")
+        assert bundle.distances_preserved
+        assert "phone" not in bundle.released.columns
+        release_path = tmp_path / "released_patients.csv"
+        matrix_to_csv(bundle.released, release_path, float_format="%.12f")
+
+        # Researcher: load the release and cluster it with several algorithms.
+        received = matrix_from_csv(release_path)
+        assert received.shape == bundle.released.shape
+        researcher_kmeans = KMeans(3, random_state=1).fit_predict(received)
+        owner_kmeans = KMeans(3, random_state=1).fit_predict(bundle.normalized)
+        assert clusters_identical(owner_kmeans, researcher_kmeans)
+
+        # The clusters found on the release recover the true cohorts as well as
+        # clustering the private data would have.
+        assert matched_accuracy(labels, researcher_kmeans) == pytest.approx(
+            matched_accuracy(labels, owner_kmeans), abs=1e-9
+        )
+
+    def test_attacker_with_release_only_fails(self, hospital_table):
+        table, _ = hospital_table
+        bundle = PPCPipeline(RBT(thresholds=0.4, random_state=17)).run(table)
+        attack = RenormalizationAttack().run(bundle.released, bundle.normalized)
+        assert not attack.succeeded
+
+    def test_attacker_with_known_records_succeeds(self, hospital_table):
+        # The honest caveat: an insider knowing a few original records breaks RBT.
+        table, _ = hospital_table
+        bundle = PPCPipeline(RBT(thresholds=0.4, random_state=17)).run(table)
+        attack = KnownSampleAttack(known_indices=range(10)).run(bundle.released, bundle.normalized)
+        assert attack.succeeded
+
+
+class TestMarketingScenario:
+    """Scenario 2: two companies study customer segments without sharing raw data."""
+
+    def test_rbt_release_matches_vertically_partitioned_protocol(self):
+        matrix, labels = make_customer_segments(n_customers=240, random_state=23)
+        normalized = ZScoreNormalizer().fit_transform(matrix)
+
+        # Option A (this paper): one party releases an RBT-transformed table.
+        released = RBT(thresholds=0.3, random_state=23).transform(normalized).matrix
+        rbt_labels = KMeans(4, random_state=2).fit_predict(released)
+
+        # Option B (related work): both parties run the secure protocol on the split data.
+        partitions = split_vertically(normalized, 2)
+        distributed_result, log = VerticallyPartitionedKMeans(n_clusters=4, random_state=2).fit(
+            partitions
+        )
+
+        assert matched_accuracy(labels, rbt_labels) > 0.9
+        assert matched_accuracy(labels, distributed_result.labels) > 0.9
+        # RBT ships a single table; the protocol exchanges many messages.
+        assert log.n_messages > 10
+
+    def test_silhouette_identical_on_original_and_release(self):
+        matrix, _ = make_customer_segments(n_customers=150, random_state=29)
+        normalized = ZScoreNormalizer().fit_transform(matrix)
+        released = RBT(thresholds=0.3, random_state=29).transform(normalized).matrix
+        labels = KMeans(4, random_state=0).fit_predict(normalized)
+        assert silhouette_score(released.values, labels) == pytest.approx(
+            silhouette_score(normalized.values, labels), abs=1e-9
+        )
+
+
+class TestAlgorithmIndependence:
+    """Corollary 1 across every clustering algorithm in the library."""
+
+    @pytest.fixture
+    def release(self):
+        matrix, labels = make_patient_cohorts(n_patients=140, random_state=31)
+        normalized = ZScoreNormalizer().fit_transform(matrix)
+        released = RBT(thresholds=0.5, random_state=31).transform(normalized).matrix
+        return normalized, released, labels
+
+    @pytest.mark.parametrize(
+        "algorithm_factory",
+        [
+            lambda: KMeans(3, random_state=0),
+            lambda: KMedoids(3, random_state=0),
+            lambda: AgglomerativeClustering(3, linkage="average"),
+            lambda: AgglomerativeClustering(3, linkage="complete"),
+            lambda: AgglomerativeClustering(3, linkage="ward"),
+            lambda: DBSCAN(eps=1.5, min_samples=4),
+        ],
+        ids=["kmeans", "kmedoids", "hier-average", "hier-complete", "hier-ward", "dbscan"],
+    )
+    def test_partitions_identical_on_original_and_release(self, release, algorithm_factory):
+        normalized, released, _ = release
+        labels_original = algorithm_factory().fit_predict(normalized)
+        labels_released = algorithm_factory().fit_predict(released)
+        assert clusters_identical(labels_original, labels_released)
+
+    def test_baseline_noise_does_move_points(self, release):
+        normalized, _, _ = release
+        noisy = AdditiveNoisePerturbation(1.0, random_state=0).perturb(normalized)
+        labels_original = KMeans(3, random_state=0).fit_predict(normalized)
+        labels_noisy = KMeans(3, random_state=0).fit_predict(noisy)
+        # With noise comparable to the attribute spread, at least some points
+        # change cluster — the misclassification problem the paper describes.
+        assert misclassification_error(labels_original, labels_noisy) > 0.0
+        assert adjusted_rand_index(labels_original, labels_noisy) < 1.0
+
+
+class TestMixedPairingAcrossModules:
+    def test_table_pipeline_csv_roundtrip_preserves_equivalence(self, tmp_path):
+        matrix, _ = make_patient_cohorts(n_patients=90, random_state=37)
+        bundle = PPCPipeline(RBT(thresholds=0.35, random_state=37)).run(
+            matrix, algorithms=[KMeans(3, random_state=5), KMedoids(3, random_state=5)]
+        )
+        assert all(report.identical for report in bundle.equivalence)
+
+        path = tmp_path / "release.csv"
+        matrix_to_csv(bundle.released, path, float_format="%.12f")
+        received = matrix_from_csv(path)
+        again = KMeans(3, random_state=5).fit_predict(received)
+        original = KMeans(3, random_state=5).fit_predict(bundle.normalized)
+        assert clusters_identical(original, again)

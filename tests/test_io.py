@@ -1,0 +1,152 @@
+"""Unit tests for CSV/JSON persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnRole, DataMatrix, Schema, Table
+from repro.data.io import (
+    matrix_from_csv,
+    matrix_to_csv,
+    read_csv,
+    read_json,
+    write_csv,
+    write_json,
+)
+from repro.exceptions import SerializationError
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = Schema.from_names(
+        ["id", "age", "weight", "city"],
+        roles={"id": ColumnRole.IDENTIFIER, "city": ColumnRole.CATEGORICAL},
+        default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+    )
+    return Table(
+        schema,
+        {
+            "id": ["p1", "p2", "p3"],
+            "age": [30.5, 40.0, 50.25],
+            "weight": [60.0, 70.5, 80.0],
+            "city": ["york", "leeds", "hull"],
+        },
+    )
+
+
+class TestTableCsv:
+    def test_round_trip_with_explicit_schema(self, table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, schema=table.schema)
+        assert loaded.column_names == table.column_names
+        assert np.allclose(loaded.column("age"), table.column("age"))
+        assert loaded.column("city").tolist() == table.column("city").tolist()
+
+    def test_inferred_roles(self, table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, identifier_columns=["id"])
+        assert loaded.schema.role_of("id") is ColumnRole.IDENTIFIER
+        assert loaded.schema.role_of("age") is ColumnRole.CONFIDENTIAL_NUMERIC
+        assert loaded.schema.role_of("city") is ColumnRole.CATEGORICAL
+
+    def test_explicit_numeric_columns(self, table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, numeric_columns=["age"])
+        assert loaded.schema.role_of("age") is ColumnRole.CONFIDENTIAL_NUMERIC
+        assert loaded.schema.role_of("weight") is ColumnRole.CATEGORICAL
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SerializationError, match="empty"):
+            read_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(SerializationError, match="no data rows"):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SerializationError, match="field"):
+            read_csv(path)
+
+    def test_schema_column_missing_from_csv(self, table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(table.drop_columns(["city"]), path)
+        with pytest.raises(SerializationError, match="not present"):
+            read_csv(path, schema=table.schema)
+
+    def test_numeric_declared_but_text_found(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("age\nnot-a-number\n")
+        schema = Schema.from_names(["age"], default_role=ColumnRole.NUMERIC)
+        with pytest.raises(SerializationError, match="declared numeric"):
+            read_csv(path, schema=schema)
+
+
+class TestTableJson:
+    def test_round_trip(self, table, tmp_path):
+        path = tmp_path / "table.json"
+        write_json(table, path)
+        loaded = read_json(path)
+        assert loaded.column_names == table.column_names
+        assert loaded.schema.role_of("id") is ColumnRole.IDENTIFIER
+        assert np.allclose(loaded.column("weight"), table.column("weight"))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            read_json(path)
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"records": []}')
+        with pytest.raises(SerializationError, match="missing"):
+            read_json(path)
+
+
+class TestMatrixCsv:
+    def test_round_trip_with_ids(self, tmp_path):
+        matrix = DataMatrix(
+            [[1.25, 2.5], [3.75, 4.0]], columns=["a", "b"], ids=["x", "y"]
+        )
+        path = tmp_path / "matrix.csv"
+        matrix_to_csv(matrix, path)
+        loaded = matrix_from_csv(path)
+        assert loaded.columns == ("a", "b")
+        assert loaded.ids == ("x", "y")
+        assert np.allclose(loaded.values, matrix.values)
+
+    def test_round_trip_without_ids(self, tmp_path):
+        matrix = DataMatrix([[1.0], [2.0]], columns=["a"])
+        path = tmp_path / "matrix.csv"
+        matrix_to_csv(matrix, path)
+        loaded = matrix_from_csv(path)
+        assert loaded.ids is None
+        assert np.allclose(loaded.values, matrix.values)
+
+    def test_missing_rows_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(SerializationError, match="header and data"):
+            matrix_from_csv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a\nhello\n")
+        with pytest.raises(SerializationError, match="non-numeric"):
+            matrix_from_csv(path, id_column=None)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1.0\n")
+        with pytest.raises(SerializationError, match="field"):
+            matrix_from_csv(path, id_column=None)

@@ -1,0 +1,114 @@
+"""Unit tests for the k-means implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.data.datasets import make_blobs
+from repro.exceptions import ClusteringError, ValidationError
+from repro.metrics import matched_accuracy
+
+
+class TestConfiguration:
+    def test_invalid_init_strategy(self):
+        with pytest.raises(ClusteringError, match="init"):
+            KMeans(3, init="furthest-first")
+
+    def test_invalid_n_clusters(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValidationError):
+            KMeans(2, tolerance=0.0)
+
+    def test_more_clusters_than_points(self):
+        with pytest.raises(ClusteringError, match="cannot find"):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+
+class TestClusteringQuality:
+    def test_recovers_well_separated_blobs(self, blob_data):
+        matrix, labels = blob_data
+        predicted = KMeans(3, random_state=0).fit_predict(matrix)
+        assert matched_accuracy(labels, predicted) > 0.95
+
+    def test_result_fields(self, blob_data):
+        matrix, _ = blob_data
+        result = KMeans(3, random_state=0).fit(matrix)
+        assert result.labels.shape == (matrix.n_objects,)
+        assert result.n_clusters == 3
+        assert result.converged
+        assert result.n_iterations >= 1
+        assert np.isfinite(result.inertia)
+        assert result.metadata["centroids"].shape == (3, matrix.n_attributes)
+
+    def test_inertia_decreases_with_more_clusters(self, blob_data):
+        matrix, _ = blob_data
+        inertia_2 = KMeans(2, random_state=0).fit(matrix).inertia
+        inertia_6 = KMeans(6, random_state=0).fit(matrix).inertia
+        assert inertia_6 < inertia_2
+
+    def test_single_cluster(self, blob_data):
+        matrix, _ = blob_data
+        result = KMeans(1, random_state=0).fit(matrix)
+        assert result.n_clusters == 1
+        assert np.all(result.labels == 0)
+
+    def test_k_equals_n_objects(self):
+        data = np.arange(10.0).reshape(5, 2)
+        result = KMeans(5, random_state=0, n_init=1).fit(data)
+        assert result.n_clusters == 5
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestDeterminismAndInit:
+    def test_deterministic_with_seed(self, blob_data):
+        matrix, _ = blob_data
+        first = KMeans(3, random_state=42).fit_predict(matrix)
+        second = KMeans(3, random_state=42).fit_predict(matrix)
+        assert np.array_equal(first, second)
+
+    def test_random_init_supported(self, blob_data):
+        matrix, labels = blob_data
+        predicted = KMeans(3, init="random", random_state=0).fit_predict(matrix)
+        assert matched_accuracy(labels, predicted) > 0.9
+
+    def test_accepts_data_matrix_and_array(self, blob_data):
+        matrix, _ = blob_data
+        from_matrix = KMeans(3, random_state=1).fit_predict(matrix)
+        from_array = KMeans(3, random_state=1).fit_predict(matrix.values)
+        assert np.array_equal(from_matrix, from_array)
+
+    def test_duplicate_points_do_not_crash_kmeanspp(self):
+        data = np.ones((12, 2))
+        data[6:] = 5.0
+        result = KMeans(2, random_state=0).fit(data)
+        assert result.n_clusters == 2
+
+    def test_empty_cluster_reseeding(self):
+        # Three far groups but k=3 with adversarial init can momentarily empty a cluster;
+        # the implementation must still return k non-empty clusters.
+        data = np.vstack([np.zeros((5, 2)), np.full((5, 2), 10.0), np.full((5, 2), 20.0)])
+        result = KMeans(3, random_state=0, n_init=1, init="random").fit(data)
+        assert len(np.unique(result.labels)) == 3
+
+
+class TestConvergenceControls:
+    def test_max_iterations_respected(self, blob_data):
+        matrix, _ = blob_data
+        result = KMeans(3, random_state=0, max_iterations=1, n_init=1).fit(matrix)
+        assert result.n_iterations == 1
+
+    def test_raise_on_no_convergence(self):
+        matrix, _ = make_blobs(n_objects=200, n_clusters=5, cluster_std=3.0, random_state=0)
+        from repro.exceptions import ConvergenceError
+
+        strict = KMeans(
+            5, random_state=0, max_iterations=1, n_init=1, tolerance=1e-12,
+            raise_on_no_convergence=True,
+        )
+        with pytest.raises(ConvergenceError):
+            strict.fit(matrix)

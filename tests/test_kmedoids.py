@@ -1,0 +1,74 @@
+"""Unit tests for the k-medoids (PAM) implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMedoids
+from repro.exceptions import ClusteringError
+from repro.metrics import matched_accuracy, pairwise_distances
+
+
+class TestClusteringQuality:
+    def test_recovers_blobs(self, blob_data):
+        matrix, labels = blob_data
+        predicted = KMedoids(3, random_state=0).fit_predict(matrix)
+        assert matched_accuracy(labels, predicted) > 0.9
+
+    def test_medoids_are_members_of_their_cluster(self, blob_data):
+        matrix, _ = blob_data
+        result = KMedoids(3, random_state=0).fit(matrix)
+        medoids = result.metadata["medoid_indices"]
+        assert len(medoids) == 3
+        for cluster, medoid in enumerate(medoids):
+            assert result.labels[medoid] == cluster
+
+    def test_cost_is_sum_of_distances_to_medoids(self, blob_data):
+        matrix, _ = blob_data
+        result = KMedoids(3, random_state=0).fit(matrix)
+        distances = pairwise_distances(matrix.values)
+        medoids = result.metadata["medoid_indices"]
+        expected = distances[np.arange(matrix.n_objects), medoids[result.labels]].sum()
+        assert result.inertia == pytest.approx(expected)
+
+    def test_manhattan_metric(self, blob_data):
+        matrix, labels = blob_data
+        predicted = KMedoids(3, metric="manhattan", random_state=0).fit_predict(matrix)
+        assert matched_accuracy(labels, predicted) > 0.85
+
+
+class TestPrecomputedMode:
+    def test_same_result_as_raw_coordinates(self, blob_data):
+        matrix, _ = blob_data
+        direct = KMedoids(3, random_state=0).fit_predict(matrix)
+        precomputed = KMedoids(3, random_state=0, precomputed=True).fit_predict(
+            pairwise_distances(matrix.values)
+        )
+        assert matched_accuracy(direct, precomputed) == 1.0
+
+    def test_rejects_non_square_precomputed(self):
+        with pytest.raises(ClusteringError, match="square"):
+            KMedoids(2, precomputed=True).fit(np.zeros((3, 2)))
+
+
+class TestEdgeCases:
+    def test_more_clusters_than_points(self):
+        with pytest.raises(ClusteringError, match="cannot find"):
+            KMedoids(10, random_state=0).fit(np.zeros((4, 2)))
+
+    def test_deterministic_with_seed(self, blob_data):
+        matrix, _ = blob_data
+        first = KMedoids(3, random_state=9).fit_predict(matrix)
+        second = KMedoids(3, random_state=9).fit_predict(matrix)
+        assert np.array_equal(first, second)
+
+    def test_k_equals_one(self, blob_data):
+        matrix, _ = blob_data
+        result = KMedoids(1, random_state=0).fit(matrix)
+        assert result.n_clusters == 1
+
+    def test_duplicate_points(self):
+        data = np.vstack([np.zeros((6, 2)), np.ones((6, 2)) * 4.0])
+        result = KMedoids(2, random_state=0).fit(data)
+        assert result.n_clusters == 2

@@ -1,0 +1,178 @@
+"""Unit tests for the DataMatrix abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataMatrix
+from repro.exceptions import SchemaError, ValidationError
+
+
+@pytest.fixture
+def matrix() -> DataMatrix:
+    return DataMatrix(
+        [[1.0, 10.0, 100.0], [2.0, 20.0, 200.0], [3.0, 30.0, 300.0]],
+        columns=["a", "b", "c"],
+        ids=["r1", "r2", "r3"],
+    )
+
+
+class TestConstruction:
+    def test_shape_and_columns(self, matrix):
+        assert matrix.shape == (3, 3)
+        assert matrix.n_objects == 3
+        assert matrix.n_attributes == 3
+        assert matrix.columns == ("a", "b", "c")
+        assert len(matrix) == 3
+
+    def test_default_column_names(self):
+        assert DataMatrix([[1.0, 2.0]]).columns == ("x0", "x1")
+
+    def test_values_are_read_only(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.values[0, 0] = 99.0
+
+    def test_values_are_copied_from_input(self):
+        source = np.array([[1.0, 2.0]])
+        matrix = DataMatrix(source)
+        source[0, 0] = 42.0
+        assert matrix.values[0, 0] == 1.0
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(SchemaError, match="column name"):
+            DataMatrix([[1.0, 2.0]], columns=["only_one"])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="unique"):
+            DataMatrix([[1.0, 2.0]], columns=["a", "a"])
+
+    def test_id_length_mismatch(self):
+        with pytest.raises(ValidationError, match="one entry per row"):
+            DataMatrix([[1.0], [2.0]], ids=["only-one"])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            DataMatrix([[np.nan]])
+
+    def test_equality_and_hash(self, matrix):
+        other = DataMatrix(matrix.values, columns=matrix.columns, ids=matrix.ids)
+        assert matrix == other
+        assert hash(matrix) == hash(other)
+        assert matrix != DataMatrix(matrix.values, columns=["x", "y", "z"], ids=matrix.ids)
+        assert (matrix == "not a matrix") is False
+
+
+class TestColumnAccess:
+    def test_column_returns_copy(self, matrix):
+        column = matrix.column("b")
+        assert column.tolist() == [10.0, 20.0, 30.0]
+        column[0] = -1.0
+        assert matrix.column("b")[0] == 10.0
+
+    def test_column_index(self, matrix):
+        assert matrix.column_index("c") == 2
+
+    def test_unknown_column(self, matrix):
+        with pytest.raises(KeyError, match="unknown column"):
+            matrix.column("zzz")
+
+    def test_columns_array_order(self, matrix):
+        array = matrix.columns_array(["c", "a"])
+        assert array[:, 0].tolist() == [100.0, 200.0, 300.0]
+        assert array[:, 1].tolist() == [1.0, 2.0, 3.0]
+
+    def test_select_and_drop(self, matrix):
+        selected = matrix.select(["c", "b"])
+        assert selected.columns == ("c", "b")
+        assert selected.ids == matrix.ids
+        dropped = matrix.drop(["b"])
+        assert dropped.columns == ("a", "c")
+
+    def test_drop_all_columns_rejected(self, matrix):
+        with pytest.raises(ValidationError, match="every column"):
+            matrix.drop(["a", "b", "c"])
+
+    def test_rows_selection(self, matrix):
+        subset = matrix.rows([2, 0])
+        assert subset.ids == ("r3", "r1")
+        assert subset.values[:, 0].tolist() == [3.0, 1.0]
+
+
+class TestDerivation:
+    def test_with_values_shape_checked(self, matrix):
+        with pytest.raises(ValidationError, match="shape"):
+            matrix.with_values(np.zeros((2, 3)))
+
+    def test_with_values_keeps_metadata(self, matrix):
+        updated = matrix.with_values(np.zeros((3, 3)))
+        assert updated.columns == matrix.columns
+        assert updated.ids == matrix.ids
+        assert np.all(updated.values == 0.0)
+
+    def test_with_column_values(self, matrix):
+        updated = matrix.with_column_values({"b": [7.0, 8.0, 9.0]})
+        assert updated.column("b").tolist() == [7.0, 8.0, 9.0]
+        assert updated.column("a").tolist() == [1.0, 2.0, 3.0]
+
+    def test_with_column_values_length_checked(self, matrix):
+        with pytest.raises(ValidationError, match="length"):
+            matrix.with_column_values({"b": [1.0]})
+
+    def test_without_ids(self, matrix):
+        assert matrix.without_ids().ids is None
+
+    def test_rename(self, matrix):
+        renamed = matrix.rename({"a": "alpha"})
+        assert renamed.columns == ("alpha", "b", "c")
+        with pytest.raises(ValidationError):
+            matrix.rename({"zzz": "x"})
+
+
+class TestStatistics:
+    def test_column_means(self, matrix):
+        assert matrix.column_means().tolist() == [2.0, 20.0, 200.0]
+
+    def test_column_variances_population_vs_sample(self, matrix):
+        population = matrix.column_variances(ddof=0)
+        sample = matrix.column_variances(ddof=1)
+        assert np.allclose(sample, population * 3 / 2)
+
+    def test_column_minmax(self, matrix):
+        minima, maxima = matrix.column_minmax()
+        assert minima.tolist() == [1.0, 10.0, 100.0]
+        assert maxima.tolist() == [3.0, 30.0, 300.0]
+
+    def test_describe_keys(self, matrix):
+        description = matrix.describe()
+        assert set(description) == {"a", "b", "c"}
+        assert set(description["a"]) == {"mean", "std", "var", "min", "max"}
+        assert description["a"]["mean"] == 2.0
+
+
+class TestRecordsRoundTrip:
+    def test_to_records_includes_ids(self, matrix):
+        records = matrix.to_records()
+        assert records[0]["id"] == "r1"
+        assert records[2]["c"] == 300.0
+
+    def test_from_records(self):
+        records = [
+            {"id": 1, "x": 1.0, "y": 2.0},
+            {"id": 2, "x": 3.0, "y": 4.0},
+        ]
+        matrix = DataMatrix.from_records(records, id_field="id")
+        assert matrix.columns == ("x", "y")
+        assert matrix.ids == (1, 2)
+
+    def test_from_records_missing_attribute(self):
+        with pytest.raises(ValidationError, match="missing attribute"):
+            DataMatrix.from_records([{"x": 1.0}, {"y": 2.0}])
+
+    def test_from_records_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            DataMatrix.from_records([])
+
+    def test_round_trip(self, matrix):
+        rebuilt = DataMatrix.from_records(matrix.to_records(), columns=list(matrix.columns), id_field="id")
+        assert rebuilt == matrix

@@ -1,0 +1,152 @@
+"""Unit tests for the normalizers (Equations 3 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataMatrix
+from repro.exceptions import NormalizationError, ValidationError
+from repro.preprocessing import (
+    DecimalScalingNormalizer,
+    MinMaxNormalizer,
+    ZScoreNormalizer,
+    normalize_min_max,
+    normalize_z_score,
+)
+
+
+@pytest.fixture
+def simple_matrix() -> DataMatrix:
+    return DataMatrix(
+        [[1.0, 100.0], [2.0, 200.0], [3.0, 300.0], [4.0, 400.0]],
+        columns=["small", "large"],
+    )
+
+
+class TestMinMaxNormalizer:
+    def test_default_range(self, simple_matrix):
+        normalized = MinMaxNormalizer().fit_transform(simple_matrix)
+        assert normalized.values.min() == pytest.approx(0.0)
+        assert normalized.values.max() == pytest.approx(1.0)
+
+    def test_custom_range(self, simple_matrix):
+        normalized = MinMaxNormalizer((-1.0, 1.0)).fit_transform(simple_matrix)
+        assert normalized.values.min() == pytest.approx(-1.0)
+        assert normalized.values.max() == pytest.approx(1.0)
+
+    def test_equation3_formula(self):
+        # v' = (v - min)/(max - min) * (new_max - new_min) + new_min
+        normalizer = MinMaxNormalizer((0.0, 10.0)).fit(np.array([[0.0], [5.0], [10.0]]))
+        transformed = normalizer.transform(np.array([[2.5]]))
+        assert transformed[0, 0] == pytest.approx(2.5)
+
+    def test_inverse_round_trip(self, simple_matrix):
+        normalizer = MinMaxNormalizer().fit(simple_matrix)
+        restored = normalizer.inverse_transform(normalizer.transform(simple_matrix))
+        assert np.allclose(restored.values, simple_matrix.values)
+
+    def test_constant_column_rejected(self):
+        with pytest.raises(NormalizationError, match="constant"):
+            MinMaxNormalizer().fit(np.array([[1.0], [1.0]]))
+
+    def test_invalid_feature_range(self):
+        with pytest.raises(ValidationError):
+            MinMaxNormalizer((1.0, 0.0))
+
+    def test_transform_before_fit(self, simple_matrix):
+        with pytest.raises(NormalizationError, match="fitted"):
+            MinMaxNormalizer().transform(simple_matrix)
+
+    def test_attribute_count_mismatch(self, simple_matrix):
+        normalizer = MinMaxNormalizer().fit(simple_matrix)
+        with pytest.raises(ValidationError, match="attribute"):
+            normalizer.transform(np.ones((2, 3)))
+
+    def test_one_shot_helper(self, simple_matrix):
+        assert np.allclose(
+            normalize_min_max(simple_matrix).values,
+            MinMaxNormalizer().fit_transform(simple_matrix).values,
+        )
+
+    def test_array_input_returns_array(self):
+        result = MinMaxNormalizer().fit_transform(np.array([[1.0], [3.0]]))
+        assert isinstance(result, np.ndarray)
+
+
+class TestZScoreNormalizer:
+    def test_zero_mean_unit_variance_sample(self, simple_matrix):
+        normalized = ZScoreNormalizer().fit_transform(simple_matrix)
+        assert np.allclose(normalized.values.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(normalized.values.std(axis=0, ddof=1), 1.0)
+
+    def test_population_option(self, simple_matrix):
+        normalized = ZScoreNormalizer(ddof=0).fit_transform(simple_matrix)
+        assert np.allclose(normalized.values.std(axis=0, ddof=0), 1.0)
+
+    def test_reproduces_paper_table2(self, cardiac_raw, cardiac_normalized):
+        normalized = ZScoreNormalizer().fit_transform(cardiac_raw)
+        assert np.allclose(np.round(normalized.values, 4), cardiac_normalized.values, atol=2e-4)
+
+    def test_inverse_round_trip(self, simple_matrix):
+        normalizer = ZScoreNormalizer().fit(simple_matrix)
+        restored = normalizer.inverse_transform(normalizer.transform(simple_matrix))
+        assert np.allclose(restored.values, simple_matrix.values)
+
+    def test_constant_column_rejected(self):
+        with pytest.raises(NormalizationError, match="constant"):
+            ZScoreNormalizer().fit(np.array([[2.0], [2.0], [2.0]]))
+
+    def test_single_row_rejected_for_sample_std(self):
+        with pytest.raises(NormalizationError, match="more than"):
+            ZScoreNormalizer(ddof=1).fit(np.array([[1.0, 2.0]]))
+
+    def test_invalid_ddof(self):
+        with pytest.raises(ValidationError):
+            ZScoreNormalizer(ddof=2)
+
+    def test_one_shot_helper(self, simple_matrix):
+        assert np.allclose(
+            normalize_z_score(simple_matrix).values,
+            ZScoreNormalizer().fit_transform(simple_matrix).values,
+        )
+
+    def test_is_fitted_flag(self, simple_matrix):
+        normalizer = ZScoreNormalizer()
+        assert not normalizer.is_fitted
+        normalizer.fit(simple_matrix)
+        assert normalizer.is_fitted
+
+
+class TestDecimalScalingNormalizer:
+    def test_scales_into_unit_interval(self):
+        data = np.array([[123.0, -5.0], [999.0, 9.0]])
+        normalized = DecimalScalingNormalizer().fit_transform(data)
+        assert np.abs(normalized).max() < 1.0
+
+    def test_inverse_round_trip(self):
+        data = np.array([[123.0, -5.0], [999.0, 9.0]])
+        normalizer = DecimalScalingNormalizer().fit(data)
+        assert np.allclose(normalizer.inverse_transform(normalizer.transform(data)), data)
+
+    def test_zero_column_unchanged(self):
+        data = np.array([[0.0], [0.0]])
+        normalized = DecimalScalingNormalizer().fit_transform(data)
+        assert np.allclose(normalized, data)
+
+    def test_values_below_one_unchanged(self):
+        data = np.array([[0.2], [0.9]])
+        assert np.allclose(DecimalScalingNormalizer().fit_transform(data), data)
+
+
+class TestNormalizationAsObfuscation:
+    """Section 5.3 Step 1: normalization obscures raw values but is reversible by the owner."""
+
+    def test_normalized_values_differ_from_raw(self, cardiac_raw):
+        normalized = ZScoreNormalizer().fit_transform(cardiac_raw)
+        assert not np.allclose(normalized.values, cardiac_raw.values)
+
+    def test_owner_can_invert(self, cardiac_raw):
+        normalizer = ZScoreNormalizer().fit(cardiac_raw)
+        restored = normalizer.inverse_transform(normalizer.transform(cardiac_raw))
+        assert np.allclose(restored.values, cardiac_raw.values)

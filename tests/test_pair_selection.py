@@ -1,0 +1,137 @@
+"""Unit tests for attribute-pair selection strategies (RBT Step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PairSelectionStrategy, select_pairs
+from repro.exceptions import PairSelectionError
+
+
+def assert_valid_pairing(pairs, columns):
+    """Every column is distorted at least once and no column is paired with itself."""
+    distorted = {name for pair in pairs for name in pair}
+    assert distorted == set(columns)
+    assert all(first != second for first, second in pairs)
+
+
+class TestPairCounts:
+    @pytest.mark.parametrize("n,expected", [(2, 1), (3, 2), (4, 2), (5, 3), (8, 4), (9, 5)])
+    def test_k_equals_ceil_n_over_2(self, n, expected):
+        columns = [f"c{i}" for i in range(n)]
+        pairs = select_pairs(columns, strategy="interleaved")
+        assert len(pairs) == expected
+        assert_valid_pairing(pairs, columns)
+
+    def test_odd_tail_pairs_with_already_distorted(self):
+        columns = ["a", "b", "c"]
+        pairs = select_pairs(columns, strategy="sequential")
+        # The last pair's second element must already appear in an earlier pair.
+        earlier = {name for pair in pairs[:-1] for name in pair}
+        assert pairs[-1][1] in earlier
+
+
+class TestStrategies:
+    def test_sequential(self):
+        pairs = select_pairs(["a", "b", "c", "d"], strategy="sequential")
+        assert pairs == [("a", "b"), ("c", "d")]
+
+    def test_interleaved_is_not_sequential(self):
+        columns = ["a", "b", "c", "d", "e", "f"]
+        interleaved = select_pairs(columns, strategy="interleaved")
+        sequential = select_pairs(columns, strategy="sequential")
+        assert interleaved != sequential
+        assert_valid_pairing(interleaved, columns)
+
+    def test_random_is_deterministic_with_seed(self):
+        columns = ["a", "b", "c", "d", "e"]
+        first = select_pairs(columns, strategy="random", random_state=3)
+        second = select_pairs(columns, strategy="random", random_state=3)
+        assert first == second
+        assert_valid_pairing(first, columns)
+
+    def test_random_varies_with_seed(self):
+        columns = [f"c{i}" for i in range(8)]
+        results = {
+            tuple(select_pairs(columns, strategy="random", random_state=seed))
+            for seed in range(10)
+        }
+        assert len(results) > 1
+
+    def test_max_variance_prefers_uncorrelated_pairs(self, rng):
+        # Build four columns where (a, b) and (c, d) are strongly correlated;
+        # the greedy strategy should avoid pairing correlated columns together.
+        a = rng.normal(size=300)
+        b = a + rng.normal(scale=0.01, size=300)
+        c = rng.normal(size=300)
+        d = c + rng.normal(scale=0.01, size=300)
+        values = np.column_stack([a, b, c, d])
+        pairs = select_pairs(["a", "b", "c", "d"], strategy="max_variance", values=values)
+        assert_valid_pairing(pairs, ["a", "b", "c", "d"])
+        assert ("a", "b") not in pairs and ("b", "a") not in pairs
+        assert ("c", "d") not in pairs and ("d", "c") not in pairs
+
+    def test_max_variance_requires_values(self):
+        with pytest.raises(PairSelectionError, match="values"):
+            select_pairs(["a", "b"], strategy="max_variance")
+
+    def test_max_variance_values_shape_checked(self, rng):
+        with pytest.raises(PairSelectionError, match="values"):
+            select_pairs(["a", "b", "c"], strategy="max_variance", values=rng.normal(size=(10, 2)))
+
+
+class TestExplicitStrategy:
+    def test_paper_pairing_is_valid(self):
+        pairs = select_pairs(
+            ["age", "weight", "heart_rate"],
+            strategy="explicit",
+            explicit_pairs=[("age", "heart_rate"), ("weight", "age")],
+        )
+        assert pairs == [("age", "heart_rate"), ("weight", "age")]
+
+    def test_requires_pairs(self):
+        with pytest.raises(PairSelectionError, match="explicit_pairs"):
+            select_pairs(["a", "b"], strategy="explicit")
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(PairSelectionError, match="itself"):
+            select_pairs(["a", "b"], strategy="explicit", explicit_pairs=[("a", "a"), ("b", "a")])
+
+    def test_rejects_unknown_attribute(self):
+        with pytest.raises(PairSelectionError, match="unknown attribute"):
+            select_pairs(["a", "b"], strategy="explicit", explicit_pairs=[("a", "z")])
+
+    def test_rejects_missing_attribute(self):
+        with pytest.raises(PairSelectionError, match="must be distorted"):
+            select_pairs(
+                ["a", "b", "c", "d"],
+                strategy="explicit",
+                explicit_pairs=[("a", "b"), ("a", "b")],
+            )
+
+    def test_incomplete_pairing_rejected(self):
+        # Two pairs cannot cover six attributes; the validator reports the gap.
+        with pytest.raises(PairSelectionError, match="must be distorted"):
+            select_pairs(
+                ["a", "b", "c", "d", "e", "f"],
+                strategy="explicit",
+                explicit_pairs=[("a", "b"), ("c", "d")],
+            )
+
+
+class TestInputValidation:
+    def test_needs_two_columns(self):
+        with pytest.raises(PairSelectionError, match="at least two"):
+            select_pairs(["only"])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(PairSelectionError, match="unique"):
+            select_pairs(["a", "a"])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            select_pairs(["a", "b"], strategy="fancy")
+
+    def test_strategy_enum_values(self):
+        assert PairSelectionStrategy("random") is PairSelectionStrategy.RANDOM

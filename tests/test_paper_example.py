@@ -1,0 +1,177 @@
+"""Reproduction tests for the paper's worked example (Tables 1–6, Figures 2–3).
+
+Every printed number in Section 5.1/5.2 of the paper is checked here against
+the library's output.  These tests are the executable form of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBT, solve_security_range
+from repro.data.datasets import (
+    CARDIAC_NORMALIZED_VALUES,
+    MEASURED_SECURITY_RANGE1_DEGREES,
+    PAPER_DISSIMILARITY_RENORMALIZED,
+    PAPER_DISSIMILARITY_TRANSFORMED,
+    PAPER_PAIR1,
+    PAPER_PAIR2,
+    PAPER_PST1,
+    PAPER_PST2,
+    PAPER_SECURITY_RANGE2_DEGREES,
+    PAPER_THETA1_DEGREES,
+    PAPER_THETA2_DEGREES,
+    PAPER_TRANSFORMED_COLUMN_VARIANCES,
+    PAPER_TRANSFORMED_VALUES,
+    PAPER_VARIANCES_PAIR1,
+    PAPER_VARIANCES_PAIR2,
+    load_cardiac_sample,
+)
+from repro.metrics import condensed_dissimilarity, dissimilarity_matrix
+from repro.preprocessing import ZScoreNormalizer
+
+#: Tolerance for comparing against the paper's 4-decimal printed figures.  The
+#: paper rounds intermediate values, so exact equality to 1e-4 is not expected.
+PRINTED = 2.5e-3
+
+
+class TestTable2Normalization:
+    def test_normalized_values_match_table2(self, cardiac_raw):
+        normalized = ZScoreNormalizer().fit_transform(cardiac_raw)
+        assert np.allclose(
+            np.round(normalized.values, 4),
+            np.asarray(CARDIAC_NORMALIZED_VALUES),
+            atol=PRINTED,
+        )
+
+    def test_normalized_columns_have_unit_sample_variance(self, cardiac_raw):
+        normalized = ZScoreNormalizer().fit_transform(cardiac_raw)
+        assert np.allclose(normalized.column_variances(ddof=1), 1.0)
+
+    def test_population_normalization_does_not_match_table2(self, cardiac_raw):
+        # Documents the estimator finding: Eq. (8) as written (population) does
+        # NOT reproduce the printed Table 2; the sample estimator does.
+        population = ZScoreNormalizer(ddof=0).fit_transform(cardiac_raw)
+        assert not np.allclose(
+            np.round(population.values, 4), np.asarray(CARDIAC_NORMALIZED_VALUES), atol=PRINTED
+        )
+
+
+class TestFigures2And3SecurityRanges:
+    def test_figure2_upper_bound_reproduces(self, cardiac_normalized_exact):
+        security_range = solve_security_range(
+            cardiac_normalized_exact.column("age"),
+            cardiac_normalized_exact.column("heart_rate"),
+            PAPER_PST1,
+        )
+        # Paper: 314.97° (where Var(age − age') falls back to ρ1 = 0.30).
+        assert security_range.upper_bound == pytest.approx(314.97, abs=0.05)
+
+    def test_figure2_lower_bound_discrepancy_documented(self, cardiac_normalized_exact):
+        security_range = solve_security_range(
+            cardiac_normalized_exact.column("age"),
+            cardiac_normalized_exact.column("heart_rate"),
+            PAPER_PST1,
+        )
+        # The paper prints 48.03°, which does not satisfy both constraints under
+        # any estimator convention; the solver obtains 82.69°.
+        assert security_range.lower_bound == pytest.approx(
+            MEASURED_SECURITY_RANGE1_DEGREES[0], abs=0.05
+        )
+        assert not security_range.contains(48.03)
+
+    def test_figure3_range_reproduces(self, paper_release):
+        security_range = paper_release.records[1].security_range
+        assert security_range.lower_bound == pytest.approx(PAPER_SECURITY_RANGE2_DEGREES[0], abs=0.05)
+        assert security_range.upper_bound == pytest.approx(PAPER_SECURITY_RANGE2_DEGREES[1], abs=0.05)
+
+    def test_paper_thetas_lie_in_their_ranges(self, paper_release):
+        assert paper_release.records[0].security_range.contains(PAPER_THETA1_DEGREES)
+        assert paper_release.records[1].security_range.contains(PAPER_THETA2_DEGREES)
+
+
+class TestWorkedExampleVariances:
+    def test_pair1_variances(self, paper_release):
+        variances = paper_release.records[0].achieved_variances
+        assert variances[0] == pytest.approx(PAPER_VARIANCES_PAIR1[0], abs=1e-3)
+        assert variances[1] == pytest.approx(PAPER_VARIANCES_PAIR1[1], abs=1e-3)
+
+    def test_pair2_variances(self, paper_release):
+        variances = paper_release.records[1].achieved_variances
+        assert variances[0] == pytest.approx(PAPER_VARIANCES_PAIR2[0], abs=1e-3)
+        assert variances[1] == pytest.approx(PAPER_VARIANCES_PAIR2[1], abs=1e-3)
+
+    def test_thresholds_satisfied(self, paper_release):
+        assert paper_release.records[0].satisfied
+        assert paper_release.records[1].satisfied
+
+
+class TestTable3TransformedDatabase:
+    def test_released_values_match_table3(self, paper_release):
+        assert np.allclose(
+            np.round(paper_release.matrix.values, 4),
+            np.asarray(PAPER_TRANSFORMED_VALUES),
+            atol=PRINTED,
+        )
+
+    def test_released_column_variances_match_section52(self, paper_release):
+        variances = paper_release.matrix.column_variances(ddof=1)
+        assert np.allclose(
+            variances, np.asarray(PAPER_TRANSFORMED_COLUMN_VARIANCES), atol=PRINTED
+        )
+
+    def test_released_variances_differ_from_unit(self, paper_release):
+        # Section 5.2: the released variances differ from the normalized data's
+        # unit variances, which is why variance matching cannot invert RBT.
+        assert not np.allclose(paper_release.matrix.column_variances(ddof=1), 1.0, atol=0.05)
+
+
+class TestTables4To6Dissimilarity:
+    def test_table4_matches_paper(self, paper_release):
+        rows = condensed_dissimilarity(paper_release.matrix.values, decimals=4)
+        for row, expected in zip(rows, PAPER_DISSIMILARITY_TRANSFORMED):
+            assert np.allclose(row, expected, atol=PRINTED)
+
+    def test_table4_equals_dissimilarity_of_normalized_data(
+        self, paper_release, cardiac_normalized_exact
+    ):
+        # Theorem 2: the released data's dissimilarity matrix is exactly the
+        # normalized data's dissimilarity matrix (Table 6 is a copy of Table 4).
+        assert np.allclose(
+            dissimilarity_matrix(paper_release.matrix.values),
+            dissimilarity_matrix(cardiac_normalized_exact.values),
+            atol=1e-9,
+        )
+
+    def test_table5_renormalization_changes_distances(self, paper_release):
+        renormalized = ZScoreNormalizer().fit_transform(paper_release.matrix)
+        rows = condensed_dissimilarity(renormalized.values, decimals=4)
+        for row, expected in zip(rows, PAPER_DISSIMILARITY_RENORMALIZED):
+            assert np.allclose(row, expected, atol=PRINTED)
+
+    def test_table5_differs_from_table4(self, paper_release):
+        renormalized = ZScoreNormalizer().fit_transform(paper_release.matrix)
+        assert not np.allclose(
+            dissimilarity_matrix(renormalized.values),
+            dissimilarity_matrix(paper_release.matrix.values),
+            atol=1e-3,
+        )
+
+
+class TestEndToEndFromTable1:
+    def test_full_chain_from_raw_values(self):
+        """Raw Table 1 → normalize → RBT with the paper's angles → Table 3."""
+        raw = load_cardiac_sample()
+        normalized = ZScoreNormalizer().fit_transform(raw)
+        transformer = RBT(
+            thresholds=[PAPER_PST1, PAPER_PST2],
+            pairs=[PAPER_PAIR1, PAPER_PAIR2],
+            angles=[PAPER_THETA1_DEGREES, PAPER_THETA2_DEGREES],
+        )
+        released = transformer.transform(normalized)
+        assert np.allclose(
+            np.round(released.matrix.values, 4),
+            np.asarray(PAPER_TRANSFORMED_VALUES),
+            atol=PRINTED,
+        )

@@ -1,0 +1,132 @@
+"""Unit tests for the end-to-end PPC pipeline (Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import AgglomerativeClustering, KMeans, KMedoids
+from repro.core import RBT
+from repro.data import ColumnRole, DataMatrix, Schema, Table
+from repro.data.datasets import load_cardiac_sample_table, make_patient_cohorts
+from repro.exceptions import ValidationError
+from repro.pipeline import PPCPipeline
+from repro.preprocessing import MinMaxNormalizer
+
+
+class TestRunOnMatrix:
+    def test_bundle_fields(self, patient_data):
+        matrix, _ = patient_data
+        bundle = PPCPipeline(RBT(thresholds=0.3, random_state=0)).run(matrix)
+        assert bundle.normalized.shape == matrix.shape
+        assert bundle.released.shape == matrix.shape
+        assert bundle.distances_preserved
+        assert bundle.max_distance_distortion < 1e-8
+        assert bundle.privacy.minimum_variance_difference > 0.0
+
+    def test_released_differs_from_normalized(self, patient_data):
+        matrix, _ = patient_data
+        bundle = PPCPipeline(RBT(thresholds=0.3, random_state=0)).run(matrix)
+        assert not np.allclose(bundle.released.values, bundle.normalized.values)
+
+    def test_equivalence_with_default_kmeans(self, patient_data):
+        matrix, _ = patient_data
+        bundle = PPCPipeline(RBT(thresholds=0.3, random_state=0)).run(
+            matrix, verify_with_kmeans=True, n_clusters=3
+        )
+        assert len(bundle.equivalence) == 1
+        report = bundle.equivalence[0]
+        assert report.identical
+        assert report.misclassification == 0.0
+        assert report.adjusted_rand == pytest.approx(1.0)
+
+    def test_equivalence_with_multiple_algorithms(self, patient_data):
+        matrix, _ = patient_data
+        algorithms = [
+            KMeans(3, random_state=1),
+            KMedoids(3, random_state=1),
+            AgglomerativeClustering(3),
+        ]
+        bundle = PPCPipeline(RBT(thresholds=0.3, random_state=0)).run(matrix, algorithms=algorithms)
+        assert len(bundle.equivalence) == 3
+        assert all(report.identical for report in bundle.equivalence)
+
+    def test_summary_is_json_friendly(self, patient_data):
+        import json
+
+        matrix, _ = patient_data
+        bundle = PPCPipeline(RBT(thresholds=0.3, random_state=0)).run(
+            matrix, verify_with_kmeans=True
+        )
+        payload = bundle.summary()
+        assert json.dumps(payload)
+        assert payload["distances_preserved"] is True
+
+    def test_custom_normalizer(self, patient_data):
+        matrix, _ = patient_data
+        bundle = PPCPipeline(
+            RBT(thresholds=0.05, random_state=0), normalizer=MinMaxNormalizer()
+        ).run(matrix)
+        assert bundle.normalized.values.min() >= 0.0 - 1e-9
+        assert bundle.normalized.values.max() <= 1.0 + 1e-9
+
+    def test_rbt_secret_allows_inversion(self, patient_data):
+        matrix, _ = patient_data
+        bundle = PPCPipeline(RBT(thresholds=0.3, random_state=0)).run(matrix)
+        assert np.allclose(bundle.rbt_result.inverse().values, bundle.normalized.values, atol=1e-10)
+
+
+class TestRunOnTable:
+    def test_cardiac_table_end_to_end(self):
+        table = load_cardiac_sample_table()
+        bundle = PPCPipeline(RBT(thresholds=0.25, random_state=0)).run(table, id_column="id")
+        assert bundle.released.columns == ("age", "weight", "heart_rate")
+        assert bundle.released.ids == (1237, 3420, 2543, 4461, 2863)
+        assert bundle.distances_preserved
+
+    def test_identifier_columns_never_released(self):
+        schema = Schema.from_names(
+            ["ssn", "age", "weight"],
+            roles={"ssn": ColumnRole.IDENTIFIER},
+            default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+        )
+        table = Table(
+            schema,
+            {"ssn": ["a", "b", "c", "d"], "age": [20.0, 30.0, 40.0, 50.0], "weight": [60.0, 62.0, 81.0, 93.0]},
+        )
+        bundle = PPCPipeline(RBT(thresholds=0.2, random_state=0)).run(table)
+        assert "ssn" not in bundle.released.columns
+
+    def test_unknown_id_column(self):
+        table = load_cardiac_sample_table()
+        with pytest.raises(ValidationError, match="unknown id column"):
+            PPCPipeline().run(table, id_column="ssn")
+
+    def test_rejects_unsupported_input(self):
+        with pytest.raises(ValidationError, match="Table or DataMatrix"):
+            PPCPipeline().run([[1.0, 2.0]])
+
+
+class TestPrivacyAccuracyContract:
+    """The paper's central claim: privacy above the threshold AND zero accuracy loss."""
+
+    def test_thresholds_respected_and_clusters_identical(self):
+        matrix, labels = make_patient_cohorts(n_patients=150, random_state=3)
+        threshold = 0.5
+        bundle = PPCPipeline(RBT(thresholds=threshold, random_state=3)).run(
+            matrix, verify_with_kmeans=True, n_clusters=3
+        )
+        for record in bundle.rbt_result.records:
+            assert record.achieved_variances[0] >= threshold - 1e-9
+            assert record.achieved_variances[1] >= threshold - 1e-9
+        assert bundle.equivalence[0].identical
+
+    def test_clustering_on_release_matches_ground_truth_as_well_as_original(self):
+        matrix, labels = make_patient_cohorts(n_patients=150, random_state=5)
+        bundle = PPCPipeline(RBT(thresholds=0.4, random_state=5)).run(matrix)
+        kmeans = KMeans(3, random_state=2)
+        from repro.metrics import matched_accuracy
+
+        accuracy_original = matched_accuracy(labels, kmeans.fit_predict(bundle.normalized))
+        accuracy_released = matched_accuracy(labels, kmeans.fit_predict(bundle.released))
+        assert accuracy_released == pytest.approx(accuracy_original, abs=1e-9)

@@ -1,0 +1,137 @@
+"""Unit tests for the privacy / security measures (Sections 4.2 and 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataMatrix
+from repro.exceptions import ThresholdError, ValidationError
+from repro.metrics import (
+    pairwise_security,
+    perturbation_variance,
+    privacy_report,
+    satisfies_threshold,
+    scale_invariant_security,
+)
+
+
+class TestPerturbationVariance:
+    def test_zero_for_identical_data(self, rng):
+        column = rng.normal(size=50)
+        assert perturbation_variance(column, column) == 0.0
+
+    def test_constant_shift_has_zero_variance(self, rng):
+        # Var(X − Y) measures *spread* of the differences, not their size: a
+        # constant shift is invisible to it (a known weakness of the measure).
+        column = rng.normal(size=50)
+        assert perturbation_variance(column, column + 5.0) == pytest.approx(0.0)
+
+    def test_matches_numpy_var_of_difference(self, rng):
+        x = rng.normal(size=40)
+        y = rng.normal(size=40)
+        assert perturbation_variance(x, y) == pytest.approx(np.var(x - y, ddof=1))
+        assert perturbation_variance(x, y, ddof=0) == pytest.approx(np.var(x - y, ddof=0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            perturbation_variance([1.0, 2.0], [1.0])
+
+    def test_paper_values_pair1(self, paper_release, cardiac_normalized_exact):
+        # Var(age − age') = 0.318 and Var(heart_rate − heart_rate') = 0.9805 at θ1.
+        record = paper_release.records[0]
+        assert record.achieved_variances[0] == pytest.approx(0.318, abs=1e-3)
+        assert record.achieved_variances[1] == pytest.approx(0.9805, abs=1e-3)
+
+
+class TestScaleInvariantSecurity:
+    def test_equals_ratio(self, rng):
+        x = rng.normal(size=30) * 3.0
+        y = x + rng.normal(size=30)
+        expected = np.var(x - y, ddof=1) / np.var(x, ddof=1)
+        assert scale_invariant_security(x, y) == pytest.approx(expected)
+
+    def test_scale_invariance(self, rng):
+        x = rng.normal(size=30)
+        y = x + rng.normal(size=30)
+        original = scale_invariant_security(x, y)
+        scaled = scale_invariant_security(10.0 * x, 10.0 * y)
+        assert scaled == pytest.approx(original)
+
+    def test_constant_attribute_rejected(self):
+        with pytest.raises(ValidationError, match="constant"):
+            scale_invariant_security(np.ones(10), np.zeros(10))
+
+
+class TestPairwiseSecurity:
+    def test_returns_both_variances(self, rng):
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        a2, b2 = a + rng.normal(size=20), b + rng.normal(size=20)
+        var_a, var_b = pairwise_security((a, b), (a2, b2))
+        assert var_a == pytest.approx(np.var(a - a2, ddof=1))
+        assert var_b == pytest.approx(np.var(b - b2, ddof=1))
+
+    def test_wrong_arity(self, rng):
+        a = rng.normal(size=10)
+        with pytest.raises(ValidationError, match="two attributes"):
+            pairwise_security((a,), (a, a))
+
+    def test_satisfies_threshold(self, rng):
+        a, b = rng.normal(size=200), rng.normal(size=200)
+        a2 = a + rng.normal(scale=2.0, size=200)
+        b2 = b + rng.normal(scale=2.0, size=200)
+        assert satisfies_threshold((a, b), (a2, b2), (1.0, 1.0))
+        assert not satisfies_threshold((a, b), (a2, b2), (100.0, 1.0))
+
+    def test_threshold_validation(self, rng):
+        a = rng.normal(size=10)
+        with pytest.raises(ThresholdError):
+            satisfies_threshold((a, a), (a, a), (0.0, 1.0))
+        with pytest.raises(ThresholdError):
+            satisfies_threshold((a, a), (a, a), (1.0, 1.0, 1.0))
+
+
+class TestPrivacyReport:
+    def test_per_attribute_entries(self, paper_release, cardiac_normalized_exact):
+        report = privacy_report(cardiac_normalized_exact, paper_release.matrix)
+        assert {item.name for item in report.attributes} == {"age", "weight", "heart_rate"}
+        assert report.minimum_variance_difference > 0.0
+        assert report.mean_variance_difference >= report.minimum_variance_difference
+
+    def test_released_variances_match_paper(self, paper_release):
+        # Section 5.2: the released column variances are [1.9039, 0.7840, 0.3122].
+        report = privacy_report(paper_release.inverse(), paper_release.matrix)
+        by_name = {item.name: item for item in report.attributes}
+        assert by_name["age"].released_variance == pytest.approx(1.9039, abs=2e-3)
+        assert by_name["weight"].released_variance == pytest.approx(0.7840, abs=2e-3)
+        assert by_name["heart_rate"].released_variance == pytest.approx(0.3122, abs=2e-3)
+
+    def test_as_dict_and_satisfies(self, paper_release, cardiac_normalized_exact):
+        report = privacy_report(cardiac_normalized_exact, paper_release.matrix)
+        payload = report.as_dict()
+        assert set(payload["age"]) == {
+            "variance_difference",
+            "scale_invariant",
+            "original_variance",
+            "released_variance",
+        }
+        assert report.satisfies({"weight": 0.1})
+        assert not report.satisfies({"weight": 1e6})
+        with pytest.raises(ValidationError, match="unknown attribute"):
+            report.satisfies({"salary": 0.1})
+
+    def test_column_mismatch_rejected(self, cardiac_normalized_exact):
+        other = DataMatrix(np.zeros((5, 2)), columns=["a", "b"])
+        with pytest.raises(ValidationError, match="same columns"):
+            privacy_report(cardiac_normalized_exact, other)
+
+    def test_row_mismatch_rejected(self, cardiac_normalized_exact):
+        other = DataMatrix(
+            np.zeros((3, 3)), columns=list(cardiac_normalized_exact.columns)
+        )
+        with pytest.raises(ValidationError, match="object"):
+            privacy_report(cardiac_normalized_exact, other)
+
+    def test_mean_scale_invariant_positive(self, paper_release, cardiac_normalized_exact):
+        report = privacy_report(cardiac_normalized_exact, paper_release.matrix)
+        assert report.mean_scale_invariant > 0.0

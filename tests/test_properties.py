@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for the library's core invariants.
+
+The invariants under test are the mathematical backbone of the paper:
+
+* rotations are isometries (Theorem 2) for *any* data and *any* angle,
+* the security-range solver only admits angles that satisfy the threshold,
+* normalization round-trips, and
+* the clustering-agreement metrics behave like proper agreement measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import RBT, rotate_pair, rotation_matrix, solve_security_range
+from repro.core.security_range import variance_difference_curves
+from repro.data import DataMatrix
+from repro.exceptions import SecurityRangeError
+from repro.metrics import (
+    adjusted_rand_index,
+    check_metric_axioms,
+    dissimilarity_matrix,
+    matched_accuracy,
+    misclassification_error,
+    perturbation_variance,
+    rand_index,
+)
+from repro.preprocessing import MinMaxNormalizer, ZScoreNormalizer
+
+# Bounded, finite float matrices small enough to keep hypothesis fast.
+matrix_strategy = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=3, max_value=12), st.integers(min_value=2, max_value=5)),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False),
+)
+
+angle_strategy = st.floats(min_value=0.0, max_value=360.0, allow_nan=False)
+
+label_strategy = st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=40)
+
+DEFAULT_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestRotationInvariants:
+    @DEFAULT_SETTINGS
+    @given(theta=angle_strategy)
+    def test_rotation_matrix_is_orthogonal(self, theta):
+        matrix = rotation_matrix(theta)
+        assert np.allclose(matrix @ matrix.T, np.eye(2), atol=1e-9)
+        assert np.isclose(np.linalg.det(matrix), 1.0, atol=1e-9)
+
+    @DEFAULT_SETTINGS
+    @given(data=matrix_strategy, theta=angle_strategy)
+    def test_pair_rotation_preserves_planar_norms(self, data, theta):
+        a, b = data[:, 0], data[:, 1]
+        rotated_a, rotated_b = rotate_pair(a, b, theta)
+        assert np.allclose(a**2 + b**2, rotated_a**2 + rotated_b**2, rtol=1e-7, atol=1e-7)
+
+    @DEFAULT_SETTINGS
+    @given(data=matrix_strategy, theta=angle_strategy)
+    def test_pair_rotation_is_an_isometry_on_the_full_space(self, data, theta):
+        rotated = data.copy()
+        rotated[:, 0], rotated[:, 1] = rotate_pair(data[:, 0], data[:, 1], theta)
+        original_distances = dissimilarity_matrix(data)
+        rotated_distances = dissimilarity_matrix(rotated)
+        # Tolerance scales with the coordinate magnitude: the vectorized distance
+        # computation loses absolute precision for nearly coincident points far
+        # from the origin.
+        scale = max(1.0, float(np.abs(data).max()))
+        assert np.allclose(original_distances, rotated_distances, atol=1e-5 * scale)
+
+    @DEFAULT_SETTINGS
+    @given(data=matrix_strategy, theta=angle_strategy)
+    def test_variance_curve_closed_form_matches_measurement(self, data, theta):
+        a, b = data[:, 0], data[:, 1]
+        curve_a, curve_b = variance_difference_curves(a, b, theta)
+        rotated_a, rotated_b = rotate_pair(a, b, theta)
+        spread = max(1.0, float(np.var(a, ddof=1) + np.var(b, ddof=1)))
+        assert float(curve_a) == pytest.approx(np.var(a - rotated_a, ddof=1), abs=1e-6 * spread)
+        assert float(curve_b) == pytest.approx(np.var(b - rotated_b, ddof=1), abs=1e-6 * spread)
+
+
+class TestRBTInvariants:
+    @DEFAULT_SETTINGS
+    @given(data=matrix_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_rbt_is_an_isometry_and_invertible(self, data, seed):
+        # Columns must be non-constant for z-score normalization to apply.
+        assume(np.all(data.std(axis=0, ddof=1) > 1e-6))
+        normalized = ZScoreNormalizer().fit_transform(DataMatrix(data))
+        try:
+            result = RBT(thresholds=0.05, random_state=seed).transform(normalized)
+        except SecurityRangeError:
+            # Extremely correlated columns can make even a small threshold unsatisfiable.
+            return
+        original = dissimilarity_matrix(normalized.values)
+        released = dissimilarity_matrix(result.matrix.values)
+        scale = max(1.0, float(np.max(original)))
+        assert np.allclose(original, released, atol=1e-7 * scale)
+        assert np.allclose(result.inverse().values, normalized.values, atol=1e-6)
+
+    @DEFAULT_SETTINGS
+    @given(
+        data=matrix_strategy,
+        rho=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_security_range_samples_satisfy_threshold(self, data, rho, seed):
+        a, b = data[:, 0], data[:, 1]
+        assume(np.var(a, ddof=1) > 1e-6 and np.var(b, ddof=1) > 1e-6)
+        a = (a - a.mean()) / a.std(ddof=1)
+        b = (b - b.mean()) / b.std(ddof=1)
+        try:
+            security_range = solve_security_range(a, b, (rho, rho), resolution=1440)
+        except SecurityRangeError:
+            return
+        theta = security_range.sample(np.random.default_rng(seed))
+        rotated_a, rotated_b = rotate_pair(a, b, theta)
+        assert perturbation_variance(a, rotated_a) >= rho - 1e-3
+        assert perturbation_variance(b, rotated_b) >= rho - 1e-3
+
+
+class TestNormalizationInvariants:
+    @DEFAULT_SETTINGS
+    @given(data=matrix_strategy)
+    def test_zscore_round_trip(self, data):
+        assume(np.all(data.std(axis=0, ddof=1) > 1e-6))
+        normalizer = ZScoreNormalizer()
+        restored = normalizer.inverse_transform(normalizer.fit_transform(data))
+        scale = max(1.0, float(np.max(np.abs(data))))
+        assert np.allclose(restored, data, atol=1e-7 * scale)
+
+    @DEFAULT_SETTINGS
+    @given(data=matrix_strategy)
+    def test_minmax_round_trip_and_bounds(self, data):
+        assume(np.all(data.max(axis=0) - data.min(axis=0) > 1e-6))
+        normalizer = MinMaxNormalizer()
+        transformed = normalizer.fit_transform(data)
+        assert transformed.min() >= -1e-9
+        assert transformed.max() <= 1.0 + 1e-9
+        restored = normalizer.inverse_transform(transformed)
+        scale = max(1.0, float(np.max(np.abs(data))))
+        assert np.allclose(restored, data, atol=1e-7 * scale)
+
+
+class TestMetricInvariants:
+    @DEFAULT_SETTINGS
+    @given(data=matrix_strategy)
+    def test_euclidean_metric_axioms(self, data):
+        # The tolerance scales with the data magnitude because the vectorized
+        # Euclidean computation (norms + dot products) loses absolute precision
+        # for nearly coincident points far from the origin.
+        tolerance = 1e-5 * max(1.0, float(np.abs(data).max()))
+        axioms = check_metric_axioms(data, atol=tolerance)
+        assert all(axioms.values())
+
+    @DEFAULT_SETTINGS
+    @given(labels=label_strategy)
+    def test_agreement_metrics_are_perfect_for_identical_labelings(self, labels):
+        labels = np.asarray(labels)
+        assert matched_accuracy(labels, labels) == 1.0
+        assert misclassification_error(labels, labels) == 0.0
+        assert rand_index(labels, labels) == pytest.approx(1.0)
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @DEFAULT_SETTINGS
+    @given(labels=label_strategy, seed=st.integers(min_value=0, max_value=1000))
+    def test_agreement_is_permutation_invariant(self, labels, seed):
+        labels = np.asarray(labels)
+        rng = np.random.default_rng(seed)
+        renaming = rng.permutation(5)
+        renamed = renaming[labels]
+        assert matched_accuracy(labels, renamed) == 1.0
+
+    @DEFAULT_SETTINGS
+    @given(labels_a=label_strategy, labels_b=label_strategy)
+    def test_misclassification_is_bounded_and_symmetric(self, labels_a, labels_b):
+        size = min(len(labels_a), len(labels_b))
+        assume(size >= 2)
+        a = np.asarray(labels_a[:size])
+        b = np.asarray(labels_b[:size])
+        error_ab = misclassification_error(a, b)
+        error_ba = misclassification_error(b, a)
+        assert 0.0 <= error_ab <= 1.0
+        assert error_ab == pytest.approx(error_ba, abs=1e-12)

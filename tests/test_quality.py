@@ -1,0 +1,144 @@
+"""Unit tests for clustering agreement / quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    adjusted_rand_index,
+    clusters_identical,
+    contingency_matrix,
+    f_measure,
+    matched_accuracy,
+    misclassification_error,
+    purity,
+    rand_index,
+    silhouette_score,
+)
+
+
+class TestContingencyMatrix:
+    def test_counts(self):
+        matrix = contingency_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            contingency_matrix([0, 1], [0, 1, 2])
+
+
+class TestMatchedAccuracyAndMisclassification:
+    def test_identical_labelings(self):
+        labels = [0, 1, 2, 0, 1, 2]
+        assert matched_accuracy(labels, labels) == 1.0
+        assert misclassification_error(labels, labels) == 0.0
+
+    def test_permuted_labels_still_perfect(self):
+        original = [0, 0, 1, 1, 2, 2]
+        renamed = [2, 2, 0, 0, 1, 1]
+        assert matched_accuracy(original, renamed) == 1.0
+        assert clusters_identical(original, renamed)
+
+    def test_single_moved_point(self):
+        original = [0, 0, 0, 1, 1, 1]
+        moved = [0, 0, 1, 1, 1, 1]
+        assert misclassification_error(original, moved) == pytest.approx(1 / 6)
+
+    def test_completely_different(self):
+        original = [0, 0, 0, 0]
+        shattered = [0, 1, 2, 3]
+        # The best matching keeps one point per predicted cluster; only one survives.
+        assert matched_accuracy(original, shattered) == pytest.approx(1 / 4)
+
+    def test_different_cluster_counts(self):
+        original = [0, 0, 1, 1, 2, 2]
+        merged = [0, 0, 0, 0, 1, 1]
+        assert misclassification_error(original, merged) == pytest.approx(2 / 6)
+
+
+class TestPairCountingIndices:
+    def test_rand_index_perfect(self):
+        assert rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_rand_index_partial(self):
+        # Classic textbook example.
+        value = rand_index([0, 0, 0, 1, 1, 1], [0, 0, 1, 1, 2, 2])
+        assert 0.0 < value < 1.0
+
+    def test_rand_index_requires_two_objects(self):
+        with pytest.raises(ValidationError):
+            rand_index([0], [0])
+
+    def test_adjusted_rand_perfect_and_renamed(self):
+        assert adjusted_rand_index([0, 1, 2], [2, 0, 1]) == pytest.approx(1.0)
+
+    def test_adjusted_rand_is_near_zero_for_random(self, rng):
+        a = rng.integers(0, 3, size=300)
+        b = rng.integers(0, 3, size=300)
+        assert abs(adjusted_rand_index(a, b)) < 0.1
+
+    def test_adjusted_rand_degenerate_single_cluster(self):
+        assert adjusted_rand_index([0, 0, 0], [0, 0, 0]) == 1.0
+
+    def test_f_measure_perfect(self):
+        assert f_measure([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_f_measure_partial_and_beta(self):
+        truth = [0, 0, 0, 1, 1, 1]
+        pred = [0, 0, 1, 1, 1, 1]
+        f1 = f_measure(truth, pred)
+        f2 = f_measure(truth, pred, beta=2.0)
+        assert 0.0 < f1 < 1.0
+        assert 0.0 < f2 < 1.0
+
+    def test_f_measure_invalid_beta(self):
+        with pytest.raises(ValidationError):
+            f_measure([0, 1], [0, 1], beta=0.0)
+
+    def test_f_measure_all_singletons(self):
+        # Both labelings place every object alone: trivially in agreement.
+        assert f_measure([0, 1, 2], [2, 1, 0]) == 1.0
+
+    def test_purity(self):
+        assert purity([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+        assert purity([0, 0, 1, 1], [0, 1, 0, 1]) == pytest.approx(0.5)
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        data = np.vstack(
+            [np.random.default_rng(0).normal(loc=0.0, scale=0.1, size=(20, 2)),
+             np.random.default_rng(1).normal(loc=10.0, scale=0.1, size=(20, 2))]
+        )
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(data, labels) > 0.9
+
+    def test_random_labels_score_low(self, rng):
+        data = rng.normal(size=(60, 2))
+        labels = rng.integers(0, 2, size=60)
+        assert silhouette_score(data, labels) < 0.3
+
+    def test_requires_two_clusters(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError, match="two clusters"):
+            silhouette_score(data, np.zeros(10, dtype=int))
+
+    def test_singleton_cluster_scores_zero(self):
+        data = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        labels = np.array([0, 0, 1])
+        # The singleton contributes 0; the result stays finite and positive.
+        assert 0.0 < silhouette_score(data, labels) <= 1.0
+
+    def test_label_length_mismatch(self, rng):
+        with pytest.raises(ValidationError, match="one entry per object"):
+            silhouette_score(rng.normal(size=(10, 2)), np.zeros(4, dtype=int))
+
+
+class TestClustersIdentical:
+    def test_true_for_renamed_partition(self):
+        assert clusters_identical([0, 1, 1, 2], [5, 7, 7, 9])
+
+    def test_false_when_one_point_moves(self):
+        assert not clusters_identical([0, 0, 1, 1], [0, 1, 1, 1])

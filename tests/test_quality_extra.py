@@ -1,0 +1,82 @@
+"""Unit tests for the additional quality metrics (Davies–Bouldin, NMI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBT
+from repro.data.datasets import make_blobs
+from repro.exceptions import ValidationError
+from repro.metrics import davies_bouldin_index, normalized_mutual_information
+from repro.preprocessing import ZScoreNormalizer
+
+
+class TestDaviesBouldin:
+    def test_lower_for_better_separated_clusters(self):
+        tight, labels_tight = make_blobs(
+            n_objects=150, n_clusters=3, cluster_std=0.2, random_state=0
+        )
+        loose, labels_loose = make_blobs(
+            n_objects=150, n_clusters=3, cluster_std=3.0, random_state=0
+        )
+        assert davies_bouldin_index(tight.values, labels_tight) < davies_bouldin_index(
+            loose.values, labels_loose
+        )
+
+    def test_invariant_under_rbt(self):
+        matrix, labels = make_blobs(n_objects=120, n_attributes=4, n_clusters=3, random_state=1)
+        normalized = ZScoreNormalizer().fit_transform(matrix)
+        released = RBT(thresholds=0.3, random_state=1).transform(normalized).matrix
+        original_index = davies_bouldin_index(normalized.values, labels)
+        released_index = davies_bouldin_index(released.values, labels)
+        assert released_index == pytest.approx(original_index, abs=1e-9)
+
+    def test_requires_two_clusters(self, rng):
+        with pytest.raises(ValidationError, match="two clusters"):
+            davies_bouldin_index(rng.normal(size=(10, 2)), np.zeros(10, dtype=int))
+
+    def test_label_length_checked(self, rng):
+        with pytest.raises(ValidationError, match="one entry per object"):
+            davies_bouldin_index(rng.normal(size=(10, 2)), np.zeros(4, dtype=int))
+
+    def test_noise_labels_ignored(self, rng):
+        data = np.vstack(
+            [rng.normal(loc=0.0, size=(20, 2)), rng.normal(loc=10.0, size=(20, 2))]
+        )
+        labels = np.array([0] * 20 + [1] * 20)
+        labels_with_noise = labels.copy()
+        labels_with_noise[0] = -1
+        value = davies_bouldin_index(data, labels_with_noise)
+        assert np.isfinite(value) and value > 0.0
+
+
+class TestNormalizedMutualInformation:
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_renamed_partition(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [3, 3, 7, 7]) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self, rng):
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_bounded_between_zero_and_one(self, rng):
+        for _ in range(10):
+            a = rng.integers(0, 3, size=50)
+            b = rng.integers(0, 5, size=50)
+            value = normalized_mutual_information(a, b)
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_single_cluster_degenerate_case(self):
+        assert normalized_mutual_information([0, 0, 0], [0, 0, 0]) == 1.0
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 4, size=100)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )

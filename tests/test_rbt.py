@@ -1,0 +1,183 @@
+"""Unit tests for the RBT algorithm (Definition 3, Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBT, rbt_transform
+from repro.data import DataMatrix
+from repro.data.datasets import make_patient_cohorts
+from repro.exceptions import SecurityRangeError, ValidationError
+from repro.metrics import dissimilarity_matrix, perturbation_variance
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture
+def normalized_patients():
+    matrix, labels = make_patient_cohorts(n_patients=80, random_state=5)
+    return ZScoreNormalizer().fit_transform(matrix), labels
+
+
+class TestBasicBehaviour:
+    def test_released_matrix_shape_and_columns(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=0).transform(normalized)
+        assert result.matrix.shape == normalized.shape
+        assert result.matrix.columns == normalized.columns
+        assert result.matrix.ids == normalized.ids
+
+    def test_values_actually_change(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=0).transform(normalized)
+        assert not np.allclose(result.matrix.values, normalized.values)
+
+    def test_number_of_records(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=0).transform(normalized)
+        assert len(result.records) == (normalized.n_attributes + 1) // 2
+        assert len(result.angles_degrees) == len(result.records)
+        assert len(result.pairs) == len(result.records)
+
+    def test_every_attribute_is_distorted(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=0).transform(normalized)
+        for name in normalized.columns:
+            variance = perturbation_variance(normalized.column(name), result.matrix.column(name))
+            assert variance > 0.0
+
+    def test_accepts_raw_arrays(self, rng):
+        data = rng.normal(size=(50, 4))
+        result = RBT(thresholds=0.2, random_state=0).transform(data)
+        assert result.matrix.shape == (50, 4)
+
+    def test_one_shot_helper(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = rbt_transform(normalized, 0.3, random_state=7)
+        again = rbt_transform(normalized, 0.3, random_state=7)
+        assert np.allclose(result.matrix.values, again.matrix.values)
+
+    def test_fit_transform_alias(self, normalized_patients):
+        normalized, _ = normalized_patients
+        transformer = RBT(thresholds=0.3, random_state=0)
+        assert np.allclose(
+            transformer.fit_transform(normalized).matrix.values,
+            RBT(thresholds=0.3, random_state=0).transform(normalized).matrix.values,
+        )
+
+
+class TestSecurityGuarantees:
+    def test_achieved_variances_clear_thresholds(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=(0.4, 0.6), random_state=1).transform(normalized)
+        for record in result.records:
+            assert record.satisfied
+            assert record.achieved_variances[0] >= record.threshold.rho1 - 1e-9
+            assert record.achieved_variances[1] >= record.threshold.rho2 - 1e-9
+
+    def test_sampled_angle_lies_in_security_range(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=3).transform(normalized)
+        for record in result.records:
+            assert record.security_range.contains(record.theta_degrees)
+
+    def test_per_pair_thresholds(self, normalized_patients):
+        normalized, _ = normalized_patients
+        n_pairs = (normalized.n_attributes + 1) // 2
+        thresholds = [(0.1 * (index + 1), 0.2) for index in range(n_pairs)]
+        result = RBT(thresholds=thresholds, random_state=0).transform(normalized)
+        for record, expected in zip(result.records, thresholds):
+            assert record.threshold.as_tuple() == pytest.approx(expected)
+
+    def test_unsatisfiable_threshold_raises(self, normalized_patients):
+        normalized, _ = normalized_patients
+        with pytest.raises(SecurityRangeError):
+            RBT(thresholds=50.0, random_state=0).transform(normalized)
+
+
+class TestIsometry:
+    def test_distances_preserved_exactly(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=0).transform(normalized)
+        original = dissimilarity_matrix(normalized.values)
+        released = dissimilarity_matrix(result.matrix.values)
+        assert np.allclose(original, released, atol=1e-9)
+
+    def test_inverse_restores_original(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=2).transform(normalized)
+        restored = result.inverse()
+        assert np.allclose(restored.values, normalized.values, atol=1e-10)
+
+    def test_inverse_with_shared_attribute_pairs(self, cardiac_normalized_exact, paper_rbt):
+        # The paper's pairing rotates `age` twice; the inverse must still restore it.
+        result = paper_rbt.transform(cardiac_normalized_exact)
+        assert np.allclose(result.inverse().values, cardiac_normalized_exact.values, atol=1e-10)
+
+
+class TestConfiguration:
+    def test_fixed_angles_must_match_pair_count(self, normalized_patients):
+        normalized, _ = normalized_patients
+        transformer = RBT(thresholds=0.3, angles=[120.0], random_state=0)
+        with pytest.raises(ValidationError, match="fixed angle"):
+            transformer.transform(normalized)
+
+    def test_fixed_angle_outside_range_rejected(self, cardiac_normalized_exact):
+        transformer = RBT(
+            thresholds=[(0.30, 0.55), (2.30, 2.30)],
+            pairs=[("age", "heart_rate"), ("weight", "age")],
+            angles=[1.0, 147.29],  # 1 degree gives almost no distortion
+        )
+        with pytest.raises(ValidationError, match="security range"):
+            transformer.transform(cardiac_normalized_exact)
+
+    def test_needs_two_attributes(self):
+        single = DataMatrix([[1.0], [2.0], [3.0]], columns=["only"])
+        with pytest.raises(ValidationError, match="at least two"):
+            RBT().transform(single)
+
+    def test_explicit_pairs_are_used_in_order(self, cardiac_normalized_exact):
+        transformer = RBT(
+            thresholds=0.2,
+            pairs=[("weight", "heart_rate"), ("age", "weight")],
+            random_state=0,
+        )
+        result = transformer.transform(cardiac_normalized_exact)
+        assert result.pairs == (("weight", "heart_rate"), ("age", "weight"))
+
+    def test_strategy_random_is_seeded(self, normalized_patients):
+        normalized, _ = normalized_patients
+        first = RBT(thresholds=0.3, strategy="random", random_state=4).transform(normalized)
+        second = RBT(thresholds=0.3, strategy="random", random_state=4).transform(normalized)
+        assert first.pairs == second.pairs
+        assert np.allclose(first.matrix.values, second.matrix.values)
+
+    def test_summary_rows(self, normalized_patients):
+        normalized, _ = normalized_patients
+        result = RBT(thresholds=0.3, random_state=0).transform(normalized)
+        rows = result.summary()
+        assert len(rows) == len(result.records)
+        assert set(rows[0]) == {
+            "pair",
+            "threshold",
+            "security_range",
+            "theta_degrees",
+            "achieved_variances",
+            "satisfied",
+        }
+
+    def test_invalid_ddof(self):
+        with pytest.raises(ValidationError):
+            RBT(ddof=2)
+
+    def test_odd_attribute_count(self, rng):
+        raw = DataMatrix(rng.normal(size=(60, 5)) * [1, 2, 3, 4, 5])
+        data = ZScoreNormalizer().fit_transform(raw)
+        result = RBT(thresholds=0.2, random_state=0).transform(data)
+        assert len(result.records) == 3
+        # Distances still preserved with the reused attribute.
+        assert np.allclose(
+            dissimilarity_matrix(data.values),
+            dissimilarity_matrix(result.matrix.values),
+            atol=1e-9,
+        )

@@ -1,0 +1,102 @@
+"""Unit tests for rotation primitives (Equation 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import is_rotation_matrix, rotate_pair, rotation_matrix
+from repro.exceptions import ValidationError
+
+
+class TestRotationMatrix:
+    def test_zero_angle_is_identity(self):
+        assert np.allclose(rotation_matrix(0.0), np.eye(2))
+
+    def test_matches_equation1_layout(self):
+        theta = 30.0
+        matrix = rotation_matrix(theta)
+        radians = np.deg2rad(theta)
+        assert matrix[0, 0] == pytest.approx(np.cos(radians))
+        assert matrix[0, 1] == pytest.approx(np.sin(radians))
+        assert matrix[1, 0] == pytest.approx(-np.sin(radians))
+        assert matrix[1, 1] == pytest.approx(np.cos(radians))
+
+    def test_90_degrees(self):
+        matrix = rotation_matrix(90.0)
+        assert np.allclose(matrix, [[0.0, 1.0], [-1.0, 0.0]], atol=1e-12)
+
+    def test_orthogonality_for_any_angle(self):
+        for theta in (0.0, 17.3, 90.0, 147.29, 312.47, 359.999):
+            matrix = rotation_matrix(theta)
+            assert np.allclose(matrix @ matrix.T, np.eye(2), atol=1e-12)
+            assert np.linalg.det(matrix) == pytest.approx(1.0)
+
+    def test_360_equals_identity(self):
+        assert np.allclose(rotation_matrix(360.0), np.eye(2), atol=1e-12)
+
+    def test_composition_adds_angles(self):
+        combined = rotation_matrix(40.0) @ rotation_matrix(20.0)
+        assert np.allclose(combined, rotation_matrix(60.0), atol=1e-12)
+
+    def test_inverse_is_transpose(self):
+        matrix = rotation_matrix(123.4)
+        assert np.allclose(matrix.T @ matrix, np.eye(2), atol=1e-12)
+        assert np.allclose(matrix.T, rotation_matrix(-123.4), atol=1e-12)
+
+
+class TestRotatePair:
+    def test_matches_matrix_product(self, rng):
+        a, b = rng.normal(size=10), rng.normal(size=10)
+        theta = 73.5
+        rotated_a, rotated_b = rotate_pair(a, b, theta)
+        expected = rotation_matrix(theta) @ np.vstack([a, b])
+        assert np.allclose(rotated_a, expected[0])
+        assert np.allclose(rotated_b, expected[1])
+
+    def test_preserves_pairwise_norms(self, rng):
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        rotated_a, rotated_b = rotate_pair(a, b, 211.0)
+        # The rotation acts on each object's (a_i, b_i) coordinate pair, so the
+        # per-object norm in that plane is invariant.
+        assert np.allclose(a**2 + b**2, rotated_a**2 + rotated_b**2)
+
+    def test_zero_angle_is_identity(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        rotated_a, rotated_b = rotate_pair(a, b, 0.0)
+        assert np.allclose(rotated_a, a)
+        assert np.allclose(rotated_b, b)
+
+    def test_round_trip_via_negative_angle(self, rng):
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        rotated_a, rotated_b = rotate_pair(a, b, 95.0)
+        restored_a, restored_b = rotate_pair(rotated_a, rotated_b, -95.0)
+        assert np.allclose(restored_a, a)
+        assert np.allclose(restored_b, b)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="same length"):
+            rotate_pair([1.0, 2.0], [1.0], 10.0)
+
+    def test_order_matters(self, rng):
+        a, b = rng.normal(size=6), rng.normal(size=6)
+        ab = rotate_pair(a, b, 50.0)
+        ba = rotate_pair(b, a, 50.0)
+        # Swapping the pair order produces a different transformation (the paper
+        # lists the order of attributes in a pair as a security factor).
+        assert not np.allclose(ab[0], ba[1])
+
+
+class TestIsRotationMatrix:
+    def test_true_for_rotation_matrices(self):
+        assert is_rotation_matrix(rotation_matrix(37.0))
+
+    def test_false_for_reflection(self):
+        reflection = np.array([[1.0, 0.0], [0.0, -1.0]])
+        assert not is_rotation_matrix(reflection)
+
+    def test_false_for_scaling(self):
+        assert not is_rotation_matrix(np.eye(2) * 2.0)
+
+    def test_false_for_wrong_shape(self):
+        assert not is_rotation_matrix(np.eye(3))

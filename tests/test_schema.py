@@ -1,0 +1,94 @@
+"""Unit tests for schemas and column roles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import ColumnRole, ColumnSpec, Schema
+from repro.exceptions import SchemaError
+
+
+class TestColumnRole:
+    def test_numeric_roles(self):
+        assert ColumnRole.CONFIDENTIAL_NUMERIC.is_numeric
+        assert ColumnRole.NUMERIC.is_numeric
+        assert not ColumnRole.IDENTIFIER.is_numeric
+        assert not ColumnRole.CATEGORICAL.is_numeric
+
+    def test_construct_from_string(self):
+        assert ColumnRole("identifier") is ColumnRole.IDENTIFIER
+
+
+class TestColumnSpec:
+    def test_defaults_to_numeric(self):
+        assert ColumnSpec("age").role is ColumnRole.NUMERIC
+
+    def test_string_role_is_coerced(self):
+        assert ColumnSpec("age", "confidential_numeric").role is ColumnRole.CONFIDENTIAL_NUMERIC
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("")
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema.from_names(
+            ["id", "age", "weight", "city"],
+            roles={"id": ColumnRole.IDENTIFIER, "city": ColumnRole.CATEGORICAL},
+            default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+        )
+
+    def test_from_names_roles(self):
+        schema = self.make()
+        assert schema.identifier_names() == ["id"]
+        assert schema.confidential_names() == ["age", "weight"]
+        assert schema.numeric_names() == ["age", "weight"]
+        assert schema.names_with_role(ColumnRole.CATEGORICAL) == ["city"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.from_names(["a", "a"])
+
+    def test_unknown_role_override_rejected(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            Schema.from_names(["a"], roles={"b": ColumnRole.IDENTIFIER})
+
+    def test_len_iter_contains_getitem(self):
+        schema = self.make()
+        assert len(schema) == 4
+        assert [spec.name for spec in schema] == ["id", "age", "weight", "city"]
+        assert "age" in schema
+        assert "salary" not in schema
+        assert schema["age"].role is ColumnRole.CONFIDENTIAL_NUMERIC
+        with pytest.raises(KeyError):
+            schema["salary"]
+
+    def test_role_of(self):
+        assert self.make().role_of("city") is ColumnRole.CATEGORICAL
+
+    def test_select_preserves_order(self):
+        selected = self.make().select(["weight", "age"])
+        assert selected.names == ["weight", "age"]
+
+    def test_select_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self.make().select(["salary"])
+
+    def test_drop(self):
+        dropped = self.make().drop(["id", "city"])
+        assert dropped.names == ["age", "weight"]
+
+    def test_drop_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self.make().drop(["salary"])
+
+    def test_with_role(self):
+        updated = self.make().with_role("age", ColumnRole.NUMERIC)
+        assert updated.role_of("age") is ColumnRole.NUMERIC
+        # The original schema is unchanged (schemas are immutable value objects).
+        assert self.make().role_of("age") is ColumnRole.CONFIDENTIAL_NUMERIC
+
+    def test_with_role_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self.make().with_role("salary", ColumnRole.NUMERIC)

@@ -1,0 +1,139 @@
+"""Unit tests for rotation-secret persistence (RBTSecret)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RBT, RBTSecret, RotationStep
+from repro.data import DataMatrix
+from repro.data.datasets import make_patient_cohorts
+from repro.exceptions import SerializationError, ValidationError
+from repro.metrics import dissimilarity_matrix
+from repro.preprocessing import ZScoreNormalizer
+
+
+@pytest.fixture
+def normalized():
+    matrix, _ = make_patient_cohorts(n_patients=60, random_state=3)
+    return ZScoreNormalizer().fit_transform(matrix)
+
+
+@pytest.fixture
+def release(normalized):
+    return RBT(thresholds=0.3, random_state=3).transform(normalized)
+
+
+class TestRotationStep:
+    def test_coerces_types(self):
+        step = RotationStep(pair=("a", "b"), theta_degrees=90, threshold=(1, 2))
+        assert step.theta_degrees == 90.0
+        assert step.threshold == (1.0, 2.0)
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValidationError):
+            RotationStep(pair=("a", "a"), theta_degrees=10.0)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValidationError):
+            RotationStep(pair=("a",), theta_degrees=10.0)  # type: ignore[arg-type]
+
+
+class TestSecretConstruction:
+    def test_from_result_captures_everything(self, release):
+        secret = RBTSecret.from_result(release)
+        assert secret.pairs == release.pairs
+        assert secret.angles_degrees == release.angles_degrees
+        thresholds = secret.thresholds()
+        assert all(item is not None for item in thresholds)
+
+    def test_from_steps(self):
+        secret = RBTSecret.from_steps([(("a", "b"), 45.0), (("c", "a"), 120.0)])
+        assert secret.pairs == (("a", "b"), ("c", "a"))
+        assert secret.thresholds() == (None, None)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValidationError):
+            RBTSecret(())
+
+
+class TestApplyAndInvert:
+    def test_invert_restores_normalized_data(self, release, normalized):
+        secret = RBTSecret.from_result(release)
+        restored = secret.invert(release.matrix)
+        assert np.allclose(restored.values, normalized.values, atol=1e-10)
+
+    def test_apply_reproduces_the_release(self, release, normalized):
+        secret = RBTSecret.from_result(release)
+        reapplied = secret.apply(normalized)
+        assert np.allclose(reapplied.values, release.matrix.values, atol=1e-10)
+
+    def test_apply_to_new_batch_preserves_distances(self, release):
+        # New records normalized in the same space can be released consistently.
+        secret = RBTSecret.from_result(release)
+        rng = np.random.default_rng(0)
+        batch = DataMatrix(rng.normal(size=(20, len(release.matrix.columns))), columns=release.matrix.columns)
+        released_batch = secret.apply(batch)
+        assert np.allclose(
+            dissimilarity_matrix(batch.values),
+            dissimilarity_matrix(released_batch.values),
+            atol=1e-9,
+        )
+
+    def test_unknown_attribute_rejected(self, release):
+        secret = RBTSecret.from_result(release)
+        other = DataMatrix(np.zeros((3, 2)), columns=["p", "q"])
+        with pytest.raises(ValidationError, match="not in the matrix"):
+            secret.invert(other)
+
+    def test_requires_data_matrix(self, release):
+        secret = RBTSecret.from_result(release)
+        with pytest.raises(ValidationError, match="DataMatrix"):
+            secret.invert(np.zeros((3, 3)))
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, release):
+        secret = RBTSecret.from_result(release)
+        rebuilt = RBTSecret.from_dict(secret.to_dict())
+        assert rebuilt == secret
+
+    def test_file_round_trip(self, release, normalized, tmp_path):
+        secret = RBTSecret.from_result(release)
+        path = tmp_path / "secret.json"
+        secret.save(path)
+        loaded = RBTSecret.load(path)
+        assert loaded == secret
+        assert np.allclose(loaded.invert(release.matrix).values, normalized.values, atol=1e-10)
+
+    def test_saved_file_is_plain_json(self, release, tmp_path):
+        path = tmp_path / "secret.json"
+        RBTSecret.from_result(release).save(path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.rbt-secret"
+        assert len(payload["steps"]) == len(release.records)
+
+    def test_missing_format_marker_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            RBTSecret.from_dict({"steps": []})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            RBTSecret.from_dict({"format": "repro.rbt-secret", "steps": [{"pair": ["a"]}]})
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            RBTSecret.load(path)
+
+    def test_threshold_optional_in_payload(self):
+        payload = {
+            "format": "repro.rbt-secret",
+            "version": 1,
+            "steps": [{"pair": ["a", "b"], "theta_degrees": 30.0}],
+        }
+        secret = RBTSecret.from_dict(payload)
+        assert secret.thresholds() == (None,)

@@ -1,0 +1,191 @@
+"""Unit tests for the variance curves and security-range solver (Figures 2/3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SecurityRange,
+    compute_variance_curves,
+    solve_security_range,
+    variance_difference_curves,
+)
+from repro.core.rotation import rotate_pair
+from repro.core.thresholds import PairwiseSecurityThreshold
+from repro.data.datasets import (
+    MEASURED_SECURITY_RANGE1_DEGREES,
+    PAPER_PST1,
+    PAPER_PST2,
+    PAPER_SECURITY_RANGE2_DEGREES,
+    PAPER_THETA1_DEGREES,
+)
+from repro.exceptions import SecurityRangeError, ValidationError
+
+
+class TestVarianceDifferenceCurves:
+    def test_closed_form_matches_direct_computation(self, rng):
+        a, b = rng.normal(size=40), rng.normal(size=40) * 2.0
+        for theta in (0.0, 33.3, 90.0, 180.0, 271.2):
+            curve_i, curve_j = variance_difference_curves(a, b, theta)
+            rotated_a, rotated_b = rotate_pair(a, b, theta)
+            assert float(curve_i) == pytest.approx(np.var(a - rotated_a, ddof=1), abs=1e-10)
+            assert float(curve_j) == pytest.approx(np.var(b - rotated_b, ddof=1), abs=1e-10)
+
+    def test_population_estimator_option(self, rng):
+        a, b = rng.normal(size=25), rng.normal(size=25)
+        curve_i, _ = variance_difference_curves(a, b, 120.0, ddof=0)
+        rotated_a, _ = rotate_pair(a, b, 120.0)
+        assert float(curve_i) == pytest.approx(np.var(a - rotated_a, ddof=0), abs=1e-10)
+
+    def test_zero_at_theta_zero(self, rng):
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        curve_i, curve_j = variance_difference_curves(a, b, 0.0)
+        assert float(curve_i) == pytest.approx(0.0, abs=1e-12)
+        assert float(curve_j) == pytest.approx(0.0, abs=1e-12)
+
+    def test_vectorized_over_angles(self, rng):
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        thetas = np.array([10.0, 20.0, 30.0])
+        curve_i, curve_j = variance_difference_curves(a, b, thetas)
+        assert curve_i.shape == (3,)
+        assert curve_j.shape == (3,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="same length"):
+            variance_difference_curves([1.0, 2.0], [1.0], 45.0)
+
+    def test_compute_variance_curves_rows(self, cardiac_normalized_exact):
+        curves = compute_variance_curves(
+            cardiac_normalized_exact.column("age"),
+            cardiac_normalized_exact.column("heart_rate"),
+            resolution=360,
+        )
+        rows = curves.as_rows()
+        assert len(rows) == 360
+        assert rows[0][0] == 0.0
+        assert all(len(row) == 3 for row in rows[:5])
+
+
+class TestSecurityRangeObject:
+    def make_range(self) -> SecurityRange:
+        return SecurityRange(
+            intervals=((10.0, 20.0), (200.0, 300.0)),
+            threshold=PairwiseSecurityThreshold(0.1, 0.1),
+        )
+
+    def test_bounds_and_measure(self):
+        security_range = self.make_range()
+        assert security_range.lower_bound == 10.0
+        assert security_range.upper_bound == 300.0
+        assert security_range.total_measure == pytest.approx(110.0)
+
+    def test_contains(self):
+        security_range = self.make_range()
+        assert security_range.contains(15.0)
+        assert security_range.contains(250.0)
+        assert not security_range.contains(100.0)
+        assert security_range.contains(360.0 + 15.0)  # wraps modulo 360
+
+    def test_sample_always_inside(self):
+        security_range = self.make_range()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert security_range.contains(security_range.sample(rng))
+
+    def test_sample_reaches_both_intervals(self):
+        security_range = self.make_range()
+        rng = np.random.default_rng(1)
+        samples = np.array([security_range.sample(rng) for _ in range(300)])
+        assert np.any(samples < 30.0)
+        assert np.any(samples > 190.0)
+
+    def test_empty_intervals_rejected(self):
+        with pytest.raises(SecurityRangeError):
+            SecurityRange(intervals=(), threshold=PairwiseSecurityThreshold(1.0, 1.0))
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            SecurityRange(
+                intervals=((30.0, 10.0),), threshold=PairwiseSecurityThreshold(1.0, 1.0)
+            )
+
+
+class TestSolveSecurityRange:
+    def test_every_angle_in_range_satisfies_threshold(self, cardiac_normalized_exact, rng):
+        age = cardiac_normalized_exact.column("age")
+        heart_rate = cardiac_normalized_exact.column("heart_rate")
+        security_range = solve_security_range(age, heart_rate, PAPER_PST1)
+        for _ in range(50):
+            theta = security_range.sample(rng)
+            curve_i, curve_j = variance_difference_curves(age, heart_rate, theta)
+            assert curve_i >= PAPER_PST1[0] - 1e-6
+            assert curve_j >= PAPER_PST1[1] - 1e-6
+
+    def test_angles_outside_range_violate_threshold(self, cardiac_normalized_exact):
+        age = cardiac_normalized_exact.column("age")
+        heart_rate = cardiac_normalized_exact.column("heart_rate")
+        security_range = solve_security_range(age, heart_rate, PAPER_PST1)
+        for theta in (1.0, security_range.lower_bound - 2.0, security_range.upper_bound + 2.0):
+            if not security_range.contains(theta):
+                curve_i, curve_j = variance_difference_curves(age, heart_rate, theta)
+                assert curve_i < PAPER_PST1[0] or curve_j < PAPER_PST1[1]
+
+    def test_reproduces_measured_range_for_pair1(self, cardiac_normalized_exact):
+        security_range = solve_security_range(
+            cardiac_normalized_exact.column("age"),
+            cardiac_normalized_exact.column("heart_rate"),
+            PAPER_PST1,
+        )
+        assert len(security_range.intervals) == 1
+        assert security_range.lower_bound == pytest.approx(
+            MEASURED_SECURITY_RANGE1_DEGREES[0], abs=0.05
+        )
+        assert security_range.upper_bound == pytest.approx(
+            MEASURED_SECURITY_RANGE1_DEGREES[1], abs=0.05
+        )
+
+    def test_reproduces_paper_range_for_pair2(self, paper_release):
+        # The second rotation's range is solved on (weight, age') where age' is
+        # already distorted; the RBT run records it.
+        security_range = paper_release.records[1].security_range
+        assert security_range.lower_bound == pytest.approx(
+            PAPER_SECURITY_RANGE2_DEGREES[0], abs=0.05
+        )
+        assert security_range.upper_bound == pytest.approx(
+            PAPER_SECURITY_RANGE2_DEGREES[1], abs=0.05
+        )
+
+    def test_paper_theta1_inside_range(self, cardiac_normalized_exact):
+        security_range = solve_security_range(
+            cardiac_normalized_exact.column("age"),
+            cardiac_normalized_exact.column("heart_rate"),
+            PAPER_PST1,
+        )
+        assert security_range.contains(PAPER_THETA1_DEGREES)
+
+    def test_unsatisfiable_threshold_raises(self, cardiac_normalized_exact):
+        with pytest.raises(SecurityRangeError, match="empty"):
+            solve_security_range(
+                cardiac_normalized_exact.column("age"),
+                cardiac_normalized_exact.column("heart_rate"),
+                (100.0, 100.0),
+            )
+
+    def test_tiny_threshold_covers_almost_everything(self, rng):
+        a, b = rng.normal(size=100), rng.normal(size=100)
+        security_range = solve_security_range(a, b, (1e-6, 1e-6))
+        assert security_range.total_measure > 300.0
+
+    def test_uncorrelated_unit_variance_range_is_symmetric(self, rng):
+        # For uncorrelated unit-variance attributes both curves are ~2(1-cosθ),
+        # so the admissible region is symmetric around 180°.
+        a = rng.normal(size=20000)
+        b = rng.normal(size=20000)
+        security_range = solve_security_range(a, b, (0.5, 0.5), resolution=3600)
+        midpoint = (security_range.lower_bound + security_range.upper_bound) / 2.0
+        assert midpoint == pytest.approx(180.0, abs=2.0)
+
+    def test_resolution_minimum_enforced(self, rng):
+        with pytest.raises(ValidationError):
+            solve_security_range(rng.normal(size=10), rng.normal(size=10), 0.1, resolution=4)

@@ -1,0 +1,110 @@
+"""Unit tests for identifier suppression and the pre-processing pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnRole, DataMatrix, Schema, Table
+from repro.exceptions import ValidationError
+from repro.preprocessing import (
+    IdentifierSuppressor,
+    MinMaxNormalizer,
+    PreprocessingPipeline,
+    suppress_identifiers,
+)
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = Schema.from_names(
+        ["id", "phone", "age", "weight"],
+        roles={"id": ColumnRole.IDENTIFIER, "phone": ColumnRole.IDENTIFIER},
+        default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+    )
+    return Table(
+        schema,
+        {
+            "id": [1, 2, 3],
+            "phone": ["555-1", "555-2", "555-3"],
+            "age": [30.0, 40.0, 50.0],
+            "weight": [70.0, 80.0, 90.0],
+        },
+    )
+
+
+class TestIdentifierSuppressor:
+    def test_schema_driven_suppression(self, table):
+        released = IdentifierSuppressor().transform(table)
+        assert released.column_names == ["age", "weight"]
+
+    def test_extra_columns_on_table(self, table):
+        released = IdentifierSuppressor(extra_columns=["weight"]).transform(table)
+        assert released.column_names == ["age"]
+
+    def test_matrix_extra_columns_and_ids(self):
+        matrix = DataMatrix(
+            [[1.0, 2.0, 3.0]], columns=["a", "b", "c"], ids=["obj"]
+        )
+        suppressor = IdentifierSuppressor(extra_columns=["b"], drop_object_ids=True)
+        released = suppressor.transform(matrix)
+        assert released.columns == ("a", "c")
+        assert released.ids is None
+
+    def test_matrix_without_matching_columns_is_unchanged(self):
+        matrix = DataMatrix([[1.0, 2.0]], columns=["a", "b"], ids=["x"])
+        released = IdentifierSuppressor(extra_columns=["zzz"]).transform(matrix)
+        assert released.columns == ("a", "b")
+        assert released.ids == ("x",)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError, match="Table or DataMatrix"):
+            IdentifierSuppressor().transform([[1.0]])
+
+    def test_one_shot_helper(self, table):
+        released = suppress_identifiers(table)
+        assert released.column_names == ["age", "weight"]
+
+
+class TestPreprocessingPipeline:
+    def test_run_table_normalizes_confidential_columns(self, table):
+        pipeline = PreprocessingPipeline()
+        normalized = pipeline.run_table(table)
+        assert normalized.columns == ("age", "weight")
+        assert np.allclose(normalized.values.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_run_table_keeps_requested_ids(self, table):
+        normalized = PreprocessingPipeline().run_table(table, id_column="id")
+        assert normalized.ids == (1, 2, 3)
+
+    def test_run_table_unknown_id_column(self, table):
+        with pytest.raises(ValidationError, match="unknown id column"):
+            PreprocessingPipeline().run_table(table, id_column="ssn")
+
+    def test_run_matrix_with_custom_normalizer(self):
+        matrix = DataMatrix([[0.0, 10.0], [10.0, 30.0]], columns=["a", "b"])
+        pipeline = PreprocessingPipeline(normalizer=MinMaxNormalizer())
+        normalized = pipeline.run_matrix(matrix)
+        assert normalized.values.min() == pytest.approx(0.0)
+        assert normalized.values.max() == pytest.approx(1.0)
+
+    def test_run_dispatches_by_type(self, table):
+        pipeline = PreprocessingPipeline()
+        from_table = pipeline.run(table)
+        assert from_table.columns == ("age", "weight")
+        matrix = DataMatrix([[1.0, 2.0], [3.0, 4.0]], columns=["a", "b"])
+        from_matrix = pipeline.run(matrix)
+        assert from_matrix.columns == ("a", "b")
+
+    def test_run_rejects_other_types(self):
+        with pytest.raises(ValidationError, match="Table or DataMatrix"):
+            PreprocessingPipeline().run([[1.0, 2.0]])
+
+    def test_run_matrix_rejects_table(self, table):
+        with pytest.raises(ValidationError, match="DataMatrix"):
+            PreprocessingPipeline().run_matrix(table)
+
+    def test_run_table_rejects_matrix(self):
+        matrix = DataMatrix([[1.0, 2.0]], columns=["a", "b"])
+        with pytest.raises(ValidationError, match="Table"):
+            PreprocessingPipeline().run_table(matrix)

@@ -1,0 +1,172 @@
+"""Unit tests for the relational Table substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnRole, DataMatrix, Schema, Table
+from repro.exceptions import SchemaError, ValidationError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_names(
+        ["id", "age", "weight", "city"],
+        roles={"id": ColumnRole.IDENTIFIER, "city": ColumnRole.CATEGORICAL},
+        default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+    )
+
+
+@pytest.fixture
+def table(schema) -> Table:
+    return Table(
+        schema,
+        {
+            "id": [101, 102, 103, 104],
+            "age": [30.0, 40.0, 50.0, 60.0],
+            "weight": [60.0, 70.0, 80.0, 90.0],
+            "city": ["york", "leeds", "york", "hull"],
+        },
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, table):
+        assert table.n_rows == 4
+        assert table.n_columns == 4
+        assert len(table) == 4
+        assert table.column_names == ["id", "age", "weight", "city"]
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(SchemaError, match="match the schema"):
+            Table(schema, {"id": [1], "age": [2.0], "weight": [3.0]})
+
+    def test_extra_column_rejected(self, schema):
+        with pytest.raises(SchemaError, match="match the schema"):
+            Table(
+                schema,
+                {"id": [1], "age": [2.0], "weight": [3.0], "city": ["x"], "extra": [0]},
+            )
+
+    def test_ragged_columns_rejected(self, schema):
+        with pytest.raises(SchemaError, match="same length"):
+            Table(schema, {"id": [1, 2], "age": [2.0], "weight": [3.0, 4.0], "city": ["x", "y"]})
+
+    def test_non_numeric_value_in_numeric_column(self, schema):
+        with pytest.raises(SchemaError, match="non-numeric"):
+            Table(schema, {"id": [1], "age": ["old"], "weight": [3.0], "city": ["x"]})
+
+    def test_nan_in_numeric_column(self, schema):
+        with pytest.raises(SchemaError, match="NaN"):
+            Table(schema, {"id": [1], "age": [np.nan], "weight": [3.0], "city": ["x"]})
+
+
+class TestAccess:
+    def test_column_returns_copy(self, table):
+        column = table.column("age")
+        column[0] = -1.0
+        assert table.column("age")[0] == 30.0
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column("salary")
+
+    def test_row_and_iter_rows(self, table):
+        assert table.row(1)["city"] == "leeds"
+        assert len(list(table.iter_rows())) == 4
+        with pytest.raises(ValidationError):
+            table.row(99)
+
+
+class TestRelationalOperations:
+    def test_select_columns(self, table):
+        projected = table.select_columns(["age", "city"])
+        assert projected.column_names == ["age", "city"]
+
+    def test_drop_columns(self, table):
+        assert table.drop_columns(["city"]).column_names == ["id", "age", "weight"]
+
+    def test_filter_rows(self, table):
+        filtered = table.filter_rows(lambda record: record["city"] == "york")
+        assert filtered.n_rows == 2
+
+    def test_take_rows(self, table):
+        taken = table.take_rows([3, 0])
+        assert taken.column("id").tolist() == [104, 101]
+        with pytest.raises(ValidationError):
+            table.take_rows([10])
+
+    def test_head(self, table):
+        assert table.head(2).n_rows == 2
+        assert table.head(100).n_rows == 4
+
+    def test_suppress_identifiers(self, table):
+        released = table.suppress_identifiers()
+        assert "id" not in released.column_names
+        # A table with no identifier columns is returned unchanged.
+        assert released.suppress_identifiers() is released
+
+
+class TestConversion:
+    def test_to_matrix_defaults_to_numeric_columns(self, table):
+        matrix = table.to_matrix()
+        assert matrix.columns == ("age", "weight")
+        assert matrix.shape == (4, 2)
+
+    def test_to_matrix_with_ids(self, table):
+        matrix = table.to_matrix(id_column="id")
+        assert matrix.ids == (101, 102, 103, 104)
+
+    def test_to_matrix_rejects_categorical(self, table):
+        with pytest.raises(SchemaError, match="not numeric"):
+            table.to_matrix(["city"])
+
+    def test_to_matrix_rejects_unknown_column(self, table):
+        with pytest.raises(SchemaError, match="unknown"):
+            table.to_matrix(["salary"])
+
+    def test_to_matrix_requires_numeric_columns(self):
+        schema = Schema.from_names(["name"], default_role=ColumnRole.CATEGORICAL)
+        table = Table(schema, {"name": ["x"]})
+        with pytest.raises(SchemaError, match="no numeric columns"):
+            table.to_matrix()
+
+    def test_from_records_inferred_schema(self):
+        table = Table.from_records(
+            [{"id": 1, "age": 3.0}, {"id": 2, "age": 4.0}],
+            roles={"id": ColumnRole.IDENTIFIER},
+            default_role=ColumnRole.CONFIDENTIAL_NUMERIC,
+        )
+        assert table.schema.identifier_names() == ["id"]
+
+    def test_from_records_missing_column(self):
+        with pytest.raises(ValidationError, match="missing column"):
+            Table.from_records([{"a": 1}, {"b": 2}])
+
+    def test_from_records_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            Table.from_records([])
+
+    def test_with_matrix_values_roundtrip(self, table):
+        matrix = table.to_matrix()
+        doubled = matrix.with_values(matrix.values * 2)
+        updated = table.with_matrix_values(doubled)
+        assert updated.column("age").tolist() == [60.0, 80.0, 100.0, 120.0]
+        # Non-matrix columns are untouched.
+        assert updated.column("city").tolist() == ["york", "leeds", "york", "hull"]
+
+    def test_with_matrix_values_row_mismatch(self, table):
+        with pytest.raises(ValidationError, match="row"):
+            table.with_matrix_values(DataMatrix([[1.0, 2.0]], columns=["age", "weight"]))
+
+    def test_with_matrix_values_unknown_column(self, table):
+        with pytest.raises(SchemaError, match="does not exist"):
+            table.with_matrix_values(
+                DataMatrix(np.zeros((4, 1)), columns=["salary"])
+            )
+
+    def test_to_records(self, table):
+        records = table.to_records()
+        assert records[0]["id"] == 101
+        assert len(records) == 4

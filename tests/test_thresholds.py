@@ -1,0 +1,85 @@
+"""Unit tests for the pairwise-security threshold PST(ρ1, ρ2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PairwiseSecurityThreshold
+from repro.exceptions import ThresholdError
+
+
+class TestConstruction:
+    def test_basic(self):
+        threshold = PairwiseSecurityThreshold(0.30, 0.55)
+        assert threshold.rho1 == 0.30
+        assert threshold.rho2 == 0.55
+        assert threshold.as_tuple() == (0.30, 0.55)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ThresholdError):
+            PairwiseSecurityThreshold(0.0, 1.0)
+        with pytest.raises(ThresholdError):
+            PairwiseSecurityThreshold(1.0, -0.5)
+
+    def test_frozen(self):
+        threshold = PairwiseSecurityThreshold(1.0, 1.0)
+        with pytest.raises(AttributeError):
+            threshold.rho1 = 2.0  # type: ignore[misc]
+
+
+class TestCoerce:
+    def test_from_instance(self):
+        threshold = PairwiseSecurityThreshold(1.0, 2.0)
+        assert PairwiseSecurityThreshold.coerce(threshold) is threshold
+
+    def test_from_scalar(self):
+        threshold = PairwiseSecurityThreshold.coerce(0.4)
+        assert threshold.as_tuple() == (0.4, 0.4)
+
+    def test_from_pair(self):
+        assert PairwiseSecurityThreshold.coerce((2.3, 2.3)).as_tuple() == (2.3, 2.3)
+
+    def test_from_list(self):
+        assert PairwiseSecurityThreshold.coerce([0.1, 0.2]).as_tuple() == (0.1, 0.2)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ThresholdError):
+            PairwiseSecurityThreshold.coerce((1.0, 2.0, 3.0))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ThresholdError):
+            PairwiseSecurityThreshold.coerce("strong")
+
+
+class TestBroadcast:
+    def test_single_scalar_to_many_pairs(self):
+        thresholds = PairwiseSecurityThreshold.broadcast(0.25, 4)
+        assert len(thresholds) == 4
+        assert all(item.as_tuple() == (0.25, 0.25) for item in thresholds)
+
+    def test_single_pair_to_many_pairs(self):
+        thresholds = PairwiseSecurityThreshold.broadcast((0.3, 0.55), 3)
+        assert len(thresholds) == 3
+        assert thresholds[0].as_tuple() == (0.3, 0.55)
+
+    def test_per_pair_list(self):
+        thresholds = PairwiseSecurityThreshold.broadcast([(0.3, 0.55), (2.3, 2.3)], 2)
+        assert thresholds[0].as_tuple() == (0.3, 0.55)
+        assert thresholds[1].as_tuple() == (2.3, 2.3)
+
+    def test_single_element_list_broadcasts(self):
+        thresholds = PairwiseSecurityThreshold.broadcast([(1.0, 1.5)], 3)
+        assert len(thresholds) == 3
+        assert thresholds[2].as_tuple() == (1.0, 1.5)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ThresholdError, match="expected 1 or 3"):
+            PairwiseSecurityThreshold.broadcast([(1.0, 1.0), (2.0, 2.0)], 3)
+
+    def test_invalid_n_pairs(self):
+        with pytest.raises(ThresholdError):
+            PairwiseSecurityThreshold.broadcast(1.0, 0)
+
+    def test_instance_broadcast(self):
+        single = PairwiseSecurityThreshold(0.7, 0.8)
+        assert PairwiseSecurityThreshold.broadcast(single, 2) == [single, single]

@@ -1,0 +1,165 @@
+"""Unit tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_float_matrix,
+    as_float_vector,
+    as_label_vector,
+    check_columns_exist,
+    check_integer_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+    ensure_rng,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAsFloatMatrix:
+    def test_accepts_nested_lists(self):
+        result = as_float_matrix([[1, 2], [3, 4]])
+        assert result.shape == (2, 2)
+        assert result.dtype == np.float64
+
+    def test_promotes_1d_to_column(self):
+        result = as_float_matrix([1.0, 2.0, 3.0])
+        assert result.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            as_float_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            as_float_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            as_float_matrix([[1.0, np.inf]])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="convertible"):
+            as_float_matrix([["a", "b"]])
+
+    def test_enforces_min_rows(self):
+        with pytest.raises(ValidationError, match="at least 3 row"):
+            as_float_matrix([[1.0], [2.0]], min_rows=3)
+
+    def test_enforces_min_cols(self):
+        with pytest.raises(ValidationError, match="at least 2 column"):
+            as_float_matrix([[1.0], [2.0]], min_cols=2)
+
+    def test_unwraps_objects_with_values_attribute(self):
+        class Wrapper:
+            values = np.array([[1.0, 2.0]])
+
+        assert as_float_matrix(Wrapper()).shape == (1, 2)
+
+
+class TestAsFloatVector:
+    def test_flattens_input(self):
+        assert as_float_vector([[1.0], [2.0]]).shape == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="at least 1"):
+            as_float_vector([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            as_float_vector([np.nan])
+
+
+class TestAsLabelVector:
+    def test_accepts_integer_labels(self):
+        labels = as_label_vector([0, 1, 1, 2])
+        assert labels.dtype.kind == "i"
+
+    def test_accepts_integral_floats(self):
+        labels = as_label_vector(np.array([0.0, 1.0, 2.0]))
+        assert labels.tolist() == [0, 1, 2]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(ValidationError, match="integer"):
+            as_label_vector(np.array([0.5, 1.0]))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValidationError, match="length 3"):
+            as_label_vector([0, 1], n_expected=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            as_label_vector([[0, 1]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            as_label_vector([])
+
+
+class TestScalarChecks:
+    def test_check_square_matrix_rejects_rectangular(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_square_matrix([[1.0, 2.0]])
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.5)
+        with pytest.raises(ValidationError):
+            check_probability(-0.1)
+
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+        with pytest.raises(ValidationError):
+            check_positive(float("inf"))
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(ValidationError):
+            check_non_negative(-1.0)
+
+    def test_check_integer_in_range(self):
+        assert check_integer_in_range(3, minimum=1, maximum=5) == 3
+        with pytest.raises(ValidationError):
+            check_integer_in_range(0, minimum=1)
+        with pytest.raises(ValidationError):
+            check_integer_in_range(7, maximum=5)
+        with pytest.raises(ValidationError):
+            check_integer_in_range(1.5)  # type: ignore[arg-type]
+        with pytest.raises(ValidationError):
+            check_integer_in_range(True)  # bool is not an acceptable integer
+
+
+class TestCheckColumnsExist:
+    def test_passes_for_known_columns(self):
+        assert check_columns_exist(["a"], ["a", "b"]) == ["a"]
+
+    def test_reports_missing_columns(self):
+        with pytest.raises(ValidationError, match="unknown column"):
+            check_columns_exist(["c"], ["a", "b"])
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        assert ensure_rng(42).integers(1000) == ensure_rng(42).integers(1000)
+
+    def test_passes_through_generator(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_accepts_legacy_random_state(self):
+        assert isinstance(ensure_rng(np.random.RandomState(0)), np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError, match="random_state"):
+            ensure_rng("seed")
