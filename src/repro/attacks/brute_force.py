@@ -26,8 +26,8 @@ from itertools import permutations
 import numpy as np
 
 from .._validation import check_integer_in_range
-from ..core.rotation import rotation_matrix
 from ..data import DataMatrix
+from ..perf.kernels import batched_inverse_rotations
 from ..exceptions import AttackError
 from .base import AttackResult, reconstruction_error
 
@@ -95,23 +95,24 @@ class BruteForceAngleAttack:
             hypothesis_angles: list[float] = []
             # Greedily undo one pair at a time: for the candidate inversion of each
             # pair pick the angle whose result looks most like normalized data.
+            # The whole angle grid is evaluated as one batched rotation, and
+            # all candidate scores are reduced at once.  The summation order
+            # mirrors the seed per-θ scorer (variance terms first, then mean
+            # terms) and argmin keeps the first minimum, so exact score ties
+            # resolve to the same angle the seed scan chose.
             for index_i, index_j in reversed(pairing):
-                best_pair_score = np.inf
-                best_pair_values = None
-                best_pair_angle = 0.0
-                for theta in angles:
-                    work += 1
-                    inverse = rotation_matrix(theta).T
-                    stacked = np.vstack([candidate[:, index_i], candidate[:, index_j]])
-                    restored = inverse @ stacked
-                    score = self._score_columns(restored)
-                    if score < best_pair_score:
-                        best_pair_score = score
-                        best_pair_values = restored
-                        best_pair_angle = float(theta)
-                candidate[:, index_i] = best_pair_values[0]
-                candidate[:, index_j] = best_pair_values[1]
-                hypothesis_angles.append(best_pair_angle)
+                restored_i, restored_j = batched_inverse_rotations(
+                    candidate[:, index_i], candidate[:, index_j], angles
+                )
+                work += angles.size
+                scores = (
+                    (restored_i.var(axis=1, ddof=1) - 1.0) ** 2
+                    + (restored_j.var(axis=1, ddof=1) - 1.0) ** 2
+                ) + (restored_i.mean(axis=1) ** 2 + restored_j.mean(axis=1) ** 2)
+                best_index = int(scores.argmin())
+                candidate[:, index_i] = restored_i[best_index]
+                candidate[:, index_j] = restored_j[best_index]
+                hypothesis_angles.append(float(angles[best_index]))
             total_score = self._score_matrix(candidate)
             if total_score < best_score:
                 best_score = total_score
@@ -154,12 +155,6 @@ class BruteForceAngleAttack:
             if len(pairings) >= self.max_pairings:
                 break
         return pairings
-
-    def _score_columns(self, restored: np.ndarray) -> float:
-        """How much a candidate pair of columns deviates from normalized-data statistics."""
-        variances = restored.var(axis=1, ddof=1)
-        means = restored.mean(axis=1)
-        return float(np.sum((variances - 1.0) ** 2) + np.sum(means**2))
 
     def _score_matrix(self, candidate: np.ndarray) -> float:
         """Score a full candidate reconstruction against the attacker's knowledge."""

@@ -48,10 +48,10 @@ from .data.io import matrix_from_csv, matrix_to_csv
 from .exceptions import ReproError
 from .metrics import (
     adjusted_rand_index,
-    dissimilarity_matrix,
     misclassification_error,
     privacy_report,
 )
+from .perf.kernels import max_abs_distance_difference
 from .preprocessing import MinMaxNormalizer, ZScoreNormalizer
 
 __all__ = ["main", "build_parser"]
@@ -194,9 +194,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         )
         return 2
 
-    max_distortion = float(
-        np.max(np.abs(dissimilarity_matrix(original.values) - dissimilarity_matrix(released.values)))
-    )
+    max_distortion = max_abs_distance_difference(original.values, released.values)
     report = privacy_report(original, released)
     labels_original = KMeans(args.k, random_state=args.seed).fit_predict(original)
     labels_released = KMeans(args.k, random_state=args.seed).fit_predict(released)

@@ -67,8 +67,10 @@ class DBSCAN(ClusteringAlgorithm):
         else:
             distances = pairwise_distances(self._as_array(data), metric=self.metric)
         n_objects = distances.shape[0]
-        neighbourhoods = [np.flatnonzero(distances[index] <= self.eps) for index in range(n_objects)]
-        is_core = np.array([neighbours.size >= self.min_samples for neighbours in neighbourhoods])
+        # One boolean adjacency matrix replaces the per-index list
+        # comprehensions; row sums give the neighbour counts directly.
+        adjacency = distances <= self.eps
+        is_core = adjacency.sum(axis=1) >= self.min_samples
 
         labels = np.full(n_objects, NOISE_LABEL, dtype=int)
         cluster_id = 0
@@ -77,13 +79,13 @@ class DBSCAN(ClusteringAlgorithm):
                 continue
             # Breadth-first expansion of a new cluster from this core point.
             labels[index] = cluster_id
-            queue = deque(neighbourhoods[index].tolist())
+            queue = deque(np.flatnonzero(adjacency[index]).tolist())
             while queue:
                 neighbour = queue.popleft()
                 if labels[neighbour] == NOISE_LABEL:
                     labels[neighbour] = cluster_id
                     if is_core[neighbour]:
-                        queue.extend(neighbourhoods[neighbour].tolist())
+                        queue.extend(np.flatnonzero(adjacency[neighbour]).tolist())
             cluster_id += 1
 
         n_clusters = int(cluster_id)

@@ -13,6 +13,7 @@ import numpy as np
 
 from .._validation import check_integer_in_range, check_positive, ensure_rng
 from ..exceptions import ClusteringError, ConvergenceError
+from ..perf.kernels import assign_nearest_center
 from .base import ClusteringAlgorithm, ClusteringResult
 
 __all__ = ["KMeans"]
@@ -152,8 +153,15 @@ class KMeans(ClusteringAlgorithm):
 
     @staticmethod
     def _assign(array: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-        distances = ((array[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-        return distances.argmin(axis=1)
+        # ‖x‖² + ‖c‖² − 2x·c via one matrix product instead of the (m, k, n)
+        # difference broadcast.  The kernel centers the data first so the
+        # cancellation error stays on the order of the distances themselves;
+        # assignments can still differ from the seed broadcast in the last
+        # ulp for genuinely near-equidistant centroids (the standard k-means
+        # fast-path trade-off — k-means is a restarted heuristic, unlike the
+        # k-medoids update where medoid identity is paper-facing output and
+        # the seed reduction order is kept exactly).
+        return assign_nearest_center(array, centroids)
 
     def _update(
         self,

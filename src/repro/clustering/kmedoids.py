@@ -93,6 +93,13 @@ class KMedoids(ClusteringAlgorithm):
         iteration = 0
         for iteration in range(1, self.max_iterations + 1):
             new_medoids = medoids.copy()
+            # The update stays a per-cluster loop on purpose: a single
+            # `distances @ membership` product computes all cluster costs at
+            # once but sums each row in a different order than the member
+            # subset reduction below, and the last-ulp differences flip
+            # exact cost ties (e.g. duplicated points) to a different
+            # medoid — breaking run-for-run reproducibility with the seed.
+            # The loop body itself is fully vectorized per cluster.
             for cluster in range(self.n_clusters):
                 members = np.flatnonzero(labels == cluster)
                 if members.size == 0:

@@ -153,8 +153,12 @@ class RBT:
         reproduce a particular run (the paper's θ₁ = 312.47°, θ₂ = 147.29°).
     random_state:
         Seed / generator used to draw angles (and random pairings).
+    solver:
+        Security-range solver: ``"analytic"`` (default, closed-form quartic
+        crossings — see :mod:`repro.perf.analytic`) or ``"grid"`` (the
+        original dense-grid + bisection search, kept as a cross-check).
     resolution:
-        θ-grid resolution used by the security-range solver.
+        θ-grid resolution used by the ``"grid"`` security-range solver.
     ddof:
         Degrees of freedom for the variance estimator (1 = sample, matching
         the paper's printed numbers; 0 = the population form of Eq. 8).
@@ -180,6 +184,7 @@ class RBT:
         pairs: Sequence[tuple[str, str]] | None = None,
         angles: Sequence[float] | None = None,
         random_state=None,
+        solver: str = "analytic",
         resolution: int = 7200,
         ddof: int = 1,
     ) -> None:
@@ -188,6 +193,9 @@ class RBT:
         self.pairs = [tuple(pair) for pair in pairs] if pairs is not None else None
         self.angles = [float(angle) for angle in angles] if angles is not None else None
         self.random_state = random_state
+        if solver not in ("analytic", "grid"):
+            raise ValidationError(f"solver must be 'analytic' or 'grid', got {solver!r}")
+        self.solver = solver
         self.resolution = check_integer_in_range(resolution, name="resolution", minimum=16)
         self.ddof = check_integer_in_range(ddof, name="ddof", minimum=0, maximum=1)
 
@@ -222,6 +230,7 @@ class RBT:
                 column_i,
                 column_j,
                 threshold,
+                method=self.solver,
                 resolution=self.resolution,
                 ddof=self.ddof,
             )

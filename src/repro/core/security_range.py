@@ -21,10 +21,20 @@ and, writing ``σ_i² = Var(A_i)``, ``σ_j² = Var(A_j)`` and
 
 These closed forms are what :func:`variance_difference_curves` evaluates.
 The **security range** of a pair under a threshold PST(ρ1, ρ2) is the set of
-angles for which both variances clear their thresholds; it is computed on a
-dense θ grid and the interval end points are then sharpened by bisection.
-For the paper's worked example this reproduces the second pair's range
-(118.74°–258.70°) exactly and the first pair's *upper* bound (314.97°)
+angles for which both variances clear their thresholds.
+
+Because both curves share the shape
+``f(θ) = A(1−cosθ)² + B sin²θ + C(1−cosθ)sinθ``, the half-angle substitution
+``t = tan(θ/2)`` turns ``f(θ) = ρ`` into the quartic
+``(4A−ρ)t⁴ + 4Ct³ + (4B−2ρ)t² − ρ = 0``, so the range's end points can be
+solved *analytically* (the default, see :mod:`repro.perf.analytic`) instead
+of on a dense θ grid; the original grid-plus-bisection search is retained as
+a cross-check via ``method="grid"`` and both paths reuse the three moments
+``(σ_i², σ_j², σ_ij)`` computed once per call rather than re-estimating them
+on every probe.
+
+For the paper's worked example both methods reproduce the second pair's
+range (118.74°–258.70°) exactly and the first pair's *upper* bound (314.97°)
 exactly; the first pair's printed lower bound (48.03°) is not reproducible
 under any estimator convention we tried — the solver obtains 82.69°, the
 angle at which Var(heart_rate − heart_rate') reaches ρ2 = 0.55 (see
@@ -37,8 +47,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import as_float_vector, check_integer_in_range, ensure_rng
+from .._validation import check_integer_in_range, ensure_rng
 from ..exceptions import SecurityRangeError, ValidationError
+from ..perf.analytic import (
+    pair_moments,
+    solve_admissible_angles,
+    variance_curves_from_moments,
+)
 from .thresholds import PairwiseSecurityThreshold
 
 __all__ = [
@@ -74,37 +89,8 @@ def variance_difference_curves(
     (ndarray, ndarray)
         The two variance curves, with the same shape as ``theta_degrees``.
     """
-    attribute_i = as_float_vector(attribute_i, name="attribute_i")
-    attribute_j = as_float_vector(attribute_j, name="attribute_j")
-    if attribute_i.shape != attribute_j.shape:
-        raise ValidationError(
-            "attribute_i and attribute_j must have the same length, "
-            f"got {attribute_i.size} and {attribute_j.size}"
-        )
-    theta = np.deg2rad(np.asarray(theta_degrees, dtype=float))
-    var_i = float(np.var(attribute_i, ddof=ddof))
-    var_j = float(np.var(attribute_j, ddof=ddof))
-    n = attribute_i.size
-    denominator = n - ddof
-    if denominator <= 0:
-        raise ValidationError("not enough observations for the requested ddof")
-    covariance = float(
-        np.sum((attribute_i - attribute_i.mean()) * (attribute_j - attribute_j.mean())) / denominator
-    )
-
-    one_minus_cos = 1.0 - np.cos(theta)
-    sin_theta = np.sin(theta)
-    curve_i = (
-        one_minus_cos**2 * var_i
-        + sin_theta**2 * var_j
-        - 2.0 * one_minus_cos * sin_theta * covariance
-    )
-    curve_j = (
-        sin_theta**2 * var_i
-        + one_minus_cos**2 * var_j
-        + 2.0 * one_minus_cos * sin_theta * covariance
-    )
-    return curve_i, curve_j
+    variance_i, variance_j, covariance = pair_moments(attribute_i, attribute_j, ddof=ddof)
+    return variance_curves_from_moments(variance_i, variance_j, covariance, theta_degrees)
 
 
 @dataclass(frozen=True)
@@ -144,10 +130,20 @@ def compute_variance_curves(
 class SecurityRange:
     """The set of angles satisfying a pairwise-security threshold.
 
-    The range is stored as a tuple of disjoint ``(start, end)`` intervals in
-    degrees, each inclusive.  For the paper's examples the range is a single
-    interval, but with strongly correlated attributes it can split into
-    several.
+    The range is stored as a tuple of disjoint *circular* ``(start, end)``
+    intervals in degrees, each inclusive.  Every ``start`` lies in
+    ``[0, 360]``; an ``end`` greater than 360 denotes an interval that wraps
+    through 0° (e.g. ``(300.0, 390.0)`` covers 300°→360° and 0°→30°).  For
+    the paper's examples the range is a single plain interval, but with
+    strongly correlated attributes it can split into several.
+
+    Note that :func:`solve_security_range` itself never produces a wrapped
+    interval: both variance curves vanish at θ = 0 (every term carries a
+    ``(1−cosθ)`` or ``sinθ`` factor) and PST thresholds are strictly
+    positive, so an admissible set can never touch the 0°/360° seam.  The
+    wrap support keeps ``contains``/``sample``/``total_measure`` coherent
+    for ranges constructed directly (e.g. from externally supplied or
+    zero-threshold admissible sets).
     """
 
     intervals: tuple[tuple[float, float], ...]
@@ -160,17 +156,17 @@ class SecurityRange:
                 f"PST({self.threshold.rho1}, {self.threshold.rho2})"
             )
         for start, end in self.intervals:
-            if not (0.0 <= start <= end <= 360.0):
+            if not (0.0 <= start <= end <= start + 360.0) or start > 360.0:
                 raise ValidationError(f"invalid security-range interval ({start}, {end})")
 
     @property
     def lower_bound(self) -> float:
-        """Smallest admissible angle (degrees)."""
+        """Smallest admissible angle (degrees; a wrapped range starts past 0°)."""
         return self.intervals[0][0]
 
     @property
     def upper_bound(self) -> float:
-        """Largest admissible angle (degrees)."""
+        """Largest admissible angle (degrees; may exceed 360 for a wrapped range)."""
         return self.intervals[-1][1]
 
     @property
@@ -181,7 +177,11 @@ class SecurityRange:
     def contains(self, theta_degrees: float, *, tolerance: float = 1e-9) -> bool:
         """Whether ``theta_degrees`` (taken modulo 360) lies inside the range."""
         theta = float(theta_degrees) % 360.0
-        return any(start - tolerance <= theta <= end + tolerance for start, end in self.intervals)
+        return any(
+            start - tolerance <= candidate <= end + tolerance
+            for start, end in self.intervals
+            for candidate in (theta, theta + 360.0)
+        )
 
     def sample(self, random_state=None) -> float:
         """Draw an angle uniformly at random from the security range (Step 2c)."""
@@ -190,11 +190,11 @@ class SecurityRange:
         if np.all(lengths == 0.0):
             # Degenerate range: every interval is a single angle.
             index = int(rng.integers(len(self.intervals)))
-            return float(self.intervals[index][0])
+            return float(self.intervals[index][0]) % 360.0
         probabilities = lengths / lengths.sum()
         index = int(rng.choice(len(self.intervals), p=probabilities))
         start, end = self.intervals[index]
-        return float(rng.uniform(start, end))
+        return float(rng.uniform(start, end)) % 360.0
 
 
 def solve_security_range(
@@ -202,6 +202,7 @@ def solve_security_range(
     attribute_j,
     threshold,
     *,
+    method: str = "analytic",
     resolution: int = 7200,
     refine_iterations: int = 40,
     ddof: int = 1,
@@ -209,9 +210,13 @@ def solve_security_range(
     """Compute the security range of a pair under ``threshold`` (Step 2b/2c).
 
     The admissible set ``{θ : Var(A_i−A_i') ≥ ρ1 and Var(A_j−A_j') ≥ ρ2}`` is
-    located on a dense grid of ``resolution`` angles and every interval end
-    point is then refined by bisection (``refine_iterations`` halvings) so the
-    reported bounds are accurate to far below a hundredth of a degree.
+    solved in closed form by default (``method="analytic"``): the threshold
+    crossings of each curve are the real roots of a quartic in ``tan(θ/2)``,
+    Newton-polished to machine precision (see :mod:`repro.perf.analytic`).
+    With ``method="grid"`` the set is instead located on a dense grid of
+    ``resolution`` angles and every interval end point is refined by
+    bisection (``refine_iterations`` halvings) — retained as an independent
+    cross-check of the analytic path; both agree to ≤ 1e-12 degrees.
 
     Raises
     ------
@@ -222,12 +227,26 @@ def solve_security_range(
     threshold = PairwiseSecurityThreshold.coerce(threshold)
     resolution = check_integer_in_range(resolution, name="resolution", minimum=16)
     refine_iterations = check_integer_in_range(refine_iterations, name="refine_iterations", minimum=0)
-    attribute_i = as_float_vector(attribute_i, name="attribute_i")
-    attribute_j = as_float_vector(attribute_j, name="attribute_j")
+    if method not in ("analytic", "grid"):
+        raise ValidationError(f"method must be 'analytic' or 'grid', got {method!r}")
+    # The three moments determine both curves completely; compute them once
+    # instead of re-reducing the columns on every probe.
+    variance_i, variance_j, covariance = pair_moments(attribute_i, attribute_j, ddof=ddof)
+
+    if method == "analytic":
+        intervals = solve_admissible_angles(
+            variance_i, variance_j, covariance, threshold.rho1, threshold.rho2
+        )
+        if not intervals:
+            raise SecurityRangeError(
+                "the security range is empty: no rotation angle satisfies "
+                f"PST({threshold.rho1}, {threshold.rho2}) for this attribute pair"
+            )
+        return SecurityRange(intervals=tuple(intervals), threshold=threshold)
 
     def satisfied(theta_degrees: np.ndarray) -> np.ndarray:
-        curve_i, curve_j = variance_difference_curves(
-            attribute_i, attribute_j, theta_degrees, ddof=ddof
+        curve_i, curve_j = variance_curves_from_moments(
+            variance_i, variance_j, covariance, theta_degrees
         )
         return (curve_i >= threshold.rho1) & (curve_j >= threshold.rho2)
 
@@ -248,10 +267,22 @@ def solve_security_range(
 
 
 def _mask_to_intervals(grid: np.ndarray, mask: np.ndarray) -> list[tuple[float, float]]:
-    """Convert a boolean mask over the θ grid into contiguous [start, end] intervals."""
+    """Convert a boolean mask over the θ grid into contiguous circular intervals.
+
+    A run that is still open at the last grid point continues, modulo 360,
+    into a run starting at the first grid point: the two are merged into one
+    wrapped interval ``(start, end + 360)`` so ``lower_bound``,
+    ``total_measure`` and ``sample()`` see a single admissible arc rather
+    than two spuriously disjoint ones.  (With strictly positive thresholds
+    the solver's mask is always False at θ = 0, so the merge only triggers
+    for predicates supplied by other callers.)
+    """
+    if mask.all():
+        return [(float(grid[0]), float(grid[0]) + 360.0)]
     intervals: list[tuple[float, float]] = []
     in_run = False
     run_start = 0.0
+    previous = float(grid[0])
     for theta, ok in zip(grid, mask):
         if ok and not in_run:
             in_run = True
@@ -259,9 +290,14 @@ def _mask_to_intervals(grid: np.ndarray, mask: np.ndarray) -> list[tuple[float, 
         elif not ok and in_run:
             in_run = False
             intervals.append((run_start, float(previous)))
-        previous = theta
+        previous = float(theta)
     if in_run:
         intervals.append((run_start, float(grid[-1])))
+        if mask[0] and len(intervals) > 1:
+            # The run wraps through 0°: splice the leading run onto this one.
+            first_start, first_end = intervals.pop(0)
+            wrapped_start, _ = intervals.pop()
+            intervals.append((wrapped_start, first_end + 360.0))
     return intervals
 
 
@@ -274,6 +310,12 @@ def _refine_interval(
 ) -> tuple[float, float]:
     """Sharpen interval end points by bisection against the ``satisfied`` predicate."""
     start, end = interval
+    if end > 360.0:
+        # A wrapped interval only arises from a predicate that admits θ = 0,
+        # which the PST solver (ρ > 0) never produces; if one ever reaches
+        # here, keep its grid-resolution bounds rather than refine across
+        # the seam.
+        return (float(start), float(end))
 
     def check(theta: float) -> bool:
         return bool(satisfied(np.array([theta]))[0])

@@ -20,8 +20,9 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from .._validation import as_float_matrix, as_float_vector, check_positive
+from .._validation import as_float_vector, check_positive
 from ..exceptions import ValidationError
+from ..perf.kernels import euclidean_pairwise, pairwise_distances_blocked
 
 __all__ = [
     "euclidean_distance",
@@ -80,8 +81,18 @@ def _pair(first, second) -> tuple[np.ndarray, np.ndarray]:
     return first, second
 
 
-def pairwise_distances(data, *, metric: str = "euclidean", p: float = 2.0) -> np.ndarray:
+def pairwise_distances(
+    data,
+    *,
+    metric: str = "euclidean",
+    p: float = 2.0,
+    memory_budget_bytes: int | None = None,
+) -> np.ndarray:
     """Return the full ``(m, m)`` matrix of pairwise distances between rows of ``data``.
+
+    The computation is chunked (see :mod:`repro.perf.kernels`): the
+    non-Euclidean metrics never materialize the ``(m, m, n)`` difference
+    tensor, only row blocks of it bounded by ``memory_budget_bytes``.
 
     Parameters
     ----------
@@ -91,47 +102,37 @@ def pairwise_distances(data, *, metric: str = "euclidean", p: float = 2.0) -> np
         One of ``euclidean``, ``manhattan``, ``chebyshev`` or ``minkowski``.
     p:
         Order for the Minkowski metric (ignored otherwise).
+    memory_budget_bytes:
+        Cap on the size of any temporary (default 64 MiB).
     """
-    matrix = as_float_matrix(data, name="data")
-    metric = metric.lower()
-    if metric == "euclidean":
-        return _euclidean_pairwise(matrix)
-    if metric == "manhattan":
-        diff = np.abs(matrix[:, None, :] - matrix[None, :, :])
-        return diff.sum(axis=2)
-    if metric == "chebyshev":
-        diff = np.abs(matrix[:, None, :] - matrix[None, :, :])
-        return diff.max(axis=2)
-    if metric == "minkowski":
-        p = check_positive(p, name="p")
-        diff = np.abs(matrix[:, None, :] - matrix[None, :, :])
-        return (diff**p).sum(axis=2) ** (1.0 / p)
-    raise ValidationError(
-        f"unknown metric {metric!r}; expected one of euclidean, manhattan, chebyshev, minkowski"
+    return pairwise_distances_blocked(
+        data, metric=metric, p=p, memory_budget_bytes=memory_budget_bytes
     )
 
 
-def _euclidean_pairwise(matrix: np.ndarray) -> np.ndarray:
-    """Numerically safe vectorized Euclidean pairwise distances."""
-    squared_norms = np.sum(matrix**2, axis=1)
-    squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (matrix @ matrix.T)
-    np.maximum(squared, 0.0, out=squared)
-    distances = np.sqrt(squared)
-    np.fill_diagonal(distances, 0.0)
-    return distances
-
-
-def dissimilarity_matrix(data, *, metric: str = "euclidean", p: float = 2.0) -> np.ndarray:
+def dissimilarity_matrix(
+    data,
+    *,
+    metric: str = "euclidean",
+    p: float = 2.0,
+    memory_budget_bytes: int | None = None,
+) -> np.ndarray:
     """Return the dissimilarity matrix of Equation (5) as a full symmetric array.
 
     ``d(i, j)`` is the distance between objects ``i`` and ``j``; the diagonal
     is zero.  The paper prints only the lower triangle (Tables 4–6); use
     :func:`condensed_dissimilarity` for that representation.
     """
-    return pairwise_distances(data, metric=metric, p=p)
+    return pairwise_distances(data, metric=metric, p=p, memory_budget_bytes=memory_budget_bytes)
 
 
-def condensed_dissimilarity(data, *, metric: str = "euclidean", decimals: int | None = None) -> list[list[float]]:
+def condensed_dissimilarity(
+    data,
+    *,
+    metric: str = "euclidean",
+    decimals: int | None = None,
+    memory_budget_bytes: int | None = None,
+) -> list[list[float]]:
     """Return the strictly-lower-triangle rows of the dissimilarity matrix.
 
     The result mirrors the layout of the paper's Tables 4–6: row ``i``
@@ -139,13 +140,19 @@ def condensed_dissimilarity(data, *, metric: str = "euclidean", decimals: int | 
     given the entries are rounded, matching the 4-decimal figures the paper
     prints.
     """
-    full = dissimilarity_matrix(data, metric=metric)
-    rows: list[list[float]] = []
-    for i in range(full.shape[0]):
-        row = [float(full[i, j]) for j in range(i)]
-        if decimals is not None:
-            row = [round(value, decimals) for value in row]
-        rows.append(row)
+    full = dissimilarity_matrix(data, metric=metric, memory_budget_bytes=memory_budget_bytes)
+    m = full.shape[0]
+    row_index, col_index = np.tril_indices(m, k=-1)
+    values = full[row_index, col_index]
+    # tril_indices is row-major, so splitting at the cumulative row lengths
+    # (row i holds i entries) recovers the paper's Tables 4–6 layout.
+    boundaries = np.arange(m).cumsum()[:-1]
+    rows = [chunk.tolist() for chunk in np.split(values, boundaries)]
+    if decimals is not None:
+        # Python round(), not np.round: its decimal-aware rounding of the
+        # scaled value differs on entries like 2.675 and the tables must
+        # print the same digits the seed printed.
+        rows = [[round(value, decimals) for value in row] for row in rows]
     return rows
 
 

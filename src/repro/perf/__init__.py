@@ -1,0 +1,55 @@
+"""Shared high-performance compute kernels used by the library's hot paths.
+
+Every expensive inner loop of the reproduction funnels through this package:
+
+* :mod:`repro.perf.kernels` — chunked pairwise-distance kernels with a
+  configurable memory budget, block-wise maximum distance distortion
+  (the Theorem 2 check), the ``‖x‖² + ‖c‖² − 2x·c`` cross-distance trick
+  used by k-means assignment, and batched inverse rotations for the
+  brute-force attack's angle grid.
+* :mod:`repro.perf.analytic` — the closed-form solver for the variance-vs-θ
+  threshold crossings behind the security range (Figures 2/3), replacing the
+  dense-grid + bisection search with quartic root finding plus Newton polish.
+
+The kernels operate on plain ``numpy`` arrays and know nothing about the
+domain objects (``DataMatrix``, ``SecurityRange``, …); the domain modules in
+:mod:`repro.metrics`, :mod:`repro.core`, :mod:`repro.clustering`,
+:mod:`repro.attacks` and :mod:`repro.pipeline` own the semantics and delegate
+the arithmetic here.
+"""
+
+from .analytic import (
+    curve_admissible_intervals,
+    intersect_circular_intervals,
+    pair_moments,
+    solve_admissible_angles,
+    threshold_crossings,
+    variance_curves_from_moments,
+)
+from .kernels import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    assign_nearest_center,
+    batched_inverse_rotations,
+    cross_squared_distances,
+    euclidean_pairwise,
+    max_abs_distance_difference,
+    pairwise_distances_blocked,
+    resolve_block_size,
+)
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "assign_nearest_center",
+    "batched_inverse_rotations",
+    "cross_squared_distances",
+    "euclidean_pairwise",
+    "max_abs_distance_difference",
+    "pairwise_distances_blocked",
+    "resolve_block_size",
+    "curve_admissible_intervals",
+    "intersect_circular_intervals",
+    "pair_moments",
+    "solve_admissible_angles",
+    "threshold_crossings",
+    "variance_curves_from_moments",
+]

@@ -19,8 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
 from ..clustering import KMeans
 from ..clustering.base import ClusteringAlgorithm
 from ..core import RBT, RBTResult
@@ -29,11 +27,11 @@ from ..exceptions import ValidationError
 from ..metrics import (
     adjusted_rand_index,
     clusters_identical,
-    dissimilarity_matrix,
     misclassification_error,
     privacy_report,
 )
 from ..metrics.privacy import PrivacyReport
+from ..perf.kernels import max_abs_distance_difference
 from ..preprocessing import IdentifierSuppressor, Normalizer, ZScoreNormalizer
 
 __all__ = ["PPCPipeline", "ReleaseBundle", "EquivalenceReport"]
@@ -172,9 +170,9 @@ class PPCPipeline:
         released = rbt_result.matrix
 
         report = privacy_report(normalized, released, ddof=self.ddof)
-        original_distances = dissimilarity_matrix(normalized.values)
-        released_distances = dissimilarity_matrix(released.values)
-        max_distortion = float(np.max(np.abs(original_distances - released_distances)))
+        # Block-wise Theorem 2 check: the worst |d − d'| is found without
+        # materializing either full dissimilarity matrix.
+        max_distortion = max_abs_distance_difference(normalized.values, released.values)
 
         if algorithms is None and verify_with_kmeans:
             algorithms = [KMeans(n_clusters=n_clusters, random_state=random_state)]

@@ -1,0 +1,273 @@
+"""Consistency tests: analytic security-range solver vs the grid cross-check.
+
+The analytic path (quartic threshold crossings in tan(θ/2), Newton-polished)
+must agree with the original dense-grid + bisection solver to well below a
+millionth of a degree — on the paper's two worked pairs and on randomized
+attribute pairs — and the wrap-around interval handling must treat an
+admissible set spanning the 0°/360° seam as one circular interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBT, SecurityRange, solve_security_range
+from repro.core.rotation import rotate_pair
+from repro.core.security_range import _mask_to_intervals, variance_difference_curves
+from repro.core.thresholds import PairwiseSecurityThreshold
+from repro.data.datasets import (
+    MEASURED_SECURITY_RANGE1_DEGREES,
+    PAPER_PAIR1,
+    PAPER_PAIR2,
+    PAPER_PST1,
+    PAPER_PST2,
+    PAPER_SECURITY_RANGE2_DEGREES,
+    PAPER_THETA1_DEGREES,
+    PAPER_THETA2_DEGREES,
+)
+from repro.exceptions import SecurityRangeError, ValidationError
+from repro.perf.analytic import (
+    curve_admissible_intervals,
+    intersect_circular_intervals,
+    pair_moments,
+    solve_admissible_angles,
+    threshold_crossings,
+    variance_curves_from_moments,
+)
+
+
+class TestPaperWorkedPairs:
+    """The acceptance bar: ≤ 1e-12° agreement on the paper's worked examples."""
+
+    def test_pair1_analytic_matches_grid(self, cardiac_normalized_exact):
+        age = cardiac_normalized_exact.column("age")
+        heart_rate = cardiac_normalized_exact.column("heart_rate")
+        analytic = solve_security_range(age, heart_rate, PAPER_PST1, method="analytic")
+        grid = solve_security_range(
+            age, heart_rate, PAPER_PST1, method="grid", refine_iterations=60
+        )
+        assert len(analytic.intervals) == len(grid.intervals) == 1
+        assert analytic.lower_bound == pytest.approx(grid.lower_bound, abs=1e-12)
+        assert analytic.upper_bound == pytest.approx(grid.upper_bound, abs=1e-12)
+
+    def test_pair1_reproduces_measured_bounds(self, cardiac_normalized_exact):
+        analytic = solve_security_range(
+            cardiac_normalized_exact.column("age"),
+            cardiac_normalized_exact.column("heart_rate"),
+            PAPER_PST1,
+        )
+        assert analytic.lower_bound == pytest.approx(MEASURED_SECURITY_RANGE1_DEGREES[0], abs=0.05)
+        # The paper's printed upper bound, 314.97°, reproduces exactly.
+        assert analytic.upper_bound == pytest.approx(MEASURED_SECURITY_RANGE1_DEGREES[1], abs=0.05)
+
+    def test_pair2_analytic_matches_grid_and_paper(self, cardiac_normalized_exact):
+        # The second rotation operates on (weight, age') with age already
+        # distorted by the first rotation — rebuild that state explicitly.
+        age = cardiac_normalized_exact.column(PAPER_PAIR1[0])
+        heart_rate = cardiac_normalized_exact.column(PAPER_PAIR1[1])
+        distorted_age, _ = rotate_pair(age, heart_rate, PAPER_THETA1_DEGREES)
+        weight = cardiac_normalized_exact.column(PAPER_PAIR2[0])
+
+        analytic = solve_security_range(weight, distorted_age, PAPER_PST2, method="analytic")
+        grid = solve_security_range(
+            weight, distorted_age, PAPER_PST2, method="grid", refine_iterations=60
+        )
+        assert analytic.lower_bound == pytest.approx(grid.lower_bound, abs=1e-12)
+        assert analytic.upper_bound == pytest.approx(grid.upper_bound, abs=1e-12)
+        # 118.74°–258.70° from the paper.
+        assert analytic.lower_bound == pytest.approx(PAPER_SECURITY_RANGE2_DEGREES[0], abs=0.05)
+        assert analytic.upper_bound == pytest.approx(PAPER_SECURITY_RANGE2_DEGREES[1], abs=0.05)
+
+    def test_paper_thetas_inside_analytic_ranges(self, cardiac_normalized_exact):
+        age = cardiac_normalized_exact.column("age")
+        heart_rate = cardiac_normalized_exact.column("heart_rate")
+        assert solve_security_range(age, heart_rate, PAPER_PST1).contains(PAPER_THETA1_DEGREES)
+
+    def test_rbt_grid_and_analytic_solvers_agree_end_to_end(self, cardiac_normalized_exact):
+        kwargs = dict(
+            thresholds=[PAPER_PST1, PAPER_PST2],
+            pairs=[PAPER_PAIR1, PAPER_PAIR2],
+            angles=[PAPER_THETA1_DEGREES, PAPER_THETA2_DEGREES],
+        )
+        analytic = RBT(solver="analytic", **kwargs).transform(cardiac_normalized_exact)
+        grid = RBT(solver="grid", **kwargs).transform(cardiac_normalized_exact)
+        np.testing.assert_array_equal(analytic.matrix.values, grid.matrix.values)
+        for record_a, record_g in zip(analytic.records, grid.records):
+            for (start_a, end_a), (start_g, end_g) in zip(
+                record_a.security_range.intervals, record_g.security_range.intervals
+            ):
+                assert start_a == pytest.approx(start_g, abs=1e-6)
+                assert end_a == pytest.approx(end_g, abs=1e-6)
+
+
+class TestRandomizedConsistency:
+    def test_analytic_matches_grid_on_random_pairs(self, rng):
+        worst = 0.0
+        for _ in range(25):
+            scale_a, scale_b = rng.uniform(0.5, 3.0, size=2)
+            a = rng.normal(size=80) * scale_a
+            b = rng.normal(size=80) * scale_b + rng.uniform(-1.0, 1.0) * a
+            threshold = tuple(rng.uniform(0.05, 1.0, size=2))
+            try:
+                grid = solve_security_range(a, b, threshold, method="grid", refine_iterations=60)
+            except SecurityRangeError:
+                with pytest.raises(SecurityRangeError):
+                    solve_security_range(a, b, threshold, method="analytic")
+                continue
+            analytic = solve_security_range(a, b, threshold, method="analytic")
+            assert len(analytic.intervals) == len(grid.intervals)
+            for (start_a, end_a), (start_g, end_g) in zip(analytic.intervals, grid.intervals):
+                worst = max(worst, abs(start_a - start_g), abs(end_a - end_g))
+        assert worst <= 1e-9
+
+    def test_analytic_bounds_are_true_crossings(self, rng):
+        a = rng.normal(size=50)
+        b = rng.normal(size=50) + 0.4 * a
+        threshold = PairwiseSecurityThreshold(0.3, 0.4)
+        security_range = solve_security_range(a, b, threshold)
+        for start, end in security_range.intervals:
+            for boundary in (start, end % 360.0):
+                curve_i, curve_j = variance_difference_curves(a, b, boundary)
+                # At a boundary at least one curve sits exactly on its threshold.
+                assert (
+                    min(abs(float(curve_i) - threshold.rho1), abs(float(curve_j) - threshold.rho2))
+                    <= 1e-9
+                )
+
+    def test_sampled_angles_satisfy_threshold(self, rng):
+        a = rng.normal(size=60)
+        b = rng.normal(size=60)
+        security_range = solve_security_range(a, b, (0.4, 0.4))
+        for _ in range(100):
+            theta = security_range.sample(rng)
+            curve_i, curve_j = variance_difference_curves(a, b, theta)
+            assert float(curve_i) >= 0.4 - 1e-6
+            assert float(curve_j) >= 0.4 - 1e-6
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValidationError, match="method"):
+            solve_security_range(rng.normal(size=10), rng.normal(size=10), 0.1, method="magic")
+
+
+class TestAnalyticPrimitives:
+    def test_threshold_crossings_lie_on_curve(self, rng):
+        variance_i, variance_j, covariance = pair_moments(
+            rng.normal(size=40), rng.normal(size=40)
+        )
+        rho = 0.7
+        crossings = threshold_crossings(variance_i, variance_j, -2.0 * covariance, rho)
+        assert crossings.size > 0
+        curve_i, _ = variance_curves_from_moments(variance_i, variance_j, covariance, crossings)
+        np.testing.assert_allclose(curve_i, rho, atol=1e-9)
+
+    def test_negative_threshold_admits_full_circle(self):
+        assert curve_admissible_intervals(1.0, 1.0, 0.0, -1.0) == [(0.0, 360.0)]
+
+    def test_unreachable_threshold_is_empty(self):
+        # max of f = A(1−cosθ)² + B sin²θ is bounded by 4A + B.
+        assert curve_admissible_intervals(1.0, 1.0, 0.0, 100.0) == []
+
+    def test_uncorrelated_unit_variance_crossings_are_symmetric(self):
+        # f(θ) = 2(1 − cosθ) for A=B=1, C=0: crossings of f=2 at 90° and 270°.
+        crossings = threshold_crossings(1.0, 1.0, 0.0, 2.0)
+        np.testing.assert_allclose(np.sort(crossings), [90.0, 270.0], atol=1e-9)
+
+    def test_crossing_at_180_degrees(self):
+        # f(180°) = 4A: ρ = 4A makes θ=180° a (tangent) crossing.
+        crossings = threshold_crossings(1.0, 1.0, 0.0, 4.0)
+        assert np.any(np.abs(crossings - 180.0) <= 1e-6)
+
+    def test_intersection_handles_wrapped_intervals(self):
+        wrapped = [(300.0, 420.0)]  # 300°→360°→60°
+        plain = [(30.0, 90.0), (350.0, 355.0)]
+        result = intersect_circular_intervals(wrapped, plain)
+        assert result == [(30.0, 60.0), (350.0, 355.0)]
+
+    def test_intersection_rewraps_across_seam(self):
+        first = [(310.0, 400.0)]
+        second = [(320.0, 380.0)]
+        result = intersect_circular_intervals(first, second)
+        assert result == [(320.0, 380.0)]
+
+    def test_exact_tangency_keeps_degenerate_range(self):
+        # Unit-variance uncorrelated columns: both curves peak at f(180°)=4.
+        # A threshold of exactly 4 admits only the single angle 180° — the
+        # analytic solver must report that degenerate range, not "empty".
+        a = np.array([-1.0, 1.0, -1.0, 1.0, 0.0])
+        b = np.array([1.0, 1.0, -1.0, -1.0, 0.0])
+        security_range = solve_security_range(a, b, (4.0, 4.0), method="analytic")
+        assert security_range.lower_bound == pytest.approx(180.0, abs=1e-6)
+        assert security_range.upper_bound == pytest.approx(180.0, abs=1e-6)
+        assert security_range.total_measure == pytest.approx(0.0, abs=1e-6)
+        assert security_range.contains(180.0, tolerance=1e-6)
+        rng = np.random.default_rng(0)
+        assert security_range.sample(rng) == pytest.approx(180.0, abs=1e-6)
+
+    def test_solve_admissible_angles_empty_for_huge_threshold(self, rng):
+        variance_i, variance_j, covariance = pair_moments(
+            rng.normal(size=30), rng.normal(size=30)
+        )
+        assert solve_admissible_angles(variance_i, variance_j, covariance, 1e6, 1e6) == []
+
+
+class TestWrapAroundIntervals:
+    def make_wrapped(self) -> SecurityRange:
+        return SecurityRange(
+            intervals=((300.0, 390.0),),
+            threshold=PairwiseSecurityThreshold(0.1, 0.1),
+        )
+
+    def test_mask_to_intervals_merges_wrap_around(self):
+        grid = np.linspace(0.0, 360.0, 36, endpoint=False)
+        mask = (grid < 30.0) | (grid >= 330.0)
+        intervals = _mask_to_intervals(grid, mask)
+        assert len(intervals) == 1
+        start, end = intervals[0]
+        assert start == pytest.approx(330.0)
+        assert end == pytest.approx(380.0)  # 20° is the last admissible grid point
+
+    def test_mask_to_intervals_all_true_is_full_circle(self):
+        grid = np.linspace(0.0, 360.0, 36, endpoint=False)
+        intervals = _mask_to_intervals(grid, np.ones(36, dtype=bool))
+        assert intervals == [(0.0, 360.0)]
+
+    def test_mask_to_intervals_disjoint_runs_stay_disjoint(self):
+        grid = np.linspace(0.0, 360.0, 36, endpoint=False)
+        mask = ((grid >= 50.0) & (grid < 100.0)) | ((grid >= 200.0) & (grid < 250.0))
+        assert len(_mask_to_intervals(grid, mask)) == 2
+
+    def test_wrapped_bounds_and_measure(self):
+        security_range = self.make_wrapped()
+        assert security_range.lower_bound == 300.0
+        assert security_range.upper_bound == 390.0
+        assert security_range.total_measure == pytest.approx(90.0)
+
+    def test_wrapped_contains_across_seam(self):
+        security_range = self.make_wrapped()
+        assert security_range.contains(359.0)
+        assert security_range.contains(0.0)
+        assert security_range.contains(15.0)
+        assert not security_range.contains(100.0)
+        assert not security_range.contains(299.0)
+
+    def test_wrapped_sample_stays_inside_and_in_0_360(self):
+        security_range = self.make_wrapped()
+        rng = np.random.default_rng(7)
+        samples = np.array([security_range.sample(rng) for _ in range(300)])
+        assert np.all((samples >= 0.0) & (samples < 360.0))
+        assert all(security_range.contains(sample) for sample in samples)
+        assert np.any(samples < 30.0)  # both sides of the seam are reached
+        assert np.any(samples > 300.0)
+
+    def test_wrapped_interval_longer_than_circle_rejected(self):
+        with pytest.raises(ValidationError):
+            SecurityRange(
+                intervals=((300.0, 700.0),), threshold=PairwiseSecurityThreshold(0.1, 0.1)
+            )
+
+    def test_reversed_interval_still_rejected(self):
+        with pytest.raises(ValidationError):
+            SecurityRange(
+                intervals=((30.0, 10.0),), threshold=PairwiseSecurityThreshold(0.1, 0.1)
+            )

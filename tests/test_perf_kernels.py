@@ -1,0 +1,186 @@
+"""Equivalence tests for the chunked compute kernels (repro.perf.kernels).
+
+Every kernel must reproduce the seed implementation it replaced — the naive
+full-broadcast forms are re-stated here as reference oracles and the chunked
+paths are checked against them, including with memory budgets small enough
+to force single-row blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rotation import rotation_matrix
+from repro.exceptions import ValidationError
+from repro.metrics import condensed_dissimilarity, dissimilarity_matrix, pairwise_distances
+from repro.perf.kernels import (
+    assign_nearest_center,
+    batched_inverse_rotations,
+    cross_squared_distances,
+    max_abs_distance_difference,
+    pairwise_distances_blocked,
+    resolve_block_size,
+)
+
+#: Budgets that force many tiny blocks (first entry: one row at a time).
+TINY_BUDGETS = [1, 4096, 64 * 1024]
+
+
+def naive_broadcast_distances(matrix: np.ndarray, metric: str, p: float = 2.0) -> np.ndarray:
+    """The seed O(m²·n) broadcast implementation, kept as the oracle."""
+    diff = np.abs(matrix[:, None, :] - matrix[None, :, :])
+    if metric == "manhattan":
+        return diff.sum(axis=2)
+    if metric == "chebyshev":
+        return diff.max(axis=2)
+    return (diff**p).sum(axis=2) ** (1.0 / p)
+
+
+class TestChunkedPairwiseDistances:
+    @pytest.mark.parametrize("metric", ["manhattan", "chebyshev"])
+    @pytest.mark.parametrize("budget", TINY_BUDGETS)
+    def test_matches_naive_broadcast_exactly(self, rng, metric, budget):
+        data = rng.normal(size=(37, 5))
+        chunked = pairwise_distances_blocked(data, metric=metric, memory_budget_bytes=budget)
+        np.testing.assert_array_equal(chunked, naive_broadcast_distances(data, metric))
+
+    @pytest.mark.parametrize("budget", TINY_BUDGETS)
+    def test_minkowski_matches_naive_broadcast(self, rng, budget):
+        data = rng.normal(size=(23, 4))
+        chunked = pairwise_distances_blocked(
+            data, metric="minkowski", p=3.0, memory_budget_bytes=budget
+        )
+        np.testing.assert_array_equal(chunked, naive_broadcast_distances(data, "minkowski", p=3.0))
+
+    def test_default_budget_matches_tiny_budget(self, rng):
+        data = rng.normal(size=(50, 6))
+        default = pairwise_distances_blocked(data, metric="manhattan")
+        tiny = pairwise_distances_blocked(data, metric="manhattan", memory_budget_bytes=1)
+        np.testing.assert_array_equal(default, tiny)
+
+    def test_metrics_facade_forwards_budget(self, rng):
+        data = rng.normal(size=(30, 3))
+        budgeted = pairwise_distances(data, metric="chebyshev", memory_budget_bytes=1)
+        np.testing.assert_array_equal(budgeted, naive_broadcast_distances(data, "chebyshev"))
+
+    def test_unknown_metric_rejected(self, rng):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            pairwise_distances_blocked(rng.normal(size=(5, 2)), metric="cosine")
+
+    def test_euclidean_symmetric_zero_diagonal(self, rng):
+        data = rng.normal(size=(40, 4))
+        distances = pairwise_distances_blocked(data, metric="euclidean")
+        assert np.allclose(distances, distances.T)
+        assert np.all(np.diag(distances) == 0.0)
+
+    def test_invalid_budget_rejected(self, rng):
+        with pytest.raises(ValidationError, match="memory_budget_bytes"):
+            pairwise_distances_blocked(
+                rng.normal(size=(5, 2)), metric="manhattan", memory_budget_bytes=0
+            )
+
+
+class TestResolveBlockSize:
+    def test_clamped_to_row_count(self):
+        assert resolve_block_size(10, bytes_per_row=1, memory_budget_bytes=1 << 30) == 10
+
+    def test_minimum_one_row(self):
+        assert resolve_block_size(10, bytes_per_row=1 << 30, memory_budget_bytes=1) == 1
+
+    def test_budget_divides_rows(self):
+        assert resolve_block_size(100, bytes_per_row=100, memory_budget_bytes=1000) == 10
+
+
+class TestMaxAbsDistanceDifference:
+    def full_matrix_reference(self, first: np.ndarray, second: np.ndarray) -> float:
+        original = dissimilarity_matrix(first)
+        distorted = dissimilarity_matrix(second)
+        return float(np.max(np.abs(original - distorted)))
+
+    @pytest.mark.parametrize("budget", TINY_BUDGETS)
+    def test_matches_full_matrix_computation(self, rng, budget):
+        first = rng.normal(size=(60, 4))
+        second = first + rng.normal(scale=0.01, size=first.shape)
+        blocked = max_abs_distance_difference(first, second, memory_budget_bytes=budget)
+        assert blocked == pytest.approx(self.full_matrix_reference(first, second), abs=1e-12)
+
+    def test_identical_matrices_have_zero_distortion(self, rng):
+        data = rng.normal(size=(25, 3))
+        assert max_abs_distance_difference(data, data) == 0.0
+
+    def test_diagonal_roundoff_is_not_distortion(self, rng):
+        # The diagonal must be zeroed on both sides, as in the full-matrix
+        # path, so sqrt round-off on d(i, i) never shows up as distortion.
+        data = rng.normal(size=(10, 3)) * 1e4
+        assert max_abs_distance_difference(data, data.copy()) == 0.0
+
+    def test_row_count_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError, match="same objects"):
+            max_abs_distance_difference(rng.normal(size=(5, 2)), rng.normal(size=(6, 2)))
+
+
+class TestCrossDistancesAndAssignment:
+    def test_cross_squared_matches_broadcast(self, rng):
+        points = rng.normal(size=(40, 5))
+        centers = rng.normal(size=(7, 5))
+        broadcast = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(cross_squared_distances(points, centers), broadcast, atol=1e-10)
+
+    def test_cross_squared_is_non_negative(self, rng):
+        points = rng.normal(size=(30, 3)) * 1e-8  # cancellation-prone scale
+        assert np.all(cross_squared_distances(points, points) >= 0.0)
+
+    def test_assignment_matches_broadcast_argmin(self, rng):
+        points = rng.normal(size=(200, 4))
+        centers = rng.normal(size=(6, 4))
+        broadcast = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2).argmin(axis=1)
+        np.testing.assert_array_equal(assign_nearest_center(points, centers), broadcast)
+
+
+class TestBatchedInverseRotations:
+    def test_matches_per_angle_matrix_products(self, rng):
+        column_i = rng.normal(size=15)
+        column_j = rng.normal(size=15)
+        angles = np.linspace(0.0, 360.0, 72, endpoint=False)
+        restored_i, restored_j = batched_inverse_rotations(column_i, column_j, angles)
+        for index, theta in enumerate(angles):
+            stacked = np.vstack([column_i, column_j])
+            expected = rotation_matrix(theta).T @ stacked
+            np.testing.assert_allclose(restored_i[index], expected[0], atol=1e-12)
+            np.testing.assert_allclose(restored_j[index], expected[1], atol=1e-12)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="same length"):
+            batched_inverse_rotations([1.0, 2.0], [1.0], [0.0])
+
+
+class TestCondensedDissimilarity:
+    def seed_double_loop(self, data, decimals=None):
+        full = dissimilarity_matrix(data)
+        rows = []
+        for i in range(full.shape[0]):
+            row = [float(full[i, j]) for j in range(i)]
+            if decimals is not None:
+                row = [round(value, decimals) for value in row]
+            rows.append(row)
+        return rows
+
+    def test_matches_seed_double_loop(self, rng):
+        data = rng.normal(size=(12, 3))
+        assert condensed_dissimilarity(data) == self.seed_double_loop(data)
+
+    def test_matches_seed_double_loop_rounded(self, rng):
+        data = rng.normal(size=(9, 4))
+        assert condensed_dissimilarity(data, decimals=4) == self.seed_double_loop(data, decimals=4)
+
+    def test_single_object(self):
+        assert condensed_dissimilarity([[1.0, 2.0]]) == [[]]
+
+    def test_rounding_uses_python_round_semantics(self):
+        # d = 2.675 (whose float is just below the tie): round() gives 2.67
+        # while np.round's scaled intermediate would give 2.68 — the tables
+        # must print the seed's digits.
+        rows = condensed_dissimilarity([[0.0], [2.675]], decimals=2)
+        assert rows == [[], [round(2.675, 2)]]
+        assert rows[1][0] == 2.67
