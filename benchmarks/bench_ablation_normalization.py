@@ -73,7 +73,11 @@ def bench_ablation_normalization_choice(benchmark, raw_patients, normalization):
     report(
         f"ABL2: normalization = {normalization}",
         [
-            ("accuracy vs true cohorts", "high only with normalization", round(accuracy_vs_truth, 4)),
+            (
+                "accuracy vs true cohorts",
+                "high only with normalization",
+                round(accuracy_vs_truth, 4),
+            ),
             ("misclassification vs z-score reference", "0 for equivalent scaling", round(drift, 4)),
             ("security-range width at rho=0.3 (deg)", "-", round(width, 2)),
         ],

@@ -60,7 +60,9 @@ def bench_ablation_pair_order(benchmark, ablation_data):
 
     def run_both():
         forward = RBT(thresholds=0.3, pairs=forward_pairs, random_state=71).transform(ablation_data)
-        backward = RBT(thresholds=0.3, pairs=reversed_pairs, random_state=71).transform(ablation_data)
+        backward = RBT(thresholds=0.3, pairs=reversed_pairs, random_state=71).transform(
+            ablation_data
+        )
         return forward, backward
 
     forward, backward = benchmark(run_both)
@@ -77,7 +79,11 @@ def bench_ablation_pair_order(benchmark, ablation_data):
     report(
         "ABL1: attribute order inside a pair",
         [
-            ("max |release(A,B) - release(B,A)|", "> 0 (different rotations)", round(value_difference, 4)),
+            (
+                "max |release(A,B) - release(B,A)|",
+                "> 0 (different rotations)",
+                round(value_difference, 4),
+            ),
             ("max |Δ dissimilarity|", 0.0, distance_difference),
         ],
     )
@@ -97,7 +103,11 @@ def bench_ablation_threshold_vs_range(benchmark, ablation_data, rho):
     report(
         f"ABL1: threshold rho = {rho}",
         [
-            ("security-range width (deg)", "shrinks as rho grows", round(security_range.total_measure, 2)),
+            (
+                "security-range width (deg)",
+                "shrinks as rho grows",
+                round(security_range.total_measure, 2),
+            ),
             ("lower bound (deg)", "-", round(security_range.lower_bound, 2)),
             ("upper bound (deg)", "-", round(security_range.upper_bound, 2)),
         ],
@@ -124,7 +134,11 @@ def bench_ablation_theta_randomness(benchmark, ablation_data):
     report(
         "ABL1: random θ per run",
         [
-            ("min pairwise max-difference across runs", "> 0 (releases differ)", round(min(spreads), 4)),
+            (
+                "min pairwise max-difference across runs",
+                "> 0 (releases differ)",
+                round(min(spreads), 4),
+            ),
             ("runs compared", 5, len(releases)),
         ],
     )

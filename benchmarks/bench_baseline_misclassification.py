@@ -60,8 +60,16 @@ def bench_rbt_zero_misclassification(benchmark, workload):
 
     labels = KMeans(3, random_state=7).fit_predict(released)
     rows = [
-        ("mean Var(X - X') (security)", ">= 0.5 (threshold)", round(_mean_security(normalized, released), 4)),
-        ("misclassification vs original clusters", 0.0, misclassification_error(reference_labels, labels)),
+        (
+            "mean Var(X - X') (security)",
+            ">= 0.5 (threshold)",
+            round(_mean_security(normalized, released), 4),
+        ),
+        (
+            "misclassification vs original clusters",
+            0.0,
+            misclassification_error(reference_labels, labels),
+        ),
         ("adjusted Rand index", 1.0, adjusted_rand_index(reference_labels, labels)),
     ]
     report("CMP1: RBT (threshold 0.5)", rows)
@@ -106,7 +114,11 @@ def bench_multiplicative_noise_tradeoff(benchmark, workload, noise_scale):
         f"CMP1: multiplicative noise (scale {noise_scale})",
         [
             ("mean Var(X - X')", "-", round(_mean_security(normalized, released), 4)),
-            ("misclassification", ">= 0", round(misclassification_error(reference_labels, labels), 4)),
+            (
+                "misclassification",
+                ">= 0",
+                round(misclassification_error(reference_labels, labels), 4),
+            ),
         ],
     )
 

@@ -62,7 +62,11 @@ def bench_cmp2_vertically_partitioned_kmeans(benchmark, customer_workload):
     report(
         "CMP2: vertically partitioned k-means (secure-sum simulation)",
         [
-            ("clustering accuracy vs ground truth", "comparable to centralized", round(accuracy, 4)),
+            (
+                "clustering accuracy vs ground truth",
+                "comparable to centralized",
+                round(accuracy, 4),
+            ),
             ("protocol messages", "many (per iteration)", log.n_messages),
             ("scalar values exchanged", "O(k·m·iters)", log.n_values),
             ("what each site learns", "cluster of each entity", "cluster of each entity"),
@@ -89,7 +93,11 @@ def bench_cmp2_generative_model_clustering(benchmark, customer_workload):
     report(
         "CMP2: generative-model distributed clustering",
         [
-            ("clustering accuracy vs ground truth", "high with acceptable privacy loss", round(accuracy, 4)),
+            (
+                "clustering accuracy vs ground truth",
+                "high with acceptable privacy loss",
+                round(accuracy, 4),
+            ),
             ("scalar values exchanged", "model parameters only", log.n_values),
             ("raw data cells (for comparison)", raw_cells, raw_cells),
             ("what the centre learns", "per-site mixture params", "per-site mixture params"),

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Scaling benchmark for the experiment runner: trials/sec vs. worker count.
+
+Runs one moderately sized evaluation grid (heavier per-trial work than the
+built-in ``paper_grid`` cells, so pool parallelism is visible) with 1, 2 and
+4 workers under both executors, plus a fully cached re-run, and writes
+``BENCH_experiments.json`` into ``--output-dir``.
+
+Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_experiments.py            # full
+    PYTHONPATH=src python benchmarks/bench_experiments.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow `python benchmarks/bench_experiments.py` from anywhere
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import AxisSpec, ExperimentRunner, ExperimentSpec
+
+
+def scaling_spec(quick: bool) -> ExperimentSpec:
+    """A grid whose trials are heavy enough for worker scaling to show."""
+    n_objects = 200 if quick else 600
+    return ExperimentSpec(
+        name="bench_scaling",
+        description="Experiment-runner scaling grid (benchmarks/bench_experiments.py).",
+        datasets=(
+            AxisSpec("patient_cohorts", {"n_patients": n_objects, "n_cohorts": 3}),
+            AxisSpec("blobs", {"n_objects": n_objects, "n_attributes": 6, "n_clusters": 3}),
+        ),
+        transforms=(
+            AxisSpec("rbt", {"threshold": 0.25}),
+            AxisSpec("additive", {"noise_scale": 0.5}),
+            AxisSpec("swapping", {"swap_fraction": 0.2}),
+        ),
+        algorithms=(
+            AxisSpec("kmedoids", {"n_clusters": 3}),
+            AxisSpec("hierarchical", {"n_clusters": 3}),
+        ),
+        seeds=(0,) if quick else (0, 1),
+    )
+
+
+def run_once(spec: ExperimentSpec, *, workers: int, executor: str, cache_dir=None) -> dict:
+    runner = ExperimentRunner(workers=workers, executor=executor, cache_dir=cache_dir)
+    started = time.perf_counter()
+    report = runner.run(spec)
+    elapsed = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "executor": executor,
+        "trials": report.total,
+        "executed": report.executed,
+        "cached": report.cached,
+        "seconds": elapsed,
+        "trials_per_second": report.total / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="directory for BENCH_experiments.json (default: the repo root)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker counts to sweep (default 1 2 4)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = scaling_spec(args.quick)
+    print(f"[bench] grid: {spec.n_trials} trials")
+    runs = []
+    for executor in ("process", "thread"):
+        for workers in args.workers:
+            result = run_once(spec, workers=workers, executor=executor)
+            runs.append(result)
+            print(
+                f"[bench] {executor:7s} x{workers}: {result['seconds']:.2f}s "
+                f"({result['trials_per_second']:.1f} trials/s)"
+            )
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench_experiments_cache_"))
+    try:
+        cold = run_once(spec, workers=1, executor="process", cache_dir=cache_dir)
+        warm = run_once(spec, workers=1, executor="process", cache_dir=cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    cache_speedup = cold["seconds"] / warm["seconds"] if warm["seconds"] > 0 else float("inf")
+    print(
+        f"[bench] cache: cold {cold['seconds']:.2f}s -> warm {warm['seconds']:.3f}s "
+        f"({cache_speedup:.0f}x, {warm['cached']}/{warm['trials']} trials from cache)"
+    )
+
+    serial = next(r for r in runs if r["executor"] == "process" and r["workers"] == 1)
+    best = max(runs, key=lambda r: r["trials_per_second"])
+    report = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "quick" if args.quick else "full",
+        # Worker scaling is bounded by the physical core count; a 1-core
+        # machine (some CI containers) will show flat trials/sec by design.
+        "cpu_count": os.cpu_count(),
+        "grid": {"name": spec.name, "n_trials": spec.n_trials},
+        "runs": runs,
+        "cache": {
+            "cold_seconds": cold["seconds"],
+            "warm_seconds": warm["seconds"],
+            "warm_cached_trials": warm["cached"],
+            "speedup_warm_vs_cold": cache_speedup,
+        },
+        "speedup_best_vs_serial": best["trials_per_second"] / serial["trials_per_second"],
+    }
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output = output_dir / "BENCH_experiments.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"wrote {output}\n  best: {best['executor']} x{best['workers']} at "
+        f"{best['trials_per_second']:.1f} trials/s "
+        f"({report['speedup_best_vs_serial']:.2f}x vs serial)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

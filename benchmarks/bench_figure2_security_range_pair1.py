@@ -38,7 +38,11 @@ def bench_figure2_security_range(benchmark, cardiac_normalized_exact):
         [
             ("lower bound (deg)", PAPER_SECURITY_RANGE1_DEGREES[0], security_range.lower_bound),
             ("upper bound (deg)", PAPER_SECURITY_RANGE1_DEGREES[1], security_range.upper_bound),
-            ("expected lower (this repro)", MEASURED_SECURITY_RANGE1_DEGREES[0], security_range.lower_bound),
+            (
+                "expected lower (this repro)",
+                MEASURED_SECURITY_RANGE1_DEGREES[0],
+                security_range.lower_bound,
+            ),
             ("Var(age-age') at θ=312.47°", PAPER_VARIANCES_PAIR1[0], float(var_at_theta1[0])),
             ("Var(hr-hr') at θ=312.47°", PAPER_VARIANCES_PAIR1[1], float(var_at_theta1[1])),
             ("θ grid points plotted", 360, len(curves.as_rows())),

@@ -66,12 +66,15 @@ def seed_variance_difference_curves(attribute_i, attribute_j, theta_degrees, *, 
     )
     one_minus_cos = 1.0 - np.cos(theta)
     sin_theta = np.sin(theta)
-    curve_i = one_minus_cos**2 * var_i + sin_theta**2 * var_j - 2.0 * one_minus_cos * sin_theta * covariance
-    curve_j = sin_theta**2 * var_i + one_minus_cos**2 * var_j + 2.0 * one_minus_cos * sin_theta * covariance
+    cross = 2.0 * one_minus_cos * sin_theta * covariance
+    curve_i = one_minus_cos**2 * var_i + sin_theta**2 * var_j - cross
+    curve_j = sin_theta**2 * var_i + one_minus_cos**2 * var_j + cross
     return curve_i, curve_j
 
 
-def seed_grid_security_range(attribute_i, attribute_j, rho1, rho2, *, resolution=7200, refine_iterations=40):
+def seed_grid_security_range(
+    attribute_i, attribute_j, rho1, rho2, *, resolution=7200, refine_iterations=40
+):
     """The seed solver: dense grid + bisection, moments recomputed per probe."""
 
     def satisfied(theta_degrees):
@@ -236,10 +239,17 @@ def bench_security_range(quick: bool) -> dict:
         analytic_seconds, analytic_range = best_time(
             lambda: solve_security_range(a, b, (rho1, rho2), method="analytic"), repeats=repeats
         )
+        assert len(analytic_range.intervals) == len(seed_intervals), (
+            f"{name}: analytic solver found {len(analytic_range.intervals)} interval(s), "
+            f"seed grid found {len(seed_intervals)}"
+        )
         agreement = max(
             max(abs(sa - sb), abs(ea - eb))
             for (sa, ea), (sb, eb) in zip(analytic_range.intervals, seed_intervals)
         )
+        # Grid resolution is 0.05 deg; bisection refinement gets the bounds to
+        # far better than a millidegree.  Anything worse is a solver bug.
+        assert agreement < 1e-3, f"{name}: solver bound disagreement {agreement} deg"
         results[name] = {
             "n_observations": int(np.asarray(a).size),
             "seed_grid_seconds": seed_seconds,
@@ -259,7 +269,9 @@ def bench_pairwise_distances(quick: bool) -> list[dict]:
     for m, n in scales:
         data = rng.normal(size=(m, n))
         repeats = 2 if m >= 2500 else 3
-        naive_seconds, naive_result = best_time(lambda: seed_broadcast_manhattan(data), repeats=repeats)
+        naive_seconds, naive_result = best_time(
+            lambda: seed_broadcast_manhattan(data), repeats=repeats
+        )
         chunked_seconds, chunked_result = best_time(
             lambda: pairwise_distances_blocked(data, metric="manhattan"), repeats=repeats
         )
@@ -287,7 +299,9 @@ def bench_distance_distortion(quick: bool) -> dict:
     m, n = (800, 6) if quick else (5000, 6)
     first = rng.normal(size=(m, n))
     second = first + rng.normal(scale=1e-12, size=(m, n))
-    full_seconds, full_result = best_time(lambda: seed_full_matrix_distortion(first, second), repeats=3)
+    full_seconds, full_result = best_time(
+        lambda: seed_full_matrix_distortion(first, second), repeats=3
+    )
     blocked_seconds, blocked_result = best_time(
         lambda: max_abs_distance_difference(first, second), repeats=3
     )
@@ -327,7 +341,9 @@ def bench_dbscan_neighbourhoods(quick: bool) -> dict:
     data = rng.normal(size=(m, 4))
     distances = pairwise_distances_blocked(data, metric="euclidean")
     eps, min_samples = 0.7, 5
-    seed_seconds, (_, seed_core) = best_time(lambda: seed_neighbourhoods(distances, eps, min_samples))
+    seed_seconds, (_, seed_core) = best_time(
+        lambda: seed_neighbourhoods(distances, eps, min_samples)
+    )
 
     def vectorized():
         adjacency = distances <= eps
@@ -367,7 +383,9 @@ def bench_brute_force_scan(quick: bool) -> dict:
     column_j = rng.normal(size=m)
     angles = np.linspace(0.0, 360.0, resolution, endpoint=False)
     loop_seconds, loop_scores = best_time(lambda: seed_angle_scan(column_i, column_j, angles))
-    batched_seconds, batched_scores = best_time(lambda: batched_angle_scan(column_i, column_j, angles))
+    batched_seconds, batched_scores = best_time(
+        lambda: batched_angle_scan(column_i, column_j, angles)
+    )
     np.testing.assert_allclose(loop_scores, batched_scores, rtol=1e-9, atol=1e-15)
     return {
         "m": m,
@@ -404,9 +422,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
     parser.add_argument(
-        "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_perf.json"),
-        help="where to write the JSON report (default: repo-root BENCH_perf.json)",
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help=(
+            "directory for the JSON report (default: the repo root); the file is "
+            "named BENCH_perf.json, or BENCH_perf_quick.json in --quick mode"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -415,7 +436,9 @@ def main(argv=None) -> int:
         "mode": "quick" if args.quick else "full",
         "hot_paths": run(args.quick),
     }
-    output = Path(args.output)
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output = output_dir / ("BENCH_perf_quick.json" if args.quick else "BENCH_perf.json")
     output.write_text(json.dumps(report, indent=2) + "\n")
 
     solver = report["hot_paths"]["solve_security_range"]

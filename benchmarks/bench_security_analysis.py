@@ -83,7 +83,11 @@ def bench_security_variance_fingerprint_attack(benchmark, attack_release):
         "Section 5.2: variance-fingerprint attack",
         [
             ("hypotheses scored (work)", "-", result.work),
-            ("final variance-profile error", "small", round(result.details["final_profile_error"], 4)),
+            (
+                "final variance-profile error",
+                "small",
+                round(result.details["final_profile_error"], 4),
+            ),
             ("reconstruction RMSE", "stays high", round(result.error, 4)),
             ("attack succeeded", False, result.succeeded),
         ],

@@ -29,10 +29,18 @@ def bench_table3_rbt_transformation(benchmark, paper_rbt, cardiac_normalized_exa
         (f"table3 row {index}", list(expected[index]), list(measured[index])) for index in range(5)
     ]
     rows.append(
-        ("Var(age-age'), Var(hr-hr')", list(PAPER_VARIANCES_PAIR1), list(np.round(result.records[0].achieved_variances, 4)))
+        (
+            "Var(age-age'), Var(hr-hr')",
+            list(PAPER_VARIANCES_PAIR1),
+            list(np.round(result.records[0].achieved_variances, 4)),
+        )
     )
     rows.append(
-        ("Var(w-w'), Var(age-age'')", list(PAPER_VARIANCES_PAIR2), list(np.round(result.records[1].achieved_variances, 4)))
+        (
+            "Var(w-w'), Var(age-age'')",
+            list(PAPER_VARIANCES_PAIR2),
+            list(np.round(result.records[1].achieved_variances, 4)),
+        )
     )
     rows.append(
         (

@@ -94,7 +94,9 @@ def bench_theorem1_linear_fit(benchmark):
         (f"m={m:>6}, n={n:>2} (cells={m * n})", "O(m·n)", f"{elapsed * 1e3:.1f} ms")
         for m, n, elapsed in timings
     ]
-    rows.append(("per-cell cost spread (max/min)", "small constant", float(per_cell.max() / per_cell.min())))
+    rows.append(
+        ("per-cell cost spread (max/min)", "small constant", float(per_cell.max() / per_cell.min()))
+    )
     rows.append(("R^2 of time vs m·n linear fit", "≈ 1", r_squared))
     report("Theorem 1: RBT running time is O(m·n)", rows)
 

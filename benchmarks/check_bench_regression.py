@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate for CI.
+
+Compares the speedup ratios of a fresh ``bench_perf_hotpaths.py --quick``
+run against the committed baseline and fails (exit code 1) when any ratio
+regressed by more than ``--max-regression`` (default 30%).
+
+Speedup *ratios* (kernel vs. seed replica on the same machine, same run)
+are compared rather than absolute seconds, so the gate is robust to CI
+runners being faster or slower than the machine that produced the baseline.
+Ratios without clear headroom carry mostly allocator/cache noise at quick
+sizes (and CI runners differ from the baseline machine in core count and
+BLAS threading), so keys whose baseline speedup is below ``--noise-floor``
+(default 1.5x) are reported but never gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --quick --output-dir ci-bench
+    python benchmarks/check_bench_regression.py ci-bench/BENCH_perf_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "BENCH_perf_quick.json"
+
+
+def collect_speedups(node, prefix: str = "") -> dict[str, float]:
+    """Flatten every ``speedup*`` / ``*_ratio`` metric in a report subtree."""
+    found: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and (
+                key.startswith("speedup") or key.endswith("_ratio")
+            ):
+                found[path] = float(value)
+            else:
+                found.update(collect_speedups(value, path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.update(collect_speedups(value, f"{prefix}[{index}]"))
+    return found
+
+
+def compare(baseline: dict, candidate: dict, *, max_regression: float, noise_floor: float):
+    """Return ``(failures, lines)``: gate violations and a printable table."""
+    baseline_speedups = collect_speedups(baseline.get("hot_paths", {}))
+    candidate_speedups = collect_speedups(candidate.get("hot_paths", {}))
+    failures: list[str] = []
+    lines: list[str] = []
+    for key in sorted(baseline_speedups):
+        expected = baseline_speedups[key]
+        observed = candidate_speedups.get(key)
+        gated = expected >= noise_floor
+        if observed is None:
+            if gated:
+                failures.append(f"{key}: present in baseline but missing from candidate")
+            else:
+                lines.append(f"  {key}: missing (baseline {expected:.2f}x below noise floor)")
+            continue
+        regression = (expected - observed) / expected if expected > 0 else 0.0
+        status = "ok"
+        if regression > max_regression:
+            status = "REGRESSED" if gated else "regressed (below noise floor, not gating)"
+            if gated:
+                failures.append(
+                    f"{key}: speedup {observed:.2f}x vs baseline {expected:.2f}x "
+                    f"({regression:.0%} regression > {max_regression:.0%} allowed)"
+                )
+        lines.append(f"  {key}: {observed:.2f}x (baseline {expected:.2f}x) {status}")
+    extra = sorted(set(candidate_speedups) - set(baseline_speedups))
+    for key in extra:
+        lines.append(f"  {key}: {candidate_speedups[key]:.2f}x (no baseline, informational)")
+    return failures, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", type=Path, help="fresh BENCH_perf_quick.json to check")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline report (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional drop in any speedup ratio (default 0.30)",
+    )
+    parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=1.5,
+        help="baseline speedups below this never gate, only inform (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    candidate = json.loads(args.candidate.read_text(encoding="utf-8"))
+    if baseline.get("mode") != candidate.get("mode"):
+        print(
+            f"error: mode mismatch — baseline is {baseline.get('mode')!r}, "
+            f"candidate is {candidate.get('mode')!r}; compare like with like",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures, lines = compare(
+        baseline, candidate, max_regression=args.max_regression, noise_floor=args.noise_floor
+    )
+    print(f"benchmark regression check ({args.candidate} vs {args.baseline}):")
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} speedup ratio(s) regressed >{args.max_regression:.0%}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: no speedup ratio regressed more than {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

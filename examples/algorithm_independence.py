@@ -67,7 +67,10 @@ def main() -> None:
         "(comparable security levels)\n"
     )
 
-    header = f"{'algorithm':>24} | {'RBT miscls.':>12} | {'RBT ARI':>8} | {'noise miscls.':>14} | {'noise ARI':>9}"
+    header = (
+        f"{'algorithm':>24} | {'RBT miscls.':>12} | {'RBT ARI':>8} | "
+        f"{'noise miscls.':>14} | {'noise ARI':>9}"
+    )
     print(header)
     print("-" * len(header))
     for name, algorithm in algorithm_suite().items():

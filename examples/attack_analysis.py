@@ -12,6 +12,11 @@ The first two fail (the paper's computational-security argument); the third
 succeeds, which is the scheme's documented weakness and the reason later work
 moved to stronger privacy models.
 
+For method-comparison grids (RBT vs. baselines across datasets and
+clustering algorithms), don't hand-roll loops like the defender setup below
+— declare them as an experiment spec instead; see
+``examples/experiment_grid.py`` and ``python -m repro experiment``.
+
 Run with:  python examples/attack_analysis.py
 """
 
@@ -47,7 +52,9 @@ def main() -> None:
     renorm = RenormalizationAttack().run(released, normalized)
     print("[1] Re-normalization attack (paper, Table 5)")
     print(f"    reconstruction RMSE = {renorm.error:.3f}  -> succeeded: {renorm.succeeded}")
-    print(f"    pairwise distances preserved by the attack: {renorm.details['distances_preserved']}")
+    print(
+        f"    pairwise distances preserved by the attack: {renorm.details['distances_preserved']}"
+    )
 
     # Adversary level 2a: knows the original data was normalized (unit variances).
     fingerprint = VarianceFingerprintAttack(angle_resolution=90).run(released, normalized)
@@ -56,7 +63,9 @@ def main() -> None:
         f"    hypotheses scored = {fingerprint.work}, "
         f"final variance-profile error = {fingerprint.details['final_profile_error']:.4f}"
     )
-    print(f"    reconstruction RMSE = {fingerprint.error:.3f}  -> succeeded: {fingerprint.succeeded}")
+    print(
+        f"    reconstruction RMSE = {fingerprint.error:.3f}  -> succeeded: {fingerprint.succeeded}"
+    )
 
     # Adversary level 2b: brute force over pairings and angle grids.
     brute = BruteForceAngleAttack(angle_resolution=24, max_pairings=8).run(released, normalized)

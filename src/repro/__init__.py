@@ -41,6 +41,7 @@ from . import (
     core,
     data,
     distributed,
+    experiments,
     metrics,
     pipeline,
     preprocessing,
@@ -73,6 +74,7 @@ __all__ = [
     "core",
     "data",
     "distributed",
+    "experiments",
     "metrics",
     "pipeline",
     "preprocessing",

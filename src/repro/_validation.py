@@ -28,7 +28,9 @@ __all__ = [
 ]
 
 
-def as_float_matrix(data, *, name: str = "data", min_rows: int = 1, min_cols: int = 1) -> np.ndarray:
+def as_float_matrix(
+    data, *, name: str = "data", min_rows: int = 1, min_cols: int = 1
+) -> np.ndarray:
     """Return ``data`` as a 2-D ``float64`` array, validating shape and finiteness.
 
     Parameters
@@ -74,7 +76,9 @@ def as_float_vector(data, *, name: str = "vector", min_size: int = 1) -> np.ndar
     except (TypeError, ValueError) as exc:
         raise ValidationError(f"{name} must be convertible to a float vector: {exc}") from exc
     if vector.size < min_size:
-        raise ValidationError(f"{name} must contain at least {min_size} value(s), got {vector.size}")
+        raise ValidationError(
+            f"{name} must contain at least {min_size} value(s), got {vector.size}"
+        )
     if not np.all(np.isfinite(vector)):
         raise ValidationError(f"{name} must not contain NaN or infinite values")
     return vector
@@ -147,7 +151,9 @@ def check_integer_in_range(
     return value
 
 
-def check_columns_exist(columns: Iterable[str], available: Sequence[str], *, name: str = "columns") -> list[str]:
+def check_columns_exist(
+    columns: Iterable[str], available: Sequence[str], *, name: str = "columns"
+) -> list[str]:
     """Validate that every entry of ``columns`` appears in ``available``."""
     requested = list(columns)
     available_set = set(available)

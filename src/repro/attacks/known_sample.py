@@ -57,7 +57,9 @@ class KnownSampleAttack:
         project_to_orthogonal: bool = True,
         success_tolerance: float = 0.1,
     ) -> None:
-        self.known_indices = [check_integer_in_range(int(i), name="known index", minimum=0) for i in known_indices]
+        self.known_indices = [
+            check_integer_in_range(int(i), name="known index", minimum=0) for i in known_indices
+        ]
         if not self.known_indices:
             raise AttackError("KnownSampleAttack needs at least one known record")
         self.project_to_orthogonal = bool(project_to_orthogonal)

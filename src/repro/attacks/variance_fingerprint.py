@@ -118,7 +118,10 @@ class VarianceFingerprintAttack:
             error=error,
             succeeded=succeeded,
             work=work,
-            details={"applied_rotations": applied, "final_profile_error": self._profile_error(candidate, targets)},
+            details={
+                "applied_rotations": applied,
+                "final_profile_error": self._profile_error(candidate, targets),
+            },
         )
 
     @staticmethod

@@ -20,6 +20,13 @@ full Figure 1 workflow can be driven from a shell without writing Python:
     Receiver-side: cluster a released CSV with one of the library's
     algorithms and write the labels.
 
+``experiment``
+    Run a declarative evaluation grid (datasets × transforms × clustering
+    algorithms × seeds) in parallel with an incremental on-disk result
+    cache, and emit paper-style JSON and Markdown tables.  Accepts a spec
+    JSON path or a built-in name (``paper_grid`` reproduces the paper's
+    Section 5 evaluation in one command).
+
 Examples
 --------
 ::
@@ -29,6 +36,8 @@ Examples
     python -m repro cluster released.csv labels.csv --algorithm kmeans --k 3
     python -m repro evaluate normalized.csv released.csv --k 3
     python -m repro invert released.csv restored.csv --secret secret.json
+    python -m repro experiment paper_grid --workers 4
+    python -m repro experiment my_grid.json --output-dir results/
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from .core import RBT, RBTSecret
 from .data import DataMatrix
 from .data.io import matrix_from_csv, matrix_to_csv
 from .exceptions import ReproError
+from .experiments import BUILTIN_SPECS, ExperimentSpec, builtin_spec, run_experiment
 from .metrics import (
     adjusted_rand_index,
     misclassification_error,
@@ -118,7 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("original", type=Path, help="normalized original CSV")
     evaluate.add_argument("released", type=Path, help="released CSV")
-    evaluate.add_argument("--k", type=int, default=3, help="clusters for the k-means agreement check")
+    evaluate.add_argument(
+        "--k", type=int, default=3, help="clusters for the k-means agreement check"
+    )
     evaluate.add_argument("--seed", type=int, default=0, help="k-means seed")
     evaluate.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
 
@@ -137,6 +149,52 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
     cluster.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
 
+    experiment = subparsers.add_parser(
+        "experiment", help="run a declarative evaluation grid (parallel, cached)"
+    )
+    experiment.add_argument(
+        "spec",
+        nargs="?",
+        default="paper_grid",
+        help=(
+            "path to a spec JSON, or a built-in name "
+            f"({', '.join(sorted(BUILTIN_SPECS))}; default paper_grid)"
+        ),
+    )
+    experiment.add_argument(
+        "--workers", type=int, default=1, help="pool size; 1 runs in-process (default 1)"
+    )
+    experiment.add_argument(
+        "--executor",
+        choices=["process", "thread"],
+        default="process",
+        help="pool flavour used when workers > 1 (default process)",
+    )
+    experiment.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path("experiments_out"),
+        help="where the JSON and Markdown reports are written (default experiments_out/)",
+    )
+    experiment.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="trial result cache (default <output-dir>/cache)",
+    )
+    experiment.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk trial cache"
+    )
+    experiment.add_argument(
+        "--format",
+        choices=["markdown", "json", "both"],
+        default="both",
+        help="report format(s) to write (default both)",
+    )
+    experiment.add_argument(
+        "--quiet", action="store_true", help="suppress the Markdown table on stdout"
+    )
+
     return parser
 
 
@@ -151,7 +209,10 @@ def _command_transform(args: argparse.Namespace) -> int:
     transformer = RBT(thresholds=args.threshold, strategy=args.strategy, random_state=args.seed)
     result = transformer.transform(normalized)
     matrix_to_csv(result.matrix, args.output, float_format="%.12f")
-    print(f"released {result.matrix.n_objects} objects x {result.matrix.n_attributes} attributes -> {args.output}")
+    print(
+        f"released {result.matrix.n_objects} objects x "
+        f"{result.matrix.n_attributes} attributes -> {args.output}"
+    )
 
     if args.secret is not None:
         RBTSecret.from_result(result).save(args.secret)
@@ -229,6 +290,53 @@ def _command_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_experiment(args: argparse.Namespace) -> int:
+    # A local file wins over a built-in of the same name, so saved specs are
+    # never silently shadowed.
+    spec_path = Path(args.spec)
+    if spec_path.is_file():
+        spec = ExperimentSpec.load(spec_path)
+    elif args.spec in BUILTIN_SPECS:
+        spec = builtin_spec(args.spec)
+    else:
+        print(
+            f"error: {args.spec!r} is neither a spec file nor a built-in "
+            f"({', '.join(sorted(BUILTIN_SPECS))})",
+            file=sys.stderr,
+        )
+        return 1
+
+    cache_dir = None if args.no_cache else (args.cache_dir or args.output_dir / "cache")
+    report = run_experiment(
+        spec, workers=args.workers, executor=args.executor, cache_dir=cache_dir
+    )
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    markdown = None
+    if args.format in ("markdown", "both") or not args.quiet:
+        markdown = report.results.to_markdown()
+    if args.format in ("json", "both"):
+        json_path = args.output_dir / f"{spec.name}.json"
+        json_path.write_text(report.results.to_json(), encoding="utf-8")
+        written.append(json_path)
+    if args.format in ("markdown", "both"):
+        markdown_path = args.output_dir / f"{spec.name}.md"
+        markdown_path.write_text(markdown + "\n", encoding="utf-8")
+        written.append(markdown_path)
+
+    if not args.quiet:
+        print(markdown)
+    rate = f", {report.trials_per_second:.1f} executed trials/s" if report.executed else ""
+    print(
+        f"{report.total} trials ({report.executed} executed, {report.cached} from cache) "
+        f"in {report.elapsed_seconds:.2f}s with {args.workers} worker(s){rate}"
+    )
+    for path in written:
+        print(f"report written to {path}")
+    return 0
+
+
 def _write_labels(path: Path, matrix: DataMatrix, labels: np.ndarray) -> None:
     """Write an ``id,label`` CSV (positional ids when the matrix has none)."""
     ids = matrix.ids if matrix.ids is not None else tuple(range(matrix.n_objects))
@@ -242,6 +350,7 @@ _COMMANDS = {
     "invert": _command_invert,
     "evaluate": _command_evaluate,
     "cluster": _command_cluster,
+    "experiment": _command_experiment,
 }
 
 
@@ -254,7 +363,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -141,8 +141,9 @@ class AgglomerativeClustering(ClusteringAlgorithm):
             else:  # ward
                 size_o = sizes[other]
                 total = size_a + size_b + size_o
+                d_ab = working[cluster_a, cluster_b]
                 updated = np.sqrt(
-                    ((size_a + size_o) * d_a**2 + (size_b + size_o) * d_b**2 - size_o * working[cluster_a, cluster_b] ** 2)
+                    ((size_a + size_o) * d_a**2 + (size_b + size_o) * d_b**2 - size_o * d_ab**2)
                     / total
                 )
             working[cluster_a, other] = updated

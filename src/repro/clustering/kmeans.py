@@ -70,7 +70,9 @@ class KMeans(ClusteringAlgorithm):
             raise ClusteringError(f"init must be 'k-means++' or 'random', got {init!r}")
         self.init = init
         self.n_init = check_integer_in_range(n_init, name="n_init", minimum=1)
-        self.max_iterations = check_integer_in_range(max_iterations, name="max_iterations", minimum=1)
+        self.max_iterations = check_integer_in_range(
+            max_iterations, name="max_iterations", minimum=1
+        )
         self.tolerance = check_positive(tolerance, name="tolerance")
         self.random_state = random_state
         self.raise_on_no_convergence = bool(raise_on_no_convergence)

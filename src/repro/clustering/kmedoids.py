@@ -54,7 +54,9 @@ class KMedoids(ClusteringAlgorithm):
     ) -> None:
         self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
         self.metric = metric
-        self.max_iterations = check_integer_in_range(max_iterations, name="max_iterations", minimum=1)
+        self.max_iterations = check_integer_in_range(
+            max_iterations, name="max_iterations", minimum=1
+        )
         self.n_init = check_integer_in_range(n_init, name="n_init", minimum=1)
         self.random_state = random_state
         self.precomputed = bool(precomputed)

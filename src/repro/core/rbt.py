@@ -189,7 +189,9 @@ class RBT:
         ddof: int = 1,
     ) -> None:
         self.thresholds = thresholds
-        self.strategy = PairSelectionStrategy(strategy) if pairs is None else PairSelectionStrategy.EXPLICIT
+        self.strategy = (
+            PairSelectionStrategy(strategy) if pairs is None else PairSelectionStrategy.EXPLICIT
+        )
         self.pairs = [tuple(pair) for pair in pairs] if pairs is not None else None
         self.angles = [float(angle) for angle in angles] if angles is not None else None
         self.random_state = random_state

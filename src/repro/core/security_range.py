@@ -226,7 +226,9 @@ def solve_security_range(
     """
     threshold = PairwiseSecurityThreshold.coerce(threshold)
     resolution = check_integer_in_range(resolution, name="resolution", minimum=16)
-    refine_iterations = check_integer_in_range(refine_iterations, name="refine_iterations", minimum=0)
+    refine_iterations = check_integer_in_range(
+        refine_iterations, name="refine_iterations", minimum=0
+    )
     if method not in ("analytic", "grid"):
         raise ValidationError(f"method must be 'analytic' or 'grid', got {method!r}")
     # The three moments determine both curves completely; compute them once

@@ -16,7 +16,7 @@ every pair).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..exceptions import ThresholdError
 

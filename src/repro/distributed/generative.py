@@ -61,8 +61,12 @@ class GaussianMixtureModel:
     random_state: object = None
 
     def __post_init__(self) -> None:
-        self.n_components = check_integer_in_range(self.n_components, name="n_components", minimum=1)
-        self.max_iterations = check_integer_in_range(self.max_iterations, name="max_iterations", minimum=1)
+        self.n_components = check_integer_in_range(
+            self.n_components, name="n_components", minimum=1
+        )
+        self.max_iterations = check_integer_in_range(
+            self.max_iterations, name="max_iterations", minimum=1
+        )
         self.tolerance = check_positive(self.tolerance, name="tolerance")
         self.regularization = check_positive(self.regularization, name="regularization")
         self.weights_: np.ndarray | None = None
@@ -142,7 +146,8 @@ class GaussianMixtureModel:
         self._check_fitted()
         n_samples = check_integer_in_range(n_samples, name="n_samples", minimum=1)
         rng = ensure_rng(random_state)
-        components = rng.choice(self.n_components, size=n_samples, p=self.weights_ / self.weights_.sum())
+        weights = self.weights_ / self.weights_.sum()
+        components = rng.choice(self.n_components, size=n_samples, p=weights)
         samples = np.empty((n_samples, self.means_.shape[1]))
         for component in range(self.n_components):
             mask = components == component
@@ -221,7 +226,9 @@ class GenerativeModelClustering:
             ).fit(partition.values)
             local_models.append(model)
             site_sizes.append(partition.n_objects)
-            log.record(f"site{site_index}", "coordinator", model.n_parameters, label="model parameters")
+            log.record(
+                f"site{site_index}", "coordinator", model.n_parameters, label="model parameters"
+            )
 
         # Central site: sample artificial data from the size-weighted combination
         # of the local models, then cluster the artificial sample.

@@ -89,7 +89,9 @@ class Party:
             )
         return ((self._data.values - fragment) ** 2).sum(axis=1)
 
-    def local_cluster_sums(self, labels: np.ndarray, n_clusters: int) -> tuple[np.ndarray, np.ndarray]:
+    def local_cluster_sums(
+        self, labels: np.ndarray, n_clusters: int
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Per-cluster sums and counts of the party's local attributes."""
         labels = np.asarray(labels, dtype=int)
         if labels.size != self.n_objects:
@@ -119,7 +121,9 @@ class SecureSumProtocol:
         self._rng = ensure_rng(random_state)
         self.log = log if log is not None else MessageLog()
 
-    def sum_vectors(self, party_names: list[str], vectors: list[np.ndarray], *, label: str = "secure-sum") -> np.ndarray:
+    def sum_vectors(
+        self, party_names: list[str], vectors: list[np.ndarray], *, label: str = "secure-sum"
+    ) -> np.ndarray:
         """Securely sum one private vector per party and return the total.
 
         ``vectors[i]`` is the private contribution of ``party_names[i]``; the

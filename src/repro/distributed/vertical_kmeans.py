@@ -65,7 +65,9 @@ class VerticallyPartitionedKMeans:
     ) -> None:
         self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
         self.n_init = check_integer_in_range(n_init, name="n_init", minimum=1)
-        self.max_iterations = check_integer_in_range(max_iterations, name="max_iterations", minimum=1)
+        self.max_iterations = check_integer_in_range(
+            max_iterations, name="max_iterations", minimum=1
+        )
         self.tolerance = check_positive(tolerance, name="tolerance")
         self.random_state = random_state
 

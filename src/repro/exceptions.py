@@ -21,6 +21,7 @@ __all__ = [
     "ProtocolError",
     "DatasetError",
     "SerializationError",
+    "ExperimentError",
 ]
 
 
@@ -82,3 +83,7 @@ class DatasetError(ReproError, ValueError):
 
 class SerializationError(ReproError, ValueError):
     """A table or matrix could not be serialized or deserialized."""
+
+
+class ExperimentError(ReproError, ValueError):
+    """An experiment spec is invalid or a grid trial could not be executed."""

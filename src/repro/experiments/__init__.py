@@ -1,0 +1,61 @@
+"""Experiment orchestration: declarative grids, parallel cached execution.
+
+The paper's evidence is a grid — datasets x distortion methods x clustering
+algorithms x metrics.  This package turns every layer of the library into a
+reusable workload behind one declarative surface:
+
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec` (a JSON-round-trip
+  grid description) and its expansion into content-hashed
+  :class:`TrialSpec` cells;
+* :mod:`repro.experiments.registry` — name → factory registries resolving
+  spec entries against :mod:`repro.data.datasets`, :mod:`repro.core` /
+  :mod:`repro.baselines` and :mod:`repro.clustering`;
+* :mod:`repro.experiments.runner` — :class:`ExperimentRunner`, a
+  ``concurrent.futures`` pool with an on-disk, content-addressed result
+  cache (re-runs are incremental; parallel runs are byte-identical to
+  serial ones);
+* :mod:`repro.experiments.results` — :class:`ResultsTable` aggregation and
+  paper-style JSON / Markdown emission;
+* :mod:`repro.experiments.builtin` — ready-made grids, notably
+  ``paper_grid`` (the Section 5 tables in one command).
+
+Quickstart
+----------
+>>> from repro.experiments import builtin_spec, run_experiment
+>>> report = run_experiment(builtin_spec("smoke"))
+>>> report.total
+2
+"""
+
+from .builtin import BUILTIN_SPECS, builtin_spec
+from .registry import (
+    available_algorithms,
+    available_datasets,
+    available_transforms,
+    register_algorithm,
+    register_dataset,
+    register_transform,
+)
+from .results import ResultsTable
+from .runner import ExperimentReport, ExperimentRunner, run_experiment, run_trial
+from .spec import AxisSpec, ExperimentSpec, TrialSpec, content_hash
+
+__all__ = [
+    "AxisSpec",
+    "BUILTIN_SPECS",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ResultsTable",
+    "TrialSpec",
+    "available_algorithms",
+    "available_datasets",
+    "available_transforms",
+    "builtin_spec",
+    "content_hash",
+    "register_algorithm",
+    "register_dataset",
+    "register_transform",
+    "run_experiment",
+    "run_trial",
+]

@@ -1,0 +1,79 @@
+"""Built-in experiment grids, most importantly the paper's Section 5 grid.
+
+``paper_grid`` reproduces the shape of the paper's evaluation in a single
+command: every dataset scenario x RBT plus the prior-work distortion
+baselines x the four clustering algorithm families x multiple seeds, scored
+with misclassification error, ARI, per-attribute ``Var(X − X')`` and the
+security-range statistics.  ``smoke`` is a two-trial grid used by tests and
+the CI example-smoke job.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ExperimentError
+from .spec import AxisSpec, ExperimentSpec
+
+__all__ = ["BUILTIN_SPECS", "builtin_spec"]
+
+
+def _paper_grid() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="paper_grid",
+        description=(
+            "Section 5-style evaluation grid: RBT vs. the additive / "
+            "multiplicative / swapping / rotation baselines on the paper's "
+            "motivating scenarios, under every clustering algorithm family."
+        ),
+        normalizer="zscore",
+        datasets=(
+            AxisSpec("synthetic_arrhythmia", {"n_patients": 150}),
+            AxisSpec("patient_cohorts", {"n_patients": 150, "n_cohorts": 3}),
+            AxisSpec("customer_segments", {"n_customers": 160}),
+            AxisSpec("blobs", {"n_objects": 150, "n_attributes": 4, "n_clusters": 3}),
+        ),
+        transforms=(
+            AxisSpec("rbt", {"threshold": 0.25}),
+            AxisSpec("additive", {"noise_scale": 0.5}),
+            AxisSpec("multiplicative", {"noise_scale": 0.3}),
+            AxisSpec("swapping", {"swap_fraction": 0.2}),
+            AxisSpec("rotation", {"theta_degrees": 45.0}),
+        ),
+        algorithms=(
+            AxisSpec("kmeans", {"n_clusters": 3}),
+            AxisSpec("kmedoids", {"n_clusters": 3}),
+            AxisSpec("hierarchical", {"n_clusters": 3, "linkage": "average"}),
+            AxisSpec("dbscan", {"eps": 1.5, "min_samples": 4}),
+        ),
+        seeds=(0, 1),
+    )
+
+
+def _smoke() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="smoke",
+        description="Two-trial grid for tests and CI smoke runs.",
+        normalizer="zscore",
+        datasets=(AxisSpec("blobs", {"n_objects": 40, "n_attributes": 4, "n_clusters": 3}),),
+        transforms=(
+            AxisSpec("rbt", {"threshold": 0.25}),
+            AxisSpec("additive", {"noise_scale": 0.5}),
+        ),
+        algorithms=(AxisSpec("kmeans", {"n_clusters": 3}),),
+        seeds=(0,),
+    )
+
+
+BUILTIN_SPECS = {
+    "paper_grid": _paper_grid,
+    "smoke": _smoke,
+}
+
+
+def builtin_spec(name: str) -> ExperimentSpec:
+    """Return a fresh copy of the built-in spec called ``name``."""
+    try:
+        factory = BUILTIN_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_SPECS))
+        raise ExperimentError(f"unknown built-in spec {name!r}; known: {known}") from None
+    return factory()

@@ -1,0 +1,270 @@
+"""Name → factory registries that connect specs to the library's components.
+
+A grid spec refers to datasets, transforms and clustering algorithms by
+name; these registries resolve the names against the existing layers
+(:mod:`repro.data.datasets`, :mod:`repro.core` / :mod:`repro.baselines`,
+:mod:`repro.clustering`) so that a JSON file can drive everything the
+library implements.  :func:`register_dataset` & friends let downstream code
+plug in new components without touching this module.
+
+Registration is per-process: process-pool workers re-resolve names in the
+child, so custom components registered at runtime are only visible to the
+pool where children inherit the parent's memory (``fork`` start method).
+On spawn/forkserver platforms, register inside an imported module, or run
+custom components with ``executor="thread"`` / ``workers=1``.
+
+Seeding convention: every factory receives the *trial* seed.  Datasets are
+seeded with it directly, so the same ``(dataset, seed)`` cell yields the
+identical matrix under every transform — the paper's tables compare
+distortion methods on the same data.  Transforms and algorithms fold their
+registry name into the seed (:func:`derive_seed`) so that, e.g., additive
+noise and swapping do not consume identical random streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+import numpy as np
+
+from ..baselines import (
+    AdditiveNoisePerturbation,
+    MultiplicativeNoisePerturbation,
+    ScalingPerturbation,
+    SimpleRotationPerturbation,
+    TranslationPerturbation,
+    ValueSwappingPerturbation,
+)
+from ..clustering import DBSCAN, AgglomerativeClustering, KMeans, KMedoids
+from ..core import RBT
+from ..data.datasets import (
+    load_cardiac_sample,
+    make_anisotropic_blobs,
+    make_blobs,
+    make_customer_segments,
+    make_patient_cohorts,
+    make_rings,
+    make_synthetic_arrhythmia,
+    make_uniform_noise,
+)
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "available_algorithms",
+    "available_datasets",
+    "available_transforms",
+    "build_algorithm",
+    "build_dataset",
+    "build_transform",
+    "derive_seed",
+    "register_algorithm",
+    "register_dataset",
+    "register_transform",
+]
+
+
+def _take(params: dict, allowed: tuple[str, ...], *, context: str) -> dict:
+    """Copy ``params``, rejecting keys the target constructor would not see.
+
+    The cherry-picking factories below read params with ``.get``; without
+    this check a misspelled key would silently fall back to the default
+    while still changing the trial's content hash and label.
+    """
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise ExperimentError(
+            f"{context}: unknown params {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    return dict(params)
+
+
+def derive_seed(seed: int, *parts: str) -> int:
+    """Fold string ``parts`` into ``seed`` to get an independent sub-seed.
+
+    Stable across processes and Python versions (unlike ``hash``), so cached
+    results stay valid and parallel runs reproduce serial ones.
+    """
+    digest = hashlib.sha256(":".join([str(int(seed)), *parts]).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+# --------------------------------------------------------------------------- #
+# Datasets
+# --------------------------------------------------------------------------- #
+def _labelled(factory: Callable) -> Callable:
+    def build(params: dict, seed: int):
+        matrix, labels = factory(random_state=seed, **params)
+        return matrix, np.asarray(labels, dtype=int)
+
+    return build
+
+
+def _unlabelled_cardiac(params: dict, seed: int):
+    if params:
+        raise ExperimentError(f"cardiac_sample takes no params, got {sorted(params)}")
+    return load_cardiac_sample(), None
+
+
+def _unlabelled_arrhythmia(params: dict, seed: int):
+    return make_synthetic_arrhythmia(random_state=seed, **params), None
+
+
+_DATASETS: dict[str, Callable] = {
+    "cardiac_sample": _unlabelled_cardiac,
+    "synthetic_arrhythmia": _unlabelled_arrhythmia,
+    "patient_cohorts": _labelled(make_patient_cohorts),
+    "customer_segments": _labelled(make_customer_segments),
+    "blobs": _labelled(make_blobs),
+    "anisotropic_blobs": _labelled(make_anisotropic_blobs),
+    "rings": _labelled(make_rings),
+    "uniform_noise": _labelled(make_uniform_noise),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Transforms (RBT and the baseline perturbations; "none" is the control)
+# --------------------------------------------------------------------------- #
+def _build_rbt(params: dict, seed: int):
+    params = _take(params, ("threshold", "strategy"), context="transform 'rbt'")
+    return RBT(
+        thresholds=params.get("threshold", 0.25),
+        strategy=params.get("strategy", "interleaved"),
+        random_state=derive_seed(seed, "transform", "rbt"),
+    )
+
+
+def _baseline(name: str, cls: Callable, **defaults) -> Callable:
+    def build(params: dict, seed: int):
+        merged = {**defaults, **params}
+        return cls(**merged, random_state=derive_seed(seed, "transform", name))
+
+    return build
+
+
+def _build_none(params: dict, seed: int):
+    _take(params, (), context="transform 'none'")
+    return None
+
+
+_TRANSFORMS: dict[str, Callable] = {
+    "none": _build_none,
+    "rbt": _build_rbt,
+    "additive": _baseline("additive", AdditiveNoisePerturbation),
+    "multiplicative": _baseline("multiplicative", MultiplicativeNoisePerturbation),
+    "swapping": _baseline("swapping", ValueSwappingPerturbation),
+    "translation": _baseline("translation", TranslationPerturbation),
+    "scaling": _baseline("scaling", ScalingPerturbation),
+    "rotation": _baseline("rotation", SimpleRotationPerturbation),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Clustering algorithms
+# --------------------------------------------------------------------------- #
+def _build_kmeans(params: dict, seed: int):
+    params = _take(params, ("n_clusters",), context="algorithm 'kmeans'")
+    return KMeans(
+        n_clusters=params.get("n_clusters", 3),
+        random_state=derive_seed(seed, "algorithm", "kmeans"),
+    )
+
+
+def _build_kmedoids(params: dict, seed: int):
+    params = _take(params, ("n_clusters", "metric"), context="algorithm 'kmedoids'")
+    return KMedoids(
+        n_clusters=params.get("n_clusters", 3),
+        metric=params.get("metric", "euclidean"),
+        random_state=derive_seed(seed, "algorithm", "kmedoids"),
+    )
+
+
+def _build_hierarchical(params: dict, seed: int):
+    params = _take(params, ("n_clusters", "linkage", "metric"), context="algorithm 'hierarchical'")
+    return AgglomerativeClustering(
+        n_clusters=params.get("n_clusters", 3),
+        linkage=params.get("linkage", "average"),
+        metric=params.get("metric", "euclidean"),
+    )
+
+
+def _build_dbscan(params: dict, seed: int):
+    params = _take(params, ("eps", "min_samples", "metric"), context="algorithm 'dbscan'")
+    return DBSCAN(
+        eps=params.get("eps", 0.5),
+        min_samples=params.get("min_samples", 5),
+        metric=params.get("metric", "euclidean"),
+    )
+
+
+_ALGORITHMS: dict[str, Callable] = {
+    "kmeans": _build_kmeans,
+    "kmedoids": _build_kmedoids,
+    "hierarchical": _build_hierarchical,
+    "dbscan": _build_dbscan,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+def _lookup(registry: dict, kind: str, name: str) -> Callable:
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ExperimentError(f"unknown {kind} {name!r}; known: {known}") from None
+
+
+def build_dataset(name: str, params: dict, seed: int):
+    """Materialize dataset ``name`` → ``(DataMatrix, labels-or-None)``."""
+    try:
+        return _lookup(_DATASETS, "dataset", name)(params, seed)
+    except TypeError as exc:
+        raise ExperimentError(f"dataset {name!r}: bad params {params}: {exc}") from exc
+
+
+def build_transform(name: str, params: dict, seed: int):
+    """Build transform ``name`` (an RBT / perturbation object, or ``None``)."""
+    try:
+        return _lookup(_TRANSFORMS, "transform", name)(params, seed)
+    except TypeError as exc:
+        raise ExperimentError(f"transform {name!r}: bad params {params}: {exc}") from exc
+
+
+def build_algorithm(name: str, params: dict, seed: int):
+    """Build clustering algorithm ``name``."""
+    try:
+        return _lookup(_ALGORITHMS, "algorithm", name)(params, seed)
+    except TypeError as exc:
+        raise ExperimentError(f"algorithm {name!r}: bad params {params}: {exc}") from exc
+
+
+def register_dataset(name: str, factory: Callable) -> None:
+    """Register ``factory(params, seed) -> (matrix, labels|None)`` under ``name``."""
+    _DATASETS[name] = factory
+
+
+def register_transform(name: str, factory: Callable) -> None:
+    """Register ``factory(params, seed) -> transformer|None`` under ``name``."""
+    _TRANSFORMS[name] = factory
+
+
+def register_algorithm(name: str, factory: Callable) -> None:
+    """Register ``factory(params, seed) -> ClusteringAlgorithm`` under ``name``."""
+    _ALGORITHMS[name] = factory
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Sorted names of the registered datasets."""
+    return tuple(sorted(_DATASETS))
+
+
+def available_transforms() -> tuple[str, ...]:
+    """Sorted names of the registered transforms."""
+    return tuple(sorted(_TRANSFORMS))
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Sorted names of the registered clustering algorithms."""
+    return tuple(sorted(_ALGORITHMS))

@@ -1,0 +1,207 @@
+"""Aggregation of trial rows into paper-style tables (JSON and Markdown).
+
+:class:`ResultsTable` holds the per-trial rows in deterministic grid order,
+aggregates them over seeds, and emits:
+
+* :meth:`ResultsTable.to_json` — the machine-readable record (spec + rows +
+  aggregates), canonical and timing-free so that parallel and serial runs
+  are byte-identical;
+* :meth:`ResultsTable.to_markdown` — the human-readable tables mirroring
+  the paper's Section 5 evidence: misclassification error / ARI per
+  (dataset, algorithm, transform), and privacy (``Var(X − X')``, distance
+  distortion, security-range width) per (dataset, transform).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from statistics import mean
+from typing import TYPE_CHECKING, Sequence
+
+from ..exceptions import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .spec import ExperimentSpec
+
+__all__ = ["ResultsTable"]
+
+
+def _fmt(value, digits: int = 4) -> str:
+    """Format a table cell: fixed precision for floats, ``-`` for missing."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _fmt_distortion(value: float) -> str:
+    """Distortion cells: scientific notation below 1e-3, fixed point above."""
+    return f"{value:.2f}" if value >= 1e-3 else f"{value:.1e}"
+
+
+def _aggregate_key(row: dict) -> tuple[str, str, str]:
+    return (row["dataset"], row["transform"], row["algorithm"])
+
+
+def _mean_or_none(values: Sequence) -> float | None:
+    values = [value for value in values if value is not None]
+    return mean(values) if values else None
+
+
+@dataclass(frozen=True)
+class ResultsTable:
+    """Per-trial rows plus seed-aggregated summaries for one grid run."""
+
+    #: The spec's canonical dict (kept verbatim so reports are self-describing).
+    spec: dict
+    #: One dict per trial, in grid order (see ``TrialSpec`` / ``run_trial``).
+    rows: tuple[dict, ...]
+
+    @classmethod
+    def from_rows(cls, spec: "ExperimentSpec", rows: Sequence[dict]) -> "ResultsTable":
+        """Build a table from finished rows, validating completeness."""
+        missing = [index for index, row in enumerate(rows) if row is None]
+        if missing:
+            raise ExperimentError(f"trials {missing} produced no result")
+        return cls(spec=spec.canonical(), rows=tuple(rows))
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate(self) -> list[dict]:
+        """Mean metrics per (dataset, transform, algorithm) across seeds.
+
+        Row order follows the first appearance in the grid, so it is stable
+        for any worker count.
+        """
+        groups: dict[tuple[str, str, str], list[dict]] = {}
+        for row in self.rows:
+            groups.setdefault(_aggregate_key(row), []).append(row)
+        aggregates = []
+        for (dataset, transform, algorithm), members in groups.items():
+            clustering = [row["clustering"] for row in members]
+            security = [row["security_range"] for row in members if row["security_range"]]
+            aggregates.append(
+                {
+                    "dataset": dataset,
+                    "transform": transform,
+                    "algorithm": algorithm,
+                    "n_seeds": len(members),
+                    "misclassification": mean(c["misclassification"] for c in clustering),
+                    "adjusted_rand": mean(c["adjusted_rand"] for c in clustering),
+                    "all_identical": all(c["identical"] for c in clustering),
+                    "truth_adjusted_rand_released": _mean_or_none(
+                        [c["truth_released"]["adjusted_rand"] for c in clustering]
+                    ),
+                    "min_variance_difference": min(
+                        row["privacy"]["min_variance_difference"] for row in members
+                    ),
+                    "mean_variance_difference": mean(
+                        row["privacy"]["mean_variance_difference"] for row in members
+                    ),
+                    "max_distance_distortion": max(
+                        row["distance"]["max_distortion"] for row in members
+                    ),
+                    "distances_preserved": all(row["distance"]["preserved"] for row in members),
+                    "mean_security_range_width_degrees": _mean_or_none(
+                        [stats["mean_width_degrees"] for stats in security]
+                    ),
+                }
+            )
+        return aggregates
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Canonical JSON report: spec, per-trial rows and aggregates."""
+        payload = {
+            "spec": self.spec,
+            "n_trials": len(self.rows),
+            "trials": list(self.rows),
+            "aggregates": self.aggregate(),
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    def to_markdown(self) -> str:
+        """Paper-style Markdown tables, deterministic for any worker count."""
+        aggregates = self.aggregate()
+        lines = [f"# Experiment results — {self.spec['name']}", ""]
+        if self.spec.get("description"):
+            lines += [self.spec["description"], ""]
+        lines += [
+            f"{len(self.rows)} trials: {len(self.spec['datasets'])} dataset(s) x "
+            f"{len(self.spec['transforms'])} transform(s) x "
+            f"{len(self.spec['algorithms'])} algorithm(s) x "
+            f"{len(self.spec['seeds'])} seed(s); normalizer: {self.spec['normalizer']}.",
+            "",
+        ]
+
+        lines += self._quality_section(aggregates)
+        lines += self._privacy_section(aggregates)
+        return "\n".join(lines)
+
+    def _quality_section(self, aggregates: list[dict]) -> list[str]:
+        """Misclassification error and ARI, one table per dataset."""
+        lines = ["## Clustering quality (original vs. released partitions)", ""]
+        datasets = list(dict.fromkeys(row["dataset"] for row in aggregates))
+        for dataset in datasets:
+            subset = [row for row in aggregates if row["dataset"] == dataset]
+            algorithms = list(dict.fromkeys(row["algorithm"] for row in subset))
+            lines += [f"### {dataset}", ""]
+            header = "| transform | " + " | ".join(
+                f"{algorithm} ME / ARI" for algorithm in algorithms
+            )
+            lines += [header + " |", "|---" * (len(algorithms) + 1) + "|"]
+            transforms = list(dict.fromkeys(row["transform"] for row in subset))
+            by_cell = {(row["transform"], row["algorithm"]): row for row in subset}
+            for transform in transforms:
+                cells = []
+                for algorithm in algorithms:
+                    row = by_cell.get((transform, algorithm))
+                    if row is None:
+                        cells.append("-")
+                    else:
+                        cells.append(
+                            f"{_fmt(row['misclassification'])} / {_fmt(row['adjusted_rand'])}"
+                        )
+                lines.append("| " + " | ".join([transform, *cells]) + " |")
+            lines.append("")
+        return lines
+
+    def _privacy_section(self, aggregates: list[dict]) -> list[str]:
+        """Privacy and distance-preservation evidence per (dataset, transform)."""
+        lines = [
+            "## Privacy and distance preservation",
+            "",
+            "| dataset | transform | min Var(X−X′) | mean Var(X−X′) | max abs Δd "
+            "| preserved | security range (°) |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        seen: set[tuple[str, str]] = set()
+        for row in aggregates:
+            key = (row["dataset"], row["transform"])
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(
+                "| "
+                + " | ".join(
+                    [
+                        row["dataset"],
+                        row["transform"],
+                        _fmt(row["min_variance_difference"]),
+                        _fmt(row["mean_variance_difference"]),
+                        _fmt_distortion(row["max_distance_distortion"]),
+                        _fmt(row["distances_preserved"]),
+                        _fmt(row["mean_security_range_width_degrees"], digits=1),
+                    ]
+                )
+                + " |"
+            )
+        lines.append("")
+        return lines

@@ -1,0 +1,332 @@
+"""Parallel, cached execution of experiment grids.
+
+:class:`ExperimentRunner` expands an :class:`~repro.experiments.spec.ExperimentSpec`
+into independent trials and executes them with a ``concurrent.futures``
+process or thread pool.  Each trial is keyed by the content hash of its
+spec; finished trials are written to an on-disk cache directory as canonical
+JSON, so repeating or extending a grid only executes the new cells.
+
+Determinism: a trial's result depends only on its spec (all randomness is
+seeded from it), trials never share state, and the runner reassembles
+results in grid order — so any worker count, and either executor, produces
+byte-identical aggregate output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core import RBT
+from ..exceptions import ExperimentError, ReproError
+from ..metrics import adjusted_rand_index, misclassification_error, privacy_report
+from ..perf.kernels import max_abs_distance_difference
+from ..pipeline import PPCPipeline
+from ..preprocessing import MinMaxNormalizer, ZScoreNormalizer
+from .registry import build_algorithm, build_dataset, build_transform
+from .results import ResultsTable
+from .spec import AxisSpec, ExperimentSpec, TrialSpec, canonical_json
+
+__all__ = ["ExperimentReport", "ExperimentRunner", "run_experiment", "run_trial"]
+
+
+# --------------------------------------------------------------------------- #
+# Single-trial execution (module-level so process pools can pickle it)
+# --------------------------------------------------------------------------- #
+class _IdentityNormalizer:
+    """Pass-through stand-in so ``normalizer: none`` fits the pipeline API."""
+
+    def fit(self, matrix):
+        return self
+
+    def transform(self, matrix):
+        return matrix
+
+    def fit_transform(self, matrix):
+        return matrix
+
+
+def _make_normalizer(name: str):
+    if name == "zscore":
+        return ZScoreNormalizer()
+    if name == "minmax":
+        return MinMaxNormalizer()
+    return _IdentityNormalizer()
+
+
+def _security_range_stats(rbt_result) -> dict:
+    widths = [record.security_range.total_measure for record in rbt_result.records]
+    return {
+        "n_pairs": len(rbt_result.pairs),
+        "mean_width_degrees": float(np.mean(widths)) if widths else 0.0,
+        "min_width_degrees": float(np.min(widths)) if widths else 0.0,
+    }
+
+
+def run_trial(payload: dict) -> dict:
+    """Execute one trial described by its canonical payload; return a row dict.
+
+    The returned dict is JSON-serializable and fully determined by
+    ``payload`` — it is exactly what the cache stores.
+    """
+    trial = TrialSpec(
+        dataset=_axis(payload["dataset"]),
+        transform=_axis(payload["transform"]),
+        algorithm=_axis(payload["algorithm"]),
+        seed=int(payload["seed"]),
+        normalizer=payload["normalizer"],
+    )
+    matrix, truth = build_dataset(trial.dataset.name, trial.dataset.params, trial.seed)
+    transformer = build_transform(trial.transform.name, trial.transform.params, trial.seed)
+    algorithm = build_algorithm(trial.algorithm.name, trial.algorithm.params, trial.seed)
+
+    security_range = None
+    if isinstance(transformer, RBT):
+        # RBT releases go through the owner pipeline of Figure 1 end to end.
+        pipeline = PPCPipeline(rbt=transformer, normalizer=_make_normalizer(trial.normalizer))
+        bundle = pipeline.run(matrix)
+        normalized, released = bundle.normalized, bundle.released
+        privacy = bundle.privacy
+        max_distortion = bundle.max_distance_distortion
+        security_range = _security_range_stats(bundle.rbt_result)
+    else:
+        normalized = _make_normalizer(trial.normalizer).fit(matrix).transform(matrix)
+        released = normalized if transformer is None else transformer.perturb(normalized)
+        privacy = privacy_report(normalized, released)
+        max_distortion = max_abs_distance_difference(normalized.values, released.values)
+
+    labels_original = algorithm.fit_predict(normalized)
+    labels_released = algorithm.fit_predict(released)
+
+    def _truth_metrics(labels):
+        if truth is None:
+            return {"misclassification": None, "adjusted_rand": None}
+        return {
+            "misclassification": misclassification_error(truth, labels),
+            "adjusted_rand": adjusted_rand_index(truth, labels),
+        }
+
+    return {
+        "trial": trial.canonical(),
+        "hash": trial.trial_hash,
+        "dataset": trial.dataset.label,
+        "transform": trial.transform.label,
+        "algorithm": trial.algorithm.label,
+        "seed": trial.seed,
+        "n_objects": normalized.n_objects,
+        "n_attributes": normalized.n_attributes,
+        "privacy": {
+            "min_variance_difference": privacy.minimum_variance_difference,
+            "mean_variance_difference": privacy.mean_variance_difference,
+        },
+        "distance": {
+            "max_distortion": max_distortion,
+            "preserved": bool(max_distortion < 1e-8),
+        },
+        "security_range": security_range,
+        "clustering": {
+            "n_clusters_original": int(np.unique(labels_original[labels_original >= 0]).size),
+            "n_clusters_released": int(np.unique(labels_released[labels_released >= 0]).size),
+            "misclassification": misclassification_error(labels_original, labels_released),
+            "adjusted_rand": adjusted_rand_index(labels_original, labels_released),
+            "identical": bool(np.array_equal(labels_original, labels_released)),
+            "truth_original": _truth_metrics(labels_original),
+            "truth_released": _truth_metrics(labels_released),
+        },
+    }
+
+
+def _axis(payload: dict) -> AxisSpec:
+    return AxisSpec(payload["name"], dict(payload.get("params", {})))
+
+
+# --------------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Outcome of one :meth:`ExperimentRunner.run` call."""
+
+    #: The spec that was executed.
+    spec: ExperimentSpec
+    #: Per-trial rows plus aggregates, in deterministic grid order.
+    results: ResultsTable
+    #: Trials actually executed this run.
+    executed: int
+    #: Trials served from the on-disk cache.
+    cached: int
+    #: Wall-clock seconds for the whole run (excluded from emitted tables).
+    elapsed_seconds: float
+
+    @property
+    def total(self) -> int:
+        """Total number of trials in the grid."""
+        return self.executed + self.cached
+
+    @property
+    def trials_per_second(self) -> float:
+        """Executed-trial throughput of this run."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf")
+        return self.executed / self.elapsed_seconds
+
+
+class ExperimentRunner:
+    """Expand a grid, execute its trials in parallel and aggregate results.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``1`` (default) runs in-process with no pool at all.
+    executor:
+        ``"process"`` (default; sidesteps the GIL for CPU-bound trials) or
+        ``"thread"`` (cheaper startup, fine for small grids and tests).
+    cache_dir:
+        Directory for per-trial result JSON, keyed by trial content hash.
+        ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        executor: str = "process",
+        cache_dir=None,
+    ) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        if executor not in ("process", "thread"):
+            raise ExperimentError(f"executor must be 'process' or 'thread', got {executor!r}")
+        self.workers = int(workers)
+        self.executor = executor
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+
+    # ------------------------------------------------------------------ #
+    def run(self, spec: ExperimentSpec, *, progress=None) -> ExperimentReport:
+        """Run every trial of ``spec`` (cache-aware) and return the report.
+
+        ``progress`` is an optional callable ``(done, total) -> None``
+        invoked after every finished trial.
+        """
+        trials = spec.expand()
+        started = time.perf_counter()
+        rows: list[dict | None] = [None] * len(trials)
+
+        pending: list[tuple[int, TrialSpec]] = []
+        cached = 0
+        for index, trial in enumerate(trials):
+            row = self._cache_load(trial)
+            if row is not None:
+                rows[index] = row
+                cached += 1
+            else:
+                pending.append((index, trial))
+
+        done = cached
+        if progress is not None and done:
+            progress(done, len(trials))
+        for index, row in self._execute(pending):
+            rows[index] = row
+            self._cache_store(trials[index], row)
+            done += 1
+            if progress is not None:
+                progress(done, len(trials))
+
+        elapsed = time.perf_counter() - started
+        return ExperimentReport(
+            spec=spec,
+            results=ResultsTable.from_rows(spec, rows),
+            executed=len(pending),
+            cached=cached,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution backends
+    # ------------------------------------------------------------------ #
+    def _execute(self, pending):
+        """Yield ``(index, row)`` for every pending trial as it completes."""
+        if not pending:
+            return
+        if self.workers == 1:
+            for index, trial in pending:
+                yield index, run_trial(trial.canonical())
+            return
+
+        pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        max_workers = min(self.workers, len(pending))
+        with pool_cls(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(run_trial, trial.canonical()): index for index, trial in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    yield futures[future], future.result()
+
+    # ------------------------------------------------------------------ #
+    # Cache
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, trial: TrialSpec) -> Path:
+        return self.cache_dir / f"{trial.trial_hash}.json"
+
+    def _cache_load(self, trial: TrialSpec) -> dict | None:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(trial)
+        try:
+            row = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        # A cached row must match the trial it claims to answer.
+        if not isinstance(row, dict) or row.get("hash") != trial.trial_hash:
+            return None
+        return row
+
+    def _cache_store(self, trial: TrialSpec, row: dict) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(trial)
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        temporary.write_text(canonical_json(row), encoding="utf-8")
+        os.replace(temporary, path)
+
+    def clear_cache(self, spec: ExperimentSpec) -> int:
+        """Delete the cached results of every trial in ``spec``; return count."""
+        if self.cache_dir is None:
+            return 0
+        removed = 0
+        for trial in spec.expand():
+            path = self._cache_path(trial)
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    workers: int = 1,
+    executor: str = "process",
+    cache_dir=None,
+    progress=None,
+) -> ExperimentReport:
+    """Convenience one-call wrapper around :class:`ExperimentRunner`."""
+    runner = ExperimentRunner(workers=workers, executor=executor, cache_dir=cache_dir)
+    try:
+        return runner.run(spec, progress=progress)
+    except ReproError:
+        raise
+    except Exception as exc:  # surface worker failures with the library's error type
+        raise ExperimentError(f"experiment {spec.name!r} failed: {exc}") from exc

@@ -1,0 +1,310 @@
+"""Declarative experiment grids (datasets × transforms × algorithms × seeds).
+
+The paper's evidence is a grid: every combination of dataset, distortion
+method (RBT vs. the additive / multiplicative / swapping / geometric
+baselines), clustering algorithm and random seed, scored with the paper's
+privacy and quality metrics.  :class:`ExperimentSpec` describes such a grid
+declaratively (and round-trips through JSON, so a grid is a reviewable
+artifact rather than a script); :meth:`ExperimentSpec.expand` turns it into
+the flat list of independent :class:`TrialSpec` objects the runner executes.
+
+Every :class:`TrialSpec` has a *content hash* — a SHA-256 digest of its
+canonical JSON form — which keys the on-disk result cache: re-running a grid
+after editing one axis only executes the trials whose hashes are new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "AxisSpec",
+    "ExperimentSpec",
+    "TrialSpec",
+    "canonical_json",
+    "content_hash",
+]
+
+#: Bump to invalidate every cached trial result when the trial payload or
+#: the semantics of its execution change.
+CACHE_SCHEMA_VERSION = 1
+
+_NORMALIZERS = ("zscore", "minmax", "none")
+
+
+def canonical_json(payload) -> str:
+    """Serialize ``payload`` to the canonical JSON form used for hashing.
+
+    Keys are sorted and separators are fixed so that logically equal payloads
+    always produce byte-identical text (and therefore equal hashes).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _as_params(value, *, context: str) -> dict:
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise ExperimentError(
+            f"{context}: params must be a JSON object, got {type(value).__name__}"
+        )
+    params = dict(value)
+    for key in params:
+        if not isinstance(key, str):
+            raise ExperimentError(f"{context}: param names must be strings, got {key!r}")
+    return params
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One point on a grid axis: a registry name plus keyword parameters.
+
+    ``AxisSpec("rbt", {"threshold": 0.3})`` names the RBT transform with a
+    pairwise-security threshold of 0.3; ``AxisSpec("kmeans",
+    {"n_clusters": 3})`` names a 3-cluster k-means.  The same shape is used
+    for datasets, transforms and clustering algorithms.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ExperimentError(f"axis entries need a non-empty string name, got {self.name!r}")
+        object.__setattr__(self, "params", _as_params(self.params, context=self.name))
+
+    @classmethod
+    def parse(cls, value, *, axis: str) -> "AxisSpec":
+        """Build an :class:`AxisSpec` from JSON (a string or ``{name, params}``)."""
+        if isinstance(value, str):
+            return cls(value)
+        if isinstance(value, Mapping):
+            unknown = set(value) - {"name", "params"}
+            if unknown:
+                raise ExperimentError(f"{axis} entry has unknown keys {sorted(unknown)}")
+            if "name" not in value:
+                raise ExperimentError(f"{axis} entry is missing its 'name'")
+            return cls(value["name"], _as_params(value.get("params"), context=str(value["name"])))
+        raise ExperimentError(f"{axis} entries must be strings or objects, got {value!r}")
+
+    def canonical(self) -> dict:
+        """JSON-ready ``{name, params}`` dict (params key-sorted via the encoder)."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    @property
+    def label(self) -> str:
+        """Short human-readable form used in tables, e.g. ``rbt(threshold=0.3)``."""
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{key}={self.params[key]}" for key in sorted(self.params))
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent cell of the grid: fully determines one trial run."""
+
+    dataset: AxisSpec
+    transform: AxisSpec
+    algorithm: AxisSpec
+    seed: int
+    normalizer: str = "zscore"
+
+    def canonical(self) -> dict:
+        """The canonical payload that is hashed for caching.
+
+        Includes the cache schema version so that changing the trial
+        execution semantics invalidates stale cached results.
+        """
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "dataset": self.dataset.canonical(),
+            "transform": self.transform.canonical(),
+            "algorithm": self.algorithm.canonical(),
+            "seed": self.seed,
+            "normalizer": self.normalizer,
+        }
+
+    @property
+    def trial_hash(self) -> str:
+        """Content hash of the trial (the cache key)."""
+        return content_hash(self.canonical())
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative grid of trials.
+
+    Attributes
+    ----------
+    name:
+        Grid name; used for output filenames.
+    datasets, transforms, algorithms:
+        The grid axes, each a sequence of :class:`AxisSpec`.
+    seeds:
+        Random seeds; the full cross product is run once per seed.
+    normalizer:
+        Normalization applied before every transform (``zscore``, ``minmax``
+        or ``none``); z-score is the paper's choice.
+    description:
+        Free-text note carried through to the emitted reports.
+    """
+
+    name: str
+    datasets: tuple[AxisSpec, ...]
+    transforms: tuple[AxisSpec, ...]
+    algorithms: tuple[AxisSpec, ...]
+    seeds: tuple[int, ...] = (0,)
+    normalizer: str = "zscore"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ExperimentError("an experiment spec needs a non-empty name")
+        # The name becomes part of report filenames; keep it a plain identifier
+        # so it cannot escape the chosen output directory.
+        if any(sep in self.name for sep in ("/", "\\", "..")) or self.name.startswith("."):
+            raise ExperimentError(
+                f"experiment names must not contain path separators, got {self.name!r}"
+            )
+        for axis, entries in (
+            ("datasets", self.datasets),
+            ("transforms", self.transforms),
+            ("algorithms", self.algorithms),
+        ):
+            entries = tuple(entries)
+            if not entries:
+                raise ExperimentError(f"experiment {self.name!r}: {axis} must not be empty")
+            cells = [canonical_json(entry.canonical()) for entry in entries]
+            if len(set(cells)) != len(cells):
+                raise ExperimentError(
+                    f"experiment {self.name!r}: {axis} contains duplicate entries"
+                )
+            object.__setattr__(self, axis, entries)
+        seeds = tuple(int(seed) for seed in self.seeds)
+        if not seeds:
+            raise ExperimentError(f"experiment {self.name!r}: seeds must not be empty")
+        if len(set(seeds)) != len(seeds):
+            raise ExperimentError(f"experiment {self.name!r}: seeds must be unique, got {seeds}")
+        object.__setattr__(self, "seeds", seeds)
+        if self.normalizer not in _NORMALIZERS:
+            raise ExperimentError(
+                f"experiment {self.name!r}: normalizer must be one of {_NORMALIZERS}, "
+                f"got {self.normalizer!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Grid expansion
+    # ------------------------------------------------------------------ #
+    @property
+    def n_trials(self) -> int:
+        """Size of the expanded grid."""
+        return len(self.datasets) * len(self.transforms) * len(self.algorithms) * len(self.seeds)
+
+    def expand(self) -> tuple[TrialSpec, ...]:
+        """Expand the grid into its independent trials, in deterministic order.
+
+        The order is dataset-major, then transform, algorithm and seed; the
+        runner preserves it regardless of worker count, which is what makes
+        parallel runs byte-identical to serial ones.
+        """
+        return tuple(
+            TrialSpec(
+                dataset=dataset,
+                transform=transform,
+                algorithm=algorithm,
+                seed=seed,
+                normalizer=self.normalizer,
+            )
+            for dataset in self.datasets
+            for transform in self.transforms
+            for algorithm in self.algorithms
+            for seed in self.seeds
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip
+    # ------------------------------------------------------------------ #
+    def canonical(self) -> dict:
+        """JSON-ready form of the whole spec (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "normalizer": self.normalizer,
+            "datasets": [axis.canonical() for axis in self.datasets],
+            "transforms": [axis.canonical() for axis in self.transforms],
+            "algorithms": [axis.canonical() for axis in self.algorithms],
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+        """Build a spec from parsed JSON, validating the schema."""
+        if not isinstance(payload, Mapping):
+            raise ExperimentError(f"an experiment spec must be a JSON object, got {payload!r}")
+        known = {
+            "name",
+            "description",
+            "normalizer",
+            "datasets",
+            "transforms",
+            "algorithms",
+            "seeds",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ExperimentError(f"experiment spec has unknown keys {sorted(unknown)}")
+        missing = {"name", "datasets", "transforms", "algorithms"} - set(payload)
+        if missing:
+            raise ExperimentError(f"experiment spec is missing keys {sorted(missing)}")
+
+        def axis(key: str) -> tuple[AxisSpec, ...]:
+            entries = payload[key]
+            if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+                raise ExperimentError(f"{key} must be a JSON array")
+            return tuple(AxisSpec.parse(entry, axis=key) for entry in entries)
+
+        seeds = payload.get("seeds", (0,))
+        if not isinstance(seeds, Sequence) or isinstance(seeds, (str, bytes)):
+            raise ExperimentError(f"seeds must be a JSON array of integers, got {seeds!r}")
+        if not all(isinstance(seed, int) and not isinstance(seed, bool) for seed in seeds):
+            raise ExperimentError(f"seeds must be a JSON array of integers, got {list(seeds)!r}")
+
+        return cls(
+            name=payload["name"],
+            description=str(payload.get("description", "")),
+            normalizer=str(payload.get("normalizer", "zscore")),
+            datasets=axis("datasets"),
+            transforms=axis("transforms"),
+            algorithms=axis("algorithms"),
+            seeds=tuple(seeds),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from a JSON string."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"invalid experiment spec JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path) -> "ExperimentSpec":
+        """Load a spec from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def save(self, path) -> None:
+        """Write the spec as indented JSON (the reviewable artifact form)."""
+        Path(path).write_text(json.dumps(self.canonical(), indent=2) + "\n", encoding="utf-8")

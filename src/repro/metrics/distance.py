@@ -22,7 +22,7 @@ import numpy as np
 
 from .._validation import as_float_vector, check_positive
 from ..exceptions import ValidationError
-from ..perf.kernels import euclidean_pairwise, pairwise_distances_blocked
+from ..perf.kernels import pairwise_distances_blocked
 
 __all__ = [
     "euclidean_distance",

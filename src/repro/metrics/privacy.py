@@ -94,10 +94,14 @@ def satisfies_threshold(
 
 def _validate_threshold(threshold: tuple[float, float]) -> tuple[float, float]:
     if len(threshold) != 2:
-        raise ThresholdError(f"a pairwise-security threshold needs exactly two values, got {threshold}")
+        raise ThresholdError(
+            f"a pairwise-security threshold needs exactly two values, got {threshold}"
+        )
     rho1, rho2 = float(threshold[0]), float(threshold[1])
     if rho1 <= 0 or rho2 <= 0:
-        raise ThresholdError(f"threshold values must be strictly positive (ρ1, ρ2 > 0), got {threshold}")
+        raise ThresholdError(
+            f"threshold values must be strictly positive (ρ1, ρ2 > 0), got {threshold}"
+        )
     return rho1, rho2
 
 
@@ -184,9 +188,12 @@ def privacy_report(original: DataMatrix, released: DataMatrix, *, ddof: int = 1)
         measurements.append(
             AttributePrivacy(
                 name=name,
-                variance_difference=perturbation_variance(original_column, released_column, ddof=ddof),
+                variance_difference=perturbation_variance(
+                    original_column, released_column, ddof=ddof
+                ),
                 scale_invariant=(
-                    perturbation_variance(original_column, released_column, ddof=ddof) / original_variance
+                    perturbation_variance(original_column, released_column, ddof=ddof)
+                    / original_variance
                     if not np.isclose(original_variance, 0.0)
                     else float("nan")
                 ),

@@ -233,8 +233,10 @@ def normalized_mutual_information(labels_true, labels_pred) -> float:
     nonzero = joint > 0
     outer = np.outer(marginal_true, marginal_pred)
     mutual_information = float(np.sum(joint[nonzero] * np.log(joint[nonzero] / outer[nonzero])))
-    entropy_true = float(-np.sum(marginal_true[marginal_true > 0] * np.log(marginal_true[marginal_true > 0])))
-    entropy_pred = float(-np.sum(marginal_pred[marginal_pred > 0] * np.log(marginal_pred[marginal_pred > 0])))
+    positive_true = marginal_true[marginal_true > 0]
+    positive_pred = marginal_pred[marginal_pred > 0]
+    entropy_true = float(-np.sum(positive_true * np.log(positive_true)))
+    entropy_pred = float(-np.sum(positive_pred * np.log(positive_pred)))
     if entropy_true == 0.0 and entropy_pred == 0.0:
         # Both labelings are single-cluster: trivially identical partitions.
         return 1.0

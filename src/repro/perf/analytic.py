@@ -77,9 +77,8 @@ def pair_moments(attribute_i, attribute_j, *, ddof: int = 1) -> tuple[float, flo
         raise ValidationError("not enough observations for the requested ddof")
     variance_i = float(np.var(attribute_i, ddof=ddof))
     variance_j = float(np.var(attribute_j, ddof=ddof))
-    covariance = float(
-        np.sum((attribute_i - attribute_i.mean()) * (attribute_j - attribute_j.mean())) / denominator
-    )
+    centered_product = (attribute_i - attribute_i.mean()) * (attribute_j - attribute_j.mean())
+    covariance = float(np.sum(centered_product) / denominator)
     return variance_i, variance_j, covariance
 
 
@@ -155,7 +154,9 @@ def threshold_crossings(a: float, b: float, c: float, rho: float) -> np.ndarray:
     return ordered[keep]
 
 
-def _newton_polish(a: float, b: float, c: float, rho: float, theta: float, *, iterations: int = 50) -> float:
+def _newton_polish(
+    a: float, b: float, c: float, rho: float, theta: float, *, iterations: int = 50
+) -> float:
     for _ in range(iterations):
         residual = _curve(a, b, c, theta) - rho
         if residual == 0.0:
@@ -172,7 +173,9 @@ def _newton_polish(a: float, b: float, c: float, rho: float, theta: float, *, it
     return theta
 
 
-def curve_admissible_intervals(a: float, b: float, c: float, rho: float) -> list[tuple[float, float]]:
+def curve_admissible_intervals(
+    a: float, b: float, c: float, rho: float
+) -> list[tuple[float, float]]:
     """Circular intervals where ``f(θ) ≥ ρ``; an end > 360 wraps through 0°."""
     crossings = threshold_crossings(a, b, c, rho)
     if crossings.size == 0:

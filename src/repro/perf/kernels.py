@@ -47,7 +47,9 @@ def resolve_block_size(
     generates; the block size is clamped to ``[1, n_rows]`` so a budget
     smaller than a single row still makes progress one row at a time.
     """
-    budget = DEFAULT_MEMORY_BUDGET_BYTES if memory_budget_bytes is None else int(memory_budget_bytes)
+    budget = (
+        DEFAULT_MEMORY_BUDGET_BYTES if memory_budget_bytes is None else int(memory_budget_bytes)
+    )
     if budget <= 0:
         raise ValidationError(f"memory_budget_bytes must be positive, got {budget}")
     if bytes_per_row <= 0:
@@ -93,7 +95,9 @@ def pairwise_distances_blocked(
 
     m, n = matrix.shape
     out = np.empty((m, m), dtype=float)
-    block = resolve_block_size(m, bytes_per_row=m * n * matrix.itemsize, memory_budget_bytes=memory_budget_bytes)
+    block = resolve_block_size(
+        m, bytes_per_row=m * n * matrix.itemsize, memory_budget_bytes=memory_budget_bytes
+    )
     scratch = np.empty((block, m, n), dtype=float)
     for start in range(0, m, block):
         stop = min(start + block, m)
@@ -164,7 +168,9 @@ def max_abs_distance_difference(
     second_norms = np.einsum("ij,ij->i", second, second)
     # Each block materializes ~4 (block, m) temporaries (two squared-distance
     # blocks and scratch); size the block accordingly.
-    block = resolve_block_size(m, bytes_per_row=4 * m * first.itemsize, memory_budget_bytes=memory_budget_bytes)
+    block = resolve_block_size(
+        m, bytes_per_row=4 * m * first.itemsize, memory_budget_bytes=memory_budget_bytes
+    )
     worst = 0.0
     for start in range(0, m, block):
         stop = min(start + block, m)
@@ -180,8 +186,11 @@ def max_abs_distance_difference(
     return worst
 
 
-def _euclidean_block(matrix: np.ndarray, squared_norms: np.ndarray, start: int, stop: int) -> np.ndarray:
-    squared = squared_norms[start:stop, None] + squared_norms[None, :] - 2.0 * (matrix[start:stop] @ matrix.T)
+def _euclidean_block(
+    matrix: np.ndarray, squared_norms: np.ndarray, start: int, stop: int
+) -> np.ndarray:
+    cross = matrix[start:stop] @ matrix.T
+    squared = squared_norms[start:stop, None] + squared_norms[None, :] - 2.0 * cross
     np.maximum(squared, 0.0, out=squared)
     return np.sqrt(squared, out=squared)
 

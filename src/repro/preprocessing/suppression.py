@@ -69,6 +69,9 @@ class IdentifierSuppressor:
         )
 
 
-def suppress_identifiers(data, columns: Iterable[str] | None = None, *, drop_object_ids: bool = False):
+def suppress_identifiers(
+    data, columns: Iterable[str] | None = None, *, drop_object_ids: bool = False
+):
     """One-shot identifier suppression on a :class:`Table` or :class:`DataMatrix`."""
-    return IdentifierSuppressor(list(columns or []), drop_object_ids=drop_object_ids).transform(data)
+    suppressor = IdentifierSuppressor(list(columns or []), drop_object_ids=drop_object_ids)
+    return suppressor.transform(data)

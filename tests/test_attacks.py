@@ -78,19 +78,25 @@ class TestBruteForceAngleAttack:
     def test_work_grows_with_resolution(self, release):
         normalized, released = release
         cheap = BruteForceAngleAttack(angle_resolution=8, max_pairings=2).run(released, normalized)
-        expensive = BruteForceAngleAttack(angle_resolution=24, max_pairings=2).run(released, normalized)
+        expensive = BruteForceAngleAttack(angle_resolution=24, max_pairings=2).run(
+            released, normalized
+        )
         assert expensive.work > cheap.work
 
     def test_reports_hypothesis(self, release):
         normalized, released = release
-        result = BruteForceAngleAttack(angle_resolution=12, max_pairings=3).run(released, normalized)
+        result = BruteForceAngleAttack(angle_resolution=12, max_pairings=3).run(
+            released, normalized
+        )
         assert "pairing" in result.details
         assert "angles_degrees" in result.details
         assert result.error > 0.0
 
     def test_coarse_attack_does_not_breach(self, release):
         normalized, released = release
-        result = BruteForceAngleAttack(angle_resolution=12, max_pairings=4).run(released, normalized)
+        result = BruteForceAngleAttack(angle_resolution=12, max_pairings=4).run(
+            released, normalized
+        )
         assert not result.succeeded
 
     def test_two_attribute_case_matches_statistics_but_not_values(self, rng):

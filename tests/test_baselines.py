@@ -109,7 +109,8 @@ class TestTranslation:
         # Var(X − X') measure, because the difference is a constant.
         released = TranslationPerturbation(random_state=0).perturb(normalized)
         for name in normalized.columns:
-            assert perturbation_variance(normalized.column(name), released.column(name)) == pytest.approx(0.0, abs=1e-12)
+            variance = perturbation_variance(normalized.column(name), released.column(name))
+            assert variance == pytest.approx(0.0, abs=1e-12)
 
     def test_offset_count_checked(self):
         data = DataMatrix([[1.0, 2.0]])
@@ -124,7 +125,8 @@ class TestScaling:
         assert np.allclose(released.values, [[2.0, 1.0], [6.0, 2.0]])
 
     def test_distorts_distances_anisotropically(self, normalized):
-        released = ScalingPerturbation(factors=[5.0] + [1.0] * (normalized.n_attributes - 1)).perturb(normalized)
+        factors = [5.0] + [1.0] * (normalized.n_attributes - 1)
+        released = ScalingPerturbation(factors=factors).perturb(normalized)
         assert not np.allclose(
             dissimilarity_matrix(normalized.values),
             dissimilarity_matrix(released.values),

@@ -89,7 +89,8 @@ class TestTransformCommand:
         input_path, _ = vitals_csv
         output = tmp_path / "released.csv"
         code = main(
-            ["transform", str(input_path), str(output), "--normalizer", "minmax", "--threshold", "0.05", "--seed", "2"]
+            ["transform", str(input_path), str(output)]
+            + ["--normalizer", "minmax", "--threshold", "0.05", "--seed", "2"]
         )
         assert code == 0
 
@@ -112,9 +113,8 @@ class TestInvertCommand:
         secret_path = tmp_path / "secret.json"
         restored_path = tmp_path / "restored.csv"
 
-        assert main(
-            ["transform", str(input_path), str(released_path), "--seed", "3", "--secret", str(secret_path)]
-        ) == 0
+        transform_argv = ["transform", str(input_path), str(released_path)]
+        assert main(transform_argv + ["--seed", "3", "--secret", str(secret_path)]) == 0
         assert main(
             ["invert", str(released_path), str(restored_path), "--secret", str(secret_path)]
         ) == 0
@@ -126,7 +126,10 @@ class TestInvertCommand:
     def test_secret_file_contents(self, vitals_csv, tmp_path):
         input_path, _ = vitals_csv
         secret_path = tmp_path / "secret.json"
-        main(["transform", str(input_path), str(tmp_path / "r.csv"), "--seed", "3", "--secret", str(secret_path)])
+        main(
+            ["transform", str(input_path), str(tmp_path / "r.csv")]
+            + ["--seed", "3", "--secret", str(secret_path)]
+        )
         secret = RBTSecret.load(secret_path)
         assert len(secret.steps) == 3  # 6 attributes -> 3 pairs
 
@@ -163,7 +166,8 @@ class TestClusterCommand:
         input_path, original = vitals_csv
         labels_path = tmp_path / f"labels_{algorithm}.csv"
         code = main(
-            ["cluster", str(input_path), str(labels_path), "--algorithm", algorithm, "--k", "3", "--seed", "0"]
+            ["cluster", str(input_path), str(labels_path)]
+            + ["--algorithm", algorithm, "--k", "3", "--seed", "0"]
         )
         assert code == 0
         lines = labels_path.read_text().strip().splitlines()

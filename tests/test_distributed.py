@@ -143,7 +143,10 @@ class TestVerticallyPartitionedKMeans:
 class TestGaussianMixtureModel:
     def test_fits_two_component_mixture(self, rng):
         data = np.vstack(
-            [rng.normal(loc=0.0, scale=0.5, size=(200, 2)), rng.normal(loc=8.0, scale=0.5, size=(200, 2))]
+            [
+                rng.normal(loc=0.0, scale=0.5, size=(200, 2)),
+                rng.normal(loc=8.0, scale=0.5, size=(200, 2)),
+            ]
         )
         model = GaussianMixtureModel(n_components=2, random_state=0).fit(data)
         means = np.sort(model.means_[:, 0])

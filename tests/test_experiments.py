@@ -1,0 +1,362 @@
+"""Tests for the experiment-orchestration subsystem (repro.experiments)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    AxisSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    TrialSpec,
+    builtin_spec,
+    content_hash,
+    run_experiment,
+    run_trial,
+)
+from repro.experiments.registry import (
+    available_algorithms,
+    available_datasets,
+    available_transforms,
+    build_algorithm,
+    build_dataset,
+    build_transform,
+    derive_seed,
+)
+
+
+def small_spec(seeds=(0,)) -> ExperimentSpec:
+    """A tiny but multi-axis grid used throughout these tests."""
+    return ExperimentSpec(
+        name="unit",
+        datasets=(AxisSpec("blobs", {"n_objects": 30, "n_attributes": 4, "n_clusters": 3}),),
+        transforms=(AxisSpec("rbt", {"threshold": 0.25}), AxisSpec("none")),
+        algorithms=(AxisSpec("kmeans", {"n_clusters": 3}), AxisSpec("dbscan", {"eps": 1.5})),
+        seeds=seeds,
+    )
+
+
+class TestSpec:
+    def test_expansion_size_and_order(self):
+        spec = small_spec(seeds=(0, 1))
+        trials = spec.expand()
+        assert len(trials) == spec.n_trials == 1 * 2 * 2 * 2
+        # dataset-major, then transform, algorithm, seed
+        assert [t.transform.name for t in trials] == ["rbt"] * 4 + ["none"] * 4
+        assert [t.seed for t in trials[:4]] == [0, 1, 0, 1]
+
+    def test_hash_is_stable_and_discriminating(self):
+        trials = small_spec(seeds=(0, 1)).expand()
+        hashes = {t.trial_hash for t in trials}
+        assert len(hashes) == len(trials)
+        again = small_spec(seeds=(0, 1)).expand()
+        assert [t.trial_hash for t in again] == [t.trial_hash for t in trials]
+
+    def test_hash_ignores_param_order(self):
+        first = AxisSpec("blobs", {"n_objects": 30, "n_clusters": 3})
+        second = AxisSpec("blobs", {"n_clusters": 3, "n_objects": 30})
+        assert content_hash(first.canonical()) == content_hash(second.canonical())
+
+    def test_json_round_trip(self, tmp_path):
+        spec = small_spec(seeds=(0, 1))
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        loaded = ExperimentSpec.load(path)
+        assert loaded == spec
+        assert [t.trial_hash for t in loaded.expand()] == [t.trial_hash for t in spec.expand()]
+
+    def test_axis_string_shorthand(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "shorthand",
+                "datasets": ["cardiac_sample"],
+                "transforms": ["none"],
+                "algorithms": [{"name": "kmeans", "params": {"n_clusters": 2}}],
+            }
+        )
+        assert spec.datasets[0] == AxisSpec("cardiac_sample")
+        assert spec.seeds == (0,)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"datasets": []},
+            {"typo": 1},
+            {"name": None},
+            {"seeds": [0, 0]},
+            {"seeds": "12"},
+            {"seeds": 5},
+            {"seeds": [0, 1.5]},
+            {"normalizer": "log"},
+            {"name": "results/v1"},
+            {"name": "../escape"},
+            {"transforms": ["none", "none"]},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, overrides):
+        payload = {
+            "name": "x",
+            "datasets": ["blobs"],
+            "transforms": ["none"],
+            "algorithms": ["kmeans"],
+        }
+        payload.update(overrides)
+        if payload["name"] is None:
+            del payload["name"]
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_dict(payload)
+
+
+class TestRegistry:
+    def test_builtin_names_resolve(self):
+        assert "rbt" in available_transforms()
+        assert "kmeans" in available_algorithms()
+        assert "patient_cohorts" in available_datasets()
+
+    def test_unknown_names_raise(self):
+        trial = TrialSpec(
+            dataset=AxisSpec("no_such_dataset"),
+            transform=AxisSpec("none"),
+            algorithm=AxisSpec("kmeans"),
+            seed=0,
+        )
+        with pytest.raises(ExperimentError, match="unknown dataset"):
+            run_trial(trial.canonical())
+
+    def test_bad_params_raise_experiment_error(self):
+        with pytest.raises(ExperimentError, match="bad params"):
+            build_dataset("blobs", {"no_such_param": 1}, seed=0)
+
+    @pytest.mark.parametrize(
+        ("builder", "name", "params"),
+        [
+            (build_transform, "rbt", {"thresholds": 0.5}),
+            (build_transform, "none", {"anything": 1}),
+            (build_algorithm, "kmeans", {"k": 4}),
+            (build_algorithm, "dbscan", {"epsilon": 1.0}),
+            (build_algorithm, "hierarchical", {"method": "ward"}),
+        ],
+    )
+    def test_misspelled_params_are_rejected_not_defaulted(self, builder, name, params):
+        with pytest.raises(ExperimentError, match="unknown params"):
+            builder(name, params, seed=0)
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(7, "transform", "rbt") == derive_seed(7, "transform", "rbt")
+        assert derive_seed(7, "transform", "rbt") != derive_seed(7, "transform", "additive")
+
+    def test_same_dataset_across_transforms(self):
+        matrix_a, labels_a = build_dataset("blobs", {"n_objects": 30}, seed=3)
+        matrix_b, labels_b = build_dataset("blobs", {"n_objects": 30}, seed=3)
+        assert (matrix_a.values == matrix_b.values).all()
+        assert (labels_a == labels_b).all()
+
+
+class TestRunTrial:
+    def test_rbt_trial_goes_through_pipeline(self):
+        trial = small_spec().expand()[0]
+        row = run_trial(trial.canonical())
+        assert row["hash"] == trial.trial_hash
+        assert row["distance"]["preserved"] is True
+        assert row["security_range"]["n_pairs"] == 2
+        assert row["clustering"]["truth_released"]["adjusted_rand"] is not None
+
+    def test_none_transform_is_the_identity(self):
+        trial = small_spec().expand()[2]
+        assert trial.transform.name == "none"
+        row = run_trial(trial.canonical())
+        assert row["privacy"]["mean_variance_difference"] == 0.0
+        assert row["clustering"]["identical"] is True
+        assert row["security_range"] is None
+
+    def test_row_is_json_serializable_and_deterministic(self):
+        trial = small_spec().expand()[1]
+        first = json.dumps(run_trial(trial.canonical()), sort_keys=True)
+        second = json.dumps(run_trial(trial.canonical()), sort_keys=True)
+        assert first == second
+
+
+class TestRunnerCache:
+    def test_second_run_executes_zero_trials(self, tmp_path):
+        spec = small_spec()
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache")
+        first = runner.run(spec)
+        assert (first.executed, first.cached) == (spec.n_trials, 0)
+        second = runner.run(spec)
+        assert (second.executed, second.cached) == (0, spec.n_trials)
+        assert second.results.to_json() == first.results.to_json()
+
+    def test_editing_one_axis_is_incremental(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache")
+        runner.run(small_spec())
+        extended = small_spec(seeds=(0, 1))
+        report = runner.run(extended)
+        assert report.cached == small_spec().n_trials
+        assert report.executed == extended.n_trials - small_spec().n_trials
+
+    def test_corrupt_cache_entries_are_recomputed(self, tmp_path):
+        cache = tmp_path / "cache"
+        runner = ExperimentRunner(cache_dir=cache)
+        runner.run(small_spec())
+        for path in cache.glob("*.json"):
+            path.write_text("{not json", encoding="utf-8")
+        report = runner.run(small_spec())
+        assert report.cached == 0
+        assert report.executed == small_spec().n_trials
+
+    def test_no_cache_dir_always_executes(self):
+        report = run_experiment(small_spec())
+        assert report.cached == 0
+
+    def test_clear_cache(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache")
+        runner.run(small_spec())
+        assert runner.clear_cache(small_spec()) == small_spec().n_trials
+        assert runner.run(small_spec()).cached == 0
+
+
+class TestParallelDeterminism:
+    def test_thread_pool_matches_serial_byte_for_byte(self):
+        spec = small_spec(seeds=(0, 1))
+        serial = ExperimentRunner(workers=1).run(spec)
+        threaded = ExperimentRunner(workers=4, executor="thread").run(spec)
+        assert threaded.results.to_json() == serial.results.to_json()
+        assert threaded.results.to_markdown() == serial.results.to_markdown()
+
+    def test_process_pool_matches_serial_byte_for_byte(self):
+        spec = small_spec()
+        serial = ExperimentRunner(workers=1).run(spec)
+        processes = ExperimentRunner(workers=2, executor="process").run(spec)
+        assert processes.results.to_json() == serial.results.to_json()
+
+    def test_cache_written_by_parallel_run_serves_serial_run(self, tmp_path):
+        spec = small_spec()
+        parallel = ExperimentRunner(workers=4, executor="thread", cache_dir=tmp_path)
+        parallel.run(spec)
+        serial = ExperimentRunner(workers=1, cache_dir=tmp_path).run(spec)
+        assert (serial.executed, serial.cached) == (0, spec.n_trials)
+
+    def test_invalid_runner_configuration(self):
+        with pytest.raises(ExperimentError):
+            ExperimentRunner(workers=0)
+        with pytest.raises(ExperimentError):
+            ExperimentRunner(executor="fork")
+
+
+class TestResultsTable:
+    def test_markdown_structure(self):
+        report = run_experiment(small_spec())
+        markdown = report.results.to_markdown()
+        assert "# Experiment results — unit" in markdown
+        assert "## Clustering quality" in markdown
+        assert "## Privacy and distance preservation" in markdown
+        assert "| rbt(threshold=0.25) |" in markdown
+
+    def test_json_structure_and_aggregates(self):
+        report = run_experiment(small_spec(seeds=(0, 1)))
+        payload = json.loads(report.results.to_json())
+        assert payload["n_trials"] == 8
+        assert len(payload["trials"]) == 8
+        aggregates = payload["aggregates"]
+        assert len(aggregates) == 4  # 1 dataset x 2 transforms x 2 algorithms
+        rbt_kmeans = next(
+            row
+            for row in aggregates
+            if row["transform"].startswith("rbt") and row["algorithm"].startswith("kmeans")
+        )
+        assert rbt_kmeans["n_seeds"] == 2
+        assert rbt_kmeans["distances_preserved"] is True
+        assert rbt_kmeans["misclassification"] == 0.0
+
+    def test_aggregate_order_is_grid_order(self):
+        report = run_experiment(small_spec())
+        aggregates = report.results.aggregate()
+        cells = [(row["transform"], row["algorithm"]) for row in aggregates]
+        transforms = ["rbt(threshold=0.25)", "none"]
+        algorithms = ["kmeans(n_clusters=3)", "dbscan(eps=1.5)"]
+        assert cells == [(t, a) for t in transforms for a in algorithms]
+
+
+class TestBuiltinSpecs:
+    def test_smoke_spec_runs(self):
+        report = run_experiment(builtin_spec("smoke"))
+        assert report.total == 2
+
+    def test_paper_grid_shape(self):
+        spec = builtin_spec("paper_grid")
+        assert spec.n_trials == 160
+        names = {axis.name for axis in spec.transforms}
+        assert {"rbt", "additive", "multiplicative", "swapping", "rotation"} <= names
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ExperimentError, match="unknown built-in"):
+            builtin_spec("nope")
+
+
+class TestCLI:
+    def test_experiment_subcommand_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "out"
+        argv = ["experiment", "smoke", "--output-dir", str(out), "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 trials (2 executed, 0 from cache)" in first
+        assert (out / "smoke.json").exists()
+        assert (out / "smoke.md").exists()
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 trials (0 executed, 2 from cache)" in second
+
+    def test_spec_file_and_format_selection(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "grid.json"
+        small_spec().save(spec_path)
+        out = tmp_path / "out"
+        argv = [
+            "experiment",
+            str(spec_path),
+            "--output-dir",
+            str(out),
+            "--format",
+            "json",
+            "--no-cache",
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert (out / "unit.json").exists()
+        assert not (out / "unit.md").exists()
+
+    def test_missing_spec_file_is_reported(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", str(tmp_path / "absent.json"), "--quiet"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "built-in" in err
+
+    def test_directory_named_like_builtin_does_not_shadow_it(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "smoke").mkdir()  # e.g. a previous --output-dir
+        argv = ["experiment", "smoke", "--output-dir", str(tmp_path / "out"), "--quiet"]
+        assert main(argv) == 0
+        assert "2 trials" in capsys.readouterr().out
+
+    def test_local_file_wins_over_builtin_name(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        shadow = small_spec()  # name "unit", 4 trials vs smoke's 2
+        shadow.save(tmp_path / "smoke")
+        argv = ["experiment", "smoke", "--output-dir", str(tmp_path / "out"), "--quiet"]
+        assert main(argv) == 0
+        assert "4 trials" in capsys.readouterr().out
+        assert (tmp_path / "out" / "unit.json").exists()

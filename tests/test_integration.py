@@ -14,7 +14,7 @@ from repro.attacks import KnownSampleAttack, RenormalizationAttack
 from repro.baselines import AdditiveNoisePerturbation
 from repro.clustering import DBSCAN, AgglomerativeClustering, KMeans, KMedoids
 from repro.core import RBT
-from repro.data import ColumnRole, DataMatrix, Schema, Table
+from repro.data import ColumnRole, Schema, Table
 from repro.data.datasets import (
     make_customer_segments,
     make_patient_cohorts,

@@ -174,5 +174,7 @@ class TestRecordsRoundTrip:
             DataMatrix.from_records([])
 
     def test_round_trip(self, matrix):
-        rebuilt = DataMatrix.from_records(matrix.to_records(), columns=list(matrix.columns), id_field="id")
+        rebuilt = DataMatrix.from_records(
+            matrix.to_records(), columns=list(matrix.columns), id_field="id"
+        )
         assert rebuilt == matrix

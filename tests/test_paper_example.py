@@ -83,8 +83,9 @@ class TestFigures2And3SecurityRanges:
 
     def test_figure3_range_reproduces(self, paper_release):
         security_range = paper_release.records[1].security_range
-        assert security_range.lower_bound == pytest.approx(PAPER_SECURITY_RANGE2_DEGREES[0], abs=0.05)
-        assert security_range.upper_bound == pytest.approx(PAPER_SECURITY_RANGE2_DEGREES[1], abs=0.05)
+        lower, upper = PAPER_SECURITY_RANGE2_DEGREES
+        assert security_range.lower_bound == pytest.approx(lower, abs=0.05)
+        assert security_range.upper_bound == pytest.approx(upper, abs=0.05)
 
     def test_paper_thetas_lie_in_their_ranges(self, paper_release):
         assert paper_release.records[0].security_range.contains(PAPER_THETA1_DEGREES)

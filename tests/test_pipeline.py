@@ -7,7 +7,7 @@ import pytest
 
 from repro.clustering import AgglomerativeClustering, KMeans, KMedoids
 from repro.core import RBT
-from repro.data import ColumnRole, DataMatrix, Schema, Table
+from repro.data import ColumnRole, Schema, Table
 from repro.data.datasets import load_cardiac_sample_table, make_patient_cohorts
 from repro.exceptions import ValidationError
 from repro.pipeline import PPCPipeline
@@ -92,7 +92,11 @@ class TestRunOnTable:
         )
         table = Table(
             schema,
-            {"ssn": ["a", "b", "c", "d"], "age": [20.0, 30.0, 40.0, 50.0], "weight": [60.0, 62.0, 81.0, 93.0]},
+            {
+                "ssn": ["a", "b", "c", "d"],
+                "age": [20.0, 30.0, 40.0, 50.0],
+                "weight": [60.0, 62.0, 81.0, 93.0],
+            },
         )
         bundle = PPCPipeline(RBT(thresholds=0.2, random_state=0)).run(table)
         assert "ssn" not in bundle.released.columns

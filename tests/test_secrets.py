@@ -74,7 +74,9 @@ class TestApplyAndInvert:
         # New records normalized in the same space can be released consistently.
         secret = RBTSecret.from_result(release)
         rng = np.random.default_rng(0)
-        batch = DataMatrix(rng.normal(size=(20, len(release.matrix.columns))), columns=release.matrix.columns)
+        batch = DataMatrix(
+            rng.normal(size=(20, len(release.matrix.columns))), columns=release.matrix.columns
+        )
         released_batch = secret.apply(batch)
         assert np.allclose(
             dissimilarity_matrix(batch.values),

@@ -16,7 +16,6 @@ from repro.core.thresholds import PairwiseSecurityThreshold
 from repro.data.datasets import (
     MEASURED_SECURITY_RANGE1_DEGREES,
     PAPER_PST1,
-    PAPER_PST2,
     PAPER_SECURITY_RANGE2_DEGREES,
     PAPER_THETA1_DEGREES,
 )
