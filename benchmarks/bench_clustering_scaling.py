@@ -1,0 +1,292 @@
+"""Scaling benchmark for the clustering performance layer.
+
+Times the three distance-consuming clustering paths against their seed
+counterparts at several ``m`` scales and *merges* the results into the
+``BENCH_perf.json`` report (``BENCH_perf_quick.json`` in ``--quick`` mode)
+written by ``bench_perf_hotpaths.py``, so the CI regression gate covers
+clustering alongside the compute kernels:
+
+* ``hierarchical_nn_chain`` — NN-chain agglomeration vs the seed's
+  closest-pair rescan (``strategy="naive"``), with the merge history and
+  labels cross-checked for equality on every run;
+* ``dbscan_chunked`` — chunked CSR neighborhoods vs a dense-adjacency seed
+  replica (labels cross-checked bitwise), including tracemalloc peaks;
+* ``dbscan_large_scale`` (full mode) — m=50k DBSCAN under a 512 MiB
+  ``memory_budget_bytes``, the scale the dense path cannot reach;
+* ``distance_cache_pipeline`` — a 3-algorithm ``PPCPipeline.run`` with the
+  shared :class:`~repro.perf.cache.DistanceCache` on vs off (byte-identical
+  outputs cross-checked).
+
+Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_clustering_scaling.py            # full
+    PYTHONPATH=src python benchmarks/bench_clustering_scaling.py --quick    # CI smoke
+
+Headline acceptance number (full mode): NN-chain ≥ 10× faster than the
+naive strategy at m=2000.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow `python benchmarks/bench_clustering_scaling.py` from anywhere
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_perf_hotpaths import best_time, peak_memory, ratio
+
+from repro.clustering import DBSCAN, AgglomerativeClustering, KMedoids
+from repro.core import RBT
+from repro.data import DataMatrix
+from repro.metrics.distance import pairwise_distances
+from repro.perf.cache import DistanceCache
+from repro.pipeline import PPCPipeline
+
+# --------------------------------------------------------------------------- #
+# Seed replica (dense-adjacency DBSCAN; the naive hierarchical strategy is
+# still in the library as AgglomerativeClustering(strategy="naive"))
+# --------------------------------------------------------------------------- #
+
+
+def seed_dense_dbscan(data, eps, min_samples):
+    """The seed DBSCAN: full distance matrix, dense boolean adjacency, BFS."""
+    from collections import deque
+
+    distances = pairwise_distances(data)
+    adjacency = distances <= eps
+    is_core = adjacency.sum(axis=1) >= min_samples
+    n_objects = distances.shape[0]
+    labels = np.full(n_objects, -1, dtype=int)
+    cluster_id = 0
+    for index in range(n_objects):
+        if labels[index] != -1 or not is_core[index]:
+            continue
+        labels[index] = cluster_id
+        queue = deque(np.flatnonzero(adjacency[index]).tolist())
+        while queue:
+            neighbour = queue.popleft()
+            if labels[neighbour] == -1:
+                labels[neighbour] = cluster_id
+                if is_core[neighbour]:
+                    queue.extend(np.flatnonzero(adjacency[neighbour]).tolist())
+        cluster_id += 1
+    return labels
+
+
+# --------------------------------------------------------------------------- #
+# Scenarios
+# --------------------------------------------------------------------------- #
+
+
+def bench_hierarchical(quick: bool) -> list[dict]:
+    rng = np.random.default_rng(10)
+    scales = [400] if quick else [1000, 2000]
+    results = []
+    for m in scales:
+        data = rng.normal(size=(m, 6))
+        naive = AgglomerativeClustering(3, linkage="average", strategy="naive")
+        fast = AgglomerativeClustering(3, linkage="average", strategy="nn-chain")
+        repeats = 2 if m <= 1000 else 1
+        naive_seconds, naive_result = best_time(lambda: naive.fit(data), repeats=repeats)
+        fast_seconds, fast_result = best_time(lambda: fast.fit(data), repeats=3)
+        assert np.array_equal(naive_result.labels, fast_result.labels)
+        assert [(a, b) for a, b, _ in naive_result.metadata["merge_history"]] == [
+            (a, b) for a, b, _ in fast_result.metadata["merge_history"]
+        ]
+        results.append(
+            {
+                "m": m,
+                "linkage": "average",
+                "naive_seconds": naive_seconds,
+                "nn_chain_seconds": fast_seconds,
+                "speedup": ratio(naive_seconds, fast_seconds),
+                "naive_peak_bytes": peak_memory(lambda: naive.fit(data)),
+                "nn_chain_peak_bytes": peak_memory(lambda: fast.fit(data)),
+            }
+        )
+    return results
+
+
+def bench_dbscan(quick: bool) -> list[dict]:
+    rng = np.random.default_rng(11)
+    # The chunked path's budget is squeezed below the dense working set so
+    # the peak-memory ratio reflects chunking, not just smaller constants.
+    scales = [(800, 2 * 2**20)] if quick else [(2500, 8 * 2**20), (5000, 16 * 2**20)]
+    eps, min_samples = 0.7, 5
+    results = []
+    for m, budget in scales:
+        data = rng.normal(size=(m, 4))
+        chunked = DBSCAN(eps=eps, min_samples=min_samples, memory_budget_bytes=budget)
+        dense_seconds, dense_labels = best_time(
+            lambda: seed_dense_dbscan(data, eps, min_samples), repeats=2
+        )
+        chunked_seconds, chunked_result = best_time(lambda: chunked.fit(data), repeats=2)
+        assert np.array_equal(dense_labels, chunked_result.labels)
+        dense_peak = peak_memory(lambda: seed_dense_dbscan(data, eps, min_samples))
+        chunked_peak = peak_memory(lambda: chunked.fit(data))
+        results.append(
+            {
+                "m": m,
+                "memory_budget_bytes": budget,
+                "dense_seconds": dense_seconds,
+                "chunked_seconds": chunked_seconds,
+                "speedup": ratio(dense_seconds, chunked_seconds),
+                "dense_peak_bytes": dense_peak,
+                "chunked_peak_bytes": chunked_peak,
+                "peak_memory_ratio": ratio(dense_peak, chunked_peak),
+            }
+        )
+    return results
+
+
+def bench_dbscan_large(quick: bool) -> dict | None:
+    if quick:
+        return None
+    rng = np.random.default_rng(12)
+    m, budget = 50_000, 512 * 2**20
+    data = rng.uniform(size=(m, 2))
+    algorithm = DBSCAN(eps=0.008, min_samples=5, memory_budget_bytes=budget)
+    seconds, result = best_time(lambda: algorithm.fit(data), repeats=1)
+    peak = peak_memory(lambda: algorithm.fit(data))
+    return {
+        "m": m,
+        "memory_budget_bytes": budget,
+        "seconds": seconds,
+        "peak_bytes": peak,
+        "peak_within_budget": bool(peak <= budget),
+        "n_clusters": result.n_clusters,
+        "n_noise": int(result.metadata["n_noise"]),
+    }
+
+
+def bench_distance_cache(quick: bool) -> dict:
+    rng = np.random.default_rng(13)
+    m = 300 if quick else 1200
+    data = DataMatrix(rng.normal(size=(m, 8)))
+
+    def algorithms():
+        return [
+            KMedoids(3, random_state=0, n_init=2, metric="manhattan"),
+            AgglomerativeClustering(3, metric="manhattan"),
+            DBSCAN(eps=3.5, min_samples=5, metric="manhattan"),
+        ]
+
+    def run(cache):
+        return PPCPipeline(RBT(random_state=0), distance_cache=cache).run(
+            data, algorithms=algorithms()
+        )
+
+    uncached_seconds, uncached_bundle = best_time(lambda: run(False), repeats=2)
+    # A fresh cache per timed repeat: the measured speedup must reflect the
+    # per-run 6->2 matrix sharing PPCPipeline(distance_cache=True) actually
+    # delivers, not a cross-run warm cache no default pipeline ever sees.
+    caches: list[DistanceCache] = []
+
+    def cached_run():
+        caches.append(DistanceCache())
+        return run(caches[-1])
+
+    cached_seconds, cached_bundle = best_time(cached_run, repeats=2)
+    assert cached_bundle.summary() == uncached_bundle.summary()
+    stats = caches[-1].stats
+    return {
+        "m": m,
+        "n_algorithms": 3,
+        "metric": "manhattan",
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": ratio(uncached_seconds, cached_seconds),
+        "matrices_computed_uncached": 6,  # 3 algorithms x (normalized, released)
+        "matrices_computed_cached": stats["misses"],
+        "cache_hits": stats["hits"],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+
+
+def run(quick: bool) -> dict:
+    scenarios = {
+        "hierarchical_nn_chain": bench_hierarchical,
+        "dbscan_chunked": bench_dbscan,
+        "dbscan_large_scale": bench_dbscan_large,
+        "distance_cache_pipeline": bench_distance_cache,
+    }
+    results = {}
+    for name, scenario in scenarios.items():
+        print(f"[bench] {name} ...", flush=True)
+        outcome = scenario(quick)
+        if outcome is not None:
+            results[name] = outcome
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help=(
+            "directory of the JSON report to merge into (default: the repo root); "
+            "the file is BENCH_perf.json, or BENCH_perf_quick.json in --quick mode"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output = output_dir / ("BENCH_perf_quick.json" if args.quick else "BENCH_perf.json")
+    if output.exists():
+        report = json.loads(output.read_text(encoding="utf-8"))
+        if report.get("mode") != mode:
+            print(
+                f"error: {output} is a {report.get('mode')!r}-mode report; "
+                f"refusing to merge {mode!r}-mode results into it",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        report = {"mode": mode, "hot_paths": {}}
+
+    report["hot_paths"].update(run(args.quick))
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nmerged clustering results into {output}")
+    for case in report["hot_paths"]["hierarchical_nn_chain"]:
+        print(f"  hierarchical m={case['m']}: nn-chain {case['speedup']:.1f}x vs naive")
+    for case in report["hot_paths"]["dbscan_chunked"]:
+        print(
+            f"  dbscan m={case['m']}: {case['speedup']:.2f}x speed, "
+            f"{case['peak_memory_ratio']:.1f}x lower peak memory"
+        )
+    large = report["hot_paths"].get("dbscan_large_scale")
+    if large:
+        print(
+            f"  dbscan m={large['m']}: {large['seconds']:.1f}s, "
+            f"peak {large['peak_bytes'] / 2**20:.0f} MiB "
+            f"(within budget: {large['peak_within_budget']})"
+        )
+    cache_case = report["hot_paths"]["distance_cache_pipeline"]
+    print(
+        f"  distance cache m={cache_case['m']}: {cache_case['speedup']:.2f}x pipeline, "
+        f"{cache_case['matrices_computed_cached']} matrices computed instead of "
+        f"{cache_case['matrices_computed_uncached']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,8 +11,15 @@ provides four classic algorithms, all built on the same distance substrate
 * :class:`KMedoids` — PAM-style alternation working purely on the
   dissimilarity matrix.
 * :class:`AgglomerativeClustering` — bottom-up hierarchical clustering with
-  single / complete / average / Ward linkage.
-* :class:`DBSCAN` — density-based clustering (labels noise as ``-1``).
+  single / complete / average / Ward linkage (O(n²) nearest-neighbor-chain
+  by default, the seed's closest-pair rescan as ``strategy="naive"``).
+* :class:`DBSCAN` — density-based clustering (labels noise as ``-1``),
+  built on chunked CSR neighborhoods so large ``m`` never materializes a
+  dense adjacency.
+
+The three dissimilarity-matrix consumers accept a shared
+:class:`~repro.perf.cache.DistanceCache` (``distance_cache=``) so one
+(dataset, metric) matrix serves every algorithm in a pipeline run.
 """
 
 from .base import ClusteringAlgorithm, ClusteringResult

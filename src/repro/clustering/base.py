@@ -15,6 +15,7 @@ import numpy as np
 
 from .._validation import as_float_matrix
 from ..data import DataMatrix
+from ..metrics.distance import pairwise_distances
 
 __all__ = ["ClusteringAlgorithm", "ClusteringResult"]
 
@@ -57,6 +58,13 @@ class ClusteringAlgorithm(ABC):
     #: Human-readable algorithm name used in reports and benchmark output.
     name: str = "clustering"
 
+    #: Optional :class:`~repro.perf.cache.DistanceCache` shared across
+    #: algorithms; when set, :meth:`_pairwise` serves the dissimilarity
+    #: matrix from it instead of recomputing.  ``PPCPipeline`` and the
+    #: experiment runner inject a per-run cache here so every algorithm
+    #: clustering the same (dataset, metric) shares one matrix.
+    distance_cache = None
+
     @abstractmethod
     def fit(self, data) -> ClusteringResult:
         """Cluster ``data`` and return a :class:`ClusteringResult`."""
@@ -71,3 +79,15 @@ class ClusteringAlgorithm(ABC):
         if isinstance(data, DataMatrix):
             return data.values.copy()
         return as_float_matrix(data, name="data")
+
+    def _pairwise(self, array: np.ndarray) -> np.ndarray:
+        """Dissimilarity matrix of ``array`` under ``self.metric``.
+
+        Served from :attr:`distance_cache` when one is attached (the cached
+        matrix is read-only — copy before mutating), computed fresh
+        otherwise.  Cached and uncached paths produce byte-identical values.
+        """
+        metric = getattr(self, "metric", "euclidean")
+        if self.distance_cache is not None:
+            return self.distance_cache.pairwise(array, metric=metric)
+        return pairwise_distances(array, metric=metric)

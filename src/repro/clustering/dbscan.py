@@ -5,6 +5,14 @@ fall below ``eps`` — another purely distance-based criterion, so an isometric
 transformation such as RBT leaves the clustering unchanged (core points stay
 core points, noise stays noise).  Included to demonstrate Corollary 1 beyond
 centroid-based algorithms.
+
+Neighborhoods come from the chunked kernels in :mod:`repro.perf.kernels` as
+compressed (CSR) index lists: distances are computed block-row-wise under
+``memory_budget_bytes`` and thresholded on the fly, so neither the full
+``(m, m)`` distance matrix nor a dense boolean adjacency is materialized.
+That bounds peak memory by the budget plus the neighbor lists and makes
+``m`` in the tens of thousands practical; the cluster expansion itself walks
+the index lists and is identical to a dense-adjacency breadth-first search.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ import numpy as np
 
 from .._validation import check_integer_in_range, check_positive
 from ..exceptions import ClusteringError
-from ..metrics.distance import pairwise_distances
+from ..perf.kernels import radius_neighbors_blocked, radius_neighbors_from_distances
 from .base import ClusteringAlgorithm, ClusteringResult
 
 __all__ = ["DBSCAN"]
@@ -39,6 +47,17 @@ class DBSCAN(ClusteringAlgorithm):
     precomputed:
         When ``True`` the input to :meth:`fit` is a precomputed dissimilarity
         matrix.
+    memory_budget_bytes:
+        Cap on the largest temporary the chunked neighborhood kernel may
+        materialize (default 64 MiB; see :mod:`repro.perf.kernels`).
+    distance_cache:
+        Optional :class:`~repro.perf.cache.DistanceCache`.  DBSCAN only
+        *reads* the cache: if another consumer (k-medoids, hierarchical)
+        already paid for the full matrix of this (data, metric), it is
+        reused and thresholded block-wise; otherwise neighborhoods are built
+        directly from the coordinates and the O(m²) matrix is never
+        materialized — attaching a cache can never break the
+        ``memory_budget_bytes`` bound.
     """
 
     name = "dbscan"
@@ -50,11 +69,15 @@ class DBSCAN(ClusteringAlgorithm):
         *,
         metric: str = "euclidean",
         precomputed: bool = False,
+        memory_budget_bytes: int | None = None,
+        distance_cache=None,
     ) -> None:
         self.eps = check_positive(eps, name="eps")
         self.min_samples = check_integer_in_range(min_samples, name="min_samples", minimum=1)
         self.metric = metric
         self.precomputed = bool(precomputed)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.distance_cache = distance_cache
 
     def fit(self, data) -> ClusteringResult:
         """Cluster ``data``; noise points receive the label ``-1``."""
@@ -64,13 +87,30 @@ class DBSCAN(ClusteringAlgorithm):
                 raise ClusteringError(
                     f"a precomputed dissimilarity matrix must be square, got {distances.shape}"
                 )
+            n_objects = distances.shape[0]
+            indptr, indices = radius_neighbors_from_distances(
+                distances, self.eps, memory_budget_bytes=self.memory_budget_bytes
+            )
         else:
-            distances = pairwise_distances(self._as_array(data), metric=self.metric)
-        n_objects = distances.shape[0]
-        # One boolean adjacency matrix replaces the per-index list
-        # comprehensions; row sums give the neighbour counts directly.
-        adjacency = distances <= self.eps
-        is_core = adjacency.sum(axis=1) >= self.min_samples
+            array = self._as_array(data)
+            n_objects = array.shape[0]
+            cached = (
+                self.distance_cache.peek(array, metric=self.metric)
+                if self.distance_cache is not None
+                else None
+            )
+            if cached is not None:
+                indptr, indices = radius_neighbors_from_distances(
+                    cached, self.eps, memory_budget_bytes=self.memory_budget_bytes
+                )
+            else:
+                indptr, indices = radius_neighbors_blocked(
+                    array,
+                    self.eps,
+                    metric=self.metric,
+                    memory_budget_bytes=self.memory_budget_bytes,
+                )
+        is_core = np.diff(indptr) >= self.min_samples
 
         labels = np.full(n_objects, NOISE_LABEL, dtype=int)
         cluster_id = 0
@@ -79,13 +119,13 @@ class DBSCAN(ClusteringAlgorithm):
                 continue
             # Breadth-first expansion of a new cluster from this core point.
             labels[index] = cluster_id
-            queue = deque(np.flatnonzero(adjacency[index]).tolist())
+            queue = deque(indices[indptr[index] : indptr[index + 1]].tolist())
             while queue:
                 neighbour = queue.popleft()
                 if labels[neighbour] == NOISE_LABEL:
                     labels[neighbour] = cluster_id
                     if is_core[neighbour]:
-                        queue.extend(np.flatnonzero(adjacency[neighbour]).tolist())
+                        queue.extend(indices[indptr[neighbour] : indptr[neighbour + 1]].tolist())
             cluster_id += 1
 
         n_clusters = int(cluster_id)
@@ -97,6 +137,7 @@ class DBSCAN(ClusteringAlgorithm):
             converged=True,
             metadata={
                 "n_noise": int(np.sum(labels == NOISE_LABEL)),
-                "core_mask": is_core,
+                # A copy: the mask must stay valid even if the caller mutates it.
+                "core_mask": is_core.copy(),
             },
         )

@@ -3,8 +3,35 @@
 Hierarchical clustering consumes only pairwise distances, so — like
 k-medoids — it exercises Corollary 1 directly: an identical dissimilarity
 matrix forces an identical dendrogram and therefore identical flat clusters
-at any cut.  The implementation is a straightforward Lance–Williams update
-over the dissimilarity matrix.
+at any cut.
+
+Two strategies implement the same Lance–Williams agglomeration:
+
+* ``strategy="nn-chain"`` (default) — the nearest-neighbor-chain algorithm.
+  All four supported linkages are *reducible*, so reciprocal nearest
+  neighbors can be merged as soon as they are found and the resulting
+  dendrogram is the one the greedy closest-pair algorithm builds.  The chain
+  walk performs O(n) nearest-neighbor lookups of O(n) each and every merge
+  updates one row of the working matrix in place, for O(n²) total time and
+  no per-merge submatrix copies.
+* ``strategy="naive"`` — the seed implementation: re-scan the active
+  O(a²) submatrix for the globally closest pair before every merge (O(n³)
+  total).  Kept as the reference the fast path is cross-checked against.
+
+Merge histories are reported identically by both strategies (same pairs in
+the same order; see ``_sorted_history`` for how the chain's discovery order
+is canonicalized).  For single/complete linkage the merge distances are
+bitwise equal; for average/ward they agree to floating-point round-off
+because the two strategies associate the same weighted sums in a different
+order.  One caveat: when merge distances tie *exactly*, the greedy strategy
+resolves the tie globally (lexicographically smallest cluster pair) while
+the chain resolves it locally, and the two can return different — equally
+valid — dendrograms.  The simple tie patterns pinned by tests (duplicate
+points, a 1-D unit lattice, well-separated equidistant pairs) agree;
+richer tie structure — e.g. multi-dimensional integer grids — can
+legitimately diverge, so pin ``strategy="naive"`` if exact seed
+reproduction on heavily tied data matters.  Continuous data is tie-free
+almost surely.
 """
 
 from __future__ import annotations
@@ -13,12 +40,12 @@ import numpy as np
 
 from .._validation import check_integer_in_range
 from ..exceptions import ClusteringError
-from ..metrics.distance import pairwise_distances
 from .base import ClusteringAlgorithm, ClusteringResult
 
 __all__ = ["AgglomerativeClustering"]
 
 _LINKAGES = ("single", "complete", "average", "ward")
+_STRATEGIES = ("nn-chain", "naive")
 
 
 class AgglomerativeClustering(ClusteringAlgorithm):
@@ -37,6 +64,13 @@ class AgglomerativeClustering(ClusteringAlgorithm):
     precomputed:
         When ``True`` the input to :meth:`fit` is a precomputed dissimilarity
         matrix.
+    strategy:
+        ``nn-chain`` (default, O(n²)) or ``naive`` (the seed's O(n³)
+        closest-pair rescan).  Both produce the same merge history and
+        labels; see the module docstring for the exact guarantees.
+    distance_cache:
+        Optional :class:`~repro.perf.cache.DistanceCache` consulted for the
+        initial dissimilarity matrix when ``precomputed`` is ``False``.
     """
 
     name = "hierarchical"
@@ -48,15 +82,21 @@ class AgglomerativeClustering(ClusteringAlgorithm):
         linkage: str = "average",
         metric: str = "euclidean",
         precomputed: bool = False,
+        strategy: str = "nn-chain",
+        distance_cache=None,
     ) -> None:
         self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
         if linkage not in _LINKAGES:
             raise ClusteringError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
         if linkage == "ward" and metric != "euclidean":
             raise ClusteringError("ward linkage requires the euclidean metric")
+        if strategy not in _STRATEGIES:
+            raise ClusteringError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
         self.linkage = linkage
         self.metric = metric
         self.precomputed = bool(precomputed)
+        self.strategy = strategy
+        self.distance_cache = distance_cache
 
     def fit(self, data) -> ClusteringResult:
         """Agglomerate ``data`` until ``n_clusters`` clusters remain."""
@@ -67,13 +107,156 @@ class AgglomerativeClustering(ClusteringAlgorithm):
                     f"a precomputed dissimilarity matrix must be square, got {distances.shape}"
                 )
         else:
-            distances = pairwise_distances(self._as_array(data), metric=self.metric)
+            distances = self._pairwise(self._as_array(data))
         n_objects = distances.shape[0]
         if n_objects < self.n_clusters:
             raise ClusteringError(
                 f"cannot form {self.n_clusters} cluster(s) from {n_objects} object(s)"
             )
+        if self.strategy == "naive":
+            return self._fit_naive(distances)
+        return self._fit_nn_chain(distances)
 
+    # ------------------------------------------------------------------ #
+    # Fast path: nearest-neighbor chain
+    # ------------------------------------------------------------------ #
+    def _fit_nn_chain(self, distances: np.ndarray) -> ClusteringResult:
+        n_objects = distances.shape[0]
+        raw = self._nn_chain_merges(distances) if n_objects > self.n_clusters else []
+        history = self._sorted_history(raw, n_objects)
+
+        # Flat cut: replay the (sorted) merges through a union-find whose
+        # representative is the minimum member — exactly the cluster id the
+        # naive strategy carries, so the label numbering matches it.
+        parent = np.arange(n_objects)
+
+        def find(index: int) -> int:
+            root = index
+            while parent[root] != root:
+                root = parent[root]
+            while parent[index] != root:
+                parent[index], index = root, int(parent[index])
+            return root
+
+        for cluster_a, cluster_b, _ in history:
+            root_a, root_b = find(cluster_a), find(cluster_b)
+            keep, drop = (root_a, root_b) if root_a < root_b else (root_b, root_a)
+            parent[drop] = keep
+
+        roots = np.fromiter((find(index) for index in range(n_objects)), dtype=int)
+        labels = np.searchsorted(np.unique(roots), roots)
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=int(np.unique(roots).size),
+            n_iterations=len(history),
+            inertia=float("nan"),
+            converged=True,
+            metadata={"merge_history": history, "linkage": self.linkage},
+        )
+
+    def _nn_chain_merges(self, distances: np.ndarray) -> list[tuple[int, int, float]]:
+        """Full dendrogram via the NN-chain walk; merges in discovery order.
+
+        The working matrix is updated strictly in place: one merge rewrites
+        the kept representative's row/column over the active columns and
+        retires the dropped representative's row/column to ``inf``.  Inactive
+        rows and columns therefore always read ``inf``, which lets the
+        nearest-neighbor lookup be a plain ``argmin`` over the full row.
+        """
+        n_objects = distances.shape[0]
+        working = distances.astype(float, copy=True)
+        np.fill_diagonal(working, np.inf)
+        sizes = np.ones(n_objects)
+        min_member = np.arange(n_objects)
+        active = np.ones(n_objects, dtype=bool)
+
+        merges: list[tuple[int, int, float]] = []
+        chain: list[int] = []
+        while len(merges) < n_objects - 1:
+            if not chain:
+                chain.append(int(np.argmax(active)))  # smallest active representative
+            current = chain[-1]
+            row = working[current]
+            neighbor = int(np.argmin(row))
+            closest = row[neighbor]
+            if len(chain) >= 2 and row[chain[-2]] == closest:
+                neighbor = chain[-2]  # prefer the predecessor on exact ties
+            if len(chain) >= 2 and neighbor == chain[-2]:
+                chain.pop()
+                chain.pop()
+                merges.append(
+                    self._merge_fast(working, sizes, min_member, active, current, neighbor)
+                )
+            else:
+                chain.append(neighbor)
+        return merges
+
+    def _merge_fast(
+        self,
+        working: np.ndarray,
+        sizes: np.ndarray,
+        min_member: np.ndarray,
+        active: np.ndarray,
+        first: int,
+        second: int,
+    ) -> tuple[int, int, float]:
+        """Merge two representatives in place; return the history entry."""
+        merge_distance = float(working[first, second])
+        size_a, size_b = sizes[first], sizes[second]
+        active[first] = False
+        active[second] = False
+        columns = np.flatnonzero(active)
+        d_a = working[first, columns]
+        d_b = working[second, columns]
+        if self.linkage == "single":
+            updated = np.minimum(d_a, d_b)
+        elif self.linkage == "complete":
+            updated = np.maximum(d_a, d_b)
+        elif self.linkage == "average":
+            updated = (size_a * d_a + size_b * d_b) / (size_a + size_b)
+        else:  # ward — same expression, elementwise, as the naive scalar loop
+            size_o = sizes[columns]
+            total = size_a + size_b + size_o
+            d_ab = working[first, second]
+            updated = np.sqrt(
+                ((size_a + size_o) * d_a**2 + (size_b + size_o) * d_b**2 - size_o * d_ab**2)
+                / total
+            )
+        working[first, columns] = updated
+        working[columns, first] = updated
+        working[second, :] = np.inf
+        working[:, second] = np.inf
+        active[first] = True
+        sizes[first] = size_a + size_b
+        id_a, id_b = int(min_member[first]), int(min_member[second])
+        if id_a > id_b:
+            id_a, id_b = id_b, id_a
+        min_member[first] = id_a
+        return (id_a, id_b, merge_distance)
+
+    def _sorted_history(
+        self, raw: list[tuple[int, int, float]], n_objects: int
+    ) -> list[tuple[int, int, float]]:
+        """Canonicalize the chain's discovery order into the naive merge order.
+
+        Reducible linkages admit no inversions, so the greedy strategy merges
+        in non-decreasing distance; sorting by ``(distance, id_a, id_b)``
+        recovers that order (the id tie-break matches the naive ``argmin``'s
+        row-major scan over the sorted active submatrix).  Inputs are
+        validated finite, but ward on a non-metric precomputed matrix can
+        still produce NaN merge distances in either strategy; dropping them
+        mirrors the naive strategy's stop at the first non-finite closest
+        pair.  The cut keeps only the first ``n − n_clusters`` merges.
+        """
+        finite = [entry for entry in raw if np.isfinite(entry[2])]
+        finite.sort(key=lambda entry: (entry[2], entry[0], entry[1]))
+        return finite[: max(0, n_objects - self.n_clusters)]
+
+    # ------------------------------------------------------------------ #
+    # Seed path: closest-pair rescan (the cross-check reference)
+    # ------------------------------------------------------------------ #
+    def _fit_naive(self, distances: np.ndarray) -> ClusteringResult:
+        n_objects = distances.shape[0]
         # Active cluster bookkeeping: each active cluster keeps its member list and size.
         members: dict[int, list[int]] = {index: [index] for index in range(n_objects)}
         sizes: dict[int, int] = {index: 1 for index in range(n_objects)}

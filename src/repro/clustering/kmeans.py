@@ -122,7 +122,7 @@ class KMeans(ClusteringAlgorithm):
             n_iterations=iteration,
             inertia=inertia,
             converged=converged,
-            metadata={"centroids": centroids},
+            metadata={"centroids": centroids.copy()},
         )
 
     # ------------------------------------------------------------------ #

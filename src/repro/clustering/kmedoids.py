@@ -13,7 +13,6 @@ import numpy as np
 
 from .._validation import check_integer_in_range, ensure_rng
 from ..exceptions import ClusteringError
-from ..metrics.distance import pairwise_distances
 from .base import ClusteringAlgorithm, ClusteringResult
 
 __all__ = ["KMedoids"]
@@ -38,6 +37,9 @@ class KMedoids(ClusteringAlgorithm):
     precomputed:
         When ``True`` the input to :meth:`fit` is interpreted as a
         precomputed dissimilarity matrix rather than raw coordinates.
+    distance_cache:
+        Optional :class:`~repro.perf.cache.DistanceCache` consulted for the
+        dissimilarity matrix when ``precomputed`` is ``False``.
     """
 
     name = "kmedoids"
@@ -51,6 +53,7 @@ class KMedoids(ClusteringAlgorithm):
         n_init: int = 5,
         random_state=None,
         precomputed: bool = False,
+        distance_cache=None,
     ) -> None:
         self.n_clusters = check_integer_in_range(n_clusters, name="n_clusters", minimum=1)
         self.metric = metric
@@ -60,6 +63,7 @@ class KMedoids(ClusteringAlgorithm):
         self.n_init = check_integer_in_range(n_init, name="n_init", minimum=1)
         self.random_state = random_state
         self.precomputed = bool(precomputed)
+        self.distance_cache = distance_cache
 
     def fit(self, data) -> ClusteringResult:
         """Run PAM on ``data`` (coordinates or a precomputed dissimilarity matrix)."""
@@ -71,7 +75,7 @@ class KMedoids(ClusteringAlgorithm):
                 )
         else:
             array = self._as_array(data)
-            distances = pairwise_distances(array, metric=self.metric)
+            distances = self._pairwise(array)
         n_objects = distances.shape[0]
         if n_objects < self.n_clusters:
             raise ClusteringError(
@@ -102,15 +106,30 @@ class KMedoids(ClusteringAlgorithm):
             # exact cost ties (e.g. duplicated points) to a different
             # medoid — breaking run-for-run reproducibility with the seed.
             # The loop body itself is fully vectorized per cluster.
+            empty_clusters = []
             for cluster in range(self.n_clusters):
                 members = np.flatnonzero(labels == cluster)
                 if members.size == 0:
-                    # Re-seed an empty cluster at the object farthest from its current medoid.
-                    costs_to_medoid = distances[np.arange(n_objects), medoids[labels]]
-                    new_medoids[cluster] = int(costs_to_medoid.argmax())
+                    empty_clusters.append(cluster)
                     continue
                 within = distances[np.ix_(members, members)]
                 new_medoids[cluster] = members[int(within.sum(axis=1).argmin())]
+            # Re-seed empty clusters only after every member-based update, at
+            # the object farthest from its current medoid.  Objects already
+            # serving as a medoid — carried over, freshly chosen above, or
+            # re-seeded earlier in this pass — are excluded: when distances
+            # tie (duplicate points) a bare argmax lands on another cluster's
+            # medoid and the duplicated medoid permanently collapses the two
+            # clusters.
+            if empty_clusters:
+                costs_to_medoid = distances[np.arange(n_objects), medoids[labels]]
+                for cluster in empty_clusters:
+                    candidates = costs_to_medoid.copy()
+                    candidates[medoids] = -np.inf
+                    candidates[new_medoids] = -np.inf
+                    choice = int(candidates.argmax())
+                    if np.isfinite(candidates[choice]):
+                        new_medoids[cluster] = choice
             new_labels = distances[:, new_medoids].argmin(axis=1)
             if np.array_equal(new_medoids, medoids) and np.array_equal(new_labels, labels):
                 converged = True

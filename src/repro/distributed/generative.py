@@ -257,7 +257,9 @@ class GenerativeModelClustering:
             n_iterations=central_result.n_iterations,
             inertia=float("nan"),
             converged=central_result.converged,
-            metadata={"centroids": centroids, "n_sites": len(partitions)},
+            # A copy — sharing one array with ``central_result``'s metadata
+            # would let mutating either result corrupt the other.
+            metadata={"centroids": centroids.copy(), "n_sites": len(partitions)},
         )
         return result, log
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..core import RBT
 from ..exceptions import ExperimentError, ReproError
 from ..metrics import adjusted_rand_index, misclassification_error, privacy_report
+from ..perf.cache import DistanceCache
 from ..perf.kernels import max_abs_distance_difference
 from ..pipeline import PPCPipeline
 from ..preprocessing import MinMaxNormalizer, ZScoreNormalizer
@@ -85,11 +86,24 @@ def run_trial(payload: dict) -> dict:
     matrix, truth = build_dataset(trial.dataset.name, trial.dataset.params, trial.seed)
     transformer = build_transform(trial.transform.name, trial.transform.params, trial.seed)
     algorithm = build_algorithm(trial.algorithm.name, trial.algorithm.params, trial.seed)
+    # One distance cache per trial: when the transform leaves bytes intact
+    # (identity/"none"), the algorithm's normalized and released fits share
+    # one (dataset, metric) matrix instead of recomputing it.  DBSCAN only
+    # ever *reads* the cache, so its chunked memory bound survives the
+    # injection.  Trials never share a cache, so the process pool and the
+    # byte-determinism guarantees are unaffected.
+    cache = DistanceCache()
+    if getattr(algorithm, "distance_cache", False) is None:
+        algorithm.distance_cache = cache
 
     security_range = None
     if isinstance(transformer, RBT):
         # RBT releases go through the owner pipeline of Figure 1 end to end.
-        pipeline = PPCPipeline(rbt=transformer, normalizer=_make_normalizer(trial.normalizer))
+        pipeline = PPCPipeline(
+            rbt=transformer,
+            normalizer=_make_normalizer(trial.normalizer),
+            distance_cache=cache,
+        )
         bundle = pipeline.run(matrix)
         normalized, released = bundle.normalized, bundle.released
         privacy = bundle.privacy

@@ -32,8 +32,9 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached trial result when the trial payload or
-#: the semantics of its execution change.
-CACHE_SCHEMA_VERSION = 1
+#: the semantics of its execution change.  2: NN-chain hierarchical default
+#: and the k-medoids empty-cluster re-seed fix changed trial execution.
+CACHE_SCHEMA_VERSION = 2
 
 _NORMALIZERS = ("zscore", "minmax", "none")
 

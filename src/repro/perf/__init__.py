@@ -10,6 +10,9 @@ Every expensive inner loop of the reproduction funnels through this package:
 * :mod:`repro.perf.analytic` — the closed-form solver for the variance-vs-θ
   threshold crossings behind the security range (Figures 2/3), replacing the
   dense-grid + bisection search with quartic root finding plus Newton polish.
+* :mod:`repro.perf.cache` — a content-addressed LRU cache of pairwise
+  distance matrices, shared by every distance-based clustering consumer so
+  each (dataset, metric) matrix is computed exactly once per pipeline run.
 
 The kernels operate on plain ``numpy`` arrays and know nothing about the
 domain objects (``DataMatrix``, ``SecurityRange``, …); the domain modules in
@@ -26,6 +29,7 @@ from .analytic import (
     threshold_crossings,
     variance_curves_from_moments,
 )
+from .cache import DistanceCache
 from .kernels import (
     DEFAULT_MEMORY_BUDGET_BYTES,
     assign_nearest_center,
@@ -34,17 +38,22 @@ from .kernels import (
     euclidean_pairwise,
     max_abs_distance_difference,
     pairwise_distances_blocked,
+    radius_neighbors_blocked,
+    radius_neighbors_from_distances,
     resolve_block_size,
 )
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET_BYTES",
+    "DistanceCache",
     "assign_nearest_center",
     "batched_inverse_rotations",
     "cross_squared_distances",
     "euclidean_pairwise",
     "max_abs_distance_difference",
     "pairwise_distances_blocked",
+    "radius_neighbors_blocked",
+    "radius_neighbors_from_distances",
     "resolve_block_size",
     "curve_admissible_intervals",
     "intersect_circular_intervals",

@@ -1,0 +1,155 @@
+"""A shared cache for pairwise-distance matrices.
+
+Every distance-based consumer in the library — k-medoids, hierarchical
+clustering, DBSCAN, the pipeline's Corollary 1 equivalence checks — starts
+from the same ``(m, m)`` dissimilarity matrix of some dataset under some
+metric.  A pipeline run that verifies three algorithms therefore used to
+compute the identical matrix six times (three algorithms × the normalized
+and the released data).  :class:`DistanceCache` keys each matrix on the
+*content* of the data plus the metric, computes it once through the chunked
+kernels, and hands the same read-only array to every consumer.
+
+Content keying (a SHA-256 of the raw buffer) costs O(m·n) — noise next to
+the O(m²·n) distance computation it saves — and makes the cache safe across
+copies: the released ``DataMatrix`` and a fresh ``.values.copy()`` of it hit
+the same entry.  Cached results are byte-identical to what the uncached path
+computes, because chunking never changes the per-element arithmetic (see
+:mod:`repro.perf.kernels`).
+
+Entries are kept in an LRU of ``max_entries`` matrices so a long-lived cache
+(e.g. one attached to a pipeline that runs many datasets) cannot grow
+without bound.  All operations are thread-safe, and misses compute *outside*
+the lock so unrelated consumers never serialize behind a long distance
+computation (two threads missing the same key may both compute it; the
+first insert wins and both observe the same stored array).  Process pools
+do not share the cache (each worker builds its own).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from .._validation import as_float_matrix
+from ..exceptions import ValidationError
+from .kernels import pairwise_distances_blocked
+
+__all__ = ["DistanceCache"]
+
+
+class DistanceCache:
+    """Content-addressed LRU cache of pairwise-distance matrices.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of matrices kept (least-recently-used eviction);
+        ``None`` disables eviction.
+    memory_budget_bytes:
+        Budget forwarded to the chunked distance kernels on a miss.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int | None = 8,
+        memory_budget_bytes: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self.memory_budget_bytes = memory_budget_bytes
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def fingerprint(data) -> str:
+        """SHA-256 content digest of a matrix (shape/dtype-qualified)."""
+        matrix = np.ascontiguousarray(as_float_matrix(data, name="data"))
+        digest = hashlib.sha256()
+        digest.update(str((matrix.shape, matrix.dtype.str)).encode())
+        digest.update(matrix.tobytes())
+        return digest.hexdigest()
+
+    def pairwise(self, data, *, metric: str = "euclidean", p: float = 2.0) -> np.ndarray:
+        """The ``(m, m)`` distance matrix of ``data`` under ``metric``.
+
+        The returned array is shared and marked read-only — ``.copy()`` it
+        before mutating.  Byte-identical to
+        :func:`repro.metrics.distance.pairwise_distances` on the same input.
+        """
+        matrix = as_float_matrix(data, name="data")
+        key = self._key(matrix, metric, p)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+        # Compute outside the lock: a slow miss must not block hits (or
+        # other misses) on unrelated keys.
+        distances = pairwise_distances_blocked(
+            matrix, metric=key[0], p=p, memory_budget_bytes=self.memory_budget_bytes
+        )
+        distances.setflags(write=False)
+        with self._lock:
+            stored = self._entries.setdefault(key, distances)
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+            return stored
+
+    def peek(self, data, *, metric: str = "euclidean", p: float = 2.0) -> np.ndarray | None:
+        """The cached matrix for ``data`` under ``metric``, or ``None``.
+
+        Never computes.  Consumers with a cheaper matrix-free path (DBSCAN's
+        chunked neighborhoods) use this to reuse a matrix another consumer
+        already paid for without forcing the O(m²) materialization
+        themselves.
+        """
+        matrix = as_float_matrix(data, name="data")
+        key = self._key(matrix, metric, p)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            return cached
+
+    @staticmethod
+    def _key(matrix: np.ndarray, metric: str, p: float) -> tuple:
+        metric = str(metric).lower()
+        order = float(p) if metric == "minkowski" else None
+        return (metric, order, DistanceCache.fingerprint(matrix))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> dict:
+        """Cache counters: ``hits``, ``misses`` (= matrices computed), ``entries``."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses, "entries": len(self._entries)}
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the cached matrices."""
+        with self._lock:
+            return sum(entry.nbytes for entry in self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

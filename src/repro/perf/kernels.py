@@ -28,6 +28,8 @@ __all__ = [
     "assign_nearest_center",
     "max_abs_distance_difference",
     "batched_inverse_rotations",
+    "radius_neighbors_blocked",
+    "radius_neighbors_from_distances",
 ]
 
 #: Default cap on the size of any temporary a chunked kernel materializes.
@@ -114,6 +116,125 @@ def pairwise_distances_blocked(
     return out
 
 
+def radius_neighbors_blocked(
+    data,
+    eps: float,
+    *,
+    metric: str = "euclidean",
+    p: float = 2.0,
+    memory_budget_bytes: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compressed neighbor lists ``{j : d(i, j) <= eps}`` for every row ``i``.
+
+    Returns CSR-style ``(indptr, indices)``: row ``i``'s neighbors (self
+    included, since ``d(i, i) = 0``) are ``indices[indptr[i]:indptr[i + 1]]``
+    in ascending order.  Distances are computed block-row-wise under
+    ``memory_budget_bytes``, so neither the full ``(m, m)`` distance matrix
+    nor a dense boolean adjacency is ever materialized — peak memory is the
+    budget plus the neighbor lists themselves.  Per-element arithmetic is
+    identical to :func:`pairwise_distances_blocked`, so the neighbor sets
+    match a dense threshold of that matrix.
+    """
+    matrix = as_float_matrix(data, name="data")
+    eps = float(eps)
+    metric = metric.lower()
+    if metric not in ("euclidean", "manhattan", "chebyshev", "minkowski"):
+        raise ValidationError(
+            f"unknown metric {metric!r}; expected one of euclidean, manhattan, chebyshev, minkowski"
+        )
+    if metric == "minkowski":
+        p = check_positive(p, name="p")
+
+    m, n = matrix.shape
+    if metric == "euclidean":
+        # Same expression as ``euclidean_pairwise`` (not einsum — the two
+        # reductions differ in the last ulp) so the thresholded sets match
+        # the dense path bitwise.
+        squared_norms = np.sum(matrix**2, axis=1)
+        # Live per block: two (block, m) float temporaries inside
+        # ``_euclidean_block``, the distance block itself, and the boolean
+        # threshold mask.
+        block = resolve_block_size(
+            m,
+            bytes_per_row=(3 * matrix.itemsize + 1) * m,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    else:
+        block = resolve_block_size(
+            m,
+            bytes_per_row=(n + 2) * m * matrix.itemsize,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        scratch = np.empty((block, m, n), dtype=float)
+
+    counts = np.empty(m, dtype=np.intp)
+    chunks: list[np.ndarray] = []
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        if metric == "euclidean":
+            distances = _euclidean_block(matrix, squared_norms, start, stop)
+            # The dense path zeroes the diagonal; mirror that so round-off on
+            # d(i, i) cannot drop an object from its own neighborhood.
+            rows = np.arange(start, stop)
+            distances[rows - start, rows] = 0.0
+        else:
+            diff = scratch[: stop - start]
+            np.subtract(matrix[start:stop, None, :], matrix[None, :, :], out=diff)
+            np.abs(diff, out=diff)
+            if metric == "manhattan":
+                distances = diff.sum(axis=2)
+            elif metric == "chebyshev":
+                distances = diff.max(axis=2)
+            else:
+                np.power(diff, p, out=diff)
+                distances = diff.sum(axis=2) ** (1.0 / p)
+        local_rows, local_cols = np.nonzero(distances <= eps)
+        counts[start:stop] = np.bincount(local_rows, minlength=stop - start)
+        chunks.append(local_cols.astype(np.intp, copy=False))
+        # Drop the block before the next one is built — otherwise the old
+        # distances overlap the new temporaries and the peak grows by a block.
+        del distances, local_rows, local_cols
+
+    indptr = np.zeros(m + 1, dtype=np.intp)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.intp)
+    return indptr, indices
+
+
+def radius_neighbors_from_distances(
+    distances,
+    eps: float,
+    *,
+    memory_budget_bytes: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR neighbor lists from a precomputed distance matrix.
+
+    Same contract as :func:`radius_neighbors_blocked`, but thresholds an
+    existing ``(m, m)`` matrix block-row-wise so only one boolean block is
+    live at a time (the matrix's own diagonal decides self-membership,
+    matching a dense ``distances <= eps`` comparison exactly).
+    """
+    distances = as_float_matrix(distances, name="distances")
+    if distances.shape[0] != distances.shape[1]:
+        raise ValidationError(f"distances must be square, got {distances.shape}")
+    eps = float(eps)
+    m = distances.shape[0]
+    block = resolve_block_size(
+        m, bytes_per_row=2 * m * distances.itemsize, memory_budget_bytes=memory_budget_bytes
+    )
+    counts = np.empty(m, dtype=np.intp)
+    chunks: list[np.ndarray] = []
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        local_rows, local_cols = np.nonzero(distances[start:stop] <= eps)
+        counts[start:stop] = np.bincount(local_rows, minlength=stop - start)
+        chunks.append(local_cols.astype(np.intp, copy=False))
+    indptr = np.zeros(m + 1, dtype=np.intp)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.intp)
+    return indptr, indices
+
+
 def cross_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
     """``(m, k)`` squared Euclidean distances via ``‖x‖² + ‖c‖² − 2x·c``.
 
@@ -189,8 +310,13 @@ def max_abs_distance_difference(
 def _euclidean_block(
     matrix: np.ndarray, squared_norms: np.ndarray, start: int, stop: int
 ) -> np.ndarray:
+    # In-place staging of ‖x‖² + ‖y‖² − 2x·y: bitwise identical to the
+    # one-expression form (scaling by 2 is exact, the subtraction sees the
+    # same operands) but keeps only two (block, m) temporaries live.
     cross = matrix[start:stop] @ matrix.T
-    squared = squared_norms[start:stop, None] + squared_norms[None, :] - 2.0 * cross
+    squared = squared_norms[start:stop, None] + squared_norms[None, :]
+    cross *= 2.0
+    squared -= cross
     np.maximum(squared, 0.0, out=squared)
     return np.sqrt(squared, out=squared)
 

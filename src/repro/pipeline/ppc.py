@@ -31,6 +31,7 @@ from ..metrics import (
     privacy_report,
 )
 from ..metrics.privacy import PrivacyReport
+from ..perf.cache import DistanceCache
 from ..perf.kernels import max_abs_distance_difference
 from ..preprocessing import IdentifierSuppressor, Normalizer, ZScoreNormalizer
 
@@ -111,6 +112,14 @@ class PPCPipeline:
         Identifier suppressor applied first.
     ddof:
         Estimator used by the privacy report (1 matches the paper's numbers).
+    distance_cache:
+        Sharing policy for dissimilarity matrices during the Corollary 1
+        equivalence checks.  ``True`` (default) builds one
+        :class:`~repro.perf.cache.DistanceCache` per :meth:`run`, so every
+        distance-based algorithm clustering the same (dataset, metric)
+        reuses one matrix instead of recomputing it; an explicit cache
+        instance is shared across runs; ``False`` disables sharing.  Cached
+        and uncached runs produce byte-identical bundles.
 
     Examples
     --------
@@ -128,11 +137,13 @@ class PPCPipeline:
         normalizer: Normalizer | None = None,
         suppressor: IdentifierSuppressor | None = None,
         ddof: int = 1,
+        distance_cache: DistanceCache | bool = True,
     ) -> None:
         self.rbt = rbt if rbt is not None else RBT()
         self.normalizer = normalizer if normalizer is not None else ZScoreNormalizer()
         self.suppressor = suppressor if suppressor is not None else IdentifierSuppressor()
         self.ddof = ddof
+        self.distance_cache = distance_cache
 
     def run(
         self,
@@ -176,8 +187,10 @@ class PPCPipeline:
 
         if algorithms is None and verify_with_kmeans:
             algorithms = [KMeans(n_clusters=n_clusters, random_state=random_state)]
+        cache = self._resolve_cache()
         equivalence = tuple(
-            self._equivalence(algorithm, normalized, released) for algorithm in (algorithms or [])
+            self._equivalence(algorithm, normalized, released, cache)
+            for algorithm in (algorithms or [])
         )
         return ReleaseBundle(
             normalized=normalized,
@@ -210,14 +223,33 @@ class PPCPipeline:
             )
         return self.normalizer.fit(matrix).transform(matrix)
 
+    def _resolve_cache(self) -> DistanceCache | None:
+        """The distance cache for one :meth:`run` (fresh, shared, or none)."""
+        if self.distance_cache is True:
+            return DistanceCache()
+        if isinstance(self.distance_cache, DistanceCache):
+            return self.distance_cache
+        return None
+
     @staticmethod
     def _equivalence(
         algorithm: ClusteringAlgorithm,
         normalized: DataMatrix,
         released: DataMatrix,
+        cache: DistanceCache | None = None,
     ) -> EquivalenceReport:
-        labels_original = algorithm.fit_predict(normalized)
-        labels_released = algorithm.fit_predict(released)
+        # Lend the run's cache to algorithms that don't bring their own, so
+        # both fits (and the other algorithms) share one distance matrix per
+        # (dataset, metric).
+        inject = cache is not None and getattr(algorithm, "distance_cache", False) is None
+        if inject:
+            algorithm.distance_cache = cache
+        try:
+            labels_original = algorithm.fit_predict(normalized)
+            labels_released = algorithm.fit_predict(released)
+        finally:
+            if inject:
+                algorithm.distance_cache = None
         return EquivalenceReport(
             algorithm=getattr(algorithm, "name", type(algorithm).__name__),
             identical=clusters_identical(labels_original, labels_released),

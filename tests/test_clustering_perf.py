@@ -1,0 +1,362 @@
+"""Equivalence and behavior tests for the clustering performance layer.
+
+Three contracts from the clustering-at-scale work are pinned here:
+
+* the NN-chain hierarchical strategy reproduces the naive (seed) strategy's
+  merge history and labels,
+* chunked CSR DBSCAN neighborhoods reproduce a dense-adjacency DBSCAN
+  bitwise, down to budgets that force single-row blocks,
+* the :class:`~repro.perf.cache.DistanceCache` computes each (dataset,
+  metric) matrix exactly once per pipeline run and changes no bytes of any
+  result.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN, AgglomerativeClustering, KMedoids
+from repro.core import RBT
+from repro.data.datasets import make_patient_cohorts
+from repro.exceptions import ClusteringError, ValidationError
+from repro.metrics import pairwise_distances
+from repro.perf.cache import DistanceCache
+from repro.perf.kernels import radius_neighbors_blocked, radius_neighbors_from_distances
+from repro.pipeline import PPCPipeline
+
+LINKAGES = ("single", "complete", "average", "ward")
+
+
+def assert_same_agglomeration(data, linkage, n_clusters, metric="euclidean", precomputed=False):
+    """Fit both strategies and assert identical labels and merge history."""
+    naive = AgglomerativeClustering(
+        n_clusters, linkage=linkage, metric=metric, precomputed=precomputed, strategy="naive"
+    ).fit(data)
+    fast = AgglomerativeClustering(
+        n_clusters, linkage=linkage, metric=metric, precomputed=precomputed, strategy="nn-chain"
+    ).fit(data)
+    assert np.array_equal(naive.labels, fast.labels)
+    assert naive.n_clusters == fast.n_clusters
+    assert naive.n_iterations == fast.n_iterations
+    history_naive = naive.metadata["merge_history"]
+    history_fast = fast.metadata["merge_history"]
+    assert [(a, b) for a, b, _ in history_naive] == [(a, b) for a, b, _ in history_fast]
+    distances_naive = np.array([d for *_, d in history_naive])
+    distances_fast = np.array([d for *_, d in history_fast])
+    if linkage in ("single", "complete"):
+        # min/max select one of the original distances, so the values agree
+        # bitwise regardless of the merge order the chain discovered.
+        assert np.array_equal(distances_naive, distances_fast)
+    else:
+        # average/ward associate the same weighted sums in a different
+        # order; the values agree to round-off.
+        np.testing.assert_allclose(distances_naive, distances_fast, rtol=1e-9, atol=1e-12)
+    return naive, fast
+
+
+class TestNNChainEquivalence:
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_data_matches_naive(self, linkage, metric, seed):
+        if linkage == "ward" and metric != "euclidean":
+            pytest.skip("ward requires euclidean")
+        data = np.random.default_rng(seed).normal(size=(60, 4))
+        for n_clusters in (1, 3, 7):
+            assert_same_agglomeration(data, linkage, n_clusters, metric=metric)
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    def test_tied_distances_duplicate_groups(self, linkage, metric):
+        if linkage == "ward" and metric != "euclidean":
+            pytest.skip("ward requires euclidean")
+        data = np.vstack([np.zeros((5, 2)), np.full((5, 2), 3.0), np.full((4, 2), 9.0)])
+        for n_clusters in (1, 2, 3):
+            assert_same_agglomeration(data, linkage, n_clusters, metric=metric)
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    def test_tied_distances_unit_lattice(self, linkage, metric):
+        if linkage == "ward" and metric != "euclidean":
+            pytest.skip("ward requires euclidean")
+        data = np.arange(8.0).reshape(-1, 1)
+        for n_clusters in (1, 2, 4):
+            assert_same_agglomeration(data, linkage, n_clusters, metric=metric)
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    def test_tied_distances_equidistant_pairs(self, linkage):
+        data = np.array(
+            [[0, 0], [1, 0], [10, 10], [11, 10], [30, 0], [31, 0], [50, 50], [51, 50]],
+            dtype=float,
+        )
+        for n_clusters in (1, 2, 4):
+            assert_same_agglomeration(data, linkage, n_clusters)
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    def test_precomputed_matches_naive(self, blob_data, linkage):
+        matrix, _ = blob_data
+        distances = pairwise_distances(matrix.values)
+        assert_same_agglomeration(distances, linkage, 3, precomputed=True)
+
+    def test_merge_history_is_naive_format(self, blob_data):
+        matrix, _ = blob_data
+        result = AgglomerativeClustering(3).fit(matrix)
+        for entry in result.metadata["merge_history"]:
+            cluster_a, cluster_b, distance = entry
+            assert isinstance(cluster_a, int)
+            assert isinstance(cluster_b, int)
+            assert isinstance(distance, float)
+            assert cluster_a < cluster_b
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ClusteringError, match="strategy"):
+            AgglomerativeClustering(2, strategy="heap")
+
+    def test_default_strategy_is_nn_chain(self):
+        assert AgglomerativeClustering(2).strategy == "nn-chain"
+
+
+# --------------------------------------------------------------------------- #
+# Chunked DBSCAN neighborhoods
+# --------------------------------------------------------------------------- #
+def dense_dbscan_labels(distances: np.ndarray, eps: float, min_samples: int) -> np.ndarray:
+    """The seed DBSCAN: dense boolean adjacency plus breadth-first expansion."""
+    n_objects = distances.shape[0]
+    adjacency = distances <= eps
+    is_core = adjacency.sum(axis=1) >= min_samples
+    labels = np.full(n_objects, -1, dtype=int)
+    cluster_id = 0
+    for index in range(n_objects):
+        if labels[index] != -1 or not is_core[index]:
+            continue
+        labels[index] = cluster_id
+        queue = deque(np.flatnonzero(adjacency[index]).tolist())
+        while queue:
+            neighbour = queue.popleft()
+            if labels[neighbour] == -1:
+                labels[neighbour] = cluster_id
+                if is_core[neighbour]:
+                    queue.extend(np.flatnonzero(adjacency[neighbour]).tolist())
+        cluster_id += 1
+    return labels
+
+
+class TestChunkedDBSCAN:
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+    @pytest.mark.parametrize("budget", [None, 100_000, 4_000])
+    def test_labels_match_dense_adjacency(self, metric, budget):
+        data = np.random.default_rng(5).normal(size=(200, 3))
+        eps = 0.9
+        dense = dense_dbscan_labels(pairwise_distances(data, metric=metric), eps, 4)
+        chunked = DBSCAN(
+            eps=eps, min_samples=4, metric=metric, memory_budget_bytes=budget
+        ).fit_predict(data)
+        assert np.array_equal(dense, chunked)
+
+    def test_single_row_blocks(self):
+        data = np.random.default_rng(6).normal(size=(40, 2))
+        dense = dense_dbscan_labels(pairwise_distances(data), 0.8, 3)
+        # A budget below one row's temporaries still progresses row by row.
+        chunked = DBSCAN(eps=0.8, min_samples=3, memory_budget_bytes=1).fit_predict(data)
+        assert np.array_equal(dense, chunked)
+
+    def test_precomputed_blocked_threshold(self):
+        data = np.random.default_rng(7).normal(size=(80, 3))
+        distances = pairwise_distances(data)
+        dense = dense_dbscan_labels(distances, 1.0, 4)
+        chunked = DBSCAN(
+            eps=1.0, min_samples=4, precomputed=True, memory_budget_bytes=2_000
+        ).fit_predict(distances)
+        assert np.array_equal(dense, chunked)
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "minkowski"])
+    def test_kernel_matches_dense_threshold(self, metric):
+        data = np.random.default_rng(8).normal(size=(60, 4))
+        eps = 1.4
+        dense = pairwise_distances(data, metric=metric, p=3.0) <= eps
+        for budget in (None, 3_000):
+            indptr, indices = radius_neighbors_blocked(
+                data, eps, metric=metric, p=3.0, memory_budget_bytes=budget
+            )
+            for row in range(data.shape[0]):
+                assert np.array_equal(
+                    indices[indptr[row] : indptr[row + 1]], np.flatnonzero(dense[row])
+                )
+
+    def test_kernel_from_distances_respects_given_diagonal(self):
+        distances = np.array([[5.0, 1.0], [1.0, 5.0]])
+        indptr, indices = radius_neighbors_from_distances(distances, 2.0)
+        # The matrix's own (nonzero) diagonal decides self-membership.
+        assert indices[indptr[0] : indptr[1]].tolist() == [1]
+
+    def test_kernel_rejects_unknown_metric(self):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            radius_neighbors_blocked(np.zeros((3, 2)), 1.0, metric="cosine")
+
+    def test_core_mask_is_a_copy(self, blob_data):
+        matrix, _ = blob_data
+        algorithm = DBSCAN(eps=1.0, min_samples=4)
+        first = algorithm.fit(matrix)
+        first.metadata["core_mask"][:] = False
+        second = algorithm.fit(matrix)
+        assert np.array_equal(first.labels, second.labels)
+        assert second.metadata["core_mask"].any()
+
+
+# --------------------------------------------------------------------------- #
+# DistanceCache
+# --------------------------------------------------------------------------- #
+class TestDistanceCache:
+    def test_hit_on_identical_content(self):
+        cache = DistanceCache()
+        data = np.random.default_rng(0).normal(size=(30, 3))
+        first = cache.pairwise(data)
+        second = cache.pairwise(data.copy())  # different object, same bytes
+        assert first is second
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_miss_on_different_metric_or_content(self):
+        cache = DistanceCache()
+        data = np.random.default_rng(1).normal(size=(20, 3))
+        cache.pairwise(data, metric="euclidean")
+        cache.pairwise(data, metric="manhattan")
+        cache.pairwise(data + 1.0, metric="euclidean")
+        assert cache.stats["misses"] == 3
+        assert cache.stats["hits"] == 0
+
+    def test_byte_identical_to_uncached(self):
+        data = np.random.default_rng(2).normal(size=(40, 4))
+        for metric in ("euclidean", "manhattan"):
+            cached = DistanceCache().pairwise(data, metric=metric)
+            assert np.array_equal(cached, pairwise_distances(data, metric=metric))
+
+    def test_returned_matrix_is_read_only(self):
+        cache = DistanceCache()
+        matrix = cache.pairwise(np.random.default_rng(3).normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+    def test_lru_eviction(self):
+        cache = DistanceCache(max_entries=2)
+        datasets = [np.full((4, 2), float(value)) for value in range(3)]
+        for data in datasets:
+            cache.pairwise(data)
+        assert len(cache) == 2
+        cache.pairwise(datasets[0])  # evicted -> recomputed
+        assert cache.stats["misses"] == 4
+
+    def test_clear_resets(self):
+        cache = DistanceCache()
+        cache.pairwise(np.zeros((4, 2)))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValidationError, match="max_entries"):
+            DistanceCache(max_entries=0)
+
+    def test_minkowski_order_is_part_of_the_key(self):
+        cache = DistanceCache()
+        data = np.random.default_rng(4).normal(size=(10, 3))
+        cache.pairwise(data, metric="minkowski", p=3.0)
+        cache.pairwise(data, metric="minkowski", p=4.0)
+        assert cache.stats["misses"] == 2
+
+    def test_dbscan_only_reads_the_cache(self):
+        data = np.random.default_rng(9).normal(size=(50, 3))
+        cache = DistanceCache()
+        labels = DBSCAN(eps=1.0, min_samples=3, distance_cache=cache).fit_predict(data)
+        # A peek never computes: DBSCAN alone must not force the O(m²) matrix.
+        assert len(cache) == 0
+        assert cache.stats["misses"] == 0
+        # Once another consumer pays for the matrix, DBSCAN reuses it.
+        cache.pairwise(data)
+        labels_cached = DBSCAN(eps=1.0, min_samples=3, distance_cache=cache).fit_predict(data)
+        assert cache.stats["hits"] == 1
+        assert np.array_equal(labels, labels_cached)
+
+    def test_algorithms_share_one_matrix(self):
+        matrix, _ = make_patient_cohorts(n_patients=60, random_state=0)
+        cache = DistanceCache()
+        for algorithm in (
+            KMedoids(3, random_state=0, distance_cache=cache),
+            AgglomerativeClustering(3, distance_cache=cache),
+            DBSCAN(eps=1.5, min_samples=4, distance_cache=cache),
+        ):
+            algorithm.fit(matrix)
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 2
+
+    def test_cached_fits_match_uncached(self, blob_data):
+        matrix, _ = blob_data
+        cache = DistanceCache()
+        pairs = [
+            (KMedoids(3, random_state=0), KMedoids(3, random_state=0, distance_cache=cache)),
+            (AgglomerativeClustering(3), AgglomerativeClustering(3, distance_cache=cache)),
+            (DBSCAN(eps=1.2, min_samples=4), DBSCAN(eps=1.2, min_samples=4, distance_cache=cache)),
+        ]
+        for plain, cached in pairs:
+            assert np.array_equal(plain.fit_predict(matrix), cached.fit_predict(matrix))
+
+
+class TestPipelineDistanceCache:
+    @staticmethod
+    def _algorithms():
+        return [
+            KMedoids(3, random_state=0),
+            AgglomerativeClustering(3),
+            DBSCAN(eps=1.5, min_samples=4),
+        ]
+
+    def test_each_matrix_computed_exactly_once(self, monkeypatch):
+        import repro.perf.cache as cache_module
+
+        calls = []
+        original = cache_module.pairwise_distances_blocked
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "pairwise_distances_blocked", counting)
+        matrix, _ = make_patient_cohorts(n_patients=60, random_state=0)
+        cache = DistanceCache()
+        PPCPipeline(RBT(random_state=0), distance_cache=cache).run(
+            matrix, algorithms=self._algorithms()
+        )
+        # Three distance-based algorithms, two datasets (normalized and
+        # released), one metric: exactly two matrices computed, four served
+        # from the cache.
+        assert len(calls) == 2
+        assert cache.stats == {"hits": 4, "misses": 2, "entries": 2}
+
+    def test_cached_run_is_byte_identical_to_uncached(self):
+        matrix, _ = make_patient_cohorts(n_patients=60, random_state=0)
+        cached = PPCPipeline(RBT(random_state=0), distance_cache=True).run(
+            matrix, algorithms=self._algorithms()
+        )
+        uncached = PPCPipeline(RBT(random_state=0), distance_cache=False).run(
+            matrix, algorithms=self._algorithms()
+        )
+        assert cached.summary() == uncached.summary()
+        assert np.array_equal(cached.released.values, uncached.released.values)
+        assert np.array_equal(cached.normalized.values, uncached.normalized.values)
+
+    def test_injected_cache_is_released_after_run(self):
+        matrix, _ = make_patient_cohorts(n_patients=40, random_state=1)
+        algorithms = self._algorithms()
+        PPCPipeline(RBT(random_state=0)).run(matrix, algorithms=algorithms)
+        for algorithm in algorithms:
+            assert algorithm.distance_cache is None
+
+    def test_explicit_algorithm_cache_is_respected(self):
+        matrix, _ = make_patient_cohorts(n_patients=40, random_state=2)
+        own_cache = DistanceCache()
+        algorithm = KMedoids(3, random_state=0, distance_cache=own_cache)
+        PPCPipeline(RBT(random_state=0)).run(matrix, algorithms=[algorithm])
+        assert algorithm.distance_cache is own_cache
+        assert own_cache.stats["misses"] == 2  # normalized + released

@@ -112,3 +112,14 @@ class TestConvergenceControls:
         )
         with pytest.raises(ConvergenceError):
             strict.fit(matrix)
+
+
+class TestMetadataMutability:
+    def test_centroids_are_a_copy(self, blob_data):
+        matrix, _ = blob_data
+        algorithm = KMeans(3, random_state=0)
+        first = algorithm.fit(matrix)
+        centroids_before = first.metadata["centroids"].copy()
+        first.metadata["centroids"][:] = 0.0
+        second = algorithm.fit(matrix)
+        assert np.allclose(second.metadata["centroids"], centroids_before)

@@ -72,3 +72,45 @@ class TestEdgeCases:
         data = np.vstack([np.zeros((6, 2)), np.ones((6, 2)) * 4.0])
         result = KMedoids(2, random_state=0).fit(data)
         assert result.n_clusters == 2
+
+
+class TestEmptyClusterReseeding:
+    """Regression tests: re-seeding an empty cluster must never duplicate a medoid.
+
+    The seed implementation re-seeded at ``argmax`` of the distances to the
+    current medoids; when every distance ties (duplicate points) that argmax
+    lands on index 0 — typically another cluster's medoid — and the
+    duplicated medoid permanently collapses two clusters.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_identical_points_keep_medoids_unique(self, seed):
+        result = KMedoids(3, random_state=seed, n_init=1).fit(np.zeros((4, 2)))
+        medoids = result.metadata["medoid_indices"]
+        assert len(np.unique(medoids)) == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_duplicate_groups_keep_medoids_unique(self, seed):
+        data = np.vstack([np.zeros((3, 2)), np.full((3, 2), 4.0)])
+        result = KMedoids(3, random_state=seed, n_init=1).fit(data)
+        medoids = result.metadata["medoid_indices"]
+        assert len(np.unique(medoids)) == 3
+
+    @pytest.mark.parametrize("seed", [2, 27, 36, 40, 48])
+    def test_reseed_does_not_collide_with_later_member_updates(self, seed):
+        # A cluster re-seeded in the same sweep as a later cluster's normal
+        # member-based update must not end up sharing that cluster's medoid:
+        # with these seeds the empty cluster re-seeds to the farthest point,
+        # which the next cluster's within-sum argmin would also select.
+        data = np.array([[0.0, 0.0], [0.0, 0.0], [10.0, 0.0], [14.0, 0.0], [14.0, 0.0]])
+        result = KMedoids(3, random_state=seed, n_init=1, max_iterations=1).fit(data)
+        medoids = result.metadata["medoid_indices"]
+        assert len(np.unique(medoids)) == 3
+
+    def test_medoid_indices_are_a_copy(self, blob_data):
+        matrix, _ = blob_data
+        algorithm = KMedoids(3, random_state=0)
+        first = algorithm.fit(matrix)
+        first.metadata["medoid_indices"][:] = 0
+        second = algorithm.fit(matrix)
+        assert len(np.unique(second.metadata["medoid_indices"])) == 3
