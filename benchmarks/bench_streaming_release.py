@@ -1,0 +1,249 @@
+"""Benchmark for the streaming out-of-core release pipeline.
+
+Measures the owner workflow (read → normalize → RBT → write) through
+:class:`~repro.pipeline.StreamingReleasePipeline` against the in-memory path
+it replaces, and *merges* the results into the ``BENCH_perf.json`` report
+(``BENCH_perf_quick.json`` in ``--quick`` mode) written by
+``bench_perf_hotpaths.py``, so the CI regression gate covers the release
+layer alongside the compute kernels:
+
+* ``vs_in_memory`` — both paths release the same CSV; outputs are
+  cross-checked **byte-identical** and the peak-memory ratio (in-memory
+  over streamed) is recorded — that ratio is what the streaming layer buys.
+* ``large_scale`` (full mode) — a 500k-row release under a 192 MiB
+  ``memory_budget_bytes``, the scale the acceptance criterion names; the
+  report records the budget, the measured peak and whether it stayed inside.
+* ``invert`` — the streamed inversion of the release, cross-checked
+  byte-identical to the in-memory inversion.
+
+Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_release.py            # full
+    PYTHONPATH=src python benchmarks/bench_streaming_release.py --quick    # CI smoke
+
+Headline acceptance number (full mode): a ≥500k-row release completes with
+peak memory inside the configured budget, at a small multiple of the
+in-memory path's wall-clock (it reads the file once per pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow `python benchmarks/bench_streaming_release.py` from anywhere
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_perf_hotpaths import best_time, peak_memory, ratio
+
+from repro.core import RBT, RBTSecret
+from repro.data.io import MatrixCsvWriter, matrix_from_csv, matrix_to_csv
+from repro.pipeline import StreamingReleasePipeline, stream_invert
+from repro.preprocessing import ZScoreNormalizer
+
+N_ATTRIBUTES = 4
+COLUMNS = [f"x{i}" for i in range(N_ATTRIBUTES)]
+
+
+def generate_csv(path: Path, n_rows: int, *, seed: int = 0, block: int = 50_000) -> None:
+    """Write a synthetic confidential CSV without materializing it."""
+    rng = np.random.default_rng(seed)
+    with MatrixCsvWriter(path, COLUMNS, include_ids=True) as writer:
+        start = 0
+        while start < n_rows:
+            rows = min(block, n_rows - start)
+            values = rng.normal(size=(rows, N_ATTRIBUTES)) * [3.0, 1.0, 10.0, 0.5] + [
+                50.0,
+                0.0,
+                -20.0,
+                1.0,
+            ]
+            writer.write_rows(values, ids=[f"row-{start + i}" for i in range(rows)])
+            start += rows
+
+
+def in_memory_release(input_path: Path, output_path: Path, seed: int):
+    matrix = matrix_from_csv(input_path)
+    normalized = ZScoreNormalizer().fit(matrix).transform(matrix)
+    result = RBT(random_state=seed).transform(normalized)
+    matrix_to_csv(result.matrix, output_path)
+    return result
+
+
+def bench_vs_in_memory(workdir: Path, quick: bool) -> dict:
+    n_rows = 8_000 if quick else 50_000
+    input_path = workdir / "input.csv"
+    generate_csv(input_path, n_rows, seed=1)
+    memory_out = workdir / "released_memory.csv"
+    stream_out = workdir / "released_stream.csv"
+    # Squeeze the streamed budget well below the in-memory working set so the
+    # peak-memory ratio reflects chunking, not just smaller constants.
+    budget = (2**20 // 2) if quick else 2 * 2**20
+
+    memory_seconds, _ = best_time(lambda: in_memory_release(input_path, memory_out, 7), repeats=2)
+    pipeline = StreamingReleasePipeline(RBT(random_state=7), memory_budget_bytes=budget)
+    stream_seconds, report = best_time(lambda: pipeline.run(input_path, stream_out), repeats=2)
+    assert stream_out.read_bytes() == memory_out.read_bytes(), "byte-identity violated"
+
+    memory_peak = peak_memory(lambda: in_memory_release(input_path, memory_out, 7))
+    stream_peak = peak_memory(lambda: pipeline.run(input_path, stream_out))
+    return {
+        "n_rows": n_rows,
+        "n_attributes": N_ATTRIBUTES,
+        "memory_budget_bytes": budget,
+        "chunk_rows": report.chunk_rows,
+        "n_passes": report.n_passes,
+        "in_memory_seconds": memory_seconds,
+        "streamed_seconds": stream_seconds,
+        "speedup": ratio(memory_seconds, stream_seconds),
+        "in_memory_peak_bytes": memory_peak,
+        "streamed_peak_bytes": stream_peak,
+        "peak_memory_ratio": ratio(memory_peak, stream_peak),
+        "byte_identical": True,
+    }
+
+
+def bench_large_scale(workdir: Path, quick: bool) -> dict | None:
+    if quick:
+        return None
+    n_rows = 500_000
+    budget = 192 * 2**20
+    input_path = workdir / "large.csv"
+    generate_csv(input_path, n_rows, seed=2)
+    output_path = workdir / "large_released.csv"
+    pipeline = StreamingReleasePipeline(RBT(random_state=3), memory_budget_bytes=budget)
+    seconds, report = best_time(lambda: pipeline.run(input_path, output_path), repeats=1)
+    peak = peak_memory(lambda: pipeline.run(input_path, output_path))
+    return {
+        "n_rows": n_rows,
+        "n_attributes": N_ATTRIBUTES,
+        "memory_budget_bytes": budget,
+        "chunk_rows": report.chunk_rows,
+        "n_passes": report.n_passes,
+        "seconds": seconds,
+        "peak_bytes": peak,
+        "peak_within_budget": bool(peak <= budget),
+        "input_csv_bytes": input_path.stat().st_size,
+        "released_csv_bytes": output_path.stat().st_size,
+    }
+
+
+def bench_invert(workdir: Path, quick: bool) -> dict:
+    n_rows = 8_000 if quick else 50_000
+    input_path = workdir / "input.csv"  # written by bench_vs_in_memory
+    released = workdir / "invert_released.csv"
+    result = in_memory_release(input_path, released, 7)
+    secret = RBTSecret.from_result(result)
+
+    memory_restored = workdir / "restored_memory.csv"
+
+    def in_memory_invert():
+        matrix_to_csv(secret.invert(matrix_from_csv(released)), memory_restored)
+
+    stream_restored = workdir / "restored_stream.csv"
+    budget = (2**20 // 2) if quick else 2 * 2**20
+    memory_seconds, _ = best_time(in_memory_invert, repeats=2)
+    stream_seconds, _ = best_time(
+        lambda: stream_invert(released, stream_restored, secret, memory_budget_bytes=budget),
+        repeats=2,
+    )
+    assert stream_restored.read_bytes() == memory_restored.read_bytes(), "byte-identity violated"
+    memory_peak = peak_memory(in_memory_invert)
+    stream_peak = peak_memory(
+        lambda: stream_invert(released, stream_restored, secret, memory_budget_bytes=budget)
+    )
+    return {
+        "n_rows": n_rows,
+        "in_memory_seconds": memory_seconds,
+        "streamed_seconds": stream_seconds,
+        "speedup": ratio(memory_seconds, stream_seconds),
+        "in_memory_peak_bytes": memory_peak,
+        "streamed_peak_bytes": stream_peak,
+        "peak_memory_ratio": ratio(memory_peak, stream_peak),
+        "byte_identical": True,
+    }
+
+
+def run(quick: bool) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench_streaming_") as tmp:
+        workdir = Path(tmp)
+        results: dict = {}
+        print("[bench] streaming_release vs_in_memory ...", flush=True)
+        results["vs_in_memory"] = bench_vs_in_memory(workdir, quick)
+        large = bench_large_scale(workdir, quick)
+        if large is not None:
+            print("[bench] streaming_release large_scale ...", flush=True)
+            results["large_scale"] = large
+        print("[bench] streaming_release invert ...", flush=True)
+        results["invert"] = bench_invert(workdir, quick)
+    return {"streaming_release": results}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help=(
+            "directory of the JSON report to merge into (default: the repo root); "
+            "the file is BENCH_perf.json, or BENCH_perf_quick.json in --quick mode"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output = output_dir / ("BENCH_perf_quick.json" if args.quick else "BENCH_perf.json")
+    if output.exists():
+        report = json.loads(output.read_text(encoding="utf-8"))
+        if report.get("mode") != mode:
+            print(
+                f"error: {output} is a {report.get('mode')!r}-mode report; "
+                f"refusing to merge {mode!r}-mode results into it",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        report = {"mode": mode, "hot_paths": {}}
+
+    report["hot_paths"].update(run(args.quick))
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nmerged streaming-release results into {output}")
+    scenario = report["hot_paths"]["streaming_release"]
+    comparison = scenario["vs_in_memory"]
+    print(
+        f"  release m={comparison['n_rows']}: streamed peak "
+        f"{comparison['streamed_peak_bytes'] / 2**20:.1f} MiB vs in-memory "
+        f"{comparison['in_memory_peak_bytes'] / 2**20:.1f} MiB "
+        f"({comparison['peak_memory_ratio']:.1f}x lower), byte-identical output"
+    )
+    large = scenario.get("large_scale")
+    if large:
+        print(
+            f"  release m={large['n_rows']}: {large['seconds']:.1f}s, peak "
+            f"{large['peak_bytes'] / 2**20:.0f} MiB under a "
+            f"{large['memory_budget_bytes'] / 2**20:.0f} MiB budget "
+            f"(within budget: {large['peak_within_budget']})"
+        )
+    inversion = scenario["invert"]
+    print(
+        f"  invert m={inversion['n_rows']}: "
+        f"{inversion['peak_memory_ratio']:.1f}x lower peak than in-memory, byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,7 +70,7 @@ def data_owner_release(table: Table, release_path: Path) -> PPCPipeline:
     print(f"Distances preserved: {bundle.distances_preserved}")
     print(f"Corollary 1 verified with k-means: {bundle.equivalence[0].identical}")
 
-    matrix_to_csv(bundle.released, release_path, float_format="%.12f")
+    matrix_to_csv(bundle.released, release_path)  # default: bitwise round-tripping repr
     print(f"Released table written to {release_path}")
     # The owner keeps the secrets (pairs, angles) and the fitted normalizer.
     print("Rotation secrets retained by the owner:")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Streaming out-of-core release: the owner workflow at dataset scale.
+
+The paper's data owner releases a transformed database to a third party.
+For databases that do not fit in memory the release must run *out of core*:
+this example drives :class:`repro.pipeline.StreamingReleasePipeline` over a
+CSV on disk in fixed-size row chunks and shows the two properties the
+streaming layer guarantees:
+
+1. the released file is **byte-identical** to the in-memory workflow's
+   output (for any chunk size — here a deliberately tiny one), and
+2. the owner can still invert the release chunk-by-chunk with the saved
+   rotation secret.
+
+Run with:  python examples/streaming_release.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import RBT
+from repro.data import DataMatrix
+from repro.data.io import matrix_from_csv, matrix_to_csv
+from repro.pipeline import StreamingReleasePipeline, stream_invert
+from repro.preprocessing import ZScoreNormalizer
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="streaming_release_"))
+    rng = np.random.default_rng(0)
+
+    # -- The confidential database on disk (5 vitals, ids carried along). ----
+    n_patients = 2_000
+    vitals = rng.normal(size=(n_patients, 5)) * [12.0, 15.0, 9.0, 1.1, 8.0] + [
+        54.0,
+        71.0,
+        76.0,
+        1.8,
+        96.0,
+    ]
+    matrix = DataMatrix(
+        vitals,
+        columns=["age", "weight", "heart_rate", "qrs", "blood_oxygen"],
+        ids=[f"patient-{i:05d}" for i in range(n_patients)],
+    )
+    confidential = workdir / "confidential.csv"
+    matrix_to_csv(matrix, confidential)
+    print(f"confidential database: {n_patients} patients -> {confidential}")
+
+    # -- Stream the release in 128-row chunks under a fresh pipeline. --------
+    released = workdir / "released.csv"
+    pipeline = StreamingReleasePipeline(RBT(thresholds=0.3, random_state=7), chunk_rows=128)
+    report = pipeline.run(confidential, released)
+    print(
+        f"streamed release: {report.n_objects} objects x {report.n_attributes} "
+        f"attributes in chunks of {report.chunk_rows} rows, "
+        f"{report.n_passes} passes over the file"
+    )
+    for record in report.records:
+        print(
+            f"  pair {record.pair}: theta = {record.theta_degrees:.2f} deg, "
+            f"Var(X - X') = ({record.achieved_variances[0]:.3f}, "
+            f"{record.achieved_variances[1]:.3f})"
+        )
+    print(
+        f"  min Var(X - X') across attributes: "
+        f"{report.privacy.minimum_variance_difference:.3f}"
+    )
+
+    # -- Byte-identity: the in-memory workflow writes the same bits. ---------
+    in_memory = workdir / "released_in_memory.csv"
+    normalizer = ZScoreNormalizer()
+    normalized = normalizer.fit(matrix).transform(matrix)
+    result = RBT(thresholds=0.3, random_state=7).transform(normalized)
+    matrix_to_csv(result.matrix, in_memory)
+    identical = released.read_bytes() == in_memory.read_bytes()
+    print(f"streamed output byte-identical to the in-memory path: {identical}")
+    assert identical
+
+    # -- Owner-side inversion, also streamed. --------------------------------
+    restored = workdir / "restored.csv"
+    n_rows = stream_invert(released, restored, report.secret(), chunk_rows=128)
+    error = np.abs(matrix_from_csv(restored).values - normalized.values).max()
+    print(f"streamed invert restored {n_rows} rows, max |error| = {error:.2e}")
+    assert error < 1e-12
+
+
+if __name__ == "__main__":
+    main()

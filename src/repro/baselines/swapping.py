@@ -46,6 +46,11 @@ class ValueSwappingPerturbation(PerturbationMethod):
             return result
         for column in range(array.shape[1]):
             chosen = rng.choice(n_objects, size=n_to_swap, replace=False)
-            permuted = rng.permutation(chosen)
-            result[chosen, column] = array[permuted, column]
+            # A uniform permutation of the chosen rows leaves ~1 fixed point
+            # in expectation (and more by chance), so the realized swap
+            # fraction would fall systematically below ``swap_fraction``.
+            # Cycling the randomly ordered subset is a fixed-point-free
+            # permutation (a uniform random cycle on the chosen rows), so
+            # every chosen row receives another chosen row's value.
+            result[chosen, column] = array[np.roll(chosen, 1), column]
         return result

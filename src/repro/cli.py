@@ -43,6 +43,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 from pathlib import Path
@@ -62,6 +63,7 @@ from .metrics import (
     privacy_report,
 )
 from .perf.kernels import max_abs_distance_difference
+from .pipeline.streaming import StreamingReleasePipeline, stream_invert
 from .preprocessing import MinMaxNormalizer, ZScoreNormalizer
 
 __all__ = ["main", "build_parser"]
@@ -116,12 +118,30 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument(
         "--report", type=Path, default=None, help="write a JSON privacy report here"
     )
+    transform.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help=(
+            "stream the release in blocks of this many rows (out-of-core path; "
+            "the output is byte-identical to the default in-memory path)"
+        ),
+    )
 
     invert = subparsers.add_parser("invert", help="undo a release using a saved secret")
     invert.add_argument("input", type=Path, help="released CSV")
     invert.add_argument("output", type=Path, help="where to write the restored (normalized) CSV")
     invert.add_argument("--secret", type=Path, required=True, help="rotation secret JSON")
     invert.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
+    invert.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help=(
+            "restore in blocks of this many rows (out-of-core path; the output "
+            "is byte-identical to the default in-memory path)"
+        ),
+    )
 
     evaluate = subparsers.add_parser(
         "evaluate", help="compare an original (normalized) CSV with a released CSV"
@@ -202,32 +222,47 @@ def build_parser() -> argparse.ArgumentParser:
 # Commands
 # --------------------------------------------------------------------------- #
 def _command_transform(args: argparse.Namespace) -> int:
-    matrix = matrix_from_csv(args.input, id_column=args.id_column)
     normalizer = ZScoreNormalizer() if args.normalizer == "zscore" else MinMaxNormalizer()
-    normalized = normalizer.fit(matrix).transform(matrix)
-
     transformer = RBT(thresholds=args.threshold, strategy=args.strategy, random_state=args.seed)
-    result = transformer.transform(normalized)
-    matrix_to_csv(result.matrix, args.output, float_format="%.12f")
-    print(
-        f"released {result.matrix.n_objects} objects x "
-        f"{result.matrix.n_attributes} attributes -> {args.output}"
-    )
+
+    if args.chunk_rows is not None:
+        # Out-of-core path: constant memory in the number of rows, output
+        # byte-identical to the in-memory branch below.
+        pipeline = StreamingReleasePipeline(
+            transformer, normalizer=normalizer, chunk_rows=args.chunk_rows
+        )
+        streamed = pipeline.run(args.input, args.output, id_column=args.id_column)
+        n_objects, n_attributes = streamed.n_objects, streamed.n_attributes
+        records = streamed.records
+        pairs = streamed.pairs
+        secret = streamed.secret()
+        report = streamed.privacy
+    else:
+        matrix = matrix_from_csv(args.input, id_column=args.id_column)
+        normalized = normalizer.fit(matrix).transform(matrix)
+        result = transformer.transform(normalized)
+        matrix_to_csv(result.matrix, args.output)
+        n_objects, n_attributes = result.matrix.n_objects, result.matrix.n_attributes
+        records = result.records
+        pairs = result.pairs
+        secret = RBTSecret.from_result(result)
+        report = privacy_report(normalized, result.matrix) if args.report is not None else None
+
+    print(f"released {n_objects} objects x {n_attributes} attributes -> {args.output}")
 
     if args.secret is not None:
-        RBTSecret.from_result(result).save(args.secret)
+        secret.save(args.secret)
         print(f"rotation secret written to {args.secret} (keep it private)")
     if args.report is not None:
-        report = privacy_report(normalized, result.matrix)
         payload = {
             "threshold": args.threshold,
-            "pairs": [list(pair) for pair in result.pairs],
+            "pairs": [list(pair) for pair in pairs],
             "min_variance_difference": report.minimum_variance_difference,
             "attributes": report.as_dict(),
         }
         args.report.write_text(json.dumps(payload, indent=2), encoding="utf-8")
         print(f"privacy report written to {args.report}")
-    for record in result.records:
+    for record in records:
         print(
             f"  pair {record.pair}: theta drawn from "
             f"[{record.security_range.lower_bound:.2f}, {record.security_range.upper_bound:.2f}] deg, "
@@ -237,10 +272,19 @@ def _command_transform(args: argparse.Namespace) -> int:
 
 
 def _command_invert(args: argparse.Namespace) -> int:
-    released = matrix_from_csv(args.input, id_column=args.id_column)
     secret = RBTSecret.load(args.secret)
-    restored = secret.invert(released)
-    matrix_to_csv(restored, args.output, float_format="%.12f")
+    if args.chunk_rows is not None:
+        stream_invert(
+            args.input,
+            args.output,
+            secret,
+            chunk_rows=args.chunk_rows,
+            id_column=args.id_column,
+        )
+    else:
+        released = matrix_from_csv(args.input, id_column=args.id_column)
+        restored = secret.invert(released)
+        matrix_to_csv(restored, args.output)
     print(f"restored matrix written to {args.output}")
     return 0
 
@@ -338,11 +382,16 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _write_labels(path: Path, matrix: DataMatrix, labels: np.ndarray) -> None:
-    """Write an ``id,label`` CSV (positional ids when the matrix has none)."""
+    """Write an ``id,label`` CSV (positional ids when the matrix has none).
+
+    Ids are emitted through :mod:`csv` so values containing commas, quotes
+    or newlines are quoted correctly instead of corrupting the file.
+    """
     ids = matrix.ids if matrix.ids is not None else tuple(range(matrix.n_objects))
-    lines = ["id,label"]
-    lines.extend(f"{object_id},{int(label)}" for object_id, label in zip(ids, labels))
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "label"])
+        writer.writerows([object_id, int(label)] for object_id, label in zip(ids, labels))
 
 
 _COMMANDS = {

@@ -55,6 +55,7 @@ def select_pairs(
     strategy: PairSelectionStrategy | str = PairSelectionStrategy.INTERLEAVED,
     explicit_pairs: Sequence[tuple[str, str]] | None = None,
     values: np.ndarray | None = None,
+    correlation: np.ndarray | None = None,
     random_state=None,
 ) -> list[tuple[str, str]]:
     """Group ``columns`` into rotation pairs according to ``strategy``.
@@ -71,8 +72,13 @@ def select_pairs(
         and the second element of a trailing odd pair has already been
         distorted by an earlier pair.
     values:
-        Column-value matrix aligned with ``columns``; required by
-        ``MAX_VARIANCE`` (used to compute the correlation structure).
+        Column-value matrix aligned with ``columns``; used by
+        ``MAX_VARIANCE`` to compute the correlation structure.
+    correlation:
+        Pre-computed ``(n, n)`` correlation matrix aligned with ``columns``;
+        an alternative to ``values`` for ``MAX_VARIANCE`` (the streaming
+        release pipeline derives it from chunk-accumulated moments without
+        materializing the columns).
     random_state:
         Seed / generator for the ``RANDOM`` strategy.
 
@@ -102,7 +108,7 @@ def select_pairs(
         rng = ensure_rng(random_state)
         ordered = [columns[index] for index in rng.permutation(len(columns))]
     elif strategy is PairSelectionStrategy.MAX_VARIANCE:
-        ordered = _max_variance_order(columns, values)
+        ordered = _max_variance_order(columns, values, correlation)
     else:  # pragma: no cover - exhaustive enum
         raise PairSelectionError(f"unsupported strategy {strategy}")
     return _pair_up(ordered)
@@ -120,7 +126,11 @@ def _interleave(columns: Sequence[str]) -> list[str]:
     return ordered
 
 
-def _max_variance_order(columns: Sequence[str], values: np.ndarray | None) -> list[str]:
+def _max_variance_order(
+    columns: Sequence[str],
+    values: np.ndarray | None,
+    correlation: np.ndarray | None = None,
+) -> list[str]:
     """Greedy pairing: repeatedly pair the two remaining least-correlated columns.
 
     Lower |correlation| leaves more of the rotation's energy in the difference
@@ -128,15 +138,26 @@ def _max_variance_order(columns: Sequence[str], values: np.ndarray | None) -> li
     the paper's "maximize the variance between the original and the distorted
     attributes" remark as a greedy heuristic.
     """
-    if values is None:
-        raise PairSelectionError("max_variance strategy requires the column values")
-    values = np.asarray(values, dtype=float)
-    if values.ndim != 2 or values.shape[1] != len(columns):
-        raise PairSelectionError(
-            f"values must be a 2-D array with {len(columns)} column(s), got shape {values.shape}"
-        )
-    with np.errstate(invalid="ignore"):
-        correlation = np.corrcoef(values, rowvar=False)
+    if correlation is None:
+        if values is None:
+            raise PairSelectionError(
+                "max_variance strategy requires the column values or a correlation matrix"
+            )
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(columns):
+            raise PairSelectionError(
+                f"values must be a 2-D array with {len(columns)} column(s), "
+                f"got shape {values.shape}"
+            )
+        with np.errstate(invalid="ignore"):
+            correlation = np.corrcoef(values, rowvar=False)
+    else:
+        correlation = np.asarray(correlation, dtype=float)
+        if correlation.shape != (len(columns), len(columns)):
+            raise PairSelectionError(
+                f"correlation must be a {len(columns)}x{len(columns)} matrix, "
+                f"got shape {correlation.shape}"
+            )
     correlation = np.nan_to_num(correlation, nan=0.0)
     remaining = list(range(len(columns)))
     ordered_indices: list[int] = []

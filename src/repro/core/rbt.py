@@ -35,9 +35,11 @@ from .._validation import check_integer_in_range, ensure_rng
 from ..data import DataMatrix
 from ..exceptions import ValidationError
 from ..metrics.privacy import perturbation_variance
+from ..perf.analytic import pair_moments
+from ..perf.streaming import streamed_correlation
 from .pair_selection import PairSelectionStrategy, select_pairs
-from .rotation import rotate_pair, rotation_matrix
-from .security_range import SecurityRange, solve_security_range
+from .rotation import rotate_block, rotate_pair
+from .security_range import SecurityRange, solve_security_range_from_moments
 from .thresholds import PairwiseSecurityThreshold
 
 __all__ = ["RBT", "RotationRecord", "RBTResult", "rbt_transform"]
@@ -109,11 +111,11 @@ class RBTResult:
         for record in reversed(self.records):
             index_i = columns.index(record.pair[0])
             index_j = columns.index(record.pair[1])
-            inverse_matrix = rotation_matrix(record.theta_degrees).T  # R^{-1} = R^T
-            stacked = np.vstack([values[:, index_i], values[:, index_j]])
-            restored = inverse_matrix @ stacked
-            values[:, index_i] = restored[0]
-            values[:, index_j] = restored[1]
+            restored_i, restored_j = rotate_block(  # R^{-1} = R^T
+                values[:, index_i], values[:, index_j], record.theta_degrees, inverse=True
+            )
+            values[:, index_i] = restored_i
+            values[:, index_j] = restored_j
         return self.matrix.with_values(values)
 
     def summary(self) -> list[dict[str, object]]:
@@ -228,23 +230,9 @@ class RBT:
             column_i = values[:, index_i].copy()
             column_j = values[:, index_j].copy()
 
-            security_range = solve_security_range(
-                column_i,
-                column_j,
-                threshold,
-                method=self.solver,
-                resolution=self.resolution,
-                ddof=self.ddof,
-            )
-            if self.angles is not None:
-                theta = float(self.angles[pair_index])
-                if not security_range.contains(theta, tolerance=0.25):
-                    raise ValidationError(
-                        f"fixed angle {theta}° for pair {pair} lies outside its security range "
-                        f"{security_range.intervals}"
-                    )
-            else:
-                theta = security_range.sample(rng)
+            moments = pair_moments(column_i, column_j, ddof=self.ddof)
+            security_range = self.solve_range_from_moments(moments, threshold)
+            theta = self.choose_theta(pair_index, pair, security_range, rng)
 
             rotated_i, rotated_j = rotate_pair(column_i, column_j, theta)
             achieved = (
@@ -272,6 +260,86 @@ class RBT:
         return self.transform(matrix)
 
     # ------------------------------------------------------------------ #
+    # Planning primitives (shared with the streaming release pipeline)
+    # ------------------------------------------------------------------ #
+    def solve_range_from_moments(self, moments, threshold) -> SecurityRange:
+        """Solve one pair's security range from its ``(σ_i², σ_j², σ_ij)``.
+
+        This is Step 2b expressed on moment summaries alone, so the
+        streaming pipeline — which accumulates the moments from row chunks —
+        reaches the exact security range the in-memory path computes.
+        """
+        variance_i, variance_j, covariance = moments
+        return solve_security_range_from_moments(
+            variance_i,
+            variance_j,
+            covariance,
+            threshold,
+            method=self.solver,
+            resolution=self.resolution,
+        )
+
+    def choose_theta(
+        self,
+        pair_index: int,
+        pair: tuple[str, str],
+        security_range: SecurityRange,
+        rng: np.random.Generator,
+    ) -> float:
+        """Pick the rotation angle of one pair (Step 2c): fixed or sampled."""
+        if self.angles is not None:
+            theta = float(self.angles[pair_index])
+            if not security_range.contains(theta, tolerance=0.25):
+                raise ValidationError(
+                    f"fixed angle {theta}° for pair {pair} lies outside its security range "
+                    f"{security_range.intervals}"
+                )
+            return theta
+        return security_range.sample(rng)
+
+    def resolve_pairs_for_columns(
+        self,
+        columns: Sequence[str],
+        *,
+        values: np.ndarray | None = None,
+        correlation: np.ndarray | None = None,
+    ) -> list[tuple[str, str]]:
+        """Run Step 1 (pair selection) from column names and optional statistics.
+
+        ``values`` feeds the ``max_variance`` strategy in the in-memory path;
+        the streaming pipeline passes a ``correlation`` matrix derived from
+        its chunk-accumulated moments instead.  The in-memory branch derives
+        its correlation through the same chunk-invariant reducer
+        (:func:`repro.perf.streaming.streamed_correlation`), so the greedy
+        pairing — and with it the drawn angles — is bitwise identical
+        between the two paths even on near-tied correlations.
+        """
+        if len(columns) < 2:
+            raise ValidationError(
+                f"RBT needs at least two attributes to rotate, got {len(columns)}"
+            )
+        if self.pairs is not None:
+            return select_pairs(
+                columns,
+                strategy=PairSelectionStrategy.EXPLICIT,
+                explicit_pairs=self.pairs,
+            )
+        if (
+            self.strategy is PairSelectionStrategy.MAX_VARIANCE
+            and correlation is None
+            and values is not None
+        ):
+            correlation = streamed_correlation(values, ddof=1)
+            values = None
+        return select_pairs(
+            columns,
+            strategy=self.strategy,
+            values=values,
+            correlation=correlation,
+            random_state=self.random_state,
+        )
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -281,22 +349,7 @@ class RBT:
         return DataMatrix(matrix)
 
     def _resolve_pairs(self, matrix: DataMatrix) -> list[tuple[str, str]]:
-        if matrix.n_attributes < 2:
-            raise ValidationError(
-                f"RBT needs at least two attributes to rotate, got {matrix.n_attributes}"
-            )
-        if self.pairs is not None:
-            return select_pairs(
-                matrix.columns,
-                strategy=PairSelectionStrategy.EXPLICIT,
-                explicit_pairs=self.pairs,
-            )
-        return select_pairs(
-            matrix.columns,
-            strategy=self.strategy,
-            values=matrix.values,
-            random_state=self.random_state,
-        )
+        return self.resolve_pairs_for_columns(matrix.columns, values=matrix.values)
 
 
 def rbt_transform(

@@ -21,7 +21,7 @@ import numpy as np
 from .._validation import as_float_vector
 from ..exceptions import ValidationError
 
-__all__ = ["rotation_matrix", "rotate_pair", "is_rotation_matrix"]
+__all__ = ["rotation_matrix", "rotate_pair", "rotate_block", "is_rotation_matrix"]
 
 
 def rotation_matrix(theta_degrees: float) -> np.ndarray:
@@ -29,6 +29,31 @@ def rotation_matrix(theta_degrees: float) -> np.ndarray:
     theta = np.deg2rad(float(theta_degrees))
     cos_t, sin_t = np.cos(theta), np.sin(theta)
     return np.array([[cos_t, sin_t], [-sin_t, cos_t]], dtype=float)
+
+
+def rotate_block(
+    attribute_i: np.ndarray,
+    attribute_j: np.ndarray,
+    theta_degrees: float,
+    *,
+    inverse: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise rotation kernel shared by the in-memory and streaming paths.
+
+    Computes ``A_i' = cosθ·A_i + sinθ·A_j`` and ``A_j' = cosθ·A_j − sinθ·A_i``
+    (``inverse=True`` flips the sign of ``sinθ``, i.e. applies ``R(θ)ᵀ``).
+    Because every operation is elementwise — no matrix product, whose BLAS
+    kernel selection can depend on the operand length — rotating a column in
+    row chunks produces bitwise-identical values to rotating it whole, which
+    is what makes the streamed release byte-identical to the in-memory one.
+    Inputs are not validated; callers pass equal-length float arrays.
+    """
+    theta = np.deg2rad(float(theta_degrees))
+    cos_t = float(np.cos(theta))
+    sin_t = float(np.sin(theta))
+    if inverse:
+        sin_t = -sin_t
+    return cos_t * attribute_i + sin_t * attribute_j, cos_t * attribute_j - sin_t * attribute_i
 
 
 def rotate_pair(
@@ -62,10 +87,7 @@ def rotate_pair(
             "attribute_i and attribute_j must have the same length, "
             f"got {attribute_i.size} and {attribute_j.size}"
         )
-    matrix = rotation_matrix(theta_degrees)
-    stacked = np.vstack([attribute_i, attribute_j])
-    rotated = matrix @ stacked
-    return rotated[0], rotated[1]
+    return rotate_block(attribute_i, attribute_j, theta_degrees)
 
 
 def is_rotation_matrix(matrix, *, atol: float = 1e-10) -> bool:

@@ -24,8 +24,8 @@ import numpy as np
 
 from ..data import DataMatrix
 from ..exceptions import SerializationError, ValidationError
-from .rbt import RBTResult
-from .rotation import rotation_matrix
+from .rbt import RBTResult, RotationRecord
+from .rotation import rotate_block
 from .thresholds import PairwiseSecurityThreshold
 
 __all__ = ["RotationStep", "RBTSecret"]
@@ -80,13 +80,19 @@ class RBTSecret:
     @classmethod
     def from_result(cls, result: RBTResult) -> "RBTSecret":
         """Extract the secret from an :class:`~repro.core.RBTResult`."""
+        return cls.from_records(result.records)
+
+    @classmethod
+    def from_records(cls, records: Sequence[RotationRecord]) -> "RBTSecret":
+        """Build a secret from rotation records (an :class:`RBTResult`'s or a
+        streaming release report's)."""
         steps = tuple(
             RotationStep(
                 pair=record.pair,
                 theta_degrees=record.theta_degrees,
                 threshold=record.threshold.as_tuple(),
             )
-            for record in result.records
+            for record in records
         )
         return cls(steps)
 
@@ -111,10 +117,9 @@ class RBTSecret:
         """Undo the recorded rotations (in reverse order) on a released matrix."""
         return self._run(released, inverse=True)
 
-    def _run(self, matrix: DataMatrix, *, inverse: bool) -> DataMatrix:
-        if not isinstance(matrix, DataMatrix):
-            raise ValidationError("RBTSecret operates on DataMatrix instances")
-        columns = list(matrix.columns)
+    def check_columns(self, columns: Sequence[str]) -> None:
+        """Validate that every attribute the secret references is present."""
+        columns = list(columns)
         for step in self.steps:
             for name in step.pair:
                 if name not in columns:
@@ -122,19 +127,51 @@ class RBTSecret:
                         f"secret refers to attribute {name!r} which is not in the matrix "
                         f"(columns: {columns})"
                     )
-        values = matrix.values.copy()
+
+    def apply_to_block(
+        self,
+        values,
+        columns: Sequence[str],
+        *,
+        inverse: bool = False,
+        copy: bool = True,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """Apply (or undo) the recorded rotations to a raw ``(rows, n)`` block.
+
+        The rotation is a fixed linear map once the angles are chosen, applied
+        elementwise per row — so running it block-by-block over a stream of
+        row chunks produces bitwise-identical values to running it on the
+        whole matrix.  This is the kernel behind both :meth:`apply` /
+        :meth:`invert` and the streaming ``invert`` path.
+
+        ``copy=False`` mutates and returns ``values`` (the block must be a
+        writable float array the caller owns) and ``validate=False`` skips
+        the per-call column check — the streaming path validates once up
+        front and owns every freshly parsed chunk, so it opts out of both
+        in its per-chunk loop.
+        """
+        if validate:
+            self.check_columns(columns)
+        columns = list(columns)
+        values = np.array(values, dtype=float, copy=True) if copy else values
         ordered = reversed(self.steps) if inverse else self.steps
         for step in ordered:
             index_i = columns.index(step.pair[0])
             index_j = columns.index(step.pair[1])
-            transform = rotation_matrix(step.theta_degrees)
-            if inverse:
-                transform = transform.T
-            stacked = np.vstack([values[:, index_i], values[:, index_j]])
-            rotated = transform @ stacked
-            values[:, index_i] = rotated[0]
-            values[:, index_j] = rotated[1]
-        return matrix.with_values(values)
+            rotated_i, rotated_j = rotate_block(
+                values[:, index_i], values[:, index_j], step.theta_degrees, inverse=inverse
+            )
+            values[:, index_i] = rotated_i
+            values[:, index_j] = rotated_j
+        return values
+
+    def _run(self, matrix: DataMatrix, *, inverse: bool) -> DataMatrix:
+        if not isinstance(matrix, DataMatrix):
+            raise ValidationError("RBTSecret operates on DataMatrix instances")
+        return matrix.with_values(
+            self.apply_to_block(matrix.values, matrix.columns, inverse=inverse)
+        )
 
     # ------------------------------------------------------------------ #
     # Serialization

@@ -62,6 +62,7 @@ __all__ = [
     "variance_difference_curves",
     "compute_variance_curves",
     "solve_security_range",
+    "solve_security_range_from_moments",
 ]
 
 
@@ -224,6 +225,39 @@ def solve_security_range(
         If no angle satisfies both constraints (the thresholds are too large
         for this pair).
     """
+    # The three moments determine both curves completely; compute them once
+    # instead of re-reducing the columns on every probe.
+    variance_i, variance_j, covariance = pair_moments(attribute_i, attribute_j, ddof=ddof)
+    return solve_security_range_from_moments(
+        variance_i,
+        variance_j,
+        covariance,
+        threshold,
+        method=method,
+        resolution=resolution,
+        refine_iterations=refine_iterations,
+    )
+
+
+def solve_security_range_from_moments(
+    variance_i: float,
+    variance_j: float,
+    covariance: float,
+    threshold,
+    *,
+    method: str = "analytic",
+    resolution: int = 7200,
+    refine_iterations: int = 40,
+) -> SecurityRange:
+    """Compute a security range directly from ``(σ_i², σ_j², σ_ij)``.
+
+    Both variance-difference curves are functions of these three moments
+    alone, so callers that already hold them — the streaming release
+    pipeline accumulates them from row chunks without materializing the
+    columns — can solve the range without the data.
+    :func:`solve_security_range` is a thin wrapper that computes the moments
+    from two columns and delegates here.
+    """
     threshold = PairwiseSecurityThreshold.coerce(threshold)
     resolution = check_integer_in_range(resolution, name="resolution", minimum=16)
     refine_iterations = check_integer_in_range(
@@ -231,9 +265,6 @@ def solve_security_range(
     )
     if method not in ("analytic", "grid"):
         raise ValidationError(f"method must be 'analytic' or 'grid', got {method!r}")
-    # The three moments determine both curves completely; compute them once
-    # instead of re-reducing the columns on every probe.
-    variance_i, variance_j, covariance = pair_moments(attribute_i, attribute_j, ddof=ddof)
 
     if method == "analytic":
         intervals = solve_admissible_angles(

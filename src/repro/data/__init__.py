@@ -23,6 +23,10 @@ from .io import (
     write_json,
     matrix_from_csv,
     matrix_to_csv,
+    iter_matrix_csv,
+    read_matrix_csv_header,
+    MatrixCsvChunk,
+    MatrixCsvWriter,
 )
 from . import datasets
 
@@ -38,5 +42,9 @@ __all__ = [
     "write_json",
     "matrix_from_csv",
     "matrix_to_csv",
+    "iter_matrix_csv",
+    "read_matrix_csv_header",
+    "MatrixCsvChunk",
+    "MatrixCsvWriter",
     "datasets",
 ]

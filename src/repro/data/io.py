@@ -1,17 +1,36 @@
-"""CSV / JSON persistence for tables and data matrices.
+"""CSV / JSON persistence for tables and data matrices, in-memory and streamed.
 
 The data owner in the paper's scenarios *releases* a transformed database to
 a third party.  These helpers provide the serialization layer for that
 release: plain CSV and JSON, with the schema stored alongside the values so a
 :class:`~repro.data.Table` round-trips losslessly.
+
+Two access styles are provided for matrix CSVs:
+
+* **Materialized** — :func:`matrix_to_csv` / :func:`matrix_from_csv` read or
+  write a whole :class:`~repro.data.DataMatrix` at once.
+* **Streamed** — :func:`iter_matrix_csv` yields :class:`MatrixCsvChunk` row
+  blocks under a configurable ``chunk_rows``, and :class:`MatrixCsvWriter`
+  appends row blocks incrementally; together they let the release pipeline
+  process datasets that never fit in memory.  The materialized functions are
+  thin wrappers over the streamed ones, so both paths share one parser, one
+  validator and one value formatter — a matrix written chunk-by-chunk is
+  byte-identical to the same matrix written in one call.
+
+Float values are serialized with the shortest round-tripping representation
+(:func:`repr`) by default, so a write → read cycle restores every value
+**bitwise** — the owner's ``transform`` → ``invert`` contract depends on it.
+Pass an explicit printf-style ``float_format`` (e.g. ``"%.6f"``) only for
+deliberately lossy, human-oriented output.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -27,7 +46,16 @@ __all__ = [
     "read_json",
     "matrix_to_csv",
     "matrix_from_csv",
+    "iter_matrix_csv",
+    "read_matrix_csv_header",
+    "MatrixCsvChunk",
+    "MatrixCsvWriter",
+    "format_value",
+    "DEFAULT_CHUNK_ROWS",
 ]
+
+#: Default rows per block yielded by :func:`iter_matrix_csv`.
+DEFAULT_CHUNK_ROWS: int = 16384
 
 
 def write_csv(table: Table, path: str | Path, *, include_header: bool = True) -> None:
@@ -64,6 +92,7 @@ def read_csv(
     header, *data_rows = rows
     if not data_rows:
         raise SerializationError(f"CSV file {path} has a header but no data rows")
+    _check_unique_header(header, path)
 
     columns: dict[str, list[str]] = {name: [] for name in header}
     for row in data_rows:
@@ -112,6 +141,20 @@ def read_csv(
     return Table(schema, typed)
 
 
+def _check_unique_header(header: Sequence[str], path: Path) -> None:
+    """Duplicate header names silently merge columns downstream — reject them."""
+    if len(set(header)) != len(header):
+        seen: set[str] = set()
+        repeated: set[str] = set()
+        for name in header:
+            (repeated if name in seen else seen).add(name)
+        duplicates = sorted(repeated)
+        raise SerializationError(
+            f"CSV file {path} declares duplicate header name(s) {duplicates}; "
+            "column names must be unique"
+        )
+
+
 def _all_parse_as_float(values: Sequence[str]) -> bool:
     """Whether every string in ``values`` parses as a finite float."""
     for value in values:
@@ -150,12 +193,7 @@ def read_json(path: str | Path) -> Table:
     if "schema" not in payload or "records" not in payload:
         raise SerializationError(f"file {path} is missing the 'schema' or 'records' key")
     try:
-        schema = Schema(
-            tuple(
-                _spec_from_payload(entry)
-                for entry in payload["schema"]
-            )
-        )
+        schema = Schema(tuple(_spec_from_payload(entry) for entry in payload["schema"]))
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"invalid schema payload in {path}: {exc}") from exc
     return Table.from_records(payload["records"], schema=schema)
@@ -174,46 +212,247 @@ def _to_jsonable(value):
     return value
 
 
-def matrix_to_csv(matrix: DataMatrix, path: str | Path, *, float_format: str = "%.6f") -> None:
-    """Write a :class:`DataMatrix` to CSV (ids first when present)."""
+# --------------------------------------------------------------------------- #
+# Matrix CSV — streamed core
+# --------------------------------------------------------------------------- #
+def format_value(value, float_format: str | None = None) -> str:
+    """Serialize one matrix value.
+
+    With the default ``float_format=None`` the shortest representation that
+    round-trips (``repr``) is used, so ``float(format_value(x)) == x``
+    bitwise for every finite float.  A printf-style format gives legacy
+    fixed-precision (lossy) output.
+    """
+    if float_format is None:
+        return repr(float(value))
+    return float_format % value
+
+
+@dataclass(frozen=True)
+class MatrixCsvChunk:
+    """One block of rows from a streamed matrix CSV."""
+
+    #: ``(rows, n_attributes)`` float array of this block's values.
+    values: np.ndarray
+    #: Object identifiers of this block, or ``None`` when the CSV has none.
+    ids: tuple | None
+    #: Attribute names (identical across every chunk of one file).
+    columns: tuple[str, ...]
+    #: Absolute index of this block's first data row (0-based).
+    start_row: int
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows in this block."""
+        return self.values.shape[0]
+
+
+def read_matrix_csv_header(
+    path: str | Path, *, id_column: str | None = "id"
+) -> tuple[tuple[str, ...], bool]:
+    """Return ``(value_columns, has_ids)`` for a matrix CSV without reading rows."""
     path = Path(path)
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        header = (["id"] if matrix.ids is not None else []) + list(matrix.columns)
-        writer.writerow(header)
-        for row_index in range(matrix.n_objects):
-            row = []
-            if matrix.ids is not None:
-                row.append(matrix.ids[row_index])
-            row.extend(float_format % value for value in matrix.values[row_index])
-            writer.writerow(row)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = None
+        for row in reader:
+            if row:
+                header = row
+                break
+    if header is None:
+        raise SerializationError(f"CSV file {path} does not contain a header and data rows")
+    _check_unique_header(header, path)
+    has_ids = id_column is not None and bool(header) and header[0] == id_column
+    value_columns = tuple(header[1:] if has_ids else header)
+    return value_columns, has_ids
+
+
+def iter_matrix_csv(
+    path: str | Path,
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    id_column: str | None = "id",
+) -> Iterator[MatrixCsvChunk]:
+    """Stream a matrix CSV as :class:`MatrixCsvChunk` blocks of ``chunk_rows`` rows.
+
+    The parser, validation and value typing are exactly those of
+    :func:`matrix_from_csv` (which is built on this iterator): ragged rows,
+    non-numeric values, duplicate headers and empty files raise
+    :class:`~repro.exceptions.SerializationError`.  Peak memory is one block,
+    independent of the file size.
+    """
+    path = Path(path)
+    chunk_rows = int(chunk_rows)
+    if chunk_rows < 1:
+        raise SerializationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header: list[str] | None = None
+        ids: list | None = None
+        rows: list[list[float]] = []
+        start_row = 0
+        n_yielded = 0
+        columns: tuple[str, ...] = ()
+        has_ids = False
+        for row in reader:
+            if not row:
+                continue
+            if header is None:
+                header = row
+                _check_unique_header(header, path)
+                has_ids = id_column is not None and bool(header) and header[0] == id_column
+                columns = tuple(header[1:] if has_ids else header)
+                ids = [] if has_ids else None
+                continue
+            if len(row) != len(header):
+                raise SerializationError(
+                    f"CSV row has {len(row)} field(s) but the header declares {len(header)}"
+                )
+            if has_ids:
+                ids.append(row[0])  # type: ignore[union-attr]
+                payload = row[1:]
+            else:
+                payload = row
+            try:
+                rows.append([float(value) for value in payload])
+            except ValueError as exc:
+                raise SerializationError(f"non-numeric value in matrix CSV {path}: {exc}") from exc
+            if len(rows) == chunk_rows:
+                yield MatrixCsvChunk(
+                    values=np.asarray(rows, dtype=float).reshape(len(rows), len(columns)),
+                    ids=tuple(ids) if has_ids else None,
+                    columns=columns,
+                    start_row=start_row,
+                )
+                start_row += len(rows)
+                n_yielded += len(rows)
+                rows = []
+                ids = [] if has_ids else None
+        if rows:
+            yield MatrixCsvChunk(
+                values=np.asarray(rows, dtype=float).reshape(len(rows), len(columns)),
+                ids=tuple(ids) if has_ids else None,
+                columns=columns,
+                start_row=start_row,
+            )
+            n_yielded += len(rows)
+    if header is None or n_yielded == 0:
+        raise SerializationError(f"CSV file {path} does not contain a header and data rows")
+
+
+class MatrixCsvWriter:
+    """Incremental matrix CSV writer (the streamed dual of :func:`iter_matrix_csv`).
+
+    Writes the header on construction and appends row blocks with
+    :meth:`write_rows`; use as a context manager.  A file assembled from any
+    sequence of blocks is byte-identical to :func:`matrix_to_csv` writing the
+    same rows at once, because both share this class and one value formatter.
+
+    Parameters
+    ----------
+    path:
+        Destination file.
+    columns:
+        Attribute names (the value columns of the header).
+    include_ids:
+        Whether an ``id`` column leads each row; :meth:`write_rows` then
+        requires ``ids``.
+    float_format:
+        ``None`` (default) for bitwise round-tripping shortest-repr output,
+        or a printf-style format for legacy fixed-precision output.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        columns: Sequence[str],
+        *,
+        include_ids: bool = False,
+        float_format: str | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.columns = tuple(str(name) for name in columns)
+        self.include_ids = bool(include_ids)
+        self.float_format = float_format
+        self._rows_written = 0
+        self._handle = self.path.open("w", newline="", encoding="utf-8")
+        self._writer = csv.writer(self._handle)
+        header = (["id"] if self.include_ids else []) + list(self.columns)
+        self._writer.writerow(header)
+
+    @property
+    def rows_written(self) -> int:
+        """Number of data rows written so far."""
+        return self._rows_written
+
+    def write_rows(self, values, ids: Sequence | None = None) -> None:
+        """Append a ``(rows, n_attributes)`` block (with per-row ids when enabled)."""
+        if self._handle.closed:
+            raise SerializationError(f"MatrixCsvWriter for {self.path} is already closed")
+        block = np.asarray(values, dtype=float)
+        if block.ndim != 2 or block.shape[1] != len(self.columns):
+            raise SerializationError(
+                f"row block must have {len(self.columns)} column(s), got shape {block.shape}"
+            )
+        if self.include_ids:
+            if ids is None or len(ids) != block.shape[0]:
+                raise SerializationError(
+                    f"writer expects one id per row ({block.shape[0]}), "
+                    f"got {0 if ids is None else len(ids)}"
+                )
+        elif ids is not None:
+            raise SerializationError("writer was built with include_ids=False but ids were given")
+        fmt = self.float_format
+        for row_index in range(block.shape[0]):
+            row: list = []
+            if self.include_ids:
+                row.append(ids[row_index])  # type: ignore[index]
+            row.extend(format_value(value, fmt) for value in block[row_index])
+            self._writer.writerow(row)
+        self._rows_written += block.shape[0]
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "MatrixCsvWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# Matrix CSV — materialized wrappers
+# --------------------------------------------------------------------------- #
+def matrix_to_csv(
+    matrix: DataMatrix, path: str | Path, *, float_format: str | None = None
+) -> None:
+    """Write a :class:`DataMatrix` to CSV (ids first when present).
+
+    The default ``float_format=None`` emits the shortest representation that
+    round-trips, so :func:`matrix_from_csv` restores every value bitwise;
+    pass e.g. ``"%.6f"`` for deliberately truncated human-oriented output.
+    """
+    with MatrixCsvWriter(
+        path,
+        matrix.columns,
+        include_ids=matrix.ids is not None,
+        float_format=float_format,
+    ) as writer:
+        writer.write_rows(matrix.values, ids=matrix.ids)
 
 
 def matrix_from_csv(path: str | Path, *, id_column: str | None = "id") -> DataMatrix:
     """Read a :class:`DataMatrix` written by :func:`matrix_to_csv`."""
-    path = Path(path)
-    with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        rows = [row for row in reader if row]
-    if len(rows) < 2:
-        raise SerializationError(f"CSV file {path} does not contain a header and data rows")
-    header, *data_rows = rows
-    has_ids = id_column is not None and header and header[0] == id_column
-    value_columns = header[1:] if has_ids else header
-    ids: list[str] | None = [] if has_ids else None
-    values: list[list[float]] = []
-    for row in data_rows:
-        if len(row) != len(header):
-            raise SerializationError(
-                f"CSV row has {len(row)} field(s) but the header declares {len(header)}"
-            )
-        if has_ids:
-            ids.append(row[0])  # type: ignore[union-attr]
-            payload = row[1:]
-        else:
-            payload = row
-        try:
-            values.append([float(value) for value in payload])
-        except ValueError as exc:
-            raise SerializationError(f"non-numeric value in matrix CSV {path}: {exc}") from exc
-    return DataMatrix(values, columns=value_columns, ids=ids)
+    chunks = list(iter_matrix_csv(path, id_column=id_column))
+    values = (
+        chunks[0].values
+        if len(chunks) == 1
+        else np.concatenate([chunk.values for chunk in chunks], axis=0)
+    )
+    ids: list | None = None
+    if chunks[0].ids is not None:
+        ids = [object_id for chunk in chunks for object_id in chunk.ids]  # type: ignore[union-attr]
+    return DataMatrix(values, columns=chunks[0].columns, ids=ids)

@@ -13,6 +13,9 @@ Every expensive inner loop of the reproduction funnels through this package:
 * :mod:`repro.perf.cache` — a content-addressed LRU cache of pairwise
   distance matrices, shared by every distance-based clustering consumer so
   each (dataset, metric) matrix is computed exactly once per pipeline run.
+* :mod:`repro.perf.streaming` — chunk-size-invariant tiled moment
+  accumulators (fsum-combined per-tile partials) that make the streaming
+  release pipeline's statistics bitwise identical to the in-memory path.
 
 The kernels operate on plain ``numpy`` arrays and know nothing about the
 domain objects (``DataMatrix``, ``SecurityRange``, …); the domain modules in
@@ -30,6 +33,7 @@ from .analytic import (
     variance_curves_from_moments,
 )
 from .cache import DistanceCache
+from .streaming import STREAM_TILE_ROWS, StreamingMoments, streamed_pair_moments
 from .kernels import (
     DEFAULT_MEMORY_BUDGET_BYTES,
     assign_nearest_center,
@@ -45,7 +49,10 @@ from .kernels import (
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET_BYTES",
+    "STREAM_TILE_ROWS",
     "DistanceCache",
+    "StreamingMoments",
+    "streamed_pair_moments",
     "assign_nearest_center",
     "batched_inverse_rotations",
     "cross_squared_distances",

@@ -63,8 +63,13 @@ def pair_moments(attribute_i, attribute_j, *, ddof: int = 1) -> tuple[float, flo
     These three scalars fully determine both variance-difference curves
     (Eq. 8), so every downstream evaluation — curve sampling, threshold
     crossings, grid probes — can reuse them instead of re-reducing the
-    columns.
+    columns.  The reduction goes through the chunk-invariant tiled
+    accumulator of :mod:`repro.perf.streaming`, so the streaming release
+    pipeline obtains bitwise-identical moments (and therefore identical
+    security ranges and sampled angles) from row chunks of any size.
     """
+    from .streaming import streamed_pair_moments
+
     attribute_i = as_float_vector(attribute_i, name="attribute_i")
     attribute_j = as_float_vector(attribute_j, name="attribute_j")
     if attribute_i.shape != attribute_j.shape:
@@ -72,14 +77,9 @@ def pair_moments(attribute_i, attribute_j, *, ddof: int = 1) -> tuple[float, flo
             "attribute_i and attribute_j must have the same length, "
             f"got {attribute_i.size} and {attribute_j.size}"
         )
-    denominator = attribute_i.size - ddof
-    if denominator <= 0:
+    if attribute_i.size - ddof <= 0:
         raise ValidationError("not enough observations for the requested ddof")
-    variance_i = float(np.var(attribute_i, ddof=ddof))
-    variance_j = float(np.var(attribute_j, ddof=ddof))
-    centered_product = (attribute_i - attribute_i.mean()) * (attribute_j - attribute_j.mean())
-    covariance = float(np.sum(centered_product) / denominator)
-    return variance_i, variance_j, covariance
+    return streamed_pair_moments(attribute_i, attribute_j, ddof=ddof)
 
 
 def variance_curves_from_moments(

@@ -1,0 +1,288 @@
+"""Chunk-size-invariant streaming statistics for the out-of-core release path.
+
+The streaming release pipeline (:mod:`repro.pipeline.streaming`) promises that
+the bytes it writes are *identical* to the in-memory owner workflow, for any
+chunk size.  Everything downstream of the statistics — normalization, the
+security-range solve, the rotation itself — is elementwise or closed-form, so
+the whole promise reduces to one requirement: the per-column moments computed
+from a stream of row chunks must be **bitwise identical** to the moments
+computed from the materialized matrix.
+
+Naive chunked accumulation cannot deliver that: floating-point addition is not
+associative, so ``sum(chunk sums)`` depends on where the chunk boundaries
+fall.  :class:`StreamingMoments` removes the dependency with two ingredients:
+
+1. **Fixed tiling.**  Rows are buffered into tiles of :data:`STREAM_TILE_ROWS`
+   rows aligned to *absolute* row indices.  Each complete (or final partial)
+   tile is reduced with ``numpy``'s pairwise summation; because the tile
+   boundaries depend only on the absolute row position, every chunking of the
+   same rows produces the same tiles and therefore the same per-tile partials.
+2. **Exactly-rounded combination.**  The per-tile partial sums are combined
+   with :func:`math.fsum`, which returns the correctly rounded sum of its
+   inputs regardless of their order.
+
+Values are shifted by the first data row before any squaring, so the
+single-pass variance formula ``(Q − S²/m) / (m − ddof)`` operates on values
+whose magnitude is of the order of the data's spread rather than its mean —
+the classic shifted-data estimator — keeping it numerically safe even for
+un-normalized inputs.  The shift is itself a function of the stream content
+only (row 0), so it, too, is chunk-invariant.
+
+The accumulators operate on plain ``(rows, n_columns)`` float arrays and know
+nothing about CSV files or :class:`~repro.data.DataMatrix` — the I/O layer in
+:mod:`repro.data.io` and the pipeline own those concerns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import check_integer_in_range
+from ..exceptions import ValidationError
+
+__all__ = [
+    "STREAM_TILE_ROWS",
+    "StreamingMoments",
+    "correlation_from_moments",
+    "streamed_correlation",
+    "streamed_pair_moments",
+]
+
+#: Rows per reduction tile.  Large enough that the Python-level bookkeeping is
+#: negligible, small enough that a tile always fits in cache; the value is part
+#: of the bitwise contract (changing it changes the last-ulp rounding of the
+#: accumulated sums), so treat it like a file-format constant.
+STREAM_TILE_ROWS: int = 1024
+
+#: Per-tile partials are collapsed into one exactly-rounded super-partial every
+#: this many entries, so the partial lists stay O(1) in the row count (without
+#: it an N-row stream would hold N / STREAM_TILE_ROWS small arrays).  The
+#: collapse points are a function of the absolute tile sequence alone, so the
+#: result stays chunk-invariant; like the tile height, the value is part of
+#: the bitwise contract.
+_COMBINE_EVERY_TILES: int = 2048
+
+
+def _combine(parts: list[np.ndarray]) -> np.ndarray:
+    """Exactly-rounded per-column combination of partial-sum arrays."""
+    width = parts[0].shape[0]
+    return np.array([math.fsum(part[c] for part in parts) for c in range(width)], dtype=float)
+
+
+class StreamingMoments:
+    """Single-pass column moments that are invariant to chunk boundaries.
+
+    Feed row chunks with :meth:`update`; read statistics through
+    :meth:`means` / :meth:`variances` / :meth:`covariance` /
+    :meth:`pair_moments`.  Feeding the same rows split at *any* chunk
+    boundaries — one row at a time, or the whole matrix in a single call —
+    yields bitwise-identical statistics.
+
+    Parameters
+    ----------
+    n_columns:
+        Width of the row chunks.
+    cross:
+        When ``True`` also accumulate the pairwise cross products of every
+        column pair ``i < j`` (needed for covariances).  Off by default
+        because the normalizer fit only needs per-column moments.
+    tile_rows:
+        Reduction tile height; exposed for tests, keep the default otherwise.
+    """
+
+    def __init__(
+        self,
+        n_columns: int,
+        *,
+        cross: bool = False,
+        tile_rows: int = STREAM_TILE_ROWS,
+        combine_every: int = _COMBINE_EVERY_TILES,
+    ):
+        self._n_columns = check_integer_in_range(n_columns, name="n_columns", minimum=1)
+        tile_rows = check_integer_in_range(tile_rows, name="tile_rows", minimum=1)
+        self._combine_every = check_integer_in_range(combine_every, name="combine_every", minimum=2)
+        self._tile = np.empty((tile_rows, self._n_columns), dtype=float)
+        self._fill = 0
+        self._cross = bool(cross)
+        self._pairs = (
+            [(i, j) for i in range(self._n_columns) for j in range(i + 1, self._n_columns)]
+            if self._cross
+            else []
+        )
+        self._shift: np.ndarray | None = None
+        self._sum_parts: list[np.ndarray] = []
+        self._sumsq_parts: list[np.ndarray] = []
+        self._cross_parts: list[np.ndarray] = []
+        self._count = 0
+        self._finalized: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Accumulation
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of rows accumulated so far."""
+        return self._count
+
+    @property
+    def n_columns(self) -> int:
+        """Width of the accumulated rows."""
+        return self._n_columns
+
+    def update(self, chunk) -> "StreamingMoments":
+        """Accumulate a ``(rows, n_columns)`` chunk of values."""
+        if self._finalized is not None:
+            raise ValidationError("StreamingMoments cannot be updated after statistics were read")
+        array = np.asarray(chunk, dtype=float)
+        if array.ndim != 2 or array.shape[1] != self._n_columns:
+            raise ValidationError(
+                f"chunk must be a 2-D array with {self._n_columns} column(s), "
+                f"got shape {array.shape}"
+            )
+        if array.shape[0] == 0:
+            return self
+        if self._shift is None:
+            self._shift = array[0].astype(float, copy=True)
+        position = 0
+        tile_rows = self._tile.shape[0]
+        while position < array.shape[0]:
+            take = min(tile_rows - self._fill, array.shape[0] - position)
+            self._tile[self._fill : self._fill + take] = array[position : position + take]
+            self._fill += take
+            position += take
+            if self._fill == tile_rows:
+                self._flush(self._tile)
+                self._fill = 0
+        self._count += array.shape[0]
+        return self
+
+    def _flush(self, tile: np.ndarray) -> None:
+        """Reduce one C-contiguous tile into per-tile partial sums."""
+        shifted = tile - self._shift
+        self._sum_parts.append(shifted.sum(axis=0))
+        self._sumsq_parts.append((shifted * shifted).sum(axis=0))
+        if self._cross:
+            products = np.empty(len(self._pairs), dtype=float)
+            for index, (i, j) in enumerate(self._pairs):
+                products[index] = np.sum(shifted[:, i] * shifted[:, j])
+            self._cross_parts.append(products)
+        # Bound the partial lists: every _combine_every entries collapse into
+        # one exactly-rounded super-partial.  The trigger depends only on how
+        # many tiles have been flushed, never on the chunk boundaries, so the
+        # final statistics remain chunk-invariant.
+        if len(self._sum_parts) >= self._combine_every:
+            self._sum_parts = [_combine(self._sum_parts)]
+            self._sumsq_parts = [_combine(self._sumsq_parts)]
+            if self._cross:
+                self._cross_parts = [_combine(self._cross_parts)]
+
+    def _drain(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flush the partial tile and combine the per-tile partials exactly."""
+        if self._finalized is not None:
+            return self._finalized
+        if self._count == 0:
+            raise ValidationError("StreamingMoments received no rows")
+        if self._fill:
+            self._flush(self._tile[: self._fill])
+            self._fill = 0
+        sums = _combine(self._sum_parts)
+        sumsqs = _combine(self._sumsq_parts)
+        crosses = _combine(self._cross_parts) if self._cross_parts else np.empty(0, dtype=float)
+        self._finalized = (sums, sumsqs, crosses)
+        return self._finalized
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def means(self) -> np.ndarray:
+        """Per-column arithmetic means."""
+        sums, _, _ = self._drain()
+        return self._shift + sums / self._count
+
+    def variances(self, *, ddof: int = 0) -> np.ndarray:
+        """Per-column variances with the requested degrees of freedom."""
+        ddof = check_integer_in_range(ddof, name="ddof", minimum=0)
+        sums, sumsqs, _ = self._drain()
+        if self._count - ddof <= 0:
+            raise ValidationError(
+                f"variance with ddof={ddof} needs more than {ddof} row(s), got {self._count}"
+            )
+        centered = np.maximum(sumsqs - sums * sums / self._count, 0.0)
+        return centered / (self._count - ddof)
+
+    def covariance(self, column_i: int, column_j: int, *, ddof: int = 0) -> float:
+        """Covariance of one column pair (requires ``cross=True``)."""
+        if not self._cross:
+            raise ValidationError("covariance requires a StreamingMoments built with cross=True")
+        ddof = check_integer_in_range(ddof, name="ddof", minimum=0)
+        sums, _, crosses = self._drain()
+        if self._count - ddof <= 0:
+            raise ValidationError(
+                f"covariance with ddof={ddof} needs more than {ddof} row(s), got {self._count}"
+            )
+        if column_i == column_j:
+            return float(self.variances(ddof=ddof)[column_i])
+        i, j = min(column_i, column_j), max(column_i, column_j)
+        index = self._pairs.index((i, j))
+        centered = crosses[index] - sums[i] * sums[j] / self._count
+        return float(centered / (self._count - ddof))
+
+    def pair_moments(self, column_i: int, column_j: int, *, ddof: int = 1):
+        """``(σ_i², σ_j², σ_ij)`` of a column pair — the security-range inputs."""
+        variances = self.variances(ddof=ddof)
+        return (
+            float(variances[column_i]),
+            float(variances[column_j]),
+            self.covariance(column_i, column_j, ddof=ddof),
+        )
+
+
+def correlation_from_moments(accumulator: StreamingMoments, *, ddof: int = 1) -> np.ndarray:
+    """Correlation matrix from an accumulated ``StreamingMoments(n, cross=True)``.
+
+    Shared by the max-variance pair selection of both release paths: the
+    in-memory :class:`~repro.core.RBT` feeds the whole matrix through one
+    accumulator, the streaming pipeline feeds row chunks — the tiling makes
+    the resulting matrices bitwise identical, so the greedy pairing (and
+    with it the whole release) cannot diverge between the two paths even on
+    near-tied correlations.  Degenerate (zero-variance) columns yield NaN,
+    which the pairing treats as zero correlation.
+    """
+    variances = accumulator.variances(ddof=ddof)
+    n = variances.shape[0]
+    correlation = np.eye(n)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for i in range(n):
+            for j in range(i + 1, n):
+                denominator = np.sqrt(variances[i] * variances[j])
+                value = (
+                    accumulator.covariance(i, j, ddof=ddof) / denominator
+                    if denominator > 0
+                    else np.nan
+                )
+                correlation[i, j] = correlation[j, i] = value
+    return correlation
+
+
+def streamed_correlation(values, *, ddof: int = 1) -> np.ndarray:
+    """Correlation matrix of a materialized ``(m, n)`` array via the tiled reducer."""
+    accumulator = StreamingMoments(np.asarray(values).shape[1], cross=True)
+    accumulator.update(values)
+    return correlation_from_moments(accumulator, ddof=ddof)
+
+
+def streamed_pair_moments(attribute_i, attribute_j, *, ddof: int = 1) -> tuple[float, float, float]:
+    """``(σ_i², σ_j², σ_ij)`` of two materialized columns via the tiled reducer.
+
+    This is the in-memory entry point of the bitwise contract: feeding the
+    same two columns chunk-by-chunk into a ``StreamingMoments(2, cross=True)``
+    produces exactly these three numbers.
+    """
+    stacked = np.column_stack(
+        (np.asarray(attribute_i, dtype=float), np.asarray(attribute_j, dtype=float))
+    )
+    accumulator = StreamingMoments(2, cross=True)
+    accumulator.update(stacked)
+    return accumulator.pair_moments(0, 1, ddof=ddof)

@@ -4,8 +4,26 @@
 identifiers, normalize, distort with RBT — and produces a
 :class:`ReleaseBundle` containing the released matrix, the privacy report and
 (optionally) the clustering-equivalence evidence for Corollary 1.
+
+:class:`StreamingReleasePipeline` is the out-of-core sibling: the same
+workflow expressed as constant-memory passes over a CSV on disk, writing a
+release that is byte-identical to the in-memory path for any chunk size.
 """
 
 from .ppc import PPCPipeline, ReleaseBundle, EquivalenceReport
+from .streaming import (
+    StreamingReleasePipeline,
+    StreamingReleaseReport,
+    resolve_chunk_rows,
+    stream_invert,
+)
 
-__all__ = ["PPCPipeline", "ReleaseBundle", "EquivalenceReport"]
+__all__ = [
+    "PPCPipeline",
+    "ReleaseBundle",
+    "EquivalenceReport",
+    "StreamingReleasePipeline",
+    "StreamingReleaseReport",
+    "resolve_chunk_rows",
+    "stream_invert",
+]

@@ -17,6 +17,15 @@ to give every attribute equal weight and as a first, weak obfuscation step
 Every normalizer follows the ``fit`` / ``transform`` / ``inverse_transform``
 protocol and operates on :class:`~repro.data.DataMatrix` instances (or raw
 arrays, returning arrays).
+
+All normalizers can also be fitted **out-of-core** with :meth:`Normalizer.fit_stream`,
+which consumes an iterable of row chunks.  The in-memory :meth:`Normalizer.fit`
+is routed through the same chunk-invariant reduction
+(:class:`repro.perf.streaming.StreamingMoments` for the z-score moments;
+min/max reductions are exactly associative already), so the statistics —
+and therefore every transformed value — are **bitwise identical** no matter
+how the rows were chunked.  This is the property the streaming release
+pipeline's byte-identity guarantee rests on.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import numpy as np
 from .._validation import as_float_matrix
 from ..data import DataMatrix
 from ..exceptions import NormalizationError, ValidationError
+from ..perf.streaming import StreamingMoments
 
 __all__ = [
     "Normalizer",
@@ -65,6 +75,38 @@ class Normalizer(ABC):
         self._n_attributes = array.shape[1]
         return self
 
+    def fit_stream(self, chunks) -> "Normalizer":
+        """Learn per-column statistics from an iterable of row chunks.
+
+        Each chunk is a ``(rows, n_attributes)`` array (or
+        :class:`~repro.data.DataMatrix`); all chunks must share one width.
+        The fitted statistics are bitwise identical to :meth:`fit` on the
+        vertically stacked chunks, for any chunk boundaries — :meth:`fit`
+        itself delegates to the same single-chunk stream.
+        """
+        fitter = None
+        n_attributes: int | None = None
+        n_rows = 0
+        for chunk in chunks:
+            array = self._coerce(chunk)
+            if n_attributes is None:
+                n_attributes = array.shape[1]
+                fitter = self._stream_fitter(n_attributes)
+            elif array.shape[1] != n_attributes:
+                raise ValidationError(
+                    f"chunk has {array.shape[1]} attribute(s) but earlier chunks "
+                    f"had {n_attributes}"
+                )
+            if array.shape[0] == 0:
+                continue
+            fitter.update(array)
+            n_rows += array.shape[0]
+        if n_attributes is None or n_rows == 0:
+            raise NormalizationError(f"{type(self).__name__}.fit_stream received no rows")
+        self._finish_stream_fit(fitter, n_rows=n_rows)
+        self._n_attributes = n_attributes
+        return self
+
     def transform(self, data):
         """Normalize ``data`` using the fitted statistics.
 
@@ -89,9 +131,19 @@ class Normalizer(ABC):
     # ------------------------------------------------------------------ #
     # Subclass hooks
     # ------------------------------------------------------------------ #
-    @abstractmethod
     def _fit_array(self, array: np.ndarray) -> None:
-        """Learn statistics from a raw array."""
+        """Learn statistics from a raw array (a one-chunk stream fit)."""
+        fitter = self._stream_fitter(array.shape[1])
+        fitter.update(array)
+        self._finish_stream_fit(fitter, n_rows=array.shape[0])
+
+    @abstractmethod
+    def _stream_fitter(self, n_columns: int):
+        """Return an accumulator with ``update(chunk)`` for streamed fitting."""
+
+    @abstractmethod
+    def _finish_stream_fit(self, fitter, *, n_rows: int) -> None:
+        """Turn the accumulator's state into fitted statistics."""
 
     @abstractmethod
     def _transform_array(self, array: np.ndarray) -> np.ndarray:
@@ -153,9 +205,13 @@ class MinMaxNormalizer(Normalizer):
         self.data_min_: np.ndarray | None = None
         self.data_max_: np.ndarray | None = None
 
-    def _fit_array(self, array: np.ndarray) -> None:
-        data_min = array.min(axis=0)
-        data_max = array.max(axis=0)
+    def _stream_fitter(self, n_columns: int) -> "_RangeAccumulator":
+        # Per-column min/max: exactly associative reductions, so running
+        # chunk-wise extrema equal the whole-matrix extrema bitwise.
+        return _RangeAccumulator()
+
+    def _finish_stream_fit(self, fitter: "_RangeAccumulator", *, n_rows: int) -> None:
+        data_min, data_max = fitter.data_min, fitter.data_max
         degenerate = np.isclose(data_max, data_min)
         if np.any(degenerate):
             indices = np.flatnonzero(degenerate).tolist()
@@ -200,14 +256,19 @@ class ZScoreNormalizer(Normalizer):
         self.mean_: np.ndarray | None = None
         self.std_: np.ndarray | None = None
 
-    def _fit_array(self, array: np.ndarray) -> None:
-        if array.shape[0] <= self.ddof:
+    def _stream_fitter(self, n_columns: int) -> StreamingMoments:
+        # Tiled, fsum-combined moments: the mean/std are identical bits for
+        # any chunking of the same rows (including the whole matrix at once).
+        return StreamingMoments(n_columns)
+
+    def _finish_stream_fit(self, fitter: StreamingMoments, *, n_rows: int) -> None:
+        if n_rows <= self.ddof:
             raise NormalizationError(
                 f"z-score normalization with ddof={self.ddof} needs more than "
-                f"{self.ddof} row(s), got {array.shape[0]}"
+                f"{self.ddof} row(s), got {n_rows}"
             )
-        mean = array.mean(axis=0)
-        std = array.std(axis=0, ddof=self.ddof)
+        mean = fitter.means()
+        std = np.sqrt(fitter.variances(ddof=self.ddof))
         degenerate = np.isclose(std, 0.0)
         if np.any(degenerate):
             indices = np.flatnonzero(degenerate).tolist()
@@ -232,9 +293,12 @@ class DecimalScalingNormalizer(Normalizer):
         super().__init__()
         self.scale_: np.ndarray | None = None
 
-    def _fit_array(self, array: np.ndarray) -> None:
-        max_abs = np.abs(array).max(axis=0)
-        exponents = np.zeros(array.shape[1], dtype=float)
+    def _stream_fitter(self, n_columns: int) -> "_MaxAbsAccumulator":
+        return _MaxAbsAccumulator()
+
+    def _finish_stream_fit(self, fitter: "_MaxAbsAccumulator", *, n_rows: int) -> None:
+        max_abs = fitter.max_abs
+        exponents = np.zeros(max_abs.shape[0], dtype=float)
         nonzero = max_abs > 0
         exponents[nonzero] = np.floor(np.log10(max_abs[nonzero])) + 1
         exponents = np.maximum(exponents, 0.0)
@@ -245,6 +309,38 @@ class DecimalScalingNormalizer(Normalizer):
 
     def _inverse_transform_array(self, array: np.ndarray) -> np.ndarray:
         return array * self.scale_
+
+
+class _RangeAccumulator:
+    """Streaming per-column min/max (exact — min/max are associative)."""
+
+    def __init__(self) -> None:
+        self.data_min: np.ndarray | None = None
+        self.data_max: np.ndarray | None = None
+
+    def update(self, array: np.ndarray) -> None:
+        chunk_min = array.min(axis=0)
+        chunk_max = array.max(axis=0)
+        if self.data_min is None:
+            self.data_min = chunk_min
+            self.data_max = chunk_max
+        else:
+            self.data_min = np.minimum(self.data_min, chunk_min)
+            self.data_max = np.maximum(self.data_max, chunk_max)
+
+
+class _MaxAbsAccumulator:
+    """Streaming per-column max(|v|) (exact — max is associative)."""
+
+    def __init__(self) -> None:
+        self.max_abs: np.ndarray | None = None
+
+    def update(self, array: np.ndarray) -> None:
+        chunk_max = np.abs(array).max(axis=0)
+        if self.max_abs is None:
+            self.max_abs = chunk_max
+        else:
+            self.max_abs = np.maximum(self.max_abs, chunk_max)
 
 
 def normalize_min_max(

@@ -195,3 +195,31 @@ class TestValueSwapping:
     def test_invalid_fraction(self):
         with pytest.raises(ValidationError):
             ValueSwappingPerturbation(1.5)
+
+    @pytest.mark.parametrize("swap_fraction", [0.1, 0.25, 0.5, 1.0])
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_realized_swap_fraction_is_exact(self, swap_fraction, seed):
+        # Regression: rng.permutation left fixed points inside the chosen
+        # subset, so the realized swap fraction fell systematically below
+        # swap_fraction.  The fixed-point-free cycle moves every chosen row.
+        n_objects = 200
+        # Strictly distinct values per column, so "value changed" exactly
+        # means "received another row's value".
+        matrix = DataMatrix(np.arange(n_objects * 3, dtype=float).reshape(n_objects, 3))
+        released = ValueSwappingPerturbation(swap_fraction, random_state=seed).perturb(matrix)
+        expected = int(round(swap_fraction * n_objects))
+        for column in range(3):
+            changed = int(np.sum(released.values[:, column] != matrix.values[:, column]))
+            assert changed == expected
+
+    def test_small_subset_left_unchanged(self):
+        # n_to_swap < 2 cannot exchange anything; the release is the identity.
+        matrix = DataMatrix(np.arange(20, dtype=float).reshape(10, 2))
+        released = ValueSwappingPerturbation(0.1, random_state=3).perturb(matrix)
+        assert np.array_equal(released.values, matrix.values)
+
+    def test_swapped_values_stay_within_column(self):
+        matrix = DataMatrix(np.arange(300, dtype=float).reshape(100, 3))
+        released = ValueSwappingPerturbation(0.6, random_state=5).perturb(matrix)
+        for column in range(3):
+            assert np.array_equal(np.sort(released.values[:, column]), matrix.values[:, column])
