@@ -7,6 +7,11 @@ the number of hypotheses an angle-grid attacker must score grows
 combinatorially with the number of attributes while the reconstruction error
 stays high.  The known-sample attack is included as the honest counterpoint —
 it breaks RBT with a handful of known records.
+
+The attacks are driven through the :class:`~repro.pipeline.AttackSuite`
+threat-model runner (the same engine behind ``python -m repro audit``)
+instead of hand-rolled ``attack.run`` loops, so this benchmark exercises the
+exact code path a data owner uses.
 """
 
 from __future__ import annotations
@@ -14,9 +19,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.attacks import BruteForceAngleAttack, KnownSampleAttack, VarianceFingerprintAttack
 from repro.core import RBT
 from repro.data.datasets import PAPER_TRANSFORMED_COLUMN_VARIANCES, make_patient_cohorts
+from repro.pipeline import AttackSuite, ThreatModel
 from repro.preprocessing import ZScoreNormalizer
 
 from _bench_utils import report
@@ -28,6 +33,10 @@ def attack_release():
     normalized = ZScoreNormalizer().fit_transform(matrix)
     released = RBT(thresholds=0.4, random_state=41).transform(normalized).matrix
     return normalized, released
+
+
+def _suite(*attack_entries) -> AttackSuite:
+    return AttackSuite(ThreatModel(name="bench", attacks=tuple(attack_entries)))
 
 
 def bench_security_variance_fingerprint(benchmark, paper_release):
@@ -57,57 +66,69 @@ def bench_security_brute_force_work(benchmark, n_attributes):
     matrix = matrix.select(list(matrix.columns[:n_attributes]))
     normalized = ZScoreNormalizer().fit_transform(matrix)
     released = RBT(thresholds=0.4, random_state=41).transform(normalized).matrix
-    attack = BruteForceAngleAttack(angle_resolution=24, max_pairings=6)
+    suite = _suite(
+        {
+            "name": "brute_force_angle",
+            "params": {"angle_resolution": 24, "max_pairings": 6},
+        }
+    )
 
-    result = benchmark(lambda: attack.run(released, normalized))
+    audit = benchmark(lambda: suite.run(released, normalized))
 
+    outcome = audit.outcomes[0]
     report(
         f"Section 5.2: brute-force attack on {n_attributes} attributes",
         [
-            ("hypotheses scored (work)", "grows with n", result.work),
-            ("reconstruction RMSE", "stays high", round(result.error, 4)),
-            ("attack succeeded", False, result.succeeded),
+            ("hypotheses scored (work)", "grows with n", outcome.work),
+            ("reconstruction RMSE", "stays high", round(outcome.error, 4)),
+            ("attack succeeded", False, outcome.succeeded),
         ],
     )
-    assert not result.succeeded
+    assert not audit.breached
 
 
 def bench_security_variance_fingerprint_attack(benchmark, attack_release):
     """The variance-matching attacker restores the variance profile, not the values."""
     normalized, released = attack_release
-    attack = VarianceFingerprintAttack(angle_resolution=60)
+    suite = _suite({"name": "variance_fingerprint", "params": {"angle_resolution": 60}})
 
-    result = benchmark.pedantic(lambda: attack.run(released, normalized), rounds=1, iterations=1)
+    audit = benchmark.pedantic(
+        lambda: suite.run(released, normalized), rounds=1, iterations=1
+    )
 
+    outcome = audit.outcomes[0]
     report(
         "Section 5.2: variance-fingerprint attack",
         [
-            ("hypotheses scored (work)", "-", result.work),
+            ("hypotheses scored (work)", "-", outcome.work),
             (
                 "final variance-profile error",
                 "small",
-                round(result.details["final_profile_error"], 4),
+                round(outcome.details["final_profile_error"], 4),
             ),
-            ("reconstruction RMSE", "stays high", round(result.error, 4)),
-            ("attack succeeded", False, result.succeeded),
+            ("reconstruction RMSE", "stays high", round(outcome.error, 4)),
+            ("attack succeeded", False, outcome.succeeded),
         ],
     )
-    assert not result.succeeded
+    assert not audit.breached
 
 
 def bench_security_known_sample_attack(benchmark, attack_release):
     """The known-sample regression attack (the scheme's real weakness) succeeds."""
     normalized, released = attack_release
-    attack = KnownSampleAttack(known_indices=range(normalized.n_attributes + 2))
+    suite = _suite(
+        {"name": "known_sample", "params": {"n_known": normalized.n_attributes + 2}}
+    )
 
-    result = benchmark(lambda: attack.run(released, normalized))
+    audit = benchmark(lambda: suite.run(released, normalized))
 
+    outcome = audit.outcomes[0]
     report(
         "Beyond the paper: known-sample attack on RBT",
         [
-            ("known records used", "a handful", result.work),
-            ("reconstruction RMSE", "≈ 0 (RBT broken)", round(result.error, 8)),
-            ("attack succeeded", "True (documented limitation)", result.succeeded),
+            ("known records used", "a handful", outcome.work),
+            ("reconstruction RMSE", "≈ 0 (RBT broken)", round(outcome.error, 8)),
+            ("attack succeeded", "True (documented limitation)", outcome.succeeded),
         ],
     )
-    assert result.succeeded
+    assert audit.breached

@@ -1,0 +1,285 @@
+"""Benchmark for the unified threat-analysis engine.
+
+Measures attack throughput through the rewritten perf-layer hot loops and
+the streamed audit's memory behaviour, and *merges* the results into the
+``BENCH_perf.json`` report (``BENCH_perf_quick.json`` in ``--quick`` mode)
+written by ``bench_perf_hotpaths.py``, so the CI regression gate covers the
+attack engine alongside the other subsystems:
+
+* ``variance_fingerprint`` — the batched/budgeted scan vs. the seed's
+  per-θ Python loop (``scoring="naive"``), cross-checked **bitwise
+  identical**; the ``speedup`` ratio gates CI.
+* ``brute_force`` — the budgeted angle-block search vs. a faithful replica
+  of the seed per-θ scan, cross-checked bitwise identical; ``speedup``
+  gates CI.
+* ``streamed_audit`` — a full threat model run against a released/original
+  CSV pair through the moment-space engine, under a stated
+  ``memory_budget_bytes``; the measured peak is **asserted** inside the
+  budget (the acceptance criterion), and repeat runs through the attack
+  cache are cross-checked byte-identical.
+
+Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_security_audit.py            # full
+    PYTHONPATH=src python benchmarks/bench_security_audit.py --quick    # CI smoke
+
+Headline acceptance number (full mode): auditing a 50k-row streamed release
+under the ``full`` threat model stays within the configured memory budget,
+and a warm re-run is served 100% from the cache with byte-identical output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow `python benchmarks/bench_security_audit.py` from anywhere
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_perf_hotpaths import best_time, peak_memory, ratio
+
+from repro.attacks import BruteForceAngleAttack, VarianceFingerprintAttack
+from repro.core import RBT
+from repro.core.rotation import rotation_matrix
+from repro.data import DataMatrix
+from repro.data.datasets import make_patient_cohorts
+from repro.data.io import MatrixCsvWriter
+from repro.pipeline import AttackSuite
+from repro.preprocessing import ZScoreNormalizer
+
+
+def make_release(n_patients: int, seed: int):
+    matrix, _ = make_patient_cohorts(n_patients=n_patients, random_state=seed)
+    normalized = ZScoreNormalizer().fit_transform(matrix)
+    released = RBT(thresholds=0.35, random_state=seed).transform(normalized).matrix
+    return normalized, released
+
+
+# --------------------------------------------------------------------------- #
+# Seed replica for the brute-force per-θ scan (the pre-kernel hot loop)
+# --------------------------------------------------------------------------- #
+def seed_brute_force_run(attack: BruteForceAngleAttack, released, original):
+    """The seed semantics: per-θ 2×2 products, greedy per pair, same scoring."""
+    values = released.values
+    n_attributes = values.shape[1]
+    angles = np.linspace(0.0, 360.0, attack.angle_resolution, endpoint=False)
+    best_score, best_values = np.inf, values.copy()
+    work = 0
+    for pairing in attack._candidate_pairings(n_attributes):
+        candidate = values.copy()
+        for index_i, index_j in reversed(pairing):
+            best_theta_score, best_pair = np.inf, None
+            for theta in angles:
+                work += 1
+                inverse = rotation_matrix(theta).T
+                restored = inverse @ np.vstack([candidate[:, index_i], candidate[:, index_j]])
+                score = (
+                    (restored[0].var(ddof=1) - 1.0) ** 2
+                    + (restored[1].var(ddof=1) - 1.0) ** 2
+                ) + (restored[0].mean() ** 2 + restored[1].mean() ** 2)
+                if score < best_theta_score:
+                    best_theta_score, best_pair = score, restored
+            candidate[:, index_i] = best_pair[0]
+            candidate[:, index_j] = best_pair[1]
+        score = attack._score_matrix(candidate)
+        if score < best_score:
+            best_score, best_values = score, candidate
+    return best_values, work
+
+
+def bench_variance_fingerprint(quick: bool) -> dict:
+    normalized, released = make_release(80 if quick else 300, seed=41)
+    resolution = 45 if quick else 120
+    naive = VarianceFingerprintAttack(angle_resolution=resolution, scoring="naive")
+    batched = VarianceFingerprintAttack(angle_resolution=resolution)
+
+    naive_seconds, naive_result = best_time(lambda: naive.run(released, normalized), repeats=2)
+    batched_seconds, batched_result = best_time(
+        lambda: batched.run(released, normalized), repeats=2
+    )
+    assert np.array_equal(
+        naive_result.reconstruction.values, batched_result.reconstruction.values
+    ), "bitwise equality violated"
+    return {
+        "n_objects": released.n_objects,
+        "n_attributes": released.n_attributes,
+        "angle_resolution": resolution,
+        "work": batched_result.work,
+        "naive_seconds": naive_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": ratio(naive_seconds, batched_seconds),
+        "bitwise_identical": True,
+    }
+
+
+def bench_brute_force(quick: bool) -> dict:
+    normalized, released = make_release(80 if quick else 300, seed=41)
+    resolution = 24 if quick else 48
+    pairings = 4 if quick else 8
+    attack = BruteForceAngleAttack(angle_resolution=resolution, max_pairings=pairings)
+
+    seed_seconds, (seed_values, seed_work) = best_time(
+        lambda: seed_brute_force_run(attack, released, normalized), repeats=2
+    )
+    kernel_seconds, result = best_time(lambda: attack.run(released, normalized), repeats=2)
+    assert np.array_equal(seed_values, result.reconstruction.values), (
+        "bitwise equality violated"
+    )
+    assert seed_work == result.work
+    return {
+        "n_objects": released.n_objects,
+        "n_attributes": released.n_attributes,
+        "angle_resolution": resolution,
+        "max_pairings": pairings,
+        "work": result.work,
+        "seed_seconds": seed_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": ratio(seed_seconds, kernel_seconds),
+        "bitwise_identical": True,
+    }
+
+
+def bench_streamed_audit(workdir: Path, quick: bool) -> dict:
+    n_rows = 4_000 if quick else 50_000
+    budget = (4 * 2**20) if quick else (64 * 2**20)
+    normalized_path = workdir / "normalized.csv"
+    released_path = workdir / "released.csv"
+    rng = np.random.default_rng(2)
+    columns = [f"x{i}" for i in range(6)]
+    transformer = RBT(thresholds=0.3, random_state=2)
+    # Write both CSVs block-wise so the benchmark itself stays out-of-core;
+    # the rotation needs global moments, so fit on a prototype then apply
+    # its secret to every block (the audit only needs consistent files).
+    prototype = DataMatrix(rng.normal(size=(2_000, 6)) * 2.0 + 1.0, columns=columns)
+    prototype_normalized = ZScoreNormalizer().fit_transform(prototype)
+    secret_result = transformer.transform(prototype_normalized)
+    from repro.core import RBTSecret
+
+    secret = RBTSecret.from_result(secret_result)
+    with (
+        MatrixCsvWriter(normalized_path, columns) as normalized_writer,
+        MatrixCsvWriter(released_path, columns) as released_writer,
+    ):
+        written = 0
+        while written < n_rows:
+            rows = min(10_000, n_rows - written)
+            block = rng.normal(size=(rows, 6))
+            normalized_writer.write_rows(block)
+            released_writer.write_rows(
+                secret.apply_to_block(block, columns, copy=True, validate=False)
+            )
+            written += rows
+
+    cache_dir = workdir / "audit-cache"
+    suite = AttackSuite("full", cache_dir=cache_dir)
+
+    def cold():
+        for path in cache_dir.glob("*.json"):
+            path.unlink()
+        return suite.run(released_path, normalized_path, memory_budget_bytes=budget)
+
+    cold_seconds, cold_report = best_time(cold, repeats=1)
+    peak = peak_memory(cold)
+    assert peak <= budget, (
+        f"streamed audit peak {peak} bytes exceeded the {budget}-byte budget"
+    )
+    warm_seconds, warm_report = best_time(
+        lambda: suite.run(released_path, normalized_path, memory_budget_bytes=budget),
+        repeats=1,
+    )
+    assert warm_report.cached == len(warm_report.outcomes), "warm run missed the cache"
+    assert warm_report.to_json() == cold_report.to_json(), "cache broke byte identity"
+    return {
+        "n_rows": n_rows,
+        "n_attributes": 6,
+        "threat_model": "full",
+        "n_attacks": len(cold_report.outcomes),
+        "total_work": sum(outcome.work for outcome in cold_report.outcomes),
+        "memory_budget_bytes": budget,
+        "peak_bytes": peak,
+        "peak_within_budget": bool(peak <= budget),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_cache_hit_fraction": warm_report.cached / len(warm_report.outcomes),
+        "byte_identical_rerun": True,
+    }
+
+
+def run(quick: bool) -> dict:
+    results: dict = {}
+    print("[bench] security_audit variance_fingerprint ...", flush=True)
+    results["variance_fingerprint"] = bench_variance_fingerprint(quick)
+    print("[bench] security_audit brute_force ...", flush=True)
+    results["brute_force"] = bench_brute_force(quick)
+    with tempfile.TemporaryDirectory(prefix="bench_audit_") as tmp:
+        print("[bench] security_audit streamed_audit ...", flush=True)
+        results["streamed_audit"] = bench_streamed_audit(Path(tmp), quick)
+    return {"security_audit": results}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help=(
+            "directory of the JSON report to merge into (default: the repo root); "
+            "the file is BENCH_perf.json, or BENCH_perf_quick.json in --quick mode"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output = output_dir / ("BENCH_perf_quick.json" if args.quick else "BENCH_perf.json")
+    if output.exists():
+        report = json.loads(output.read_text(encoding="utf-8"))
+        if report.get("mode") != mode:
+            print(
+                f"error: {output} is a {report.get('mode')!r}-mode report; "
+                f"refusing to merge {mode!r}-mode results into it",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        report = {"mode": mode, "hot_paths": {}}
+
+    report["hot_paths"].update(run(args.quick))
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nmerged security-audit results into {output}")
+    scenario = report["hot_paths"]["security_audit"]
+    fingerprint = scenario["variance_fingerprint"]
+    print(
+        f"  variance_fingerprint m={fingerprint['n_objects']}: "
+        f"{fingerprint['speedup']:.1f}x vs seed loop, bitwise identical"
+    )
+    brute = scenario["brute_force"]
+    print(
+        f"  brute_force m={brute['n_objects']}: "
+        f"{brute['speedup']:.1f}x vs seed loop, bitwise identical"
+    )
+    audit = scenario["streamed_audit"]
+    print(
+        f"  streamed audit m={audit['n_rows']}: {audit['cold_seconds']:.1f}s cold / "
+        f"{audit['warm_seconds']:.2f}s cached, peak "
+        f"{audit['peak_bytes'] / 2**20:.1f} MiB under a "
+        f"{audit['memory_budget_bytes'] / 2**20:.0f} MiB budget "
+        f"(within budget: {audit['peak_within_budget']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

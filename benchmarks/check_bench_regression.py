@@ -47,6 +47,30 @@ def collect_speedups(node, prefix: str = "") -> dict[str, float]:
     return found
 
 
+def collect_budget_flags(node, prefix: str = "") -> dict[str, bool]:
+    """Flatten every ``*_within_budget`` / ``*identical*`` boolean contract.
+
+    These are hard guarantees (peak memory stayed inside the configured
+    budget; chunked output matched the dense path bitwise), so unlike the
+    speedup ratios they gate at any magnitude: a baseline ``true`` that
+    turns ``false`` fails CI.
+    """
+    found: dict[str, bool] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, bool) and (
+                key.endswith("_within_budget") or "identical" in key
+            ):
+                found[path] = value
+            else:
+                found.update(collect_budget_flags(value, path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.update(collect_budget_flags(value, f"{prefix}[{index}]"))
+    return found
+
+
 def compare(baseline: dict, candidate: dict, *, max_regression: float, noise_floor: float):
     """Return ``(failures, lines)``: gate violations and a printable table."""
     baseline_speedups = collect_speedups(baseline.get("hot_paths", {}))
@@ -76,6 +100,19 @@ def compare(baseline: dict, candidate: dict, *, max_regression: float, noise_flo
     extra = sorted(set(candidate_speedups) - set(baseline_speedups))
     for key in extra:
         lines.append(f"  {key}: {candidate_speedups[key]:.2f}x (no baseline, informational)")
+
+    baseline_flags = collect_budget_flags(baseline.get("hot_paths", {}))
+    candidate_flags = collect_budget_flags(candidate.get("hot_paths", {}))
+    for key in sorted(baseline_flags):
+        if not baseline_flags[key]:
+            continue  # a contract the baseline never established cannot gate
+        observed = candidate_flags.get(key)
+        if observed is None:
+            failures.append(f"{key}: contract present in baseline but missing from candidate")
+        elif not observed:
+            failures.append(f"{key}: was true in baseline, candidate reports false")
+        else:
+            lines.append(f"  {key}: holds")
     return failures, lines
 
 

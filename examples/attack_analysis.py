@@ -1,21 +1,29 @@
 #!/usr/bin/env python
 """Security analysis of an RBT release (Section 5.2, and beyond).
 
-Plays the adversary against a released dataset under increasingly strong
-assumptions:
+Plays the adversary against a released dataset through the unified
+threat-analysis engine — the same :class:`~repro.pipeline.AttackSuite` that
+powers ``python -m repro audit`` — under increasingly strong assumptions:
 
-1. release only                → re-normalization attack (the paper's Table 5),
-2. release + public statistics → variance-fingerprint and brute-force attacks,
-3. release + a few known records → known-sample regression attack.
+1. release + public statistics → the ``paper_public`` threat model
+   (re-normalization, variance-fingerprint, brute-force),
+2. release + a few known records → the ``insider`` threat model
+   (known-sample regression).
 
-The first two fail (the paper's computational-security argument); the third
-succeeds, which is the scheme's documented weakness and the reason later work
-moved to stronger privacy models.
+The public attacks fail (the paper's computational-security argument); the
+insider succeeds, which is the scheme's documented weakness and the reason
+later work moved to stronger privacy models.
 
-For method-comparison grids (RBT vs. baselines across datasets and
-clustering algorithms), don't hand-roll loops like the defender setup below
-— declare them as an experiment spec instead; see
-``examples/experiment_grid.py`` and ``python -m repro experiment``.
+The same audit also runs from the shell — streamed, cached and at any
+scale::
+
+    python -m repro audit released.csv --original normalized.csv \
+        --threat-model full
+
+For method-comparison grids (RBT vs. baselines across datasets, clustering
+algorithms and attacks), declare an experiment spec with an ``attacks``
+axis instead; see ``examples/experiment_grid.py`` and ``python -m repro
+experiment security_grid``.
 
 Run with:  python examples/attack_analysis.py
 """
@@ -25,13 +33,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro import RBT
-from repro.attacks import (
-    BruteForceAngleAttack,
-    KnownSampleAttack,
-    RenormalizationAttack,
-    VarianceFingerprintAttack,
-)
 from repro.data.datasets import make_patient_cohorts
+from repro.pipeline import AttackSuite, builtin_threat_model
 from repro.preprocessing import ZScoreNormalizer
 
 
@@ -48,42 +51,38 @@ def main() -> None:
     baseline_rmse = float(np.sqrt(np.mean(normalized.values**2)))
     print(f"For scale: guessing all zeros would give RMSE ≈ {baseline_rmse:.3f}\n")
 
-    # Adversary level 1: only the released table.
-    renorm = RenormalizationAttack().run(released, normalized)
-    print("[1] Re-normalization attack (paper, Table 5)")
-    print(f"    reconstruction RMSE = {renorm.error:.3f}  -> succeeded: {renorm.succeeded}")
+    # Adversary tier 1: public knowledge only (the paper's Section 5.2).
+    public = AttackSuite("paper_public").run(released, normalized)
+    print("[1] Public-knowledge threat model (paper, Section 5.2)")
+    for outcome in public.outcomes:
+        print(
+            f"    {outcome.label:45s} work = {outcome.work:6d}  "
+            f"RMSE = {outcome.error:.3f}  -> breach: {outcome.succeeded}"
+        )
+    renorm = public.outcomes[0]
     print(
-        f"    pairwise distances preserved by the attack: {renorm.details['distances_preserved']}"
+        "    re-normalization preserves the distances: "
+        f"{renorm.details['distances_preserved']} (Table 5: the attack fails)"
     )
+    print(f"    release breached: {public.breached}")
 
-    # Adversary level 2a: knows the original data was normalized (unit variances).
-    fingerprint = VarianceFingerprintAttack(angle_resolution=90).run(released, normalized)
-    print("\n[2a] Variance-fingerprint attack (knows original variances)")
-    print(
-        f"    hypotheses scored = {fingerprint.work}, "
-        f"final variance-profile error = {fingerprint.details['final_profile_error']:.4f}"
-    )
-    print(
-        f"    reconstruction RMSE = {fingerprint.error:.3f}  -> succeeded: {fingerprint.succeeded}"
-    )
+    # Adversary tier 2: an insider knows a handful of original records.
+    insider = AttackSuite("insider").run(released, normalized)
+    print("\n[2] Insider threat model (beyond the paper)")
+    for outcome in insider.outcomes:
+        print(
+            f"    {outcome.label:45s} work = {outcome.work:6d}  "
+            f"RMSE = {outcome.error:.2e}  -> breach: {outcome.succeeded}"
+        )
+    print(f"    release breached: {insider.breached}")
 
-    # Adversary level 2b: brute force over pairings and angle grids.
-    brute = BruteForceAngleAttack(angle_resolution=24, max_pairings=8).run(released, normalized)
-    print("\n[2b] Brute-force pairing/angle attack")
-    print(f"    hypotheses scored = {brute.work}")
-    print(f"    best hypothesis: pairing {brute.details['pairing']}")
-    print(f"    reconstruction RMSE = {brute.error:.3f}  -> succeeded: {brute.succeeded}")
-
-    # Adversary level 3: an insider knows a handful of original records.
-    known = KnownSampleAttack(known_indices=range(released.n_attributes + 2)).run(
-        released, normalized
-    )
-    print("\n[3] Known-sample regression attack (beyond the paper)")
-    print(f"    known records used = {known.work}")
-    print(f"    reconstruction RMSE = {known.error:.2e}  -> succeeded: {known.succeeded}")
+    # The full report, as `python -m repro audit` would print it.
+    print("\n" + "=" * 70)
+    full = AttackSuite(builtin_threat_model("full")).run(released, normalized)
+    print(full.to_markdown())
 
     print(
-        "\nConclusion: with the release alone (or even public statistics) the\n"
+        "Conclusion: with the release alone (or even public statistics) the\n"
         "transformation resists inversion — the paper's computational-security\n"
         "argument.  But a linear, data-independent isometry is fully determined\n"
         "by a few known records, so RBT does not withstand a known-sample\n"

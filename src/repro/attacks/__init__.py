@@ -20,22 +20,43 @@ angles.  This package makes that argument executable:
   attack later shown, in follow-up literature, to break rotation
   perturbation; included to make the library honest about RBT's limits).
 
-All attacks return an :class:`AttackResult` with the reconstruction and
-error measures, so benchmarks can compare attacker effort vs. success.
+Every attack implements the :class:`Attack` protocol and returns an
+immutable :class:`AttackResult`; :mod:`repro.attacks.registry` resolves
+attacks by name (for threat models, the experiments grid and the ``repro
+audit`` CLI), and :mod:`repro.attacks.streamed` re-expresses the attacks as
+moment-space plans so a streamed release can be audited without ever
+materializing it.
 """
 
-from .base import AttackResult, reconstruction_error, per_attribute_reconstruction_error
-from .renormalization import RenormalizationAttack
+from .base import (
+    Attack,
+    AttackResult,
+    distance_change_diagnostics,
+    per_attribute_reconstruction_error,
+    reconstruction_error,
+)
 from .brute_force import BruteForceAngleAttack
-from .variance_fingerprint import VarianceFingerprintAttack
 from .known_sample import KnownSampleAttack
+from .registry import available_attacks, build_attack, register_attack
+from .renormalization import RenormalizationAttack
+from .streamed import LinearReconstruction, MomentSketch, plan_attack, plan_known_sample
+from .variance_fingerprint import VarianceFingerprintAttack
 
 __all__ = [
+    "Attack",
     "AttackResult",
-    "reconstruction_error",
-    "per_attribute_reconstruction_error",
-    "RenormalizationAttack",
     "BruteForceAngleAttack",
-    "VarianceFingerprintAttack",
     "KnownSampleAttack",
+    "LinearReconstruction",
+    "MomentSketch",
+    "RenormalizationAttack",
+    "VarianceFingerprintAttack",
+    "available_attacks",
+    "build_attack",
+    "distance_change_diagnostics",
+    "per_attribute_reconstruction_error",
+    "plan_attack",
+    "plan_known_sample",
+    "reconstruction_error",
+    "register_attack",
 ]

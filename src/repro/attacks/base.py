@@ -1,8 +1,27 @@
-"""Shared attack-result container and reconstruction-error measures."""
+"""The formal attack contract: protocol, result container, error measures.
+
+Every attack in :mod:`repro.attacks` implements the :class:`Attack` protocol:
+a ``name``, and a ``run(released, original=None)`` returning an
+:class:`AttackResult`.  The result is a hardened, immutable record —
+
+* ``work`` counts the hypotheses the attacker scored (the paper's
+  Section 5.2 "amount of computational work" argument made measurable),
+* ``succeeded`` is the breach flag under the attack's own tolerance,
+* ``per_attribute_errors`` carries the per-attribute RMSE profile, and
+* every array reachable from the result (``per_attribute_errors`` and any
+  ndarray inside ``details``) is stored as a read-only copy, so no caller
+  can mutate evidence another consumer is still holding (the same policy
+  the clustering layer applies to its metadata).
+
+Determinism contract: attacks that consume randomness accept an explicit
+``random_state`` and derive every draw from it, so identical seeds give
+identical :class:`AttackResult` objects across runs and processes.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -10,7 +29,13 @@ from .._validation import as_float_matrix
 from ..data import DataMatrix
 from ..exceptions import ValidationError
 
-__all__ = ["AttackResult", "reconstruction_error", "per_attribute_reconstruction_error"]
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "reconstruction_error",
+    "per_attribute_reconstruction_error",
+    "distance_change_diagnostics",
+]
 
 
 def reconstruction_error(original, reconstructed) -> float:
@@ -35,6 +60,76 @@ def per_attribute_reconstruction_error(original, reconstructed) -> np.ndarray:
     return np.sqrt(np.mean((original - reconstructed) ** 2, axis=0))
 
 
+def distance_change_diagnostics(
+    original_values,
+    reconstruction_values,
+    *,
+    distance_cache=None,
+    atol: float = 1e-6,
+) -> dict:
+    """The paper's Table 5 diagnostic: does the attack preserve the distances?
+
+    Returns ``max_distance_change`` (the worst ``|d − d'|`` between the true
+    dissimilarity matrix and the reconstruction's) and a boolean
+    ``distances_preserved``.  When a :class:`~repro.perf.cache.DistanceCache`
+    is supplied, the original's matrix is fetched through it, so an attack
+    suite running several attacks against the same data computes it once;
+    the numbers are byte-identical either way (the cache uses the same
+    chunked kernel).
+    """
+    from ..metrics.distance import dissimilarity_matrix
+
+    if distance_cache is not None:
+        original_distances = distance_cache.pairwise(original_values)
+    else:
+        original_distances = dissimilarity_matrix(original_values)
+    attacked_distances = dissimilarity_matrix(reconstruction_values)
+    return {
+        "max_distance_change": float(np.max(np.abs(original_distances - attacked_distances))),
+        "distances_preserved": bool(
+            np.allclose(original_distances, attacked_distances, atol=atol)
+        ),
+    }
+
+
+def _frozen_array(values) -> np.ndarray:
+    array = np.array(values, dtype=float)
+    array.setflags(write=False)
+    return array
+
+
+def _freeze(value):
+    """Deep-copy ``value``, turning every ndarray into a read-only copy."""
+    if isinstance(value, np.ndarray):
+        frozen = value.copy()
+        frozen.setflags(write=False)
+        return frozen
+    if isinstance(value, dict):
+        return {key: _freeze(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_freeze(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+@runtime_checkable
+class Attack(Protocol):
+    """What the registry, the suite runner and the experiments grid require.
+
+    ``original`` is the defender's ground truth; attacks that can run
+    without it (everything except the known-sample adversary) report
+    ``error = nan`` and ``succeeded = False`` when it is omitted.
+    """
+
+    name: str
+
+    def run(
+        self, released: DataMatrix, original: DataMatrix | None = None
+    ) -> "AttackResult":  # pragma: no cover - protocol signature only
+        ...
+
+
 @dataclass(frozen=True)
 class AttackResult:
     """Outcome of an attack simulation.
@@ -49,12 +144,16 @@ class AttackResult:
         RMSE between the reconstruction and the true original data (only
         computable in simulation, where the evaluator holds the truth).
     succeeded:
-        Whether the attack is judged successful under its own criterion
-        (e.g. error below a tolerance).
+        Breach flag: whether the attack is judged successful under its own
+        criterion (e.g. error below a tolerance).
     work:
         A measure of attacker effort (number of candidate hypotheses scored).
+    per_attribute_errors:
+        Per-attribute RMSE profile of the reconstruction (``None`` without
+        ground truth).  Stored as a read-only array.
     details:
-        Attack-specific extras (best angle, best pairing, per-attribute error).
+        Attack-specific extras (best angle, best pairing, distance
+        diagnostics).  Arrays inside are stored as read-only copies.
     """
 
     name: str
@@ -62,4 +161,28 @@ class AttackResult:
     error: float
     succeeded: bool
     work: int = 0
+    per_attribute_errors: np.ndarray | None = None
     details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Mutability hardening: everything array-like the result exposes is a
+        # read-only copy, so callers cannot corrupt shared evidence.
+        if self.per_attribute_errors is not None:
+            object.__setattr__(
+                self, "per_attribute_errors", _frozen_array(self.per_attribute_errors)
+            )
+        object.__setattr__(self, "details", _freeze(self.details))
+
+    def summary(self) -> dict:
+        """A JSON-friendly summary (reconstruction and array details omitted)."""
+        return {
+            "name": self.name,
+            "error": None if np.isnan(self.error) else float(self.error),
+            "succeeded": bool(self.succeeded),
+            "work": int(self.work),
+            "per_attribute_errors": (
+                None
+                if self.per_attribute_errors is None
+                else [float(value) for value in self.per_attribute_errors]
+            ),
+        }

@@ -5,7 +5,8 @@ spend: the pairing of attributes, the order within each pair, and the
 real-valued angle of every pair are all unknown.  This attack makes that
 work measurable.  The attacker
 
-1. enumerates candidate attribute pairings (optionally capped),
+1. enumerates candidate attribute pairings (optionally capped, and
+   optionally *sampled* from the factorial space with a seeded rng),
 2. for each pairing, grid-searches the rotation angle of every pair,
 3. scores each candidate inversion against reference statistics assumed to
    be public — by default the fact that the original normalized data has
@@ -15,8 +16,17 @@ work measurable.  The attacker
 
 The returned ``work`` field counts the number of candidate hypotheses that
 were scored, which grows as ``O(pairings x resolution^k)``; the benchmark
-``bench_security_analysis`` uses it to show how the attack cost explodes
-with the number of attributes while the attack error stays high.
+``bench_security_audit`` uses it to show how the attack cost explodes with
+the number of attributes while the attack error stays high.
+
+The angle grid is evaluated through
+:func:`~repro.perf.kernels.batched_inverse_rotations` in blocks sized by
+``memory_budget_bytes``, so peak memory is bounded by the budget instead of
+``O(resolution × m)``.  Each angle's restoration and score depend only on
+that angle's rows, and the running minimum keeps the first-occurrence
+tie-break of a sequential scan, so the blocked search is **bitwise equal**
+to scoring the whole grid at once (tests assert this down to 1-angle
+blocks).
 """
 
 from __future__ import annotations
@@ -25,11 +35,11 @@ from itertools import permutations
 
 import numpy as np
 
-from .._validation import check_integer_in_range
+from .._validation import check_integer_in_range, ensure_rng
 from ..data import DataMatrix
-from ..perf.kernels import batched_inverse_rotations
+from ..perf.kernels import batched_inverse_rotations, resolve_block_size
 from ..exceptions import AttackError
-from .base import AttackResult, reconstruction_error
+from .base import AttackResult, per_attribute_reconstruction_error, reconstruction_error
 
 __all__ = ["BruteForceAngleAttack"]
 
@@ -51,6 +61,20 @@ class BruteForceAngleAttack:
         zero mean is used for scoring.
     success_tolerance:
         RMSE below which the best reconstruction counts as a breach.
+    sample_pairings:
+        By default the pairing cap keeps the *first* ``max_pairings``
+        candidates in permutation order (the seed behaviour).  With
+        ``True``, candidate orders are drawn from the full permutation
+        space with the seeded ``random_state`` instead — a fairer model of
+        an attacker probing a space too large to enumerate.  Identical
+        seeds draw identical pairings across runs and processes.
+    random_state:
+        Seed for the pairing sampling (unused when ``sample_pairings`` is
+        ``False``; accepted always so the registry can thread one seed
+        through every attack).
+    memory_budget_bytes:
+        Cap on the temporaries of one angle-grid evaluation; the grid is
+        processed in blocks of angles, bitwise equal to the unblocked scan.
     """
 
     name = "brute_force_angle"
@@ -62,6 +86,9 @@ class BruteForceAngleAttack:
         max_pairings: int = 24,
         known_correlation: np.ndarray | None = None,
         success_tolerance: float = 0.1,
+        sample_pairings: bool = False,
+        random_state=None,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         self.angle_resolution = check_integer_in_range(
             angle_resolution, name="angle_resolution", minimum=4
@@ -71,6 +98,9 @@ class BruteForceAngleAttack:
             None if known_correlation is None else np.asarray(known_correlation, dtype=float)
         )
         self.success_tolerance = float(success_tolerance)
+        self.sample_pairings = bool(sample_pairings)
+        self.random_state = random_state
+        self.memory_budget_bytes = memory_budget_bytes
 
     # ------------------------------------------------------------------ #
     # Attack
@@ -95,24 +125,19 @@ class BruteForceAngleAttack:
             hypothesis_angles: list[float] = []
             # Greedily undo one pair at a time: for the candidate inversion of each
             # pair pick the angle whose result looks most like normalized data.
-            # The whole angle grid is evaluated as one batched rotation, and
-            # all candidate scores are reduced at once.  The summation order
-            # mirrors the seed per-θ scorer (variance terms first, then mean
-            # terms) and argmin keeps the first minimum, so exact score ties
-            # resolve to the same angle the seed scan chose.
+            # The angle grid is evaluated as batched rotations in budget-sized
+            # blocks; per-angle restorations and scores only depend on that
+            # angle's rows, and the block-wise running minimum keeps the
+            # first-occurrence tie-break of the sequential seed scan, so exact
+            # score ties resolve to the same angle regardless of the budget.
             for index_i, index_j in reversed(pairing):
-                restored_i, restored_j = batched_inverse_rotations(
+                angle_index, restored_i, restored_j = self._best_angle(
                     candidate[:, index_i], candidate[:, index_j], angles
                 )
                 work += angles.size
-                scores = (
-                    (restored_i.var(axis=1, ddof=1) - 1.0) ** 2
-                    + (restored_j.var(axis=1, ddof=1) - 1.0) ** 2
-                ) + (restored_i.mean(axis=1) ** 2 + restored_j.mean(axis=1) ** 2)
-                best_index = int(scores.argmin())
-                candidate[:, index_i] = restored_i[best_index]
-                candidate[:, index_j] = restored_j[best_index]
-                hypothesis_angles.append(float(angles[best_index]))
+                candidate[:, index_i] = restored_i
+                candidate[:, index_j] = restored_j
+                hypothesis_angles.append(float(angles[angle_index]))
             total_score = self._score_matrix(candidate)
             if total_score < best_score:
                 best_score = total_score
@@ -126,8 +151,12 @@ class BruteForceAngleAttack:
         reconstruction = released.with_values(best_values)
         error = float("nan")
         succeeded = False
+        per_attribute = None
         if original is not None:
             error = reconstruction_error(original.values, reconstruction.values)
+            per_attribute = per_attribute_reconstruction_error(
+                original.values, reconstruction.values
+            )
             succeeded = error <= self.success_tolerance
         return AttackResult(
             name=self.name,
@@ -135,16 +164,54 @@ class BruteForceAngleAttack:
             error=error,
             succeeded=succeeded,
             work=work,
+            per_attribute_errors=per_attribute,
             details=best_hypothesis,
         )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _best_angle(
+        self, column_i: np.ndarray, column_j: np.ndarray, angles: np.ndarray
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """First angle minimising the per-pair score, evaluated in blocks.
+
+        Per block the live temporaries are the two ``(block, m)`` restored
+        arrays, the stacked matmul operands and the score vector; the block
+        height is sized so they stay within ``memory_budget_bytes``.
+        """
+        m = column_i.size
+        block = resolve_block_size(
+            angles.size,
+            bytes_per_row=6 * m * column_i.itemsize,
+            memory_budget_bytes=self.memory_budget_bytes,
+        )
+        best_index = -1
+        best_score = np.inf
+        best_restored: tuple[np.ndarray, np.ndarray] | None = None
+        for start in range(0, angles.size, block):
+            stop = min(start + block, angles.size)
+            restored_i, restored_j = batched_inverse_rotations(
+                column_i, column_j, angles[start:stop]
+            )
+            # Summation order mirrors the seed per-θ scorer (variance terms
+            # first, then mean terms); argmin keeps the first minimum.
+            scores = (
+                (restored_i.var(axis=1, ddof=1) - 1.0) ** 2
+                + (restored_j.var(axis=1, ddof=1) - 1.0) ** 2
+            ) + (restored_i.mean(axis=1) ** 2 + restored_j.mean(axis=1) ** 2)
+            local = int(scores.argmin())
+            if scores[local] < best_score:
+                best_score = float(scores[local])
+                best_index = start + local
+                best_restored = (restored_i[local].copy(), restored_j[local].copy())
+        assert best_restored is not None  # angles is never empty
+        return best_index, best_restored[0], best_restored[1]
+
     def _candidate_pairings(self, n_attributes: int) -> list[list[tuple[int, int]]]:
-        """Enumerate candidate (ordered) pairings of the attribute indices."""
+        """Enumerate (or sample) candidate ordered pairings of the attribute indices."""
         pairings: list[list[tuple[int, int]]] = []
-        for order in permutations(range(n_attributes)):
+        for order in self._candidate_orders(n_attributes):
             pairing = [
                 (order[index], order[index + 1]) for index in range(0, n_attributes - 1, 2)
             ]
@@ -155,6 +222,19 @@ class BruteForceAngleAttack:
             if len(pairings) >= self.max_pairings:
                 break
         return pairings
+
+    def _candidate_orders(self, n_attributes: int):
+        """Attribute orders to derive pairings from: exhaustive prefix or sampled."""
+        if not self.sample_pairings:
+            yield from permutations(range(n_attributes))
+            return
+        # Seeded draws from the full n! space: every draw is a function of
+        # random_state alone, so identical seeds explore identical pairings
+        # in any process.  Distinct orders can collapse to the same pairing;
+        # cap the draws so degenerate spaces (tiny n) terminate.
+        rng = ensure_rng(self.random_state)
+        for _ in range(max(16, 8 * self.max_pairings)):
+            yield tuple(int(index) for index in rng.permutation(n_attributes))
 
     def _score_matrix(self, candidate: np.ndarray) -> float:
         """Score a full candidate reconstruction against the attacker's knowledge."""

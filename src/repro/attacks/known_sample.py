@@ -10,7 +10,9 @@ every record.
 
 This attack implements that adversary:
 
-1. the attacker holds ``k`` (released, original) record pairs,
+1. the attacker holds ``k`` (released, original) record pairs — either an
+   explicit list of row indices, or ``n_known`` rows drawn with a seeded
+   rng (identical seeds pick identical records in any process),
 2. estimates the linear map ``W`` minimising ``‖ released·W − original ‖``
    (optionally projecting ``W`` onto the nearest orthogonal matrix, since the
    attacker knows the transformation is a composition of rotations),
@@ -26,10 +28,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import check_integer_in_range
+from .._validation import check_integer_in_range, ensure_rng
 from ..data import DataMatrix
 from ..exceptions import AttackError
-from .base import AttackResult, reconstruction_error
+from .base import (
+    AttackResult,
+    distance_change_diagnostics,
+    per_attribute_reconstruction_error,
+    reconstruction_error,
+)
 
 __all__ = ["KnownSampleAttack"]
 
@@ -41,37 +48,92 @@ class KnownSampleAttack:
     ----------
     known_indices:
         Row indices of the records the attacker knows in the original data.
+        Mutually exclusive with ``n_known``.
+    n_known:
+        Number of known records, drawn without replacement from the rows of
+        the attacked release with the seeded ``random_state`` (sorted, so
+        the regression sees them in a deterministic order).
+    random_state:
+        Seed for the ``n_known`` draw; identical seeds give identical
+        :class:`AttackResult` objects across runs and processes.
     project_to_orthogonal:
         Project the least-squares estimate onto the nearest orthogonal matrix
         (via SVD) — uses the attacker's knowledge that RBT is an isometry.
     success_tolerance:
         RMSE below which the reconstruction counts as a breach.
+    check_distances:
+        Also record the Table-5-style diagnostic (does the reconstruction
+        preserve the dissimilarity matrix?).  Costs ``O(m²)``; off by
+        default.
+    distance_cache:
+        Optional :class:`~repro.perf.cache.DistanceCache` the diagnostic
+        fetches the original's matrix through, so a suite running several
+        attacks computes it once.
     """
 
     name = "known_sample"
 
     def __init__(
         self,
-        known_indices,
+        known_indices=None,
         *,
+        n_known: int | None = None,
+        random_state=None,
         project_to_orthogonal: bool = True,
         success_tolerance: float = 0.1,
+        check_distances: bool = False,
+        distance_cache=None,
     ) -> None:
-        self.known_indices = [
-            check_integer_in_range(int(i), name="known index", minimum=0) for i in known_indices
-        ]
-        if not self.known_indices:
+        if (known_indices is None) == (n_known is None):
+            raise AttackError("pass exactly one of known_indices or n_known")
+        self.known_indices = (
+            None
+            if known_indices is None
+            else [
+                check_integer_in_range(int(i), name="known index", minimum=0)
+                for i in known_indices
+            ]
+        )
+        if self.known_indices is not None and not self.known_indices:
             raise AttackError("KnownSampleAttack needs at least one known record")
+        self.n_known = (
+            None if n_known is None else check_integer_in_range(n_known, name="n_known", minimum=1)
+        )
+        self.random_state = random_state
         self.project_to_orthogonal = bool(project_to_orthogonal)
         self.success_tolerance = float(success_tolerance)
+        self.check_distances = bool(check_distances)
+        self.distance_cache = distance_cache
+
+    def resolve_indices(self, n_objects: int) -> list[int]:
+        """The known-record rows for an ``n_objects``-row release.
+
+        Explicit indices are validated against the row count; an ``n_known``
+        configuration draws them without replacement from a generator seeded
+        with ``random_state`` alone, so the draw is reproducible anywhere.
+        """
+        if self.known_indices is not None:
+            for index in self.known_indices:
+                if index >= n_objects:
+                    raise AttackError(
+                        f"known index {index} out of range for {n_objects} object(s)"
+                    )
+            return list(self.known_indices)
+        if self.n_known > n_objects:
+            raise AttackError(
+                f"n_known={self.n_known} exceeds the {n_objects} released object(s)"
+            )
+        rng = ensure_rng(self.random_state)
+        drawn = rng.choice(n_objects, size=self.n_known, replace=False)
+        return sorted(int(index) for index in drawn)
 
     def run(self, released: DataMatrix, original: DataMatrix) -> AttackResult:
         """Execute the attack.
 
         Unlike the other attacks, ``original`` is required: the attacker's
         side information is the subset of its rows given by
-        ``known_indices``; the rest of ``original`` is used only to score the
-        reconstruction.
+        ``known_indices`` / the ``n_known`` draw; the rest of ``original``
+        is used only to score the reconstruction.
         """
         if not isinstance(released, DataMatrix) or not isinstance(original, DataMatrix):
             raise AttackError("KnownSampleAttack expects released and original DataMatrix objects")
@@ -79,32 +141,47 @@ class KnownSampleAttack:
             raise AttackError(
                 f"released and original must have the same shape, got {released.shape} and {original.shape}"
             )
-        n_objects = released.n_objects
-        for index in self.known_indices:
-            if index >= n_objects:
-                raise AttackError(f"known index {index} out of range for {n_objects} object(s)")
+        indices = self.resolve_indices(released.n_objects)
 
-        released_known = released.values[self.known_indices, :]
-        original_known = original.values[self.known_indices, :]
-
-        # Least-squares estimate of W such that released @ W ≈ original.
-        estimate, *_ = np.linalg.lstsq(released_known, original_known, rcond=None)
-        if self.project_to_orthogonal:
-            u, _, vt = np.linalg.svd(estimate)
-            estimate = u @ vt
+        released_known = released.values[indices, :]
+        original_known = original.values[indices, :]
+        estimate = self.estimate_map(released_known, original_known)
 
         reconstruction_values = released.values @ estimate
         reconstruction = released.with_values(reconstruction_values)
         error = reconstruction_error(original.values, reconstruction.values)
+        details = {
+            "n_known_records": len(indices),
+            "known_indices": [int(index) for index in indices],
+            "projected_to_orthogonal": self.project_to_orthogonal,
+            "estimated_map": estimate,
+        }
+        if self.check_distances:
+            details.update(
+                distance_change_diagnostics(
+                    original.values,
+                    reconstruction.values,
+                    distance_cache=self.distance_cache,
+                )
+            )
         return AttackResult(
             name=self.name,
             reconstruction=reconstruction,
             error=error,
             succeeded=error <= self.success_tolerance,
-            work=len(self.known_indices),
-            details={
-                "n_known_records": len(self.known_indices),
-                "projected_to_orthogonal": self.project_to_orthogonal,
-                "estimated_map": estimate,
-            },
+            work=len(indices),
+            per_attribute_errors=per_attribute_reconstruction_error(
+                original.values, reconstruction.values
+            ),
+            details=details,
         )
+
+    def estimate_map(
+        self, released_known: np.ndarray, original_known: np.ndarray
+    ) -> np.ndarray:
+        """Least-squares ``W`` with ``released_known @ W ≈ original_known``."""
+        estimate, *_ = np.linalg.lstsq(released_known, original_known, rcond=None)
+        if self.project_to_orthogonal:
+            u, _, vt = np.linalg.svd(estimate)
+            estimate = u @ vt
+        return estimate

@@ -1,0 +1,130 @@
+"""Name → factory registry for the attack simulations.
+
+Mirrors :mod:`repro.experiments.registry`: a threat model, an experiment
+grid or the ``repro audit`` CLI names attacks as strings plus keyword
+parameters, and this module resolves them against the implementations —
+with the same misspelling protection (unknown parameter names are rejected
+instead of silently ignored) and the same extension hook
+(:func:`register_attack`).
+
+Seeding convention: every factory receives one ``random_state`` which it
+threads into the built attack, so a suite seeded once builds attacks whose
+randomness (the brute-force pairing sampling, the known-sample record
+draw) is reproducible bit-for-bit across runs and processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import AttackError
+from .brute_force import BruteForceAngleAttack
+from .known_sample import KnownSampleAttack
+from .renormalization import RenormalizationAttack
+from .variance_fingerprint import VarianceFingerprintAttack
+
+__all__ = [
+    "available_attacks",
+    "build_attack",
+    "register_attack",
+]
+
+
+def _take(params: dict, allowed: tuple[str, ...], *, context: str) -> dict:
+    """Copy ``params``, rejecting keys the target constructor would not see."""
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise AttackError(
+            f"{context}: unknown params {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    return dict(params)
+
+
+def _build_renormalization(params: dict, random_state):
+    params = _take(
+        params, ("ddof", "success_tolerance"), context="attack 'renormalization'"
+    )
+    return RenormalizationAttack(random_state=random_state, **params)
+
+
+def _build_brute_force(params: dict, random_state):
+    params = _take(
+        params,
+        (
+            "angle_resolution",
+            "max_pairings",
+            "success_tolerance",
+            "sample_pairings",
+            "memory_budget_bytes",
+            "known_correlation",
+        ),
+        context="attack 'brute_force_angle'",
+    )
+    if params.get("known_correlation") is not None:
+        params["known_correlation"] = np.asarray(params["known_correlation"], dtype=float)
+    return BruteForceAngleAttack(random_state=random_state, **params)
+
+
+def _build_variance_fingerprint(params: dict, random_state):
+    params = _take(
+        params,
+        (
+            "known_variances",
+            "angle_resolution",
+            "success_tolerance",
+            "scoring",
+            "memory_budget_bytes",
+        ),
+        context="attack 'variance_fingerprint'",
+    )
+    return VarianceFingerprintAttack(random_state=random_state, **params)
+
+
+def _build_known_sample(params: dict, random_state):
+    params = _take(
+        params,
+        (
+            "known_indices",
+            "n_known",
+            "project_to_orthogonal",
+            "success_tolerance",
+            "check_distances",
+        ),
+        context="attack 'known_sample'",
+    )
+    if "known_indices" not in params and "n_known" not in params:
+        params["n_known"] = 8
+    return KnownSampleAttack(random_state=random_state, **params)
+
+
+_ATTACKS: dict[str, Callable] = {
+    "renormalization": _build_renormalization,
+    "brute_force_angle": _build_brute_force,
+    "variance_fingerprint": _build_variance_fingerprint,
+    "known_sample": _build_known_sample,
+}
+
+
+def build_attack(name: str, params: dict | None = None, *, random_state=None):
+    """Build attack ``name`` with ``params`` and the given seed."""
+    try:
+        factory = _ATTACKS[name]
+    except KeyError:
+        known = ", ".join(sorted(_ATTACKS))
+        raise AttackError(f"unknown attack {name!r}; known: {known}") from None
+    try:
+        return factory(dict(params or {}), random_state)
+    except TypeError as exc:
+        raise AttackError(f"attack {name!r}: bad params {params}: {exc}") from exc
+
+
+def register_attack(name: str, factory: Callable) -> None:
+    """Register ``factory(params, random_state) -> Attack`` under ``name``."""
+    _ATTACKS[name] = factory
+
+
+def available_attacks() -> tuple[str, ...]:
+    """Sorted names of the registered attacks."""
+    return tuple(sorted(_ATTACKS))

@@ -12,13 +12,15 @@ reconstruction and for clustering.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..data import DataMatrix
 from ..exceptions import AttackError
-from ..metrics.distance import dissimilarity_matrix
 from ..preprocessing import ZScoreNormalizer
-from .base import AttackResult, reconstruction_error
+from .base import (
+    AttackResult,
+    distance_change_diagnostics,
+    per_attribute_reconstruction_error,
+    reconstruction_error,
+)
 
 __all__ = ["RenormalizationAttack"]
 
@@ -33,13 +35,30 @@ class RenormalizationAttack:
     success_tolerance:
         RMSE below which the reconstruction would be considered a successful
         privacy breach.
+    distance_cache:
+        Optional :class:`~repro.perf.cache.DistanceCache` the Table 5
+        diagnostic fetches the original's dissimilarity matrix through, so
+        an attack suite running several attacks computes it once; the
+        recorded numbers are byte-identical either way.
+    random_state:
+        Accepted for registry uniformity; the attack is deterministic and
+        never draws from it.
     """
 
     name = "renormalization"
 
-    def __init__(self, *, ddof: int = 1, success_tolerance: float = 0.1) -> None:
+    def __init__(
+        self,
+        *,
+        ddof: int = 1,
+        success_tolerance: float = 0.1,
+        distance_cache=None,
+        random_state=None,
+    ) -> None:
         self.ddof = ddof
         self.success_tolerance = float(success_tolerance)
+        self.distance_cache = distance_cache
+        self.random_state = random_state
 
     def run(self, released: DataMatrix, original: DataMatrix | None = None) -> AttackResult:
         """Execute the attack on ``released``.
@@ -53,19 +72,22 @@ class RenormalizationAttack:
         reconstruction = ZScoreNormalizer(ddof=self.ddof).fit_transform(released)
         error = float("nan")
         succeeded = False
+        per_attribute = None
         details: dict = {}
         if original is not None:
             error = reconstruction_error(original.values, reconstruction.values)
+            per_attribute = per_attribute_reconstruction_error(
+                original.values, reconstruction.values
+            )
             succeeded = error <= self.success_tolerance
             # The paper's diagnostic: the dissimilarity matrix changes, so the
             # re-normalized data is not even useful for clustering.
-            original_distances = dissimilarity_matrix(original.values)
-            attacked_distances = dissimilarity_matrix(reconstruction.values)
-            details["max_distance_change"] = float(
-                np.max(np.abs(original_distances - attacked_distances))
-            )
-            details["distances_preserved"] = bool(
-                np.allclose(original_distances, attacked_distances, atol=1e-6)
+            details.update(
+                distance_change_diagnostics(
+                    original.values,
+                    reconstruction.values,
+                    distance_cache=self.distance_cache,
+                )
             )
         return AttackResult(
             name=self.name,
@@ -73,5 +95,6 @@ class RenormalizationAttack:
             error=error,
             succeeded=succeeded,
             work=1,
+            per_attribute_errors=per_attribute,
             details=details,
         )

@@ -1,0 +1,329 @@
+"""Moment-space attack planning for streamed (out-of-core) releases.
+
+The dense attacks materialize the released matrix and mutate candidate
+copies of it.  On a streamed release that is exactly what the auditor must
+*not* do — the acceptance bar is auditing a 500k-row release under the same
+memory budget that produced it.  The key observation making that possible:
+every attack in this library reconstructs via a **global affine map**
+(``recon = released @ W + b``), and every score the attacks consult —
+column variances, means, correlations — is a closed-form function of the
+released data's first two moments.  So the engine splits each attack into
+
+1. a **planning** stage that needs only a :class:`MomentSketch` (means +
+   covariance, accumulated chunk-invariantly by
+   :class:`~repro.perf.streaming.StreamingMoments`) or, for the
+   known-sample adversary, the handful of known rows, and
+2. a **scoring** stage (owned by the attack suite) that streams the
+   released and original CSVs once, applying the planned
+   :class:`LinearReconstruction` chunk-by-chunk.
+
+Applying an inverse rotation to a column pair updates the sketch
+analytically (``mean' = mean·M``, ``Σ' = Mᵀ·Σ·M``), so the brute-force and
+variance-fingerprint searches run entirely in moment space — their cost no
+longer depends on the number of rows at all.
+
+Determinism: the sketch is chunk-invariant, the greedy searches are
+first-minimum tie-broken like their dense counterparts, and
+:meth:`LinearReconstruction.apply` accumulates the affine map column-by-
+column in a fixed order — so a streamed audit's numbers are identical bits
+for any ``chunk_rows``, which is what lets the audit cache ignore the
+chunking entirely.  (The *scores* consulted during planning are analytic
+rather than empirical, so the hypothesis a streamed search selects can in
+principle differ from the dense search's on near-tied candidates; the
+audit records which engine produced each number.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..exceptions import AttackError
+from ..perf.streaming import StreamingMoments
+from .brute_force import BruteForceAngleAttack
+from .known_sample import KnownSampleAttack
+from .renormalization import RenormalizationAttack
+from .variance_fingerprint import VarianceFingerprintAttack
+
+__all__ = [
+    "MomentSketch",
+    "LinearReconstruction",
+    "plan_attack",
+]
+
+#: Matches the improvement margin of the dense variance-fingerprint search.
+_IMPROVEMENT_MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class MomentSketch:
+    """First two moments of a released matrix (the attacker's whole view).
+
+    ``covariance`` uses the sample estimator (``ddof=1``) — the estimator
+    every dense attack scores with.
+    """
+
+    means: np.ndarray
+    covariance: np.ndarray
+    count: int
+
+    def __post_init__(self) -> None:
+        # Read-only *copies*, never in-place freezes: a caller's own array
+        # must stay writable (same policy as AttackResult).
+        means = np.array(self.means, dtype=float)
+        covariance = np.array(self.covariance, dtype=float)
+        means.setflags(write=False)
+        covariance.setflags(write=False)
+        object.__setattr__(self, "means", means)
+        object.__setattr__(self, "covariance", covariance)
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes the sketch describes."""
+        return self.means.shape[0]
+
+    @property
+    def variances(self) -> np.ndarray:
+        """Per-attribute variances (the covariance diagonal)."""
+        return np.diag(self.covariance)
+
+    @classmethod
+    def from_accumulator(cls, accumulator: StreamingMoments, *, ddof: int = 1) -> "MomentSketch":
+        """Build a sketch from a ``StreamingMoments(n, cross=True)`` accumulator."""
+        n = accumulator.n_columns
+        covariance = np.empty((n, n), dtype=float)
+        variances = accumulator.variances(ddof=ddof)
+        for i in range(n):
+            covariance[i, i] = variances[i]
+            for j in range(i + 1, n):
+                covariance[i, j] = covariance[j, i] = accumulator.covariance(i, j, ddof=ddof)
+        return cls(means=accumulator.means(), covariance=covariance, count=accumulator.count)
+
+    def transformed(self, matrix: np.ndarray) -> "MomentSketch":
+        """The sketch of ``released @ matrix`` (mean and covariance pushforward)."""
+        return MomentSketch(
+            means=self.means @ matrix,
+            covariance=matrix.T @ self.covariance @ matrix,
+            count=self.count,
+        )
+
+    def correlation(self) -> np.ndarray:
+        """Correlation matrix with the dense scorer's NaN policy (NaN → 0)."""
+        std = np.sqrt(self.variances)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            correlation = self.covariance / np.outer(std, std)
+        return np.nan_to_num(correlation, nan=0.0)
+
+
+@dataclass(frozen=True)
+class LinearReconstruction:
+    """A planned reconstruction ``recon = released @ matrix + offset``."""
+
+    matrix: np.ndarray
+    offset: np.ndarray
+
+    def __post_init__(self) -> None:
+        # Read-only *copies*, never in-place freezes of caller arrays.
+        matrix = np.array(self.matrix, dtype=float)
+        offset = np.array(self.offset, dtype=float)
+        matrix.setflags(write=False)
+        offset.setflags(write=False)
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "offset", offset)
+
+    @classmethod
+    def identity(cls, n_attributes: int) -> "LinearReconstruction":
+        """The do-nothing reconstruction (released data taken at face value)."""
+        return cls(matrix=np.eye(n_attributes), offset=np.zeros(n_attributes))
+
+    def apply(self, chunk: np.ndarray) -> np.ndarray:
+        """Apply the affine map to a row chunk, invariantly to row chunking.
+
+        The accumulation runs column-by-column in a fixed order (offset
+        first, then every input attribute), so each output element is the
+        same sequential sum for any split of the rows — BLAS matmuls do not
+        guarantee that, which is why this does not call ``@``.
+        """
+        chunk = np.asarray(chunk, dtype=float)
+        out = np.tile(self.offset, (chunk.shape[0], 1))
+        for k in range(self.matrix.shape[0]):
+            out += chunk[:, k, None] * self.matrix[k]
+        return out
+
+
+def _inverse_rotation_map(n: int, index_i: int, index_j: int, theta_degrees: float) -> np.ndarray:
+    """Right-multiplication matrix applying ``R(θ)ᵀ`` to columns ``(i, j)``.
+
+    The dense attacks compute ``restored_i = c·x_i − s·x_j`` and
+    ``restored_j = s·x_i + c·x_j``; as a map on row vectors that is
+    ``x @ M`` with the 2×2 block ``[[c, s], [−s, c]]`` embedded at
+    ``(i, j)``.
+    """
+    theta = np.deg2rad(theta_degrees)
+    cos, sin = np.cos(theta), np.sin(theta)
+    matrix = np.eye(n)
+    matrix[index_i, index_i] = cos
+    matrix[index_i, index_j] = sin
+    matrix[index_j, index_i] = -sin
+    matrix[index_j, index_j] = cos
+    return matrix
+
+
+def _pair_statistics(
+    sketch: MomentSketch, index_i: int, index_j: int, angles_degrees: np.ndarray
+):
+    """Analytic per-angle variances and means of an inverse-rotated pair."""
+    theta = np.deg2rad(angles_degrees)
+    cos, sin = np.cos(theta), np.sin(theta)
+    variance_i = sketch.covariance[index_i, index_i]
+    variance_j = sketch.covariance[index_j, index_j]
+    covariance = sketch.covariance[index_i, index_j]
+    mean_i, mean_j = sketch.means[index_i], sketch.means[index_j]
+    restored_var_i = cos**2 * variance_i + sin**2 * variance_j - 2.0 * cos * sin * covariance
+    restored_var_j = sin**2 * variance_i + cos**2 * variance_j + 2.0 * cos * sin * covariance
+    restored_mean_i = cos * mean_i - sin * mean_j
+    restored_mean_j = sin * mean_i + cos * mean_j
+    return restored_var_i, restored_var_j, restored_mean_i, restored_mean_j
+
+
+# --------------------------------------------------------------------------- #
+# Per-attack planners
+# --------------------------------------------------------------------------- #
+def _plan_renormalization(attack: RenormalizationAttack, sketch: MomentSketch):
+    accumulator_stds = np.sqrt(
+        sketch.variances * (sketch.count - 1) / max(sketch.count - attack.ddof, 1)
+    )
+    if np.any(np.isclose(accumulator_stds, 0.0)):
+        raise AttackError("re-normalization attack needs non-constant released attributes")
+    matrix = np.diag(1.0 / accumulator_stds)
+    offset = -sketch.means / accumulator_stds
+    reconstruction = LinearReconstruction(matrix=matrix, offset=offset)
+    return reconstruction, 1, {}
+
+
+def _plan_brute_force(attack: BruteForceAngleAttack, sketch: MomentSketch):
+    n = sketch.n_attributes
+    if n < 2:
+        raise AttackError("brute-force attack needs at least two attributes")
+    angles = np.linspace(0.0, 360.0, attack.angle_resolution, endpoint=False)
+    best_score = np.inf
+    best_map = LinearReconstruction.identity(n)
+    best_hypothesis: dict = {}
+    work = 0
+    for pairing in attack._candidate_pairings(n):
+        current = sketch
+        composed = np.eye(n)
+        hypothesis_angles: list[float] = []
+        for index_i, index_j in reversed(pairing):
+            restored_var_i, restored_var_j, restored_mean_i, restored_mean_j = _pair_statistics(
+                current, index_i, index_j, angles
+            )
+            work += angles.size
+            scores = (
+                (restored_var_i - 1.0) ** 2 + (restored_var_j - 1.0) ** 2
+            ) + (restored_mean_i**2 + restored_mean_j**2)
+            best_index = int(scores.argmin())
+            theta = float(angles[best_index])
+            rotation = _inverse_rotation_map(n, index_i, index_j, theta)
+            composed = composed @ rotation
+            current = current.transformed(rotation)
+            hypothesis_angles.append(theta)
+        score = float(
+            np.sum((current.variances - 1.0) ** 2) + np.sum(current.means**2)
+        )
+        if attack.known_correlation is not None:
+            score += float(np.sum((current.correlation() - attack.known_correlation) ** 2))
+        if score < best_score:
+            best_score = score
+            best_map = LinearReconstruction(matrix=composed, offset=np.zeros(n))
+            best_hypothesis = {
+                "pairing": [(int(i), int(j)) for i, j in pairing],
+                "angles_degrees": hypothesis_angles[::-1],
+                "score": score,
+            }
+    return best_map, work, best_hypothesis
+
+
+def _plan_variance_fingerprint(attack: VarianceFingerprintAttack, sketch: MomentSketch):
+    n = sketch.n_attributes
+    targets = np.ones(n) if attack.known_variances is None else attack.known_variances
+    if targets.size != n:
+        raise AttackError(f"known_variances must have {n} entries, got {targets.size}")
+    angles = np.linspace(0.0, 360.0, attack.angle_resolution, endpoint=False)
+    work = 0
+    applied: list[dict] = []
+    current = sketch
+    composed = np.eye(n)
+    improved = True
+    while improved:
+        improved = False
+        current_score = float(np.sum((current.variances - targets) ** 2))
+        base = (current.variances - targets) ** 2
+        best = None
+        for index_i, index_j in combinations(range(n), 2):
+            restored_var_i, restored_var_j, _, _ = _pair_statistics(
+                current, index_i, index_j, angles
+            )
+            work += angles.size
+            rest = float(np.sum(base) - base[index_i] - base[index_j])
+            scores = (
+                rest
+                + (restored_var_i - targets[index_i]) ** 2
+                + (restored_var_j - targets[index_j]) ** 2
+            )
+            local = int(scores.argmin())
+            score = float(scores[local])
+            if score < current_score - _IMPROVEMENT_MARGIN and (best is None or score < best[0]):
+                best = (score, (index_i, index_j), float(angles[local]))
+        if best is not None:
+            score, pair, theta = best
+            rotation = _inverse_rotation_map(n, pair[0], pair[1], theta)
+            composed = composed @ rotation
+            current = current.transformed(rotation)
+            applied.append({"pair": pair, "theta_degrees": theta, "score": score})
+            improved = True
+        if len(applied) >= n:
+            break
+    details = {
+        "applied_rotations": applied,
+        "final_profile_error": float(np.sum((current.variances - targets) ** 2)),
+    }
+    return LinearReconstruction(matrix=composed, offset=np.zeros(n)), work, details
+
+
+def plan_known_sample(
+    attack: KnownSampleAttack, released_rows: np.ndarray, original_rows: np.ndarray
+):
+    """Plan the known-sample regression from the gathered record pairs."""
+    estimate = attack.estimate_map(
+        np.asarray(released_rows, dtype=float), np.asarray(original_rows, dtype=float)
+    )
+    reconstruction = LinearReconstruction(
+        matrix=estimate, offset=np.zeros(estimate.shape[0])
+    )
+    details = {
+        "n_known_records": int(released_rows.shape[0]),
+        "projected_to_orthogonal": attack.project_to_orthogonal,
+        "estimated_map": estimate,
+    }
+    return reconstruction, int(released_rows.shape[0]), details
+
+
+def plan_attack(attack, sketch: MomentSketch):
+    """Plan a moment-space attack; returns ``(reconstruction, work, details)``.
+
+    The known-sample adversary needs actual rows, not moments — route it
+    through :func:`plan_known_sample` instead.
+    """
+    if isinstance(attack, RenormalizationAttack):
+        return _plan_renormalization(attack, sketch)
+    if isinstance(attack, BruteForceAngleAttack):
+        return _plan_brute_force(attack, sketch)
+    if isinstance(attack, VarianceFingerprintAttack):
+        return _plan_variance_fingerprint(attack, sketch)
+    raise AttackError(
+        f"attack {getattr(attack, 'name', type(attack).__name__)!r} has no streamed planner; "
+        "register one or run it in memory"
+    )

@@ -22,10 +22,19 @@ full Figure 1 workflow can be driven from a shell without writing Python:
 
 ``experiment``
     Run a declarative evaluation grid (datasets × transforms × clustering
-    algorithms × seeds) in parallel with an incremental on-disk result
-    cache, and emit paper-style JSON and Markdown tables.  Accepts a spec
-    JSON path or a built-in name (``paper_grid`` reproduces the paper's
-    Section 5 evaluation in one command).
+    algorithms × attacks × seeds) in parallel with an incremental on-disk
+    result cache, and emit paper-style JSON and Markdown tables.  Accepts a
+    spec JSON path or a built-in name (``paper_grid`` reproduces the
+    paper's Section 5 evaluation in one command; ``security_grid`` audits
+    every distortion method under every adversary).
+
+``audit``
+    Owner-side: adversarially audit a released CSV under a declarative
+    threat model (Section 5.2's security argument, regenerated against
+    *your* release).  The evidence is streamed chunk-wise — the matrices
+    are never materialized — so a release produced under a memory budget
+    can be audited under the same budget; results are cached by content
+    hash, so repeat audits are instant and bit-for-bit identical.
 
 Examples
 --------
@@ -38,6 +47,9 @@ Examples
     python -m repro invert released.csv restored.csv --secret secret.json
     python -m repro experiment paper_grid --workers 4
     python -m repro experiment my_grid.json --output-dir results/
+    python -m repro audit released.csv --original normalized.csv \
+        --threat-model full --chunk-rows 4096
+    python -m repro audit released.csv --attacks renormalization,known_sample
 """
 
 from __future__ import annotations
@@ -63,6 +75,12 @@ from .metrics import (
     privacy_report,
 )
 from .perf.kernels import max_abs_distance_difference
+from .pipeline.audit import (
+    BUILTIN_THREAT_MODELS,
+    AttackSuite,
+    ThreatModel,
+    builtin_threat_model,
+)
 from .pipeline.streaming import StreamingReleasePipeline, stream_invert
 from .preprocessing import MinMaxNormalizer, ZScoreNormalizer
 
@@ -214,6 +232,82 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--quiet", action="store_true", help="suppress the Markdown table on stdout"
     )
+
+    audit = subparsers.add_parser(
+        "audit", help="adversarially audit a released CSV under a threat model"
+    )
+    audit.add_argument("released", type=Path, help="released CSV to attack")
+    audit.add_argument(
+        "--original",
+        type=Path,
+        default=None,
+        help=(
+            "the owner's normalized original CSV; enables reconstruction-error "
+            "scoring, privacy-threshold verdicts and the known-sample attack"
+        ),
+    )
+    audit.add_argument(
+        "--threat-model",
+        default="paper_public",
+        help=(
+            "path to a threat-model JSON, or a built-in name "
+            f"({', '.join(sorted(BUILTIN_THREAT_MODELS))}; default paper_public)"
+        ),
+    )
+    audit.add_argument(
+        "--attacks",
+        default=None,
+        help=(
+            "comma-separated attack names overriding the threat model's list "
+            "(e.g. renormalization,known_sample)"
+        ),
+    )
+    audit.add_argument(
+        "--seed", type=int, default=None, help="override the threat model's seed"
+    )
+    audit.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream the evidence in blocks of this many rows",
+    )
+    audit.add_argument(
+        "--memory-budget-mib",
+        type=int,
+        default=None,
+        help="derive --chunk-rows from a peak-memory budget (MiB)",
+    )
+    audit.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="thread-pool size for the per-attack planning stage (default 1)",
+    )
+    audit.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path("audit_out"),
+        help="where the JSON and Markdown reports are written (default audit_out/)",
+    )
+    audit.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="attack result cache (default <output-dir>/cache)",
+    )
+    audit.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk attack cache"
+    )
+    audit.add_argument(
+        "--format",
+        choices=["markdown", "json", "both"],
+        default="both",
+        help="report format(s) to write (default both)",
+    )
+    audit.add_argument(
+        "--quiet", action="store_true", help="suppress the Markdown report on stdout"
+    )
+    audit.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
 
     return parser
 
@@ -381,6 +475,80 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_audit(args: argparse.Namespace) -> int:
+    # A local file wins over a built-in of the same name (same rule as
+    # experiment specs), so saved threat models are never shadowed.
+    model_path = Path(args.threat_model)
+    if model_path.is_file():
+        model = ThreatModel.load(model_path)
+    elif args.threat_model in BUILTIN_THREAT_MODELS:
+        model = builtin_threat_model(args.threat_model)
+    else:
+        print(
+            f"error: {args.threat_model!r} is neither a threat-model file nor a "
+            f"built-in ({', '.join(sorted(BUILTIN_THREAT_MODELS))})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.attacks is not None:
+        names = [name.strip() for name in args.attacks.split(",") if name.strip()]
+        if not names:
+            print("error: --attacks must name at least one attack", file=sys.stderr)
+            return 1
+        model = ThreatModel(
+            name="adhoc",
+            description=f"ad-hoc attack list: {', '.join(names)}",
+            seed=model.seed,
+            privacy_threshold=model.privacy_threshold,
+            attacks=tuple({"name": name} for name in names),
+        )
+    if args.seed is not None:
+        model = ThreatModel(
+            name=model.name,
+            description=model.description,
+            seed=args.seed,
+            privacy_threshold=model.privacy_threshold,
+            attacks=tuple(entry.canonical() for entry in model.attacks),
+        )
+
+    if args.chunk_rows is not None and args.memory_budget_mib is not None:
+        print("error: pass either --chunk-rows or --memory-budget-mib", file=sys.stderr)
+        return 1
+    cache_dir = None if args.no_cache else (args.cache_dir or args.output_dir / "cache")
+    suite = AttackSuite(model, workers=args.workers, cache_dir=cache_dir)
+    report = suite.run(
+        args.released,
+        args.original,
+        id_column=args.id_column,
+        chunk_rows=args.chunk_rows,
+        memory_budget_bytes=(
+            None if args.memory_budget_mib is None else args.memory_budget_mib * 2**20
+        ),
+    )
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    markdown = report.to_markdown()
+    if args.format in ("json", "both"):
+        json_path = args.output_dir / f"{model.name}_audit.json"
+        json_path.write_text(report.to_json(), encoding="utf-8")
+        written.append(json_path)
+    if args.format in ("markdown", "both"):
+        markdown_path = args.output_dir / f"{model.name}_audit.md"
+        markdown_path.write_text(markdown, encoding="utf-8")
+        written.append(markdown_path)
+
+    if not args.quiet:
+        print(markdown)
+    print(
+        f"{len(report.outcomes)} attacks ({report.executed} executed, "
+        f"{report.cached} from cache) in {report.elapsed_seconds:.2f}s"
+    )
+    for path in written:
+        print(f"report written to {path}")
+    return 0
+
+
 def _write_labels(path: Path, matrix: DataMatrix, labels: np.ndarray) -> None:
     """Write an ``id,label`` CSV (positional ids when the matrix has none).
 
@@ -400,6 +568,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "cluster": _command_cluster,
     "experiment": _command_experiment,
+    "audit": _command_audit,
 }
 
 

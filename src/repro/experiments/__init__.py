@@ -30,9 +30,11 @@ Quickstart
 from .builtin import BUILTIN_SPECS, builtin_spec
 from .registry import (
     available_algorithms,
+    available_attacks,
     available_datasets,
     available_transforms,
     register_algorithm,
+    register_attack,
     register_dataset,
     register_transform,
 )
@@ -49,11 +51,13 @@ __all__ = [
     "ResultsTable",
     "TrialSpec",
     "available_algorithms",
+    "available_attacks",
     "available_datasets",
     "available_transforms",
     "builtin_spec",
     "content_hash",
     "register_algorithm",
+    "register_attack",
     "register_dataset",
     "register_transform",
     "run_experiment",

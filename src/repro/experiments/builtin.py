@@ -48,6 +48,35 @@ def _paper_grid() -> ExperimentSpec:
     )
 
 
+def _security_grid() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="security_grid",
+        description=(
+            "Section 5.2-style attack grid: every distortion method audited "
+            "under the re-normalization, variance-fingerprint, brute-force "
+            "and known-sample adversaries (attack error vs. work factor)."
+        ),
+        normalizer="zscore",
+        datasets=(
+            AxisSpec("patient_cohorts", {"n_patients": 120, "n_cohorts": 3}),
+            AxisSpec("blobs", {"n_objects": 120, "n_attributes": 4, "n_clusters": 3}),
+        ),
+        transforms=(
+            AxisSpec("rbt", {"threshold": 0.25}),
+            AxisSpec("additive", {"noise_scale": 0.5}),
+            AxisSpec("rotation", {"theta_degrees": 45.0}),
+        ),
+        algorithms=(AxisSpec("kmeans", {"n_clusters": 3}),),
+        attacks=(
+            AxisSpec("renormalization"),
+            AxisSpec("variance_fingerprint", {"angle_resolution": 60}),
+            AxisSpec("brute_force_angle", {"angle_resolution": 24, "max_pairings": 6}),
+            AxisSpec("known_sample", {"n_known": 8}),
+        ),
+        seeds=(0, 1),
+    )
+
+
 def _smoke() -> ExperimentSpec:
     return ExperimentSpec(
         name="smoke",
@@ -65,6 +94,7 @@ def _smoke() -> ExperimentSpec:
 
 BUILTIN_SPECS = {
     "paper_grid": _paper_grid,
+    "security_grid": _security_grid,
     "smoke": _smoke,
 }
 

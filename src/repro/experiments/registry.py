@@ -28,6 +28,9 @@ from typing import Callable
 
 import numpy as np
 
+from ..attacks.registry import available_attacks as _available_attack_names
+from ..attacks.registry import build_attack as _build_attack_impl
+from ..attacks.registry import register_attack
 from ..baselines import (
     AdditiveNoisePerturbation,
     MultiplicativeNoisePerturbation,
@@ -52,13 +55,16 @@ from ..exceptions import ExperimentError
 
 __all__ = [
     "available_algorithms",
+    "available_attacks",
     "available_datasets",
     "available_transforms",
     "build_algorithm",
+    "build_attack",
     "build_dataset",
     "build_transform",
     "derive_seed",
     "register_algorithm",
+    "register_attack",
     "register_dataset",
     "register_transform",
 ]
@@ -238,6 +244,28 @@ def build_algorithm(name: str, params: dict, seed: int):
         return _lookup(_ALGORITHMS, "algorithm", name)(params, seed)
     except TypeError as exc:
         raise ExperimentError(f"algorithm {name!r}: bad params {params}: {exc}") from exc
+
+
+def build_attack(name: str, params: dict, seed: int):
+    """Build attack ``name`` for a trial, with the trial-derived attack seed.
+
+    Mirrors the transform/algorithm factories: the registry name is folded
+    into the seed so attacks never share random streams with the transform
+    that produced the release they target.  The registry itself lives in
+    :mod:`repro.attacks.registry`; :func:`repro.attacks.register_attack`
+    extends this axis too.
+    """
+    try:
+        return _build_attack_impl(
+            name, params, random_state=derive_seed(seed, "attack", name)
+        )
+    except TypeError as exc:
+        raise ExperimentError(f"attack {name!r}: bad params {params}: {exc}") from exc
+
+
+def available_attacks() -> tuple[str, ...]:
+    """Sorted names of the registered attacks (plus the ``none`` placeholder)."""
+    return tuple(sorted((*_available_attack_names(), "none")))
 
 
 def register_dataset(name: str, factory: Callable) -> None:

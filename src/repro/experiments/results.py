@@ -43,8 +43,13 @@ def _fmt_distortion(value: float) -> str:
     return f"{value:.2f}" if value >= 1e-3 else f"{value:.1e}"
 
 
-def _aggregate_key(row: dict) -> tuple[str, str, str]:
-    return (row["dataset"], row["transform"], row["algorithm"])
+def _attack_label(row: dict) -> str:
+    attack = row.get("attack")
+    return attack["label"] if attack else "none"
+
+
+def _aggregate_key(row: dict) -> tuple[str, str, str, str]:
+    return (row["dataset"], row["transform"], row["algorithm"], _attack_label(row))
 
 
 def _mean_or_none(values: Sequence) -> float | None:
@@ -78,18 +83,28 @@ class ResultsTable:
         Row order follows the first appearance in the grid, so it is stable
         for any worker count.
         """
-        groups: dict[tuple[str, str, str], list[dict]] = {}
+        groups: dict[tuple[str, str, str, str], list[dict]] = {}
         for row in self.rows:
             groups.setdefault(_aggregate_key(row), []).append(row)
         aggregates = []
-        for (dataset, transform, algorithm), members in groups.items():
+        for (dataset, transform, algorithm, attack), members in groups.items():
             clustering = [row["clustering"] for row in members]
             security = [row["security_range"] for row in members if row["security_range"]]
+            attacks = [row["attack"] for row in members if row.get("attack")]
+            attack_aggregate = None
+            if attacks:
+                attack_aggregate = {
+                    "mean_error": _mean_or_none([item["error"] for item in attacks]),
+                    "mean_work": mean(item["work"] for item in attacks),
+                    "any_succeeded": any(item["succeeded"] for item in attacks),
+                }
             aggregates.append(
                 {
                     "dataset": dataset,
                     "transform": transform,
                     "algorithm": algorithm,
+                    "attack": attack,
+                    "attack_metrics": attack_aggregate,
                     "n_seeds": len(members),
                     "misclassification": mean(c["misclassification"] for c in clustering),
                     "adjusted_rand": mean(c["adjusted_rand"] for c in clustering),
@@ -133,20 +148,32 @@ class ResultsTable:
         lines = [f"# Experiment results — {self.spec['name']}", ""]
         if self.spec.get("description"):
             lines += [self.spec["description"], ""]
+        attack_axis = [
+            entry
+            for entry in self.spec.get("attacks", [])
+            if entry.get("name") != "none"
+        ]
+        attack_note = f" x {len(attack_axis)} attack(s)" if attack_axis else ""
         lines += [
             f"{len(self.rows)} trials: {len(self.spec['datasets'])} dataset(s) x "
             f"{len(self.spec['transforms'])} transform(s) x "
-            f"{len(self.spec['algorithms'])} algorithm(s) x "
+            f"{len(self.spec['algorithms'])} algorithm(s){attack_note} x "
             f"{len(self.spec['seeds'])} seed(s); normalizer: {self.spec['normalizer']}.",
             "",
         ]
 
         lines += self._quality_section(aggregates)
         lines += self._privacy_section(aggregates)
+        lines += self._attack_section(aggregates)
         return "\n".join(lines)
 
     def _quality_section(self, aggregates: list[dict]) -> list[str]:
-        """Misclassification error and ARI, one table per dataset."""
+        """Misclassification error and ARI, one table per dataset.
+
+        Clustering metrics do not depend on the attack axis, so when a grid
+        carries attacks the duplicate (transform, algorithm) cells collapse
+        to their first appearance.
+        """
         lines = ["## Clustering quality (original vs. released partitions)", ""]
         datasets = list(dict.fromkeys(row["dataset"] for row in aggregates))
         for dataset in datasets:
@@ -158,7 +185,9 @@ class ResultsTable:
             )
             lines += [header + " |", "|---" * (len(algorithms) + 1) + "|"]
             transforms = list(dict.fromkeys(row["transform"] for row in subset))
-            by_cell = {(row["transform"], row["algorithm"]): row for row in subset}
+            by_cell = {}
+            for row in subset:
+                by_cell.setdefault((row["transform"], row["algorithm"]), row)
             for transform in transforms:
                 cells = []
                 for algorithm in algorithms:
@@ -199,6 +228,41 @@ class ResultsTable:
                         _fmt_distortion(row["max_distance_distortion"]),
                         _fmt(row["distances_preserved"]),
                         _fmt(row["mean_security_range_width_degrees"], digits=1),
+                    ]
+                )
+                + " |"
+            )
+        lines.append("")
+        return lines
+
+    def _attack_section(self, aggregates: list[dict]) -> list[str]:
+        """Attack error vs. work factor per (dataset, transform, attack)."""
+        rows = [row for row in aggregates if row["attack_metrics"]]
+        if not rows:
+            return []
+        lines = [
+            "## Attack resistance (error vs. work factor)",
+            "",
+            "| dataset | transform | attack | mean RMSE | mean work | breached |",
+            "|---|---|---|---|---|---|",
+        ]
+        seen: set[tuple[str, str, str]] = set()
+        for row in rows:
+            key = (row["dataset"], row["transform"], row["attack"])
+            if key in seen:
+                continue
+            seen.add(key)
+            metrics = row["attack_metrics"]
+            lines.append(
+                "| "
+                + " | ".join(
+                    [
+                        row["dataset"],
+                        row["transform"],
+                        row["attack"],
+                        _fmt(metrics["mean_error"]),
+                        _fmt(float(metrics["mean_work"]), digits=0),
+                        _fmt(metrics["any_succeeded"]),
                     ]
                 )
                 + " |"

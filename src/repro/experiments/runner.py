@@ -30,7 +30,7 @@ from ..perf.cache import DistanceCache
 from ..perf.kernels import max_abs_distance_difference
 from ..pipeline import PPCPipeline
 from ..preprocessing import MinMaxNormalizer, ZScoreNormalizer
-from .registry import build_algorithm, build_dataset, build_transform
+from .registry import build_algorithm, build_attack, build_dataset, build_transform
 from .results import ResultsTable
 from .spec import AxisSpec, ExperimentSpec, TrialSpec, canonical_json
 
@@ -82,6 +82,7 @@ def run_trial(payload: dict) -> dict:
         algorithm=_axis(payload["algorithm"]),
         seed=int(payload["seed"]),
         normalizer=payload["normalizer"],
+        attack=_axis(payload["attack"]) if "attack" in payload else AxisSpec("none"),
     )
     matrix, truth = build_dataset(trial.dataset.name, trial.dataset.params, trial.seed)
     transformer = build_transform(trial.transform.name, trial.transform.params, trial.seed)
@@ -118,6 +119,30 @@ def run_trial(payload: dict) -> dict:
     labels_original = algorithm.fit_predict(normalized)
     labels_released = algorithm.fit_predict(released)
 
+    # Optional attack stage: play the adversary against this trial's release.
+    # The attack reads the run's distance cache for its Table 5 diagnostics,
+    # so it reuses matrices the clustering stage already computed.
+    attack_row = None
+    if trial.attack.name != "none":
+        attack = build_attack(trial.attack.name, trial.attack.params, trial.seed)
+        if getattr(attack, "distance_cache", False) is None:
+            attack.distance_cache = cache
+        attack_result = attack.run(released, normalized)
+        attack_row = {
+            "name": trial.attack.name,
+            "label": trial.attack.label,
+            "work": int(attack_result.work),
+            "error": (
+                None if np.isnan(attack_result.error) else float(attack_result.error)
+            ),
+            "succeeded": bool(attack_result.succeeded),
+            "worst_attribute_error": (
+                None
+                if attack_result.per_attribute_errors is None
+                else float(np.max(attack_result.per_attribute_errors))
+            ),
+        }
+
     def _truth_metrics(labels):
         if truth is None:
             return {"misclassification": None, "adjusted_rand": None}
@@ -144,6 +169,7 @@ def run_trial(payload: dict) -> dict:
             "preserved": bool(max_distortion < 1e-8),
         },
         "security_range": security_range,
+        "attack": attack_row,
         "clustering": {
             "n_clusters_original": int(np.unique(labels_original[labels_original >= 0]).size),
             "n_clusters_released": int(np.unique(labels_released[labels_released >= 0]).size),

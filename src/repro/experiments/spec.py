@@ -121,14 +121,18 @@ class TrialSpec:
     algorithm: AxisSpec
     seed: int
     normalizer: str = "zscore"
+    attack: AxisSpec = AxisSpec("none")
 
     def canonical(self) -> dict:
         """The canonical payload that is hashed for caching.
 
         Includes the cache schema version so that changing the trial
-        execution semantics invalidates stale cached results.
+        execution semantics invalidates stale cached results.  The attack
+        axis joined the payload later than the others; the no-attack
+        default is omitted so every attack-free trial keeps the hash (and
+        the cached result) it had before the axis existed.
         """
-        return {
+        payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "dataset": self.dataset.canonical(),
             "transform": self.transform.canonical(),
@@ -136,6 +140,9 @@ class TrialSpec:
             "seed": self.seed,
             "normalizer": self.normalizer,
         }
+        if self.attack.name != "none":
+            payload["attack"] = self.attack.canonical()
+        return payload
 
     @property
     def trial_hash(self) -> str:
@@ -153,6 +160,11 @@ class ExperimentSpec:
         Grid name; used for output filenames.
     datasets, transforms, algorithms:
         The grid axes, each a sequence of :class:`AxisSpec`.
+    attacks:
+        Optional fourth axis: attack simulations (by registry name) run
+        against every released dataset of the grid.  Defaults to the single
+        pseudo-attack ``none``, which skips the attack stage and keeps the
+        trial hashes of attack-free grids unchanged.
     seeds:
         Random seeds; the full cross product is run once per seed.
     normalizer:
@@ -169,6 +181,7 @@ class ExperimentSpec:
     seeds: tuple[int, ...] = (0,)
     normalizer: str = "zscore"
     description: str = ""
+    attacks: tuple[AxisSpec, ...] = (AxisSpec("none"),)
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -183,6 +196,7 @@ class ExperimentSpec:
             ("datasets", self.datasets),
             ("transforms", self.transforms),
             ("algorithms", self.algorithms),
+            ("attacks", self.attacks),
         ):
             entries = tuple(entries)
             if not entries:
@@ -193,6 +207,13 @@ class ExperimentSpec:
                     f"experiment {self.name!r}: {axis} contains duplicate entries"
                 )
             object.__setattr__(self, axis, entries)
+        for entry in self.attacks:
+            # "none" is a hash-transparent placeholder (see TrialSpec.canonical);
+            # parameters on it would silently vanish from the cache key.
+            if entry.name == "none" and entry.params:
+                raise ExperimentError(
+                    f"experiment {self.name!r}: the 'none' attack takes no params"
+                )
         seeds = tuple(int(seed) for seed in self.seeds)
         if not seeds:
             raise ExperimentError(f"experiment {self.name!r}: seeds must not be empty")
@@ -211,14 +232,20 @@ class ExperimentSpec:
     @property
     def n_trials(self) -> int:
         """Size of the expanded grid."""
-        return len(self.datasets) * len(self.transforms) * len(self.algorithms) * len(self.seeds)
+        return (
+            len(self.datasets)
+            * len(self.transforms)
+            * len(self.algorithms)
+            * len(self.attacks)
+            * len(self.seeds)
+        )
 
     def expand(self) -> tuple[TrialSpec, ...]:
         """Expand the grid into its independent trials, in deterministic order.
 
-        The order is dataset-major, then transform, algorithm and seed; the
-        runner preserves it regardless of worker count, which is what makes
-        parallel runs byte-identical to serial ones.
+        The order is dataset-major, then transform, algorithm, attack and
+        seed; the runner preserves it regardless of worker count, which is
+        what makes parallel runs byte-identical to serial ones.
         """
         return tuple(
             TrialSpec(
@@ -227,10 +254,12 @@ class ExperimentSpec:
                 algorithm=algorithm,
                 seed=seed,
                 normalizer=self.normalizer,
+                attack=attack,
             )
             for dataset in self.datasets
             for transform in self.transforms
             for algorithm in self.algorithms
+            for attack in self.attacks
             for seed in self.seeds
         )
 
@@ -246,6 +275,7 @@ class ExperimentSpec:
             "datasets": [axis.canonical() for axis in self.datasets],
             "transforms": [axis.canonical() for axis in self.transforms],
             "algorithms": [axis.canonical() for axis in self.algorithms],
+            "attacks": [axis.canonical() for axis in self.attacks],
             "seeds": list(self.seeds),
         }
 
@@ -261,6 +291,7 @@ class ExperimentSpec:
             "datasets",
             "transforms",
             "algorithms",
+            "attacks",
             "seeds",
         }
         unknown = set(payload) - known
@@ -289,6 +320,7 @@ class ExperimentSpec:
             datasets=axis("datasets"),
             transforms=axis("transforms"),
             algorithms=axis("algorithms"),
+            attacks=axis("attacks") if "attacks" in payload else (AxisSpec("none"),),
             seeds=tuple(seeds),
         )
 

@@ -8,6 +8,12 @@ identifiers, normalize, distort with RBT — and produces a
 :class:`StreamingReleasePipeline` is the out-of-core sibling: the same
 workflow expressed as constant-memory passes over a CSV on disk, writing a
 release that is byte-identical to the in-memory path for any chunk size.
+
+:class:`AttackSuite` closes the loop: it runs a declarative
+:class:`ThreatModel` against either kind of evidence — a
+:class:`ReleaseBundle` or the streamed CSVs — and emits the paper-style
+:class:`AuditReport` (attack error vs. work factor, Table 5 diagnostic,
+privacy-threshold verdicts).
 """
 
 from .ppc import PPCPipeline, ReleaseBundle, EquivalenceReport
@@ -18,12 +24,29 @@ from .streaming import (
     stream_invert,
 )
 
+# audit must come after ppc/streaming: it participates in an import cycle
+# with repro.experiments, which needs the names above to already be bound.
+from .audit import (
+    AttackOutcome,
+    AttackSuite,
+    AuditReport,
+    BUILTIN_THREAT_MODELS,
+    ThreatModel,
+    builtin_threat_model,
+)
+
 __all__ = [
+    "AttackOutcome",
+    "AttackSuite",
+    "AuditReport",
+    "BUILTIN_THREAT_MODELS",
+    "EquivalenceReport",
     "PPCPipeline",
     "ReleaseBundle",
-    "EquivalenceReport",
     "StreamingReleasePipeline",
     "StreamingReleaseReport",
+    "ThreatModel",
+    "builtin_threat_model",
     "resolve_chunk_rows",
     "stream_invert",
 ]

@@ -19,9 +19,11 @@ from repro.experiments import (
 )
 from repro.experiments.registry import (
     available_algorithms,
+    available_attacks,
     available_datasets,
     available_transforms,
     build_algorithm,
+    build_attack,
     build_dataset,
     build_transform,
     derive_seed,
@@ -110,11 +112,137 @@ class TestSpec:
             ExperimentSpec.from_dict(payload)
 
 
+class TestAttackAxis:
+    def test_default_axis_keeps_legacy_hashes(self):
+        # The attack axis must be invisible to attack-free grids: their trial
+        # hashes (and therefore their caches) survive the schema extension.
+        trial = TrialSpec(
+            dataset=AxisSpec("blobs"),
+            transform=AxisSpec("rbt"),
+            algorithm=AxisSpec("kmeans"),
+            seed=0,
+        )
+        assert "attack" not in trial.canonical()
+        legacy_payload = {
+            "schema": trial.canonical()["schema"],
+            "dataset": AxisSpec("blobs").canonical(),
+            "transform": AxisSpec("rbt").canonical(),
+            "algorithm": AxisSpec("kmeans").canonical(),
+            "seed": 0,
+            "normalizer": "zscore",
+        }
+        assert trial.trial_hash == content_hash(legacy_payload)
+
+    def test_attack_axis_expands_and_hashes(self):
+        spec = ExperimentSpec(
+            name="atk",
+            datasets=(AxisSpec("blobs", {"n_objects": 30, "n_attributes": 4}),),
+            transforms=(AxisSpec("rbt", {"threshold": 0.25}),),
+            algorithms=(AxisSpec("kmeans", {"n_clusters": 3}),),
+            attacks=(AxisSpec("renormalization"), AxisSpec("known_sample", {"n_known": 5})),
+        )
+        trials = spec.expand()
+        assert len(trials) == spec.n_trials == 2
+        assert {t.attack.name for t in trials} == {"renormalization", "known_sample"}
+        assert len({t.trial_hash for t in trials}) == 2
+
+    def test_none_attack_with_params_rejected(self):
+        with pytest.raises(ExperimentError, match="'none' attack"):
+            ExperimentSpec(
+                name="bad",
+                datasets=(AxisSpec("blobs"),),
+                transforms=(AxisSpec("none"),),
+                algorithms=(AxisSpec("kmeans"),),
+                attacks=(AxisSpec("none", {"x": 1}),),
+            )
+
+    def test_attacks_round_trip_and_legacy_payloads(self, tmp_path):
+        spec = ExperimentSpec(
+            name="atk",
+            datasets=(AxisSpec("blobs"),),
+            transforms=(AxisSpec("none"),),
+            algorithms=(AxisSpec("kmeans"),),
+            attacks=(AxisSpec("renormalization"),),
+        )
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ExperimentSpec.load(path) == spec
+        # Payloads written before the axis existed still parse.
+        legacy = {
+            "name": "old",
+            "datasets": ["blobs"],
+            "transforms": ["none"],
+            "algorithms": ["kmeans"],
+        }
+        assert ExperimentSpec.from_dict(legacy).attacks == (AxisSpec("none"),)
+
+    def test_run_trial_attack_row(self):
+        spec = ExperimentSpec(
+            name="atk",
+            datasets=(AxisSpec("blobs", {"n_objects": 40, "n_attributes": 4, "n_clusters": 3}),),
+            transforms=(AxisSpec("rbt", {"threshold": 0.25}),),
+            algorithms=(AxisSpec("kmeans", {"n_clusters": 3}),),
+            attacks=(AxisSpec("known_sample", {"n_known": 6}),),
+        )
+        row = run_trial(spec.expand()[0].canonical())
+        attack = row["attack"]
+        assert attack["name"] == "known_sample"
+        assert attack["succeeded"] is True
+        assert attack["work"] == 6
+        assert attack["error"] < 1e-6
+        # attack-free trials carry an explicit null
+        free = run_trial(small_spec().expand()[0].canonical())
+        assert free["attack"] is None
+
+    def test_attack_rows_deterministic_across_processes(self, tmp_path):
+        spec = ExperimentSpec(
+            name="atk",
+            datasets=(AxisSpec("blobs", {"n_objects": 40, "n_attributes": 4, "n_clusters": 3}),),
+            transforms=(AxisSpec("rbt", {"threshold": 0.25}),),
+            algorithms=(AxisSpec("kmeans", {"n_clusters": 3}),),
+            attacks=(AxisSpec("known_sample", {"n_known": 6}),),
+            seeds=(0, 1),
+        )
+        serial = run_experiment(spec).results.to_json()
+        parallel = run_experiment(spec, workers=2, executor="process").results.to_json()
+        assert serial == parallel
+
+    def test_markdown_attack_section(self):
+        spec = ExperimentSpec(
+            name="atk",
+            datasets=(AxisSpec("blobs", {"n_objects": 40, "n_attributes": 4, "n_clusters": 3}),),
+            transforms=(AxisSpec("rbt", {"threshold": 0.25}),),
+            algorithms=(AxisSpec("kmeans", {"n_clusters": 3}),),
+            attacks=(AxisSpec("renormalization"), AxisSpec("known_sample", {"n_known": 6})),
+        )
+        markdown = run_experiment(spec).results.to_markdown()
+        assert "## Attack resistance (error vs. work factor)" in markdown
+        assert "renormalization" in markdown
+        assert "2 attack(s)" in markdown
+        # attack-free grids keep their old layout
+        plain = run_experiment(small_spec()).results.to_markdown()
+        assert "Attack resistance" not in plain
+
+
 class TestRegistry:
     def test_builtin_names_resolve(self):
         assert "rbt" in available_transforms()
         assert "kmeans" in available_algorithms()
         assert "patient_cohorts" in available_datasets()
+        assert available_attacks() == (
+            "brute_force_angle",
+            "known_sample",
+            "none",
+            "renormalization",
+            "variance_fingerprint",
+        )
+
+    def test_build_attack_folds_name_into_seed(self):
+        first = build_attack("known_sample", {"n_known": 4}, 9)
+        second = build_attack("known_sample", {"n_known": 4}, 9)
+        assert first.resolve_indices(100) == second.resolve_indices(100)
+        other_seed = build_attack("known_sample", {"n_known": 4}, 10)
+        assert first.resolve_indices(100) != other_seed.resolve_indices(100)
 
     def test_unknown_names_raise(self):
         trial = TrialSpec(
