@@ -1,0 +1,254 @@
+"""Benchmark for the execution-backend seam: wall-clock vs. worker count.
+
+Runs the two big streamed workloads — the out-of-core release and the
+streamed security audit — once on the serial backend and once per
+process-pool worker count, and *merges* a ``backend_scaling`` section into
+the ``BENCH_perf.json`` report (``BENCH_perf_quick.json`` in ``--quick``
+mode) written by ``bench_perf_hotpaths.py``.
+
+Two different kinds of result are recorded:
+
+* **Bitwise contract (gates unconditionally).**  Every parallel run's
+  output bytes are compared against the serial run's; the
+  ``byte_identical_across_workers`` booleans are picked up by
+  ``check_bench_regression.py`` and fail CI if they ever turn false —
+  whatever the runner's core count.
+* **Scaling (informational on small machines).**  Wall-clock per worker
+  count, with ``cpu_count`` recorded alongside so a reader can interpret
+  the ratios.  Process pools cannot beat serial on a single core (and at
+  ``--quick`` sizes the pool startup dominates), so the scaling assertion
+  only gates on multi-core full-mode runs — the ``bench_theorem1_scaling``
+  pattern.
+
+Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py            # full
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py --quick    # CI smoke
+
+Headline acceptance number (full mode, multi-core): the 500k-row streamed
+release completes no slower on the best parallel worker count than on the
+serial backend, with byte-identical output at every worker count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow `python benchmarks/bench_backend_scaling.py` from anywhere
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_perf_hotpaths import best_time
+from bench_streaming_release import generate_csv
+
+from repro.core import RBT, RBTSecret
+from repro.data import DataMatrix
+from repro.data.io import MatrixCsvWriter
+from repro.perf.backends import ProcessPoolBackend
+from repro.pipeline import AttackSuite, StreamingReleasePipeline
+from repro.preprocessing import ZScoreNormalizer
+
+#: Worker counts the sweep covers (1 exercises the pool's inline fast path).
+WORKER_SWEEP = (1, 2, 4)
+
+
+def bench_release_scaling(workdir: Path, quick: bool) -> dict:
+    n_rows = 8_000 if quick else 500_000
+    budget = (2**20 // 2) if quick else 192 * 2**20
+    input_path = workdir / "release_input.csv"
+    generate_csv(input_path, n_rows, seed=11)
+
+    serial_out = workdir / "released_serial.csv"
+    pipeline = StreamingReleasePipeline(RBT(random_state=7), memory_budget_bytes=budget)
+    serial_seconds, report = best_time(
+        lambda: pipeline.run(input_path, serial_out), repeats=2 if quick else 1
+    )
+    serial_bytes = serial_out.read_bytes()
+
+    sweep = []
+    identical = True
+    for workers in WORKER_SWEEP:
+        parallel_out = workdir / f"released_w{workers}.csv"
+        with ProcessPoolBackend(workers=workers) as backend:
+            parallel = StreamingReleasePipeline(
+                RBT(random_state=7), memory_budget_bytes=budget, backend=backend
+            )
+            seconds, _ = best_time(
+                lambda: parallel.run(input_path, parallel_out), repeats=2 if quick else 1
+            )
+        matches = parallel_out.read_bytes() == serial_bytes
+        assert matches, f"release with {workers} workers is not byte-identical to serial"
+        identical = identical and matches
+        sweep.append(
+            {
+                "workers": workers,
+                "seconds": seconds,
+                "speedup_vs_serial": serial_seconds / seconds if seconds > 0 else float("inf"),
+            }
+        )
+    return {
+        "n_rows": n_rows,
+        "memory_budget_bytes": budget,
+        "chunk_rows": report.chunk_rows,
+        "n_passes": report.n_passes,
+        "serial_seconds": serial_seconds,
+        "worker_sweep": sweep,
+        "byte_identical_across_workers": identical,
+    }
+
+
+def bench_audit_scaling(workdir: Path, quick: bool) -> dict:
+    n_rows = 4_000 if quick else 500_000
+    budget = (4 * 2**20) if quick else (64 * 2**20)
+    columns = [f"x{i}" for i in range(6)]
+    normalized_path = workdir / "audit_normalized.csv"
+    released_path = workdir / "audit_released.csv"
+    rng = np.random.default_rng(13)
+    # Fit the rotation on a prototype, then apply its secret block-wise so
+    # the benchmark itself stays out-of-core (the audit only needs a
+    # consistent released/normalized file pair).
+    prototype = DataMatrix(rng.normal(size=(2_000, 6)) * 2.0 + 1.0, columns=columns)
+    secret = RBTSecret.from_result(
+        RBT(thresholds=0.3, random_state=2).transform(ZScoreNormalizer().fit_transform(prototype))
+    )
+    with (
+        MatrixCsvWriter(normalized_path, columns) as normalized_writer,
+        MatrixCsvWriter(released_path, columns) as released_writer,
+    ):
+        written = 0
+        while written < n_rows:
+            rows = min(10_000, n_rows - written)
+            block = rng.normal(size=(rows, 6))
+            normalized_writer.write_rows(block)
+            released_writer.write_rows(
+                secret.apply_to_block(block, columns, copy=True, validate=False)
+            )
+            written += rows
+
+    # No cache: every run recomputes, so the sweep times the kernels.
+    serial_suite = AttackSuite("full")
+    serial_seconds, serial_report = best_time(
+        lambda: serial_suite.run(released_path, normalized_path, memory_budget_bytes=budget),
+        repeats=1,
+    )
+    serial_json = serial_report.to_json()
+
+    sweep = []
+    identical = True
+    for workers in WORKER_SWEEP:
+        with ProcessPoolBackend(workers=workers) as backend:
+            suite = AttackSuite("full", backend=backend)
+            seconds, parallel_report = best_time(
+                lambda: suite.run(released_path, normalized_path, memory_budget_bytes=budget),
+                repeats=1,
+            )
+        matches = parallel_report.to_json() == serial_json
+        assert matches, f"audit with {workers} workers is not byte-identical to serial"
+        identical = identical and matches
+        sweep.append(
+            {
+                "workers": workers,
+                "seconds": seconds,
+                "speedup_vs_serial": serial_seconds / seconds if seconds > 0 else float("inf"),
+            }
+        )
+    return {
+        "n_rows": n_rows,
+        "n_attributes": 6,
+        "threat_model": "full",
+        "n_attacks": len(serial_report.outcomes),
+        "memory_budget_bytes": budget,
+        "serial_seconds": serial_seconds,
+        "worker_sweep": sweep,
+        "byte_identical_across_workers": identical,
+    }
+
+
+def run(quick: bool) -> dict:
+    cpu_count = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory(prefix="bench_backend_") as tmp:
+        workdir = Path(tmp)
+        print("[bench] backend_scaling streamed_release ...", flush=True)
+        release = bench_release_scaling(workdir, quick)
+        print("[bench] backend_scaling streamed_audit ...", flush=True)
+        audit = bench_audit_scaling(workdir, quick)
+
+    # Pool startup dominates at quick sizes and a single core cannot run two
+    # workers at once — the scaling assertion only gates where a parallel
+    # win is physically possible and the signal is large enough to mean it.
+    gate = cpu_count > 1 and not quick
+    if gate:
+        best = max(entry["speedup_vs_serial"] for entry in release["worker_sweep"])
+        assert best >= 0.95, (
+            f"parallel release never reached serial wall-clock on {cpu_count} cores "
+            f"(best speedup {best:.2f}x)"
+        )
+    return {
+        "backend_scaling": {
+            "cpu_count": cpu_count,
+            "scaling_assertion_gating": gate,
+            "streamed_release": release,
+            "streamed_audit": audit,
+        }
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help=(
+            "directory of the JSON report to merge into (default: the repo root); "
+            "the file is BENCH_perf.json, or BENCH_perf_quick.json in --quick mode"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output = output_dir / ("BENCH_perf_quick.json" if args.quick else "BENCH_perf.json")
+    if output.exists():
+        report = json.loads(output.read_text(encoding="utf-8"))
+        if report.get("mode") != mode:
+            print(
+                f"error: {output} is a {report.get('mode')!r}-mode report; "
+                f"refusing to merge {mode!r}-mode results into it",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        report = {"mode": mode, "hot_paths": {}}
+
+    report["hot_paths"].update(run(args.quick))
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nmerged backend-scaling results into {output}")
+    scenario = report["hot_paths"]["backend_scaling"]
+    for name in ("streamed_release", "streamed_audit"):
+        case = scenario[name]
+        sweep = ", ".join(
+            f"{entry['workers']}w {entry['speedup_vs_serial']:.2f}x"
+            for entry in case["worker_sweep"]
+        )
+        print(
+            f"  {name} m={case['n_rows']} ({scenario['cpu_count']} cores): "
+            f"serial {case['serial_seconds']:.2f}s, [{sweep}], byte-identical"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,7 @@ import numpy as np
 
 from .._validation import check_integer_in_range, ensure_rng
 from ..data import DataMatrix
-from ..perf.kernels import batched_inverse_rotations, resolve_block_size
+from ..perf.kernels import best_inverse_rotation
 from ..exceptions import AttackError
 from .base import AttackResult, per_attribute_reconstruction_error, reconstruction_error
 
@@ -75,6 +75,10 @@ class BruteForceAngleAttack:
     memory_budget_bytes:
         Cap on the temporaries of one angle-grid evaluation; the grid is
         processed in blocks of angles, bitwise equal to the unblocked scan.
+    backend:
+        Execution backend spec for the angle-grid blocks (see
+        :mod:`repro.perf.backends`); serial and process-pool return the
+        same bits, exact score ties included.
     """
 
     name = "brute_force_angle"
@@ -89,6 +93,7 @@ class BruteForceAngleAttack:
         sample_pairings: bool = False,
         random_state=None,
         memory_budget_bytes: int | None = None,
+        backend=None,
     ) -> None:
         self.angle_resolution = check_integer_in_range(
             angle_resolution, name="angle_resolution", minimum=4
@@ -101,6 +106,7 @@ class BruteForceAngleAttack:
         self.sample_pairings = bool(sample_pairings)
         self.random_state = random_state
         self.memory_budget_bytes = memory_budget_bytes
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # Attack
@@ -176,37 +182,19 @@ class BruteForceAngleAttack:
     ) -> tuple[int, np.ndarray, np.ndarray]:
         """First angle minimising the per-pair score, evaluated in blocks.
 
-        Per block the live temporaries are the two ``(block, m)`` restored
-        arrays, the stacked matmul operands and the score vector; the block
-        height is sized so they stay within ``memory_budget_bytes``.
+        Delegates to :func:`repro.perf.kernels.best_inverse_rotation`, whose
+        blocked running minimum keeps the first-occurrence tie-break of the
+        sequential seed scan on every backend and block size.
         """
-        m = column_i.size
-        block = resolve_block_size(
-            angles.size,
-            bytes_per_row=6 * m * column_i.itemsize,
+        best_index, _score, restored_i, restored_j = best_inverse_rotation(
+            column_i,
+            column_j,
+            angles,
+            scorer="unit_moments",
             memory_budget_bytes=self.memory_budget_bytes,
+            backend=self.backend,
         )
-        best_index = -1
-        best_score = np.inf
-        best_restored: tuple[np.ndarray, np.ndarray] | None = None
-        for start in range(0, angles.size, block):
-            stop = min(start + block, angles.size)
-            restored_i, restored_j = batched_inverse_rotations(
-                column_i, column_j, angles[start:stop]
-            )
-            # Summation order mirrors the seed per-θ scorer (variance terms
-            # first, then mean terms); argmin keeps the first minimum.
-            scores = (
-                (restored_i.var(axis=1, ddof=1) - 1.0) ** 2
-                + (restored_j.var(axis=1, ddof=1) - 1.0) ** 2
-            ) + (restored_i.mean(axis=1) ** 2 + restored_j.mean(axis=1) ** 2)
-            local = int(scores.argmin())
-            if scores[local] < best_score:
-                best_score = float(scores[local])
-                best_index = start + local
-                best_restored = (restored_i[local].copy(), restored_j[local].copy())
-        assert best_restored is not None  # angles is never empty
-        return best_index, best_restored[0], best_restored[1]
+        return best_index, restored_i, restored_j
 
     def _candidate_pairings(self, n_attributes: int) -> list[list[tuple[int, int]]]:
         """Enumerate (or sample) candidate ordered pairings of the attribute indices."""

@@ -43,7 +43,7 @@ from .._validation import check_integer_in_range
 from ..core.rotation import rotation_matrix
 from ..data import DataMatrix
 from ..exceptions import AttackError, ValidationError
-from ..perf.kernels import batched_inverse_rotations, resolve_block_size
+from ..perf.kernels import best_inverse_rotation
 from .base import AttackResult, per_attribute_reconstruction_error, reconstruction_error
 
 __all__ = ["VarianceFingerprintAttack"]
@@ -70,6 +70,10 @@ class VarianceFingerprintAttack:
         ``"naive"`` for the seed's per-θ loop (the equivalence oracle).
     memory_budget_bytes:
         Cap on the temporaries of one batched angle-grid evaluation.
+    backend:
+        Execution backend spec for the batched angle-grid blocks (see
+        :mod:`repro.perf.backends`); serial and process-pool return the
+        same bits, exact score ties included.  Ignored by the naive oracle.
     random_state:
         Accepted for registry uniformity; this attack is fully
         deterministic and never draws from it.
@@ -85,6 +89,7 @@ class VarianceFingerprintAttack:
         success_tolerance: float = 0.1,
         scoring: str = "batched",
         memory_budget_bytes: int | None = None,
+        backend=None,
         random_state=None,
     ) -> None:
         self.known_variances = (
@@ -98,6 +103,7 @@ class VarianceFingerprintAttack:
             raise ValidationError(f"scoring must be 'batched' or 'naive', got {scoring!r}")
         self.scoring = scoring
         self.memory_budget_bytes = memory_budget_bytes
+        self.backend = backend
         self.random_state = random_state
 
     def run(self, released: DataMatrix, original: DataMatrix | None = None) -> AttackResult:
@@ -168,44 +174,34 @@ class VarianceFingerprintAttack:
         current_score: float,
     ):
         """Blocked vectorized scan over (pair, θ); bitwise equal to the naive scan."""
-        m, n_attributes = candidate.shape
+        n_attributes = candidate.shape[1]
         # The seed scores a trial matrix's full variance vector; unchanged
         # columns keep the candidate's variances bit-for-bit, so they are
         # computed once per round and only the rotated pair is re-measured.
         candidate_vars = candidate.var(axis=0, ddof=1)
-        # Live per block: two (block, m) restored arrays, their (block, m, 2)
-        # stack and the matmul operands.
-        block = resolve_block_size(
-            angles.size,
-            bytes_per_row=6 * m * candidate.itemsize,
-            memory_budget_bytes=self.memory_budget_bytes,
-        )
         work = 0
         best = None
         best_restored = None
         for index_i, index_j in combinations(range(n_attributes), 2):
-            for start in range(0, angles.size, block):
-                stop = min(start + block, angles.size)
-                restored_i, restored_j = batched_inverse_rotations(
-                    candidate[:, index_i], candidate[:, index_j], angles[start:stop]
-                )
-                work += stop - start
-                # (block, m, 2) → var over the row axis: per-column strided
-                # reductions, identical bits to the trial matrix the naive
-                # path materializes per θ.
-                pair_vars = np.stack((restored_i, restored_j), axis=2).var(axis=1, ddof=1)
-                trial_vars = np.repeat(candidate_vars[None, :], stop - start, axis=0)
-                trial_vars[:, index_i] = pair_vars[:, 0]
-                trial_vars[:, index_j] = pair_vars[:, 1]
-                scores = np.sum((trial_vars - targets) ** 2, axis=1)
-                local = int(scores.argmin())
-                score = float(scores[local])
-                if score < current_score - _IMPROVEMENT_MARGIN and (
-                    best is None or score < best[0]
-                ):
-                    theta = float(angles[start + local])
-                    best = (score, None, (index_i, index_j), theta)
-                    best_restored = (restored_i[local].copy(), restored_j[local].copy())
+            # The kernel's blocked running minimum keeps the first-occurrence
+            # tie-break within the pair's grid, so taking the pair-level
+            # minimum first and comparing pairs afterwards selects exactly
+            # the candidate the seed's block-by-block comparison selected.
+            angle_index, score, restored_i, restored_j = best_inverse_rotation(
+                candidate[:, index_i],
+                candidate[:, index_j],
+                angles,
+                scorer="variance_profile",
+                candidate_variances=candidate_vars,
+                targets=targets,
+                pair_indices=(index_i, index_j),
+                memory_budget_bytes=self.memory_budget_bytes,
+                backend=self.backend,
+            )
+            work += angles.size
+            if score < current_score - _IMPROVEMENT_MARGIN and (best is None or score < best[0]):
+                best = (score, None, (index_i, index_j), float(angles[angle_index]))
+                best_restored = (restored_i, restored_j)
         if best is None:
             return work, None
         score, _, pair, theta = best

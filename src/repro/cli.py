@@ -74,6 +74,7 @@ from .metrics import (
     misclassification_error,
     privacy_report,
 )
+from .perf.backends import get_backend
 from .perf.kernels import max_abs_distance_difference
 from .pipeline.audit import (
     BUILTIN_THREAT_MODELS,
@@ -90,6 +91,36 @@ __all__ = ["main", "build_parser"]
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
+def _add_backend_options(subparser: argparse.ArgumentParser) -> None:
+    """The kernel-backend knobs shared by the compute-heavy subcommands."""
+    subparser.add_argument(
+        "--backend",
+        choices=["serial", "process-pool", "numba"],
+        default=None,
+        help=(
+            "execution backend for the chunked kernels (default: REPRO_BACKEND "
+            "or serial); serial and process-pool output identical bytes"
+        ),
+    )
+    subparser.add_argument(
+        "--kernel-workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the kernel backend (default: "
+            "REPRO_KERNEL_WORKERS or the CPU count); implies "
+            "--backend process-pool when given alone"
+        ),
+    )
+
+
+def _resolve_backend(args: argparse.Namespace):
+    """The backend instance the flags ask for, or ``None`` to keep defaults."""
+    if args.backend is None and args.kernel_workers is None:
+        return None
+    return get_backend(args.backend, workers=args.kernel_workers)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -145,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the output is byte-identical to the default in-memory path)"
         ),
     )
+    _add_backend_options(transform)
 
     invert = subparsers.add_parser("invert", help="undo a release using a saved secret")
     invert.add_argument("input", type=Path, help="released CSV")
@@ -160,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
             "is byte-identical to the default in-memory path)"
         ),
     )
+    _add_backend_options(invert)
 
     evaluate = subparsers.add_parser(
         "evaluate", help="compare an original (normalized) CSV with a released CSV"
@@ -232,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--quiet", action="store_true", help="suppress the Markdown table on stdout"
     )
+    _add_backend_options(experiment)
 
     audit = subparsers.add_parser(
         "audit", help="adversarially audit a released CSV under a threat model"
@@ -308,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the Markdown report on stdout"
     )
     audit.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
+    _add_backend_options(audit)
 
     return parser
 
@@ -318,12 +353,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_transform(args: argparse.Namespace) -> int:
     normalizer = ZScoreNormalizer() if args.normalizer == "zscore" else MinMaxNormalizer()
     transformer = RBT(thresholds=args.threshold, strategy=args.strategy, random_state=args.seed)
+    backend = _resolve_backend(args)
 
-    if args.chunk_rows is not None:
+    # A parallel backend routes through the streaming path even without
+    # --chunk-rows: that is where the backend-threaded kernels live, and the
+    # streamed output is byte-identical to the in-memory branch anyway.
+    if args.chunk_rows is not None or (backend is not None and backend.workers > 1):
         # Out-of-core path: constant memory in the number of rows, output
         # byte-identical to the in-memory branch below.
         pipeline = StreamingReleasePipeline(
-            transformer, normalizer=normalizer, chunk_rows=args.chunk_rows
+            transformer, normalizer=normalizer, chunk_rows=args.chunk_rows, backend=backend
         )
         streamed = pipeline.run(args.input, args.output, id_column=args.id_column)
         n_objects, n_attributes = streamed.n_objects, streamed.n_attributes
@@ -367,13 +406,15 @@ def _command_transform(args: argparse.Namespace) -> int:
 
 def _command_invert(args: argparse.Namespace) -> int:
     secret = RBTSecret.load(args.secret)
-    if args.chunk_rows is not None:
+    backend = _resolve_backend(args)
+    if args.chunk_rows is not None or (backend is not None and backend.workers > 1):
         stream_invert(
             args.input,
             args.output,
             secret,
             chunk_rows=args.chunk_rows,
             id_column=args.id_column,
+            backend=backend,
         )
     else:
         released = matrix_from_csv(args.input, id_column=args.id_column)
@@ -446,7 +487,12 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
     cache_dir = None if args.no_cache else (args.cache_dir or args.output_dir / "cache")
     report = run_experiment(
-        spec, workers=args.workers, executor=args.executor, cache_dir=cache_dir
+        spec,
+        workers=args.workers,
+        executor=args.executor,
+        cache_dir=cache_dir,
+        backend=args.backend,
+        kernel_workers=args.kernel_workers,
     )
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
@@ -515,7 +561,9 @@ def _command_audit(args: argparse.Namespace) -> int:
         print("error: pass either --chunk-rows or --memory-budget-mib", file=sys.stderr)
         return 1
     cache_dir = None if args.no_cache else (args.cache_dir or args.output_dir / "cache")
-    suite = AttackSuite(model, workers=args.workers, cache_dir=cache_dir)
+    suite = AttackSuite(
+        model, workers=args.workers, cache_dir=cache_dir, backend=_resolve_backend(args)
+    )
     report = suite.run(
         args.released,
         args.original,

@@ -26,6 +26,7 @@ import numpy as np
 from ..core import RBT
 from ..exceptions import ExperimentError, ReproError
 from ..metrics import adjusted_rand_index, misclassification_error, privacy_report
+from ..perf.backends import get_backend
 from ..perf.cache import DistanceCache
 from ..perf.kernels import max_abs_distance_difference
 from ..pipeline import PPCPipeline
@@ -74,8 +75,18 @@ def run_trial(payload: dict) -> dict:
     """Execute one trial described by its canonical payload; return a row dict.
 
     The returned dict is JSON-serializable and fully determined by
-    ``payload`` — it is exactly what the cache stores.
+    ``payload`` — it is exactly what the cache stores.  The optional
+    ``_execution`` key carries kernel-backend plumbing (backend name and
+    worker count); it is popped before the trial spec is built, and never
+    hashed, because serial and parallel kernels return the same bits.
     """
+    payload = dict(payload)
+    execution = payload.pop("_execution", None)
+    backend = None
+    if execution is not None:
+        backend = get_backend(
+            execution.get("backend"), workers=execution.get("kernel_workers")
+        )
     trial = TrialSpec(
         dataset=_axis(payload["dataset"]),
         transform=_axis(payload["transform"]),
@@ -93,7 +104,7 @@ def run_trial(payload: dict) -> dict:
     # ever *reads* the cache, so its chunked memory bound survives the
     # injection.  Trials never share a cache, so the process pool and the
     # byte-determinism guarantees are unaffected.
-    cache = DistanceCache()
+    cache = DistanceCache(backend=backend)
     if getattr(algorithm, "distance_cache", False) is None:
         algorithm.distance_cache = cache
 
@@ -104,6 +115,7 @@ def run_trial(payload: dict) -> dict:
             rbt=transformer,
             normalizer=_make_normalizer(trial.normalizer),
             distance_cache=cache,
+            backend=backend,
         )
         bundle = pipeline.run(matrix)
         normalized, released = bundle.normalized, bundle.released
@@ -114,7 +126,9 @@ def run_trial(payload: dict) -> dict:
         normalized = _make_normalizer(trial.normalizer).fit(matrix).transform(matrix)
         released = normalized if transformer is None else transformer.perturb(normalized)
         privacy = privacy_report(normalized, released)
-        max_distortion = max_abs_distance_difference(normalized.values, released.values)
+        max_distortion = max_abs_distance_difference(
+            normalized.values, released.values, backend=backend
+        )
 
     labels_original = algorithm.fit_predict(normalized)
     labels_released = algorithm.fit_predict(released)
@@ -127,6 +141,8 @@ def run_trial(payload: dict) -> dict:
         attack = build_attack(trial.attack.name, trial.attack.params, trial.seed)
         if getattr(attack, "distance_cache", False) is None:
             attack.distance_cache = cache
+        if backend is not None and getattr(attack, "backend", False) is None:
+            attack.backend = backend
         attack_result = attack.run(released, normalized)
         attack_row = {
             "name": trial.attack.name,
@@ -230,6 +246,15 @@ class ExperimentRunner:
     cache_dir:
         Directory for per-trial result JSON, keyed by trial content hash.
         ``None`` disables caching.
+    backend, kernel_workers:
+        Kernel-backend plumbing threaded into every trial (backend *name*,
+        e.g. ``"process-pool"``, plus its worker count) — this parallelizes
+        the kernels *inside* a trial, orthogonal to the trial-level pool
+        above.  Names, not instances, so the knob survives the process
+        executor; it is never part of a trial's hash because serial and
+        parallel kernels return the same bits.  Avoid combining a parallel
+        kernel backend with ``executor="process"`` — the trial workers
+        would each spawn their own kernel pool.
     """
 
     def __init__(
@@ -238,14 +263,23 @@ class ExperimentRunner:
         workers: int = 1,
         executor: str = "process",
         cache_dir=None,
+        backend: str | None = None,
+        kernel_workers: int | None = None,
     ) -> None:
         if workers < 1:
             raise ExperimentError(f"workers must be >= 1, got {workers}")
         if executor not in ("process", "thread"):
             raise ExperimentError(f"executor must be 'process' or 'thread', got {executor!r}")
+        if backend is not None and not isinstance(backend, str):
+            raise ExperimentError(
+                "ExperimentRunner takes a backend *name* (it must cross process "
+                f"boundaries), got {type(backend).__name__}"
+            )
         self.workers = int(workers)
         self.executor = executor
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.backend = backend
+        self.kernel_workers = None if kernel_workers is None else int(kernel_workers)
 
     # ------------------------------------------------------------------ #
     def run(self, spec: ExperimentSpec, *, progress=None) -> ExperimentReport:
@@ -290,20 +324,30 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Execution backends
     # ------------------------------------------------------------------ #
+    def _payload(self, trial: TrialSpec) -> dict:
+        """The trial's canonical payload plus the (unhashed) execution plumbing."""
+        payload = trial.canonical()
+        if self.backend is not None or self.kernel_workers is not None:
+            payload["_execution"] = {
+                "backend": self.backend,
+                "kernel_workers": self.kernel_workers,
+            }
+        return payload
+
     def _execute(self, pending):
         """Yield ``(index, row)`` for every pending trial as it completes."""
         if not pending:
             return
         if self.workers == 1:
             for index, trial in pending:
-                yield index, run_trial(trial.canonical())
+                yield index, run_trial(self._payload(trial))
             return
 
         pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
         max_workers = min(self.workers, len(pending))
         with pool_cls(max_workers=max_workers) as pool:
             futures = {
-                pool.submit(run_trial, trial.canonical()): index for index, trial in pending
+                pool.submit(run_trial, self._payload(trial)): index for index, trial in pending
             }
             outstanding = set(futures)
             while outstanding:
@@ -361,9 +405,17 @@ def run_experiment(
     executor: str = "process",
     cache_dir=None,
     progress=None,
+    backend: str | None = None,
+    kernel_workers: int | None = None,
 ) -> ExperimentReport:
     """Convenience one-call wrapper around :class:`ExperimentRunner`."""
-    runner = ExperimentRunner(workers=workers, executor=executor, cache_dir=cache_dir)
+    runner = ExperimentRunner(
+        workers=workers,
+        executor=executor,
+        cache_dir=cache_dir,
+        backend=backend,
+        kernel_workers=kernel_workers,
+    )
     try:
         return runner.run(spec, progress=progress)
     except ReproError:

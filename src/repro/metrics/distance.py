@@ -87,6 +87,7 @@ def pairwise_distances(
     metric: str = "euclidean",
     p: float = 2.0,
     memory_budget_bytes: int | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Return the full ``(m, m)`` matrix of pairwise distances between rows of ``data``.
 
@@ -104,9 +105,13 @@ def pairwise_distances(
         Order for the Minkowski metric (ignored otherwise).
     memory_budget_bytes:
         Cap on the size of any temporary (default 64 MiB).
+    backend:
+        Execution backend spec for the row blocks (see
+        :mod:`repro.perf.backends`); serial and process-pool matrices are
+        bitwise identical.
     """
     return pairwise_distances_blocked(
-        data, metric=metric, p=p, memory_budget_bytes=memory_budget_bytes
+        data, metric=metric, p=p, memory_budget_bytes=memory_budget_bytes, backend=backend
     )
 
 

@@ -16,6 +16,10 @@ Every expensive inner loop of the reproduction funnels through this package:
 * :mod:`repro.perf.streaming` — chunk-size-invariant tiled moment
   accumulators (fsum-combined per-tile partials) that make the streaming
   release pipeline's statistics bitwise identical to the in-memory path.
+* :mod:`repro.perf.backends` — pluggable execution backends (serial,
+  shared-memory process pool, optional numba) behind which every chunked
+  kernel above fans its blocks out; merge order is fixed, so serial and
+  process-pool results are bitwise identical.
 
 The kernels operate on plain ``numpy`` arrays and know nothing about the
 domain objects (``DataMatrix``, ``SecurityRange``, …); the domain modules in
@@ -24,6 +28,18 @@ domain objects (``DataMatrix``, ``SecurityRange``, …); the domain modules in
 the arithmetic here.
 """
 
+from .backends import (
+    BACKEND_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ExecutionBackend,
+    NumbaBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    is_numba_available,
+)
 from .analytic import (
     curve_admissible_intervals,
     intersect_circular_intervals,
@@ -38,6 +54,7 @@ from .kernels import (
     DEFAULT_MEMORY_BUDGET_BYTES,
     assign_nearest_center,
     batched_inverse_rotations,
+    best_inverse_rotation,
     cross_squared_distances,
     euclidean_pairwise,
     max_abs_distance_difference,
@@ -48,10 +65,21 @@ from .kernels import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "DEFAULT_MEMORY_BUDGET_BYTES",
     "STREAM_TILE_ROWS",
+    "WORKERS_ENV_VAR",
     "DistanceCache",
+    "ExecutionBackend",
+    "NumbaBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "StreamingMoments",
+    "available_backends",
+    "best_inverse_rotation",
+    "default_backend",
+    "get_backend",
+    "is_numba_available",
     "streamed_pair_moments",
     "assign_nearest_center",
     "batched_inverse_rotations",

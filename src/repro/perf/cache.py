@@ -21,8 +21,17 @@ Entries are kept in an LRU of ``max_entries`` matrices so a long-lived cache
 without bound.  All operations are thread-safe, and misses compute *outside*
 the lock so unrelated consumers never serialize behind a long distance
 computation (two threads missing the same key may both compute it; the
-first insert wins and both observe the same stored array).  Process pools
-do not share the cache (each worker builds its own).
+first insert wins and both observe the same stored array).
+
+The cache itself is strictly **per-process**: it sits *above* the execution
+backend seam (:mod:`repro.perf.backends`), so a cache built with
+``backend="process-pool"`` stays in the parent and only the blocked kernel
+underneath a miss fans out.  Kernel workers never see a cache object, and
+shipping one across processes would silently fork its contents into
+independent copies — so pickling a :class:`DistanceCache` raises rather
+than double-computing behind your back.  Process-pool *trial* executors
+(:mod:`repro.experiments.runner`, :mod:`repro.pipeline.audit`) give each
+worker its own cache instead.
 """
 
 from __future__ import annotations
@@ -50,6 +59,11 @@ class DistanceCache:
         ``None`` disables eviction.
     memory_budget_bytes:
         Budget forwarded to the chunked distance kernels on a miss.
+    backend:
+        Execution backend spec forwarded to the chunked kernels on a miss
+        (see :mod:`repro.perf.backends`).  Cached bytes are identical for
+        every backend, so consumers cannot observe which one filled an
+        entry.  The cache object itself always stays in this process.
     """
 
     def __init__(
@@ -57,15 +71,27 @@ class DistanceCache:
         *,
         max_entries: int | None = 8,
         memory_budget_bytes: int | None = None,
+        backend=None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValidationError(f"max_entries must be >= 1 or None, got {max_entries}")
         self.max_entries = max_entries
         self.memory_budget_bytes = memory_budget_bytes
+        self.backend = backend
         self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+
+    def __reduce__(self):
+        # A cache that crossed a process boundary would silently split into
+        # independent copies, each recomputing what the other already holds.
+        # Fail loudly instead; kernel workers below the backend seam never
+        # need a cache, and trial pools build one per worker.
+        raise TypeError(
+            "DistanceCache is per-process and cannot be pickled; build one cache per "
+            "worker process instead (see repro.perf.cache)"
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -96,7 +122,11 @@ class DistanceCache:
         # Compute outside the lock: a slow miss must not block hits (or
         # other misses) on unrelated keys.
         distances = pairwise_distances_blocked(
-            matrix, metric=key[0], p=p, memory_budget_bytes=self.memory_budget_bytes
+            matrix,
+            metric=key[0],
+            p=p,
+            memory_budget_bytes=self.memory_budget_bytes,
+            backend=self.backend,
         )
         distances.setflags(write=False)
         with self._lock:

@@ -16,8 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import as_float_matrix, as_float_vector, check_positive
+from .._validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_integer_in_range,
+    check_positive,
+)
 from ..exceptions import ValidationError
+from .backends import get_backend
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET_BYTES",
@@ -28,6 +34,7 @@ __all__ = [
     "assign_nearest_center",
     "max_abs_distance_difference",
     "batched_inverse_rotations",
+    "best_inverse_rotation",
     "radius_neighbors_blocked",
     "radius_neighbors_from_distances",
 ]
@@ -42,25 +49,40 @@ def resolve_block_size(
     n_rows: int,
     bytes_per_row: int,
     memory_budget_bytes: int | None = None,
+    *,
+    n_consumers: int = 1,
 ) -> int:
     """Number of rows a chunked kernel may process per block.
 
     ``bytes_per_row`` is the size of the temporary one row of the block
     generates; the block size is clamped to ``[1, n_rows]`` so a budget
     smaller than a single row still makes progress one row at a time.
+
+    ``n_consumers`` is the number of blocks that may be live concurrently —
+    parallel backends pass their worker count — and divides the budget, so
+    ``n_consumers`` in-flight blocks together still materialize at most one
+    budget's worth of temporaries (down to the one-row-per-block floor).
     """
     budget = (
         DEFAULT_MEMORY_BUDGET_BYTES if memory_budget_bytes is None else int(memory_budget_bytes)
     )
     if budget <= 0:
         raise ValidationError(f"memory_budget_bytes must be positive, got {budget}")
+    n_consumers = check_integer_in_range(n_consumers, name="n_consumers", minimum=1)
     if bytes_per_row <= 0:
         return n_rows
-    return max(1, min(n_rows, budget // bytes_per_row))
+    return max(1, min(n_rows, (budget // n_consumers) // bytes_per_row))
 
 
 def euclidean_pairwise(matrix: np.ndarray) -> np.ndarray:
-    """Numerically safe vectorized Euclidean pairwise distances (Equation 6)."""
+    """Numerically safe vectorized Euclidean pairwise distances (Equation 6).
+
+    Dense one-shot form built on a full GEMM.  The blocked kernel
+    (:func:`pairwise_distances_blocked`) uses the per-row products of
+    ``_euclidean_block`` instead: GEMM reduction bits vary with operand
+    shape, so this form is numerically equivalent to the kernel but not
+    bit-identical to it.
+    """
     squared_norms = np.sum(matrix**2, axis=1)
     squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (matrix @ matrix.T)
     np.maximum(squared, 0.0, out=squared)
@@ -69,12 +91,104 @@ def euclidean_pairwise(matrix: np.ndarray) -> np.ndarray:
     return distances
 
 
+def _metric_rows(
+    matrix: np.ndarray, start: int, stop: int, metric: str, p: float, scratch=None
+) -> np.ndarray:
+    """One block of non-Euclidean distance rows.
+
+    The arithmetic is elementwise per ``(i, j)`` cell, so reusing a caller
+    scratch buffer or allocating a fresh difference block produces the same
+    bits — which is what lets serial scratch reuse and per-worker fresh
+    allocation coexist under the bitwise contract.
+    """
+    if scratch is None:
+        diff = matrix[start:stop, None, :] - matrix[None, :, :]
+    else:
+        diff = scratch[: stop - start]
+        np.subtract(matrix[start:stop, None, :], matrix[None, :, :], out=diff)
+    np.abs(diff, out=diff)
+    if metric == "manhattan":
+        return diff.sum(axis=2)
+    if metric == "chebyshev":
+        return diff.max(axis=2)
+    np.power(diff, p, out=diff)
+    return diff.sum(axis=2) ** (1.0 / p)
+
+
+def _distance_rows_worker(arrays, start: int, stop: int, *, metric: str, p: float) -> np.ndarray:
+    """Distance rows ``start:stop`` (module level so process backends can ship it)."""
+    matrix = arrays["matrix"]
+    if metric == "euclidean":
+        distances = _euclidean_block(matrix, arrays["squared_norms"], start, stop)
+        # The dense path zeroes the diagonal; mirror that per block.
+        rows = np.arange(start, stop)
+        distances[rows - start, rows] = 0.0
+        return distances
+    return _metric_rows(matrix, start, stop, metric, p)
+
+
+_NUMBA_DISTANCE_ROWS = None
+
+
+def _ensure_numba_distance_rows():
+    global _NUMBA_DISTANCE_ROWS
+    if _NUMBA_DISTANCE_ROWS is None:
+        import numba
+
+        @numba.njit(cache=False)
+        def _rows(matrix, start, stop, metric_code, p):  # pragma: no cover - needs numba
+            m = matrix.shape[0]
+            n = matrix.shape[1]
+            out = np.empty((stop - start, m), dtype=np.float64)
+            for a in range(start, stop):
+                for b in range(m):
+                    if metric_code == 0:
+                        total = 0.0
+                        for k in range(n):
+                            total += abs(matrix[a, k] - matrix[b, k])
+                        out[a - start, b] = total
+                    elif metric_code == 1:
+                        largest = 0.0
+                        for k in range(n):
+                            value = abs(matrix[a, k] - matrix[b, k])
+                            if value > largest:
+                                largest = value
+                        out[a - start, b] = largest
+                    else:
+                        total = 0.0
+                        for k in range(n):
+                            total += abs(matrix[a, k] - matrix[b, k]) ** p
+                        out[a - start, b] = total ** (1.0 / p)
+            return out
+
+        _NUMBA_DISTANCE_ROWS = _rows
+    return _NUMBA_DISTANCE_ROWS
+
+
+def _distance_rows_numba(arrays, start: int, stop: int, *, metric: str, p: float) -> np.ndarray:
+    """Jitted variant of :func:`_distance_rows_worker` (``NumbaBackend`` only).
+
+    The sequential per-cell accumulation reassociates the reduction, so the
+    rows are numerically close to — not bitwise equal to — the reference
+    kernel; the Euclidean path is BLAS-dominated and simply delegates.
+    """
+    if metric == "euclidean":
+        return _distance_rows_worker(arrays, start, stop, metric=metric, p=p)
+    codes = {"manhattan": 0, "chebyshev": 1, "minkowski": 2}
+    rows = _ensure_numba_distance_rows()
+    return rows(np.ascontiguousarray(arrays["matrix"]), start, stop, codes[metric], float(p))
+
+
+_distance_rows_worker.numba_variant = _distance_rows_numba
+
+
 def pairwise_distances_blocked(
     data,
     *,
     metric: str = "euclidean",
     p: float = 2.0,
     memory_budget_bytes: int | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Full ``(m, m)`` pairwise-distance matrix, computed block-by-block.
 
@@ -83,37 +197,65 @@ def pairwise_distances_blocked(
     ``p``).  The non-Euclidean metrics process row blocks sized so that the
     ``(block, m, n)`` difference temporary stays within
     ``memory_budget_bytes``.
+
+    ``backend`` selects the execution backend for the row blocks (see
+    :mod:`repro.perf.backends`); the serial and process-pool backends are
+    bitwise identical because each row block's arithmetic is unchanged and
+    blocks are merged in row order.
     """
     matrix = as_float_matrix(data, name="data")
     metric = metric.lower()
-    if metric == "euclidean":
-        return euclidean_pairwise(matrix)
-    if metric not in ("manhattan", "chebyshev", "minkowski"):
+    if metric not in ("euclidean", "manhattan", "chebyshev", "minkowski"):
         raise ValidationError(
             f"unknown metric {metric!r}; expected one of euclidean, manhattan, chebyshev, minkowski"
         )
     if metric == "minkowski":
         p = check_positive(p, name="p")
+    backend = get_backend(backend)
 
     m, n = matrix.shape
     out = np.empty((m, m), dtype=float)
-    block = resolve_block_size(
-        m, bytes_per_row=m * n * matrix.itemsize, memory_budget_bytes=memory_budget_bytes
-    )
-    scratch = np.empty((block, m, n), dtype=float)
-    for start in range(0, m, block):
-        stop = min(start + block, m)
-        diff = scratch[: stop - start]
-        np.subtract(matrix[start:stop, None, :], matrix[None, :, :], out=diff)
-        np.abs(diff, out=diff)
-        if metric == "manhattan":
-            out[start:stop] = diff.sum(axis=2)
-        elif metric == "chebyshev":
-            out[start:stop] = diff.max(axis=2)
-        else:
-            np.power(diff, p, out=diff)
-            out[start:stop] = diff.sum(axis=2) ** (1.0 / p)
+    if metric == "euclidean":
+        # Per-block Gram rows merged in row order; ``_euclidean_block``'s
+        # per-row products make every block size — and therefore every
+        # backend — produce the same bits.
+        block = backend.resolve_block_size(m, 3 * matrix.itemsize * m, memory_budget_bytes)
+        arrays = {"matrix": matrix, "squared_norms": np.sum(matrix**2, axis=1)}
+        for start, stop, rows in backend.imap_blocks(
+            _distance_rows_worker, m, block, arrays=arrays, kwargs={"metric": metric, "p": p}
+        ):
+            out[start:stop] = rows
+        return out
+    block = backend.resolve_block_size(m, m * n * matrix.itemsize, memory_budget_bytes)
+    if backend.name == "serial":
+        scratch = np.empty((block, m, n), dtype=float)
+        for start in range(0, m, block):
+            stop = min(start + block, m)
+            out[start:stop] = _metric_rows(matrix, start, stop, metric, p, scratch=scratch)
+        return out
+    for start, stop, rows in backend.imap_blocks(
+        _distance_rows_worker, m, block, arrays={"matrix": matrix}, kwargs={"metric": metric, "p": p}
+    ):
+        out[start:stop] = rows
     return out
+
+
+def _neighbor_rows_worker(
+    arrays, start: int, stop: int, *, metric: str, p: float, eps: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """One block's CSR pieces: per-row neighbor counts + ascending columns."""
+    matrix = arrays["matrix"]
+    if metric == "euclidean":
+        distances = _euclidean_block(matrix, arrays["squared_norms"], start, stop)
+        # The dense path zeroes the diagonal; mirror that so round-off on
+        # d(i, i) cannot drop an object from its own neighborhood.
+        rows = np.arange(start, stop)
+        distances[rows - start, rows] = 0.0
+    else:
+        distances = _metric_rows(matrix, start, stop, metric, p)
+    local_rows, local_cols = np.nonzero(distances <= eps)
+    counts = np.bincount(local_rows, minlength=stop - start).astype(np.intp, copy=False)
+    return counts, local_cols.astype(np.intp, copy=False)
 
 
 def radius_neighbors_blocked(
@@ -123,6 +265,7 @@ def radius_neighbors_blocked(
     metric: str = "euclidean",
     p: float = 2.0,
     memory_budget_bytes: int | None = None,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Compressed neighbor lists ``{j : d(i, j) <= eps}`` for every row ``i``.
 
@@ -134,6 +277,10 @@ def radius_neighbors_blocked(
     budget plus the neighbor lists themselves.  Per-element arithmetic is
     identical to :func:`pairwise_distances_blocked`, so the neighbor sets
     match a dense threshold of that matrix.
+
+    Row blocks may execute on any ``backend``; neighbor sets are a pure
+    elementwise threshold per block and blocks are concatenated in row
+    order, so every backend returns identical CSR arrays.
     """
     matrix = as_float_matrix(data, name="data")
     eps = float(eps)
@@ -144,56 +291,28 @@ def radius_neighbors_blocked(
         )
     if metric == "minkowski":
         p = check_positive(p, name="p")
+    backend = get_backend(backend)
 
     m, n = matrix.shape
+    arrays = {"matrix": matrix}
     if metric == "euclidean":
-        # Same expression as ``euclidean_pairwise`` (not einsum — the two
-        # reductions differ in the last ulp) so the thresholded sets match
-        # the dense path bitwise.
-        squared_norms = np.sum(matrix**2, axis=1)
-        # Live per block: two (block, m) float temporaries inside
-        # ``_euclidean_block``, the distance block itself, and the boolean
-        # threshold mask.
-        block = resolve_block_size(
-            m,
-            bytes_per_row=(3 * matrix.itemsize + 1) * m,
-            memory_budget_bytes=memory_budget_bytes,
-        )
+        # ``_euclidean_block`` rows, exactly as in
+        # ``pairwise_distances_blocked``, so the thresholded sets match a
+        # dense threshold of that matrix bitwise.  Live per block: two
+        # (block, m) float temporaries inside ``_euclidean_block``, the
+        # distance block itself, and the boolean threshold mask.
+        arrays["squared_norms"] = np.sum(matrix**2, axis=1)
+        block = backend.resolve_block_size(m, (3 * matrix.itemsize + 1) * m, memory_budget_bytes)
     else:
-        block = resolve_block_size(
-            m,
-            bytes_per_row=(n + 2) * m * matrix.itemsize,
-            memory_budget_bytes=memory_budget_bytes,
-        )
-        scratch = np.empty((block, m, n), dtype=float)
+        block = backend.resolve_block_size(m, (n + 2) * m * matrix.itemsize, memory_budget_bytes)
 
     counts = np.empty(m, dtype=np.intp)
     chunks: list[np.ndarray] = []
-    for start in range(0, m, block):
-        stop = min(start + block, m)
-        if metric == "euclidean":
-            distances = _euclidean_block(matrix, squared_norms, start, stop)
-            # The dense path zeroes the diagonal; mirror that so round-off on
-            # d(i, i) cannot drop an object from its own neighborhood.
-            rows = np.arange(start, stop)
-            distances[rows - start, rows] = 0.0
-        else:
-            diff = scratch[: stop - start]
-            np.subtract(matrix[start:stop, None, :], matrix[None, :, :], out=diff)
-            np.abs(diff, out=diff)
-            if metric == "manhattan":
-                distances = diff.sum(axis=2)
-            elif metric == "chebyshev":
-                distances = diff.max(axis=2)
-            else:
-                np.power(diff, p, out=diff)
-                distances = diff.sum(axis=2) ** (1.0 / p)
-        local_rows, local_cols = np.nonzero(distances <= eps)
-        counts[start:stop] = np.bincount(local_rows, minlength=stop - start)
-        chunks.append(local_cols.astype(np.intp, copy=False))
-        # Drop the block before the next one is built — otherwise the old
-        # distances overlap the new temporaries and the peak grows by a block.
-        del distances, local_rows, local_cols
+    for start, stop, (block_counts, block_cols) in backend.imap_blocks(
+        _neighbor_rows_worker, m, block, arrays=arrays, kwargs={"metric": metric, "p": p, "eps": eps}
+    ):
+        counts[start:stop] = block_counts
+        chunks.append(block_cols)
 
     indptr = np.zeros(m + 1, dtype=np.intp)
     np.cumsum(counts, out=indptr[1:])
@@ -263,11 +382,27 @@ def assign_nearest_center(points: np.ndarray, centers: np.ndarray) -> np.ndarray
     return cross_squared_distances(points - shift, centers - shift).argmin(axis=1)
 
 
+def _distance_difference_worker(arrays, start: int, stop: int) -> float:
+    """Block maximum of ``|d(i,j) − d'(i,j)|`` for rows ``start:stop``."""
+    first = arrays["first"]
+    second = arrays["second"]
+    rows = np.arange(start, stop)
+    distances_first = _euclidean_block(first, arrays["first_norms"], start, stop)
+    distances_second = _euclidean_block(second, arrays["second_norms"], start, stop)
+    # The full-matrix computation zeroes the diagonal; mirror that here so
+    # round-off on d(i, i) cannot masquerade as distortion.
+    distances_first[rows - start, rows] = 0.0
+    distances_second[rows - start, rows] = 0.0
+    np.abs(distances_first - distances_second, out=distances_first)
+    return float(distances_first.max())
+
+
 def max_abs_distance_difference(
     first,
     second,
     *,
     memory_budget_bytes: int | None = None,
+    backend=None,
 ) -> float:
     """``max |d(i,j) − d'(i,j)|`` over all pairs, without two full matrices.
 
@@ -276,6 +411,9 @@ def max_abs_distance_difference(
     plus their difference) just to take one maximum.  Here each row block's
     Euclidean distances are computed for both datasets, compared, and
     discarded, so peak memory is bounded by the budget regardless of ``m``.
+
+    The running ``max`` over per-block maxima is merged in block order on
+    every ``backend``, matching the serial scan exactly.
     """
     first = as_float_matrix(first, name="first")
     second = as_float_matrix(second, name="second")
@@ -284,36 +422,37 @@ def max_abs_distance_difference(
             f"first and second must describe the same objects, got {first.shape[0]} "
             f"and {second.shape[0]} rows"
         )
+    backend = get_backend(backend)
     m = first.shape[0]
-    first_norms = np.einsum("ij,ij->i", first, first)
-    second_norms = np.einsum("ij,ij->i", second, second)
+    arrays = {
+        "first": first,
+        "second": second,
+        "first_norms": np.einsum("ij,ij->i", first, first),
+        "second_norms": np.einsum("ij,ij->i", second, second),
+    }
     # Each block materializes ~4 (block, m) temporaries (two squared-distance
     # blocks and scratch); size the block accordingly.
-    block = resolve_block_size(
-        m, bytes_per_row=4 * m * first.itemsize, memory_budget_bytes=memory_budget_bytes
-    )
+    block = backend.resolve_block_size(m, 4 * m * first.itemsize, memory_budget_bytes)
     worst = 0.0
-    for start in range(0, m, block):
-        stop = min(start + block, m)
-        rows = np.arange(start, stop)
-        distances_first = _euclidean_block(first, first_norms, start, stop)
-        distances_second = _euclidean_block(second, second_norms, start, stop)
-        # The full-matrix computation zeroes the diagonal; mirror that here so
-        # round-off on d(i, i) cannot masquerade as distortion.
-        distances_first[rows - start, rows] = 0.0
-        distances_second[rows - start, rows] = 0.0
-        np.abs(distances_first - distances_second, out=distances_first)
-        worst = max(worst, float(distances_first.max()))
+    for _start, _stop, value in backend.imap_blocks(
+        _distance_difference_worker, m, block, arrays=arrays
+    ):
+        worst = max(worst, value)
     return worst
 
 
 def _euclidean_block(
     matrix: np.ndarray, squared_norms: np.ndarray, start: int, stop: int
 ) -> np.ndarray:
-    # In-place staging of ‖x‖² + ‖y‖² − 2x·y: bitwise identical to the
-    # one-expression form (scaling by 2 is exact, the subtraction sees the
-    # same operands) but keeps only two (block, m) temporaries live.
-    cross = matrix[start:stop] @ matrix.T
+    # In-place staging of ‖x‖² + ‖y‖² − 2x·y, with the cross terms computed
+    # as one fixed-shape (m, n)·(n,) product per row.  A (block, m) GEMM
+    # would be faster, but BLAS reduction bits depend on the operand shapes,
+    # so its last-ulp output would change with the block decomposition; the
+    # per-row form depends only on (m, n), which is what keeps every block
+    # size — and therefore every backend — bitwise identical.
+    cross = np.empty((stop - start, matrix.shape[0]), dtype=float)
+    for row in range(start, stop):
+        np.dot(matrix, matrix[row], out=cross[row - start])
     squared = squared_norms[start:stop, None] + squared_norms[None, :]
     cross *= 2.0
     squared -= cross
@@ -353,3 +492,132 @@ def batched_inverse_rotations(
     transposed[:, 1, 1] = cos
     restored = transposed @ np.vstack([column_i, column_j])
     return restored[:, 0, :], restored[:, 1, :]
+
+
+def _angle_scan_worker(
+    arrays,
+    start: int,
+    stop: int,
+    *,
+    scorer: str,
+    candidate_variances=None,
+    targets=None,
+    pair_indices=None,
+):
+    """Best angle within one grid block: ``(local index, score, restored pair)``."""
+    restored_i, restored_j = batched_inverse_rotations(
+        arrays["column_i"], arrays["column_j"], arrays["angles"][start:stop]
+    )
+    if scorer == "unit_moments":
+        # Summation order mirrors the seed per-θ scorer (variance terms
+        # first, then mean terms).
+        scores = (
+            (restored_i.var(axis=1, ddof=1) - 1.0) ** 2
+            + (restored_j.var(axis=1, ddof=1) - 1.0) ** 2
+        ) + (restored_i.mean(axis=1) ** 2 + restored_j.mean(axis=1) ** 2)
+    else:
+        # (block, m, 2) → var over the row axis: per-column strided
+        # reductions, identical bits to a trial matrix materialized per θ.
+        pair_variances = np.stack((restored_i, restored_j), axis=2).var(axis=1, ddof=1)
+        index_i, index_j = pair_indices
+        trial_variances = np.repeat(
+            np.asarray(candidate_variances, dtype=float)[None, :], stop - start, axis=0
+        )
+        trial_variances[:, index_i] = pair_variances[:, 0]
+        trial_variances[:, index_j] = pair_variances[:, 1]
+        scores = np.sum((trial_variances - np.asarray(targets, dtype=float)) ** 2, axis=1)
+    local = int(scores.argmin())
+    return local, float(scores[local]), restored_i[local].copy(), restored_j[local].copy()
+
+
+def best_inverse_rotation(
+    column_i,
+    column_j,
+    angles_degrees,
+    *,
+    scorer: str = "unit_moments",
+    candidate_variances=None,
+    targets=None,
+    pair_indices=None,
+    memory_budget_bytes: int | None = None,
+    backend=None,
+) -> tuple[int, float, np.ndarray, np.ndarray]:
+    """First-minimum scan of an inverse-rotation angle grid, block by block.
+
+    Evaluates :func:`batched_inverse_rotations` over ``angles_degrees`` in
+    blocks sized under ``memory_budget_bytes`` (per block the live
+    temporaries are the two ``(block, m)`` restored arrays, the stacked
+    matmul operands and the score vector — ~6 row-length floats per angle)
+    and returns ``(angle_index, score, restored_i, restored_j)`` for the
+    first angle attaining the minimum score.
+
+    Scorers
+    -------
+    ``"unit_moments"``
+        The brute-force attack's public-statistics score: squared deviation
+        of both restored columns from unit variance and zero mean.
+    ``"variance_profile"``
+        The variance-fingerprint score: squared deviation of the full trial
+        variance vector from ``targets``, where ``candidate_variances`` are
+        the unrotated column variances and ``pair_indices`` names the two
+        columns being re-measured.
+
+    Per-angle restorations and scores depend only on that angle's rows, and
+    per-block ``(argmin, min)`` partials merged with a strict ``<`` in block
+    order reproduce the first-occurrence tie-break of the sequential scan —
+    so any block size on any backend (serial or process-pool) returns the
+    same bits, exact ties included.
+    """
+    column_i = as_float_vector(column_i, name="column_i")
+    column_j = as_float_vector(column_j, name="column_j")
+    if column_i.shape != column_j.shape:
+        raise ValidationError(
+            f"column_i and column_j must have the same length, got {column_i.size} and {column_j.size}"
+        )
+    angles = np.asarray(angles_degrees, dtype=float).ravel()
+    if angles.size == 0:
+        raise ValidationError("angles_degrees must not be empty")
+    if scorer not in ("unit_moments", "variance_profile"):
+        raise ValidationError(
+            f"unknown scorer {scorer!r}; expected 'unit_moments' or 'variance_profile'"
+        )
+    if scorer == "variance_profile" and (
+        candidate_variances is None or targets is None or pair_indices is None
+    ):
+        raise ValidationError(
+            "the variance_profile scorer needs candidate_variances, targets and pair_indices"
+        )
+    backend = get_backend(backend)
+    block = backend.resolve_block_size(
+        angles.size, 6 * column_i.size * column_i.itemsize, memory_budget_bytes
+    )
+    kwargs = {"scorer": scorer}
+    if scorer == "variance_profile":
+        kwargs.update(
+            candidate_variances=np.asarray(candidate_variances, dtype=float),
+            targets=np.asarray(targets, dtype=float),
+            pair_indices=(int(pair_indices[0]), int(pair_indices[1])),
+        )
+    best_index = -1
+    best_score = np.inf
+    best_restored: tuple[np.ndarray, np.ndarray] | None = None
+    fallback = None
+    for start, _stop, (local, score, restored_i, restored_j) in backend.imap_blocks(
+        _angle_scan_worker,
+        angles.size,
+        block,
+        arrays={"column_i": column_i, "column_j": column_j, "angles": angles},
+        kwargs=kwargs,
+    ):
+        if fallback is None:
+            fallback = (start + local, score, restored_i, restored_j)
+        if score < best_score:
+            best_score = score
+            best_index = start + local
+            best_restored = (restored_i, restored_j)
+    if best_restored is None:
+        # Every score was NaN (degenerate single-row input): return the first
+        # block's argmin so the scan stays deterministic instead of crashing.
+        best_index, best_score, *rest = fallback
+        best_restored = (rest[0], rest[1])
+    return best_index, best_score, best_restored[0], best_restored[1]

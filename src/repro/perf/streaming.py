@@ -41,6 +41,7 @@ import numpy as np
 
 from .._validation import check_integer_in_range
 from ..exceptions import ValidationError
+from .backends import get_backend
 
 __all__ = [
     "STREAM_TILE_ROWS",
@@ -71,6 +72,28 @@ def _combine(parts: list[np.ndarray]) -> np.ndarray:
     return np.array([math.fsum(part[c] for part in parts) for c in range(width)], dtype=float)
 
 
+def _tile_partials_worker(arrays, start: int, stop: int, *, tile_rows, shift, pairs):
+    """Per-tile ``(sum, sum-of-squares, cross)`` partials for tiles ``start:stop``.
+
+    Module level so process backends can ship it.  Tile extraction and the
+    per-tile arithmetic are copied from :meth:`StreamingMoments._flush`
+    verbatim — the bitwise contract rides on the two staying identical.
+    """
+    region = arrays["region"]
+    out = []
+    for index in range(start, stop):
+        shifted = region[index * tile_rows : (index + 1) * tile_rows] - shift
+        sums = shifted.sum(axis=0)
+        sumsqs = (shifted * shifted).sum(axis=0)
+        crosses = None
+        if pairs:
+            crosses = np.empty(len(pairs), dtype=float)
+            for position, (i, j) in enumerate(pairs):
+                crosses[position] = np.sum(shifted[:, i] * shifted[:, j])
+        out.append((sums, sumsqs, crosses))
+    return out
+
+
 class StreamingMoments:
     """Single-pass column moments that are invariant to chunk boundaries.
 
@@ -90,6 +113,14 @@ class StreamingMoments:
         because the normalizer fit only needs per-column moments.
     tile_rows:
         Reduction tile height; exposed for tests, keep the default otherwise.
+    backend:
+        Execution backend spec for the per-tile reductions (see
+        :mod:`repro.perf.backends`).  Complete tiles are fanned out and
+        their partials appended in tile order with the serial collapse
+        rule, so every backend yields bitwise-identical statistics.  May
+        also be assigned after construction (``accumulator.backend = ...``);
+        the attribute is re-resolved on every :meth:`update`, and the
+        statistics do not depend on which backend computed which tile.
     """
 
     def __init__(
@@ -99,7 +130,9 @@ class StreamingMoments:
         cross: bool = False,
         tile_rows: int = STREAM_TILE_ROWS,
         combine_every: int = _COMBINE_EVERY_TILES,
+        backend=None,
     ):
+        self.backend = backend
         self._n_columns = check_integer_in_range(n_columns, name="n_columns", minimum=1)
         tile_rows = check_integer_in_range(tile_rows, name="tile_rows", minimum=1)
         self._combine_every = check_integer_in_range(combine_every, name="combine_every", minimum=2)
@@ -147,6 +180,9 @@ class StreamingMoments:
             self._shift = array[0].astype(float, copy=True)
         position = 0
         tile_rows = self._tile.shape[0]
+        backend = get_backend(self.backend)
+        if backend.workers > 1:
+            position = self._update_parallel(array, backend)
         while position < array.shape[0]:
             take = min(tile_rows - self._fill, array.shape[0] - position)
             self._tile[self._fill : self._fill + take] = array[position : position + take]
@@ -158,20 +194,66 @@ class StreamingMoments:
         self._count += array.shape[0]
         return self
 
+    def _update_parallel(self, array: np.ndarray, backend) -> int:
+        """Fan this chunk's complete tiles out to ``backend``; return the position reached.
+
+        The partial tile buffer is topped up (and flushed) first so the
+        fanned-out region starts on an absolute tile boundary; the serial
+        loop below picks up whatever rows remain.  Tile extraction and the
+        per-tile arithmetic match :meth:`_flush` exactly, and partials are
+        appended in tile order under the same collapse rule, so the final
+        statistics are bitwise identical to the serial path.
+        """
+        position = 0
+        tile_rows = self._tile.shape[0]
+        if self._fill:
+            take = min(tile_rows - self._fill, array.shape[0])
+            self._tile[self._fill : self._fill + take] = array[:take]
+            self._fill += take
+            position = take
+            if self._fill < tile_rows:
+                return position
+            self._flush(self._tile)
+            self._fill = 0
+        n_tiles = (array.shape[0] - position) // tile_rows
+        if n_tiles < 2:
+            return position
+        region = array[position : position + n_tiles * tile_rows]
+        block_tiles = max(1, -(-n_tiles // (2 * backend.workers)))
+        pairs = tuple(self._pairs) if self._cross else None
+        for _start, _stop, partials in backend.imap_blocks(
+            _tile_partials_worker,
+            n_tiles,
+            block_tiles,
+            arrays={"region": region},
+            kwargs={"tile_rows": tile_rows, "shift": self._shift, "pairs": pairs},
+        ):
+            for sums, sumsqs, crosses in partials:
+                self._append_partials(sums, sumsqs, crosses)
+        return position + n_tiles * tile_rows
+
     def _flush(self, tile: np.ndarray) -> None:
         """Reduce one C-contiguous tile into per-tile partial sums."""
         shifted = tile - self._shift
-        self._sum_parts.append(shifted.sum(axis=0))
-        self._sumsq_parts.append((shifted * shifted).sum(axis=0))
+        sums = shifted.sum(axis=0)
+        sumsqs = (shifted * shifted).sum(axis=0)
+        products = None
         if self._cross:
             products = np.empty(len(self._pairs), dtype=float)
             for index, (i, j) in enumerate(self._pairs):
                 products[index] = np.sum(shifted[:, i] * shifted[:, j])
-            self._cross_parts.append(products)
+        self._append_partials(sums, sumsqs, products)
+
+    def _append_partials(self, sums, sumsqs, crosses) -> None:
+        self._sum_parts.append(sums)
+        self._sumsq_parts.append(sumsqs)
+        if self._cross:
+            self._cross_parts.append(crosses)
         # Bound the partial lists: every _combine_every entries collapse into
         # one exactly-rounded super-partial.  The trigger depends only on how
-        # many tiles have been flushed, never on the chunk boundaries, so the
-        # final statistics remain chunk-invariant.
+        # many tiles have been flushed, never on the chunk boundaries (or on
+        # which backend reduced them), so the final statistics remain
+        # chunk-invariant.
         if len(self._sum_parts) >= self._combine_every:
             self._sum_parts = [_combine(self._sum_parts)]
             self._sumsq_parts = [_combine(self._sumsq_parts)]

@@ -553,6 +553,15 @@ class AttackSuite:
     distance_sample_rows:
         Row-sample size for the streamed Table-5 distance diagnostic (the
         full ``O(m²)`` matrix would defeat the memory budget).
+    backend:
+        Execution backend spec for the kernels underneath the audit — the
+        streamed evidence accumulators, the dense engine's distance cache
+        and the angle-grid scans of attacks that accept one (see
+        :mod:`repro.perf.backends`).  Serial and process-pool audits are
+        byte identical, which is why the backend is *not* part of the
+        cache key.  With ``executor="process"`` the dense attacks already
+        run in their own worker processes, which force the serial backend
+        internally — the two parallelism schemes never nest.
     """
 
     def __init__(
@@ -563,6 +572,7 @@ class AttackSuite:
         executor: str = "thread",
         cache_dir=None,
         distance_sample_rows: int = 256,
+        backend=None,
     ) -> None:
         if isinstance(threat_model, str):
             threat_model = builtin_threat_model(threat_model)
@@ -582,6 +592,7 @@ class AttackSuite:
         self.executor = executor
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.distance_sample_rows = int(distance_sample_rows)
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -753,7 +764,7 @@ class AttackSuite:
             else:
                 rows[i] = row
 
-        cache = DistanceCache()
+        cache = DistanceCache(backend=self.backend)
         for i, row in self._execute_dense(pending, released, original, cache):
             row = {"hash": keys[i], "schema": AUDIT_CACHE_SCHEMA_VERSION, **row}
             self._cache_store(keys[i], row)
@@ -828,9 +839,12 @@ class AttackSuite:
             entry.name, entry.params, random_state=self.threat_model.attack_seed(index)
         )
         # Lend the suite's distance cache to attacks that compute the Table 5
-        # diagnostic, so the original's matrix is built once per audit.
+        # diagnostic, so the original's matrix is built once per audit, and
+        # the suite's kernel backend to attacks that scan angle grids.
         if getattr(attack, "distance_cache", False) is None:
             attack.distance_cache = cache
+        if self.backend is not None and getattr(attack, "backend", False) is None:
+            attack.backend = self.backend
         result = attack.run(released, original)
         return {
             "work": int(result.work),
@@ -945,9 +959,13 @@ class AttackSuite:
 
         # ---- Pass 1: chunk-invariant moments (and a head sample for the
         # sampled Table 5 diagnostic), over released and original together.
-        released_acc = StreamingMoments(n, cross=True)
-        original_acc = StreamingMoments(n) if original_path is not None else None
-        difference_acc = StreamingMoments(n) if original_path is not None else None
+        released_acc = StreamingMoments(n, cross=True, backend=self.backend)
+        original_acc = (
+            StreamingMoments(n, backend=self.backend) if original_path is not None else None
+        )
+        difference_acc = (
+            StreamingMoments(n, backend=self.backend) if original_path is not None else None
+        )
         head_released: list[np.ndarray] = []
         head_original: list[np.ndarray] = []
         head_rows = 0
@@ -1062,7 +1080,7 @@ class AttackSuite:
         scores: dict[int, StreamingMoments] = {}
         if original_path is not None and plans:
             for i in plans:
-                scores[i] = StreamingMoments(n)
+                scores[i] = StreamingMoments(n, backend=self.backend)
             for released_chunk, original_chunk in self._paired_chunks(
                 released_path, original_path, columns, resolved_chunk_rows, id_column
             ):

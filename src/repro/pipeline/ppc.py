@@ -120,6 +120,11 @@ class PPCPipeline:
         reuses one matrix instead of recomputing it; an explicit cache
         instance is shared across runs; ``False`` disables sharing.  Cached
         and uncached runs produce byte-identical bundles.
+    backend:
+        Execution backend spec for the chunked kernels underneath the run —
+        the Theorem 2 distortion scan and any cache-filling distance
+        computation (see :mod:`repro.perf.backends`).  Serial and
+        process-pool produce byte-identical bundles.
 
     Examples
     --------
@@ -138,12 +143,14 @@ class PPCPipeline:
         suppressor: IdentifierSuppressor | None = None,
         ddof: int = 1,
         distance_cache: DistanceCache | bool = True,
+        backend=None,
     ) -> None:
         self.rbt = rbt if rbt is not None else RBT()
         self.normalizer = normalizer if normalizer is not None else ZScoreNormalizer()
         self.suppressor = suppressor if suppressor is not None else IdentifierSuppressor()
         self.ddof = ddof
         self.distance_cache = distance_cache
+        self.backend = backend
 
     def run(
         self,
@@ -183,7 +190,9 @@ class PPCPipeline:
         report = privacy_report(normalized, released, ddof=self.ddof)
         # Block-wise Theorem 2 check: the worst |d − d'| is found without
         # materializing either full dissimilarity matrix.
-        max_distortion = max_abs_distance_difference(normalized.values, released.values)
+        max_distortion = max_abs_distance_difference(
+            normalized.values, released.values, backend=self.backend
+        )
 
         if algorithms is None and verify_with_kmeans:
             algorithms = [KMeans(n_clusters=n_clusters, random_state=random_state)]
@@ -226,7 +235,7 @@ class PPCPipeline:
     def _resolve_cache(self) -> DistanceCache | None:
         """The distance cache for one :meth:`run` (fresh, shared, or none)."""
         if self.distance_cache is True:
-            return DistanceCache()
+            return DistanceCache(backend=self.backend)
         if isinstance(self.distance_cache, DistanceCache):
             return self.distance_cache
         return None

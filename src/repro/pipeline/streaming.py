@@ -54,6 +54,7 @@ from ..data.io import (
 )
 from ..exceptions import ValidationError
 from ..metrics.privacy import AttributePrivacy, PrivacyReport
+from ..perf.backends import get_backend
 from ..perf.kernels import resolve_block_size
 from ..perf.streaming import StreamingMoments, correlation_from_moments
 from ..preprocessing import IdentifierSuppressor, Normalizer, ZScoreNormalizer
@@ -174,6 +175,13 @@ class StreamingReleasePipeline:
         model of :func:`resolve_chunk_rows`.
     ddof:
         Estimator for the privacy report (1 matches the paper's numbers).
+    backend:
+        Execution backend spec for the wide streamed accumulators — the
+        normalizer fit, the correlation pass, and the transform pass's
+        privacy moments (see :mod:`repro.perf.backends`).  Serial and
+        process-pool releases are byte identical; the tiny width-2
+        per-pair accumulators always run serially (fan-out overhead would
+        dwarf them).
 
     Examples
     --------
@@ -191,6 +199,7 @@ class StreamingReleasePipeline:
         chunk_rows: int | None = None,
         memory_budget_bytes: int | None = None,
         ddof: int = 1,
+        backend=None,
     ) -> None:
         if chunk_rows is not None and memory_budget_bytes is not None:
             raise ValidationError("pass either chunk_rows or memory_budget_bytes, not both")
@@ -204,6 +213,7 @@ class StreamingReleasePipeline:
         )
         self.memory_budget_bytes = memory_budget_bytes
         self.ddof = check_integer_in_range(ddof, name="ddof", minimum=0, maximum=1)
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # Main entry point
@@ -232,7 +242,8 @@ class StreamingReleasePipeline:
 
         # ---- Pass 1: fit the normalizer (chunk-invariant streamed stats).
         self.normalizer.fit_stream(
-            chunk for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices)
+            (chunk for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices)),
+            backend=self.backend,
         )
         passes += 1
 
@@ -247,7 +258,7 @@ class StreamingReleasePipeline:
 
         # ---- Final pass: normalize + rotate every chunk and write it out.
         n_columns = len(columns)
-        privacy_moments = StreamingMoments(3 * n_columns)
+        privacy_moments = StreamingMoments(3 * n_columns, backend=self.backend)
         achieved_moments = [StreamingMoments(2) for _ in decided]
         column_index = {name: position for position, name in enumerate(columns)}
         n_objects = 0
@@ -326,7 +337,7 @@ class StreamingReleasePipeline:
             # One pass accumulates every pairwise moment of the normalized
             # data: it yields both the correlation matrix for the greedy
             # pairing and the first-round per-pair moments for free.
-            accumulator = StreamingMoments(len(columns), cross=True)
+            accumulator = StreamingMoments(len(columns), cross=True, backend=self.backend)
             for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices):
                 accumulator.update(self.normalizer.transform(chunk))
             passes += 1
@@ -477,6 +488,17 @@ class StreamingReleasePipeline:
             yield self._select(chunk.values, kept_indices), chunk.ids
 
 
+def _invert_rows_worker(arrays, start, stop, *, secret, columns):
+    """Restore rows ``start:stop`` of one streamed chunk.
+
+    The inverse rotations are elementwise per row, so any row split restores
+    the same bits as inverting the whole chunk at once.
+    """
+    return secret.apply_to_block(
+        arrays["values"][start:stop], columns, inverse=True, copy=True, validate=False
+    )
+
+
 def stream_invert(
     input_path: str | Path,
     output_path: str | Path,
@@ -486,12 +508,16 @@ def stream_invert(
     memory_budget_bytes: int | None = None,
     id_column: str | None = "id",
     float_format: str | None = None,
+    backend=None,
 ) -> int:
     """Undo a release chunk-by-chunk using the owner's secret.
 
     The streamed dual of ``RBTSecret.invert`` + ``matrix_to_csv``: applies
     the inverse rotations blockwise (bitwise identical to inverting the
-    materialized matrix) and returns the number of restored rows.
+    materialized matrix) and returns the number of restored rows.  With a
+    parallel ``backend`` each chunk's rows are restored in worker-sized
+    blocks — still the same bits, because every rotation touches one row at
+    a time.
     """
     input_path = Path(input_path)
     columns, has_ids = read_matrix_csv_header(input_path, id_column=id_column)
@@ -499,16 +525,36 @@ def stream_invert(
     chunk_rows = resolve_chunk_rows(
         len(columns), chunk_rows=chunk_rows, memory_budget_bytes=memory_budget_bytes
     )
+    backend = get_backend(backend)
     n_rows = 0
     with MatrixCsvWriter(
         output_path, columns, include_ids=has_ids, float_format=float_format
     ) as writer:
         for chunk in iter_matrix_csv(input_path, chunk_rows=chunk_rows, id_column=id_column):
-            # The chunk's array is freshly parsed and ours to mutate, and the
-            # columns were validated once above — skip both per-chunk costs.
-            restored = secret.apply_to_block(
-                chunk.values, columns, inverse=True, copy=False, validate=False
-            )
+            if backend.workers > 1 and chunk.values.shape[0] > 1:
+                values = chunk.values
+                # Input block + worker copy + shipped result + parent copy.
+                block = backend.resolve_block_size(
+                    values.shape[0],
+                    4 * values.shape[1] * values.itemsize,
+                    memory_budget_bytes=memory_budget_bytes,
+                )
+                restored = np.empty_like(values)
+                for start, stop, rows in backend.imap_blocks(
+                    _invert_rows_worker,
+                    values.shape[0],
+                    block,
+                    arrays={"values": values},
+                    kwargs={"secret": secret, "columns": tuple(columns)},
+                ):
+                    restored[start:stop] = rows
+            else:
+                # The chunk's array is freshly parsed and ours to mutate, and
+                # the columns were validated once above — skip both per-chunk
+                # costs.
+                restored = secret.apply_to_block(
+                    chunk.values, columns, inverse=True, copy=False, validate=False
+                )
             writer.write_rows(restored, ids=chunk.ids)
             n_rows += restored.shape[0]
     return n_rows

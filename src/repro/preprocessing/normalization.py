@@ -75,7 +75,7 @@ class Normalizer(ABC):
         self._n_attributes = array.shape[1]
         return self
 
-    def fit_stream(self, chunks) -> "Normalizer":
+    def fit_stream(self, chunks, *, backend=None) -> "Normalizer":
         """Learn per-column statistics from an iterable of row chunks.
 
         Each chunk is a ``(rows, n_attributes)`` array (or
@@ -83,6 +83,12 @@ class Normalizer(ABC):
         The fitted statistics are bitwise identical to :meth:`fit` on the
         vertically stacked chunks, for any chunk boundaries — :meth:`fit`
         itself delegates to the same single-chunk stream.
+
+        ``backend`` is an execution-backend spec (see
+        :mod:`repro.perf.backends`) handed to accumulators that support one
+        (the z-score :class:`~repro.perf.streaming.StreamingMoments`); the
+        min/max accumulators ignore it.  Serial and parallel fits produce
+        the same bits.
         """
         fitter = None
         n_attributes: int | None = None
@@ -92,6 +98,8 @@ class Normalizer(ABC):
             if n_attributes is None:
                 n_attributes = array.shape[1]
                 fitter = self._stream_fitter(n_attributes)
+                if backend is not None and hasattr(fitter, "backend"):
+                    fitter.backend = backend
             elif array.shape[1] != n_attributes:
                 raise ValidationError(
                     f"chunk has {array.shape[1]} attribute(s) but earlier chunks "

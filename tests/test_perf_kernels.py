@@ -14,12 +14,15 @@ import pytest
 from repro.core.rotation import rotation_matrix
 from repro.exceptions import ValidationError
 from repro.metrics import condensed_dissimilarity, dissimilarity_matrix, pairwise_distances
+from repro.perf.backends import ProcessPoolBackend
 from repro.perf.kernels import (
     assign_nearest_center,
     batched_inverse_rotations,
+    best_inverse_rotation,
     cross_squared_distances,
     max_abs_distance_difference,
     pairwise_distances_blocked,
+    radius_neighbors_blocked,
     resolve_block_size,
 )
 
@@ -184,3 +187,60 @@ class TestCondensedDissimilarity:
         rows = condensed_dissimilarity([[0.0], [2.675]], decimals=2)
         assert rows == [[], [round(2.675, 2)]]
         assert rows[1][0] == 2.67
+
+
+class TestProcessPoolMatchesSerial:
+    """The backend seam: process-pool results must be bitwise serial results.
+
+    The full worker-count / block-size sweep lives in tests/test_backends.py;
+    here each routed kernel is pinned against this module's serial oracles
+    under a budget small enough to force many parallel blocks.
+    """
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+    def test_distances_parallel_blocks_match_oracles(self, rng, metric):
+        data = rng.normal(size=(37, 5))
+        serial = pairwise_distances_blocked(data, metric=metric)
+        with ProcessPoolBackend(workers=2) as pool:
+            parallel = pairwise_distances_blocked(
+                data, metric=metric, memory_budget_bytes=4096, backend=pool
+            )
+        np.testing.assert_array_equal(parallel, serial)
+        if metric != "euclidean":  # the broadcast oracle covers the gram form
+            np.testing.assert_array_equal(parallel, naive_broadcast_distances(data, metric))
+
+    def test_radius_neighbors_parallel_blocks_match_serial(self, rng):
+        data = rng.normal(size=(50, 3))
+        serial = radius_neighbors_blocked(data, 1.0)
+        with ProcessPoolBackend(workers=2) as pool:
+            parallel = radius_neighbors_blocked(
+                data, 1.0, memory_budget_bytes=1024, backend=pool
+            )
+        np.testing.assert_array_equal(parallel[0], serial[0])
+        np.testing.assert_array_equal(parallel[1], serial[1])
+
+    def test_max_abs_difference_parallel_blocks_match_serial(self, rng):
+        first = rng.normal(size=(60, 4))
+        second = first + rng.normal(scale=0.01, size=first.shape)
+        serial = max_abs_distance_difference(first, second)
+        with ProcessPoolBackend(workers=2) as pool:
+            assert (
+                max_abs_distance_difference(
+                    first, second, memory_budget_bytes=4096, backend=pool
+                )
+                == serial
+            )
+
+    def test_angle_scan_parallel_blocks_match_serial(self, rng):
+        column_i = rng.normal(size=40)
+        column_j = rng.normal(size=40)
+        angles = np.linspace(0.0, 360.0, 144, endpoint=False)
+        serial = best_inverse_rotation(column_i, column_j, angles)
+        with ProcessPoolBackend(workers=2) as pool:
+            parallel = best_inverse_rotation(
+                column_i, column_j, angles, memory_budget_bytes=4096, backend=pool
+            )
+        assert parallel[0] == serial[0]
+        assert parallel[1] == serial[1]
+        np.testing.assert_array_equal(parallel[2], serial[2])
+        np.testing.assert_array_equal(parallel[3], serial[3])

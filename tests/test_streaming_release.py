@@ -17,6 +17,7 @@ from repro.core import RBT, RBTSecret
 from repro.data import DataMatrix
 from repro.data.io import matrix_from_csv, matrix_to_csv
 from repro.exceptions import ValidationError
+from repro.perf.backends import ProcessPoolBackend
 from repro.perf.streaming import STREAM_TILE_ROWS, StreamingMoments, streamed_pair_moments
 from repro.perf.analytic import pair_moments
 from repro.pipeline import StreamingReleasePipeline, resolve_chunk_rows, stream_invert
@@ -435,3 +436,60 @@ class TestStreamingReportAndKnobs:
         restored = report.secret().invert(matrix_from_csv(stream_out))
         normalized = ZScoreNormalizer().fit_transform(matrix)
         assert np.allclose(restored.values, normalized.values, atol=1e-12)
+
+
+class TestParallelBackendByteIdentity:
+    """The backend= seam must never change a single released byte."""
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_streaming_moments_match_serial_bitwise(self, rng, workers):
+        data = rng.normal(size=(5000, 4)) * [2.0, 30.0, 0.2, 5.0] + [7.0, -40.0, 1.0, 0.0]
+        serial = StreamingMoments(4, cross=True)
+        with ProcessPoolBackend(workers=workers) as pool:
+            parallel = StreamingMoments(4, cross=True, backend=pool)
+            for start in range(0, 5000, 977):  # odd chunking vs the tile size
+                chunk = data[start : start + 977]
+                serial.update(chunk)
+                parallel.update(chunk)
+            assert np.array_equal(serial.means(), parallel.means())
+            assert np.array_equal(serial.variances(ddof=1), parallel.variances(ddof=1))
+            assert serial.covariance(1, 3, ddof=1) == parallel.covariance(1, 3, ddof=1)
+
+    def test_release_bytes_match_serial(self, confidential_csv, tmp_path):
+        input_path, _ = confidential_csv
+        serial_out = tmp_path / "serial.csv"
+        parallel_out = tmp_path / "parallel.csv"
+        serial_report = StreamingReleasePipeline(RBT(random_state=11), chunk_rows=9).run(
+            input_path, serial_out
+        )
+        with ProcessPoolBackend(workers=2) as pool:
+            parallel_report = StreamingReleasePipeline(
+                RBT(random_state=11), chunk_rows=9, backend=pool
+            ).run(input_path, parallel_out)
+        assert parallel_out.read_bytes() == serial_out.read_bytes()
+        assert parallel_report.pairs == serial_report.pairs
+        assert parallel_report.angles_degrees == serial_report.angles_degrees
+
+    def test_invert_bytes_match_serial(self, confidential_csv, tmp_path):
+        input_path, _ = confidential_csv
+        released = tmp_path / "released.csv"
+        result = in_memory_release(
+            input_path, released, normalizer=ZScoreNormalizer(), rbt=RBT(random_state=9)
+        )
+        secret = RBTSecret.from_result(result)
+        serial_out = tmp_path / "serial_restored.csv"
+        parallel_out = tmp_path / "parallel_restored.csv"
+        stream_invert(released, serial_out, secret, chunk_rows=17)
+        with ProcessPoolBackend(workers=3) as pool:
+            # A budget small enough that every 17-row chunk splits into
+            # several per-worker row blocks.
+            n_rows = stream_invert(
+                released,
+                parallel_out,
+                secret,
+                chunk_rows=17,
+                memory_budget_bytes=512,
+                backend=pool,
+            )
+        assert n_rows == 83
+        assert parallel_out.read_bytes() == serial_out.read_bytes()
