@@ -1,0 +1,212 @@
+"""Benchmark for the multi-party distributed release protocol.
+
+Sweeps the party count through
+:class:`~repro.distributed.DistributedReleasePipeline` on an evenly sharded
+synthetic CSV and *merges* the results into the ``BENCH_perf.json`` report
+(``BENCH_perf_quick.json`` in ``--quick`` mode) written by
+``bench_perf_hotpaths.py``, so the CI regression gate covers the federated
+layer alongside the compute kernels:
+
+* ``multi_party_byte_identical`` — the release for **every** party count is
+  cross-checked byte-for-byte against the single-party streamed release of
+  the concatenated shards; this is the headline determinism contract and it
+  gates unconditionally in ``check_bench_regression.py``.
+* ``party_counts`` — per-count wall clock plus the communication ledger
+  (messages, values, bytes, rounds, largest payload, busiest party), so a
+  protocol change that starts shipping O(rows) traffic shows up in review.
+* ``payload_growth_within_budget`` — the largest wire payload is measured
+  at two row scales (4x apart); sketches grow with occupied exponent
+  buckets (≈ log rows), so the payload must stay within 1.5x when the rows
+  quadruple.  A violation means raw data started crossing the wire.
+
+Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_distributed_scaling.py            # full
+    PYTHONPATH=src python benchmarks/bench_distributed_scaling.py --quick    # CI smoke
+
+Headline acceptance number (full mode): an 8-party release of 60k rows is
+byte-identical to the single-party release, with the largest message a few
+thousand values regardless of row count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # allow `python benchmarks/bench_distributed_scaling.py` from anywhere
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_perf_hotpaths import best_time, ratio
+
+from repro.core import RBT
+from repro.data.io import MatrixCsvWriter
+from repro.distributed import DistributedReleasePipeline, split_csv_shards
+from repro.pipeline import StreamingReleasePipeline
+
+N_ATTRIBUTES = 4
+COLUMNS = [f"x{i}" for i in range(N_ATTRIBUTES)]
+
+
+def generate_csv(path: Path, n_rows: int, *, seed: int = 0, block: int = 50_000) -> None:
+    """Write a synthetic confidential CSV without materializing it."""
+    rng = np.random.default_rng(seed)
+    with MatrixCsvWriter(path, COLUMNS, include_ids=True) as writer:
+        start = 0
+        while start < n_rows:
+            rows = min(block, n_rows - start)
+            values = rng.normal(size=(rows, N_ATTRIBUTES)) * [3.0, 1.0, 10.0, 0.5] + [
+                50.0,
+                0.0,
+                -20.0,
+                1.0,
+            ]
+            writer.write_rows(values, ids=[f"row-{start + i}" for i in range(rows)])
+            start += rows
+
+
+def distributed_release(workdir: Path, source: Path, n_parties: int, tag: str):
+    """Shard ``source`` evenly, run the protocol, return (seconds, report, path)."""
+    shard_paths = [workdir / f"{tag}_shard{index}.csv" for index in range(n_parties)]
+    split_csv_shards(source, shard_paths)
+    output_path = workdir / f"{tag}_released.csv"
+    pipeline = DistributedReleasePipeline(
+        RBT(random_state=7), chunk_rows=1_500, protocol_seed=1234
+    )
+    seconds, report = best_time(lambda: pipeline.run(shard_paths, output_path), repeats=2)
+    return seconds, report, output_path
+
+
+def bench_party_sweep(workdir: Path, quick: bool) -> dict:
+    n_rows = 6_000 if quick else 60_000
+    party_counts = [1, 2, 4] if quick else [1, 2, 4, 8]
+    source = workdir / "distributed_input.csv"
+    generate_csv(source, n_rows, seed=5)
+
+    # The contract target: the single-party streamed release of the full CSV,
+    # run at a *different* chunk size than the protocol so the comparison also
+    # exercises chunk invariance.
+    reference_path = workdir / "reference_released.csv"
+    reference = StreamingReleasePipeline(RBT(random_state=7), chunk_rows=2_048)
+    reference_seconds, _ = best_time(lambda: reference.run(source, reference_path), repeats=2)
+    reference_bytes = reference_path.read_bytes()
+
+    per_count = []
+    byte_identical = True
+    for n_parties in party_counts:
+        print(f"[bench] distributed_scaling parties={n_parties} ...", flush=True)
+        seconds, report, output_path = distributed_release(
+            workdir, source, n_parties, f"p{n_parties}"
+        )
+        byte_identical = byte_identical and output_path.read_bytes() == reference_bytes
+        communication = report.ledger.summary()
+        per_count.append(
+            {
+                "n_parties": n_parties,
+                "seconds": seconds,
+                "overhead_vs_single_party": ratio(seconds, reference_seconds),
+                "n_messages": communication["n_messages"],
+                "n_values": communication["n_values"],
+                "n_bytes": communication["n_bytes"],
+                "rounds": communication["rounds"],
+                "max_message_values": communication["max_message_values"],
+                "max_party_seconds": max(
+                    communication["party_seconds"].values(), default=0.0
+                ),
+            }
+        )
+
+    # Payload growth: quadruple the rows behind two parties and require the
+    # largest message to stay within 1.5x — sketch payloads track occupied
+    # exponent buckets, not rows, so anything steeper means the protocol
+    # started shipping row-sized data.
+    small_source = workdir / "distributed_small.csv"
+    generate_csv(small_source, n_rows // 4, seed=5)
+    _, small_report, _ = distributed_release(workdir, small_source, 2, "small")
+    small_payload = small_report.ledger.summary()["max_message_values"]
+    large_payload = next(
+        entry["max_message_values"] for entry in per_count if entry["n_parties"] == 2
+    )
+    payload_growth = ratio(large_payload, small_payload)
+
+    return {
+        "n_rows": n_rows,
+        "n_attributes": N_ATTRIBUTES,
+        "single_party_streamed_seconds": reference_seconds,
+        "party_counts": per_count,
+        "multi_party_byte_identical": byte_identical,
+        "payload_rows_small": n_rows // 4,
+        "payload_values_small": small_payload,
+        "payload_values_large": large_payload,
+        "payload_growth": payload_growth,
+        "payload_growth_within_budget": bool(payload_growth <= 1.5),
+    }
+
+
+def run(quick: bool) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench_distributed_") as tmp:
+        results = bench_party_sweep(Path(tmp), quick)
+    return {"distributed_scaling": results}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent.parent),
+        help=(
+            "directory of the JSON report to merge into (default: the repo root); "
+            "the file is BENCH_perf.json, or BENCH_perf_quick.json in --quick mode"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output = output_dir / ("BENCH_perf_quick.json" if args.quick else "BENCH_perf.json")
+    if output.exists():
+        report = json.loads(output.read_text(encoding="utf-8"))
+        if report.get("mode") != mode:
+            print(
+                f"error: {output} is a {report.get('mode')!r}-mode report; "
+                f"refusing to merge {mode!r}-mode results into it",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        report = {"mode": mode, "hot_paths": {}}
+
+    report["hot_paths"].update(run(args.quick))
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nmerged distributed-scaling results into {output}")
+    scenario = report["hot_paths"]["distributed_scaling"]
+    for entry in scenario["party_counts"]:
+        print(
+            f"  parties={entry['n_parties']} m={scenario['n_rows']}: "
+            f"{entry['seconds']:.2f}s ({entry['overhead_vs_single_party']:.2f}x single-party), "
+            f"{entry['n_messages']} messages / {entry['rounds']} rounds, "
+            f"largest payload {entry['max_message_values']} values"
+        )
+    print(
+        f"  byte-identical to the single-party release: "
+        f"{scenario['multi_party_byte_identical']}; payload growth for 4x rows: "
+        f"{scenario['payload_growth']:.2f}x "
+        f"(within budget: {scenario['payload_growth_within_budget']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

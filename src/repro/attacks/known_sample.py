@@ -48,11 +48,17 @@ class KnownSampleAttack:
     ----------
     known_indices:
         Row indices of the records the attacker knows in the original data.
-        Mutually exclusive with ``n_known``.
+        Mutually exclusive with ``n_known`` and ``index_ranges``.
     n_known:
         Number of known records, drawn without replacement from the rows of
         the attacked release with the seeded ``random_state`` (sorted, so
         the regression sees them in a deterministic order).
+    index_ranges:
+        Half-open ``(start, stop)`` row ranges the attacker knows — the
+        colluding-parties threat model for a horizontally-federated release,
+        where each release shard occupies a contiguous row block and a
+        colluding party knows its *own* block in full.  Mutually exclusive
+        with ``known_indices`` and ``n_known``.
     random_state:
         Seed for the ``n_known`` draw; identical seeds give identical
         :class:`AttackResult` objects across runs and processes.
@@ -78,14 +84,16 @@ class KnownSampleAttack:
         known_indices=None,
         *,
         n_known: int | None = None,
+        index_ranges=None,
         random_state=None,
         project_to_orthogonal: bool = True,
         success_tolerance: float = 0.1,
         check_distances: bool = False,
         distance_cache=None,
     ) -> None:
-        if (known_indices is None) == (n_known is None):
-            raise AttackError("pass exactly one of known_indices or n_known")
+        provided = sum(value is not None for value in (known_indices, n_known, index_ranges))
+        if provided != 1:
+            raise AttackError("pass exactly one of known_indices, n_known or index_ranges")
         self.known_indices = (
             None
             if known_indices is None
@@ -96,6 +104,17 @@ class KnownSampleAttack:
         )
         if self.known_indices is not None and not self.known_indices:
             raise AttackError("KnownSampleAttack needs at least one known record")
+        self.index_ranges = None
+        if index_ranges is not None:
+            ranges = []
+            for entry in index_ranges:
+                start, stop = entry
+                start = check_integer_in_range(int(start), name="range start", minimum=0)
+                stop = check_integer_in_range(int(stop), name="range stop", minimum=start)
+                ranges.append((start, stop))
+            if not any(stop > start for start, stop in ranges):
+                raise AttackError("index_ranges must cover at least one record")
+            self.index_ranges = ranges
         self.n_known = (
             None if n_known is None else check_integer_in_range(n_known, name="n_known", minimum=1)
         )
@@ -119,6 +138,17 @@ class KnownSampleAttack:
                         f"known index {index} out of range for {n_objects} object(s)"
                     )
             return list(self.known_indices)
+        if self.index_ranges is not None:
+            covered: set[int] = set()
+            for start, stop in self.index_ranges:
+                if stop > n_objects:
+                    raise AttackError(
+                        f"index range ({start}, {stop}) out of range for {n_objects} object(s)"
+                    )
+                covered.update(range(start, stop))
+            if not covered:
+                raise AttackError("index_ranges must cover at least one record")
+            return sorted(covered)
         if self.n_known > n_objects:
             raise AttackError(
                 f"n_known={self.n_known} exceeds the {n_objects} released object(s)"
@@ -156,6 +186,8 @@ class KnownSampleAttack:
             "projected_to_orthogonal": self.project_to_orthogonal,
             "estimated_map": estimate,
         }
+        if self.index_ranges is not None:
+            details["index_ranges"] = [[int(start), int(stop)] for start, stop in self.index_ranges]
         if self.check_distances:
             details.update(
                 distance_change_diagnostics(

@@ -88,13 +88,18 @@ def _build_known_sample(params: dict, random_state):
         (
             "known_indices",
             "n_known",
+            "index_ranges",
             "project_to_orthogonal",
             "success_tolerance",
             "check_distances",
         ),
         context="attack 'known_sample'",
     )
-    if "known_indices" not in params and "n_known" not in params:
+    if params.get("index_ranges") is not None:
+        params["index_ranges"] = [
+            (int(start), int(stop)) for start, stop in params["index_ranges"]
+        ]
+    if not any(key in params for key in ("known_indices", "n_known", "index_ranges")):
         params["n_known"] = 8
     return KnownSampleAttack(random_state=random_state, **params)
 

@@ -8,6 +8,12 @@ full Figure 1 workflow can be driven from a shell without writing Python:
     and write the released CSV plus (optionally) the rotation secret and a
     JSON privacy report.
 
+``distributed``
+    Multi-party: release the union of per-party horizontal shards without
+    any party revealing a raw row — only mergeable moment sketches and
+    masked partials cross the (simulated) wire, and the output is
+    byte-identical to ``transform`` run on the concatenated shards.
+
 ``invert``
     Owner-side: undo a release using a saved secret.
 
@@ -42,6 +48,9 @@ Examples
 
     python -m repro transform vitals.csv released.csv --threshold 0.4 \
         --secret secret.json --report privacy.json --id-column mrn
+    python -m repro distributed site_a.csv site_b.csv site_c.csv released.csv \
+        --threshold 0.4 --secret secret.json --report release.json
+    python -m repro distributed vitals.csv released.csv --parties 4
     python -m repro cluster released.csv labels.csv --algorithm kmeans --k 3
     python -m repro evaluate normalized.csv released.csv --k 3
     python -m repro invert released.csv restored.csv --secret secret.json
@@ -67,7 +76,8 @@ from .clustering import DBSCAN, AgglomerativeClustering, KMeans, KMedoids
 from .core import RBT, RBTSecret
 from .data import DataMatrix
 from .data.io import matrix_from_csv, matrix_to_csv
-from .exceptions import ReproError
+from .distributed import DistributedReleasePipeline, split_csv_shards
+from .exceptions import ReproError, ValidationError
 from .experiments import BUILTIN_SPECS, ExperimentSpec, builtin_spec, run_experiment
 from .metrics import (
     adjusted_rand_index,
@@ -177,6 +187,81 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_backend_options(transform)
+
+    distributed = subparsers.add_parser(
+        "distributed",
+        help="multi-party release of horizontal shards (byte-identical to transform)",
+    )
+    distributed.add_argument(
+        "shards",
+        type=Path,
+        nargs="+",
+        help=(
+            "per-party horizontal shard CSVs (identical headers); with "
+            "--parties, a single source CSV to split"
+        ),
+    )
+    distributed.add_argument("output", type=Path, help="where to write the released CSV")
+    distributed.add_argument(
+        "--parties",
+        type=int,
+        default=None,
+        help=(
+            "simulation mode: split one source CSV into this many near-even "
+            "shards before running the protocol"
+        ),
+    )
+    distributed.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="pairwise-security threshold rho applied to every pair (default 0.25)",
+    )
+    distributed.add_argument(
+        "--normalizer",
+        choices=["zscore", "minmax"],
+        default="zscore",
+        help="normalization applied before the rotation (default zscore)",
+    )
+    distributed.add_argument(
+        "--strategy",
+        choices=["interleaved", "sequential", "random", "max_variance"],
+        default="interleaved",
+        help="attribute pair-selection strategy (default interleaved)",
+    )
+    distributed.add_argument("--seed", type=int, default=None, help="random seed for the RBT")
+    distributed.add_argument(
+        "--protocol-seed",
+        type=int,
+        default=None,
+        help=(
+            "seed for the secure-sum masks; the masks cancel exactly, so this "
+            "never changes the released bytes"
+        ),
+    )
+    distributed.add_argument(
+        "--id-column",
+        default="id",
+        help=(
+            "name of the identifier column to carry as object ids "
+            "(default 'id'; ignored when the CSVs have no such leading column)"
+        ),
+    )
+    distributed.add_argument(
+        "--secret", type=Path, default=None, help="write the rotation secret (JSON) here"
+    )
+    distributed.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write a JSON release report (privacy + communication costs) here",
+    )
+    distributed.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="rows per streamed block at every party (any value gives the same bytes)",
+    )
 
     invert = subparsers.add_parser("invert", help="undo a release using a saved secret")
     invert.add_argument("input", type=Path, help="released CSV")
@@ -404,6 +489,68 @@ def _command_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_distributed(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
+    normalizer = ZScoreNormalizer() if args.normalizer == "zscore" else MinMaxNormalizer()
+    transformer = RBT(thresholds=args.threshold, strategy=args.strategy, random_state=args.seed)
+    shard_paths = list(args.shards)
+    with contextlib.ExitStack() as stack:
+        if args.parties is not None:
+            if len(shard_paths) != 1:
+                raise ValidationError(
+                    "--parties splits a single source CSV; pass one input path"
+                )
+            if args.parties < 1:
+                raise ValidationError(f"--parties must be >= 1, got {args.parties}")
+            scratch = Path(stack.enter_context(tempfile.TemporaryDirectory()))
+            source = shard_paths[0]
+            shard_paths = [scratch / f"party-{index}.csv" for index in range(args.parties)]
+            written = split_csv_shards(source, shard_paths, id_column=args.id_column)
+            print(f"split {source} into {len(written)} shard(s): {list(written)} rows")
+        pipeline = DistributedReleasePipeline(
+            transformer,
+            normalizer=normalizer,
+            chunk_rows=args.chunk_rows,
+            protocol_seed=args.protocol_seed,
+        )
+        report = pipeline.run(shard_paths, args.output, id_column=args.id_column)
+
+    communication = report.ledger.summary()
+    print(
+        f"released {report.n_objects} objects x {report.n_attributes} attributes "
+        f"from {report.n_parties} part(ies) -> {args.output}"
+    )
+    print(
+        f"  communication: {communication['n_messages']} messages, "
+        f"{communication['n_bytes']} bytes over {communication['rounds']} rounds "
+        f"(largest payload {communication['max_message_values']} values)"
+    )
+    if args.secret is not None:
+        report.secret().save(args.secret)
+        print(f"rotation secret written to {args.secret} (keep it private)")
+    if args.report is not None:
+        payload = {
+            "threshold": args.threshold,
+            "pairs": [list(pair) for pair in report.pairs],
+            "min_variance_difference": report.privacy.minimum_variance_difference,
+            "attributes": report.privacy.as_dict(),
+            "n_parties": report.n_parties,
+            "party_rows": list(report.party_rows),
+            "communication": communication,
+        }
+        args.report.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"release report written to {args.report}")
+    for record in report.records:
+        print(
+            f"  pair {record.pair}: theta drawn from "
+            f"[{record.security_range.lower_bound:.2f}, {record.security_range.upper_bound:.2f}] deg, "
+            f"Var(X - X') = ({record.achieved_variances[0]:.4f}, {record.achieved_variances[1]:.4f})"
+        )
+    return 0
+
+
 def _command_invert(args: argparse.Namespace) -> int:
     secret = RBTSecret.load(args.secret)
     backend = _resolve_backend(args)
@@ -612,6 +759,7 @@ def _write_labels(path: Path, matrix: DataMatrix, labels: np.ndarray) -> None:
 
 _COMMANDS = {
     "transform": _command_transform,
+    "distributed": _command_distributed,
     "invert": _command_invert,
     "evaluate": _command_evaluate,
     "cluster": _command_cluster,

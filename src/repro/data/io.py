@@ -272,6 +272,7 @@ def iter_matrix_csv(
     *,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     id_column: str | None = "id",
+    allow_empty: bool = False,
 ) -> Iterator[MatrixCsvChunk]:
     """Stream a matrix CSV as :class:`MatrixCsvChunk` blocks of ``chunk_rows`` rows.
 
@@ -280,6 +281,10 @@ def iter_matrix_csv(
     non-numeric values, duplicate headers and empty files raise
     :class:`~repro.exceptions.SerializationError`.  Peak memory is one block,
     independent of the file size.
+
+    ``allow_empty=True`` accepts a header-only file and yields no chunks — a
+    legitimate state for a distributed party whose horizontal shard received
+    zero rows; a missing header still raises.
     """
     path = Path(path)
     chunk_rows = int(chunk_rows)
@@ -336,7 +341,7 @@ def iter_matrix_csv(
                 start_row=start_row,
             )
             n_yielded += len(rows)
-    if header is None or n_yielded == 0:
+    if header is None or (n_yielded == 0 and not allow_empty):
         raise SerializationError(f"CSV file {path} does not contain a header and data rows")
 
 

@@ -20,17 +20,40 @@ Neither system is RBT — they solve the *partitioned-data* PPC problem while
 RBT solves the *centralized-data* one — but having them executable lets the
 benchmark ``bench_distributed_comparators`` reproduce the qualitative
 comparison (clustering quality, what each party learns, communication cost).
+
+Since PR 7 the package also opens the partitioned-data scenario **for RBT
+itself**: :mod:`repro.distributed.federated` runs a horizontally-federated
+release over mergeable moment sketches — each :class:`ShardParty` streams
+its own shard, only sketch states and masked partials cross the simulated
+wire (:class:`SecureSketchSum`, priced by :class:`CommunicationLedger`),
+and the multi-party output is byte-identical to the single-party release of
+the concatenated shards.  See ``docs/DISTRIBUTED.md``.
 """
 
-from .parties import Party, SecureSumProtocol, MessageLog
+from .parties import Party, SecureSumProtocol, MessageLog, CommunicationLedger
 from .vertical_kmeans import VerticallyPartitionedKMeans
 from .generative import GaussianMixtureModel, GenerativeModelClustering
+from .federated import (
+    DistributedReleasePipeline,
+    DistributedReleaseReport,
+    SecureSketchSum,
+    ShardParty,
+    sketch_state_n_values,
+    split_csv_shards,
+)
 
 __all__ = [
     "Party",
     "SecureSumProtocol",
     "MessageLog",
+    "CommunicationLedger",
     "VerticallyPartitionedKMeans",
     "GaussianMixtureModel",
     "GenerativeModelClustering",
+    "DistributedReleasePipeline",
+    "DistributedReleaseReport",
+    "SecureSketchSum",
+    "ShardParty",
+    "sketch_state_n_values",
+    "split_csv_shards",
 ]

@@ -11,6 +11,7 @@ initiator, and no individual contribution is revealed to any other party.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,7 +20,7 @@ from .._validation import ensure_rng
 from ..data import DataMatrix
 from ..exceptions import ProtocolError
 
-__all__ = ["Party", "MessageLog", "SecureSumProtocol"]
+__all__ = ["Party", "MessageLog", "CommunicationLedger", "SecureSumProtocol"]
 
 
 @dataclass
@@ -41,6 +42,52 @@ class MessageLog:
     def new_round(self) -> None:
         """Mark the start of a new protocol round."""
         self.rounds += 1
+
+
+@dataclass
+class CommunicationLedger(MessageLog):
+    """A :class:`MessageLog` that also prices every protocol edge.
+
+    On top of the message/value/round counters it tracks the bytes shipped
+    per edge, the largest single payload (the evidence that only sketch-sized
+    messages — never O(rows) — cross a party boundary), and the wall-clock
+    seconds each party spent on local work.  Every protocol in
+    :mod:`repro.distributed` accepts either class; the federated release
+    pipeline always writes a ledger so its cost shows up in benchmarks.
+    """
+
+    n_bytes: int = 0
+    max_message_values: int = 0
+    party_seconds: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def record(
+        self,
+        sender: str,
+        receiver: str,
+        n_values: int,
+        *,
+        label: str = "",
+        n_bytes: int | None = None,
+    ) -> None:
+        """Record one message; bytes default to 8 per value (float64/int64 wire)."""
+        super().record(sender, receiver, n_values, label=label)
+        self.n_bytes += int(n_bytes) if n_bytes is not None else 8 * int(n_values)
+        self.max_message_values = max(self.max_message_values, int(n_values))
+
+    def add_party_seconds(self, party: str, seconds: float) -> None:
+        """Charge ``seconds`` of local wall-clock work to ``party``."""
+        self.party_seconds[party] += float(seconds)
+
+    def summary(self) -> dict:
+        """JSON-friendly cost summary (for reports and benchmarks)."""
+        return {
+            "n_messages": self.n_messages,
+            "n_values": self.n_values,
+            "n_bytes": self.n_bytes,
+            "rounds": self.rounds,
+            "max_message_values": self.max_message_values,
+            "party_seconds": {name: float(value) for name, value in self.party_seconds.items()},
+        }
 
 
 class Party:

@@ -41,6 +41,19 @@ __all__ = ["ExperimentReport", "ExperimentRunner", "run_experiment", "run_trial"
 # --------------------------------------------------------------------------- #
 # Single-trial execution (module-level so process pools can pickle it)
 # --------------------------------------------------------------------------- #
+class _IdentityStreamFitter:
+    """State-free fitter so the identity normalizer also fits the federated API."""
+
+    def update(self, values):
+        return self
+
+    def state(self) -> dict:
+        return {}
+
+    def merge_state(self, state) -> "_IdentityStreamFitter":
+        return self
+
+
 class _IdentityNormalizer:
     """Pass-through stand-in so ``normalizer: none`` fits the pipeline API."""
 
@@ -52,6 +65,12 @@ class _IdentityNormalizer:
 
     def fit_transform(self, matrix):
         return matrix
+
+    def _stream_fitter(self, n_columns):
+        return _IdentityStreamFitter()
+
+    def _finish_stream_fit(self, fitter, *, n_rows):
+        return None
 
 
 def _make_normalizer(name: str):
@@ -69,6 +88,51 @@ def _security_range_stats(rbt_result) -> dict:
         "mean_width_degrees": float(np.mean(widths)) if widths else 0.0,
         "min_width_degrees": float(np.min(widths)) if widths else 0.0,
     }
+
+
+def _run_federated(matrix, transformer: RBT, trial: TrialSpec):
+    """Release the trial's dataset through the multi-party pipeline.
+
+    The dataset is split into ``trial.parties`` near-even horizontal shards
+    and released via :class:`~repro.distributed.DistributedReleasePipeline`;
+    by the federated determinism contract the released values are bitwise
+    equal to the single-party trial's.  Returns the normalized and released
+    matrices plus privacy, security-range stats and a *deterministic* slice
+    of the communication ledger (wall-clock timings are excluded so cached
+    rows stay byte-reproducible).
+    """
+    import tempfile
+
+    from ..data.io import matrix_from_csv, matrix_to_csv
+    from ..distributed import DistributedReleasePipeline, split_csv_shards
+
+    if trial.parties > matrix.n_objects:
+        raise ExperimentError(
+            f"parties={trial.parties} exceeds the dataset's {matrix.n_objects} object(s)"
+        )
+    normalizer = _make_normalizer(trial.normalizer)
+    normalized = normalizer.fit(matrix).transform(matrix)
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        source = scratch / "source.csv"
+        matrix_to_csv(matrix, source)
+        shard_paths = [scratch / f"shard-{index}.csv" for index in range(trial.parties)]
+        split_csv_shards(source, shard_paths)
+        released_path = scratch / "released.csv"
+        report = DistributedReleasePipeline(
+            rbt=transformer, normalizer=_make_normalizer(trial.normalizer)
+        ).run(shard_paths, released_path)
+        released = matrix_from_csv(released_path)
+    ledger = report.ledger.summary()
+    federated = {
+        "n_parties": report.n_parties,
+        "party_rows": list(report.party_rows),
+        "communication": {
+            key: ledger[key]
+            for key in ("n_messages", "n_values", "n_bytes", "rounds", "max_message_values")
+        },
+    }
+    return normalized, released, report.privacy, _security_range_stats(report), federated
 
 
 def run_trial(payload: dict) -> dict:
@@ -94,6 +158,7 @@ def run_trial(payload: dict) -> dict:
         seed=int(payload["seed"]),
         normalizer=payload["normalizer"],
         attack=_axis(payload["attack"]) if "attack" in payload else AxisSpec("none"),
+        parties=int(payload.get("parties", 1)),
     )
     matrix, truth = build_dataset(trial.dataset.name, trial.dataset.params, trial.seed)
     transformer = build_transform(trial.transform.name, trial.transform.params, trial.seed)
@@ -109,7 +174,19 @@ def run_trial(payload: dict) -> dict:
         algorithm.distance_cache = cache
 
     security_range = None
-    if isinstance(transformer, RBT):
+    federated = None
+    if isinstance(transformer, RBT) and trial.parties > 1:
+        # Federated releases go through the multi-party protocol; the output
+        # is byte-identical to the single-party release, so clustering and
+        # privacy numbers match the parties=1 trial — the axis exists to keep
+        # that contract under test and to report communication costs.
+        normalized, released, privacy, security_range, federated = _run_federated(
+            matrix, transformer, trial
+        )
+        max_distortion = max_abs_distance_difference(
+            normalized.values, released.values, backend=backend
+        )
+    elif isinstance(transformer, RBT):
         # RBT releases go through the owner pipeline of Figure 1 end to end.
         pipeline = PPCPipeline(
             rbt=transformer,
@@ -123,6 +200,11 @@ def run_trial(payload: dict) -> dict:
         max_distortion = bundle.max_distance_distortion
         security_range = _security_range_stats(bundle.rbt_result)
     else:
+        if trial.parties > 1:
+            raise ExperimentError(
+                f"parties={trial.parties} requires the 'rbt' transform, "
+                f"got {trial.transform.name!r}"
+            )
         normalized = _make_normalizer(trial.normalizer).fit(matrix).transform(matrix)
         released = normalized if transformer is None else transformer.perturb(normalized)
         privacy = privacy_report(normalized, released)
@@ -185,6 +267,8 @@ def run_trial(payload: dict) -> dict:
             "preserved": bool(max_distortion < 1e-8),
         },
         "security_range": security_range,
+        "parties": trial.parties,
+        "federated": federated,
         "attack": attack_row,
         "clustering": {
             "n_clusters_original": int(np.unique(labels_original[labels_original >= 0]).size),

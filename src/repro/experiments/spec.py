@@ -34,7 +34,9 @@ __all__ = [
 #: Bump to invalidate every cached trial result when the trial payload or
 #: the semantics of its execution change.  2: NN-chain hierarchical default
 #: and the k-medoids empty-cluster re-seed fix changed trial execution.
-CACHE_SCHEMA_VERSION = 2
+#: 3: the exact bucket-accumulator streaming sketches changed moment-derived
+#: numbers at the ulp level, and the grid grew the ``parties`` axis.
+CACHE_SCHEMA_VERSION = 3
 
 _NORMALIZERS = ("zscore", "minmax", "none")
 
@@ -122,15 +124,17 @@ class TrialSpec:
     seed: int
     normalizer: str = "zscore"
     attack: AxisSpec = AxisSpec("none")
+    parties: int = 1
 
     def canonical(self) -> dict:
         """The canonical payload that is hashed for caching.
 
         Includes the cache schema version so that changing the trial
         execution semantics invalidates stale cached results.  The attack
-        axis joined the payload later than the others; the no-attack
-        default is omitted so every attack-free trial keeps the hash (and
-        the cached result) it had before the axis existed.
+        and parties axes joined the payload later than the others; their
+        defaults (``none`` / one party) are omitted so every single-party,
+        attack-free trial keeps the hash (and the cached result) it had
+        before the axes existed.
         """
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
@@ -142,6 +146,8 @@ class TrialSpec:
         }
         if self.attack.name != "none":
             payload["attack"] = self.attack.canonical()
+        if self.parties != 1:
+            payload["parties"] = self.parties
         return payload
 
     @property
@@ -165,6 +171,15 @@ class ExperimentSpec:
         against every released dataset of the grid.  Defaults to the single
         pseudo-attack ``none``, which skips the attack stage and keeps the
         trial hashes of attack-free grids unchanged.
+    parties:
+        Optional fifth axis: party counts for horizontally-federated RBT
+        releases (``repro.distributed``).  ``1`` runs the ordinary
+        single-owner pipeline and is hash-transparent, so existing grids
+        keep their cached trials; ``p > 1`` splits the dataset into ``p``
+        near-even shards and releases through
+        :class:`~repro.distributed.DistributedReleasePipeline` — which is
+        byte-identical to the single-party release, making this axis a
+        standing cross-check of the multi-party determinism contract.
     seeds:
         Random seeds; the full cross product is run once per seed.
     normalizer:
@@ -182,6 +197,7 @@ class ExperimentSpec:
     normalizer: str = "zscore"
     description: str = ""
     attacks: tuple[AxisSpec, ...] = (AxisSpec("none"),)
+    parties: tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -220,6 +236,18 @@ class ExperimentSpec:
         if len(set(seeds)) != len(seeds):
             raise ExperimentError(f"experiment {self.name!r}: seeds must be unique, got {seeds}")
         object.__setattr__(self, "seeds", seeds)
+        parties = tuple(int(count) for count in self.parties)
+        if not parties:
+            raise ExperimentError(f"experiment {self.name!r}: parties must not be empty")
+        if any(count < 1 for count in parties):
+            raise ExperimentError(
+                f"experiment {self.name!r}: parties must be >= 1, got {parties}"
+            )
+        if len(set(parties)) != len(parties):
+            raise ExperimentError(
+                f"experiment {self.name!r}: parties must be unique, got {parties}"
+            )
+        object.__setattr__(self, "parties", parties)
         if self.normalizer not in _NORMALIZERS:
             raise ExperimentError(
                 f"experiment {self.name!r}: normalizer must be one of {_NORMALIZERS}, "
@@ -237,15 +265,17 @@ class ExperimentSpec:
             * len(self.transforms)
             * len(self.algorithms)
             * len(self.attacks)
+            * len(self.parties)
             * len(self.seeds)
         )
 
     def expand(self) -> tuple[TrialSpec, ...]:
         """Expand the grid into its independent trials, in deterministic order.
 
-        The order is dataset-major, then transform, algorithm, attack and
-        seed; the runner preserves it regardless of worker count, which is
-        what makes parallel runs byte-identical to serial ones.
+        The order is dataset-major, then transform, algorithm, attack,
+        parties and seed; the runner preserves it regardless of worker
+        count, which is what makes parallel runs byte-identical to serial
+        ones.
         """
         return tuple(
             TrialSpec(
@@ -255,11 +285,13 @@ class ExperimentSpec:
                 seed=seed,
                 normalizer=self.normalizer,
                 attack=attack,
+                parties=parties,
             )
             for dataset in self.datasets
             for transform in self.transforms
             for algorithm in self.algorithms
             for attack in self.attacks
+            for parties in self.parties
             for seed in self.seeds
         )
 
@@ -276,6 +308,7 @@ class ExperimentSpec:
             "transforms": [axis.canonical() for axis in self.transforms],
             "algorithms": [axis.canonical() for axis in self.algorithms],
             "attacks": [axis.canonical() for axis in self.attacks],
+            "parties": list(self.parties),
             "seeds": list(self.seeds),
         }
 
@@ -292,6 +325,7 @@ class ExperimentSpec:
             "transforms",
             "algorithms",
             "attacks",
+            "parties",
             "seeds",
         }
         unknown = set(payload) - known
@@ -312,6 +346,13 @@ class ExperimentSpec:
             raise ExperimentError(f"seeds must be a JSON array of integers, got {seeds!r}")
         if not all(isinstance(seed, int) and not isinstance(seed, bool) for seed in seeds):
             raise ExperimentError(f"seeds must be a JSON array of integers, got {list(seeds)!r}")
+        parties = payload.get("parties", (1,))
+        if not isinstance(parties, Sequence) or isinstance(parties, (str, bytes)):
+            raise ExperimentError(f"parties must be a JSON array of integers, got {parties!r}")
+        if not all(isinstance(count, int) and not isinstance(count, bool) for count in parties):
+            raise ExperimentError(
+                f"parties must be a JSON array of integers, got {list(parties)!r}"
+            )
 
         return cls(
             name=payload["name"],
@@ -321,6 +362,7 @@ class ExperimentSpec:
             transforms=axis("transforms"),
             algorithms=axis("algorithms"),
             attacks=axis("attacks") if "attacks" in payload else (AxisSpec("none"),),
+            parties=tuple(parties),
             seeds=tuple(seeds),
         )
 

@@ -1,41 +1,74 @@
-"""Chunk-size-invariant streaming statistics for the out-of-core release path.
+"""Exact, mergeable streaming moments for the release and distributed paths.
 
 The streaming release pipeline (:mod:`repro.pipeline.streaming`) promises that
 the bytes it writes are *identical* to the in-memory owner workflow, for any
-chunk size.  Everything downstream of the statistics — normalization, the
-security-range solve, the rotation itself — is elementwise or closed-form, so
-the whole promise reduces to one requirement: the per-column moments computed
-from a stream of row chunks must be **bitwise identical** to the moments
-computed from the materialized matrix.
+chunk size.  The distributed release (:mod:`repro.distributed`) extends that
+promise across machines: each party accumulates moments over its own
+horizontal shard and only the accumulator states cross the (simulated) wire,
+yet the multi-party release must be byte-identical to a single party owning
+the concatenated rows — for **any** shard split.  Everything downstream of
+the statistics (normalization, the security-range solve, the rotation) is
+elementwise or closed-form, so both promises reduce to one requirement: the
+accumulated moments must not depend on how the rows were grouped.
 
-Naive chunked accumulation cannot deliver that: floating-point addition is not
-associative, so ``sum(chunk sums)`` depends on where the chunk boundaries
-fall.  :class:`StreamingMoments` removes the dependency with two ingredients:
+Naive chunked accumulation cannot deliver that — floating-point addition is
+not associative.  Earlier revisions pinned the grouping instead (fixed
+1024-row tiles aligned to absolute row indices), which makes the moments
+chunk-invariant but *not* shard-invariant: a shard boundary in the middle of
+a tile would need raw rows from two parties to compute that tile's partial.
+:class:`StreamingMoments` therefore switches to **exact summation**: the
+exact sum of a multiset of reals does not depend on grouping at all.
 
-1. **Fixed tiling.**  Rows are buffered into tiles of :data:`STREAM_TILE_ROWS`
-   rows aligned to *absolute* row indices.  Each complete (or final partial)
-   tile is reduced with ``numpy``'s pairwise summation; because the tile
-   boundaries depend only on the absolute row position, every chunking of the
-   same rows produces the same tiles and therefore the same per-tile partials.
-2. **Exactly-rounded combination.**  The per-tile partial sums are combined
-   with :func:`math.fsum`, which returns the correctly rounded sum of its
-   inputs regardless of their order.
+How the exact accumulator works
+-------------------------------
+Every input value is split into a high and a low piece of at most 26
+significant bits each (``hi = rint(m * 2**26) * 2**(e-26)`` from ``frexp``,
+``lo = v - hi``; both splits are exact).  Pieces are scattered into an array
+of *exponent buckets*: bucket ``j`` only ever receives pieces whose
+``frexp`` exponent is ``j - _BUCKET_OFFSET``, so everything in the bucket is
+a multiple of one quantum ``2**(j - _BUCKET_OFFSET - 26)`` and — as long as
+fewer than ``2**27`` pieces have been deposited since the bucket was last
+compressed — every intermediate float addition is **exact** (the running sum
+stays a representable multiple of the quantum).  The scatter is a vectorized
+``np.bincount``; a periodic *compress* re-splits each bucket's sum back into
+two ≤26-bit pieces, restoring the headroom without changing the exact total.
 
-Values are shifted by the first data row before any squaring, so the
-single-pass variance formula ``(Q − S²/m) / (m − ddof)`` operates on values
-whose magnitude is of the order of the data's spread rather than its mean —
-the classic shifted-data estimator — keeping it numerically safe even for
-un-normalized inputs.  The shift is itself a function of the stream content
-only (row 0), so it, too, is chunk-invariant.
+Squared values are accumulated through the exact product split
+``x² = hi² + 2·hi·lo + lo²`` (all three terms exact at ≤26-bit factors), and
+cross products through the four-term split ``hi_i·hi_j + hi_i·lo_j +
+lo_i·hi_j + lo_i·lo_j`` — so the sums of squares and cross products are the
+exact real sums of per-element, deterministically-rounded terms.  Reading a
+statistic drains the buckets through :class:`fractions.Fraction` arithmetic,
+so the returned mean/variance/covariance is the **correctly rounded** value
+of the exact accumulated rationals.
 
-The accumulators operate on plain ``(rows, n_columns)`` float arrays and know
-nothing about CSV files or :class:`~repro.data.DataMatrix` — the I/O layer in
-:mod:`repro.data.io` and the pipeline own those concerns.
+Because the exact bucket totals are a function of the value *multiset* only:
+
+* feeding rows in any chunk sizes yields identical bits (chunk invariance);
+* :meth:`StreamingMoments.merge` of per-shard accumulators equals one
+  accumulator over the concatenated rows (shard invariance);
+* fanning row blocks out to a parallel backend and merging the per-block
+  states is bitwise identical to the serial scan (backend invariance);
+* the masked secure-sum of :mod:`repro.distributed.federated` — whose masks
+  are integer multiples of each bucket's quantum — cancels exactly, so even
+  the privacy-preserving aggregation preserves the bits.
+
+Supported domain (documented contract): finite values with
+``|x| < 2**480``.  Non-finite or larger-magnitude values are routed to a
+deterministic per-column poison channel and drain to ``nan``/``±inf`` like
+``np.var`` would, still independent of grouping.  Pieces smaller than
+``2**-1040`` in magnitude are flushed to zero during the per-element split
+(an error below ``n · 2**-1040`` on a sum — far beneath one ulp of any
+representable statistic of such data).
+
+The accumulators operate on plain ``(rows, n_columns)`` float arrays and
+know nothing about CSV files or :class:`~repro.data.DataMatrix` — the I/O
+layer in :mod:`repro.data.io` and the pipelines own those concerns.
 """
 
 from __future__ import annotations
 
-import math
+from fractions import Fraction
 
 import numpy as np
 
@@ -46,62 +79,105 @@ from .backends import get_backend
 __all__ = [
     "STREAM_TILE_ROWS",
     "StreamingMoments",
+    "bucket_quantum_exponents",
     "correlation_from_moments",
     "streamed_correlation",
     "streamed_pair_moments",
 ]
 
-#: Rows per reduction tile.  Large enough that the Python-level bookkeeping is
-#: negligible, small enough that a tile always fits in cache; the value is part
-#: of the bitwise contract (changing it changes the last-ulp rounding of the
-#: accumulated sums), so treat it like a file-format constant.
-STREAM_TILE_ROWS: int = 1024
+#: Rows per vectorized scatter batch.  Purely a batching knob now — the exact
+#: bucket accumulation makes the statistics independent of how rows are
+#: grouped, so (unlike the old fixed-tile design) this value is *not* part of
+#: any bitwise contract and only trades Python overhead against peak memory.
+STREAM_TILE_ROWS: int = 4096
 
-#: Per-tile partials are collapsed into one exactly-rounded super-partial every
-#: this many entries, so the partial lists stay O(1) in the row count (without
-#: it an N-row stream would hold N / STREAM_TILE_ROWS small arrays).  The
-#: collapse points are a function of the absolute tile sequence alone, so the
-#: result stays chunk-invariant; like the tile height, the value is part of
-#: the bitwise contract.
-_COMBINE_EVERY_TILES: int = 2048
+#: Bucket index of a piece = its ``frexp`` exponent + this offset.  Sized so
+#: the low pieces produced by compressing the deepest deposit buckets
+#: (exponents down to −1064) still land at a non-negative index.
+_BUCKET_OFFSET: int = 1066
+
+#: Number of exponent buckets.  Deposits span indices ~[2, 2080] given the
+#: poison limit below; the round size leaves headroom on both ends.
+_N_BUCKETS: int = 2112
+
+#: ``2**26`` — the high/low split point.  Two 26-bit factors multiply exactly
+#: in a double, which is what makes the square and cross-product splits exact.
+_SPLIT: float = float(2**26)
+
+#: Pieces smaller than this are flushed to zero at deposit time.  The flush is
+#: a per-element deterministic function of the input value, so it cannot break
+#: grouping invariance; it keeps every bucket quantum at or above ``2**-1065``
+#: where all intermediate sums remain exactly representable.
+_PIECE_FLOOR: float = 2.0**-1040
+
+#: Values at or above this magnitude (or non-finite) go to the poison channel
+#: instead of the buckets: their squares would overflow the exact-split range.
+_POISON_LIMIT: float = 2.0**480
+
+#: Compress when this many pieces have been deposited since the last
+#: compress.  Exactness holds up to ``2**27`` pieces per bucket; the margin
+#: covers the largest single scatter batch (``_MAX_SLICE_PIECES``).
+_COMPRESS_DEPOSITS: int = 2**24
+
+#: Upper bound on pieces scattered by one batch; row slices are sized so one
+#: batch stays under it even for very wide cross-moment accumulators.  Sized
+#: so a batch's transient arrays stay within a couple of MiB — the streamed
+#: audit and release paths promise peak memory bounded by their configured
+#: budget, and the sketch's scratch space is part of that bill.
+_MAX_SLICE_PIECES: int = 2**16
+
+#: Quantum floor exponent: every value in the system is a multiple of
+#: ``2**-1065`` (a deposit piece has ≥ ``2**-1040`` magnitude and ≤26
+#: significant bits), so no bucket's effective quantum is ever finer.
+_QUANTUM_FLOOR_EXPONENT: int = -1065
+
+#: Extra buckets allocated on each side when the occupied window grows, so a
+#: slowly widening exponent range does not reallocate on every deposit.
+_WINDOW_MARGIN: int = 8
 
 
-def _combine(parts: list[np.ndarray]) -> np.ndarray:
-    """Exactly-rounded per-column combination of partial-sum arrays."""
-    width = parts[0].shape[0]
-    return np.array([math.fsum(part[c] for part in parts) for c in range(width)], dtype=float)
+def bucket_quantum_exponents(bucket_indices) -> np.ndarray:
+    """Base-2 exponents of the quanta of ``bucket_indices``.
 
-
-def _tile_partials_worker(arrays, start: int, stop: int, *, tile_rows, shift, pairs):
-    """Per-tile ``(sum, sum-of-squares, cross)`` partials for tiles ``start:stop``.
-
-    Module level so process backends can ship it.  Tile extraction and the
-    per-tile arithmetic are copied from :meth:`StreamingMoments._flush`
-    verbatim — the bitwise contract rides on the two staying identical.
+    Every value bucket ``j`` can hold is an integer multiple of
+    ``2**bucket_quantum_exponents(j)``.  The secure-sum protocol of
+    :mod:`repro.distributed.federated` draws its masks as bounded integer
+    multiples of these quanta, which is what makes the masking cancel
+    **exactly** and keeps the multi-party release byte-identical.
     """
-    region = arrays["region"]
-    out = []
-    for index in range(start, stop):
-        shifted = region[index * tile_rows : (index + 1) * tile_rows] - shift
-        sums = shifted.sum(axis=0)
-        sumsqs = (shifted * shifted).sum(axis=0)
-        crosses = None
-        if pairs:
-            crosses = np.empty(len(pairs), dtype=float)
-            for position, (i, j) in enumerate(pairs):
-                crosses[position] = np.sum(shifted[:, i] * shifted[:, j])
-        out.append((sums, sumsqs, crosses))
-    return out
+    indices = np.asarray(bucket_indices, dtype=np.int64)
+    return np.maximum(indices - _BUCKET_OFFSET - 26, _QUANTUM_FLOOR_EXPONENT)
+
+
+def _split_pieces(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split finite doubles into exact high/low pieces of ≤26 significant bits."""
+    mantissa, exponent = np.frexp(values)
+    hi = np.ldexp(np.rint(mantissa * _SPLIT), exponent - 26)
+    lo = values - hi
+    return hi, lo
+
+
+def _bucket_partials_worker(arrays, start: int, stop: int, *, n_columns: int, cross: bool):
+    """Accumulate rows ``start:stop`` into a fresh accumulator; return its state.
+
+    Module level so process backends can ship it.  Exact summation makes the
+    row split irrelevant: merging the per-block states in any order yields
+    the same bucket totals as the serial scan, hence the same bits.
+    """
+    accumulator = StreamingMoments(n_columns, cross=cross)
+    accumulator.update(arrays["rows"][start:stop])
+    return accumulator.state()
 
 
 class StreamingMoments:
-    """Single-pass column moments that are invariant to chunk boundaries.
+    """Single-pass column moments, invariant to chunking, sharding and merging.
 
     Feed row chunks with :meth:`update`; read statistics through
     :meth:`means` / :meth:`variances` / :meth:`covariance` /
     :meth:`pair_moments`.  Feeding the same rows split at *any* chunk
     boundaries — one row at a time, or the whole matrix in a single call —
-    yields bitwise-identical statistics.
+    yields bitwise-identical statistics, and :meth:`merge`-ing accumulators
+    built over row shards equals one accumulator over the concatenated rows.
 
     Parameters
     ----------
@@ -112,15 +188,15 @@ class StreamingMoments:
         column pair ``i < j`` (needed for covariances).  Off by default
         because the normalizer fit only needs per-column moments.
     tile_rows:
-        Reduction tile height; exposed for tests, keep the default otherwise.
+        Rows per vectorized scatter batch; exposed for tests, keep the
+        default otherwise (it does not affect the statistics).
     backend:
-        Execution backend spec for the per-tile reductions (see
-        :mod:`repro.perf.backends`).  Complete tiles are fanned out and
-        their partials appended in tile order with the serial collapse
-        rule, so every backend yields bitwise-identical statistics.  May
-        also be assigned after construction (``accumulator.backend = ...``);
-        the attribute is re-resolved on every :meth:`update`, and the
-        statistics do not depend on which backend computed which tile.
+        Execution backend spec for large updates (see
+        :mod:`repro.perf.backends`).  Row blocks are fanned out and the
+        per-block bucket states merged exactly, so every backend yields
+        bitwise-identical statistics.  May also be assigned after
+        construction (``accumulator.backend = ...``); the attribute is
+        re-resolved on every :meth:`update`.
     """
 
     def __init__(
@@ -129,27 +205,33 @@ class StreamingMoments:
         *,
         cross: bool = False,
         tile_rows: int = STREAM_TILE_ROWS,
-        combine_every: int = _COMBINE_EVERY_TILES,
         backend=None,
     ):
         self.backend = backend
         self._n_columns = check_integer_in_range(n_columns, name="n_columns", minimum=1)
-        tile_rows = check_integer_in_range(tile_rows, name="tile_rows", minimum=1)
-        self._combine_every = check_integer_in_range(combine_every, name="combine_every", minimum=2)
-        self._tile = np.empty((tile_rows, self._n_columns), dtype=float)
-        self._fill = 0
+        self._tile_rows = check_integer_in_range(tile_rows, name="tile_rows", minimum=1)
         self._cross = bool(cross)
-        self._pairs = (
-            [(i, j) for i in range(self._n_columns) for j in range(i + 1, self._n_columns)]
-            if self._cross
-            else []
-        )
-        self._shift: np.ndarray | None = None
-        self._sum_parts: list[np.ndarray] = []
-        self._sumsq_parts: list[np.ndarray] = []
-        self._cross_parts: list[np.ndarray] = []
+        n = self._n_columns
+        self._pairs = [(i, j) for i in range(n) for j in range(i + 1, n)] if self._cross else []
+        if self._pairs:
+            self._pair_i = np.array([i for i, _ in self._pairs], dtype=np.intp)
+            self._pair_j = np.array([j for _, j in self._pairs], dtype=np.intp)
+        # Quantity layout: [0, n) column sums, [n, 2n) sums of squares,
+        # [2n, 2n + len(pairs)) cross-product sums in (i < j) order.
+        self._n_quantities = 2 * n + len(self._pairs)
+        # Occupied exponent-bucket window: row ``k`` holds bucket index
+        # ``_window_low + k``.  Real data occupies a few dozen of the ~2100
+        # possible buckets, so a contiguous window grown on demand keeps the
+        # table at kilobytes instead of full-range megabytes — the streamed
+        # pipelines bill the sketch's memory against their budget.
+        self._window_low = 0
+        self._buckets = np.zeros((0, self._n_quantities), dtype=float)
+        self._deposits = 0
         self._count = 0
-        self._finalized: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._poison_nan = np.zeros(self._n_quantities, dtype=np.int64)
+        self._poison_pos = np.zeros(self._n_quantities, dtype=np.int64)
+        self._poison_neg = np.zeros(self._n_quantities, dtype=np.int64)
+        self._finalized: list | None = None
 
     # ------------------------------------------------------------------ #
     # Accumulation
@@ -164,6 +246,11 @@ class StreamingMoments:
         """Width of the accumulated rows."""
         return self._n_columns
 
+    @property
+    def cross(self) -> bool:
+        """Whether pairwise cross products are accumulated."""
+        return self._cross
+
     def update(self, chunk) -> "StreamingMoments":
         """Accumulate a ``(rows, n_columns)`` chunk of values."""
         if self._finalized is not None:
@@ -176,140 +263,356 @@ class StreamingMoments:
             )
         if array.shape[0] == 0:
             return self
-        if self._shift is None:
-            self._shift = array[0].astype(float, copy=True)
-        position = 0
-        tile_rows = self._tile.shape[0]
         backend = get_backend(self.backend)
-        if backend.workers > 1:
-            position = self._update_parallel(array, backend)
-        while position < array.shape[0]:
-            take = min(tile_rows - self._fill, array.shape[0] - position)
-            self._tile[self._fill : self._fill + take] = array[position : position + take]
-            self._fill += take
-            position += take
-            if self._fill == tile_rows:
-                self._flush(self._tile)
-                self._fill = 0
+        slice_rows = self._slice_rows()
+        if backend.workers > 1 and array.shape[0] >= 4 * slice_rows:
+            block_rows = max(slice_rows, -(-array.shape[0] // (2 * backend.workers)))
+            for _start, _stop, state in backend.imap_blocks(
+                _bucket_partials_worker,
+                array.shape[0],
+                block_rows,
+                arrays={"rows": array},
+                kwargs={"n_columns": self._n_columns, "cross": self._cross},
+            ):
+                self._merge_state(state)
+            return self
+        for start in range(0, array.shape[0], slice_rows):
+            self._accumulate_slice(array[start : start + slice_rows])
         self._count += array.shape[0]
         return self
 
-    def _update_parallel(self, array: np.ndarray, backend) -> int:
-        """Fan this chunk's complete tiles out to ``backend``; return the position reached.
+    def _slice_rows(self) -> int:
+        """Rows per scatter batch, capped so one batch fits the deposit margin."""
+        n = self._n_columns
+        pieces_per_row = 8 * n + 8 * len(self._pairs)
+        return max(1, min(self._tile_rows, _MAX_SLICE_PIECES // pieces_per_row))
 
-        The partial tile buffer is topped up (and flushed) first so the
-        fanned-out region starts on an absolute tile boundary; the serial
-        loop below picks up whatever rows remain.  Tile extraction and the
-        per-tile arithmetic match :meth:`_flush` exactly, and partials are
-        appended in tile order under the same collapse rule, so the final
-        statistics are bitwise identical to the serial path.
+    def _accumulate_slice(self, rows: np.ndarray) -> None:
+        finite = np.isfinite(rows) & (np.abs(rows) < _POISON_LIMIT)
+        if finite.all():
+            clean = rows
+        else:
+            clean = np.where(finite, rows, 0.0)
+            self._record_poison(rows, finite)
+        n = self._n_columns
+        hi, lo = _split_pieces(clean)
+        # Deposit every split term the moment it is produced: bucket sums are
+        # exact, so scatter order cannot change any statistic, and the
+        # transient footprint stays at a few (rows, width) arrays instead of
+        # one concatenation of all 8(n + pairs) pieces per row.
+        column_base = np.arange(n, dtype=np.int64)
+        self._deposit_block(hi, column_base)
+        self._deposit_block(lo, column_base)
+        # x² = hi² + 2·hi·lo + lo²: every term exact at ≤26-bit factors, then
+        # itself split into two ≤26-bit pieces for the bucket invariant.
+        square_base = np.arange(n, 2 * n, dtype=np.int64)
+        for term in (hi * hi, (2.0 * hi) * lo, lo * lo):
+            for piece in _split_pieces(term):
+                self._deposit_block(piece, square_base)
+        if self._pairs:
+            cross_base = np.arange(2 * n, self._n_quantities, dtype=np.int64)
+            hi_i, lo_i = hi[:, self._pair_i], lo[:, self._pair_i]
+            hi_j, lo_j = hi[:, self._pair_j], lo[:, self._pair_j]
+            for term in (hi_i * hi_j, hi_i * lo_j, lo_i * hi_j, lo_i * lo_j):
+                for piece in _split_pieces(term):
+                    self._deposit_block(piece, cross_base)
+
+    def _deposit_block(self, pieces: np.ndarray, quantity_base: np.ndarray) -> None:
+        """Deposit one ``(rows, len(quantity_base))`` piece array."""
+        self._deposit(
+            pieces.ravel(), np.broadcast_to(quantity_base, pieces.shape).ravel()
+        )
+
+    def _deposit(self, pieces: np.ndarray, quantities: np.ndarray) -> None:
+        """Scatter ≤26-significant-bit pieces into the exponent buckets."""
+        keep = np.abs(pieces) >= _PIECE_FLOOR
+        pieces = pieces[keep]
+        quantities = quantities[keep]
+        if pieces.size == 0:
+            return
+        if self._deposits + pieces.size > _COMPRESS_DEPOSITS:
+            self._compress()
+        _, exponents = np.frexp(pieces)
+        self._scatter(exponents.astype(np.int64) + _BUCKET_OFFSET, quantities, pieces)
+        self._deposits += int(pieces.size)
+
+    def _ensure_window(self, lo: int, hi: int) -> None:
+        """Grow the bucket window to cover bucket indices ``[lo, hi)``."""
+        if self._buckets.shape[0] == 0:
+            self._window_low = max(lo - _WINDOW_MARGIN, 0)
+            rows = min(hi + _WINDOW_MARGIN, _N_BUCKETS) - self._window_low
+            self._buckets = np.zeros((rows, self._n_quantities), dtype=float)
+            return
+        current_hi = self._window_low + self._buckets.shape[0]
+        if lo >= self._window_low and hi <= current_hi:
+            return
+        new_low = min(self._window_low, max(lo - _WINDOW_MARGIN, 0))
+        new_hi = max(current_hi, min(hi + _WINDOW_MARGIN, _N_BUCKETS))
+        grown = np.zeros((new_hi - new_low, self._n_quantities), dtype=float)
+        offset = self._window_low - new_low
+        grown[offset : offset + self._buckets.shape[0]] = self._buckets
+        self._window_low = new_low
+        self._buckets = grown
+
+    def _scatter(self, buckets: np.ndarray, quantities: np.ndarray, pieces: np.ndarray) -> None:
+        """Sum ``pieces`` into bucket rows ``buckets`` at columns ``quantities``."""
+        self._ensure_window(int(buckets.min()), int(buckets.max()) + 1)
+        flat = (buckets - self._window_low) * self._n_quantities + quantities
+        low = int(flat.min())
+        spread = np.bincount(flat - low, weights=pieces)
+        self._buckets.reshape(-1)[low : low + spread.size] += spread
+
+    def _compress(self) -> None:
+        """Re-split every bucket sum into ≤26-bit pieces; exact total unchanged."""
+        flat_view = self._buckets.reshape(-1)
+        nonzero = np.flatnonzero(flat_view)
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        if nonzero.size:
+            values = flat_view[nonzero]
+            quantities = nonzero % self._n_quantities
+            # No piece floor here: compress pieces are multiples of their
+            # source quantum (≥ 2**-1065), so flooring would *change* the
+            # exact totals at grouping-dependent moments and break the
+            # invariance contract.  The quantum floor keeps them exact.
+            for piece in _split_pieces(values):
+                live = piece != 0.0
+                part, quantity = piece[live], quantities[live]
+                if part.size == 0:
+                    continue
+                _, exponents = np.frexp(part)
+                parts.append((exponents.astype(np.int64) + _BUCKET_OFFSET, quantity, part))
+        if parts:
+            lo = min(int(buckets.min()) for buckets, _, _ in parts)
+            hi = max(int(buckets.max()) for buckets, _, _ in parts) + 1
+            self._window_low = lo
+            self._buckets = np.zeros((hi - lo, self._n_quantities), dtype=float)
+            for buckets, quantity, part in parts:
+                self._scatter(buckets, quantity, part)
+        else:
+            self._window_low = 0
+            self._buckets = np.zeros((0, self._n_quantities), dtype=float)
+        self._deposits = 2 * _N_BUCKETS
+
+    def _record_poison(self, rows: np.ndarray, finite: np.ndarray) -> None:
+        """Count non-finite / out-of-range contributions per affected quantity."""
+        n = self._n_columns
+        poisoned = ~finite
+        row_index, column = np.nonzero(poisoned)
+        values = rows[row_index, column]
+        is_nan = np.isnan(values)
+        np.add.at(self._poison_nan, column[is_nan], 1)
+        np.add.at(self._poison_pos, column[~is_nan & (values > 0)], 1)
+        np.add.at(self._poison_neg, column[~is_nan & (values < 0)], 1)
+        # Squares of poisoned values: nan stays nan, everything else is +∞.
+        np.add.at(self._poison_nan, n + column[is_nan], 1)
+        np.add.at(self._poison_pos, n + column[~is_nan], 1)
+        if self._pairs:
+            # Cross products with ≥1 poisoned member follow IEEE extended
+            # arithmetic on sign(x)·∞ — deterministic, grouping-independent.
+            extended = np.where(
+                poisoned & ~np.isnan(rows), np.copysign(np.inf, rows), rows
+            )
+            affected = poisoned[:, self._pair_i] | poisoned[:, self._pair_j]
+            rows_hit, pair_hit = np.nonzero(affected)
+            with np.errstate(invalid="ignore"):
+                products = (
+                    extended[rows_hit, self._pair_i[pair_hit]]
+                    * extended[rows_hit, self._pair_j[pair_hit]]
+                )
+            product_nan = np.isnan(products)
+            np.add.at(self._poison_nan, 2 * n + pair_hit[product_nan], 1)
+            np.add.at(self._poison_pos, 2 * n + pair_hit[~product_nan & (products > 0)], 1)
+            np.add.at(self._poison_neg, 2 * n + pair_hit[~product_nan & (products < 0)], 1)
+
+    # ------------------------------------------------------------------ #
+    # Merging and serialization (the distributed wire format)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold another accumulator's rows into this one, exactly.
+
+        The result is bitwise identical to accumulating the concatenation of
+        both row streams in one accumulator — the property the multi-party
+        release pipeline is built on.
         """
-        position = 0
-        tile_rows = self._tile.shape[0]
-        if self._fill:
-            take = min(tile_rows - self._fill, array.shape[0])
-            self._tile[self._fill : self._fill + take] = array[:take]
-            self._fill += take
-            position = take
-            if self._fill < tile_rows:
-                return position
-            self._flush(self._tile)
-            self._fill = 0
-        n_tiles = (array.shape[0] - position) // tile_rows
-        if n_tiles < 2:
-            return position
-        region = array[position : position + n_tiles * tile_rows]
-        block_tiles = max(1, -(-n_tiles // (2 * backend.workers)))
-        pairs = tuple(self._pairs) if self._cross else None
-        for _start, _stop, partials in backend.imap_blocks(
-            _tile_partials_worker,
-            n_tiles,
-            block_tiles,
-            arrays={"region": region},
-            kwargs={"tile_rows": tile_rows, "shift": self._shift, "pairs": pairs},
-        ):
-            for sums, sumsqs, crosses in partials:
-                self._append_partials(sums, sumsqs, crosses)
-        return position + n_tiles * tile_rows
+        if not isinstance(other, StreamingMoments):
+            raise ValidationError(
+                f"merge expects a StreamingMoments, got {type(other).__name__}"
+            )
+        if other._n_columns != self._n_columns or other._cross != self._cross:
+            raise ValidationError(
+                "cannot merge StreamingMoments with different shapes: "
+                f"({self._n_columns}, cross={self._cross}) vs "
+                f"({other._n_columns}, cross={other._cross})"
+            )
+        if self._finalized is not None or other._finalized is not None:
+            raise ValidationError("StreamingMoments cannot be merged after statistics were read")
+        if self._deposits + other._deposits > _COMPRESS_DEPOSITS:
+            self._compress()
+            other._compress()
+        if other._buckets.shape[0]:
+            other_hi = other._window_low + other._buckets.shape[0]
+            self._ensure_window(other._window_low, other_hi)
+            offset = other._window_low - self._window_low
+            self._buckets[offset : offset + other._buckets.shape[0]] += other._buckets
+        self._deposits += other._deposits
+        self._count += other._count
+        self._poison_nan += other._poison_nan
+        self._poison_pos += other._poison_pos
+        self._poison_neg += other._poison_neg
+        return self
 
-    def _flush(self, tile: np.ndarray) -> None:
-        """Reduce one C-contiguous tile into per-tile partial sums."""
-        shifted = tile - self._shift
-        sums = shifted.sum(axis=0)
-        sumsqs = (shifted * shifted).sum(axis=0)
-        products = None
-        if self._cross:
-            products = np.empty(len(self._pairs), dtype=float)
-            for index, (i, j) in enumerate(self._pairs):
-                products[index] = np.sum(shifted[:, i] * shifted[:, j])
-        self._append_partials(sums, sumsqs, products)
+    def state(self) -> dict:
+        """Serializable sketch state (the distributed wire payload).
 
-    def _append_partials(self, sums, sumsqs, crosses) -> None:
-        self._sum_parts.append(sums)
-        self._sumsq_parts.append(sumsqs)
-        if self._cross:
-            self._cross_parts.append(crosses)
-        # Bound the partial lists: every _combine_every entries collapse into
-        # one exactly-rounded super-partial.  The trigger depends only on how
-        # many tiles have been flushed, never on the chunk boundaries (or on
-        # which backend reduced them), so the final statistics remain
-        # chunk-invariant.
-        if len(self._sum_parts) >= self._combine_every:
-            self._sum_parts = [_combine(self._sum_parts)]
-            self._sumsq_parts = [_combine(self._sumsq_parts)]
-            if self._cross:
-                self._cross_parts = [_combine(self._cross_parts)]
-
-    def _drain(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Flush the partial tile and combine the per-tile partials exactly."""
+        The payload size is ``O(occupied buckets × quantities)`` —
+        independent of the number of accumulated rows, which is what keeps
+        the distributed protocol free of O(rows) transfers.
+        """
         if self._finalized is not None:
-            return self._finalized
-        if self._count == 0:
-            raise ValidationError("StreamingMoments received no rows")
-        if self._fill:
-            self._flush(self._tile[: self._fill])
-            self._fill = 0
-        sums = _combine(self._sum_parts)
-        sumsqs = _combine(self._sumsq_parts)
-        crosses = _combine(self._cross_parts) if self._cross_parts else np.empty(0, dtype=float)
-        self._finalized = (sums, sumsqs, crosses)
-        return self._finalized
+            raise ValidationError(
+                "StreamingMoments state cannot be exported after statistics were read"
+            )
+        self._compress()
+        occupied = np.flatnonzero(np.any(self._buckets != 0.0, axis=1))
+        return {
+            "format": 1,
+            "n_columns": self._n_columns,
+            "cross": self._cross,
+            "count": self._count,
+            "deposits": self._deposits,
+            "bucket_indices": (occupied + self._window_low).astype(np.int64),
+            "bucket_values": self._buckets[occupied].copy(),
+            "poison_nan": self._poison_nan.copy(),
+            "poison_pos": self._poison_pos.copy(),
+            "poison_neg": self._poison_neg.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, *, backend=None) -> "StreamingMoments":
+        """Rebuild an accumulator from :meth:`state` (exact round trip)."""
+        if not isinstance(state, dict) or state.get("format") != 1:
+            raise ValidationError("unrecognized StreamingMoments state payload")
+        accumulator = cls(
+            int(state["n_columns"]), cross=bool(state["cross"]), backend=backend
+        )
+        accumulator._merge_state(state)
+        return accumulator
+
+    def _merge_state(self, state: dict) -> None:
+        """Fold a :meth:`state` payload into this accumulator, exactly."""
+        if int(state["n_columns"]) != self._n_columns or bool(state["cross"]) != self._cross:
+            raise ValidationError(
+                "cannot merge a StreamingMoments state with a different shape"
+            )
+        deposits = int(state["deposits"])
+        if self._deposits + deposits > _COMPRESS_DEPOSITS:
+            self._compress()
+        indices = np.asarray(state["bucket_indices"], dtype=np.int64)
+        if indices.size:
+            self._ensure_window(int(indices.min()), int(indices.max()) + 1)
+            values = np.asarray(state["bucket_values"], dtype=float)
+            self._buckets[indices - self._window_low] += values
+        self._deposits += deposits
+        self._count += int(state["count"])
+        self._poison_nan += np.asarray(state["poison_nan"], dtype=np.int64)
+        self._poison_pos += np.asarray(state["poison_pos"], dtype=np.int64)
+        self._poison_neg += np.asarray(state["poison_neg"], dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
+    def _drain(self) -> list:
+        """Exact per-quantity totals: :class:`Fraction`, or a poison float."""
+        if self._finalized is not None:
+            return self._finalized
+        if self._count == 0:
+            raise ValidationError("StreamingMoments received no rows")
+        buckets = self._buckets
+        totals: list = []
+        for quantity in range(self._n_quantities):
+            if self._poison_nan[quantity] or (
+                self._poison_pos[quantity] and self._poison_neg[quantity]
+            ):
+                totals.append(float("nan"))
+                continue
+            if self._poison_pos[quantity]:
+                totals.append(float("inf"))
+                continue
+            if self._poison_neg[quantity]:
+                totals.append(float("-inf"))
+                continue
+            column = buckets[:, quantity]
+            exact = Fraction(0)
+            for value in column[column != 0.0].tolist():
+                exact += Fraction(value)
+            totals.append(exact)
+        self._finalized = totals
+        return totals
+
     def means(self) -> np.ndarray:
-        """Per-column arithmetic means."""
-        sums, _, _ = self._drain()
-        return self._shift + sums / self._count
+        """Per-column arithmetic means (correctly rounded)."""
+        totals = self._drain()
+        out = np.empty(self._n_columns, dtype=float)
+        for index in range(self._n_columns):
+            total = totals[index]
+            if isinstance(total, Fraction):
+                out[index] = float(total / self._count)
+            else:
+                out[index] = total / self._count
+        return out
 
     def variances(self, *, ddof: int = 0) -> np.ndarray:
         """Per-column variances with the requested degrees of freedom."""
         ddof = check_integer_in_range(ddof, name="ddof", minimum=0)
-        sums, sumsqs, _ = self._drain()
         if self._count - ddof <= 0:
             raise ValidationError(
                 f"variance with ddof={ddof} needs more than {ddof} row(s), got {self._count}"
             )
-        centered = np.maximum(sumsqs - sums * sums / self._count, 0.0)
-        return centered / (self._count - ddof)
+        totals = self._drain()
+        n = self._n_columns
+        out = np.empty(n, dtype=float)
+        for index in range(n):
+            out[index] = self._second_moment(totals[index], totals[n + index], ddof)
+        return out
+
+    def _second_moment(self, linear, quadratic, ddof: int) -> float:
+        """``(Q·m − S²) / (m·(m − ddof))``, exact when unpoisoned."""
+        m = self._count
+        if isinstance(linear, Fraction) and isinstance(quadratic, Fraction):
+            # Exact: the numerator is m² times the true variance, which is
+            # non-negative by Cauchy-Schwarz — no clamping needed.
+            return float((quadratic * m - linear * linear) / (m * (m - ddof)))
+        linear = float(linear)
+        quadratic = float(quadratic)
+        with np.errstate(invalid="ignore", over="ignore"):
+            return float((quadratic - linear * (linear / m)) / (m - ddof))
 
     def covariance(self, column_i: int, column_j: int, *, ddof: int = 0) -> float:
         """Covariance of one column pair (requires ``cross=True``)."""
         if not self._cross:
             raise ValidationError("covariance requires a StreamingMoments built with cross=True")
         ddof = check_integer_in_range(ddof, name="ddof", minimum=0)
-        sums, _, crosses = self._drain()
         if self._count - ddof <= 0:
             raise ValidationError(
                 f"covariance with ddof={ddof} needs more than {ddof} row(s), got {self._count}"
             )
         if column_i == column_j:
             return float(self.variances(ddof=ddof)[column_i])
+        totals = self._drain()
         i, j = min(column_i, column_j), max(column_i, column_j)
-        index = self._pairs.index((i, j))
-        centered = crosses[index] - sums[i] * sums[j] / self._count
-        return float(centered / (self._count - ddof))
+        cross = totals[2 * self._n_columns + self._pairs.index((i, j))]
+        linear_i, linear_j = totals[i], totals[j]
+        m = self._count
+        if (
+            isinstance(cross, Fraction)
+            and isinstance(linear_i, Fraction)
+            and isinstance(linear_j, Fraction)
+        ):
+            return float((cross * m - linear_i * linear_j) / (m * (m - ddof)))
+        cross = float(cross)
+        linear_i, linear_j = float(linear_i), float(linear_j)
+        with np.errstate(invalid="ignore", over="ignore"):
+            return float((cross - linear_i * (linear_j / m)) / (m - ddof))
 
     def pair_moments(self, column_i: int, column_j: int, *, ddof: int = 1):
         """``(σ_i², σ_j², σ_ij)`` of a column pair — the security-range inputs."""
@@ -324,13 +627,14 @@ class StreamingMoments:
 def correlation_from_moments(accumulator: StreamingMoments, *, ddof: int = 1) -> np.ndarray:
     """Correlation matrix from an accumulated ``StreamingMoments(n, cross=True)``.
 
-    Shared by the max-variance pair selection of both release paths: the
+    Shared by the max-variance pair selection of every release path: the
     in-memory :class:`~repro.core.RBT` feeds the whole matrix through one
-    accumulator, the streaming pipeline feeds row chunks — the tiling makes
-    the resulting matrices bitwise identical, so the greedy pairing (and
-    with it the whole release) cannot diverge between the two paths even on
-    near-tied correlations.  Degenerate (zero-variance) columns yield NaN,
-    which the pairing treats as zero correlation.
+    accumulator, the streaming pipeline feeds row chunks, the distributed
+    pipeline merges per-party accumulators — exact summation makes all the
+    resulting matrices bitwise identical, so the greedy pairing (and with it
+    the whole release) cannot diverge between the paths even on near-tied
+    correlations.  Degenerate (zero-variance) columns yield NaN, which the
+    pairing treats as zero correlation.
     """
     variances = accumulator.variances(ddof=ddof)
     n = variances.shape[0]
@@ -349,14 +653,14 @@ def correlation_from_moments(accumulator: StreamingMoments, *, ddof: int = 1) ->
 
 
 def streamed_correlation(values, *, ddof: int = 1) -> np.ndarray:
-    """Correlation matrix of a materialized ``(m, n)`` array via the tiled reducer."""
+    """Correlation matrix of a materialized ``(m, n)`` array via the exact reducer."""
     accumulator = StreamingMoments(np.asarray(values).shape[1], cross=True)
     accumulator.update(values)
     return correlation_from_moments(accumulator, ddof=ddof)
 
 
 def streamed_pair_moments(attribute_i, attribute_j, *, ddof: int = 1) -> tuple[float, float, float]:
-    """``(σ_i², σ_j², σ_ij)`` of two materialized columns via the tiled reducer.
+    """``(σ_i², σ_j², σ_ij)`` of two materialized columns via the exact reducer.
 
     This is the in-memory entry point of the bitwise contract: feeding the
     same two columns chunk-by-chunk into a ``StreamingMoments(2, cross=True)``

@@ -33,6 +33,7 @@ from .audit import (
     BUILTIN_THREAT_MODELS,
     ThreatModel,
     builtin_threat_model,
+    federated_threat_model,
 )
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "StreamingReleaseReport",
     "ThreatModel",
     "builtin_threat_model",
+    "federated_threat_model",
     "resolve_chunk_rows",
     "stream_invert",
 ]

@@ -60,11 +60,14 @@ __all__ = [
     "ThreatModel",
     "BUILTIN_THREAT_MODELS",
     "builtin_threat_model",
+    "federated_threat_model",
 ]
 
 #: Bump to invalidate cached audit rows when their payload or execution
-#: semantics change.
-AUDIT_CACHE_SCHEMA_VERSION = 1
+#: semantics change.  v2: the exact bucket-accumulator sketches changed
+#: streamed evidence at the ulp level, and ``known_sample`` grew the
+#: ``index_ranges`` (colluding-parties) parameter.
+AUDIT_CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical_json(payload) -> str:
@@ -273,6 +276,80 @@ def builtin_threat_model(name: str) -> ThreatModel:
         known = ", ".join(sorted(BUILTIN_THREAT_MODELS))
         raise ValidationError(f"unknown threat model {name!r}; known: {known}") from None
     return factory()
+
+
+def federated_threat_model(
+    party_rows: Sequence[int],
+    *,
+    seed: int = 0,
+    privacy_threshold: float = 0.25,
+    project_to_orthogonal: bool = True,
+    success_tolerance: float = 0.1,
+) -> ThreatModel:
+    """Colluding-parties adversaries for a horizontally-federated release.
+
+    In a :class:`~repro.distributed.DistributedReleasePipeline` release each
+    party's rows occupy one contiguous block, in party order, and every
+    party knows its *own* original rows.  The strongest realistic insider is
+    therefore a coalition of all parties but one running the known-sample
+    regression with their combined blocks as side information, trying to
+    reconstruct the remaining victim's rows.  This factory builds one such
+    leave-one-out attack per victim party (skipping victims whose coalition
+    would be empty of rows), so the audit reports per-victim evidence
+    through the ordinary :class:`AttackSuite` machinery — cached, seeded
+    and rendered like any other threat model.
+
+    ``party_rows`` is the per-party row count in release order (the
+    ``party_rows`` field of the distributed report).
+    """
+    rows = [int(count) for count in party_rows]
+    if len(rows) < 2:
+        raise ValidationError(
+            "federated_threat_model needs at least two parties (no coalition otherwise)"
+        )
+    if any(count < 0 for count in rows):
+        raise ValidationError(f"party_rows must be non-negative, got {rows}")
+    offsets = [0]
+    for count in rows:
+        offsets.append(offsets[-1] + count)
+    attacks = []
+    for victim in range(len(rows)):
+        if rows[victim] == 0:
+            # An empty shard has no rows to reconstruct (and its coalition
+            # would duplicate another victim's).
+            continue
+        coalition = [
+            [offsets[party], offsets[party + 1]]
+            for party in range(len(rows))
+            if party != victim and rows[party] > 0
+        ]
+        if not coalition:
+            continue
+        attacks.append(
+            {
+                "name": "known_sample",
+                "params": {
+                    "index_ranges": coalition,
+                    "project_to_orthogonal": project_to_orthogonal,
+                    "success_tolerance": success_tolerance,
+                },
+            }
+        )
+    if not attacks:
+        raise ValidationError(
+            f"party_rows {rows} leaves every coalition empty; nothing to audit"
+        )
+    return ThreatModel(
+        name="federated_collusion",
+        description=(
+            f"Leave-one-out collusion over {len(rows)} federated parties: every "
+            "coalition of all-but-one parties runs the known-sample regression "
+            "with its combined release blocks as side information."
+        ),
+        seed=seed,
+        privacy_threshold=privacy_threshold,
+        attacks=tuple(attacks),
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -64,6 +64,10 @@ __all__ = [
     "StreamingReleaseReport",
     "stream_invert",
     "resolve_chunk_rows",
+    "plan_rotations",
+    "apply_decided_rotations",
+    "build_rotation_records",
+    "privacy_report_from_moments",
 ]
 
 #: Rough Python-level footprint of one parsed CSV cell (str object + float +
@@ -148,6 +152,264 @@ class StreamingReleaseReport:
             "mean_variance_difference": self.privacy.mean_variance_difference,
             "chunk_rows": self.chunk_rows,
             "n_passes": self.n_passes,
+        }
+
+
+def _prefix_independent_positions(pairs: Sequence[tuple[str, str]]) -> list[int]:
+    """Positions whose pair shares no column with any *earlier* pair.
+
+    The moments of those pairs, measured on the current data state, equal
+    the moments the sequential in-memory rotation would see — so they can
+    all be accumulated in one pass.
+    """
+    touched: set[str] = set()
+    independent: list[int] = []
+    for position, pair in enumerate(pairs):
+        if not (set(pair) & touched):
+            independent.append(position)
+        touched.update(pair)
+    return independent
+
+
+#: One decided rotation: (pair, threshold, security range, theta degrees).
+DecidedRotation = tuple[tuple[str, str], PairwiseSecurityThreshold, object, float]
+
+
+def plan_rotations(
+    rbt: RBT, columns: Sequence[str], moment_source
+) -> tuple[list[DecidedRotation], int]:
+    """Choose pairs and angles from streamed moment summaries.
+
+    ``moment_source`` abstracts *where* the moments come from — a single
+    CSV streamed chunk-by-chunk (:class:`StreamingReleasePipeline`) or
+    per-party shard accumulators merged by secure sum
+    (:class:`repro.distributed.DistributedReleasePipeline`).  It must
+    provide:
+
+    ``correlation_moments() -> StreamingMoments``
+        A width-``n`` ``cross=True`` accumulator over the *normalized*
+        data (one pass), used by the max-variance pairing and to prefill
+        first-round pair moments for free.
+
+    ``pair_moments(decided, positions, *, ddof) -> dict``
+        The ``(σ_i², σ_j², σ_ij)`` of each requested pair measured on the
+        normalized data with the already-``decided`` rotations applied on
+        the fly (one pass).  ``positions`` maps plan position → pair names.
+
+    Because the accumulated moments are exact (grouping-invariant), every
+    source yields bitwise-identical plans — this is what pins the
+    distributed release to the single-party bytes.
+
+    Returns the decided rotations (in application order) and the number of
+    moment passes taken.  Mirrors :meth:`RBT.transform` exactly: pair
+    selection first (consuming the RNG for the random strategy), then one
+    security-range solve and angle draw per pair, in pair order.
+    """
+    passes = 0
+    moments_cache: dict[int, tuple[float, float, float]] = {}
+
+    needs_correlation = (
+        rbt.pairs is None and rbt.strategy is PairSelectionStrategy.MAX_VARIANCE
+    )
+    if needs_correlation:
+        # One pass accumulates every pairwise moment of the normalized
+        # data: it yields both the correlation matrix for the greedy
+        # pairing and the first-round per-pair moments for free.
+        accumulator = moment_source.correlation_moments()
+        passes += 1
+        correlation = correlation_from_moments(accumulator, ddof=1)
+        pairs = rbt.resolve_pairs_for_columns(columns, correlation=correlation)
+        prefill = _prefix_independent_positions(pairs)
+        index_of = {name: position for position, name in enumerate(columns)}
+        for position in prefill:
+            i = index_of[pairs[position][0]]
+            j = index_of[pairs[position][1]]
+            moments_cache[position] = accumulator.pair_moments(i, j, ddof=rbt.ddof)
+    else:
+        pairs = rbt.resolve_pairs_for_columns(columns)
+
+    thresholds = PairwiseSecurityThreshold.broadcast(rbt.thresholds, len(pairs))
+    if rbt.angles is not None and len(rbt.angles) != len(pairs):
+        raise ValidationError(
+            f"expected {len(pairs)} fixed angle(s) (one per pair), got {len(rbt.angles)}"
+        )
+    rng = ensure_rng(rbt.random_state)
+
+    decided: list[DecidedRotation] = []
+    pending = list(range(len(pairs)))
+    while pending:
+        need = _prefix_independent_positions([pairs[p] for p in pending])
+        to_accumulate = [
+            pending[offset] for offset in need if pending[offset] not in moments_cache
+        ]
+        if to_accumulate:
+            fresh = moment_source.pair_moments(
+                decided,
+                {position: pairs[position] for position in to_accumulate},
+                ddof=rbt.ddof,
+            )
+            passes += 1
+            moments_cache.update(fresh)
+
+        progressed = False
+        while pending and pending[0] in moments_cache:
+            position = pending.pop(0)
+            pair = pairs[position]
+            moments = moments_cache.pop(position)
+            security_range = rbt.solve_range_from_moments(moments, thresholds[position])
+            theta = rbt.choose_theta(position, pair, security_range, rng)
+            decided.append((pair, thresholds[position], security_range, theta))
+            progressed = True
+            # Cached moments describing a column this rotation just
+            # distorted are stale now; drop them so the next round
+            # re-accumulates on the rotated state.
+            touched = set(pair)
+            for other in list(moments_cache):
+                if set(pairs[other]) & touched:
+                    del moments_cache[other]
+        if not progressed:  # pragma: no cover - the head of pending is always computable
+            raise ValidationError("streaming rotation planner failed to make progress")
+    return decided, passes
+
+
+def apply_decided_rotations(
+    current: np.ndarray,
+    decided: Sequence[DecidedRotation],
+    column_index: dict[str, int],
+    achieved_moments: Sequence[StreamingMoments] | None = None,
+) -> np.ndarray:
+    """Apply the planned rotations to one normalized chunk, in plan order.
+
+    Mutates and returns ``current``.  When ``achieved_moments`` is given
+    (one width-2 accumulator per rotation), the per-rotation perturbation
+    deltas are accumulated on the way through — the evidence behind each
+    :class:`~repro.core.rbt.RotationRecord`'s achieved variances.
+    """
+    for step_index, (pair, _, _, theta) in enumerate(decided):
+        index_i = column_index[pair[0]]
+        index_j = column_index[pair[1]]
+        column_i = current[:, index_i].copy()
+        column_j = current[:, index_j].copy()
+        rotated_i, rotated_j = rotate_block(column_i, column_j, theta)
+        if achieved_moments is not None:
+            achieved_moments[step_index].update(
+                np.column_stack((column_i - rotated_i, column_j - rotated_j))
+            )
+        current[:, index_i] = rotated_i
+        current[:, index_j] = rotated_j
+    return current
+
+
+def build_rotation_records(
+    decided: Sequence[DecidedRotation],
+    achieved_moments: Sequence[StreamingMoments],
+    *,
+    ddof: int,
+) -> tuple[RotationRecord, ...]:
+    """Assemble the owner-side rotation bookkeeping from the streamed evidence."""
+    return tuple(
+        RotationRecord(
+            pair=(pair[0], pair[1]),
+            threshold=threshold,
+            security_range=security_range,
+            theta_degrees=theta,
+            achieved_variances=tuple(
+                float(v) for v in achieved_moments[index].variances(ddof=ddof)
+            ),
+        )
+        for index, (pair, threshold, security_range, theta) in enumerate(decided)
+    )
+
+
+def privacy_report_from_moments(
+    columns: Sequence[str], moments: StreamingMoments, *, ddof: int
+) -> PrivacyReport:
+    """Assemble the per-attribute report from the width-3n transform-pass stats.
+
+    ``moments`` accumulates ``hstack((normalized, released, normalized −
+    released))`` rows; the three variance slabs become the original,
+    released and ``Var(X − X')`` columns of the report.
+    """
+    n = len(columns)
+    variances = moments.variances(ddof=ddof)
+    measurements = []
+    for index, name in enumerate(columns):
+        original_variance = float(variances[index])
+        released_variance = float(variances[n + index])
+        difference_variance = float(variances[2 * n + index])
+        measurements.append(
+            AttributePrivacy(
+                name=name,
+                variance_difference=difference_variance,
+                scale_invariant=(
+                    difference_variance / original_variance
+                    if not np.isclose(original_variance, 0.0)
+                    else float("nan")
+                ),
+                original_variance=original_variance,
+                released_variance=released_variance,
+            )
+        )
+    return PrivacyReport(tuple(measurements))
+
+
+class _FileMomentSource:
+    """Moment source streaming one CSV through the pipeline's chunk iterator."""
+
+    def __init__(
+        self,
+        pipeline: "StreamingReleasePipeline",
+        input_path: Path,
+        id_column: str | None,
+        chunk_rows: int,
+        kept_indices: list[int] | None,
+        columns: Sequence[str],
+    ) -> None:
+        self._pipeline = pipeline
+        self._input_path = input_path
+        self._id_column = id_column
+        self._chunk_rows = chunk_rows
+        self._kept_indices = kept_indices
+        self._columns = tuple(columns)
+
+    def _chunks(self):
+        return self._pipeline._chunks(
+            self._input_path, self._id_column, self._chunk_rows, self._kept_indices
+        )
+
+    def correlation_moments(self) -> StreamingMoments:
+        pipeline = self._pipeline
+        accumulator = StreamingMoments(
+            len(self._columns), cross=True, backend=pipeline.backend
+        )
+        for chunk, _ in self._chunks():
+            accumulator.update(pipeline.normalizer.transform(chunk))
+        return accumulator
+
+    def pair_moments(
+        self,
+        decided: Sequence[DecidedRotation],
+        positions: dict[int, tuple[str, str]],
+        *,
+        ddof: int,
+    ) -> dict[int, tuple[float, float, float]]:
+        pipeline = self._pipeline
+        column_index = {name: offset for offset, name in enumerate(self._columns)}
+        accumulators = {
+            position: StreamingMoments(2, cross=True) for position in positions
+        }
+        for chunk, _ in self._chunks():
+            current = pipeline.normalizer.transform(chunk)
+            apply_decided_rotations(current, decided, column_index)
+            for position, accumulator in accumulators.items():
+                index_i = column_index[positions[position][0]]
+                index_j = column_index[positions[position][1]]
+                accumulator.update(
+                    np.column_stack((current[:, index_i], current[:, index_j]))
+                )
+        return {
+            position: accumulator.pair_moments(0, 1, ddof=ddof)
+            for position, accumulator in accumulators.items()
         }
 
 
@@ -251,9 +513,10 @@ class StreamingReleasePipeline:
         # correlation; then per-pair security ranges and angles (Step 2b/2c)
         # from streamed moments, in as few extra passes as the pair
         # dependency structure allows.
-        decided, moment_passes = self._plan_rotations(
-            input_path, id_column, chunk_rows, kept_indices, columns
+        moment_source = _FileMomentSource(
+            self, input_path, id_column, chunk_rows, kept_indices, columns
         )
+        decided, moment_passes = plan_rotations(self.rbt, columns, moment_source)
         passes += moment_passes
 
         # ---- Final pass: normalize + rotate every chunk and write it out.
@@ -267,37 +530,16 @@ class StreamingReleasePipeline:
         ) as writer:
             for chunk, ids in self._chunks(input_path, id_column, chunk_rows, kept_indices):
                 normalized = self.normalizer.transform(chunk)
-                current = normalized.copy()
-                for step_index, (pair, _, _, theta) in enumerate(decided):
-                    index_i = column_index[pair[0]]
-                    index_j = column_index[pair[1]]
-                    column_i = current[:, index_i].copy()
-                    column_j = current[:, index_j].copy()
-                    rotated_i, rotated_j = rotate_block(column_i, column_j, theta)
-                    achieved_moments[step_index].update(
-                        np.column_stack((column_i - rotated_i, column_j - rotated_j))
-                    )
-                    current[:, index_i] = rotated_i
-                    current[:, index_j] = rotated_j
+                current = apply_decided_rotations(
+                    normalized.copy(), decided, column_index, achieved_moments
+                )
                 privacy_moments.update(np.hstack((normalized, current, normalized - current)))
                 writer.write_rows(current, ids=ids if carry_ids else None)
                 n_objects += chunk.shape[0]
         passes += 1
 
-        records = tuple(
-            RotationRecord(
-                pair=(pair[0], pair[1]),
-                threshold=threshold,
-                security_range=security_range,
-                theta_degrees=theta,
-                achieved_variances=tuple(
-                    float(v)
-                    for v in achieved_moments[index].variances(ddof=self.rbt.ddof)
-                ),
-            )
-            for index, (pair, threshold, security_range, theta) in enumerate(decided)
-        )
-        privacy = self._privacy_report(columns, privacy_moments)
+        records = build_rotation_records(decided, achieved_moments, ddof=self.rbt.ddof)
+        privacy = privacy_report_from_moments(columns, privacy_moments, ddof=self.ddof)
         return StreamingReleaseReport(
             n_objects=n_objects,
             columns=tuple(columns),
@@ -306,156 +548,6 @@ class StreamingReleasePipeline:
             chunk_rows=chunk_rows,
             n_passes=passes,
         )
-
-    # ------------------------------------------------------------------ #
-    # Planning
-    # ------------------------------------------------------------------ #
-    def _plan_rotations(
-        self,
-        input_path: Path,
-        id_column: str | None,
-        chunk_rows: int,
-        kept_indices: list[int] | None,
-        columns: Sequence[str],
-    ) -> tuple[list[tuple[tuple[str, str], PairwiseSecurityThreshold, object, float]], int]:
-        """Choose pairs and angles from streamed moment summaries.
-
-        Returns the decided rotations (in application order) and the number
-        of moment passes taken.  Mirrors :meth:`RBT.transform` exactly: pair
-        selection first (consuming the RNG for the random strategy), then
-        one security-range solve and angle draw per pair, in pair order, on
-        moments that are bitwise identical to the in-memory ones.
-        """
-        rbt = self.rbt
-        passes = 0
-        moments_cache: dict[int, tuple[float, float, float]] = {}
-
-        needs_correlation = (
-            rbt.pairs is None and rbt.strategy is PairSelectionStrategy.MAX_VARIANCE
-        )
-        if needs_correlation:
-            # One pass accumulates every pairwise moment of the normalized
-            # data: it yields both the correlation matrix for the greedy
-            # pairing and the first-round per-pair moments for free.
-            accumulator = StreamingMoments(len(columns), cross=True, backend=self.backend)
-            for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices):
-                accumulator.update(self.normalizer.transform(chunk))
-            passes += 1
-            correlation = correlation_from_moments(accumulator, ddof=1)
-            pairs = rbt.resolve_pairs_for_columns(columns, correlation=correlation)
-            prefill = self._prefix_independent(pairs)
-            index_of = {name: position for position, name in enumerate(columns)}
-            for position in prefill:
-                i = index_of[pairs[position][0]]
-                j = index_of[pairs[position][1]]
-                variance_i, variance_j, covariance = accumulator.pair_moments(i, j, ddof=rbt.ddof)
-                moments_cache[position] = (variance_i, variance_j, covariance)
-        else:
-            pairs = rbt.resolve_pairs_for_columns(columns)
-
-        thresholds = PairwiseSecurityThreshold.broadcast(rbt.thresholds, len(pairs))
-        if rbt.angles is not None and len(rbt.angles) != len(pairs):
-            raise ValidationError(
-                f"expected {len(pairs)} fixed angle(s) (one per pair), got {len(rbt.angles)}"
-            )
-        rng = ensure_rng(rbt.random_state)
-        column_index = {name: position for position, name in enumerate(columns)}
-
-        decided: list[tuple[tuple[str, str], PairwiseSecurityThreshold, object, float]] = []
-        pending = list(range(len(pairs)))
-        while pending:
-            need = self._prefix_independent([pairs[p] for p in pending])
-            to_accumulate = [
-                pending[offset] for offset in need if pending[offset] not in moments_cache
-            ]
-            if to_accumulate:
-                accumulators = {
-                    position: StreamingMoments(2, cross=True) for position in to_accumulate
-                }
-                for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices):
-                    current = self.normalizer.transform(chunk)
-                    for pair, _, _, theta in decided:
-                        index_i = column_index[pair[0]]
-                        index_j = column_index[pair[1]]
-                        rotated_i, rotated_j = rotate_block(
-                            current[:, index_i].copy(), current[:, index_j].copy(), theta
-                        )
-                        current[:, index_i] = rotated_i
-                        current[:, index_j] = rotated_j
-                    for position, accumulator in accumulators.items():
-                        index_i = column_index[pairs[position][0]]
-                        index_j = column_index[pairs[position][1]]
-                        accumulator.update(
-                            np.column_stack((current[:, index_i], current[:, index_j]))
-                        )
-                passes += 1
-                for position, accumulator in accumulators.items():
-                    moments_cache[position] = accumulator.pair_moments(0, 1, ddof=rbt.ddof)
-
-            progressed = False
-            while pending and pending[0] in moments_cache:
-                position = pending.pop(0)
-                pair = pairs[position]
-                moments = moments_cache.pop(position)
-                security_range = rbt.solve_range_from_moments(moments, thresholds[position])
-                theta = rbt.choose_theta(position, pair, security_range, rng)
-                decided.append((pair, thresholds[position], security_range, theta))
-                progressed = True
-                # Cached moments describing a column this rotation just
-                # distorted are stale now; drop them so the next round
-                # re-accumulates on the rotated state.
-                touched = set(pair)
-                for other in list(moments_cache):
-                    if set(pairs[other]) & touched:
-                        del moments_cache[other]
-            if not progressed:  # pragma: no cover - the head of pending is always computable
-                raise ValidationError("streaming rotation planner failed to make progress")
-        return decided, passes
-
-    @staticmethod
-    def _prefix_independent(pairs: Sequence[tuple[str, str]]) -> list[int]:
-        """Positions whose pair shares no column with any *earlier* pair.
-
-        The moments of those pairs, measured on the current data state, equal
-        the moments the sequential in-memory rotation would see — so they can
-        all be accumulated in one pass.
-        """
-        touched: set[str] = set()
-        independent: list[int] = []
-        for position, pair in enumerate(pairs):
-            if not (set(pair) & touched):
-                independent.append(position)
-            touched.update(pair)
-        return independent
-
-    # ------------------------------------------------------------------ #
-    # Privacy evidence
-    # ------------------------------------------------------------------ #
-    def _privacy_report(
-        self, columns: Sequence[str], moments: StreamingMoments
-    ) -> PrivacyReport:
-        """Assemble the per-attribute report from the width-3n transform-pass stats."""
-        n = len(columns)
-        variances = moments.variances(ddof=self.ddof)
-        measurements = []
-        for index, name in enumerate(columns):
-            original_variance = float(variances[index])
-            released_variance = float(variances[n + index])
-            difference_variance = float(variances[2 * n + index])
-            measurements.append(
-                AttributePrivacy(
-                    name=name,
-                    variance_difference=difference_variance,
-                    scale_invariant=(
-                        difference_variance / original_variance
-                        if not np.isclose(original_variance, 0.0)
-                        else float("nan")
-                    ),
-                    original_variance=original_variance,
-                    released_variance=released_variance,
-                )
-            )
-        return PrivacyReport(tuple(measurements))
 
     # ------------------------------------------------------------------ #
     # I/O plumbing

@@ -336,6 +336,24 @@ class _RangeAccumulator:
             self.data_min = np.minimum(self.data_min, chunk_min)
             self.data_max = np.maximum(self.data_max, chunk_max)
 
+    def state(self) -> dict:
+        """Serializable fitter state — the distributed wire payload."""
+        return {
+            "data_min": None if self.data_min is None else self.data_min.copy(),
+            "data_max": None if self.data_max is None else self.data_max.copy(),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another shard's :meth:`state` in (min/max are associative)."""
+        if state["data_min"] is None:
+            return
+        if self.data_min is None:
+            self.data_min = np.array(state["data_min"], dtype=float)
+            self.data_max = np.array(state["data_max"], dtype=float)
+        else:
+            self.data_min = np.minimum(self.data_min, state["data_min"])
+            self.data_max = np.maximum(self.data_max, state["data_max"])
+
 
 class _MaxAbsAccumulator:
     """Streaming per-column max(|v|) (exact — max is associative)."""
@@ -349,6 +367,19 @@ class _MaxAbsAccumulator:
             self.max_abs = chunk_max
         else:
             self.max_abs = np.maximum(self.max_abs, chunk_max)
+
+    def state(self) -> dict:
+        """Serializable fitter state — the distributed wire payload."""
+        return {"max_abs": None if self.max_abs is None else self.max_abs.copy()}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another shard's :meth:`state` in (max is associative)."""
+        if state["max_abs"] is None:
+            return
+        if self.max_abs is None:
+            self.max_abs = np.array(state["max_abs"], dtype=float)
+        else:
+            self.max_abs = np.maximum(self.max_abs, state["max_abs"])
 
 
 def normalize_min_max(

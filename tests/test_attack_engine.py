@@ -408,9 +408,21 @@ class TestAttackSuiteStreamed:
         for dense_outcome, streamed_outcome in zip(dense.outcomes, streamed.outcomes):
             assert dense_outcome.succeeded == streamed_outcome.succeeded
             assert dense_outcome.work == streamed_outcome.work
-            if not np.isnan(dense_outcome.error):
-                # The engines score identically-shaped reconstructions; only
-                # tie-breaking between equivalent hypotheses may differ.
+            if np.isnan(dense_outcome.error):
+                continue
+            # The engines score identically-shaped reconstructions; only
+            # tie-breaking between equivalent hypotheses may differ.  When
+            # the winning hypotheses score as a tie (ulp-level difference
+            # between the row-space and moment-space scans), either engine's
+            # pick is legitimate and only the scores must agree.
+            dense_score = dense_outcome.details.get("score")
+            streamed_score = streamed_outcome.details.get("score")
+            scores_tied = (
+                dense_score is not None
+                and streamed_score is not None
+                and streamed_score == pytest.approx(dense_score, rel=1e-9)
+            )
+            if not scores_tied:
                 assert streamed_outcome.error == pytest.approx(
                     dense_outcome.error, rel=0.35, abs=0.35
                 )

@@ -106,6 +106,93 @@ class TestTransformCommand:
         assert "security range" in capsys.readouterr().err or True
 
 
+class TestDistributedCommand:
+    def test_multi_shard_release_matches_transform_bytes(self, vitals_csv, tmp_path, capsys):
+        input_path, _ = vitals_csv
+        single = tmp_path / "single.csv"
+        assert (
+            main(
+                ["transform", str(input_path), str(single), "--seed", "7", "--chunk-rows", "16"]
+            )
+            == 0
+        )
+        multi = tmp_path / "multi.csv"
+        report_path = tmp_path / "release.json"
+        code = main(
+            [
+                "distributed",
+                str(input_path),
+                str(multi),
+                "--parties",
+                "3",
+                "--seed",
+                "7",
+                "--chunk-rows",
+                "9",
+                "--protocol-seed",
+                "123",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        assert multi.read_bytes() == single.read_bytes()
+        out = capsys.readouterr().out
+        assert "from 3 part(ies)" in out
+        assert "communication:" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["n_parties"] == 3
+        assert sum(payload["party_rows"]) == 80
+        assert payload["communication"]["n_messages"] > 0
+        # Sketch-sized payloads only: bounded by occupied exponent buckets,
+        # not by rows (the row-independence test lives in the federated suite).
+        assert payload["communication"]["max_message_values"] < 10_000
+
+    def test_explicit_shards_and_secret_round_trip(self, vitals_csv, tmp_path):
+        from repro.distributed import split_csv_shards
+
+        input_path, original = vitals_csv
+        shards = [tmp_path / f"site-{index}.csv" for index in range(2)]
+        split_csv_shards(input_path, shards, row_counts=[30, 50])
+        released = tmp_path / "released.csv"
+        secret_path = tmp_path / "secret.json"
+        code = main(
+            [
+                "distributed",
+                *[str(path) for path in shards],
+                str(released),
+                "--seed",
+                "3",
+                "--secret",
+                str(secret_path),
+            ]
+        )
+        assert code == 0
+        restored = tmp_path / "restored.csv"
+        assert (
+            main(["invert", str(released), str(restored), "--secret", str(secret_path)]) == 0
+        )
+        normalized = ZScoreNormalizer().fit_transform(original)
+        assert np.allclose(
+            matrix_from_csv(restored).values, normalized.values, atol=1e-9
+        )
+
+    def test_parties_with_multiple_inputs_is_an_error(self, vitals_csv, tmp_path, capsys):
+        input_path, _ = vitals_csv
+        code = main(
+            [
+                "distributed",
+                str(input_path),
+                str(input_path),
+                str(tmp_path / "out.csv"),
+                "--parties",
+                "2",
+            ]
+        )
+        assert code == 1
+        assert "single source CSV" in capsys.readouterr().err
+
+
 class TestInvertCommand:
     def test_round_trip(self, vitals_csv, tmp_path):
         input_path, original = vitals_csv

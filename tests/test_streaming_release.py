@@ -109,23 +109,30 @@ class TestStreamingMoments:
             chunked.update(stacked[start : start + 11])
         assert chunked.pair_moments(0, 1, ddof=1) == pair_moments(a, b, ddof=1)
 
-    def test_partial_lists_stay_bounded(self, rng):
-        # Without the periodic collapse the per-tile partial lists grow
-        # O(n_rows); with it they are capped at combine_every entries.
-        accumulator = StreamingMoments(2, cross=True, tile_rows=4, combine_every=8)
-        data = rng.normal(size=(400, 2))
+    def test_compress_keeps_state_bounded_and_exact(self, rng, monkeypatch):
+        # The exponent-bucket accumulator periodically compresses every
+        # bucket back to two pieces; the piece counter stays bounded no
+        # matter how many rows are fed and the exact totals are unchanged,
+        # so the statistics stay bitwise identical.
+        from repro.perf import streaming as streaming_module
+
+        data = rng.normal(size=(400, 2)) * 3.0 + 1.0
+        reference = StreamingMoments(2, cross=True).update(data)
+        monkeypatch.setattr(streaming_module, "_COMPRESS_DEPOSITS", 8192)
+        squeezed = StreamingMoments(2, cross=True, tile_rows=4)
         for start in range(0, 400, 10):
-            accumulator.update(data[start : start + 10])
-        assert len(accumulator._sum_parts) < 8
-        assert len(accumulator._sumsq_parts) < 8
-        assert len(accumulator._cross_parts) < 8
+            squeezed.update(data[start : start + 10])
+        assert squeezed._deposits <= 8192
+        assert np.array_equal(squeezed.means(), reference.means())
+        assert np.array_equal(squeezed.variances(ddof=1), reference.variances(ddof=1))
+        assert squeezed.covariance(0, 1, ddof=1) == reference.covariance(0, 1, ddof=1)
 
     def test_collapse_is_chunk_invariant(self, rng):
         data = rng.normal(size=(500, 3)) * 2.0 + 5.0
-        whole = StreamingMoments(3, cross=True, tile_rows=4, combine_every=8).update(data)
+        whole = StreamingMoments(3, cross=True, tile_rows=4).update(data)
         expected = (whole.means(), whole.variances(ddof=1), whole.covariance(0, 2, ddof=1))
         for step in (1, 3, 7, 100):
-            chunked = StreamingMoments(3, cross=True, tile_rows=4, combine_every=8)
+            chunked = StreamingMoments(3, cross=True, tile_rows=4)
             for start in range(0, 500, step):
                 chunked.update(data[start : start + step])
             assert np.array_equal(chunked.means(), expected[0])
@@ -133,6 +140,42 @@ class TestStreamingMoments:
             assert chunked.covariance(0, 2, ddof=1) == expected[2]
         assert np.allclose(expected[0], data.mean(axis=0))
         assert np.allclose(expected[1], data.var(axis=0, ddof=1))
+
+    def test_merge_equals_concatenation(self, rng):
+        # The property the multi-party release rides on: merging per-shard
+        # accumulators is bitwise identical to one accumulator over the
+        # concatenated rows, for any shard split.
+        data = rng.normal(size=(503, 3)) * [3.0, 0.5, 40.0] + [1.0, -2.0, 1e4]
+        reference = StreamingMoments(3, cross=True).update(data)
+        for split in ([503], [100, 403], [1, 1, 501], [250, 250, 3]):
+            shards = []
+            start = 0
+            for size in split:
+                shards.append(StreamingMoments(3, cross=True).update(data[start : start + size]))
+                start += size
+            merged = shards[0]
+            for other in shards[1:]:
+                merged.merge(other)
+            assert merged.count == 503
+            assert np.array_equal(merged.means(), reference.means())
+            assert np.array_equal(merged.variances(ddof=1), reference.variances(ddof=1))
+            assert merged.covariance(0, 2, ddof=1) == reference.covariance(0, 2, ddof=1)
+
+    def test_state_round_trip_is_exact(self, rng):
+        data = rng.normal(size=(97, 2)) * 7.0
+        reference = StreamingMoments(2, cross=True).update(data)
+        clone = StreamingMoments.from_state(StreamingMoments(2, cross=True).update(data).state())
+        assert clone.count == reference.count
+        assert np.array_equal(clone.means(), reference.means())
+        assert np.array_equal(clone.variances(ddof=1), reference.variances(ddof=1))
+        assert clone.covariance(0, 1, ddof=1) == reference.covariance(0, 1, ddof=1)
+
+    def test_merge_shape_mismatch_rejected(self, rng):
+        left = StreamingMoments(2, cross=True).update(rng.normal(size=(5, 2)))
+        with pytest.raises(ValidationError, match="different shapes"):
+            left.merge(StreamingMoments(3, cross=True))
+        with pytest.raises(ValidationError, match="different shapes"):
+            left.merge(StreamingMoments(2))
 
     def test_update_after_read_rejected(self, rng):
         accumulator = StreamingMoments(2).update(rng.normal(size=(5, 2)))
