@@ -30,13 +30,15 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "BENCH_perf_q
 
 
 def collect_speedups(node, prefix: str = "") -> dict[str, float]:
-    """Flatten every ``speedup*`` / ``*_ratio`` metric in a report subtree."""
+    """Flatten every ``speedup*`` / ``*_speedup`` / ``*_ratio`` metric in a report subtree."""
     found: dict[str, float] = {}
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else key
             if isinstance(value, (int, float)) and (
-                key.startswith("speedup") or key.endswith("_ratio")
+                key.startswith("speedup")
+                or key.endswith("_speedup")
+                or key.endswith("_ratio")
             ):
                 found[path] = float(value)
             else:

@@ -19,6 +19,10 @@ angles.  This package makes that argument executable:
   original records and regresses the rotation matrix from them (the style of
   attack later shown, in follow-up literature, to break rotation
   perturbation; included to make the library honest about RBT's limits).
+* :class:`SequentialReleaseAttack` — an observer of a *versioned* release
+  (the frozen-policy appends of :mod:`repro.pipeline.versioned`) intersects
+  the angle hypotheses admissible under every release prefix, measuring how
+  much the version history shrinks the effective security range.
 
 Every attack implements the :class:`Attack` protocol and returns an
 immutable :class:`AttackResult`; :mod:`repro.attacks.registry` resolves
@@ -39,6 +43,7 @@ from .brute_force import BruteForceAngleAttack
 from .known_sample import KnownSampleAttack
 from .registry import available_attacks, build_attack, register_attack
 from .renormalization import RenormalizationAttack
+from .sequential import SequentialReleaseAttack
 from .streamed import LinearReconstruction, MomentSketch, plan_attack, plan_known_sample
 from .variance_fingerprint import VarianceFingerprintAttack
 
@@ -50,6 +55,7 @@ __all__ = [
     "LinearReconstruction",
     "MomentSketch",
     "RenormalizationAttack",
+    "SequentialReleaseAttack",
     "VarianceFingerprintAttack",
     "available_attacks",
     "build_attack",

@@ -23,6 +23,7 @@ from ..exceptions import AttackError
 from .brute_force import BruteForceAngleAttack
 from .known_sample import KnownSampleAttack
 from .renormalization import RenormalizationAttack
+from .sequential import SequentialReleaseAttack
 from .variance_fingerprint import VarianceFingerprintAttack
 
 __all__ = [
@@ -82,6 +83,20 @@ def _build_variance_fingerprint(params: dict, random_state):
     return VarianceFingerprintAttack(random_state=random_state, **params)
 
 
+def _build_sequential_release(params: dict, random_state):
+    params = _take(
+        params,
+        (
+            "version_rows",
+            "angle_resolution",
+            "success_tolerance",
+            "variance_tolerance",
+        ),
+        context="attack 'sequential_release'",
+    )
+    return SequentialReleaseAttack(random_state=random_state, **params)
+
+
 def _build_known_sample(params: dict, random_state):
     params = _take(
         params,
@@ -109,6 +124,7 @@ _ATTACKS: dict[str, Callable] = {
     "brute_force_angle": _build_brute_force,
     "variance_fingerprint": _build_variance_fingerprint,
     "known_sample": _build_known_sample,
+    "sequential_release": _build_sequential_release,
 }
 
 

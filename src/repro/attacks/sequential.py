@@ -1,0 +1,255 @@
+"""Sequential-release attack: do versioned releases leak the rotation angles?
+
+A versioned release bundle (:mod:`repro.pipeline.versioned`) publishes
+releases v1..vK of the *same* frozen rotation over a growing feed, and the
+releases are append-only — release v*k* is exactly the first
+``version_rows[k-1]`` rows of the current release.  An observer who kept
+every version therefore holds K correlated views of one secret: the
+per-version *prefix moments* of the released columns.
+
+This attack quantifies how much that helps.  For every unordered column
+pair and candidate angle θ it computes, analytically from the prefix
+moments, the variances the un-rotated columns would have had::
+
+    Var(x_i) =  cos²θ·V_i + sin²θ·V_j + 2·cosθ·sinθ·C_ij
+    Var(x_j) =  sin²θ·V_i + cos²θ·V_j − 2·cosθ·sinθ·C_ij
+
+(the inverse rotation applied in moment space).  Angles whose implied
+variances land within ``variance_tolerance`` of the normalized target (1)
+are *admissible* for that version.  Each extra version is an independent
+finite-sample draw of the same constraint, so intersecting the admissible
+sets across versions shrinks the attacker's effective angle range — the
+``range_shrink`` this attack reports is the factor by which observing
+v1..vK narrows the hypothesis space relative to seeing only the final
+release.  The attack then un-rotates the most-pinned non-overlapping pairs
+at their best intersected angle and scores the reconstruction.
+
+The attack is fully deterministic (the grid, the intersection and the
+greedy selection involve no randomness); ``random_state`` is accepted for
+registry uniformity only.  It needs the actual release prefixes' moments,
+which a single moment sketch of the final release cannot provide, so it is
+dense-engine only — the streamed audit planner rejects it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .._validation import check_integer_in_range
+from ..data import DataMatrix
+from ..exceptions import AttackError
+from .base import AttackResult, per_attribute_reconstruction_error, reconstruction_error
+
+__all__ = ["SequentialReleaseAttack"]
+
+
+class SequentialReleaseAttack:
+    """Intersect per-version admissible angles, then un-rotate the pinned pairs.
+
+    Parameters
+    ----------
+    version_rows:
+        Cumulative row counts of the observed releases (e.g. the bundle's
+        ``version_rows()``); release v*k* is the first ``version_rows[k-1]``
+        rows.  Defaults to a single version covering all rows, which
+        degrades the attack to a one-shot variance test.
+    angle_resolution:
+        Number of candidate angles on the grid.
+    success_tolerance:
+        RMSE below which the reconstruction counts as a breach.
+    variance_tolerance:
+        How close an implied un-rotated variance must come to the
+        normalized target (1) for the angle to stay admissible.
+    random_state:
+        Accepted for registry uniformity; the attack is deterministic and
+        never draws from it.
+    """
+
+    name = "sequential_release"
+
+    def __init__(
+        self,
+        version_rows=None,
+        *,
+        angle_resolution: int = 720,
+        success_tolerance: float = 0.1,
+        variance_tolerance: float = 0.1,
+        random_state=None,
+    ) -> None:
+        self.version_rows = (
+            None if version_rows is None else [int(rows) for rows in version_rows]
+        )
+        self.angle_resolution = check_integer_in_range(
+            angle_resolution, name="angle_resolution", minimum=4
+        )
+        self.success_tolerance = float(success_tolerance)
+        self.variance_tolerance = float(variance_tolerance)
+        if self.variance_tolerance <= 0.0:
+            raise AttackError(
+                f"variance_tolerance must be > 0, got {self.variance_tolerance}"
+            )
+        self.random_state = random_state
+
+    def run(self, released: DataMatrix, original: DataMatrix | None = None) -> AttackResult:
+        """Execute the attack on ``released``; ``original`` is used only for scoring."""
+        if not isinstance(released, DataMatrix):
+            raise AttackError("SequentialReleaseAttack expects the released DataMatrix")
+        values = np.asarray(released.values, dtype=float)
+        n_rows, n_attributes = values.shape
+        if n_attributes < 2:
+            raise AttackError("sequential_release needs at least two released attributes")
+        version_rows = self._checked_version_rows(n_rows)
+
+        theta = np.linspace(0.0, 360.0, self.angle_resolution, endpoint=False)
+        cos, sin = np.cos(np.radians(theta)), np.sin(np.radians(theta))
+        # Per-version prefix covariance matrices (the attacker's whole view).
+        prefix_cov = [
+            np.cov(values[:rows], rowvar=False, ddof=1) for rows in version_rows
+        ]
+
+        pairs: list[dict] = []
+        work = 0
+        for index_i, index_j in combinations(range(n_attributes), 2):
+            admissible = np.ones(theta.size, dtype=bool)
+            per_version_counts: list[int] = []
+            final_mask = None
+            for cov in prefix_cov:
+                variance_i, variance_j = cov[index_i, index_i], cov[index_j, index_j]
+                covariance = cov[index_i, index_j]
+                implied_i = (
+                    cos**2 * variance_i + sin**2 * variance_j + 2.0 * cos * sin * covariance
+                )
+                implied_j = (
+                    sin**2 * variance_i + cos**2 * variance_j - 2.0 * cos * sin * covariance
+                )
+                mask = (np.abs(implied_i - 1.0) <= self.variance_tolerance) & (
+                    np.abs(implied_j - 1.0) <= self.variance_tolerance
+                )
+                admissible &= mask
+                per_version_counts.append(int(mask.sum()))
+                final_mask = mask
+                work += theta.size
+            final_count = per_version_counts[-1]
+            intersected = int(admissible.sum())
+            best_theta = None
+            if intersected:
+                # Pin the angle with the final (largest-sample) prefix: among
+                # the intersected candidates, minimize the implied-variance
+                # profile error against the normalized target.
+                cov = prefix_cov[-1]
+                variance_i, variance_j = cov[index_i, index_i], cov[index_j, index_j]
+                covariance = cov[index_i, index_j]
+                implied_i = (
+                    cos**2 * variance_i + sin**2 * variance_j + 2.0 * cos * sin * covariance
+                )
+                implied_j = (
+                    sin**2 * variance_i + cos**2 * variance_j - 2.0 * cos * sin * covariance
+                )
+                profile = (implied_i - 1.0) ** 2 + (implied_j - 1.0) ** 2
+                profile = np.where(admissible, profile, np.inf)
+                best_theta = float(theta[int(np.argmin(profile))])
+            pairs.append(
+                {
+                    "pair": (index_i, index_j),
+                    "admissible_per_version": per_version_counts,
+                    "admissible_final": final_count,
+                    "admissible_intersected": intersected,
+                    "theta_degrees": best_theta,
+                }
+            )
+            del final_mask
+
+        # Effective security range before/after using the version history: the
+        # admissible fraction of the grid, summed over pairs the final release
+        # alone leaves open.
+        measure_final = sum(entry["admissible_final"] for entry in pairs)
+        measure_intersected = sum(entry["admissible_intersected"] for entry in pairs)
+        range_shrink = (
+            float(measure_intersected) / float(measure_final) if measure_final else 1.0
+        )
+
+        # Greedy un-rotation: most-pinned pairs first, never reusing a column,
+        # skipping pairs whose version history is inconsistent (empty
+        # intersection: the columns were not rotated together by one frozen
+        # angle, or the tolerance is too tight).
+        candidate = values.copy()
+        taken: set[int] = set()
+        applied: list[dict] = []
+        order = sorted(
+            (entry for entry in pairs if entry["admissible_intersected"]),
+            key=lambda entry: (entry["admissible_intersected"], entry["pair"]),
+        )
+        for entry in order:
+            index_i, index_j = entry["pair"]
+            if index_i in taken or index_j in taken:
+                continue
+            angle = np.radians(entry["theta_degrees"])
+            # x = R(−θ)·r for R(θ) = [[cosθ, −sinθ], [sinθ, cosθ]].
+            column_i = candidate[:, index_i].copy()
+            column_j = candidate[:, index_j].copy()
+            candidate[:, index_i] = np.cos(angle) * column_i + np.sin(angle) * column_j
+            candidate[:, index_j] = -np.sin(angle) * column_i + np.cos(angle) * column_j
+            taken.update((index_i, index_j))
+            applied.append(
+                {"pair": [index_i, index_j], "theta_degrees": entry["theta_degrees"]}
+            )
+
+        reconstruction = released.with_values(candidate)
+        error = float("nan")
+        succeeded = False
+        per_attribute = None
+        if original is not None:
+            error = reconstruction_error(original.values, reconstruction.values)
+            per_attribute = per_attribute_reconstruction_error(
+                original.values, reconstruction.values
+            )
+            succeeded = error <= self.success_tolerance
+        return AttackResult(
+            name=self.name,
+            reconstruction=reconstruction,
+            error=error,
+            succeeded=succeeded,
+            work=work,
+            per_attribute_errors=per_attribute,
+            details={
+                "version_rows": list(version_rows),
+                "n_versions": len(version_rows),
+                "pairs": [
+                    {
+                        "pair": list(entry["pair"]),
+                        "admissible_per_version": entry["admissible_per_version"],
+                        "admissible_intersected": entry["admissible_intersected"],
+                        "theta_degrees": entry["theta_degrees"],
+                    }
+                    for entry in pairs
+                ],
+                "applied_rotations": applied,
+                "effective_measure_final": measure_final,
+                "effective_measure_intersected": measure_intersected,
+                "range_shrink": range_shrink,
+            },
+        )
+
+    def _checked_version_rows(self, n_rows: int) -> list[int]:
+        if self.version_rows is None:
+            return [n_rows]
+        version_rows = self.version_rows
+        if not version_rows:
+            raise AttackError("version_rows must name at least one release")
+        previous = 0
+        for rows in version_rows:
+            if rows <= previous:
+                raise AttackError(
+                    f"version_rows must be strictly increasing and positive, got {version_rows}"
+                )
+            previous = rows
+        if version_rows[-1] != n_rows:
+            raise AttackError(
+                f"version_rows[-1] must equal the released row count {n_rows}, "
+                f"got {version_rows[-1]} (the final version IS the released matrix)"
+            )
+        if version_rows[0] < 2:
+            raise AttackError("the first release must have at least 2 rows")
+        return list(version_rows)

@@ -40,7 +40,17 @@ full Figure 1 workflow can be driven from a shell without writing Python:
     *your* release).  The evidence is streamed chunk-wise — the matrices
     are never materialized — so a release produced under a memory budget
     can be audited under the same budget; results are cached by content
-    hash, so repeat audits are instant and bit-for-bit identical.
+    hash, so repeat audits are instant and bit-for-bit identical.  With
+    ``--incremental`` a prior report is consulted first and only the
+    attacks whose evidence hash changed are recomputed.
+
+``release``
+    Owner-side versioned releases: ``--init`` fits the normalizer, plans
+    the rotations once and publishes release v1 into a bundle directory;
+    ``--append`` streams *only the new rows* through the frozen policy and
+    publishes vK+1 byte-identical to a from-scratch release of the
+    concatenated feed.  Without either flag the bundle's manifest is
+    verified and summarized.
 
 Examples
 --------
@@ -59,6 +69,9 @@ Examples
     python -m repro audit released.csv --original normalized.csv \
         --threat-model full --chunk-rows 4096
     python -m repro audit released.csv --attacks renormalization,known_sample
+    python -m repro release bundle/ --init january.csv --threshold 0.4
+    python -m repro release bundle/ --append february.csv --expect-version 1
+    python -m repro audit bundle/ --incremental
 """
 
 from __future__ import annotations
@@ -92,7 +105,9 @@ from .pipeline.audit import (
     ThreatModel,
     builtin_threat_model,
 )
+from .pipeline.bundle_format import MANIFEST_NAME
 from .pipeline.streaming import StreamingReleasePipeline, stream_invert
+from .pipeline.versioned import VersionedReleaseBundle
 from .preprocessing import MinMaxNormalizer, ZScoreNormalizer
 
 __all__ = ["main", "build_parser"]
@@ -352,10 +367,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_options(experiment)
 
+    release = subparsers.add_parser(
+        "release",
+        help="versioned release bundle: publish v1, then append-only deltas",
+    )
+    release.add_argument(
+        "bundle",
+        type=Path,
+        help="bundle directory (created by --init, grown by --append)",
+    )
+    release_mode = release.add_mutually_exclusive_group()
+    release_mode.add_argument(
+        "--init",
+        type=Path,
+        default=None,
+        metavar="INPUT",
+        help="fit the policy on this CSV and publish release v1 into the bundle",
+    )
+    release_mode.add_argument(
+        "--append",
+        type=Path,
+        default=None,
+        metavar="NEW_ROWS",
+        help=(
+            "stream only these new rows through the frozen policy and publish "
+            "vK+1 (byte-identical to a from-scratch release of the full feed)"
+        ),
+    )
+    release.add_argument(
+        "--expect-version",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "fail --append unless the bundle is still at version K "
+            "(optimistic-concurrency guard against a racing writer)"
+        ),
+    )
+    release.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="pairwise-security threshold rho for --init (default 0.25)",
+    )
+    release.add_argument(
+        "--normalizer",
+        choices=["zscore", "minmax"],
+        default="zscore",
+        help="normalization fitted (and frozen) by --init (default zscore)",
+    )
+    release.add_argument(
+        "--strategy",
+        choices=["interleaved", "sequential", "random", "max_variance"],
+        default="interleaved",
+        help="attribute pair-selection strategy for --init (default interleaved)",
+    )
+    release.add_argument("--seed", type=int, default=None, help="random seed for --init")
+    release.add_argument(
+        "--id-column",
+        default="id",
+        help="identifier column name for --init (default 'id')",
+    )
+    release.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream in blocks of this many rows (any value gives the same bytes)",
+    )
+    _add_backend_options(release)
+
     audit = subparsers.add_parser(
         "audit", help="adversarially audit a released CSV under a threat model"
     )
-    audit.add_argument("released", type=Path, help="released CSV to attack")
+    audit.add_argument(
+        "released",
+        type=Path,
+        help="released CSV to attack, or a release-bundle directory",
+    )
     audit.add_argument(
         "--original",
         type=Path,
@@ -416,6 +504,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk attack cache"
+    )
+    audit.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "reuse rows from the previous report in --output-dir whose "
+            "evidence hash is unchanged; only recompute the rest"
+        ),
+    )
+    audit.add_argument(
+        "--prior",
+        type=Path,
+        default=None,
+        metavar="REPORT_JSON",
+        help=(
+            "prior audit report to reuse rows from (implies --incremental; "
+            "default <output-dir>/<model>_audit.json)"
+        ),
     )
     audit.add_argument(
         "--format",
@@ -668,7 +774,76 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_release(args: argparse.Namespace) -> int:
+    backend = _resolve_backend(args)
+    if args.init is not None:
+        normalizer = ZScoreNormalizer() if args.normalizer == "zscore" else MinMaxNormalizer()
+        transformer = RBT(
+            thresholds=args.threshold, strategy=args.strategy, random_state=args.seed
+        )
+        bundle, report = VersionedReleaseBundle.create(
+            args.init,
+            args.bundle,
+            rbt=transformer,
+            normalizer=normalizer,
+            chunk_rows=args.chunk_rows,
+            backend=backend,
+            id_column=args.id_column,
+        )
+        print(
+            f"release v{bundle.version}: {bundle.total_rows} objects x "
+            f"{len(bundle.columns)} attributes -> {bundle.released_path}"
+        )
+        print(f"bundle manifest written to {args.bundle / MANIFEST_NAME}")
+        for record in report.records:
+            print(
+                f"  pair {record.pair}: theta drawn from "
+                f"[{record.security_range.lower_bound:.2f}, "
+                f"{record.security_range.upper_bound:.2f}] deg (frozen for appends)"
+            )
+        return 0
+
+    if args.append is not None:
+        bundle = VersionedReleaseBundle.open(args.bundle)
+        previous_rows = bundle.total_rows
+        bundle.append(
+            args.append,
+            expected_version=args.expect_version,
+            chunk_rows=args.chunk_rows,
+            backend=backend,
+        )
+        print(
+            f"release v{bundle.version}: appended "
+            f"{bundle.total_rows - previous_rows} objects "
+            f"({bundle.total_rows} total) -> {bundle.released_path}"
+        )
+        print(
+            "byte-identical to a from-scratch release of the concatenated feed "
+            "(verify with the bundle's reference pipeline)"
+        )
+        return 0
+
+    # No mode flag: verify and summarize the bundle.
+    bundle = VersionedReleaseBundle.open(args.bundle)
+    bundle.verify()
+    print(f"bundle {args.bundle}: release v{bundle.version} (artifacts verified)")
+    print(
+        f"  {bundle.total_rows} objects x {len(bundle.columns)} attributes "
+        f"-> {bundle.released_path}"
+    )
+    for entry in bundle.manifest["versions"]:
+        print(f"  v{entry['version']}: +{entry['rows']} rows ({entry['total_rows']} total)")
+    return 0
+
+
 def _command_audit(args: argparse.Namespace) -> int:
+    released_path = args.released
+    if released_path.is_dir():
+        # A release-bundle directory: audit its current released version.
+        bundle = VersionedReleaseBundle.open(released_path)
+        released_path = bundle.released_path
+        print(f"auditing release v{bundle.version} of bundle {args.released}")
+
     # A local file wins over a built-in of the same name (same rule as
     # experiment specs), so saved threat models are never shadowed.
     model_path = Path(args.threat_model)
@@ -707,18 +882,35 @@ def _command_audit(args: argparse.Namespace) -> int:
     if args.chunk_rows is not None and args.memory_budget_mib is not None:
         print("error: pass either --chunk-rows or --memory-budget-mib", file=sys.stderr)
         return 1
+
+    prior_report = None
+    if args.prior is not None or args.incremental:
+        prior_path = args.prior or args.output_dir / f"{model.name}_audit.json"
+        if prior_path.is_file():
+            prior_report = prior_path
+        elif args.prior is not None:
+            print(
+                f"error: prior report {prior_path} does not exist; run a full "
+                "audit first or point --prior at an existing report",
+                file=sys.stderr,
+            )
+            return 1
+        else:
+            print(f"no prior report at {prior_path}; running a full audit")
+
     cache_dir = None if args.no_cache else (args.cache_dir or args.output_dir / "cache")
     suite = AttackSuite(
         model, workers=args.workers, cache_dir=cache_dir, backend=_resolve_backend(args)
     )
     report = suite.run(
-        args.released,
+        released_path,
         args.original,
         id_column=args.id_column,
         chunk_rows=args.chunk_rows,
         memory_budget_bytes=(
             None if args.memory_budget_mib is None else args.memory_budget_mib * 2**20
         ),
+        prior_report=prior_report,
     )
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
@@ -735,9 +927,10 @@ def _command_audit(args: argparse.Namespace) -> int:
 
     if not args.quiet:
         print(markdown)
+    reused = f", {report.reused} reused from prior" if report.reused else ""
     print(
         f"{len(report.outcomes)} attacks ({report.executed} executed, "
-        f"{report.cached} from cache) in {report.elapsed_seconds:.2f}s"
+        f"{report.cached} from cache{reused}) in {report.elapsed_seconds:.2f}s"
     )
     for path in written:
         print(f"report written to {path}")
@@ -765,6 +958,7 @@ _COMMANDS = {
     "cluster": _command_cluster,
     "experiment": _command_experiment,
     "audit": _command_audit,
+    "release": _command_release,
 }
 
 

@@ -27,7 +27,10 @@ deliberately lossy, human-oriented output.
 from __future__ import annotations
 
 import csv
+import itertools
 import json
+import os
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -345,6 +348,11 @@ def iter_matrix_csv(
         raise SerializationError(f"CSV file {path} does not contain a header and data rows")
 
 
+#: Process-wide counter so concurrent writers targeting the same path from
+#: one process never collide on their temporary file name.
+_WRITER_SERIAL = itertools.count()
+
+
 class MatrixCsvWriter:
     """Incremental matrix CSV writer (the streamed dual of :func:`iter_matrix_csv`).
 
@@ -352,6 +360,13 @@ class MatrixCsvWriter:
     :meth:`write_rows`; use as a context manager.  A file assembled from any
     sequence of blocks is byte-identical to :func:`matrix_to_csv` writing the
     same rows at once, because both share this class and one value formatter.
+
+    Writes are **atomic**: rows go to a temporary file inside the destination
+    directory, and only a clean :meth:`close` publishes it over ``path`` with
+    ``os.replace``.  Leaving the context manager on an exception (or calling
+    :meth:`abort`) discards the temporary file, so a crashed writer never
+    leaves a torn or half-written release on disk — the previous contents of
+    ``path``, if any, survive untouched.
 
     Parameters
     ----------
@@ -365,6 +380,12 @@ class MatrixCsvWriter:
     float_format:
         ``None`` (default) for bitwise round-tripping shortest-repr output,
         or a printf-style format for legacy fixed-precision output.
+    append_from:
+        Optional existing matrix CSV whose bytes (header included) seed the
+        temporary file; the writer then *extends* it instead of writing a
+        fresh header.  Combined with the atomic commit this is how the
+        versioned release bundle appends rows crash-safely: pass the current
+        release as both ``append_from`` and ``path``.
     """
 
     def __init__(
@@ -374,16 +395,25 @@ class MatrixCsvWriter:
         *,
         include_ids: bool = False,
         float_format: str | None = None,
+        append_from: str | Path | None = None,
     ) -> None:
         self.path = Path(path)
         self.columns = tuple(str(name) for name in columns)
         self.include_ids = bool(include_ids)
         self.float_format = float_format
         self._rows_written = 0
-        self._handle = self.path.open("w", newline="", encoding="utf-8")
-        self._writer = csv.writer(self._handle)
-        header = (["id"] if self.include_ids else []) + list(self.columns)
-        self._writer.writerow(header)
+        self._temporary = self.path.with_name(
+            f".{self.path.name}.tmp.{os.getpid()}.{next(_WRITER_SERIAL)}"
+        )
+        if append_from is not None:
+            shutil.copyfile(append_from, self._temporary)
+            self._handle = self._temporary.open("a", newline="", encoding="utf-8")
+            self._writer = csv.writer(self._handle)
+        else:
+            self._handle = self._temporary.open("w", newline="", encoding="utf-8")
+            self._writer = csv.writer(self._handle)
+            header = (["id"] if self.include_ids else []) + list(self.columns)
+            self._writer.writerow(header)
 
     @property
     def rows_written(self) -> int:
@@ -417,15 +447,25 @@ class MatrixCsvWriter:
         self._rows_written += block.shape[0]
 
     def close(self) -> None:
-        """Flush and close the underlying file (idempotent)."""
+        """Flush, close and atomically publish the file over ``path`` (idempotent)."""
         if not self._handle.closed:
             self._handle.close()
+            os.replace(self._temporary, self.path)
+
+    def abort(self) -> None:
+        """Close and discard the temporary file without touching ``path`` (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+        self._temporary.unlink(missing_ok=True)
 
     def __enter__(self) -> "MatrixCsvWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 # --------------------------------------------------------------------------- #

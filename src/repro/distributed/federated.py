@@ -664,7 +664,12 @@ def split_csv_shards(
                 writers[shard].write_rows(values[offset : offset + take], ids=block_ids)
                 written[shard] += take
                 offset += take
-    finally:
+    except BaseException:
+        # The writers stage into temporary files; discarding them on failure
+        # means a crashed split never leaves torn shards behind.
         for writer in writers:
-            writer.close()
+            writer.abort()
+        raise
+    for writer in writers:
+        writer.close()
     return tuple(written)

@@ -22,6 +22,7 @@ __all__ = [
     "DatasetError",
     "SerializationError",
     "ExperimentError",
+    "BundleError",
 ]
 
 
@@ -87,3 +88,13 @@ class SerializationError(ReproError, ValueError):
 
 class ExperimentError(ReproError, ValueError):
     """An experiment spec is invalid or a grid trial could not be executed."""
+
+
+class BundleError(ReproError, ValueError):
+    """A versioned release bundle is missing, torn, drifted or incompatible.
+
+    Raised when a bundle directory fails its manifest/content-hash
+    consistency checks, when an append is attempted against an unexpected
+    bundle version, or when the appended rows' schema drifts from the
+    columns the bundle was created with.
+    """

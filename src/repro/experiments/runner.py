@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core import RBT
+from ..data import DataMatrix
 from ..exceptions import ExperimentError, ReproError
 from ..metrics import adjusted_rand_index, misclassification_error, privacy_report
 from ..perf.backends import get_backend
@@ -135,6 +136,89 @@ def _run_federated(matrix, transformer: RBT, trial: TrialSpec):
     return normalized, released, report.privacy, _security_range_stats(report), federated
 
 
+def _run_versioned(matrix, transformer: RBT, trial: TrialSpec):
+    """Release the trial's dataset as a versioned bundle, one append per version.
+
+    The dataset is split into ``trial.versions`` near-even row slices; the
+    first becomes release v1 (freezing the normalizer and the rotation
+    plan) and each later slice is appended through
+    :meth:`~repro.pipeline.versioned.VersionedReleaseBundle.append`.  By
+    the append determinism contract the final released file is
+    byte-identical to the frozen-policy from-scratch replay over the whole
+    feed; the comparison result is recorded in the trial row, so the grid
+    keeps the contract under test.
+    """
+    import tempfile
+
+    from ..data.io import matrix_from_csv, matrix_to_csv
+    from ..pipeline.bundle_format import normalizer_from_payload
+    from ..pipeline.versioned import VersionedReleaseBundle
+
+    if trial.versions > matrix.n_objects // 2:
+        raise ExperimentError(
+            f"versions={trial.versions} needs at least {2 * trial.versions} rows, "
+            f"the dataset has {matrix.n_objects}"
+        )
+    if trial.normalizer == "none":
+        raise ExperimentError(
+            "versions > 1 freezes the fitted normalizer in the bundle; "
+            "normalizer='none' has no state to freeze — use 'zscore' or 'minmax'"
+        )
+    bounds = np.linspace(0, matrix.n_objects, trial.versions + 1).astype(int)
+
+    def _slice(start: int, stop: int) -> DataMatrix:
+        return DataMatrix(
+            values=matrix.values[start:stop],
+            columns=matrix.columns,
+            ids=None if matrix.ids is None else matrix.ids[start:stop],
+        )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        slice_paths = []
+        for index in range(trial.versions):
+            path = scratch / f"slice-{index}.csv"
+            matrix_to_csv(_slice(bounds[index], bounds[index + 1]), path)
+            slice_paths.append(path)
+        full_path = scratch / "full.csv"
+        matrix_to_csv(matrix, full_path)
+
+        bundle, _ = VersionedReleaseBundle.create(
+            slice_paths[0],
+            scratch / "bundle",
+            rbt=transformer,
+            normalizer=_make_normalizer(trial.normalizer),
+        )
+        for path in slice_paths[1:]:
+            bundle.append(path)
+        reference_path = scratch / "reference.csv"
+        bundle.reference_pipeline().run(slice_paths[0] if trial.versions == 1 else full_path,
+                                        reference_path)
+        byte_identical = bundle.released_path.read_bytes() == reference_path.read_bytes()
+
+        released = matrix_from_csv(bundle.released_path)
+        report = bundle.report()
+        normalized = normalizer_from_payload(bundle.manifest["normalizer"]).transform(matrix)
+        versioned = {
+            "n_versions": bundle.version,
+            "version_rows": list(bundle.version_rows()),
+            "append_byte_identical": bool(byte_identical),
+        }
+    if not byte_identical:
+        raise ExperimentError(
+            f"versioned release violated the append determinism contract for "
+            f"versions={trial.versions} (released bytes differ from the "
+            "frozen-policy replay)"
+        )
+    widths = [record.security_range.total_measure for record in report.records]
+    security = {
+        "n_pairs": len(report.records),
+        "mean_width_degrees": float(np.mean(widths)) if widths else 0.0,
+        "min_width_degrees": float(np.min(widths)) if widths else 0.0,
+    }
+    return normalized, released, report.privacy, security, versioned
+
+
 def run_trial(payload: dict) -> dict:
     """Execute one trial described by its canonical payload; return a row dict.
 
@@ -159,7 +243,13 @@ def run_trial(payload: dict) -> dict:
         normalizer=payload["normalizer"],
         attack=_axis(payload["attack"]) if "attack" in payload else AxisSpec("none"),
         parties=int(payload.get("parties", 1)),
+        versions=int(payload.get("versions", 1)),
     )
+    if trial.parties > 1 and trial.versions > 1:
+        raise ExperimentError(
+            f"parties={trial.parties} and versions={trial.versions} cannot be "
+            "combined in one trial; vary the axes separately"
+        )
     matrix, truth = build_dataset(trial.dataset.name, trial.dataset.params, trial.seed)
     transformer = build_transform(trial.transform.name, trial.transform.params, trial.seed)
     algorithm = build_algorithm(trial.algorithm.name, trial.algorithm.params, trial.seed)
@@ -175,7 +265,18 @@ def run_trial(payload: dict) -> dict:
 
     security_range = None
     federated = None
-    if isinstance(transformer, RBT) and trial.parties > 1:
+    versioned = None
+    if isinstance(transformer, RBT) and trial.versions > 1:
+        # Versioned releases go through the bundle append path; the output is
+        # byte-identical to the frozen-policy replay (checked inside), so the
+        # axis keeps the append determinism contract under test.
+        normalized, released, privacy, security_range, versioned = _run_versioned(
+            matrix, transformer, trial
+        )
+        max_distortion = max_abs_distance_difference(
+            normalized.values, released.values, backend=backend
+        )
+    elif isinstance(transformer, RBT) and trial.parties > 1:
         # Federated releases go through the multi-party protocol; the output
         # is byte-identical to the single-party release, so clustering and
         # privacy numbers match the parties=1 trial — the axis exists to keep
@@ -205,6 +306,11 @@ def run_trial(payload: dict) -> dict:
                 f"parties={trial.parties} requires the 'rbt' transform, "
                 f"got {trial.transform.name!r}"
             )
+        if trial.versions > 1:
+            raise ExperimentError(
+                f"versions={trial.versions} requires the 'rbt' transform, "
+                f"got {trial.transform.name!r}"
+            )
         normalized = _make_normalizer(trial.normalizer).fit(matrix).transform(matrix)
         released = normalized if transformer is None else transformer.perturb(normalized)
         privacy = privacy_report(normalized, released)
@@ -220,7 +326,18 @@ def run_trial(payload: dict) -> dict:
     # so it reuses matrices the clustering stage already computed.
     attack_row = None
     if trial.attack.name != "none":
-        attack = build_attack(trial.attack.name, trial.attack.params, trial.seed)
+        attack_params = dict(trial.attack.params)
+        if (
+            trial.attack.name == "sequential_release"
+            and versioned is not None
+            and "version_rows" not in attack_params
+        ):
+            # The versions axis defines the release prefixes the sequential
+            # observer saw; hand them to the attack unless the spec pinned
+            # its own schedule.  The injected value is derived from the
+            # trial spec alone, so cached rows stay deterministic.
+            attack_params["version_rows"] = versioned["version_rows"]
+        attack = build_attack(trial.attack.name, attack_params, trial.seed)
         if getattr(attack, "distance_cache", False) is None:
             attack.distance_cache = cache
         if backend is not None and getattr(attack, "backend", False) is None:
@@ -240,6 +357,8 @@ def run_trial(payload: dict) -> dict:
                 else float(np.max(attack_result.per_attribute_errors))
             ),
         }
+        if "range_shrink" in attack_result.details:
+            attack_row["range_shrink"] = float(attack_result.details["range_shrink"])
 
     def _truth_metrics(labels):
         if truth is None:
@@ -269,6 +388,8 @@ def run_trial(payload: dict) -> dict:
         "security_range": security_range,
         "parties": trial.parties,
         "federated": federated,
+        "versions": trial.versions,
+        "versioned": versioned,
         "attack": attack_row,
         "clustering": {
             "n_clusters_original": int(np.unique(labels_original[labels_original >= 0]).size),

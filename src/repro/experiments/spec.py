@@ -125,6 +125,7 @@ class TrialSpec:
     normalizer: str = "zscore"
     attack: AxisSpec = AxisSpec("none")
     parties: int = 1
+    versions: int = 1
 
     def canonical(self) -> dict:
         """The canonical payload that is hashed for caching.
@@ -148,6 +149,8 @@ class TrialSpec:
             payload["attack"] = self.attack.canonical()
         if self.parties != 1:
             payload["parties"] = self.parties
+        if self.versions != 1:
+            payload["versions"] = self.versions
         return payload
 
     @property
@@ -180,6 +183,16 @@ class ExperimentSpec:
         :class:`~repro.distributed.DistributedReleasePipeline` — which is
         byte-identical to the single-party release, making this axis a
         standing cross-check of the multi-party determinism contract.
+    versions:
+        Optional sixth axis: release-version counts for *versioned* RBT
+        releases (:mod:`repro.pipeline.versioned`).  ``1`` runs the
+        ordinary one-shot pipeline and is hash-transparent; ``v > 1``
+        releases the first of ``v`` near-even row slices as a bundle and
+        appends the rest one release at a time — the incremental releases
+        are byte-identical to the frozen-policy from-scratch replay, making
+        this axis a standing cross-check of the append determinism
+        contract (and the natural home of the ``sequential_release``
+        attack).
     seeds:
         Random seeds; the full cross product is run once per seed.
     normalizer:
@@ -198,6 +211,7 @@ class ExperimentSpec:
     description: str = ""
     attacks: tuple[AxisSpec, ...] = (AxisSpec("none"),)
     parties: tuple[int, ...] = (1,)
+    versions: tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -248,6 +262,18 @@ class ExperimentSpec:
                 f"experiment {self.name!r}: parties must be unique, got {parties}"
             )
         object.__setattr__(self, "parties", parties)
+        versions = tuple(int(count) for count in self.versions)
+        if not versions:
+            raise ExperimentError(f"experiment {self.name!r}: versions must not be empty")
+        if any(count < 1 for count in versions):
+            raise ExperimentError(
+                f"experiment {self.name!r}: versions must be >= 1, got {versions}"
+            )
+        if len(set(versions)) != len(versions):
+            raise ExperimentError(
+                f"experiment {self.name!r}: versions must be unique, got {versions}"
+            )
+        object.__setattr__(self, "versions", versions)
         if self.normalizer not in _NORMALIZERS:
             raise ExperimentError(
                 f"experiment {self.name!r}: normalizer must be one of {_NORMALIZERS}, "
@@ -266,6 +292,7 @@ class ExperimentSpec:
             * len(self.algorithms)
             * len(self.attacks)
             * len(self.parties)
+            * len(self.versions)
             * len(self.seeds)
         )
 
@@ -273,9 +300,9 @@ class ExperimentSpec:
         """Expand the grid into its independent trials, in deterministic order.
 
         The order is dataset-major, then transform, algorithm, attack,
-        parties and seed; the runner preserves it regardless of worker
-        count, which is what makes parallel runs byte-identical to serial
-        ones.
+        parties, versions and seed; the runner preserves it regardless of
+        worker count, which is what makes parallel runs byte-identical to
+        serial ones.
         """
         return tuple(
             TrialSpec(
@@ -286,12 +313,14 @@ class ExperimentSpec:
                 normalizer=self.normalizer,
                 attack=attack,
                 parties=parties,
+                versions=versions,
             )
             for dataset in self.datasets
             for transform in self.transforms
             for algorithm in self.algorithms
             for attack in self.attacks
             for parties in self.parties
+            for versions in self.versions
             for seed in self.seeds
         )
 
@@ -309,6 +338,7 @@ class ExperimentSpec:
             "algorithms": [axis.canonical() for axis in self.algorithms],
             "attacks": [axis.canonical() for axis in self.attacks],
             "parties": list(self.parties),
+            "versions": list(self.versions),
             "seeds": list(self.seeds),
         }
 
@@ -326,6 +356,7 @@ class ExperimentSpec:
             "algorithms",
             "attacks",
             "parties",
+            "versions",
             "seeds",
         }
         unknown = set(payload) - known
@@ -353,6 +384,13 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"parties must be a JSON array of integers, got {list(parties)!r}"
             )
+        versions = payload.get("versions", (1,))
+        if not isinstance(versions, Sequence) or isinstance(versions, (str, bytes)):
+            raise ExperimentError(f"versions must be a JSON array of integers, got {versions!r}")
+        if not all(isinstance(count, int) and not isinstance(count, bool) for count in versions):
+            raise ExperimentError(
+                f"versions must be a JSON array of integers, got {list(versions)!r}"
+            )
 
         return cls(
             name=payload["name"],
@@ -363,6 +401,7 @@ class ExperimentSpec:
             algorithms=axis("algorithms"),
             attacks=axis("attacks") if "attacks" in payload else (AxisSpec("none"),),
             parties=tuple(parties),
+            versions=tuple(versions),
             seeds=tuple(seeds),
         )
 

@@ -81,6 +81,8 @@ __all__ = [
     "StreamingMoments",
     "bucket_quantum_exponents",
     "correlation_from_moments",
+    "state_from_jsonable",
+    "state_to_jsonable",
     "streamed_correlation",
     "streamed_pair_moments",
 ]
@@ -672,3 +674,68 @@ def streamed_pair_moments(attribute_i, attribute_j, *, ddof: int = 1) -> tuple[f
     accumulator = StreamingMoments(2, cross=True)
     accumulator.update(stacked)
     return accumulator.pair_moments(0, 1, ddof=ddof)
+
+
+# --------------------------------------------------------------------------- #
+# Lossless JSON wire form of the sketch state
+# --------------------------------------------------------------------------- #
+def state_to_jsonable(state: dict) -> dict:
+    """Re-encode a :meth:`StreamingMoments.state` payload as pure JSON types.
+
+    Bucket sums are serialized as C99 hex-float strings (``float.hex``), which
+    round-trip **every** double bit-for-bit — including negative zero and
+    subnormals, which decimal-repr JSON encoders (and downstream parsers that
+    normalize ``-0.0`` to ``0``) can silently corrupt.  The versioned release
+    bundle persists sketch states through this codec, so its byte-identity
+    contract survives a JSON round trip.
+    """
+    if not isinstance(state, dict) or state.get("format") != 1:
+        raise ValidationError("unrecognized StreamingMoments state payload")
+    values = np.asarray(state["bucket_values"], dtype=float)
+    return {
+        "format": 1,
+        "n_columns": int(state["n_columns"]),
+        "cross": bool(state["cross"]),
+        "count": int(state["count"]),
+        "deposits": int(state["deposits"]),
+        "bucket_indices": [int(index) for index in np.asarray(state["bucket_indices"])],
+        "bucket_values": [[float(value).hex() for value in row] for row in values],
+        "poison_nan": [int(count) for count in np.asarray(state["poison_nan"])],
+        "poison_pos": [int(count) for count in np.asarray(state["poison_pos"])],
+        "poison_neg": [int(count) for count in np.asarray(state["poison_neg"])],
+    }
+
+
+def state_from_jsonable(payload: dict) -> dict:
+    """Invert :func:`state_to_jsonable`; the result feeds :meth:`StreamingMoments.from_state`."""
+    if not isinstance(payload, dict) or payload.get("format") != 1:
+        raise ValidationError("unrecognized StreamingMoments JSON state payload")
+    n_columns = int(payload["n_columns"])
+    cross = bool(payload["cross"])
+    n_quantities = 2 * n_columns + (n_columns * (n_columns - 1) // 2 if cross else 0)
+    rows = payload["bucket_values"]
+    values = np.empty((len(rows), n_quantities), dtype=float)
+    for row_index, row in enumerate(rows):
+        if len(row) != n_quantities:
+            raise ValidationError(
+                f"bucket row {row_index} has {len(row)} value(s), expected {n_quantities}"
+            )
+        for column_index, text in enumerate(row):
+            try:
+                values[row_index, column_index] = float.fromhex(text)
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(f"invalid hex-float bucket value {text!r}") from exc
+    return {
+        "format": 1,
+        "n_columns": n_columns,
+        "cross": cross,
+        "count": int(payload["count"]),
+        "deposits": int(payload["deposits"]),
+        "bucket_indices": np.asarray(
+            [int(index) for index in payload["bucket_indices"]], dtype=np.int64
+        ),
+        "bucket_values": values,
+        "poison_nan": np.asarray([int(c) for c in payload["poison_nan"]], dtype=np.int64),
+        "poison_pos": np.asarray([int(c) for c in payload["poison_pos"]], dtype=np.int64),
+        "poison_neg": np.asarray([int(c) for c in payload["poison_neg"]], dtype=np.int64),
+    }

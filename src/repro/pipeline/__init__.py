@@ -23,6 +23,13 @@ from .streaming import (
     resolve_chunk_rows,
     stream_invert,
 )
+from .versioned import (
+    VersionedReleaseBundle,
+    append_release,
+    create_release,
+    open_release,
+    sequential_attack_params,
+)
 
 # audit must come after ppc/streaming: it participates in an import cycle
 # with repro.experiments, which needs the names above to already be bound.
@@ -47,8 +54,13 @@ __all__ = [
     "StreamingReleasePipeline",
     "StreamingReleaseReport",
     "ThreatModel",
+    "VersionedReleaseBundle",
+    "append_release",
     "builtin_threat_model",
+    "create_release",
     "federated_threat_model",
+    "open_release",
     "resolve_chunk_rows",
+    "sequential_attack_params",
     "stream_invert",
 ]

@@ -375,6 +375,9 @@ class AttackOutcome:
     per_attribute_errors: tuple[float, ...] | None
     #: JSON-safe attack-specific extras (hypothesis, diagnostics).
     details: dict = field(default_factory=dict)
+    #: Content hash of the (attack, evidence) cell this row was computed
+    #: for; an incremental re-audit reuses the row while the hash matches.
+    evidence_hash: str | None = None
 
     @property
     def worst_attribute_error(self) -> float:
@@ -398,6 +401,7 @@ class AttackOutcome:
                 else list(self.per_attribute_errors)
             ),
             "details": self.details,
+            "evidence_hash": self.evidence_hash,
         }
 
 
@@ -432,6 +436,8 @@ class AuditReport:
     #: Bookkeeping (excluded from the canonical JSON so re-runs are bitwise).
     executed: int = 0
     cached: int = 0
+    #: Rows served from a ``prior_report`` instead of the cache or execution.
+    reused: int = 0
     elapsed_seconds: float = 0.0
 
     @property
@@ -607,6 +613,43 @@ def _run_dense_attack(payload: dict) -> dict:
     }
 
 
+def _prior_rows(prior_report) -> dict[str, dict]:
+    """Index a previous report's attack rows by their (attack, evidence) hash.
+
+    Accepts an :class:`AuditReport`, the dict of its canonical JSON, or a
+    path to the JSON file.  Rows without an ``evidence_hash`` (reports from
+    before the field existed) are simply not reusable.
+    """
+    if prior_report is None:
+        return {}
+    if isinstance(prior_report, AuditReport):
+        attacks = [outcome.as_dict() for outcome in prior_report.outcomes]
+    elif isinstance(prior_report, Mapping):
+        attacks = prior_report.get("attacks", [])
+    else:
+        try:
+            payload = json.loads(Path(prior_report).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"cannot read prior audit report {prior_report}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValidationError(f"{prior_report} is not an audit-report JSON object")
+        attacks = payload.get("attacks", [])
+    rows: dict[str, dict] = {}
+    for entry in attacks:
+        key = entry.get("evidence_hash")
+        if not key:
+            continue
+        rows[key] = {
+            "hash": key,
+            "work": entry["work"],
+            "error": entry["error"],
+            "succeeded": entry["succeeded"],
+            "per_attribute_errors": entry["per_attribute_errors"],
+            "details": entry.get("details", {}),
+        }
+    return rows
+
+
 class AttackSuite:
     """Run a threat model against release evidence, with an on-disk cache.
 
@@ -683,19 +726,29 @@ class AttackSuite:
         chunk_rows: int | None = None,
         memory_budget_bytes: int | None = None,
         ddof: int = 1,
+        prior_report=None,
     ) -> AuditReport:
         """Audit ``released`` (a :class:`DataMatrix` or a CSV path).
 
         With matrices the dense attack engine runs; with paths the evidence
         is streamed chunk-wise and the moment-space engine runs.  Mixing the
         two kinds is rejected.
+
+        ``prior_report`` makes the audit *incremental*: pass a previous
+        :class:`AuditReport` (or its JSON dict, or a path to the JSON file)
+        and every attack row whose (attack, evidence) content hash still
+        matches is reused verbatim instead of re-executed — only evidence
+        that actually changed is recomputed.  Reused rows are counted in
+        :attr:`AuditReport.reused` and the emitted report stays
+        byte-identical to a from-scratch run.
         """
+        prior_rows = _prior_rows(prior_report)
         if isinstance(released, DataMatrix):
             if original is not None and not isinstance(original, DataMatrix):
                 raise ValidationError(
                     "released is a DataMatrix, so original must be one too"
                 )
-            return self._run_in_memory(released, original, ddof=ddof)
+            return self._run_in_memory(released, original, ddof=ddof, prior_rows=prior_rows)
         if isinstance(original, DataMatrix):
             raise ValidationError("released is a path, so original must be a path too")
         return self._run_streamed(
@@ -705,6 +758,7 @@ class AttackSuite:
             chunk_rows=chunk_rows,
             memory_budget_bytes=memory_budget_bytes,
             ddof=ddof,
+            prior_rows=prior_rows,
         )
 
     def run_bundle(self, bundle, *, ddof: int = 1) -> AuditReport:
@@ -771,6 +825,7 @@ class AttackSuite:
                 else tuple(float(value) for value in row["per_attribute_errors"])
             ),
             details=row.get("details", {}),
+            evidence_hash=row.get("hash"),
         )
 
     def _verdicts(self, outcomes: Sequence[AttackOutcome], privacy: dict | None) -> dict:
@@ -800,6 +855,7 @@ class AttackSuite:
         executed: int,
         cached: int,
         elapsed: float,
+        reused: int = 0,
     ) -> AuditReport:
         return AuditReport(
             threat_model=self.threat_model.canonical(),
@@ -812,6 +868,7 @@ class AttackSuite:
             verdicts=self._verdicts(outcomes, privacy),
             executed=executed,
             cached=cached,
+            reused=reused,
             elapsed_seconds=elapsed,
         )
 
@@ -819,7 +876,12 @@ class AttackSuite:
     # Dense (in-memory) engine
     # ------------------------------------------------------------------ #
     def _run_in_memory(
-        self, released: DataMatrix, original: DataMatrix | None, *, ddof: int
+        self,
+        released: DataMatrix,
+        original: DataMatrix | None,
+        *,
+        ddof: int,
+        prior_rows: dict[str, dict] | None = None,
     ) -> AuditReport:
         started = time.perf_counter()
         if original is not None and released.shape != original.shape:
@@ -834,7 +896,13 @@ class AttackSuite:
         keys = {i: self._attack_key(i, "in_memory", released_fp, original_fp) for i in indices}
         rows: dict[int, dict] = {}
         pending: list[int] = []
+        reused = 0
         for i in indices:
+            prior = (prior_rows or {}).get(keys[i])
+            if prior is not None:
+                rows[i] = prior
+                reused += 1
+                continue
             row = self._cache_load(keys[i])
             if row is None:
                 pending.append(i)
@@ -863,7 +931,8 @@ class AttackSuite:
             outcomes,
             privacy,
             executed=len(pending),
-            cached=len(self.threat_model.attacks) - len(pending),
+            cached=len(self.threat_model.attacks) - len(pending) - reused,
+            reused=reused,
             elapsed=time.perf_counter() - started,
         )
 
@@ -947,6 +1016,7 @@ class AttackSuite:
         chunk_rows: int | None,
         memory_budget_bytes: int | None,
         ddof: int,
+        prior_rows: dict[str, dict] | None = None,
     ) -> AuditReport:
         started = time.perf_counter()
         released_fp = _file_fingerprint(released_path)
@@ -977,7 +1047,13 @@ class AttackSuite:
         }
         rows: dict[int, dict] = {}
         pending: list[int] = []
+        reused = 0
         for i in indices:
+            prior = (prior_rows or {}).get(keys[i])
+            if prior is not None:
+                rows[i] = prior
+                reused += 1
+                continue
             row = self._cache_load(keys[i])
             if row is None:
                 pending.append(i)
@@ -1010,7 +1086,8 @@ class AttackSuite:
             outcomes,
             evidence.get("privacy"),
             executed=len(pending),
-            cached=len(self.threat_model.attacks) - len(pending),
+            cached=len(self.threat_model.attacks) - len(pending) - reused,
+            reused=reused,
             elapsed=time.perf_counter() - started,
         )
 

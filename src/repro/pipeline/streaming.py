@@ -444,6 +444,12 @@ class StreamingReleasePipeline:
         process-pool releases are byte identical; the tiny width-2
         per-pair accumulators always run serially (fan-out overhead would
         dwarf them).
+    refit:
+        ``True`` (default) fits the normalizer on the streamed input
+        (pass 1).  ``False`` skips that pass and transforms with the
+        normalizer *as given*, which must already be fitted — this is how a
+        versioned release bundle replays its frozen release policy over a
+        grown feed to reproduce the appended release byte for byte.
 
     Examples
     --------
@@ -462,6 +468,7 @@ class StreamingReleasePipeline:
         memory_budget_bytes: int | None = None,
         ddof: int = 1,
         backend=None,
+        refit: bool = True,
     ) -> None:
         if chunk_rows is not None and memory_budget_bytes is not None:
             raise ValidationError("pass either chunk_rows or memory_budget_bytes, not both")
@@ -476,6 +483,7 @@ class StreamingReleasePipeline:
         self.memory_budget_bytes = memory_budget_bytes
         self.ddof = check_integer_in_range(ddof, name="ddof", minimum=0, maximum=1)
         self.backend = backend
+        self.refit = bool(refit)
 
     # ------------------------------------------------------------------ #
     # Main entry point
@@ -503,11 +511,18 @@ class StreamingReleasePipeline:
         passes = 0
 
         # ---- Pass 1: fit the normalizer (chunk-invariant streamed stats).
-        self.normalizer.fit_stream(
-            (chunk for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices)),
-            backend=self.backend,
-        )
-        passes += 1
+        # A frozen-policy replay (refit=False) keeps the normalizer exactly
+        # as given, so the per-row transform matches the release that first
+        # fitted it, bit for bit.
+        if self.refit:
+            self.normalizer.fit_stream(
+                (
+                    chunk
+                    for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices)
+                ),
+                backend=self.backend,
+            )
+            passes += 1
 
         # ---- Pair selection (Step 1) on names and, when needed, streamed
         # correlation; then per-pair security ranges and angles (Step 2b/2c)

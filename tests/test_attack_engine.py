@@ -95,6 +95,7 @@ class TestAttackRegistry:
             "brute_force_angle",
             "known_sample",
             "renormalization",
+            "sequential_release",
             "variance_fingerprint",
         )
 
@@ -481,7 +482,14 @@ class TestAttackSuiteStreamed:
         assert same.executed == 0
         other_ids = suite.run(bare_released, bare_original, id_column=None)
         assert other_ids.executed == len(other_ids.outcomes)
-        assert other_ids.to_json() == first.to_json()
+        # The id-column knob keys the cache (so the per-row evidence hashes
+        # differ) but must not change the evidence itself.
+        first_payload = json.loads(first.to_json())
+        other_payload = json.loads(other_ids.to_json())
+        first_hashes = [row.pop("evidence_hash") for row in first_payload["attacks"]]
+        other_hashes = [row.pop("evidence_hash") for row in other_payload["attacks"]]
+        assert first_hashes != other_hashes
+        assert other_payload == first_payload
 
     def test_streamed_workers_byte_identical(self, csv_release):
         original_path, released_path = csv_release

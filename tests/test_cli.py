@@ -304,6 +304,125 @@ class TestClusterCommand:
         assert all(len(row) == 2 and row[1].lstrip("-").isdigit() for row in rows[1:])
 
 
+class TestReleaseCommand:
+    @pytest.fixture
+    def feed(self, vitals_csv, tmp_path):
+        """The owner's feed split into an initial batch plus two deltas."""
+        _, matrix = vitals_csv
+        batches = []
+        for index, rows in enumerate((range(0, 40), range(40, 65), range(65, 80))):
+            path = tmp_path / f"batch-{index}.csv"
+            matrix_to_csv(matrix.rows(rows), path, float_format="%.6f")
+            batches.append(path)
+        return batches
+
+    def test_init_append_status_lifecycle(self, feed, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        init_argv = ["release", str(bundle), "--init", str(feed[0])]
+        assert main(init_argv + ["--seed", "5", "--threshold", "0.3"]) == 0
+        assert "release v1" in capsys.readouterr().out
+
+        assert main(["release", str(bundle), "--append", str(feed[1])]) == 0
+        assert "release v2: appended 25 objects (65 total)" in capsys.readouterr().out
+
+        append_argv = ["release", str(bundle), "--append", str(feed[2])]
+        assert main(append_argv + ["--expect-version", "2", "--chunk-rows", "7"]) == 0
+        capsys.readouterr()
+
+        assert main(["release", str(bundle)]) == 0
+        status = capsys.readouterr().out
+        assert "release v3 (artifacts verified)" in status
+        assert "v2: +25 rows (65 total)" in status
+        assert "v3: +15 rows (80 total)" in status
+
+    def test_append_matches_transform_from_scratch(self, feed, vitals_csv, tmp_path):
+        input_path, _ = vitals_csv
+        bundle = tmp_path / "bundle"
+        init_argv = ["release", str(bundle), "--init", str(feed[0]), "--seed", "5"]
+        assert main(init_argv) == 0
+        assert main(["release", str(bundle), "--append", str(feed[1])]) == 0
+        assert main(["release", str(bundle), "--append", str(feed[2])]) == 0
+
+        from repro.pipeline.versioned import VersionedReleaseBundle
+
+        grown = VersionedReleaseBundle.open(bundle)
+        reference = tmp_path / "reference.csv"
+        grown.reference_pipeline().run(input_path, reference)
+        assert grown.released_path.read_bytes() == reference.read_bytes()
+
+    def test_version_mismatch_is_an_actionable_error(self, feed, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(["release", str(bundle), "--init", str(feed[0]), "--seed", "5"]) == 0
+        assert main(["release", str(bundle), "--append", str(feed[1])]) == 0
+        append_argv = ["release", str(bundle), "--append", str(feed[2])]
+        code = main(append_argv + ["--expect-version", "1"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "version mismatch" in err
+        assert "re-open the bundle" in err
+
+    def test_schema_drift_is_an_actionable_error(self, feed, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(["release", str(bundle), "--init", str(feed[0]), "--seed", "5"]) == 0
+        drifted = tmp_path / "drifted.csv"
+        lines = feed[1].read_text().splitlines(keepends=True)
+        header = lines[0].replace("heart_rate", "pulse")
+        assert header != lines[0]
+        drifted.write_text(header + "".join(lines[1:]))
+        code = main(["release", str(bundle), "--append", str(drifted)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "schema drift" in err
+        assert "same header" in err
+
+    def test_missing_bundle_is_an_actionable_error(self, tmp_path, capsys):
+        code = main(["release", str(tmp_path / "nope")])
+        assert code == 1
+        assert "--init" in capsys.readouterr().err
+
+
+class TestAuditIncremental:
+    @pytest.fixture
+    def bundle(self, vitals_csv, tmp_path):
+        input_path, _ = vitals_csv
+        path = tmp_path / "bundle"
+        assert main(["release", str(path), "--init", str(input_path), "--seed", "5"]) == 0
+        return path
+
+    def test_audit_accepts_a_bundle_directory(self, bundle, tmp_path, capsys):
+        out = tmp_path / "audit_out"
+        argv = ["audit", str(bundle), "--output-dir", str(out), "--quiet", "--seed", "3"]
+        assert main(argv) == 0
+        assert "auditing release v1" in capsys.readouterr().out
+        assert (out / "paper_public_audit.json").exists()
+
+    def test_incremental_reuses_every_unchanged_row(self, bundle, tmp_path, capsys):
+        out = tmp_path / "audit_out"
+        argv = ["audit", str(bundle), "--output-dir", str(out), "--quiet", "--seed", "3"]
+        argv += ["--format", "json"]
+        assert main(argv) == 0
+        first = (out / "paper_public_audit.json").read_text()
+        capsys.readouterr()
+
+        # --no-cache isolates the prior-report path from the on-disk cache.
+        assert main(argv + ["--incremental", "--no-cache"]) == 0
+        stdout = capsys.readouterr().out
+        assert "0 executed" in stdout
+        assert "3 reused from prior" in stdout
+        assert (out / "paper_public_audit.json").read_text() == first
+
+    def test_missing_prior_is_an_error(self, bundle, tmp_path, capsys):
+        argv = ["audit", str(bundle), "--output-dir", str(tmp_path / "out"), "--quiet"]
+        code = main(argv + ["--prior", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "prior report" in capsys.readouterr().err
+
+    def test_incremental_without_prior_runs_full(self, bundle, tmp_path, capsys):
+        argv = ["audit", str(bundle), "--output-dir", str(tmp_path / "fresh"), "--quiet"]
+        assert main(argv + ["--incremental", "--seed", "3"]) == 0
+        assert "running a full audit" in capsys.readouterr().out
+
+
 class TestEndToEndRoundTrip:
     def test_transform_invert_recovers_normalized_csv(self, vitals_csv, tmp_path):
         """Owner contract: transform -> invert restores the normalized data.

@@ -234,6 +234,7 @@ class TestRegistry:
             "known_sample",
             "none",
             "renormalization",
+            "sequential_release",
             "variance_fingerprint",
         )
 
