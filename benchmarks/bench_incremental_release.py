@@ -85,7 +85,7 @@ def concatenate_csvs(history: Path, delta: Path, output: Path) -> None:
     """One feed file: the history rows followed by the delta rows."""
     with output.open("w", encoding="utf-8", newline="") as out:
         out.write(history.read_text(encoding="utf-8"))
-        with delta.open("r", encoding="utf-8") as extra:
+        with delta.open(encoding="utf-8") as extra:
             next(extra)  # the (identical) header
             shutil.copyfileobj(extra, out)
 

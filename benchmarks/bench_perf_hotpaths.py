@@ -28,6 +28,7 @@ import sys
 import time
 import tracemalloc
 from datetime import datetime, timezone
+from functools import partial
 from pathlib import Path
 
 import numpy as np
@@ -231,13 +232,14 @@ def bench_security_range(quick: bool) -> dict:
     for name, (a, b, (rho1, rho2)) in cases.items():
         repeats = 5 if quick else 10
         seed_seconds, seed_intervals = best_time(
-            lambda: seed_grid_security_range(a, b, rho1, rho2), repeats=repeats
+            partial(seed_grid_security_range, a, b, rho1, rho2), repeats=repeats
         )
         grid_seconds, _ = best_time(
-            lambda: solve_security_range(a, b, (rho1, rho2), method="grid"), repeats=repeats
+            partial(solve_security_range, a, b, (rho1, rho2), method="grid"), repeats=repeats
         )
         analytic_seconds, analytic_range = best_time(
-            lambda: solve_security_range(a, b, (rho1, rho2), method="analytic"), repeats=repeats
+            partial(solve_security_range, a, b, (rho1, rho2), method="analytic"),
+            repeats=repeats,
         )
         assert len(analytic_range.intervals) == len(seed_intervals), (
             f"{name}: analytic solver found {len(analytic_range.intervals)} interval(s), "

@@ -8,7 +8,7 @@ with actionable messages when the input is unusable.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -173,6 +173,7 @@ def ensure_rng(random_state) -> np.random.Generator:
     :class:`numpy.random.RandomState`.
     """
     if random_state is None:
+        # repro-lint: disable=RPR001 -- None is the documented nondeterministic opt-in
         return np.random.default_rng()
     if isinstance(random_state, np.random.Generator):
         return random_state

@@ -126,7 +126,7 @@ class Attack(Protocol):
 
     def run(
         self, released: DataMatrix, original: DataMatrix | None = None
-    ) -> "AttackResult":  # pragma: no cover - protocol signature only
+    ) -> AttackResult:  # pragma: no cover - protocol signature only
         ...
 
 

@@ -37,8 +37,8 @@ import numpy as np
 
 from .._validation import check_integer_in_range, ensure_rng
 from ..data import DataMatrix
-from ..perf.kernels import best_inverse_rotation
 from ..exceptions import AttackError
+from ..perf.kernels import best_inverse_rotation
 from .base import AttackResult, per_attribute_reconstruction_error, reconstruction_error
 
 __all__ = ["BruteForceAngleAttack"]

@@ -15,7 +15,7 @@ draw) is reproducible bit-for-bit across runs and processes.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -90,7 +90,7 @@ class MomentSketch:
         return np.diag(self.covariance)
 
     @classmethod
-    def from_accumulator(cls, accumulator: StreamingMoments, *, ddof: int = 1) -> "MomentSketch":
+    def from_accumulator(cls, accumulator: StreamingMoments, *, ddof: int = 1) -> MomentSketch:
         """Build a sketch from a ``StreamingMoments(n, cross=True)`` accumulator."""
         n = accumulator.n_columns
         covariance = np.empty((n, n), dtype=float)
@@ -101,10 +101,12 @@ class MomentSketch:
                 covariance[i, j] = covariance[j, i] = accumulator.covariance(i, j, ddof=ddof)
         return cls(means=accumulator.means(), covariance=covariance, count=accumulator.count)
 
-    def transformed(self, matrix: np.ndarray) -> "MomentSketch":
+    def transformed(self, matrix: np.ndarray) -> MomentSketch:
         """The sketch of ``released @ matrix`` (mean and covariance pushforward)."""
         return MomentSketch(
+            # repro-lint: disable=RPR007 -- (n,) @ (n, n) pushforward, fixed by sketch width
             means=self.means @ matrix,
+            # repro-lint: disable=RPR007 -- (n, n) congruence, fixed by sketch width
             covariance=matrix.T @ self.covariance @ matrix,
             count=self.count,
         )
@@ -134,7 +136,7 @@ class LinearReconstruction:
         object.__setattr__(self, "offset", offset)
 
     @classmethod
-    def identity(cls, n_attributes: int) -> "LinearReconstruction":
+    def identity(cls, n_attributes: int) -> LinearReconstruction:
         """The do-nothing reconstruction (released data taken at face value)."""
         return cls(matrix=np.eye(n_attributes), offset=np.zeros(n_attributes))
 
@@ -227,7 +229,7 @@ def _plan_brute_force(attack: BruteForceAngleAttack, sketch: MomentSketch):
             best_index = int(scores.argmin())
             theta = float(angles[best_index])
             rotation = _inverse_rotation_map(n, index_i, index_j, theta)
-            composed = composed @ rotation
+            composed = composed @ rotation  # repro-lint: disable=RPR007 -- fixed (n, n) composition
             current = current.transformed(rotation)
             hypothesis_angles.append(theta)
         score = float(
@@ -280,7 +282,7 @@ def _plan_variance_fingerprint(attack: VarianceFingerprintAttack, sketch: Moment
         if best is not None:
             score, pair, theta = best
             rotation = _inverse_rotation_map(n, pair[0], pair[1], theta)
-            composed = composed @ rotation
+            composed = composed @ rotation  # repro-lint: disable=RPR007 -- fixed (n, n) composition
             current = current.transformed(rotation)
             applied.append({"pair": pair, "theta_degrees": theta, "score": score})
             improved = True

@@ -21,14 +21,14 @@ Every baseline implements the same ``perturb(matrix) -> DataMatrix``
 interface and accepts a ``random_state`` for reproducibility.
 """
 
-from .base import PerturbationMethod
 from .additive import AdditiveNoisePerturbation
-from .multiplicative import MultiplicativeNoisePerturbation
+from .base import PerturbationMethod
 from .geometric import (
-    TranslationPerturbation,
     ScalingPerturbation,
     SimpleRotationPerturbation,
+    TranslationPerturbation,
 )
+from .multiplicative import MultiplicativeNoisePerturbation
 from .swapping import ValueSwappingPerturbation
 
 __all__ = [

@@ -52,6 +52,12 @@ full Figure 1 workflow can be driven from a shell without writing Python:
     concatenated feed.  Without either flag the bundle's manifest is
     verified and summarized.
 
+``lint``
+    Developer-side: statically check the source tree against the repo's
+    reproducibility contracts (seeded RNGs, exact accumulation, atomic
+    persistence, shape-invariant BLAS — see ``docs/LINTING.md``).  CI runs
+    this with ``--fail-on-unused-suppression``.
+
 Examples
 --------
 ::
@@ -72,6 +78,7 @@ Examples
     python -m repro release bundle/ --init january.csv --threshold 0.4
     python -m repro release bundle/ --append february.csv --expect-version 1
     python -m repro audit bundle/ --incremental
+    python -m repro lint --fail-on-unused-suppression
 """
 
 from __future__ import annotations
@@ -80,8 +87,8 @@ import argparse
 import csv
 import json
 import sys
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 import numpy as np
 
@@ -92,6 +99,7 @@ from .data.io import matrix_from_csv, matrix_to_csv
 from .distributed import DistributedReleasePipeline, split_csv_shards
 from .exceptions import ReproError, ValidationError
 from .experiments import BUILTIN_SPECS, ExperimentSpec, builtin_spec, run_experiment
+from .lint import cli as lint_cli
 from .metrics import (
     adjusted_rand_index,
     misclassification_error,
@@ -535,6 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
     _add_backend_options(audit)
 
+    lint = subparsers.add_parser(
+        "lint", help="statically check the source tree against the repro contracts"
+    )
+    lint_cli.configure_parser(lint)
+
     return parser
 
 
@@ -950,6 +963,12 @@ def _write_labels(path: Path, matrix: DataMatrix, labels: np.ndarray) -> None:
         writer.writerows([object_id, int(label)] for object_id, label in zip(ids, labels))
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # The lint CLI owns its own exit-code contract (0 clean / 1 findings /
+    # 2 usage error), including ReproError handling.
+    return lint_cli.run(args)
+
+
 _COMMANDS = {
     "transform": _command_transform,
     "distributed": _command_distributed,
@@ -959,6 +978,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "audit": _command_audit,
     "release": _command_release,
+    "lint": _command_lint,
 }
 
 

@@ -23,10 +23,10 @@ The three dissimilarity-matrix consumers accept a shared
 """
 
 from .base import ClusteringAlgorithm, ClusteringResult
+from .dbscan import DBSCAN
+from .hierarchical import AgglomerativeClustering
 from .kmeans import KMeans
 from .kmedoids import KMedoids
-from .hierarchical import AgglomerativeClustering
-from .dbscan import DBSCAN
 
 __all__ = [
     "ClusteringAlgorithm",

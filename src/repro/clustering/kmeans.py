@@ -106,7 +106,8 @@ class KMeans(ClusteringAlgorithm):
         labels = np.zeros(array.shape[0], dtype=int)
         converged = False
         iteration = 0
-        for iteration in range(1, self.max_iterations + 1):
+        # `iteration` is read after the loop (n_iterations in the result).
+        for iteration in range(1, self.max_iterations + 1):  # noqa: B007
             labels = self._assign(array, centroids)
             new_centroids = self._update(array, labels, centroids, rng)
             movement = float(np.sqrt(((new_centroids - centroids) ** 2).sum()))

@@ -97,7 +97,8 @@ class KMedoids(ClusteringAlgorithm):
         labels = distances[:, medoids].argmin(axis=1)
         converged = False
         iteration = 0
-        for iteration in range(1, self.max_iterations + 1):
+        # `iteration` is read after the loop (n_iterations in the result).
+        for iteration in range(1, self.max_iterations + 1):  # noqa: B007
             new_medoids = medoids.copy()
             # The update stays a per-cluster loop on purpose: a single
             # `distances @ membership` product computes all cluster costs at

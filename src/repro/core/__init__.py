@@ -15,23 +15,23 @@
 """
 
 from .rotation import (
-    rotation_matrix,
-    rotate_pair,
     is_rotation_matrix,
+    rotate_pair,
+    rotation_matrix,
 )
 from .thresholds import PairwiseSecurityThreshold
 from .security_range import (
-    VarianceCurves,
     SecurityRange,
-    variance_difference_curves,
+    VarianceCurves,
     compute_variance_curves,
     solve_security_range,
+    variance_difference_curves,
 )
 from .pair_selection import (
     PairSelectionStrategy,
     select_pairs,
 )
-from .rbt import RBT, RotationRecord, RBTResult, rbt_transform
+from .rbt import RBT, RBTResult, RotationRecord, rbt_transform
 from .secrets import RBTSecret, RotationStep
 
 __all__ = [

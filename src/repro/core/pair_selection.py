@@ -28,8 +28,8 @@ final pair reuses an already-distorted column as its second element.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from enum import Enum
-from typing import Sequence
 
 import numpy as np
 

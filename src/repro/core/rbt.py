@@ -26,8 +26,8 @@ returns identical clusters (Corollary 1).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -95,6 +95,7 @@ def is_rotation_matrix(matrix, *, atol: float = 1e-10) -> bool:
     array = np.asarray(matrix, dtype=float)
     if array.shape != (2, 2):
         return False
+    # repro-lint: disable=RPR007 -- 2x2 orthogonality check under a tolerance, nothing released
     identity_check = np.allclose(array @ array.T, np.eye(2), atol=atol)
     determinant_check = np.isclose(np.linalg.det(array), 1.0, atol=atol)
     return bool(identity_check and determinant_check)

@@ -16,9 +16,9 @@ the same normalized space.
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
 
 import numpy as np
 
@@ -78,12 +78,12 @@ class RBTSecret:
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_result(cls, result: RBTResult) -> "RBTSecret":
+    def from_result(cls, result: RBTResult) -> RBTSecret:
         """Extract the secret from an :class:`~repro.core.RBTResult`."""
         return cls.from_records(result.records)
 
     @classmethod
-    def from_records(cls, records: Sequence[RotationRecord]) -> "RBTSecret":
+    def from_records(cls, records: Sequence[RotationRecord]) -> RBTSecret:
         """Build a secret from rotation records (an :class:`RBTResult`'s or a
         streaming release report's)."""
         steps = tuple(
@@ -97,7 +97,7 @@ class RBTSecret:
         return cls(steps)
 
     @classmethod
-    def from_steps(cls, steps: Sequence[tuple[tuple[str, str], float]]) -> "RBTSecret":
+    def from_steps(cls, steps: Sequence[tuple[tuple[str, str], float]]) -> RBTSecret:
         """Build a secret from bare ``((name_i, name_j), theta_degrees)`` tuples."""
         return cls(tuple(RotationStep(pair=pair, theta_degrees=theta) for pair, theta in steps))
 
@@ -192,7 +192,7 @@ class RBTSecret:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "RBTSecret":
+    def from_dict(cls, payload: dict) -> RBTSecret:
         """Rebuild a secret from :meth:`to_dict` output."""
         try:
             if payload.get("format") != "repro.rbt-secret":
@@ -217,7 +217,7 @@ class RBTSecret:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
 
     @classmethod
-    def load(cls, path: str | Path) -> "RBTSecret":
+    def load(cls, path: str | Path) -> RBTSecret:
         """Read a secret previously written by :meth:`save`."""
         path = Path(path)
         try:

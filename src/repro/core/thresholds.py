@@ -15,8 +15,8 @@ every pair).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable
 
 from ..exceptions import ThresholdError
 
@@ -52,7 +52,7 @@ class PairwiseSecurityThreshold:
         return (self.rho1, self.rho2)
 
     @classmethod
-    def coerce(cls, value) -> "PairwiseSecurityThreshold":
+    def coerce(cls, value) -> PairwiseSecurityThreshold:
         """Accept an existing threshold, a (ρ1, ρ2) pair, or a single scalar ρ."""
         if isinstance(value, cls):
             return value

@@ -13,22 +13,22 @@ after suppressing identifiers.  This package provides that substrate:
   synthetic dataset generators used by the benchmarks.
 """
 
-from .schema import ColumnRole, ColumnSpec, Schema
-from .matrix import DataMatrix
-from .table import Table
+from . import datasets
 from .io import (
-    read_csv,
-    write_csv,
-    read_json,
-    write_json,
-    matrix_from_csv,
-    matrix_to_csv,
-    iter_matrix_csv,
-    read_matrix_csv_header,
     MatrixCsvChunk,
     MatrixCsvWriter,
+    iter_matrix_csv,
+    matrix_from_csv,
+    matrix_to_csv,
+    read_csv,
+    read_json,
+    read_matrix_csv_header,
+    write_csv,
+    write_json,
 )
-from . import datasets
+from .matrix import DataMatrix
+from .schema import ColumnRole, ColumnSpec, Schema
+from .table import Table
 
 __all__ = [
     "ColumnRole",

@@ -11,39 +11,39 @@
 """
 
 from .cardiac import (
-    CARDIAC_SAMPLE_IDS,
-    CARDIAC_SAMPLE_COLUMNS,
-    CARDIAC_SAMPLE_VALUES,
     CARDIAC_NORMALIZED_VALUES,
+    CARDIAC_SAMPLE_COLUMNS,
+    CARDIAC_SAMPLE_IDS,
+    CARDIAC_SAMPLE_VALUES,
+    MEASURED_SECURITY_RANGE1_DEGREES,
+    PAPER_DISSIMILARITY_RENORMALIZED,
+    PAPER_DISSIMILARITY_TRANSFORMED,
     PAPER_PAIR1,
     PAPER_PAIR2,
     PAPER_PST1,
     PAPER_PST2,
+    PAPER_SECURITY_RANGE1_DEGREES,
+    PAPER_SECURITY_RANGE2_DEGREES,
     PAPER_THETA1_DEGREES,
     PAPER_THETA2_DEGREES,
-    PAPER_SECURITY_RANGE1_DEGREES,
-    MEASURED_SECURITY_RANGE1_DEGREES,
-    PAPER_SECURITY_RANGE2_DEGREES,
+    PAPER_TRANSFORMED_COLUMN_VARIANCES,
+    PAPER_TRANSFORMED_VALUES,
     PAPER_VARIANCES_PAIR1,
     PAPER_VARIANCES_PAIR2,
-    PAPER_TRANSFORMED_VALUES,
-    PAPER_TRANSFORMED_COLUMN_VARIANCES,
-    PAPER_DISSIMILARITY_TRANSFORMED,
-    PAPER_DISSIMILARITY_RENORMALIZED,
+    load_cardiac_normalized,
     load_cardiac_sample,
     load_cardiac_sample_table,
-    load_cardiac_normalized,
     make_synthetic_arrhythmia,
 )
 from .synthetic import (
-    make_blobs,
     make_anisotropic_blobs,
-    make_rings,
-    make_uniform_noise,
+    make_blobs,
     make_customer_segments,
     make_patient_cohorts,
+    make_rings,
+    make_uniform_noise,
 )
-from .partitioned import split_vertically, split_horizontally
+from .partitioned import split_horizontally, split_vertically
 
 __all__ = [
     "CARDIAC_SAMPLE_IDS",

@@ -31,9 +31,10 @@ import itertools
 import json
 import os
 import shutil
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from io import StringIO
 from pathlib import Path
-from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from .schema import ColumnRole, Schema
 from .table import Table
 
 __all__ = [
+    "atomic_write_text",
     "write_csv",
     "read_csv",
     "write_json",
@@ -61,15 +63,35 @@ __all__ = [
 DEFAULT_CHUNK_ROWS: int = 16384
 
 
-def write_csv(table: Table, path: str | Path, *, include_header: bool = True) -> None:
-    """Write ``table`` to ``path`` as CSV (schema roles are not persisted)."""
+def atomic_write_text(path: str | Path, text: str, *, newline: str | None = None) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + ``os.replace``.
+
+    A crash mid-write leaves either the previous file or nothing at the
+    final path — never a torn artifact (the PR 8 crash-safety contract).
+    """
     path = Path(path)
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        if include_header:
-            writer.writerow(table.column_names)
-        for record in table.iter_rows():
-            writer.writerow([record[name] for name in table.column_names])
+    temporary = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with temporary.open("w", newline=newline, encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temporary, path)
+    finally:
+        temporary.unlink(missing_ok=True)
+
+
+def write_csv(table: Table, path: str | Path, *, include_header: bool = True) -> None:
+    """Write ``table`` to ``path`` as CSV (schema roles are not persisted).
+
+    The file is published atomically: rows are staged in memory and land on
+    disk via :func:`atomic_write_text`.
+    """
+    buffer = StringIO(newline="")
+    writer = csv.writer(buffer)
+    if include_header:
+        writer.writerow(table.column_names)
+    for record in table.iter_rows():
+        writer.writerow([record[name] for name in table.column_names])
+    atomic_write_text(path, buffer.getvalue(), newline="")
 
 
 def read_csv(
@@ -87,7 +109,7 @@ def read_csv(
     become confidential numerics, and everything else becomes categorical.
     """
     path = Path(path)
-    with path.open("r", newline="", encoding="utf-8") as handle:
+    with path.open(newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         rows = [row for row in reader if row]
     if not rows:
@@ -183,7 +205,7 @@ def write_json(table: Table, path: str | Path) -> None:
             for record in table.iter_rows()
         ],
     }
-    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def read_json(path: str | Path) -> Table:
@@ -255,7 +277,7 @@ def read_matrix_csv_header(
 ) -> tuple[tuple[str, ...], bool]:
     """Return ``(value_columns, has_ids)`` for a matrix CSV without reading rows."""
     path = Path(path)
-    with path.open("r", newline="", encoding="utf-8") as handle:
+    with path.open(newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         header = None
         for row in reader:
@@ -293,7 +315,7 @@ def iter_matrix_csv(
     chunk_rows = int(chunk_rows)
     if chunk_rows < 1:
         raise SerializationError(f"chunk_rows must be >= 1, got {chunk_rows}")
-    with path.open("r", newline="", encoding="utf-8") as handle:
+    with path.open(newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         header: list[str] | None = None
         ids: list | None = None
@@ -458,7 +480,7 @@ class MatrixCsvWriter:
             self._handle.close()
         self._temporary.unlink(missing_ok=True)
 
-    def __enter__(self) -> "MatrixCsvWriter":
+    def __enter__(self) -> MatrixCsvWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -9,7 +9,7 @@ in terms of attribute names rather than raw column indices.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -148,11 +148,11 @@ class DataMatrix:
         indices = [self.column_index(name) for name in names]
         return self._values[:, indices].copy()
 
-    def select(self, names: Sequence[str]) -> "DataMatrix":
+    def select(self, names: Sequence[str]) -> DataMatrix:
         """Return a new matrix restricted to ``names`` (projection)."""
         return DataMatrix(self.columns_array(names), columns=list(names), ids=self._ids)
 
-    def drop(self, names: Iterable[str]) -> "DataMatrix":
+    def drop(self, names: Iterable[str]) -> DataMatrix:
         """Return a new matrix without the columns in ``names``."""
         to_drop = set(names)
         check_columns_exist(to_drop, self._columns, name="names")
@@ -161,7 +161,7 @@ class DataMatrix:
             raise ValidationError("cannot drop every column of a DataMatrix")
         return self.select(kept)
 
-    def rows(self, indices: Sequence[int]) -> "DataMatrix":
+    def rows(self, indices: Sequence[int]) -> DataMatrix:
         """Return a new matrix with only the rows at ``indices`` (selection)."""
         indices = list(indices)
         ids = None if self._ids is None else tuple(self._ids[i] for i in indices)
@@ -170,7 +170,7 @@ class DataMatrix:
     # ------------------------------------------------------------------ #
     # Derivation
     # ------------------------------------------------------------------ #
-    def with_values(self, values) -> "DataMatrix":
+    def with_values(self, values) -> DataMatrix:
         """Return a new matrix with the same columns/ids but different values."""
         values = as_float_matrix(values, name="values")
         if values.shape != self.shape:
@@ -179,7 +179,7 @@ class DataMatrix:
             )
         return DataMatrix(values, columns=self._columns, ids=self._ids)
 
-    def with_column_values(self, updates: Mapping[str, np.ndarray]) -> "DataMatrix":
+    def with_column_values(self, updates: Mapping[str, np.ndarray]) -> DataMatrix:
         """Return a new matrix where the columns named in ``updates`` are replaced."""
         check_columns_exist(updates.keys(), self._columns, name="updates")
         values = self._values.copy()
@@ -193,11 +193,11 @@ class DataMatrix:
             values[:, self.column_index(name)] = column_values
         return DataMatrix(values, columns=self._columns, ids=self._ids)
 
-    def without_ids(self) -> "DataMatrix":
+    def without_ids(self) -> DataMatrix:
         """Return a copy with object identifiers suppressed (anonymization step 2)."""
         return DataMatrix(self._values, columns=self._columns, ids=None)
 
-    def rename(self, mapping: Mapping[str, str]) -> "DataMatrix":
+    def rename(self, mapping: Mapping[str, str]) -> DataMatrix:
         """Return a copy with columns renamed according to ``mapping``."""
         check_columns_exist(mapping.keys(), self._columns, name="mapping")
         new_columns = [mapping.get(name, name) for name in self._columns]
@@ -261,7 +261,7 @@ class DataMatrix:
         *,
         columns: Sequence[str] | None = None,
         id_field: str | None = None,
-    ) -> "DataMatrix":
+    ) -> DataMatrix:
         """Build a matrix from a sequence of per-object mappings.
 
         Parameters

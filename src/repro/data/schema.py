@@ -13,9 +13,9 @@ what to suppress, normalize and rotate.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Iterator, Sequence
 
 from ..exceptions import SchemaError
 
@@ -101,7 +101,7 @@ class Schema:
         *,
         roles: dict[str, ColumnRole] | None = None,
         default_role: ColumnRole = ColumnRole.NUMERIC,
-    ) -> "Schema":
+    ) -> Schema:
         """Build a schema from column names with an optional per-name role override."""
         roles = roles or {}
         unknown = set(roles) - set(names)
@@ -156,7 +156,7 @@ class Schema:
     # ------------------------------------------------------------------ #
     # Derivation
     # ------------------------------------------------------------------ #
-    def select(self, names: Iterable[str]) -> "Schema":
+    def select(self, names: Iterable[str]) -> Schema:
         """Return a new schema restricted to ``names`` (kept in the given order)."""
         specs = []
         for name in names:
@@ -165,7 +165,7 @@ class Schema:
             specs.append(self[name])
         return Schema(tuple(specs))
 
-    def drop(self, names: Iterable[str]) -> "Schema":
+    def drop(self, names: Iterable[str]) -> Schema:
         """Return a new schema without the columns in ``names``."""
         to_drop = set(names)
         unknown = to_drop - set(self.names)
@@ -173,7 +173,7 @@ class Schema:
             raise SchemaError(f"cannot drop unknown column(s): {sorted(unknown)}")
         return Schema(tuple(column for column in self.columns if column.name not in to_drop))
 
-    def with_role(self, name: str, role: ColumnRole) -> "Schema":
+    def with_role(self, name: str, role: ColumnRole) -> Schema:
         """Return a new schema where column ``name`` has role ``role``."""
         if name not in self:
             raise SchemaError(f"cannot re-role unknown column {name!r}")

@@ -10,7 +10,7 @@ numerical :class:`~repro.data.DataMatrix` that the RBT method operates on.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -122,22 +122,22 @@ class Table:
     # ------------------------------------------------------------------ #
     # Relational operations
     # ------------------------------------------------------------------ #
-    def select_columns(self, names: Sequence[str]) -> "Table":
+    def select_columns(self, names: Sequence[str]) -> Table:
         """Projection: keep only the columns in ``names``."""
         schema = self._schema.select(names)
         return Table(schema, {name: self._columns[name] for name in names})
 
-    def drop_columns(self, names: Iterable[str]) -> "Table":
+    def drop_columns(self, names: Iterable[str]) -> Table:
         """Projection: drop the columns in ``names``."""
         schema = self._schema.drop(names)
         return Table(schema, {name: self._columns[name] for name in schema.names})
 
-    def filter_rows(self, predicate: Callable[[dict[str, object]], bool]) -> "Table":
+    def filter_rows(self, predicate: Callable[[dict[str, object]], bool]) -> Table:
         """Selection: keep only rows for which ``predicate(record)`` is true."""
         keep = [index for index, record in enumerate(self.iter_rows()) if predicate(record)]
         return self.take_rows(keep)
 
-    def take_rows(self, indices: Sequence[int]) -> "Table":
+    def take_rows(self, indices: Sequence[int]) -> Table:
         """Return a table with the rows at ``indices`` in the given order."""
         indices = list(indices)
         for index in indices:
@@ -146,11 +146,11 @@ class Table:
         columns = {name: self._columns[name][indices] for name in self.column_names}
         return Table(self._schema, columns)
 
-    def head(self, count: int = 5) -> "Table":
+    def head(self, count: int = 5) -> Table:
         """Return the first ``count`` rows."""
         return self.take_rows(range(min(count, self.n_rows)))
 
-    def suppress_identifiers(self) -> "Table":
+    def suppress_identifiers(self) -> Table:
         """Drop every column whose role is :attr:`ColumnRole.IDENTIFIER`.
 
         This is the "Suppressing Identifiers" pre-processing step of
@@ -209,7 +209,7 @@ class Table:
         *,
         default_role: ColumnRole = ColumnRole.NUMERIC,
         roles: Mapping[str, ColumnRole] | None = None,
-    ) -> "Table":
+    ) -> Table:
         """Build a table from a sequence of record dictionaries.
 
         When no ``schema`` is given, one is inferred from the first record:
@@ -229,7 +229,7 @@ class Table:
                 columns[name].append(record[name])
         return cls(schema, columns)
 
-    def with_matrix_values(self, matrix: DataMatrix) -> "Table":
+    def with_matrix_values(self, matrix: DataMatrix) -> Table:
         """Return a table where the columns named in ``matrix`` are replaced by its values.
 
         Used to fold a transformed (e.g. RBT-rotated) matrix back into the

@@ -30,9 +30,6 @@ and the multi-party output is byte-identical to the single-party release of
 the concatenated shards.  See ``docs/DISTRIBUTED.md``.
 """
 
-from .parties import Party, SecureSumProtocol, MessageLog, CommunicationLedger
-from .vertical_kmeans import VerticallyPartitionedKMeans
-from .generative import GaussianMixtureModel, GenerativeModelClustering
 from .federated import (
     DistributedReleasePipeline,
     DistributedReleaseReport,
@@ -41,6 +38,9 @@ from .federated import (
     sketch_state_n_values,
     split_csv_shards,
 )
+from .generative import GaussianMixtureModel, GenerativeModelClustering
+from .parties import CommunicationLedger, MessageLog, Party, SecureSumProtocol
+from .vertical_kmeans import VerticallyPartitionedKMeans
 
 __all__ = [
     "Party",

@@ -52,10 +52,10 @@ merged moments — the quantities the paper's owner publishes anyway.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -515,7 +515,7 @@ class DistributedReleasePipeline:
             (party.name, party.fit_state(self.normalizer, len(columns)))
             for party in parties
         ]
-        n_rows_total = sum(rows for _, (_, rows) in fit_states)
+        n_rows_total = int(sum(rows for _, (_, rows) in fit_states))
         if isinstance(template, StreamingMoments):
             merged = aggregator.aggregate_states(
                 [(name, state) for name, (state, _) in fit_states],
@@ -531,7 +531,7 @@ class DistributedReleasePipeline:
                     ledger.record(
                         name,
                         coordinator,
-                        sum(np.asarray(v).size for v in state.values() if v is not None) + 1,
+                        int(sum(np.asarray(v).size for v in state.values() if v is not None)) + 1,
                         label="fit/extrema",
                     )
                 fitter.merge_state(state)
@@ -634,9 +634,11 @@ def split_csv_shards(
     columns, has_ids = read_matrix_csv_header(input_path, id_column=id_column)
     chunk_rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
     if row_counts is None:
-        total = sum(
-            chunk.values.shape[0]
-            for chunk in iter_matrix_csv(input_path, chunk_rows=chunk_rows, id_column=id_column)
+        total = int(
+            sum(
+                chunk.values.shape[0]
+                for chunk in iter_matrix_csv(input_path, chunk_rows=chunk_rows, id_column=id_column)
+            )
         )
         base, remainder = divmod(total, len(paths))
         quotas = [base + (1 if index < remainder else 0) for index in range(len(paths))]

@@ -76,7 +76,7 @@ class GaussianMixtureModel:
     # ------------------------------------------------------------------ #
     # Fitting (EM)
     # ------------------------------------------------------------------ #
-    def fit(self, values: np.ndarray) -> "GaussianMixtureModel":
+    def fit(self, values: np.ndarray) -> GaussianMixtureModel:
         """Fit the mixture to ``values`` (an ``(m, n)`` array) and return ``self``."""
         values = np.asarray(values, dtype=float)
         if values.ndim != 2 or values.shape[0] < self.n_components:
@@ -232,7 +232,7 @@ class GenerativeModelClustering:
 
         # Central site: sample artificial data from the size-weighted combination
         # of the local models, then cluster the artificial sample.
-        total_objects = sum(site_sizes)
+        total_objects = int(sum(site_sizes))
         artificial_blocks = []
         for model, size in zip(local_models, site_sizes):
             n_samples = max(1, int(round(self.n_artificial_samples * size / total_objects)))

@@ -22,6 +22,8 @@ clustering quality can be compared with RBT's on the same workloads.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from .._validation import check_integer_in_range, check_positive, ensure_rng
@@ -156,15 +158,20 @@ class VerticallyPartitionedKMeans:
                 [np.bincount(new_labels, minlength=self.n_clusters).astype(float) for _ in parties],
                 label=f"iter{iteration}-counts",
             ) / len(parties)
-            movement = 0.0
+            movement_terms = []
             for party_index, party in enumerate(parties):
                 sums, _ = party.local_cluster_sums(new_labels, self.n_clusters)
                 updated = fragments[party_index].copy()
                 for cluster in range(self.n_clusters):
                     if counts[cluster] > 0:
                         updated[cluster] = sums[cluster] / counts[cluster]
-                movement += float(np.sqrt(((updated - fragments[party_index]) ** 2).sum()))
+                movement_terms.append(
+                    float(np.sqrt(((updated - fragments[party_index]) ** 2).sum()))
+                )
                 fragments[party_index] = updated
+            # fsum keeps the convergence test independent of the order the
+            # parties report their fragment movements.
+            movement = math.fsum(movement_terms)
 
             labels = new_labels
             if movement <= self.tolerance:

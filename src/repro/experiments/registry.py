@@ -24,7 +24,7 @@ noise and swapping do not consume identical random streams.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -91,7 +91,7 @@ def derive_seed(seed: int, *parts: str) -> int:
     Stable across processes and Python versions (unlike ``hash``), so cached
     results stay valid and parallel runs reproduce serial ones.
     """
-    digest = hashlib.sha256(":".join([str(int(seed)), *parts]).encode("utf-8")).digest()
+    digest = hashlib.sha256(":".join([str(int(seed)), *parts]).encode()).digest()
     return int.from_bytes(digest[:4], "big")
 
 

@@ -15,9 +15,10 @@ aggregates them over seeds, and emits:
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass
 from statistics import mean
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
 from ..exceptions import ExperimentError
 
@@ -67,7 +68,7 @@ class ResultsTable:
     rows: tuple[dict, ...]
 
     @classmethod
-    def from_rows(cls, spec: "ExperimentSpec", rows: Sequence[dict]) -> "ResultsTable":
+    def from_rows(cls, spec: ExperimentSpec, rows: Sequence[dict]) -> ResultsTable:
         """Build a table from finished rows, validating completeness."""
         missing = [index for index, row in enumerate(rows) if row is None]
         if missing:

@@ -51,7 +51,7 @@ class _IdentityStreamFitter:
     def state(self) -> dict:
         return {}
 
-    def merge_state(self, state) -> "_IdentityStreamFitter":
+    def merge_state(self, state) -> _IdentityStreamFitter:
         return self
 
 

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
 
 from ..exceptions import ExperimentError
 
@@ -52,7 +52,7 @@ def canonical_json(payload) -> str:
 
 def content_hash(payload) -> str:
     """SHA-256 hex digest of the canonical JSON form of ``payload``."""
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 def _as_params(value, *, context: str) -> dict:
@@ -88,7 +88,7 @@ class AxisSpec:
         object.__setattr__(self, "params", _as_params(self.params, context=self.name))
 
     @classmethod
-    def parse(cls, value, *, axis: str) -> "AxisSpec":
+    def parse(cls, value, *, axis: str) -> AxisSpec:
         """Build an :class:`AxisSpec` from JSON (a string or ``{name, params}``)."""
         if isinstance(value, str):
             return cls(value)
@@ -343,7 +343,7 @@ class ExperimentSpec:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+    def from_dict(cls, payload: Mapping) -> ExperimentSpec:
         """Build a spec from parsed JSON, validating the schema."""
         if not isinstance(payload, Mapping):
             raise ExperimentError(f"an experiment spec must be a JSON object, got {payload!r}")
@@ -406,7 +406,7 @@ class ExperimentSpec:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "ExperimentSpec":
+    def from_json(cls, text: str) -> ExperimentSpec:
         """Parse a spec from a JSON string."""
         try:
             payload = json.loads(text)
@@ -415,7 +415,7 @@ class ExperimentSpec:
         return cls.from_dict(payload)
 
     @classmethod
-    def load(cls, path) -> "ExperimentSpec":
+    def load(cls, path) -> ExperimentSpec:
         """Load a spec from a JSON file."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 

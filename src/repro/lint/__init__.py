@@ -1,0 +1,43 @@
+"""``repro lint`` — the AST-based contract linter.
+
+PRs 4–8 established the repository's core guarantees — byte-identical
+releases across chunk sizes, backends, shard splits and append schedules —
+but each guarantee was enforced only by runtime tests.  A single unseeded
+``default_rng()``, a set-order iteration, a builtin float ``sum()`` or a
+non-atomic ``open(path, "w")`` in a *new* module silently re-opens the
+class of bugs those PRs closed, and no byte-identity test catches it until
+the flake lands.
+
+This package encodes the invariants as static lint rules (stdlib
+:mod:`ast`, no new dependencies) so violations fail CI before any test can
+flake.  Rules are small visitor classes registered by decorator under
+stable ``RPR0xx`` codes; each one documents the contract it guards and the
+PR that motivated it.  The engine supports inline suppressions with an
+unused-suppression check, a committed baseline for grandfathered findings,
+and a TOML config (``[tool.repro-lint]``) for path scoping.
+
+Run it as ``repro lint [paths...]`` or ``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, diagnostic_fingerprint
+from .config import LintConfig, load_config
+from .diagnostics import JSON_SCHEMA_VERSION, Diagnostic
+from .engine import LintReport, lint_paths, lint_source
+from .rules import RULES, Rule, register_rule
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "diagnostic_fingerprint",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register_rule",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — standalone entry point for the contract linter."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Committed baseline for grandfathered findings.
+
+The baseline lets the gate be strict from day one: pre-existing debt is
+recorded once (``repro lint --write-baseline``) and CI fails on any *new*
+finding.  Entries match by a content fingerprint — file key, rule code,
+the stripped source line text and an occurrence index — so they survive
+unrelated line-number drift but die with the code they describe; a stale
+entry (nothing matches it any more) is reported so the file shrinks as
+debt is paid down.
+
+The policy for *intentional* exemptions is inline suppressions with a
+justification, not baseline entries; the committed baseline is expected
+to stay empty (see docs/LINTING.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..exceptions import SerializationError
+from .diagnostics import Diagnostic
+
+__all__ = ["BASELINE_SCHEMA_VERSION", "Baseline", "diagnostic_fingerprint"]
+
+#: On-disk baseline schema; bump on incompatible changes.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def diagnostic_fingerprint(diagnostic: Diagnostic, line_text: str, occurrence: int) -> str:
+    """Content fingerprint of one finding, stable under line-number drift."""
+    payload = "::".join(
+        [diagnostic.path, diagnostic.code, line_text.strip(), str(occurrence)]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class Baseline:
+    """Load/apply/regenerate the grandfathered-findings file."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries = list(entries or [])
+        self._by_fingerprint = {entry["fingerprint"]: entry for entry in self.entries}
+        self._matched: set[str] = set()
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise SerializationError(
+                f"baseline {path} must be a JSON object with an 'entries' list "
+                "(regenerate it with `repro lint --write-baseline`)"
+            )
+        version = payload.get("version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise SerializationError(
+                f"baseline {path} has schema version {version!r}, expected "
+                f"{BASELINE_SCHEMA_VERSION}; regenerate it with --write-baseline"
+            )
+        entries = payload["entries"]
+        for entry in entries:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise SerializationError(
+                    f"baseline {path} contains a malformed entry: {entry!r}"
+                )
+        return cls(entries)
+
+    def matches(self, fingerprint: str) -> bool:
+        """Whether a finding is grandfathered (marks the entry as live)."""
+        if fingerprint in self._by_fingerprint:
+            self._matched.add(fingerprint)
+            return True
+        return False
+
+    def stale_entries(self) -> list[dict]:
+        """Entries no current finding matches — debt that has been paid."""
+        return [
+            entry
+            for entry in self.entries
+            if entry["fingerprint"] not in self._matched
+        ]
+
+    @staticmethod
+    def build(findings: list[tuple[Diagnostic, str]]) -> dict:
+        """The JSON payload for a fresh baseline over ``(diagnostic, fingerprint)``."""
+        entries = [
+            {
+                "fingerprint": fingerprint,
+                "code": diagnostic.code,
+                "path": diagnostic.path,
+                "line": diagnostic.line,
+                "message": diagnostic.message,
+            }
+            for diagnostic, fingerprint in sorted(findings, key=lambda pair: pair[0])
+        ]
+        return {"version": BASELINE_SCHEMA_VERSION, "entries": entries}
+
+    @staticmethod
+    def save(payload: dict, path: str | Path) -> None:
+        """Atomically write a baseline payload (same contract RPR005 guards)."""
+        path = Path(path)
+        temporary = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        temporary.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(temporary, path)

@@ -1,0 +1,166 @@
+"""CLI for the contract linter (``repro lint`` / ``python -m repro.lint``).
+
+Exit codes (mirroring ``check_bench_regression.py``):
+
+* ``0`` — clean: no non-baselined findings (and, with
+  ``--fail-on-unused-suppression``, no stale suppressions).
+* ``1`` — findings (or unused suppressions under the flag): the output
+  lists every ``path:line:col`` anchor and what to do about it.
+* ``2`` — usage/config error: bad path, malformed config or baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..exceptions import ReproError
+from .baseline import Baseline
+from .config import LintConfig, load_config
+from .engine import lint_paths
+from .rules import RULES
+
+__all__ = ["configure_parser", "run", "main"]
+
+#: Default scan roots when neither the CLI nor the config names any.
+DEFAULT_PATHS = ("src/repro",)
+#: Default baseline location when neither the CLI nor the config names one.
+DEFAULT_BASELINE = "repro-lint-baseline.json"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint arguments (shared by ``repro lint`` and ``-m repro.lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to lint (default: config paths or {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="TOML file with a [tool.repro-lint] table (default: discovered "
+        "repro-lint.toml / pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="grandfathered-findings file (default: config baseline or "
+        f"{DEFAULT_BASELINE} next to the config)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on-unused-suppression",
+        action="store_true",
+        help="exit 1 when a repro-lint: disable= comment never fired (CI uses this)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostic output format (default text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with the contract it guards, then exit",
+    )
+
+
+def _list_rules() -> int:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        scope = ", ".join(rule.default_include) if rule.default_include else "all files"
+        print(f"{code} [{rule.name}] (scope: {scope})")
+        print(f"    {rule.contract}")
+    return 0
+
+
+def _resolve_baseline(args: argparse.Namespace, config: LintConfig) -> Path:
+    if args.baseline is not None:
+        return args.baseline
+    configured = config.resolved_baseline()
+    if configured is not None:
+        return configured
+    return config.root / DEFAULT_BASELINE
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        return _list_rules()
+    try:
+        config = load_config(args.config)
+        if args.paths:
+            paths = tuple(args.paths)
+        elif config.paths:
+            paths = config.resolved_paths()
+        else:
+            paths = tuple(Path(entry) for entry in DEFAULT_PATHS)
+        baseline_path = _resolve_baseline(args, config)
+
+        if args.write_baseline:
+            report = lint_paths(paths, config=config, baseline=None)
+            payload = Baseline.build(
+                [(d, report.fingerprints[d]) for d in report.findings]
+            )
+            Baseline.save(payload, baseline_path)
+            print(
+                f"baseline written to {baseline_path} "
+                f"({len(payload['entries'])} grandfathered finding(s))"
+            )
+            return 0
+
+        baseline = None
+        if not args.no_baseline and baseline_path.is_file():
+            baseline = Baseline.load(baseline_path)
+        report = lint_paths(paths, config=config, baseline=baseline)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_json_payload(), indent=2, sort_keys=True))
+    else:
+        print(report.to_text())
+
+    failing_unused = args.fail_on_unused_suppression and report.unused_suppressions
+    if report.findings or report.parse_errors or failing_unused:
+        if args.format == "text":
+            advice = []
+            if report.findings:
+                advice.append(
+                    "fix the findings, add a justified `# repro-lint: disable=CODE -- why` "
+                    "suppression, or (for pre-existing debt only) regenerate the baseline "
+                    "with --write-baseline"
+                )
+            if failing_unused:
+                advice.append("remove the unused suppression comments listed above")
+            print(f"FAIL: {'; '.join(advice)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point for ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based contract linter enforcing the repo's determinism, "
+        "atomicity and seeding invariants.",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))

@@ -1,0 +1,162 @@
+"""``[tool.repro-lint]`` configuration: path scoping and allowlists.
+
+The config lives in a ``[tool.repro-lint]`` table, read from (in order)
+an explicit ``--config`` path, ``repro-lint.toml`` or ``pyproject.toml``
+discovered upward from the working directory.  Keys::
+
+    [tool.repro-lint]
+    paths = ["src/repro"]            # default scan roots
+    exclude = ["repro/_vendored/"]   # module-key patterns never scanned
+    baseline = "repro-lint-baseline.json"
+
+    [tool.repro-lint.rules.RPR002]
+    allow = ["repro/distributed/federated.py"]  # extends the rule's allowlist
+
+    [tool.repro-lint.rules.RPR004]
+    include = ["repro/perf/"]        # replaces the rule's include scope
+
+Relative ``paths``/``baseline`` resolve against the config file's
+directory, so invocations behave identically from any CWD.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import ValidationError
+
+__all__ = ["CONFIG_FILENAMES", "LintConfig", "load_config"]
+
+#: File names probed (in order) in each directory walking upward.
+CONFIG_FILENAMES = ("repro-lint.toml", "pyproject.toml")
+
+_TOP_LEVEL_KEYS = {"paths", "exclude", "baseline", "rules"}
+_RULE_KEYS = {"include", "allow"}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration."""
+
+    paths: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    baseline: str | None = None
+    rule_includes: dict = field(default_factory=dict)
+    rule_allows: dict = field(default_factory=dict)
+    root: Path = field(default_factory=Path.cwd)
+    source: Path | None = None
+
+    def resolved_paths(self) -> tuple[Path, ...]:
+        return tuple(self.root / path for path in self.paths)
+
+    def resolved_baseline(self) -> Path | None:
+        return None if self.baseline is None else self.root / self.baseline
+
+    def include_for(self, rule) -> tuple[str, ...]:
+        """The include scope for a rule: config override or the rule default."""
+        return tuple(self.rule_includes.get(rule.code, rule.default_include))
+
+    def allow_for(self, rule) -> tuple[str, ...]:
+        """The allowlist for a rule: the rule default plus config additions."""
+        return tuple(rule.default_allow) + tuple(self.rule_allows.get(rule.code, ()))
+
+
+def _string_tuple(value, *, key: str, source: Path) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(item, str) for item in value):
+        raise ValidationError(
+            f"[tool.repro-lint] {key} in {source} must be a list of strings, got {value!r}"
+        )
+    return tuple(value)
+
+
+def _parse(table: dict, *, root: Path, source: Path) -> LintConfig:
+    unknown = set(table) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise ValidationError(
+            f"unknown [tool.repro-lint] key(s) {sorted(unknown)} in {source}; "
+            f"supported keys are {sorted(_TOP_LEVEL_KEYS)}"
+        )
+    baseline = table.get("baseline")
+    if baseline is not None and not isinstance(baseline, str):
+        raise ValidationError(
+            f"[tool.repro-lint] baseline in {source} must be a string path"
+        )
+    rule_includes: dict = {}
+    rule_allows: dict = {}
+    for code, entry in table.get("rules", {}).items():
+        from .rules import RULES
+
+        if code not in RULES:
+            raise ValidationError(
+                f"[tool.repro-lint.rules] names unknown rule {code!r} in {source}; "
+                f"registered rules are {', '.join(sorted(RULES))}"
+            )
+        if not isinstance(entry, dict):
+            raise ValidationError(
+                f"[tool.repro-lint.rules.{code}] in {source} must be a table"
+            )
+        unknown_rule_keys = set(entry) - _RULE_KEYS
+        if unknown_rule_keys:
+            raise ValidationError(
+                f"unknown key(s) {sorted(unknown_rule_keys)} in "
+                f"[tool.repro-lint.rules.{code}] in {source}; supported keys are "
+                f"{sorted(_RULE_KEYS)}"
+            )
+        if "include" in entry:
+            rule_includes[code] = _string_tuple(
+                entry["include"], key=f"rules.{code}.include", source=source
+            )
+        if "allow" in entry:
+            rule_allows[code] = _string_tuple(
+                entry["allow"], key=f"rules.{code}.allow", source=source
+            )
+    return LintConfig(
+        paths=_string_tuple(table.get("paths", []), key="paths", source=source),
+        exclude=_string_tuple(table.get("exclude", []), key="exclude", source=source),
+        baseline=baseline,
+        rule_includes=rule_includes,
+        rule_allows=rule_allows,
+        root=root,
+        source=source,
+    )
+
+
+def _read_table(path: Path) -> dict | None:
+    try:
+        with path.open("rb") as handle:
+            payload = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as exc:
+        raise ValidationError(f"config {path} is not valid TOML: {exc}") from exc
+    table = payload.get("tool", {}).get("repro-lint")
+    if table is None:
+        return None
+    if not isinstance(table, dict):
+        raise ValidationError(f"[tool.repro-lint] in {path} must be a table")
+    return table
+
+
+def load_config(explicit: str | Path | None = None, start: str | Path | None = None) -> LintConfig:
+    """Load the lint config (explicit path, or discovered upward from ``start``).
+
+    Returns an empty config when no file defines ``[tool.repro-lint]`` —
+    the CLI then falls back to its own defaults.
+    """
+    if explicit is not None:
+        path = Path(explicit)
+        if not path.is_file():
+            raise ValidationError(f"lint config {path} does not exist")
+        table = _read_table(path)
+        if table is None:
+            raise ValidationError(f"lint config {path} has no [tool.repro-lint] table")
+        return _parse(table, root=path.resolve().parent, source=path)
+    directory = Path(start if start is not None else Path.cwd()).resolve()
+    for candidate_dir in (directory, *directory.parents):
+        for name in CONFIG_FILENAMES:
+            candidate = candidate_dir / name
+            if candidate.is_file():
+                table = _read_table(candidate)
+                if table is not None:
+                    return _parse(table, root=candidate_dir, source=candidate)
+    return LintConfig(root=directory)

@@ -1,0 +1,47 @@
+"""Diagnostic records and their stable text / JSON renderings.
+
+The JSON layout is a public contract (CI and editor integrations parse
+it); ``JSON_SCHEMA_VERSION`` is bumped on any incompatible change and the
+schema is pinned by ``tests/test_lint_engine.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["JSON_SCHEMA_VERSION", "Diagnostic"]
+
+#: Version tag carried by every JSON report; bump on incompatible changes.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule ``code`` anchored at ``path:line:column``.
+
+    The field order doubles as the sort order, so reports are emitted in a
+    deterministic ``(path, line, column, code)`` sequence regardless of the
+    order rules ran in.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    name: str
+    message: str
+
+    def format_text(self) -> str:
+        """The one-line ``path:line:col: CODE [name] message`` rendering."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} [{self.name}] {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-safe payload (key set pinned by the schema test)."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }

@@ -1,0 +1,275 @@
+"""The lint engine: walk files, run rules, apply suppressions and baseline.
+
+Everything downstream of this module is deterministic by construction:
+files are scanned in sorted order, rules run in code order, and the
+report sorts findings by ``(path, line, column, code)`` — the same bytes
+out for the same tree in, which is what lets CI diff lint output.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import ValidationError
+from .baseline import Baseline, diagnostic_fingerprint
+from .config import LintConfig
+from .diagnostics import JSON_SCHEMA_VERSION, Diagnostic
+from .rules import RULES, match_patterns
+from .suppressions import apply_suppressions, parse_suppressions
+
+__all__ = ["FileContext", "LintReport", "lint_paths", "lint_source", "module_key"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one parsed file."""
+
+    path: Path
+    key: str
+    tree: ast.AST
+    text: str
+    lines: list[str]
+    _parents: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (``None`` for the module root)."""
+        return self._parents.get(node)
+
+    def source(self, node: ast.AST) -> str:
+        """The source text of ``node`` (empty when unavailable)."""
+        return ast.get_source_segment(self.text, node) or ""
+
+    def line_text(self, line: int) -> str:
+        """The 1-based source line, or ``""`` past EOF."""
+        return self.lines[line - 1] if 1 <= line <= len(self.lines) else ""
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of one lint run."""
+
+    findings: list[Diagnostic]
+    fingerprints: dict[Diagnostic, str]
+    files_scanned: int
+    suppressed: int
+    baselined: int
+    unused_suppressions: list[dict]
+    stale_baseline: list[dict]
+    parse_errors: list[dict]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_json_payload(self) -> dict:
+        """The stable JSON report (schema pinned by the engine tests)."""
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "findings": [diagnostic.as_dict() for diagnostic in self.findings],
+            "unused_suppressions": self.unused_suppressions,
+            "stale_baseline": self.stale_baseline,
+            "parse_errors": self.parse_errors,
+            "summary": {
+                "files_scanned": self.files_scanned,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "unused_suppressions": len(self.unused_suppressions),
+                "stale_baseline": len(self.stale_baseline),
+            },
+        }
+
+    def to_text(self) -> str:
+        """Human-readable report, one ``path:line:col`` anchor per line."""
+        lines = [diagnostic.format_text() for diagnostic in self.findings]
+        for error in self.parse_errors:
+            lines.append(f"{error['path']}:{error['line']}:1: PARSE [syntax-error] {error['message']}")
+        for unused in self.unused_suppressions:
+            lines.append(
+                f"{unused['path']}:{unused['line']}:1: UNUSED [unused-suppression] "
+                f"suppression for {unused['code']} never fired — remove it"
+            )
+        for stale in self.stale_baseline:
+            lines.append(
+                f"{stale['path']}:{stale['line']}:1: STALE [stale-baseline] baseline entry "
+                f"for {stale['code']} no longer matches — regenerate with --write-baseline"
+            )
+        summary = (
+            f"{self.files_scanned} file(s) scanned: {len(self.findings)} finding(s), "
+            f"{self.suppressed} suppressed, {self.baselined} baselined, "
+            f"{len(self.unused_suppressions)} unused suppression(s)"
+        )
+        return "\n".join([*lines, summary])
+
+
+def module_key(path: Path, root: Path) -> str:
+    """The POSIX module key rules scope on (``repro/perf/kernels.py``).
+
+    Keys anchor at the last ``repro`` package directory when present (so
+    the same file gets the same key whether the scan root was ``src`` or
+    ``src/repro``); other files key relative to the scan root.
+    """
+    resolved = path.resolve()
+    parts = resolved.parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[anchor:])
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return resolved.name
+
+
+def iter_python_files(paths: tuple[Path, ...]) -> list[Path]:
+    """Every ``.py`` file under the given paths, sorted and de-duplicated."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            found.add(path.resolve())
+        elif path.is_dir():
+            # RPR003 contract applied to ourselves: rglob yields filesystem
+            # order, so the scan order is pinned by sorted().
+            found.update(entry.resolve() for entry in sorted(path.rglob("*.py")))
+        else:
+            raise ValidationError(f"lint path {path} does not exist")
+    return sorted(entry for entry in found if "__pycache__" not in entry.parts)
+
+
+def _sorted_unique(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Sort and collapse identical diagnostics to one.
+
+    Two AST nodes can anchor the same report — ``a @ b @ c`` is two MatMult
+    BinOps at one column — and a duplicate anchor would double-count in the
+    summary and break the occurrence-indexed baseline fingerprints.
+    """
+    return sorted(set(diagnostics))
+
+
+def _rule_applies(rule, key: str, config: LintConfig) -> bool:
+    include = config.include_for(rule)
+    if include and not match_patterns(key, include):
+        return False
+    return not match_patterns(key, config.allow_for(rule))
+
+
+def lint_source(
+    text: str,
+    *,
+    key: str = "<memory>.py",
+    path: Path | None = None,
+    config: LintConfig | None = None,
+    rules=None,
+) -> tuple[list[Diagnostic], list]:
+    """Lint one in-memory source blob; returns ``(diagnostics, suppressions)``.
+
+    Suppressions are applied; the raw suppression objects are returned so
+    callers (and tests) can inspect usage.  ``rules`` limits the run to an
+    explicit iterable of rule objects (default: every registered rule).
+    """
+    config = config or LintConfig()
+    tree = ast.parse(text)
+    context = FileContext(
+        path=path or Path(key),
+        key=key,
+        tree=tree,
+        text=text,
+        lines=text.splitlines(),
+    )
+    active = list(rules) if rules is not None else [RULES[code] for code in sorted(RULES)]
+    diagnostics: list[Diagnostic] = []
+    for rule in active:
+        if _rule_applies(rule, context.key, config):
+            diagnostics.extend(rule.check(context))
+    diagnostics = _sorted_unique(diagnostics)
+    suppressions = parse_suppressions(context.lines)
+    kept, _ = apply_suppressions(diagnostics, suppressions)
+    return kept, suppressions
+
+
+def lint_paths(
+    paths: tuple[Path, ...],
+    *,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run every applicable rule over the Python files under ``paths``."""
+    config = config or LintConfig()
+    files = iter_python_files(paths)
+    root = paths[0] if paths else Path.cwd()
+    all_findings: list[Diagnostic] = []
+    fingerprints: dict[Diagnostic, str] = {}
+    unused: list[dict] = []
+    parse_errors: list[dict] = []
+    suppressed_total = 0
+    baselined_total = 0
+    scanned = 0
+
+    for file_path in files:
+        key = module_key(file_path, root)
+        if match_patterns(key, config.exclude):
+            continue
+        scanned += 1
+        text = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(file_path))
+        except SyntaxError as exc:
+            parse_errors.append(
+                {"path": key, "line": exc.lineno or 1, "message": f"cannot parse: {exc.msg}"}
+            )
+            continue
+        context = FileContext(
+            path=file_path, key=key, tree=tree, text=text, lines=text.splitlines()
+        )
+        diagnostics: list[Diagnostic] = []
+        for code in sorted(RULES):
+            rule = RULES[code]
+            if _rule_applies(rule, key, config):
+                diagnostics.extend(rule.check(context))
+        diagnostics = _sorted_unique(diagnostics)
+        suppressions = parse_suppressions(context.lines)
+        kept, n_suppressed = apply_suppressions(diagnostics, suppressions)
+        suppressed_total += n_suppressed
+        for suppression in suppressions:
+            for code in suppression.unused_codes():
+                unused.append({"path": key, "line": suppression.line, "code": code})
+
+        occurrence: dict[tuple, int] = {}
+        for diagnostic in kept:
+            line_text = context.line_text(diagnostic.line)
+            bucket = (diagnostic.path, diagnostic.code, line_text.strip())
+            index = occurrence.get(bucket, 0)
+            occurrence[bucket] = index + 1
+            fingerprint = diagnostic_fingerprint(diagnostic, line_text, index)
+            if baseline is not None and baseline.matches(fingerprint):
+                baselined_total += 1
+                continue
+            fingerprints[diagnostic] = fingerprint
+            all_findings.append(diagnostic)
+
+    all_findings.sort()
+    stale = [] if baseline is None else [
+        {
+            "path": entry.get("path", "?"),
+            "line": entry.get("line", 0),
+            "code": entry.get("code", "?"),
+            "fingerprint": entry["fingerprint"],
+        }
+        for entry in baseline.stale_entries()
+    ]
+    return LintReport(
+        findings=all_findings,
+        fingerprints=fingerprints,
+        files_scanned=scanned,
+        suppressed=suppressed_total,
+        baselined=baselined_total,
+        unused_suppressions=sorted(unused, key=lambda u: (u["path"], u["line"], u["code"])),
+        stale_baseline=stale,
+        parse_errors=parse_errors,
+    )

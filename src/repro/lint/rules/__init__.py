@@ -1,0 +1,137 @@
+"""Rule registry for the contract linter.
+
+A rule is a small class with a stable ``RPR0xx`` code, a human name, a
+``contract`` paragraph documenting the invariant it guards (and the PR
+that motivated it), optional default path scoping, and a ``check``
+method yielding :class:`~repro.lint.diagnostics.Diagnostic` objects for
+one parsed file.  Registration is by decorator::
+
+    @register_rule
+    class MyRule(Rule):
+        code = "RPR042"
+        name = "my-invariant"
+        contract = "..."
+
+        def check(self, context):
+            ...
+
+Path scoping: ``default_include`` limits a rule to the modules whose
+invariant it encodes (empty means every scanned file); ``default_allow``
+exempts modules that *implement* the guarded seam (e.g. the backends env
+seam for RPR009).  Both are extendable per-rule from the
+``[tool.repro-lint]`` config.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from typing import ClassVar
+
+from ...exceptions import ValidationError
+from ..diagnostics import Diagnostic
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "dotted_name",
+    "match_patterns",
+    "register_rule",
+]
+
+
+class Rule:
+    """Base class for lint rules; subclasses set the class attributes."""
+
+    #: Stable diagnostic code, ``RPR`` + three digits.
+    code: ClassVar[str]
+    #: Short kebab-case rule name shown next to the code.
+    name: ClassVar[str]
+    #: The invariant this rule guards and the PR that motivated it.
+    contract: ClassVar[str]
+    #: Module-key patterns the rule is limited to (empty: every file).
+    default_include: ClassVar[tuple[str, ...]] = ()
+    #: Module-key patterns exempt because they implement the guarded seam.
+    default_allow: ClassVar[tuple[str, ...]] = ()
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one :class:`~repro.lint.engine.FileContext`."""
+        raise NotImplementedError
+
+    def diagnostic(self, context, node: ast.AST, message: str) -> Diagnostic:
+        """A :class:`Diagnostic` for ``node`` carrying this rule's identity."""
+        return Diagnostic(
+            path=context.key,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            name=self.name,
+            message=message,
+        )
+
+
+#: Registered rules, keyed by code (populated by :func:`register_rule`).
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Instantiate and register a rule class under its code."""
+    rule = cls()
+    for attribute in ("code", "name", "contract"):
+        if not getattr(rule, attribute, None):
+            raise ValidationError(f"rule {cls.__name__} must define a non-empty {attribute!r}")
+    if not (rule.code.startswith("RPR") and rule.code[3:].isdigit() and len(rule.code) == 6):
+        raise ValidationError(f"rule code must look like RPR0xx, got {rule.code!r}")
+    if rule.code in RULES:
+        raise ValidationError(
+            f"duplicate rule code {rule.code}: {cls.__name__} vs {type(RULES[rule.code]).__name__}"
+        )
+    RULES[rule.code] = rule
+    return cls
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted source name of an attribute chain (``np.random.seed``).
+
+    Returns ``None`` when the chain does not bottom out in a plain name
+    (e.g. a call result or subscript), which no name-based rule matches.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def match_patterns(key: str, patterns: Iterable[str]) -> bool:
+    """Whether a module key matches any pattern.
+
+    A pattern ending in ``/`` is a directory prefix; anything else must
+    match the key exactly or as an ``fnmatch`` glob.  Keys are POSIX
+    module paths like ``repro/perf/kernels.py``.
+    """
+    from fnmatch import fnmatch
+
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if key.startswith(pattern):
+                return True
+        elif key == pattern or fnmatch(key, pattern):
+            return True
+    return False
+
+
+def _load_rule_modules() -> None:
+    # Importing the rule modules runs their @register_rule decorators; the
+    # alias form keeps the imports visibly "used" for the pyflakes pass.
+    from . import determinism, hygiene, numerics, persistence
+
+    modules = (determinism, hygiene, numerics, persistence)
+    if not all(modules):  # pragma: no cover - import machinery guard
+        raise ImportError("rule modules failed to import")
+
+
+_load_rule_modules()

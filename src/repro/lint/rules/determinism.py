@@ -1,0 +1,244 @@
+"""Determinism rules: seeding, wall-clock entropy, iteration order.
+
+These guard the repo's foundational contract — the same inputs and seeds
+produce the same released bytes on every machine, chunk size, backend and
+shard split (PRs 4, 6, 7, 8).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..diagnostics import Diagnostic
+from . import Rule, dotted_name, register_rule
+
+__all__ = ["UnorderedIterationRule", "UnseededRngRule", "WallClockRule"]
+
+#: Functions on NumPy's module-level *global* RNG: shared mutable state
+#: whose stream depends on everything else that touched it.
+_NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "seed",
+        "normal",
+        "uniform",
+        "choice",
+        "shuffle",
+        "permutation",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+    }
+)
+
+#: Functions on the stdlib ``random`` module's global instance.
+_STDLIB_GLOBAL_RNG = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "seed",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+    }
+)
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    code = "RPR001"
+    name = "unseeded-rng"
+    contract = (
+        "Every random draw must flow from an explicit seed: attacks, pair "
+        "selection and experiment trials are reproducible because "
+        "random_state is threaded end to end (PRs 2, 5).  An unseeded "
+        "default_rng()/Random() or any use of the numpy/stdlib *global* RNG "
+        "makes results depend on interpreter history and process identity."
+    )
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            unseeded = not node.args and not node.keywords
+            if (dotted == "default_rng" or dotted.endswith(".default_rng")) and unseeded:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "unseeded default_rng() — pass an explicit seed or a Generator "
+                    "threaded from random_state",
+                )
+            elif dotted in ("Random", "random.Random") and unseeded:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "unseeded random.Random() — pass an explicit seed",
+                )
+            elif (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] in _NUMPY_GLOBAL_RNG
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"numpy global RNG ({dotted}) — use a seeded np.random.default_rng(...) "
+                    "Generator instead of module-level state",
+                )
+            elif len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_GLOBAL_RNG:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"stdlib global RNG ({dotted}) — use a seeded random.Random(seed) instance",
+                )
+
+
+#: Exact dotted names that read wall-clock time or OS entropy.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+    }
+)
+
+#: ``datetime``-family constructors that capture "now".
+_NOW_SUFFIXES = (".now", ".utcnow", ".today")
+
+
+@register_rule
+class WallClockRule(Rule):
+    code = "RPR002"
+    name = "wall-clock"
+    contract = (
+        "Released artifacts, cache keys and report rows are byte-reproducible; "
+        "wall-clock reads and OS entropy may only feed the explicitly-timed "
+        "surfaces (the CommunicationLedger and elapsed-seconds fields, which "
+        "are excluded from byte-identity — PR 7).  Those modules are "
+        "allowlisted in [tool.repro-lint.rules.RPR002]; everywhere else a "
+        "time.*/datetime.now/os.urandom call is a nondeterminism leak."
+    )
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _WALL_CLOCK:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"wall-clock/entropy read ({dotted}) outside the timing allowlist — "
+                    "derive values from inputs and seeds, or allowlist the module "
+                    "in the lint config with a justification",
+                )
+            elif dotted.endswith(_NOW_SUFFIXES) and any(
+                part in ("datetime", "date") for part in dotted.split(".")
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"wall-clock read ({dotted}) — timestamps do not belong in "
+                    "deterministic artifacts",
+                )
+
+
+#: Bare constructors whose iteration order is hash- or OS-dependent.
+_UNORDERED_CONSTRUCTORS = frozenset({"set", "frozenset"})
+#: Set methods returning new unordered sets.
+_UNORDERED_METHODS = frozenset({"union", "intersection", "difference", "symmetric_difference"})
+#: Filesystem enumerations whose order is OS/filesystem-dependent.
+_FS_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+_FS_METHODS = frozenset({"iterdir", "glob", "rglob"})
+#: Consumers whose output depends on the input *order*.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+
+def _is_unordered(expr: ast.AST) -> str | None:
+    """The reason an expression's iteration order is nondeterministic."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set iteration order is hash-randomized"
+    if isinstance(expr, ast.Call):
+        dotted = dotted_name(expr.func)
+        if dotted in _UNORDERED_CONSTRUCTORS or (
+            dotted is not None and dotted in _FS_CALLS
+        ):
+            return f"{dotted}(...) yields a nondeterministic order"
+        if isinstance(expr.func, ast.Attribute):
+            attr = expr.func.attr
+            if attr in _UNORDERED_METHODS:
+                return f".{attr}(...) returns a set (hash-randomized order)"
+            if attr in _FS_METHODS:
+                return f".{attr}(...) yields filesystem order"
+    return None
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    code = "RPR003"
+    name = "unordered-iteration"
+    contract = (
+        "Any iteration that feeds accumulation, serialization or hashing "
+        "must have a deterministic order: set iteration is hash-randomized "
+        "per process and directory listings follow filesystem order, so "
+        "both break the byte-identity and content-hash-cache contracts "
+        "(PRs 2, 4, 5).  Wrap the iterable in sorted(...)."
+    )
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            candidates: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                candidates.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                candidates.extend(generator.iter for generator in node.generators)
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                is_join = isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                if dotted in _ORDER_SENSITIVE_CALLS or is_join:
+                    candidates.extend(node.args)
+            for candidate in candidates:
+                # enumerate(set(...)) is as unordered as the set itself.
+                if (
+                    isinstance(candidate, ast.Call)
+                    and dotted_name(candidate.func) == "enumerate"
+                    and candidate.args
+                ):
+                    candidate = candidate.args[0]
+                reason = _is_unordered(candidate)
+                if reason is not None:
+                    yield self.diagnostic(
+                        context,
+                        candidate,
+                        f"iteration order is nondeterministic ({reason}) — wrap in sorted(...)",
+                    )

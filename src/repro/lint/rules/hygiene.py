@@ -1,0 +1,91 @@
+"""Hygiene rules: configuration seams and exception discipline."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..diagnostics import Diagnostic
+from . import Rule, dotted_name, register_rule
+
+__all__ = ["EnvironOutsideSeamRule", "OverbroadExceptRule"]
+
+
+@register_rule
+class EnvironOutsideSeamRule(Rule):
+    code = "RPR009"
+    name = "environ-outside-seam"
+    contract = (
+        "Environment configuration enters the library through exactly one "
+        "seam — perf/backends.py resolves REPRO_BACKEND/REPRO_KERNEL_WORKERS "
+        "and pool workers pin their own defaults there (PR 6).  os.environ "
+        "reads scattered elsewhere make behaviour depend on ambient state "
+        "that caches, worker processes and tests cannot see or control."
+    )
+    default_allow = ("repro/perf/backends.py",)
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Attribute) and dotted_name(node) == "os.environ":
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "os.environ access outside the backends env seam — accept the value "
+                    "as an argument and resolve it in perf/backends.py",
+                )
+            elif isinstance(node, ast.Call) and dotted_name(node.func) == "os.getenv":
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "os.getenv outside the backends env seam — accept the value as an "
+                    "argument and resolve it in perf/backends.py",
+                )
+
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(handler_type: ast.AST | None) -> list[str]:
+    if handler_type is None:
+        return ["bare except"]
+    candidates = (
+        handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    )
+    names = []
+    for candidate in candidates:
+        dotted = dotted_name(candidate)
+        if dotted is not None and dotted.split(".")[-1] in _BROAD:
+            names.append(dotted)
+    return names
+
+
+@register_rule
+class OverbroadExceptRule(Rule):
+    code = "RPR010"
+    name = "overbroad-except"
+    contract = (
+        "Every library failure derives from ReproError so callers can "
+        "distinguish failure modes; a bare except or except Exception that "
+        "does not re-raise swallows ValidationError/BundleError/... and "
+        "turns contract violations into silent fallbacks — every PR's "
+        "byte-identity gate relies on such violations surfacing loudly.  "
+        "Catch the specific exceptions, or convert with "
+        "`raise X(...) from exc`."
+    )
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _broad_names(node.type)
+            if not names:
+                continue
+            if any(isinstance(inner, ast.Raise) for inner in ast.walk(node)):
+                continue  # re-raising / converting is the accepted pattern
+            label = ", ".join(names)
+            yield self.diagnostic(
+                context,
+                node,
+                f"overbroad handler ({label}) swallows ReproError subclasses — catch "
+                "specific exceptions or re-raise with `raise X(...) from exc`",
+            )

@@ -1,0 +1,238 @@
+"""Floating-point rules: accumulation order, lossy formatting, BLAS shapes.
+
+These guard the exact-arithmetic contracts: chunk-invariant accumulators
+(PR 4/7), hex-float wire formats (PR 8) and shape-invariant BLAS kernels
+(PR 6).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from ..diagnostics import Diagnostic
+from . import Rule, dotted_name, register_rule
+
+__all__ = ["FloatAccumulationRule", "LossyFloatFormatRule", "VariableShapeBlasRule"]
+
+
+def _parent_is_int_call(context, node: ast.AST) -> bool:
+    parent = context.parent(node)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id == "int"
+    )
+
+
+@register_rule
+class FloatAccumulationRule(Rule):
+    code = "RPR004"
+    name = "float-accumulation"
+    contract = (
+        "Builtin sum() and running `x += ...` loops accumulate left-to-right, "
+        "so their rounding depends on chunk boundaries and iteration order; "
+        "the streaming layers are byte-identical across chunk sizes only "
+        "because every float reduction routes through StreamingMoments or "
+        "math.fsum (PRs 4, 7).  In perf/, pipeline/ and distributed/, wrap "
+        "integer counter sums in int(...) to assert exactness, and route "
+        "float reductions through the exact accumulators."
+    )
+    default_include = ("repro/perf/", "repro/pipeline/", "repro/distributed/")
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and not _parent_is_int_call(context, node)
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "builtin sum() rounds left-to-right (chunk-order dependent) — use "
+                    "math.fsum/StreamingMoments for floats, or int(sum(...)) to assert "
+                    "an exact integer sum",
+                )
+        # ast.walk visits nested functions and nested loops repeatedly from
+        # their enclosing scopes; the seen set keeps each AugAssign to one
+        # diagnostic no matter how deeply it is nested.
+        seen: set[ast.AugAssign] = set()
+        for function in ast.walk(context.tree):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._float_loops(context, function, seen)
+
+    def _float_loops(
+        self, context, function: ast.AST, seen: set[ast.AugAssign]
+    ) -> Iterator[Diagnostic]:
+        float_inits: set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+                if isinstance(node.value.value, float):
+                    float_inits.update(
+                        target.id for target in node.targets if isinstance(target, ast.Name)
+                    )
+        if not float_inits:
+            return
+        for loop in ast.walk(function):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if (
+                    isinstance(node, ast.AugAssign)
+                    and node not in seen
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id in float_inits
+                ):
+                    seen.add(node)
+                    yield self.diagnostic(
+                        context,
+                        node,
+                        f"running float accumulation ({node.target.id} += ...) in a loop — "
+                        "rounding depends on iteration order; use math.fsum or "
+                        "StreamingMoments",
+                    )
+
+
+#: printf-style conversions that truncate a double's 17 significant digits.
+_LOSSY_PERCENT = re.compile(r"%[#0\- +]*\d*(?:\.\d+)?[efgEFG]")
+#: Format-spec fragments (f-string / format()) that do the same.
+_LOSSY_SPEC = re.compile(r"\.\d+[efgEFG%]|[efgEFG]$")
+
+
+@register_rule
+class LossyFloatFormatRule(Rule):
+    code = "RPR006"
+    name = "lossy-float-format"
+    contract = (
+        "Wire formats round-trip doubles bit-for-bit: CSV cells use the "
+        "shortest-repr form and bundle manifests use C99 hex floats, "
+        "negative zero and subnormals included (PRs 4, 8).  In the "
+        "serialization modules, %.Nf/%e/%g conversions, digit-limited "
+        "format specs and round(x, n) silently destroy that contract."
+    )
+    default_include = (
+        "repro/data/io.py",
+        "repro/pipeline/bundle_format.py",
+        "repro/core/secrets.py",
+        "repro/perf/streaming.py",
+    )
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(context, node)
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Mod)
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+                and _LOSSY_PERCENT.search(node.left.value)
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"lossy printf float conversion ({node.left.value!r}) in a wire-format "
+                    "module — use repr() (shortest round-trip) or float.hex()",
+                )
+            elif isinstance(node, ast.FormattedValue) and node.format_spec is not None:
+                spec = "".join(
+                    part.value
+                    for part in ast.walk(node.format_spec)
+                    if isinstance(part, ast.Constant) and isinstance(part.value, str)
+                )
+                if _LOSSY_SPEC.search(spec):
+                    yield self.diagnostic(
+                        context,
+                        node,
+                        f"digit-limited format spec ({spec!r}) in a wire-format module — "
+                        "use repr() or float.hex() for persisted values",
+                    )
+
+    def _check_call(self, context, node: ast.Call) -> Iterator[Diagnostic]:
+        dotted = dotted_name(node.func)
+        if dotted == "round" and len(node.args) >= 2:
+            yield self.diagnostic(
+                context,
+                node,
+                "round(x, n) before serialization truncates the value — persist the "
+                "full double and format only at presentation time",
+            )
+        elif dotted == "format" and len(node.args) == 2:
+            spec = node.args[1]
+            if (
+                isinstance(spec, ast.Constant)
+                and isinstance(spec.value, str)
+                and _LOSSY_SPEC.search(spec.value)
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"digit-limited format({spec.value!r}) in a wire-format module — "
+                    "use repr() or float.hex()",
+                )
+
+
+#: numpy entry points that dispatch to shape-dependent BLAS reductions.
+_BLAS_CALLS = frozenset(
+    {
+        "np.dot",
+        "np.matmul",
+        "np.einsum",
+        "np.inner",
+        "np.vdot",
+        "np.tensordot",
+        "numpy.dot",
+        "numpy.matmul",
+        "numpy.einsum",
+        "numpy.inner",
+        "numpy.vdot",
+        "numpy.tensordot",
+    }
+)
+
+
+@register_rule
+class VariableShapeBlasRule(Rule):
+    code = "RPR007"
+    name = "variable-shape-blas"
+    contract = (
+        "BLAS reduction bits depend on operand shapes, so a GEMM over a "
+        "chunk-sized block produces different last-ulp results for "
+        "different block decompositions; PR 6 made the euclidean kernel "
+        "chunk-invariant by fixing every product's shape (per-row matvecs, "
+        "2x2 rotations).  Every matmul in the kernel modules must be "
+        "shape-invariant by construction and carry a suppression saying "
+        "why — an unmarked one is a bit-drift risk."
+    )
+    default_include = (
+        "repro/perf/kernels.py",
+        "repro/perf/streaming.py",
+        "repro/core/rotation.py",
+        "repro/attacks/streamed.py",
+    )
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "matmul (@) in a kernel module — BLAS bits vary with operand shape; "
+                    "confirm the shapes are block-invariant and suppress with the reason",
+                )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                is_method_dot = isinstance(node.func, ast.Attribute) and node.func.attr == "dot"
+                if dotted in _BLAS_CALLS or (is_method_dot and dotted not in _BLAS_CALLS):
+                    label = dotted if dotted in _BLAS_CALLS else ".dot(...)"
+                    yield self.diagnostic(
+                        context,
+                        node,
+                        f"BLAS call ({label}) in a kernel module — confirm the operand "
+                        "shapes are block-invariant and suppress with the reason",
+                    )

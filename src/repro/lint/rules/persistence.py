@@ -1,0 +1,183 @@
+"""Persistence rules: atomic on-disk state and read-only result arrays.
+
+These guard the crash-safety contract of the modules that own durable
+state (PR 8: temp-in-dir + ``os.replace``, manifest flipped last) and the
+mutability-hardening policy on attack results (PRs 3, 5).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..diagnostics import Diagnostic
+from . import Rule, dotted_name, register_rule
+
+__all__ = ["NonAtomicWriteRule", "WritableDetailArraysRule"]
+
+_WRITE_MODES = ("w", "a", "x")
+
+
+def _constant_str(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _write_mode(call: ast.Call, position: int) -> str | None:
+    """The mode string of an ``open``-style call, if statically visible."""
+    if len(call.args) > position:
+        return _constant_str(call.args[position])
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            return _constant_str(keyword.value)
+    return None
+
+
+def _mentions_temp(context, node: ast.AST) -> bool:
+    """Whether the write target's source text names a temporary file."""
+    text = context.source(node).lower()
+    return "tmp" in text or "temp" in text
+
+
+@register_rule
+class NonAtomicWriteRule(Rule):
+    code = "RPR005"
+    name = "non-atomic-write"
+    contract = (
+        "Modules that own on-disk state publish artifacts crash-safely: "
+        "write to a temporary file in the destination directory, then "
+        "os.replace() it over the final path, manifest last (PR 8).  A "
+        "direct open(path, 'w')/write_text/json.dump to the final path can "
+        "leave a torn file behind a crash, breaking the versioned-bundle "
+        "and cache recovery guarantees."
+    )
+    default_include = (
+        "repro/pipeline/",
+        "repro/data/io.py",
+        "repro/perf/cache.py",
+        "repro/experiments/runner.py",
+    )
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        # Group write sites by their nearest enclosing function: the
+        # temp-then-replace pattern lives inside one function, so a function
+        # containing os.replace() is trusted to publish atomically.
+        scopes: dict[ast.AST | None, list[ast.AST]] = {}
+        replaced: set[ast.AST | None] = set()
+        for scope, node in self._walk_scoped(context.tree):
+            if isinstance(node, ast.Call) and dotted_name(node.func) == "os.replace":
+                replaced.add(scope)
+            site = self._write_site(context, node)
+            if site is not None:
+                scopes.setdefault(scope, []).append(site)
+        for scope, sites in scopes.items():
+            if scope in replaced:
+                continue
+            for site in sites:
+                yield self.diagnostic(
+                    context,
+                    site,
+                    "non-atomic write to a final path in a state-owning module — write "
+                    "to a same-directory temp file and publish with os.replace()",
+                )
+
+    def _walk_scoped(self, tree: ast.AST):
+        """Yield ``(enclosing_function, node)`` pairs for every node."""
+
+        def visit(node: ast.AST, scope: ast.AST | None):
+            for child in ast.iter_child_nodes(node):
+                child_scope = scope
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    child_scope = child
+                yield (child_scope, child)
+                yield from visit(child, child_scope)
+
+        yield from visit(tree, None)
+
+    def _write_site(self, context, node: ast.AST) -> ast.AST | None:
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = dotted_name(node.func)
+        if dotted == "open":
+            mode = _write_mode(node, 1)
+            if mode and any(flag in mode for flag in _WRITE_MODES):
+                if node.args and not _mentions_temp(context, node.args[0]):
+                    return node
+        elif isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "open":
+                mode = _write_mode(node, 0)
+                if mode and any(flag in mode for flag in _WRITE_MODES):
+                    if not _mentions_temp(context, node.func.value):
+                        return node
+            elif attr in ("write_text", "write_bytes"):
+                if not _mentions_temp(context, node.func.value):
+                    return node
+            elif dotted == "json.dump":
+                return node
+        return None
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted is not None and dotted.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+@register_rule
+class WritableDetailArraysRule(Rule):
+    code = "RPR008"
+    name = "writable-detail-arrays"
+    contract = (
+        "Attack results are shared evidence: every ndarray a result object "
+        "exposes is a read-only copy (setflags(write=False)) so callers "
+        "cannot corrupt cached or cross-attack state (PRs 3, 5).  A result "
+        "dataclass with array fields must freeze them in __post_init__, "
+        "and nothing may flip an array back to writable."
+    )
+    default_include = ("repro/attacks/",)
+
+    def check(self, context) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+                yield from self._check_dataclass(context, node)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "setflags"
+            ):
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "write"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        yield self.diagnostic(
+                            context,
+                            node,
+                            "setflags(write=True) re-opens a frozen array for mutation — "
+                            "copy instead of unfreezing shared evidence",
+                        )
+
+    def _check_dataclass(self, context, node: ast.ClassDef) -> Iterator[Diagnostic]:
+        has_post_init = any(
+            isinstance(member, ast.FunctionDef) and member.name == "__post_init__"
+            for member in node.body
+        )
+        if has_post_init:
+            return
+        for member in node.body:
+            if isinstance(member, ast.AnnAssign) and "ndarray" in context.source(
+                member.annotation
+            ):
+                yield self.diagnostic(
+                    context,
+                    member,
+                    f"dataclass {node.name} exposes an ndarray field without a "
+                    "__post_init__ freezing it — store a read-only copy "
+                    "(setflags(write=False)) like AttackResult does",
+                )

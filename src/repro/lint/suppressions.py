@@ -1,0 +1,121 @@
+"""Inline suppression comments and the unused-suppression check.
+
+Syntax::
+
+    risky_call()  # repro-lint: disable=RPR001 -- why this site is exempt
+    # repro-lint: disable=RPR005,RPR010 -- applies to the next code line
+
+An inline comment suppresses the listed codes on its own line; a
+standalone comment line suppresses them on the next non-blank,
+non-comment line (which also covers multi-line statements, whose
+diagnostics anchor at the first line).  The ``--`` justification is
+free text; the convention (enforced in review, not mechanically) is
+that every suppression carries one.
+
+Each listed code is tracked individually: a code that never suppressed a
+diagnostic is reported as *unused*, and ``--fail-on-unused-suppression``
+turns that report into a CI failure so stale exemptions cannot linger.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Suppression", "parse_suppressions", "apply_suppressions"]
+
+_COMMENT = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)"
+    r"(?:\s+--\s*(?P<justification>.*))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro-lint: disable=`` comment."""
+
+    line: int  # 1-based line the comment sits on
+    target: int  # 1-based line the suppression applies to
+    codes: tuple[str, ...]
+    justification: str
+    used: set = field(default_factory=set)  # codes that suppressed something
+
+    def unused_codes(self) -> tuple[str, ...]:
+        return tuple(code for code in self.codes if code not in self.used)
+
+
+def _comment_lines(lines: list[str]) -> list[tuple[int, str]]:
+    """1-based ``(line, comment_text)`` for every real COMMENT token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    syntax shown inside docstrings or string literals — like the examples
+    at the top of this module — from registering as live suppressions.
+    """
+    text = "\n".join(lines)
+    comments: list[tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine only lints files that already parsed; an in-memory
+        # fragment that trips the tokenizer simply has no suppressions.
+        pass
+    return comments
+
+
+def parse_suppressions(lines: list[str]) -> list[Suppression]:
+    """Extract every suppression comment from a file's source lines."""
+    suppressions: list[Suppression] = []
+    for line_number, comment in _comment_lines(lines):
+        match = _COMMENT.match(comment)
+        if match is None:
+            continue
+        codes = tuple(code.strip() for code in match.group("codes").split(","))
+        target = line_number
+        if lines[line_number - 1].strip().startswith("#"):
+            # Standalone comment: applies to the next code line.
+            for ahead in range(line_number, len(lines)):
+                stripped = lines[ahead].strip()
+                if stripped and not stripped.startswith("#"):
+                    target = ahead + 1
+                    break
+        suppressions.append(
+            Suppression(
+                line=line_number,
+                target=target,
+                codes=codes,
+                justification=(match.group("justification") or "").strip(),
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    diagnostics: list[Diagnostic], suppressions: list[Suppression]
+) -> tuple[list[Diagnostic], int]:
+    """Drop suppressed diagnostics; returns ``(kept, n_suppressed)``.
+
+    Marks each suppression code that fired so the caller can report the
+    unused ones.
+    """
+    by_target: dict[int, list[Suppression]] = {}
+    for suppression in suppressions:
+        by_target.setdefault(suppression.target, []).append(suppression)
+    kept: list[Diagnostic] = []
+    n_suppressed = 0
+    for diagnostic in diagnostics:
+        matched = False
+        for suppression in by_target.get(diagnostic.line, ()):
+            if diagnostic.code in suppression.codes:
+                suppression.used.add(diagnostic.code)
+                matched = True
+        if matched:
+            n_suppressed += 1
+        else:
+            kept.append(diagnostic)
+    return kept, n_suppressed

@@ -12,37 +12,37 @@
 """
 
 from .distance import (
+    DISTANCE_FUNCTIONS,
+    chebyshev_distance,
+    check_metric_axioms,
+    condensed_dissimilarity,
+    dissimilarity_matrix,
     euclidean_distance,
     manhattan_distance,
     minkowski_distance,
-    chebyshev_distance,
     pairwise_distances,
-    dissimilarity_matrix,
-    condensed_dissimilarity,
-    check_metric_axioms,
-    DISTANCE_FUNCTIONS,
 )
 from .quality import (
-    contingency_matrix,
-    misclassification_error,
-    matched_accuracy,
-    rand_index,
     adjusted_rand_index,
-    f_measure,
-    purity,
-    silhouette_score,
-    davies_bouldin_index,
-    normalized_mutual_information,
     clusters_identical,
+    contingency_matrix,
+    davies_bouldin_index,
+    f_measure,
+    matched_accuracy,
+    misclassification_error,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    silhouette_score,
 )
 from .privacy import (
-    perturbation_variance,
-    scale_invariant_security,
-    pairwise_security,
-    satisfies_threshold,
-    privacy_report,
-    PrivacyReport,
     AttributePrivacy,
+    PrivacyReport,
+    pairwise_security,
+    perturbation_variance,
+    privacy_report,
+    satisfies_threshold,
+    scale_invariant_security,
 )
 
 __all__ = [

@@ -16,7 +16,7 @@ identical clusters under any distance-based algorithm.  This module provides
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 

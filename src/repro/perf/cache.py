@@ -171,7 +171,7 @@ class DistanceCache:
     def nbytes(self) -> int:
         """Total bytes held by the cached matrices."""
         with self._lock:
-            return sum(entry.nbytes for entry in self._entries.values())
+            return int(sum(entry.nbytes for entry in self._entries.values()))
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""

@@ -84,6 +84,7 @@ def euclidean_pairwise(matrix: np.ndarray) -> np.ndarray:
     bit-identical to it.
     """
     squared_norms = np.sum(matrix**2, axis=1)
+    # repro-lint: disable=RPR007 -- dense one-shot form, documented non-bitwise vs the kernel
     squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (matrix @ matrix.T)
     np.maximum(squared, 0.0, out=squared)
     distances = np.sqrt(squared)
@@ -145,6 +146,7 @@ def _ensure_numba_distance_rows():
                     if metric_code == 0:
                         total = 0.0
                         for k in range(n):
+                            # repro-lint: disable=RPR004 -- jitted path documented non-bitwise
                             total += abs(matrix[a, k] - matrix[b, k])
                         out[a - start, b] = total
                     elif metric_code == 1:
@@ -157,6 +159,7 @@ def _ensure_numba_distance_rows():
                     else:
                         total = 0.0
                         for k in range(n):
+                            # repro-lint: disable=RPR004 -- jitted path documented non-bitwise
                             total += abs(matrix[a, k] - matrix[b, k]) ** p
                         out[a - start, b] = total ** (1.0 / p)
             return out
@@ -360,8 +363,11 @@ def cross_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarr
     Replaces the ``(m, k, n)`` broadcast the seed k-means assignment used
     with one matrix product; negative round-off is clamped to zero.
     """
+    # repro-lint: disable=RPR007 -- full-array norms, never blocked
     point_norms = np.einsum("ij,ij->i", points, points)
+    # repro-lint: disable=RPR007 -- full-array norms, never blocked
     center_norms = np.einsum("ij,ij->i", centers, centers)
+    # repro-lint: disable=RPR007 -- one full (m, n) x (n, k) product, shapes fixed per call
     squared = point_norms[:, None] + center_norms[None, :] - 2.0 * (points @ centers.T)
     np.maximum(squared, 0.0, out=squared)
     return squared
@@ -427,7 +433,9 @@ def max_abs_distance_difference(
     arrays = {
         "first": first,
         "second": second,
+        # repro-lint: disable=RPR007 -- full-array norms staged once, block-size independent
         "first_norms": np.einsum("ij,ij->i", first, first),
+        # repro-lint: disable=RPR007 -- full-array norms staged once, block-size independent
         "second_norms": np.einsum("ij,ij->i", second, second),
     }
     # Each block materializes ~4 (block, m) temporaries (two squared-distance
@@ -452,6 +460,7 @@ def _euclidean_block(
     # size — and therefore every backend — bitwise identical.
     cross = np.empty((stop - start, matrix.shape[0]), dtype=float)
     for row in range(start, stop):
+        # repro-lint: disable=RPR007 -- fixed-shape per-row matvec, the contract's exemplar
         np.dot(matrix, matrix[row], out=cross[row - start])
     squared = squared_norms[start:stop, None] + squared_norms[None, :]
     cross *= 2.0
@@ -490,6 +499,7 @@ def batched_inverse_rotations(
     transposed[:, 0, 1] = -sin
     transposed[:, 1, 0] = sin
     transposed[:, 1, 1] = cos
+    # repro-lint: disable=RPR007 -- stacked (k, 2, 2) @ (2, m) products, shapes fixed per call
     restored = transposed @ np.vstack([column_i, column_j])
     return restored[:, 0, :], restored[:, 1, :]
 

@@ -253,7 +253,7 @@ class StreamingMoments:
         """Whether pairwise cross products are accumulated."""
         return self._cross
 
-    def update(self, chunk) -> "StreamingMoments":
+    def update(self, chunk) -> StreamingMoments:
         """Accumulate a ``(rows, n_columns)`` chunk of values."""
         if self._finalized is not None:
             raise ValidationError("StreamingMoments cannot be updated after statistics were read")
@@ -429,7 +429,7 @@ class StreamingMoments:
     # ------------------------------------------------------------------ #
     # Merging and serialization (the distributed wire format)
     # ------------------------------------------------------------------ #
-    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+    def merge(self, other: StreamingMoments) -> StreamingMoments:
         """Fold another accumulator's rows into this one, exactly.
 
         The result is bitwise identical to accumulating the concatenation of
@@ -490,7 +490,7 @@ class StreamingMoments:
         }
 
     @classmethod
-    def from_state(cls, state: dict, *, backend=None) -> "StreamingMoments":
+    def from_state(cls, state: dict, *, backend=None) -> StreamingMoments:
         """Rebuild an accumulator from :meth:`state` (exact round trip)."""
         if not isinstance(state, dict) or state.get("format") != 1:
             raise ValidationError("unrecognized StreamingMoments state payload")

@@ -16,7 +16,7 @@ release that is byte-identical to the in-memory path for any chunk size.
 privacy-threshold verdicts).
 """
 
-from .ppc import PPCPipeline, ReleaseBundle, EquivalenceReport
+from .ppc import EquivalenceReport, PPCPipeline, ReleaseBundle
 from .streaming import (
     StreamingReleasePipeline,
     StreamingReleaseReport,
@@ -31,13 +31,14 @@ from .versioned import (
     sequential_attack_params,
 )
 
+# isort: split
 # audit must come after ppc/streaming: it participates in an import cycle
 # with repro.experiments, which needs the names above to already be bound.
 from .audit import (
+    BUILTIN_THREAT_MODELS,
     AttackOutcome,
     AttackSuite,
     AuditReport,
-    BUILTIN_THREAT_MODELS,
     ThreatModel,
     builtin_threat_model,
     federated_threat_model,

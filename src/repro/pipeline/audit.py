@@ -31,14 +31,14 @@ chunk-invariant, the chunking knobs are deliberately *not* part of the key.
 
 from __future__ import annotations
 
-import json
 import hashlib
+import json
 import os
 import time
+from collections.abc import Mapping, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -46,7 +46,7 @@ from ..attacks import build_attack, plan_attack, plan_known_sample
 from ..attacks.base import distance_change_diagnostics
 from ..attacks.streamed import MomentSketch
 from ..data import DataMatrix
-from ..data.io import iter_matrix_csv
+from ..data.io import atomic_write_text, iter_matrix_csv
 from ..exceptions import AttackError, ValidationError
 from ..metrics import privacy_report
 from ..perf.cache import DistanceCache
@@ -174,7 +174,7 @@ class ThreatModel:
         return _derive_seed(self.seed, "attack", entry.name, str(index))
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "ThreatModel":
+    def from_dict(cls, payload: Mapping) -> ThreatModel:
         """Build a model from parsed JSON, validating the schema."""
         if not isinstance(payload, Mapping):
             raise ValidationError(f"a threat model must be a JSON object, got {payload!r}")
@@ -197,7 +197,7 @@ class ThreatModel:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "ThreatModel":
+    def from_json(cls, text: str) -> ThreatModel:
         """Parse a model from a JSON string."""
         try:
             payload = json.loads(text)
@@ -206,13 +206,17 @@ class ThreatModel:
         return cls.from_dict(payload)
 
     @classmethod
-    def load(cls, path) -> "ThreatModel":
+    def load(cls, path) -> ThreatModel:
         """Load a model from a JSON file."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     def save(self, path) -> None:
-        """Write the model as indented JSON (the reviewable artifact form)."""
-        Path(path).write_text(json.dumps(self.canonical(), indent=2) + "\n", encoding="utf-8")
+        """Write the model as indented JSON (the reviewable artifact form).
+
+        Published atomically so an interrupted save never leaves a torn
+        threat-model file for a later audit to misread.
+        """
+        atomic_write_text(path, json.dumps(self.canonical(), indent=2) + "\n")
 
 
 def _paper_public() -> ThreatModel:
@@ -563,7 +567,9 @@ class AuditReport:
             )
         else:
             lines.append("- breach: no attack reconstructed the data within tolerance")
-        lines.append(f"- total attacker work: {sum(o.work for o in self.outcomes)} hypotheses")
+        lines.append(
+            f"- total attacker work: {int(sum(o.work for o in self.outcomes))} hypotheses"
+        )
         return "\n".join(lines) + "\n"
 
 
@@ -582,7 +588,7 @@ def _file_fingerprint(path: Path) -> str:
 def _matrix_fingerprint(matrix: DataMatrix) -> str:
     digest = hashlib.sha256()
     digest.update(DistanceCache.fingerprint(matrix.values).encode())
-    digest.update("\x1f".join(matrix.columns).encode("utf-8"))
+    digest.update("\x1f".join(matrix.columns).encode())
     return digest.hexdigest()
 
 

@@ -29,8 +29,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 from ..core.security_range import SecurityRange
 from ..core.thresholds import PairwiseSecurityThreshold

@@ -16,8 +16,8 @@ release plus evidence in a few lines:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..clustering import KMeans
 from ..clustering.base import ClusteringAlgorithm

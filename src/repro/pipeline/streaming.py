@@ -34,9 +34,9 @@ rows; ``chunk_rows`` can be given directly or derived from a
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -358,7 +358,7 @@ class _FileMomentSource:
 
     def __init__(
         self,
-        pipeline: "StreamingReleasePipeline",
+        pipeline: StreamingReleasePipeline,
         input_path: Path,
         id_column: str | None,
         chunk_rows: int,

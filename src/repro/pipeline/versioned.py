@@ -38,8 +38,8 @@ its parameters from a bundle's manifest.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 import numpy as np
 
@@ -267,7 +267,7 @@ class VersionedReleaseBundle:
         return cls(bundle_dir, manifest), report
 
     @classmethod
-    def open(cls, bundle_dir: str | Path) -> "VersionedReleaseBundle":
+    def open(cls, bundle_dir: str | Path) -> VersionedReleaseBundle:
         """Open an existing bundle (manifest format-checked; artifacts lazy-checked)."""
         return cls(Path(bundle_dir), load_manifest(bundle_dir))
 

@@ -10,10 +10,10 @@
 """
 
 from .normalization import (
-    Normalizer,
-    MinMaxNormalizer,
-    ZScoreNormalizer,
     DecimalScalingNormalizer,
+    MinMaxNormalizer,
+    Normalizer,
+    ZScoreNormalizer,
     normalize_min_max,
     normalize_z_score,
 )

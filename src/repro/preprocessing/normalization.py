@@ -68,14 +68,14 @@ class Normalizer(ABC):
         """Whether :meth:`fit` has been called."""
         return self._n_attributes is not None
 
-    def fit(self, data) -> "Normalizer":
+    def fit(self, data) -> Normalizer:
         """Learn per-column statistics from ``data`` and return ``self``."""
         array = self._coerce(data)
         self._fit_array(array)
         self._n_attributes = array.shape[1]
         return self
 
-    def fit_stream(self, chunks, *, backend=None) -> "Normalizer":
+    def fit_stream(self, chunks, *, backend=None) -> Normalizer:
         """Learn per-column statistics from an iterable of row chunks.
 
         Each chunk is a ``(rows, n_attributes)`` array (or
@@ -213,12 +213,12 @@ class MinMaxNormalizer(Normalizer):
         self.data_min_: np.ndarray | None = None
         self.data_max_: np.ndarray | None = None
 
-    def _stream_fitter(self, n_columns: int) -> "_RangeAccumulator":
+    def _stream_fitter(self, n_columns: int) -> _RangeAccumulator:
         # Per-column min/max: exactly associative reductions, so running
         # chunk-wise extrema equal the whole-matrix extrema bitwise.
         return _RangeAccumulator()
 
-    def _finish_stream_fit(self, fitter: "_RangeAccumulator", *, n_rows: int) -> None:
+    def _finish_stream_fit(self, fitter: _RangeAccumulator, *, n_rows: int) -> None:
         data_min, data_max = fitter.data_min, fitter.data_max
         degenerate = np.isclose(data_max, data_min)
         if np.any(degenerate):
@@ -301,10 +301,10 @@ class DecimalScalingNormalizer(Normalizer):
         super().__init__()
         self.scale_: np.ndarray | None = None
 
-    def _stream_fitter(self, n_columns: int) -> "_MaxAbsAccumulator":
+    def _stream_fitter(self, n_columns: int) -> _MaxAbsAccumulator:
         return _MaxAbsAccumulator()
 
-    def _finish_stream_fit(self, fitter: "_MaxAbsAccumulator", *, n_rows: int) -> None:
+    def _finish_stream_fit(self, fitter: _MaxAbsAccumulator, *, n_rows: int) -> None:
         max_abs = fitter.max_abs
         exponents = np.zeros(max_abs.shape[0], dtype=float)
         nonzero = max_abs > 0

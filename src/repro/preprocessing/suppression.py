@@ -10,7 +10,7 @@ suppressor can be configured either way.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..data import DataMatrix, Table
 from ..exceptions import ValidationError

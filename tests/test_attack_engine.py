@@ -312,6 +312,22 @@ class TestThreatModel:
                 name="m", attacks=({"name": "renormalization"},), privacy_threshold=0.0
             )
 
+    def test_save_interrupted_publish_keeps_previous_model(self, tmp_path, monkeypatch):
+        model = builtin_threat_model("full")
+        path = tmp_path / "model.json"
+        model.save(path)
+        before = path.read_bytes()
+
+        def crash(src, dst):
+            raise RuntimeError("simulated crash between write and publish")
+
+        monkeypatch.setattr("os.replace", crash)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            builtin_threat_model("insider").save(path)
+        assert path.read_bytes() == before
+        assert ThreatModel.load(path) == model
+        assert list(tmp_path.iterdir()) == [path]
+
     def test_attack_seeds_differ_per_position(self):
         model = builtin_threat_model("full")
         seeds = [model.attack_seed(i) for i in range(len(model.attacks))]

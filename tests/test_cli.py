@@ -296,7 +296,7 @@ class TestClusterCommand:
         matrix_to_csv(matrix, input_path)
         assert main(["cluster", str(input_path), str(labels_path), "--k", "2"]) == 0
 
-        with labels_path.open("r", newline="", encoding="utf-8") as handle:
+        with labels_path.open(newline="", encoding="utf-8") as handle:
             rows = list(csv.reader(handle))
         assert rows[0] == ["id", "label"]
         assert len(rows) == 31

@@ -8,6 +8,7 @@ import pytest
 from repro.data import ColumnRole, DataMatrix, Schema, Table
 from repro.data.io import (
     MatrixCsvWriter,
+    atomic_write_text,
     format_value,
     iter_matrix_csv,
     matrix_from_csv,
@@ -93,6 +94,62 @@ class TestTableCsv:
         schema = Schema.from_names(["age"], default_role=ColumnRole.NUMERIC)
         with pytest.raises(SerializationError, match="declared numeric"):
             read_csv(path, schema=schema)
+
+
+class TestAtomicWrite:
+    """Publishing is all-or-nothing: a crash mid-write never corrupts the target."""
+
+    def test_replaces_existing_content_without_litter(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_interrupted_publish_keeps_original_and_cleans_up(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+
+        def crash(src, dst):
+            raise RuntimeError("simulated crash between write and publish")
+
+        monkeypatch.setattr("os.replace", crash)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            atomic_write_text(path, "replacement")
+        assert path.read_text() == "original"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_write_csv_interrupted_publish_keeps_previous_release(
+        self, table, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table.csv"
+        write_csv(table, path)
+        before = path.read_bytes()
+
+        def crash(src, dst):
+            raise RuntimeError("simulated crash")
+
+        monkeypatch.setattr("os.replace", crash)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            write_csv(table.drop_columns(["city"]), path)
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_write_json_interrupted_publish_keeps_previous_release(
+        self, table, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table.json"
+        write_json(table, path)
+        before = path.read_bytes()
+
+        def crash(src, dst):
+            raise RuntimeError("simulated crash")
+
+        monkeypatch.setattr("os.replace", crash)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            write_json(table.drop_columns(["city"]), path)
+        assert path.read_bytes() == before
+        assert read_json(path).column_names == table.column_names
 
 
 class TestTableJson:

@@ -1,0 +1,343 @@
+"""Engine tests for the contract linter: suppressions, baseline, config, CLI.
+
+The JSON report layout and the baseline file format are public contracts
+(CI parses both); their key sets are pinned here so incompatible changes
+require a deliberate schema-version bump.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.cli as repro_cli
+from repro.exceptions import SerializationError, ValidationError
+from repro.lint import (
+    Baseline,
+    Diagnostic,
+    diagnostic_fingerprint,
+    lint_paths,
+    lint_source,
+    load_config,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import module_key
+from repro.lint.suppressions import parse_suppressions
+
+VIOLATION = """\
+import numpy as np
+
+def draw():
+    return np.random.default_rng()
+"""
+
+CLEAN = """\
+import numpy as np
+
+def draw(seed):
+    return np.random.default_rng(seed)
+"""
+
+
+def _project(tmp_path: Path, source: str = VIOLATION, config_lines: str = "") -> Path:
+    """A minimal lintable project: src/repro/<module> + repro-lint.toml."""
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "module.py").write_text(source, encoding="utf-8")
+    (tmp_path / "repro-lint.toml").write_text(
+        '[tool.repro-lint]\npaths = ["src/repro"]\n' + config_lines, encoding="utf-8"
+    )
+    return tmp_path
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+
+
+class TestSuppressions:
+    def test_inline_comment_suppresses_its_line(self):
+        source = VIOLATION.replace(
+            "return np.random.default_rng()",
+            "return np.random.default_rng()  # repro-lint: disable=RPR001 -- test exemption",
+        )
+        diagnostics, suppressions = lint_source(source, key="m.py")
+        assert diagnostics == []
+        assert len(suppressions) == 1
+        assert suppressions[0].codes == ("RPR001",)
+        assert suppressions[0].justification == "test exemption"
+        assert suppressions[0].unused_codes() == ()
+
+    def test_standalone_comment_applies_to_next_code_line(self):
+        source = VIOLATION.replace(
+            "    return np.random.default_rng()",
+            "    # repro-lint: disable=RPR001 -- first comment line\n"
+            "    # a continuation comment does not break the targeting\n"
+            "    return np.random.default_rng()",
+        )
+        diagnostics, suppressions = lint_source(source, key="m.py")
+        assert diagnostics == []
+        assert suppressions[0].target == suppressions[0].line + 2
+
+    def test_multiple_codes_one_comment(self):
+        comments = parse_suppressions(
+            ["x = 1  # repro-lint: disable=RPR001, RPR005 -- both"]
+        )
+        assert comments[0].codes == ("RPR001", "RPR005")
+
+    def test_unused_suppression_is_tracked_per_code(self):
+        source = VIOLATION.replace(
+            "return np.random.default_rng()",
+            "return np.random.default_rng()  # repro-lint: disable=RPR001,RPR009 -- half used",
+        )
+        _, suppressions = lint_source(source, key="m.py")
+        assert suppressions[0].unused_codes() == ("RPR009",)
+
+    def test_suppression_syntax_inside_docstring_is_not_a_suppression(self):
+        source = (
+            '"""Docs.\n\n    x  # repro-lint: disable=RPR001 -- just an example\n"""\n'
+            "VALUE = 1\n"
+        )
+        assert parse_suppressions(source.splitlines()) == []
+
+    def test_suppression_syntax_inside_string_literal_is_ignored(self):
+        source = 'ADVICE = "# repro-lint: disable=RPR001 -- not a comment"\n'
+        assert parse_suppressions(source.splitlines()) == []
+
+
+# ---------------------------------------------------------------------------
+# baseline
+
+
+class TestBaseline:
+    def test_fingerprint_survives_line_drift_but_not_code_changes(self):
+        diag = Diagnostic("repro/m.py", 10, 5, "RPR001", "unseeded-rng", "msg")
+        moved = Diagnostic("repro/m.py", 42, 5, "RPR001", "unseeded-rng", "msg")
+        assert diagnostic_fingerprint(diag, "  x = rng()", 0) == diagnostic_fingerprint(
+            moved, "x = rng()", 0
+        )
+        assert diagnostic_fingerprint(diag, "x = rng()", 0) != diagnostic_fingerprint(
+            diag, "x = other()", 0
+        )
+        assert diagnostic_fingerprint(diag, "x = rng()", 0) != diagnostic_fingerprint(
+            diag, "x = rng()", 1
+        )
+
+    def test_duplicate_lines_get_distinct_fingerprints(self, tmp_path):
+        project = _project(tmp_path, VIOLATION + "\n\ndef again():\n    return np.random.default_rng()\n")
+        report = lint_paths((project / "src" / "repro",))
+        assert len(report.findings) == 2
+        prints = [report.fingerprints[d] for d in report.findings]
+        assert len(set(prints)) == 2
+
+    def test_baseline_roundtrip_and_stale_reporting(self, tmp_path):
+        project = _project(tmp_path)
+        scan = (project / "src" / "repro",)
+        report = lint_paths(scan)
+        assert len(report.findings) == 1
+
+        payload = Baseline.build([(d, report.fingerprints[d]) for d in report.findings])
+        baseline_path = project / "repro-lint-baseline.json"
+        Baseline.save(payload, baseline_path)
+
+        baselined = lint_paths(scan, baseline=Baseline.load(baseline_path))
+        assert baselined.findings == []
+        assert baselined.baselined == 1
+        assert baselined.stale_baseline == []
+
+        # Fix the violation: the grandfathered entry becomes stale.
+        (project / "src" / "repro" / "module.py").write_text(CLEAN, encoding="utf-8")
+        fixed = lint_paths(scan, baseline=Baseline.load(baseline_path))
+        assert fixed.findings == []
+        assert len(fixed.stale_baseline) == 1
+        assert fixed.stale_baseline[0]["code"] == "RPR001"
+
+    def test_load_rejects_bad_json_and_wrong_version(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            Baseline.load(bad)
+        bad.write_text(json.dumps({"version": 99, "entries": []}), encoding="utf-8")
+        with pytest.raises(SerializationError):
+            Baseline.load(bad)
+        bad.write_text(json.dumps({"entries": "nope"}), encoding="utf-8")
+        with pytest.raises(SerializationError):
+            Baseline.load(bad)
+
+
+# ---------------------------------------------------------------------------
+# config
+
+
+class TestConfig:
+    def test_explicit_config_and_rule_scoping(self, tmp_path):
+        project = _project(
+            tmp_path,
+            config_lines='[tool.repro-lint.rules.RPR001]\nallow = ["repro/module.py"]\n',
+        )
+        config = load_config(project / "repro-lint.toml")
+        report = lint_paths(config.resolved_paths(), config=config)
+        assert report.findings == []  # allowlisted module
+
+    def test_include_override_replaces_rule_scope(self, tmp_path):
+        project = _project(
+            tmp_path,
+            config_lines='[tool.repro-lint.rules.RPR001]\ninclude = ["repro/other/"]\n',
+        )
+        config = load_config(project / "repro-lint.toml")
+        report = lint_paths(config.resolved_paths(), config=config)
+        assert report.findings == []  # module.py is outside the overridden scope
+
+    def test_unknown_keys_and_unknown_rules_are_rejected(self, tmp_path):
+        path = tmp_path / "repro-lint.toml"
+        path.write_text('[tool.repro-lint]\nfrobnicate = true\n', encoding="utf-8")
+        with pytest.raises(ValidationError, match="frobnicate"):
+            load_config(path)
+        path.write_text('[tool.repro-lint.rules.RPR999]\nallow = []\n', encoding="utf-8")
+        with pytest.raises(ValidationError, match="RPR999"):
+            load_config(path)
+        path.write_text('[tool.repro-lint]\npaths = "src"\n', encoding="utf-8")
+        with pytest.raises(ValidationError, match="list of strings"):
+            load_config(path)
+
+    def test_discovery_walks_upward_from_start(self, tmp_path):
+        project = _project(tmp_path)
+        nested = project / "src" / "repro"
+        config = load_config(start=nested)
+        assert config.source == project / "repro-lint.toml"
+        assert config.resolved_paths() == (project / "src" / "repro",)
+
+    def test_missing_explicit_config_errors(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_config(tmp_path / "nope.toml")
+
+
+# ---------------------------------------------------------------------------
+# engine
+
+
+class TestEngine:
+    def test_module_key_anchors_at_the_repro_package(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "perf" / "kernels.py"
+        assert module_key(path, tmp_path) == "repro/perf/kernels.py"
+        outside = tmp_path / "scripts" / "tool.py"
+        assert module_key(outside, tmp_path) == "scripts/tool.py"
+
+    def test_missing_path_is_a_validation_error(self, tmp_path):
+        with pytest.raises(ValidationError):
+            lint_paths((tmp_path / "absent",))
+
+    def test_json_payload_schema_is_pinned(self, tmp_path):
+        project = _project(tmp_path)
+        report = lint_paths((project / "src" / "repro",))
+        payload = report.to_json_payload()
+        assert set(payload) == {
+            "version",
+            "findings",
+            "unused_suppressions",
+            "stale_baseline",
+            "parse_errors",
+            "summary",
+        }
+        assert payload["version"] == 1
+        assert set(payload["findings"][0]) == {
+            "code",
+            "name",
+            "path",
+            "line",
+            "column",
+            "message",
+        }
+        assert set(payload["summary"]) == {
+            "files_scanned",
+            "findings",
+            "suppressed",
+            "baselined",
+            "unused_suppressions",
+            "stale_baseline",
+        }
+
+    def test_report_is_deterministic_and_sorted(self, tmp_path):
+        source = VIOLATION + "\n\ndef later():\n    return np.random.default_rng()\n"
+        project = _project(tmp_path, source)
+        first = lint_paths((project / "src" / "repro",))
+        second = lint_paths((project / "src" / "repro",))
+        assert first.to_json_payload() == second.to_json_payload()
+        anchors = [(d.path, d.line, d.column, d.code) for d in first.findings]
+        assert anchors == sorted(anchors)
+
+    def test_same_anchor_diagnostics_are_deduplicated(self):
+        # a @ b @ c is two MatMult nodes at one anchor — one finding.
+        diagnostics, _ = lint_source(
+            "def f(a, b, c):\n    return a @ b @ c\n", key="repro/perf/kernels.py"
+        )
+        matmuls = [d for d in diagnostics if d.code == "RPR007"]
+        assert len(matmuls) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def _argv(self, project: Path, *extra: str) -> list[str]:
+        return [str(project / "src" / "repro"), "--config", str(project / "repro-lint.toml"), *extra]
+
+    def test_exit_one_on_findings_and_zero_on_clean(self, tmp_path, capsys):
+        project = _project(tmp_path)
+        assert lint_main(self._argv(project)) == 1
+        assert "RPR001" in capsys.readouterr().out
+        (project / "src" / "repro" / "module.py").write_text(CLEAN, encoding="utf-8")
+        assert lint_main(self._argv(project)) == 0
+
+    def test_exit_two_on_config_error(self, tmp_path, capsys):
+        project = _project(tmp_path)
+        (project / "repro-lint.toml").write_text(
+            '[tool.repro-lint]\nbogus = 1\n', encoding="utf-8"
+        )
+        assert lint_main(self._argv(project)) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        project = _project(tmp_path)
+        assert lint_main(self._argv(project, "--write-baseline")) == 0
+        baseline_path = project / "repro-lint-baseline.json"
+        assert baseline_path.is_file()
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        assert set(payload) == {"version", "entries"}
+        assert len(payload["entries"]) == 1
+        capsys.readouterr()
+
+        assert lint_main(self._argv(project)) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # --no-baseline reports the grandfathered finding again.
+        assert lint_main(self._argv(project, "--no-baseline")) == 1
+
+    def test_fail_on_unused_suppression(self, tmp_path, capsys):
+        project = _project(
+            tmp_path, CLEAN.replace("rng(seed)", "rng(seed)  # repro-lint: disable=RPR009 -- stale")
+        )
+        assert lint_main(self._argv(project)) == 0
+        assert "1 unused suppression(s)" in capsys.readouterr().out
+        assert lint_main(self._argv(project, "--fail-on-unused-suppression")) == 1
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        project = _project(tmp_path)
+        assert lint_main(self._argv(project, "--format", "json")) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+        assert payload["findings"][0]["code"] == "RPR001"
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR010" in out
+
+    def test_repro_cli_lint_subcommand(self, tmp_path, capsys):
+        project = _project(tmp_path)
+        code = repro_cli.main(["lint", *self._argv(project)])
+        assert code == 1
+        assert "RPR001" in capsys.readouterr().out
+        (project / "src" / "repro" / "module.py").write_text(CLEAN, encoding="utf-8")
+        assert repro_cli.main(["lint", *self._argv(project)]) == 0

@@ -17,9 +17,9 @@ from repro.core import RBT, RBTSecret
 from repro.data import DataMatrix
 from repro.data.io import matrix_from_csv, matrix_to_csv
 from repro.exceptions import ValidationError
+from repro.perf.analytic import pair_moments
 from repro.perf.backends import ProcessPoolBackend
 from repro.perf.streaming import STREAM_TILE_ROWS, StreamingMoments, streamed_pair_moments
-from repro.perf.analytic import pair_moments
 from repro.pipeline import StreamingReleasePipeline, resolve_chunk_rows, stream_invert
 from repro.preprocessing import (
     DecimalScalingNormalizer,
