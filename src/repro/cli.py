@@ -52,6 +52,11 @@ full Figure 1 workflow can be driven from a shell without writing Python:
     concatenated feed.  Without either flag the bundle's manifest is
     verified and summarized.
 
+``bench diff``
+    Developer-side: compare two ``BENCH_perf*.json`` benchmark reports and
+    print a per-scenario speedup/regression table, exiting non-zero when a
+    gated ratio regressed beyond the CI threshold.
+
 ``lint``
     Developer-side: statically check the source tree against the repo's
     reproducibility contracts (seeded RNGs, exact accumulation, atomic
@@ -107,6 +112,7 @@ from .metrics import (
 )
 from .perf.backends import get_backend
 from .perf.kernels import max_abs_distance_difference
+from .perf.profiling import StageProfiler
 from .pipeline.audit import (
     BUILTIN_THREAT_MODELS,
     AttackSuite,
@@ -152,6 +158,30 @@ def _resolve_backend(args: argparse.Namespace):
     if args.backend is None and args.kernel_workers is None:
         return None
     return get_backend(args.backend, workers=args.kernel_workers)
+
+
+def _add_codec_options(subparser: argparse.ArgumentParser, *, pipelined: bool = True) -> None:
+    """The CSV-codec knobs shared by the streamed I/O subcommands."""
+    subparser.add_argument(
+        "--codec",
+        choices=["fast", "python"],
+        default=None,
+        help=(
+            "CSV codec for the streamed I/O paths (default fast); both codecs "
+            "read and write identical bytes — python is the csv-module "
+            "reference path the fast codec is cross-checked against"
+        ),
+    )
+    if pipelined:
+        subparser.add_argument(
+            "--pipelined",
+            action="store_true",
+            help=(
+                "overlap file I/O with compute (bounded prefetch reader + "
+                "double-buffered writer); the released bytes are identical "
+                "with or without it"
+            ),
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,6 +239,15 @@ def build_parser() -> argparse.ArgumentParser:
             "the output is byte-identical to the default in-memory path)"
         ),
     )
+    transform.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-stage read/compute/write wall-clock and peak-RSS "
+            "breakdown (routes through the streamed path)"
+        ),
+    )
+    _add_codec_options(transform)
     _add_backend_options(transform)
 
     distributed = subparsers.add_parser(
@@ -285,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="rows per streamed block at every party (any value gives the same bytes)",
     )
+    _add_codec_options(distributed)
 
     invert = subparsers.add_parser("invert", help="undo a release using a saved secret")
     invert.add_argument("input", type=Path, help="released CSV")
@@ -300,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
             "is byte-identical to the default in-memory path)"
         ),
     )
+    _add_codec_options(invert)
     _add_backend_options(invert)
 
     evaluate = subparsers.add_parser(
@@ -442,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream in blocks of this many rows (any value gives the same bytes)",
     )
+    _add_codec_options(release)
     _add_backend_options(release)
 
     audit = subparsers.add_parser(
@@ -541,7 +583,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the Markdown report on stdout"
     )
     audit.add_argument("--id-column", default="id", help="identifier column name (default 'id')")
+    audit.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-stage read/compute/write wall-clock and peak-RSS "
+            "breakdown of the streamed evidence passes"
+        ),
+    )
+    _add_codec_options(audit, pipelined=False)
     _add_backend_options(audit)
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark-report utilities (diff two BENCH_perf*.json reports)"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    bench_diff = bench_commands.add_parser(
+        "diff",
+        help="per-scenario speedup/regression table between two bench reports",
+    )
+    bench_diff.add_argument("old", type=Path, help="baseline BENCH_perf*.json report")
+    bench_diff.add_argument("new", type=Path, help="candidate BENCH_perf*.json report")
+    bench_diff.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional drop in any gated ratio (default 0.30)",
+    )
+    bench_diff.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list unchanged informational metrics",
+    )
 
     lint = subparsers.add_parser(
         "lint", help="statically check the source tree against the repro contracts"
@@ -559,26 +632,40 @@ def _command_transform(args: argparse.Namespace) -> int:
     transformer = RBT(thresholds=args.threshold, strategy=args.strategy, random_state=args.seed)
     backend = _resolve_backend(args)
 
-    # A parallel backend routes through the streaming path even without
-    # --chunk-rows: that is where the backend-threaded kernels live, and the
-    # streamed output is byte-identical to the in-memory branch anyway.
-    if args.chunk_rows is not None or (backend is not None and backend.workers > 1):
+    profiler = StageProfiler() if args.profile else None
+
+    # A parallel backend (or --profile, which instruments the streamed
+    # stages) routes through the streaming path even without --chunk-rows:
+    # that is where the backend-threaded kernels live, and the streamed
+    # output is byte-identical to the in-memory branch anyway.
+    if (
+        args.chunk_rows is not None
+        or profiler is not None
+        or (backend is not None and backend.workers > 1)
+    ):
         # Out-of-core path: constant memory in the number of rows, output
         # byte-identical to the in-memory branch below.
         pipeline = StreamingReleasePipeline(
-            transformer, normalizer=normalizer, chunk_rows=args.chunk_rows, backend=backend
+            transformer,
+            normalizer=normalizer,
+            chunk_rows=args.chunk_rows,
+            backend=backend,
+            codec=args.codec,
+            pipelined=args.pipelined,
         )
-        streamed = pipeline.run(args.input, args.output, id_column=args.id_column)
+        streamed = pipeline.run(
+            args.input, args.output, id_column=args.id_column, profiler=profiler
+        )
         n_objects, n_attributes = streamed.n_objects, streamed.n_attributes
         records = streamed.records
         pairs = streamed.pairs
         secret = streamed.secret()
         report = streamed.privacy
     else:
-        matrix = matrix_from_csv(args.input, id_column=args.id_column)
+        matrix = matrix_from_csv(args.input, id_column=args.id_column, codec=args.codec)
         normalized = normalizer.fit(matrix).transform(matrix)
         result = transformer.transform(normalized)
-        matrix_to_csv(result.matrix, args.output)
+        matrix_to_csv(result.matrix, args.output, codec=args.codec)
         n_objects, n_attributes = result.matrix.n_objects, result.matrix.n_attributes
         records = result.records
         pairs = result.pairs
@@ -605,6 +692,8 @@ def _command_transform(args: argparse.Namespace) -> int:
             f"[{record.security_range.lower_bound:.2f}, {record.security_range.upper_bound:.2f}] deg, "
             f"Var(X - X') = ({record.achieved_variances[0]:.4f}, {record.achieved_variances[1]:.4f})"
         )
+    if profiler is not None:
+        print(profiler.format_table())
     return 0
 
 
@@ -626,13 +715,17 @@ def _command_distributed(args: argparse.Namespace) -> int:
             scratch = Path(stack.enter_context(tempfile.TemporaryDirectory()))
             source = shard_paths[0]
             shard_paths = [scratch / f"party-{index}.csv" for index in range(args.parties)]
-            written = split_csv_shards(source, shard_paths, id_column=args.id_column)
+            written = split_csv_shards(
+                source, shard_paths, id_column=args.id_column, codec=args.codec
+            )
             print(f"split {source} into {len(written)} shard(s): {list(written)} rows")
         pipeline = DistributedReleasePipeline(
             transformer,
             normalizer=normalizer,
             chunk_rows=args.chunk_rows,
             protocol_seed=args.protocol_seed,
+            codec=args.codec,
+            pipelined=args.pipelined,
         )
         report = pipeline.run(shard_paths, args.output, id_column=args.id_column)
 
@@ -681,11 +774,13 @@ def _command_invert(args: argparse.Namespace) -> int:
             chunk_rows=args.chunk_rows,
             id_column=args.id_column,
             backend=backend,
+            codec=args.codec,
+            pipelined=args.pipelined,
         )
     else:
-        released = matrix_from_csv(args.input, id_column=args.id_column)
+        released = matrix_from_csv(args.input, id_column=args.id_column, codec=args.codec)
         restored = secret.invert(released)
-        matrix_to_csv(restored, args.output)
+        matrix_to_csv(restored, args.output, codec=args.codec)
     print(f"restored matrix written to {args.output}")
     return 0
 
@@ -802,6 +897,8 @@ def _command_release(args: argparse.Namespace) -> int:
             chunk_rows=args.chunk_rows,
             backend=backend,
             id_column=args.id_column,
+            codec=args.codec,
+            pipelined=args.pipelined,
         )
         print(
             f"release v{bundle.version}: {bundle.total_rows} objects x "
@@ -824,6 +921,8 @@ def _command_release(args: argparse.Namespace) -> int:
             expected_version=args.expect_version,
             chunk_rows=args.chunk_rows,
             backend=backend,
+            codec=args.codec,
+            pipelined=args.pipelined,
         )
         print(
             f"release v{bundle.version}: appended "
@@ -913,8 +1012,13 @@ def _command_audit(args: argparse.Namespace) -> int:
 
     cache_dir = None if args.no_cache else (args.cache_dir or args.output_dir / "cache")
     suite = AttackSuite(
-        model, workers=args.workers, cache_dir=cache_dir, backend=_resolve_backend(args)
+        model,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        backend=_resolve_backend(args),
+        codec=args.codec,
     )
+    profiler = StageProfiler() if args.profile else None
     report = suite.run(
         released_path,
         args.original,
@@ -924,6 +1028,7 @@ def _command_audit(args: argparse.Namespace) -> int:
             None if args.memory_budget_mib is None else args.memory_budget_mib * 2**20
         ),
         prior_report=prior_report,
+        profiler=profiler,
     )
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
@@ -947,6 +1052,8 @@ def _command_audit(args: argparse.Namespace) -> int:
     )
     for path in written:
         print(f"report written to {path}")
+    if profiler is not None:
+        print(profiler.format_table())
     return 0
 
 
@@ -961,6 +1068,29 @@ def _write_labels(path: Path, matrix: DataMatrix, labels: np.ndarray) -> None:
         writer = csv.writer(handle)
         writer.writerow(["id", "label"])
         writer.writerows([object_id, int(label)] for object_id, label in zip(ids, labels))
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from .perf.benchreport import (
+        diff_bench_reports,
+        format_bench_diff,
+        has_regressions,
+        load_bench_report,
+    )
+
+    old = load_bench_report(args.old)
+    new = load_bench_report(args.new)
+    if old.get("mode") != new.get("mode"):
+        print(
+            f"error: mode mismatch — {args.old} is {old.get('mode')!r}, "
+            f"{args.new} is {new.get('mode')!r}; compare like with like",
+            file=sys.stderr,
+        )
+        return 2
+    rows = diff_bench_reports(old, new, max_regression=args.max_regression)
+    print(f"bench diff ({args.old} -> {args.new}):")
+    print(format_bench_diff(rows, verbose=args.verbose))
+    return 1 if has_regressions(rows) else 0
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -978,6 +1108,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "audit": _command_audit,
     "release": _command_release,
+    "bench": _command_bench,
     "lint": _command_lint,
 }
 

@@ -22,6 +22,15 @@ Float values are serialized with the shortest round-tripping representation
 **bitwise** — the owner's ``transform`` → ``invert`` contract depends on it.
 Pass an explicit printf-style ``float_format`` (e.g. ``"%.6f"``) only for
 deliberately lossy, human-oriented output.
+
+Both streamed entry points expose a ``codec`` seam: ``codec="python"`` is the
+seed ``csv.reader``/``csv.writer`` lane and remains the cross-check oracle,
+while ``codec="fast"`` (the default) routes eligible blocks through the
+vectorized codec in :mod:`repro.perf.csv_codec`, which is bitwise-identical
+on decode and byte-identical on encode — ineligible blocks fall back to the
+oracle lane automatically.  ``iter_matrix_csv`` additionally accepts a
+``prefetch`` depth and :class:`MatrixCsvWriter` a ``pipelined`` flag to
+overlap I/O with compute across chunks without changing any produced byte.
 """
 
 from __future__ import annotations
@@ -277,7 +286,9 @@ def read_matrix_csv_header(
 ) -> tuple[tuple[str, ...], bool]:
     """Return ``(value_columns, has_ids)`` for a matrix CSV without reading rows."""
     path = Path(path)
-    with path.open(newline="", encoding="utf-8") as handle:
+    # utf-8-sig: a leading BOM is presentation, not part of the first
+    # header name (same tolerance as both decode codecs).
+    with path.open(newline="", encoding="utf-8-sig") as handle:
         reader = csv.reader(handle)
         header = None
         for row in reader:
@@ -298,6 +309,8 @@ def iter_matrix_csv(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     id_column: str | None = "id",
     allow_empty: bool = False,
+    codec: str | None = None,
+    prefetch: int | None = None,
 ) -> Iterator[MatrixCsvChunk]:
     """Stream a matrix CSV as :class:`MatrixCsvChunk` blocks of ``chunk_rows`` rows.
 
@@ -310,12 +323,61 @@ def iter_matrix_csv(
     ``allow_empty=True`` accepts a header-only file and yields no chunks — a
     legitimate state for a distributed party whose horizontal shard received
     zero rows; a missing header still raises.
+
+    ``codec`` selects the decode lane (``"fast"`` by default, ``"python"``
+    for the seed parser) — the chunks are bitwise identical either way.
+    ``prefetch`` (a depth ≥ 1) decodes up to that many chunks ahead on a
+    background thread; order and error semantics are unchanged.
     """
-    path = Path(path)
+    from ..perf.csv_codec import prefetch_chunks, resolve_codec
+
+    if resolve_codec(codec) == "fast":
+        chunks = _iter_matrix_csv_fast(
+            path, chunk_rows=chunk_rows, id_column=id_column, allow_empty=allow_empty
+        )
+    else:
+        chunks = _iter_matrix_csv_python(
+            path, chunk_rows=chunk_rows, id_column=id_column, allow_empty=allow_empty
+        )
+    if prefetch is not None:
+        chunks = prefetch_chunks(chunks, depth=prefetch)
+    return chunks
+
+
+def _validated_chunk_rows(chunk_rows: int) -> int:
     chunk_rows = int(chunk_rows)
     if chunk_rows < 1:
         raise SerializationError(f"chunk_rows must be >= 1, got {chunk_rows}")
-    with path.open(newline="", encoding="utf-8") as handle:
+    return chunk_rows
+
+
+def _iter_matrix_csv_fast(
+    path: str | Path,
+    *,
+    chunk_rows: int,
+    id_column: str | None,
+    allow_empty: bool,
+) -> Iterator[MatrixCsvChunk]:
+    """Fast decode lane — block parsing in :mod:`repro.perf.csv_codec`."""
+    from ..perf.csv_codec import decode_matrix_csv
+
+    chunk_rows = _validated_chunk_rows(chunk_rows)
+    yield from decode_matrix_csv(
+        path, chunk_rows=chunk_rows, id_column=id_column, allow_empty=allow_empty
+    )
+
+
+def _iter_matrix_csv_python(
+    path: str | Path,
+    *,
+    chunk_rows: int,
+    id_column: str | None,
+    allow_empty: bool,
+) -> Iterator[MatrixCsvChunk]:
+    """Seed decode lane — ``csv.reader`` plus per-cell ``float`` (the oracle)."""
+    path = Path(path)
+    chunk_rows = _validated_chunk_rows(chunk_rows)
+    with path.open(newline="", encoding="utf-8-sig") as handle:
         reader = csv.reader(handle)
         header: list[str] | None = None
         ids: list | None = None
@@ -408,6 +470,16 @@ class MatrixCsvWriter:
         fresh header.  Combined with the atomic commit this is how the
         versioned release bundle appends rows crash-safely: pass the current
         release as both ``append_from`` and ``path``.
+    codec:
+        ``"fast"`` (default) encodes eligible blocks with the batch
+        formatter in :mod:`repro.perf.csv_codec` — byte-identical to the
+        ``"python"`` seed lane, which ineligible blocks (non-string ids,
+        ids needing CSV quoting, explicit ``float_format``) always use.
+    pipelined:
+        When true, encoded text blocks are written by a background thread
+        (double-buffered), overlapping encode with disk I/O.  The produced
+        bytes and the atomic-commit semantics are unchanged; write errors
+        surface on the next :meth:`write_rows` or :meth:`close`.
     """
 
     def __init__(
@@ -418,11 +490,16 @@ class MatrixCsvWriter:
         include_ids: bool = False,
         float_format: str | None = None,
         append_from: str | Path | None = None,
+        codec: str | None = None,
+        pipelined: bool = False,
     ) -> None:
+        from ..perf.csv_codec import PipelinedTextSink, resolve_codec
+
         self.path = Path(path)
         self.columns = tuple(str(name) for name in columns)
         self.include_ids = bool(include_ids)
         self.float_format = float_format
+        self.codec = resolve_codec(codec)
         self._rows_written = 0
         self._temporary = self.path.with_name(
             f".{self.path.name}.tmp.{os.getpid()}.{next(_WRITER_SERIAL)}"
@@ -431,11 +508,14 @@ class MatrixCsvWriter:
             shutil.copyfile(append_from, self._temporary)
             self._handle = self._temporary.open("a", newline="", encoding="utf-8")
             self._writer = csv.writer(self._handle)
+            self._text_pending = False
         else:
             self._handle = self._temporary.open("w", newline="", encoding="utf-8")
             self._writer = csv.writer(self._handle)
             header = (["id"] if self.include_ids else []) + list(self.columns)
             self._writer.writerow(header)
+            self._text_pending = True
+        self._sink = PipelinedTextSink(self._handle) if pipelined else None
 
     @property
     def rows_written(self) -> int:
@@ -460,22 +540,58 @@ class MatrixCsvWriter:
         elif ids is not None:
             raise SerializationError("writer was built with include_ids=False but ids were given")
         fmt = self.float_format
-        for row_index in range(block.shape[0]):
-            row: list = []
-            if self.include_ids:
-                row.append(ids[row_index])  # type: ignore[index]
-            row.extend(format_value(value, fmt) for value in block[row_index])
-            self._writer.writerow(row)
+        block_ids = ids if self.include_ids else None
+        text: str | None = None
+        if self.codec == "fast" and fmt is None:
+            from ..perf.csv_codec import encode_matrix_block
+
+            text = encode_matrix_block(block, block_ids)
+        if text is None and (self.codec == "fast" or self._sink is not None):
+            # Oracle-lane bytes for blocks the fast encoder declines, and
+            # for the python codec when text must cross the pipelined sink.
+            from ..perf.csv_codec import encode_block_via_csv_writer
+
+            text = encode_block_via_csv_writer(block, block_ids, fmt)
+        if text is not None:
+            if self._sink is not None:
+                self._sink.write(text)
+            else:
+                # ASCII text encodes bytewise to UTF-8, so writing the
+                # encoded block straight to the binary buffer skips the
+                # TextIOWrapper machinery; any pending text-layer output
+                # (header, csv.writer rows) must reach the buffer first to
+                # keep the byte order.
+                if self._text_pending:
+                    self._handle.flush()
+                    self._text_pending = False
+                self._handle.buffer.write(text.encode("utf-8"))
+        else:
+            for row_index in range(block.shape[0]):
+                row: list = []
+                if self.include_ids:
+                    row.append(ids[row_index])  # type: ignore[index]
+                row.extend(format_value(value, fmt) for value in block[row_index])
+                self._writer.writerow(row)
+            self._text_pending = True
         self._rows_written += block.shape[0]
 
     def close(self) -> None:
         """Flush, close and atomically publish the file over ``path`` (idempotent)."""
         if not self._handle.closed:
+            if self._sink is not None:
+                # A sink failure propagates before the handle closes, so the
+                # context manager still aborts instead of publishing.
+                self._sink.close()
             self._handle.close()
             os.replace(self._temporary, self.path)
 
     def abort(self) -> None:
         """Close and discard the temporary file without touching ``path`` (idempotent)."""
+        if self._sink is not None:
+            try:
+                self._sink.close()
+            except BaseException:  # repro-lint: disable=RPR010 -- abort() discards the torn write; close() is the reporting path
+                pass  # aborting — the pending sink error is intentionally dropped
         if not self._handle.closed:
             self._handle.close()
         self._temporary.unlink(missing_ok=True)
@@ -494,7 +610,11 @@ class MatrixCsvWriter:
 # Matrix CSV — materialized wrappers
 # --------------------------------------------------------------------------- #
 def matrix_to_csv(
-    matrix: DataMatrix, path: str | Path, *, float_format: str | None = None
+    matrix: DataMatrix,
+    path: str | Path,
+    *,
+    float_format: str | None = None,
+    codec: str | None = None,
 ) -> None:
     """Write a :class:`DataMatrix` to CSV (ids first when present).
 
@@ -507,13 +627,16 @@ def matrix_to_csv(
         matrix.columns,
         include_ids=matrix.ids is not None,
         float_format=float_format,
+        codec=codec,
     ) as writer:
         writer.write_rows(matrix.values, ids=matrix.ids)
 
 
-def matrix_from_csv(path: str | Path, *, id_column: str | None = "id") -> DataMatrix:
+def matrix_from_csv(
+    path: str | Path, *, id_column: str | None = "id", codec: str | None = None
+) -> DataMatrix:
     """Read a :class:`DataMatrix` written by :func:`matrix_to_csv`."""
-    chunks = list(iter_matrix_csv(path, id_column=id_column))
+    chunks = list(iter_matrix_csv(path, id_column=id_column, codec=codec))
     values = (
         chunks[0].values
         if len(chunks) == 1

@@ -235,12 +235,14 @@ class ShardParty:
         *,
         id_column: str | None = "id",
         ledger: CommunicationLedger | None = None,
+        codec: str | None = None,
     ) -> None:
         self.name = str(name)
         self.path = Path(path)
         self._id_column = id_column
         self.all_columns, self.has_ids = read_matrix_csv_header(self.path, id_column=id_column)
         self.ledger = ledger
+        self.codec = codec
         self._kept_indices: list[int] | None = None
         self._chunk_rows = DEFAULT_CHUNK_ROWS
 
@@ -261,7 +263,11 @@ class ShardParty:
     def _chunks(self) -> Iterator[tuple[np.ndarray, tuple | None]]:
         # allow_empty: a shard that received zero rows is a legitimate party.
         for chunk in iter_matrix_csv(
-            self.path, chunk_rows=self._chunk_rows, id_column=self._id_column, allow_empty=True
+            self.path,
+            chunk_rows=self._chunk_rows,
+            id_column=self._id_column,
+            allow_empty=True,
+            codec=self.codec,
         ):
             values = chunk.values
             if self._kept_indices is not None:
@@ -456,12 +462,18 @@ class DistributedReleasePipeline:
         memory_budget_bytes: int | None = None,
         ddof: int = 1,
         protocol_seed=None,
+        codec: str | None = None,
+        pipelined: bool = False,
     ) -> None:
+        from ..perf.csv_codec import resolve_codec
+
         if chunk_rows is not None and memory_budget_bytes is not None:
             raise ValidationError("pass either chunk_rows or memory_budget_bytes, not both")
         self.rbt = rbt if rbt is not None else RBT()
         self.normalizer = normalizer if normalizer is not None else ZScoreNormalizer()
         self.suppressor = suppressor
+        self.codec = resolve_codec(codec)
+        self.pipelined = bool(pipelined)
         self.chunk_rows = (
             check_integer_in_range(chunk_rows, name="chunk_rows", minimum=1)
             if chunk_rows is not None
@@ -485,7 +497,9 @@ class DistributedReleasePipeline:
             raise ValidationError("distributed release needs at least one shard")
         ledger = CommunicationLedger()
         parties = [
-            ShardParty(f"party{index}", path, id_column=id_column, ledger=ledger)
+            ShardParty(
+                f"party{index}", path, id_column=id_column, ledger=ledger, codec=self.codec
+            )
             for index, path in enumerate(paths)
         ]
         first = parties[0]
@@ -559,7 +573,12 @@ class DistributedReleasePipeline:
         privacy_states: list[tuple[str, dict]] = []
         achieved_states: list[tuple[str, list[dict]]] = []
         with MatrixCsvWriter(
-            output_path, columns, include_ids=carry_ids, float_format=float_format
+            output_path,
+            columns,
+            include_ids=carry_ids,
+            float_format=float_format,
+            codec=self.codec,
+            pipelined=self.pipelined,
         ) as writer:
             for party in parties:
                 rows, privacy_state, achieved = party.transform_and_write(
@@ -616,6 +635,7 @@ def split_csv_shards(
     row_counts: Sequence[int] | None = None,
     id_column: str | None = "id",
     chunk_rows: int | None = None,
+    codec: str | None = None,
 ) -> tuple[int, ...]:
     """Split one matrix CSV into horizontal shards (headers copied verbatim).
 
@@ -637,7 +657,9 @@ def split_csv_shards(
         total = int(
             sum(
                 chunk.values.shape[0]
-                for chunk in iter_matrix_csv(input_path, chunk_rows=chunk_rows, id_column=id_column)
+                for chunk in iter_matrix_csv(
+                    input_path, chunk_rows=chunk_rows, id_column=id_column, codec=codec
+                )
             )
         )
         base, remainder = divmod(total, len(paths))
@@ -651,8 +673,10 @@ def split_csv_shards(
     writers = []
     try:
         for path in paths:
-            writers.append(MatrixCsvWriter(path, columns, include_ids=has_ids))
-        for chunk in iter_matrix_csv(input_path, chunk_rows=chunk_rows, id_column=id_column):
+            writers.append(MatrixCsvWriter(path, columns, include_ids=has_ids, codec=codec))
+        for chunk in iter_matrix_csv(
+            input_path, chunk_rows=chunk_rows, id_column=id_column, codec=codec
+        ):
             values, ids = chunk.values, chunk.ids
             offset = 0
             while offset < values.shape[0]:

@@ -117,6 +117,7 @@ class LossyFloatFormatRule(Rule):
     )
     default_include = (
         "repro/data/io.py",
+        "repro/perf/csv_codec.py",
         "repro/pipeline/bundle_format.py",
         "repro/core/secrets.py",
         "repro/perf/streaming.py",

@@ -1,0 +1,175 @@
+"""Diffing for the ``BENCH_perf*.json`` benchmark reports.
+
+``repro bench diff OLD.json NEW.json`` compares two reports produced by the
+``benchmarks/bench_*.py`` scripts and prints a per-scenario table of speedup
+changes, timing changes and contract flags.  The metric classification
+mirrors ``benchmarks/check_bench_regression.py`` — the CI gate — so a diff
+that prints ``REGRESSED`` rows is exactly a diff the gate would reject:
+
+* ``speedup*`` / ``*_speedup`` / ``*_ratio`` — gated ratios; a fractional
+  drop beyond ``max_regression`` (default 30%) fails the diff.
+* ``*_within_budget`` / ``*identical*`` booleans — hard contracts; a
+  baseline ``true`` that turns ``false`` (or disappears) always fails.
+* ``*_seconds`` — informational wall-clock; reported, never gating, because
+  absolute seconds are machine-dependent while same-run ratios are not.
+
+Everything else numeric is listed as an informational metric.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "DEFAULT_MAX_REGRESSION",
+    "diff_bench_reports",
+    "format_bench_diff",
+    "has_regressions",
+    "load_bench_report",
+]
+
+#: Fractional drop in a gated ratio treated as a regression (matches the
+#: default of ``benchmarks/check_bench_regression.py``).
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def load_bench_report(path: Path | str) -> dict:
+    """Load a ``BENCH_perf*.json`` report, validating the outer shape."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValidationError(f"bench report {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"bench report {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValidationError(f"bench report {path} must be a JSON object")
+    return payload
+
+
+def _leaves(node, prefix: str = "") -> dict[str, bool | int | float]:
+    """Flatten numeric and boolean leaves into ``dotted.path -> value``."""
+    found: dict[str, bool | int | float] = {}
+    if isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else key
+            found.update(_leaves(node[key], path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.update(_leaves(value, f"{prefix}[{index}]"))
+    elif isinstance(node, (bool, int, float)):
+        found[prefix] = node
+    return found
+
+
+def _classify(path: str, value) -> str:
+    """``ratio`` (gated), ``contract`` (gated boolean), ``seconds`` or ``metric``."""
+    leaf = path.rsplit(".", 1)[-1]
+    if isinstance(value, bool):
+        return "contract" if (leaf.endswith("_within_budget") or "identical" in leaf) else "metric"
+    if leaf.startswith("speedup") or leaf.endswith(("_speedup", "_ratio")):
+        return "ratio"
+    if leaf == "seconds" or leaf.endswith("_seconds"):
+        return "seconds"
+    return "metric"
+
+
+def diff_bench_reports(
+    old: dict, new: dict, *, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> list[dict]:
+    """Diff two loaded reports into a list of row dicts.
+
+    Each row has ``path``, ``kind``, ``old``, ``new`` (either side ``None``
+    when missing), ``status`` and ``gate`` — ``gate`` is ``True`` exactly
+    when the row would fail the CI regression gate.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValidationError(f"max_regression must be in [0, 1), got {max_regression}")
+    old_leaves = _leaves(old.get("hot_paths", old))
+    new_leaves = _leaves(new.get("hot_paths", new))
+    rows: list[dict] = []
+    for path in sorted(old_leaves.keys() | new_leaves.keys()):
+        old_value = old_leaves.get(path)
+        new_value = new_leaves.get(path)
+        kind = _classify(path, old_value if old_value is not None else new_value)
+        row = {"path": path, "kind": kind, "old": old_value, "new": new_value}
+        if old_value is None:
+            row["status"], row["gate"] = "new", False
+        elif new_value is None:
+            gated = kind in ("ratio", "contract") and old_value
+            row["status"] = "MISSING" if gated else "missing"
+            row["gate"] = bool(gated)
+        elif kind == "contract":
+            if old_value and not new_value:
+                row["status"], row["gate"] = "BROKEN", True
+            elif not old_value and new_value:
+                row["status"], row["gate"] = "fixed", False
+            else:
+                row["status"], row["gate"] = "holds" if new_value else "unestablished", False
+        elif kind == "ratio":
+            change = (new_value - old_value) / old_value if old_value > 0 else 0.0
+            row["change"] = change
+            if -change > max_regression:
+                row["status"], row["gate"] = "REGRESSED", True
+            elif change > max_regression:
+                row["status"], row["gate"] = "improved", False
+            else:
+                row["status"], row["gate"] = "ok", False
+        elif kind == "seconds":
+            change = (new_value - old_value) / old_value if old_value > 0 else 0.0
+            row["change"] = change
+            row["status"] = "slower" if change > 0.05 else ("faster" if change < -0.05 else "ok")
+            row["gate"] = False
+        else:
+            row["status"] = "ok" if new_value == old_value else "changed"
+            row["gate"] = False
+        rows.append(row)
+    return rows
+
+
+def has_regressions(rows: list[dict]) -> bool:
+    """Whether any diff row fails the regression gate."""
+    return any(row["gate"] for row in rows)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_bench_diff(rows: list[dict], *, verbose: bool = False) -> str:
+    """Render diff rows as a fixed-width table.
+
+    Without ``verbose``, unchanged informational metrics are elided so the
+    table stays focused on the gated ratios, contracts and timing shifts.
+    """
+    shown = [
+        row
+        for row in rows
+        if verbose or row["kind"] in ("ratio", "contract", "seconds") or row["status"] != "ok"
+    ]
+    if not shown:
+        return "no comparable metrics found"
+    width = max(len(row["path"]) for row in shown)
+    lines = [f"{'metric'.ljust(width)}  {'old':>12}  {'new':>12}  {'change':>8}  status"]
+    for row in shown:
+        change = row.get("change")
+        change_text = f"{change:+.1%}" if change is not None else "-"
+        lines.append(
+            f"{row['path'].ljust(width)}  {_fmt(row['old']):>12}  "
+            f"{_fmt(row['new']):>12}  {change_text:>8}  {row['status']}"
+        )
+    n_gating = len([row for row in shown if row["gate"]])
+    if n_gating:
+        lines.append(f"\nFAIL: {n_gating} metric(s) regressed beyond the gate")
+    else:
+        lines.append("\nOK: no gated metric regressed")
+    return "\n".join(lines)

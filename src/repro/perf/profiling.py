@@ -1,0 +1,127 @@
+"""Per-stage wall-clock / peak-RSS profiling for the streamed commands.
+
+``repro transform --profile`` and ``repro audit --profile`` attach a
+:class:`StageProfiler` to the streamed pipeline; the pipeline brackets its
+read / compute / write work with :meth:`StageProfiler.section` (or wraps a
+chunk iterator with :meth:`StageProfiler.wrap_iter`) and the CLI prints
+:meth:`StageProfiler.format_table` when the command finishes.  The numbers
+exist so that I/O-vs-compute claims about the release path come from
+measurements, not folklore.
+
+Profiling is observational only: it never changes chunk order, produced
+bytes, or error behavior, and it costs two ``perf_counter`` calls per
+bracketed region.  Wall-clock readings are intentionally outside the
+repository's determinism contract (RPR002 allows this module explicitly) —
+profiles describe the machine, not the release.
+"""
+
+from __future__ import annotations
+
+import math
+import resource
+import sys
+import time
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+
+__all__ = ["StageProfiler"]
+
+#: Order in which known stages are reported; unknown names follow, in first-
+#: use order, so ad-hoc sections still show up.
+_STAGE_ORDER = ("read", "compute", "write")
+
+
+def _peak_rss_bytes() -> int:
+    """Process-wide peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalize to
+    bytes with the conventional platform check.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+class StageProfiler:
+    """Accumulate wall-clock seconds and peak RSS per named pipeline stage.
+
+    The profiler is cumulative across every pass of a multi-pass run: a
+    ``read`` section entered once per chunk per pass reports the total time
+    spent parsing input over the whole command.  ``peak_rss`` per stage is
+    the high-water mark *observed while that stage was running* — a
+    process-wide monotone, so later stages can only report equal or larger
+    values.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._peak_rss: dict[str, int] = {}
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def section(self, stage: str):
+        """Time one bracketed region, attributing it to ``stage``."""
+        began = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - began
+            self._seconds[stage] = self._seconds.get(stage, 0.0) + elapsed
+            self._peak_rss[stage] = max(self._peak_rss.get(stage, 0), _peak_rss_bytes())
+
+    def wrap_iter(self, stage: str, iterable: Iterable) -> Iterator:
+        """Yield from ``iterable``, attributing each ``next()`` to ``stage``."""
+        iterator = iter(iterable)
+        while True:
+            with self.section(stage):
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    return
+            yield item
+
+    def report(self) -> dict:
+        """Stage breakdown as plain data (also the ``--profile`` JSON shape)."""
+        total = time.perf_counter() - self._started
+        known = [name for name in _STAGE_ORDER if name in self._seconds]
+        extra = [name for name in self._seconds if name not in _STAGE_ORDER]
+        accounted = math.fsum(self._seconds[name] for name in known + extra)
+        stages = [
+            {
+                "stage": name,
+                "seconds": self._seconds[name],
+                "share": (self._seconds[name] / total) if total > 0 else 0.0,
+                "peak_rss_bytes": self._peak_rss[name],
+            }
+            for name in known + extra
+        ]
+        stages.append(
+            {
+                "stage": "other",
+                "seconds": max(total - accounted, 0.0),
+                "share": (max(total - accounted, 0.0) / total) if total > 0 else 0.0,
+                "peak_rss_bytes": _peak_rss_bytes(),
+            }
+        )
+        return {"total_seconds": total, "stages": stages}
+
+    def format_table(self) -> str:
+        """Human-oriented fixed-width table of :meth:`report`."""
+        report = self.report()
+        lines = [
+            "stage      seconds    share   peak RSS",
+            "-------    -------    -----   --------",
+        ]
+        for entry in report["stages"]:
+            lines.append(
+                "%-7s    %7.3f    %4.1f%%   %7.1fM"
+                % (
+                    entry["stage"],
+                    entry["seconds"],
+                    100.0 * entry["share"],
+                    entry["peak_rss_bytes"] / (1024.0 * 1024.0),
+                )
+            )
+        lines.append("total      %7.3f" % report["total_seconds"])
+        return "\n".join(lines)

@@ -37,6 +37,7 @@ import os
 import time
 from collections.abc import Mapping, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -699,7 +700,9 @@ class AttackSuite:
         cache_dir=None,
         distance_sample_rows: int = 256,
         backend=None,
+        codec: str | None = None,
     ) -> None:
+        from ..perf.csv_codec import resolve_codec
         if isinstance(threat_model, str):
             threat_model = builtin_threat_model(threat_model)
         elif isinstance(threat_model, Mapping):
@@ -719,6 +722,9 @@ class AttackSuite:
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.distance_sample_rows = int(distance_sample_rows)
         self.backend = backend
+        # Decode lane for the streamed engine; fast and python parse the
+        # same bits, so (like the backend) it is not part of the cache key.
+        self.codec = resolve_codec(codec)
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -733,6 +739,7 @@ class AttackSuite:
         memory_budget_bytes: int | None = None,
         ddof: int = 1,
         prior_report=None,
+        profiler=None,
     ) -> AuditReport:
         """Audit ``released`` (a :class:`DataMatrix` or a CSV path).
 
@@ -765,6 +772,7 @@ class AttackSuite:
             memory_budget_bytes=memory_budget_bytes,
             ddof=ddof,
             prior_rows=prior_rows,
+            profiler=profiler,
         )
 
     def run_bundle(self, bundle, *, ddof: int = 1) -> AuditReport:
@@ -1023,6 +1031,7 @@ class AttackSuite:
         memory_budget_bytes: int | None,
         ddof: int,
         prior_rows: dict[str, dict] | None = None,
+        profiler=None,
     ) -> AuditReport:
         started = time.perf_counter()
         released_fp = _file_fingerprint(released_path)
@@ -1076,6 +1085,7 @@ class AttackSuite:
                 chunk_rows=chunk_rows,
                 memory_budget_bytes=memory_budget_bytes,
                 ddof=ddof,
+                profiler=profiler,
             )
             evidence = {"hash": evidence_key, "schema": AUDIT_CACHE_SCHEMA_VERSION, **evidence}
             self._cache_store(evidence_key, evidence)
@@ -1107,6 +1117,7 @@ class AttackSuite:
         chunk_rows: int | None,
         memory_budget_bytes: int | None,
         ddof: int,
+        profiler=None,
     ) -> tuple[dict, dict[int, dict]]:
         """Run the pass-structured streamed audit for the pending attacks."""
         from ..data.io import read_matrix_csv_header
@@ -1130,13 +1141,17 @@ class AttackSuite:
         head_original: list[np.ndarray] = []
         head_rows = 0
         n_objects = 0
-        for released_chunk, original_chunk in self._paired_chunks(
+        paired = self._paired_chunks(
             released_path, original_path, columns, resolved_chunk_rows, id_column
-        ):
-            released_acc.update(released_chunk)
-            if original_chunk is not None:
-                original_acc.update(original_chunk)
-                difference_acc.update(original_chunk - released_chunk)
+        )
+        if profiler is not None:
+            paired = profiler.wrap_iter("read", paired)
+        for released_chunk, original_chunk in paired:
+            with profiler.section("compute") if profiler is not None else nullcontext():
+                released_acc.update(released_chunk)
+                if original_chunk is not None:
+                    original_acc.update(original_chunk)
+                    difference_acc.update(original_chunk - released_chunk)
             if head_rows < self.distance_sample_rows:
                 take = min(self.distance_sample_rows - head_rows, released_chunk.shape[0])
                 head_released.append(released_chunk[:take].copy())
@@ -1241,11 +1256,15 @@ class AttackSuite:
         if original_path is not None and plans:
             for i in plans:
                 scores[i] = StreamingMoments(n, backend=self.backend)
-            for released_chunk, original_chunk in self._paired_chunks(
+            scoring = self._paired_chunks(
                 released_path, original_path, columns, resolved_chunk_rows, id_column
-            ):
-                for i, (_, reconstruction, _, _) in plans.items():
-                    scores[i].update(original_chunk - reconstruction.apply(released_chunk))
+            )
+            if profiler is not None:
+                scoring = profiler.wrap_iter("read", scoring)
+            for released_chunk, original_chunk in scoring:
+                with profiler.section("compute") if profiler is not None else nullcontext():
+                    for i, (_, reconstruction, _, _) in plans.items():
+                        scores[i].update(original_chunk - reconstruction.apply(released_chunk))
 
         executed_rows: dict[int, dict] = {}
         for i, (attack, reconstruction, work, details) in plans.items():
@@ -1294,7 +1313,7 @@ class AttackSuite:
     ):
         """Zip released (and original) CSV chunks, validating alignment."""
         released_iter = iter_matrix_csv(
-            released_path, chunk_rows=chunk_rows, id_column=id_column
+            released_path, chunk_rows=chunk_rows, id_column=id_column, codec=self.codec
         )
         if original_path is None:
             for chunk in released_iter:
@@ -1305,7 +1324,7 @@ class AttackSuite:
                 yield chunk.values, None
             return
         original_iter = iter_matrix_csv(
-            original_path, chunk_rows=chunk_rows, id_column=id_column
+            original_path, chunk_rows=chunk_rows, id_column=id_column, codec=self.codec
         )
         while True:
             released_chunk = next(released_iter, None)

@@ -364,6 +364,9 @@ class _FileMomentSource:
         chunk_rows: int,
         kept_indices: list[int] | None,
         columns: Sequence[str],
+        *,
+        cache=None,
+        profiler=None,
     ) -> None:
         self._pipeline = pipeline
         self._input_path = input_path
@@ -371,10 +374,17 @@ class _FileMomentSource:
         self._chunk_rows = chunk_rows
         self._kept_indices = kept_indices
         self._columns = tuple(columns)
+        self._cache = cache
+        self._profiler = profiler
 
     def _chunks(self):
-        return self._pipeline._chunks(
-            self._input_path, self._id_column, self._chunk_rows, self._kept_indices
+        return self._pipeline._pass_chunks(
+            self._input_path,
+            self._id_column,
+            self._chunk_rows,
+            self._kept_indices,
+            cache=self._cache,
+            profiler=self._profiler,
         )
 
     def correlation_moments(self) -> StreamingMoments:
@@ -450,6 +460,19 @@ class StreamingReleasePipeline:
         normalizer *as given*, which must already be fitted — this is how a
         versioned release bundle replays its frozen release policy over a
         grown feed to reproduce the appended release byte for byte.
+    codec:
+        CSV codec for every streamed pass and the released output —
+        ``"fast"`` (default) for the vectorized lane in
+        :mod:`repro.perf.csv_codec`, ``"python"`` for the seed
+        ``csv.reader``/``csv.writer`` oracle.  The released bytes and the
+        report are identical either way; with the fast codec the first
+        full pass additionally spills its decoded chunks to a binary
+        scratch file so later passes skip the CSV parse entirely.
+    pipelined:
+        When true, chunk decode runs up to two chunks ahead on a prefetch
+        thread and encoded output blocks are written by a background
+        thread.  Purely an I/O-overlap knob for multi-core hosts; chunk
+        order, released bytes and error semantics are unchanged.
 
     Examples
     --------
@@ -469,10 +492,16 @@ class StreamingReleasePipeline:
         ddof: int = 1,
         backend=None,
         refit: bool = True,
+        codec: str | None = None,
+        pipelined: bool = False,
     ) -> None:
+        from ..perf.csv_codec import resolve_codec
+
         if chunk_rows is not None and memory_budget_bytes is not None:
             raise ValidationError("pass either chunk_rows or memory_budget_bytes, not both")
         self.rbt = rbt if rbt is not None else RBT()
+        self.codec = resolve_codec(codec)
+        self.pipelined = bool(pipelined)
         self.normalizer = normalizer if normalizer is not None else ZScoreNormalizer()
         self.suppressor = suppressor
         self.chunk_rows = (
@@ -495,8 +524,16 @@ class StreamingReleasePipeline:
         *,
         id_column: str | None = "id",
         float_format: str | None = None,
+        profiler=None,
     ) -> StreamingReleaseReport:
-        """Stream ``input_path`` through the release workflow into ``output_path``."""
+        """Stream ``input_path`` through the release workflow into ``output_path``.
+
+        ``profiler`` optionally receives the per-stage read/compute/write
+        timings (see :class:`repro.perf.profiling.StageProfiler`); profiling
+        never changes the released bytes.
+        """
+        from ..perf.csv_codec import DecodedChunkCache
+
         input_path = Path(input_path)
         all_columns, has_ids = read_matrix_csv_header(input_path, id_column=id_column)
         kept_indices, columns = self._kept_columns(all_columns)
@@ -509,49 +546,82 @@ class StreamingReleasePipeline:
             self.suppressor is not None and self.suppressor.drop_object_ids
         )
         passes = 0
-
-        # ---- Pass 1: fit the normalizer (chunk-invariant streamed stats).
-        # A frozen-policy replay (refit=False) keeps the normalizer exactly
-        # as given, so the per-row transform matches the release that first
-        # fitted it, bit for bit.
-        if self.refit:
-            self.normalizer.fit_stream(
-                (
-                    chunk
-                    for chunk, _ in self._chunks(input_path, id_column, chunk_rows, kept_indices)
-                ),
-                backend=self.backend,
-            )
-            passes += 1
-
-        # ---- Pair selection (Step 1) on names and, when needed, streamed
-        # correlation; then per-pair security ranges and angles (Step 2b/2c)
-        # from streamed moments, in as few extra passes as the pair
-        # dependency structure allows.
-        moment_source = _FileMomentSource(
-            self, input_path, id_column, chunk_rows, kept_indices, columns
-        )
-        decided, moment_passes = plan_rotations(self.rbt, columns, moment_source)
-        passes += moment_passes
-
-        # ---- Final pass: normalize + rotate every chunk and write it out.
-        n_columns = len(columns)
-        privacy_moments = StreamingMoments(3 * n_columns, backend=self.backend)
-        achieved_moments = [StreamingMoments(2) for _ in decided]
-        column_index = {name: position for position, name in enumerate(columns)}
-        n_objects = 0
-        with MatrixCsvWriter(
-            output_path, columns, include_ids=carry_ids, float_format=float_format
-        ) as writer:
-            for chunk, ids in self._chunks(input_path, id_column, chunk_rows, kept_indices):
-                normalized = self.normalizer.transform(chunk)
-                current = apply_decided_rotations(
-                    normalized.copy(), decided, column_index, achieved_moments
+        # With the fast codec the multi-pass workflow parses the CSV once:
+        # the first complete pass tees its decoded (values, ids) blocks into
+        # a binary scratch file, later passes replay the identical doubles.
+        cache = DecodedChunkCache() if self.codec == "fast" else None
+        try:
+            # ---- Pass 1: fit the normalizer (chunk-invariant streamed
+            # stats).  A frozen-policy replay (refit=False) keeps the
+            # normalizer exactly as given, so the per-row transform matches
+            # the release that first fitted it, bit for bit.
+            if self.refit:
+                self.normalizer.fit_stream(
+                    (
+                        chunk
+                        for chunk, _ in self._pass_chunks(
+                            input_path, id_column, chunk_rows, kept_indices,
+                            cache=cache, profiler=profiler,
+                        )
+                    ),
+                    backend=self.backend,
                 )
-                privacy_moments.update(np.hstack((normalized, current, normalized - current)))
-                writer.write_rows(current, ids=ids if carry_ids else None)
-                n_objects += chunk.shape[0]
-        passes += 1
+                passes += 1
+
+            # ---- Pair selection (Step 1) on names and, when needed,
+            # streamed correlation; then per-pair security ranges and angles
+            # (Step 2b/2c) from streamed moments, in as few extra passes as
+            # the pair dependency structure allows.
+            moment_source = _FileMomentSource(
+                self, input_path, id_column, chunk_rows, kept_indices, columns,
+                cache=cache, profiler=profiler,
+            )
+            decided, moment_passes = plan_rotations(self.rbt, columns, moment_source)
+            passes += moment_passes
+
+            # ---- Final pass: normalize + rotate every chunk and write it out.
+            n_columns = len(columns)
+            privacy_moments = StreamingMoments(3 * n_columns, backend=self.backend)
+            achieved_moments = [StreamingMoments(2) for _ in decided]
+            column_index = {name: position for position, name in enumerate(columns)}
+            n_objects = 0
+            with MatrixCsvWriter(
+                output_path,
+                columns,
+                include_ids=carry_ids,
+                float_format=float_format,
+                codec=self.codec,
+                pipelined=self.pipelined,
+            ) as writer:
+                for chunk, ids in self._pass_chunks(
+                    input_path, id_column, chunk_rows, kept_indices,
+                    cache=cache, profiler=profiler,
+                ):
+                    if profiler is None:
+                        normalized = self.normalizer.transform(chunk)
+                        current = apply_decided_rotations(
+                            normalized.copy(), decided, column_index, achieved_moments
+                        )
+                        privacy_moments.update(
+                            np.hstack((normalized, current, normalized - current))
+                        )
+                        writer.write_rows(current, ids=ids if carry_ids else None)
+                    else:
+                        with profiler.section("compute"):
+                            normalized = self.normalizer.transform(chunk)
+                            current = apply_decided_rotations(
+                                normalized.copy(), decided, column_index, achieved_moments
+                            )
+                            privacy_moments.update(
+                                np.hstack((normalized, current, normalized - current))
+                            )
+                        with profiler.section("write"):
+                            writer.write_rows(current, ids=ids if carry_ids else None)
+                    n_objects += chunk.shape[0]
+            passes += 1
+        finally:
+            if cache is not None:
+                cache.close()
 
         records = build_rotation_records(decided, achieved_moments, ddof=self.rbt.ddof)
         privacy = privacy_report_from_moments(columns, privacy_moments, ddof=self.ddof)
@@ -591,8 +661,35 @@ class StreamingReleasePipeline:
         kept_indices: list[int] | None,
     ) -> Iterator[tuple[np.ndarray, tuple | None]]:
         """One full pass over the input as ``(values, ids)`` blocks."""
-        for chunk in iter_matrix_csv(input_path, chunk_rows=chunk_rows, id_column=id_column):
+        for chunk in iter_matrix_csv(
+            input_path,
+            chunk_rows=chunk_rows,
+            id_column=id_column,
+            codec=self.codec,
+            prefetch=2 if self.pipelined else None,
+        ):
             yield self._select(chunk.values, kept_indices), chunk.ids
+
+    def _pass_chunks(
+        self,
+        input_path: Path,
+        id_column: str | None,
+        chunk_rows: int,
+        kept_indices: list[int] | None,
+        *,
+        cache=None,
+        profiler=None,
+    ) -> Iterator[tuple[np.ndarray, tuple | None]]:
+        """One full pass, replaying the spill cache once a pass completed it."""
+        if cache is not None and cache.complete:
+            iterator = cache.replay()
+        else:
+            iterator = self._chunks(input_path, id_column, chunk_rows, kept_indices)
+            if cache is not None:
+                iterator = cache.tee(iterator)
+        if profiler is not None:
+            iterator = profiler.wrap_iter("read", iterator)
+        yield from iterator
 
 
 def _invert_rows_worker(arrays, start, stop, *, secret, columns):
@@ -616,6 +713,8 @@ def stream_invert(
     id_column: str | None = "id",
     float_format: str | None = None,
     backend=None,
+    codec: str | None = None,
+    pipelined: bool = False,
 ) -> int:
     """Undo a release chunk-by-chunk using the owner's secret.
 
@@ -624,7 +723,8 @@ def stream_invert(
     materialized matrix) and returns the number of restored rows.  With a
     parallel ``backend`` each chunk's rows are restored in worker-sized
     blocks — still the same bits, because every rotation touches one row at
-    a time.
+    a time.  ``codec`` / ``pipelined`` select the CSV lane exactly as in
+    :class:`StreamingReleasePipeline` — the restored bytes are identical.
     """
     input_path = Path(input_path)
     columns, has_ids = read_matrix_csv_header(input_path, id_column=id_column)
@@ -635,9 +735,20 @@ def stream_invert(
     backend = get_backend(backend)
     n_rows = 0
     with MatrixCsvWriter(
-        output_path, columns, include_ids=has_ids, float_format=float_format
+        output_path,
+        columns,
+        include_ids=has_ids,
+        float_format=float_format,
+        codec=codec,
+        pipelined=pipelined,
     ) as writer:
-        for chunk in iter_matrix_csv(input_path, chunk_rows=chunk_rows, id_column=id_column):
+        for chunk in iter_matrix_csv(
+            input_path,
+            chunk_rows=chunk_rows,
+            id_column=id_column,
+            codec=codec,
+            prefetch=2 if pipelined else None,
+        ):
             if backend.workers > 1 and chunk.values.shape[0] > 1:
                 values = chunk.values
                 # Input block + worker copy + shipped result + parent copy.

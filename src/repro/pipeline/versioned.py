@@ -156,8 +156,12 @@ class VersionedReleaseBundle:
         backend=None,
         id_column: str | None = "id",
         float_format: str | None = None,
+        codec: str | None = None,
+        pipelined: bool = False,
     ) -> tuple["VersionedReleaseBundle", StreamingReleaseReport]:
         """Release ``input_path`` from scratch and freeze the policy as version 1."""
+        from ..perf.csv_codec import DecodedChunkCache
+
         bundle_dir = Path(bundle_dir)
         if (bundle_dir / MANIFEST_NAME).exists():
             existing = cls.open(bundle_dir)
@@ -174,6 +178,8 @@ class VersionedReleaseBundle:
             memory_budget_bytes=memory_budget_bytes,
             ddof=ddof,
             backend=backend,
+            codec=codec,
+            pipelined=pipelined,
         )
         columns_all, has_ids = read_matrix_csv_header(input_path, id_column=id_column)
         columns = tuple(columns_all)
@@ -181,38 +187,47 @@ class VersionedReleaseBundle:
             len(columns), chunk_rows=chunk_rows, memory_budget_bytes=memory_budget_bytes
         )
         passes = 0
+        cache = DecodedChunkCache() if pipeline.codec == "fast" else None
+        try:
+            # Fit + plan exactly like the streamed pipeline (same helpers,
+            # same bits), but keep hold of the intermediate state so it can
+            # be frozen.
+            pipeline.normalizer.fit_stream(
+                (
+                    chunk
+                    for chunk, _ in pipeline._pass_chunks(
+                        input_path, id_column, resolved_chunk_rows, None, cache=cache
+                    )
+                ),
+                backend=backend,
+            )
+            passes += 1
+            moment_source = _FileMomentSource(
+                pipeline, input_path, id_column, resolved_chunk_rows, None, columns,
+                cache=cache,
+            )
+            decided, moment_passes = plan_rotations(pipeline.rbt, columns, moment_source)
+            passes += moment_passes
 
-        # Fit + plan exactly like the streamed pipeline (same helpers, same
-        # bits), but keep hold of the intermediate state so it can be frozen.
-        pipeline.normalizer.fit_stream(
-            (
-                chunk
-                for chunk, _ in pipeline._chunks(input_path, id_column, resolved_chunk_rows, None)
-            ),
-            backend=backend,
-        )
-        passes += 1
-        moment_source = _FileMomentSource(
-            pipeline, input_path, id_column, resolved_chunk_rows, None, columns
-        )
-        decided, moment_passes = plan_rotations(pipeline.rbt, columns, moment_source)
-        passes += moment_passes
-
-        version = 1
-        n_objects, privacy_state, achieved_states, records, privacy = _transform_pass(
-            pipeline,
-            input_path,
-            bundle_dir / _released_name(version),
-            columns,
-            decided,
-            id_column=id_column,
-            chunk_rows=resolved_chunk_rows,
-            carry_ids=has_ids,
-            float_format=float_format,
-            backend=backend,
-            prior_sketches=None,
-        )
-        passes += 1
+            version = 1
+            n_objects, privacy_state, achieved_states, records, privacy = _transform_pass(
+                pipeline,
+                input_path,
+                bundle_dir / _released_name(version),
+                columns,
+                decided,
+                id_column=id_column,
+                chunk_rows=resolved_chunk_rows,
+                carry_ids=has_ids,
+                float_format=float_format,
+                backend=backend,
+                prior_sketches=None,
+                cache=cache,
+            )
+            passes += 1
+        finally:
+            if cache is not None:
+                cache.close()
 
         sketches = {
             "format": "repro.release-sketches",
@@ -303,6 +318,8 @@ class VersionedReleaseBundle:
         chunk_rows: int | None = None,
         memory_budget_bytes: int | None = None,
         backend=None,
+        codec: str | None = None,
+        pipelined: bool = False,
     ) -> StreamingReleaseReport:
         """Stream ``new_rows`` through the frozen policy into version K+1.
 
@@ -349,6 +366,8 @@ class VersionedReleaseBundle:
             ddof=int(self.manifest["ddof"]),
             backend=backend,
             refit=False,
+            codec=codec,
+            pipelined=pipelined,
         )
         sketches = self._load_sketches()
         version = self.version + 1
@@ -433,6 +452,8 @@ class VersionedReleaseBundle:
         chunk_rows: int | None = None,
         memory_budget_bytes: int | None = None,
         backend=None,
+        codec: str | None = None,
+        pipelined: bool = False,
     ) -> StreamingReleasePipeline:
         """The from-scratch replay of the frozen policy (the byte-identity oracle).
 
@@ -448,6 +469,8 @@ class VersionedReleaseBundle:
             ddof=int(self.manifest["ddof"]),
             backend=backend,
             refit=False,
+            codec=codec,
+            pipelined=pipelined,
         )
 
     def _load_sketches(self) -> dict:
@@ -505,6 +528,7 @@ def _transform_pass(
     backend,
     prior_sketches: dict | None,
     append_from: Path | None = None,
+    cache=None,
 ):
     """Normalize + rotate one file into ``output_path``; fold + report evidence.
 
@@ -533,8 +557,10 @@ def _transform_pass(
         include_ids=carry_ids,
         float_format=float_format,
         append_from=append_from,
+        codec=pipeline.codec,
+        pipelined=pipeline.pipelined,
     ) as writer:
-        for chunk, ids in pipeline._chunks(input_path, id_column, chunk_rows, None):
+        for chunk, ids in pipeline._pass_chunks(input_path, id_column, chunk_rows, None, cache=cache):
             normalized = pipeline.normalizer.transform(chunk)
             current = apply_decided_rotations(
                 normalized.copy(), decided, column_index, achieved_moments
